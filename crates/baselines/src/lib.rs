@@ -1,0 +1,23 @@
+//! Baseline alias analyses: re-implementations of the two LLVM analyses
+//! the paper compares against (§4).
+//!
+//! * [`BasicAlias`] — the heuristics of LLVM's `basicaa`, which the
+//!   paper lists verbatim: distinct globals/stack/heap allocations never
+//!   alias; fields and statically-differing subscripts of the same
+//!   object don't alias; calls cannot reference stack allocations that
+//!   never escape; fresh allocations cannot alias pre-existing pointers.
+//! * [`ScevAlias`] — the "scalar-evolution-based" analysis: induction
+//!   variables are solved to closed forms `B + iter × S` and two
+//!   accesses off the same base object are disambiguated when their
+//!   closed-form difference is a provably non-zero constant. As in
+//!   LLVM, it is only effective for pointers indexed inside loops by
+//!   variables in the expected closed form.
+//!
+//! Both implement [`sra_core::AliasAnalysis`] so the evaluation harness
+//! can compare them with the paper's `rbaa` uniformly.
+
+mod basic;
+mod scev;
+
+pub use basic::BasicAlias;
+pub use scev::{PtrScev, ScevAlias, ScevOffset};

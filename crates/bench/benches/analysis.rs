@@ -1,0 +1,63 @@
+//! Criterion benches for whole-pipeline analysis throughput — the
+//! quantitative backbone of Figure 15 ("we can go over one million
+//! assembly instructions in ~10 seconds" / "100,000 instructions in
+//! about one second").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sra_core::RbaaAnalysis;
+use sra_workloads::{scaling, suite};
+
+/// End-to-end analysis (bootstrap ranges + GR + LR) on generated
+/// programs of growing size; throughput in instructions/second.
+fn analysis_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_scaling");
+    group.sample_size(10);
+    for &size in &[2_000usize, 8_000, 32_000] {
+        let m = scaling::generate_module(size, 42);
+        let insts = m.num_insts();
+        group.throughput(Throughput::Elements(insts as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(insts), &m, |b, m| {
+            b.iter(|| RbaaAnalysis::analyze(std::hint::black_box(m)));
+        });
+    }
+    group.finish();
+}
+
+/// Analysis time for two representative Figure-13 benchmarks (frontend
+/// excluded, matching the paper's measurement).
+fn analysis_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_benchmarks");
+    group.sample_size(10);
+    for name in ["allroots", "anagram"] {
+        let m = suite::benchmark(name).unwrap().build().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &m, |b, m| {
+            b.iter(|| RbaaAnalysis::analyze(std::hint::black_box(m)));
+        });
+    }
+    group.finish();
+}
+
+/// Query throughput: how fast `alias(p, q)` answers once the analysis
+/// has run (the paper does not time queries; this documents their cost).
+fn query_throughput(c: &mut Criterion) {
+    let m = suite::benchmark("allroots").unwrap().build().unwrap();
+    let rbaa = RbaaAnalysis::analyze(&m);
+    let (f, ptrs) = m
+        .func_ids()
+        .map(|f| (f, sra_core::pointer_values(&m, f)))
+        .max_by_key(|(_, p)| p.len())
+        .expect("module has functions");
+    assert!(ptrs.len() >= 2);
+    c.bench_function("query_pair", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let p = ptrs[i % ptrs.len()];
+            let q = ptrs[(i / ptrs.len() + 1) % ptrs.len()];
+            i += 1;
+            std::hint::black_box(rbaa.alias_with_test(f, p, q))
+        });
+    });
+}
+
+criterion_group!(benches, analysis_scaling, analysis_benchmarks, query_throughput);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion microbenches for the `SymbRanges` lattice operations —
+//! the inner loop of the abstract interpreter (§3.3/§3.8: constant-size
+//! per-variable work is what makes the analysis `O(|V|)`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sra_symbolic::{SymExpr, SymRange, Symbol};
+
+fn ranges() -> (SymRange, SymRange) {
+    let n = SymExpr::from(Symbol::new(0));
+    let m = SymExpr::from(Symbol::new(1));
+    let a = SymRange::interval(0.into(), n.clone() - 1.into());
+    let b = SymRange::interval(n, n_plus(m));
+    (a, b)
+}
+
+fn n_plus(m: SymExpr) -> SymExpr {
+    SymExpr::from(Symbol::new(0)) + m - 1.into()
+}
+
+fn lattice_ops(c: &mut Criterion) {
+    let (a, b) = ranges();
+    c.bench_function("range_join", |bch| {
+        bch.iter(|| std::hint::black_box(&a).join(std::hint::black_box(&b)))
+    });
+    c.bench_function("range_meet_disjoint", |bch| {
+        bch.iter(|| std::hint::black_box(&a).meet(std::hint::black_box(&b)))
+    });
+    c.bench_function("range_widen", |bch| {
+        let grown = a.join(&b);
+        bch.iter(|| std::hint::black_box(&a).widen(std::hint::black_box(&grown)))
+    });
+    c.bench_function("expr_cmp_provable", |bch| {
+        let x = SymExpr::from(Symbol::new(0)) + 1.into();
+        let y = SymExpr::from(Symbol::new(0)) + 5.into();
+        bch.iter(|| std::hint::black_box(&x).try_le(std::hint::black_box(&y)))
+    });
+    c.bench_function("expr_cmp_unknown", |bch| {
+        let x = SymExpr::from(Symbol::new(0));
+        let y = SymExpr::from(Symbol::new(1));
+        bch.iter(|| std::hint::black_box(&x).try_le(std::hint::black_box(&y)))
+    });
+}
+
+criterion_group!(benches, lattice_ops);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Regenerates the paper's **Figure 13**: comparison of `scev`,
+//! `basic`, `rbaa` and the combination `r + b` over the 22 benchmarks.
+//!
+//! ```text
+//! cargo run -p sra-bench --release --bin fig13
+//! ```
+//!
+//! Columns are the percentage of pairwise pointer queries answered
+//! "no-alias" by each analysis. The expected *shape* (paper values):
+//! `%scev` (6.97 total) ≪ `%basic` (30.83) < `%rbaa` (41.73) <
+//! `%(r+b)` (46.53), with rbaa and basic complementary on several rows.
+
+use sra_bench::{pct, render_table, thousands};
+use sra_workloads::{harness, suite};
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut total = harness::Metrics::default();
+    for bench in suite::benchmarks() {
+        let module = bench
+            .build()
+            .unwrap_or_else(|e| panic!("benchmark {} failed to build: {e}", bench.name));
+        let m = harness::evaluate(&module);
+        rows.push(vec![
+            bench.name.to_string(),
+            thousands(m.queries),
+            pct(m.scev_pct()),
+            pct(m.basic_pct()),
+            pct(m.rbaa_pct()),
+            pct(m.rb_pct()),
+        ]);
+        total.merge(&m);
+        eprintln!(
+            "  analyzed {:<12} {:>9} queries in {:?}",
+            bench.name,
+            thousands(m.queries),
+            m.analysis_time
+        );
+    }
+    rows.push(vec![
+        "Total".to_string(),
+        thousands(total.queries),
+        pct(total.scev_pct()),
+        pct(total.basic_pct()),
+        pct(total.rbaa_pct()),
+        pct(total.rb_pct()),
+    ]);
+    println!("\nFigure 13: percentage of queries answering \"no-alias\"\n");
+    println!(
+        "{}",
+        render_table(
+            &["Program", "#Queries", "%scev", "%basic", "%rbaa", "%(r+b)"],
+            &rows
+        )
+    );
+    println!(
+        "Paper totals for reference: scev 6.97, basic 30.83, rbaa 41.73, r+b 46.53."
+    );
+}

@@ -1,0 +1,45 @@
+//! Regenerates the paper's **§5 census**: the share of pointers whose
+//! ranges are *exclusively symbolic* — the argument for symbolic (not
+//! integer) intervals. The paper measures 20.47% across its three
+//! suites, concluding that classic (constant) value-set analyses could
+//! not distinguish a fifth of the pointers.
+//!
+//! ```text
+//! cargo run -p sra-bench --release --bin symbolic_ratio
+//! ```
+
+use sra_bench::{pct, render_table, thousands};
+use sra_workloads::{harness, suite};
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut total = harness::Metrics::default();
+    for bench in suite::benchmarks() {
+        let module = bench
+            .build()
+            .unwrap_or_else(|e| panic!("benchmark {} failed to build: {e}", bench.name));
+        let m = harness::evaluate(&module);
+        rows.push(vec![
+            bench.name.to_string(),
+            thousands(m.ranged_ptrs),
+            thousands(m.symbolic_range_ptrs),
+            pct(m.symbolic_pct()),
+        ]);
+        total.merge(&m);
+    }
+    rows.push(vec![
+        "Total".to_string(),
+        thousands(total.ranged_ptrs),
+        thousands(total.symbolic_range_ptrs),
+        pct(total.symbolic_pct()),
+    ]);
+    println!("\n§5 census: pointers with symbolic (non-constant) ranges\n");
+    println!(
+        "{}",
+        render_table(&["Program", "ranged ptrs", "symbolic", "%symbolic"], &rows)
+    );
+    println!(
+        "Paper: 20.47% of pointers have exclusively symbolic ranges; a \
+         numeric value-set analysis cannot distinguish them."
+    );
+}

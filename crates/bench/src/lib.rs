@@ -1,0 +1,107 @@
+//! Shared table-formatting helpers for the experiment binaries.
+//!
+//! Each binary regenerates one artifact of the paper's evaluation:
+//!
+//! | binary           | paper artifact |
+//! |------------------|----------------|
+//! | `fig13`          | Figure 13: per-benchmark `%scev`/`%basic`/`%rbaa`/`%(r+b)` |
+//! | `fig14`          | Figure 14: no-alias counts attributed to the global test |
+//! | `fig15`          | Figure 15: runtime vs program size, with Pearson R |
+//! | `symbolic_ratio` | §5: share of pointers with exclusively symbolic ranges |
+//! | `ablation`       | design-choice ablations (descending steps, local test, widening) |
+//!
+//! Run with `cargo run -p sra-bench --release --bin <name>`.
+
+use std::fmt::Write as _;
+
+/// Renders a plain-text table: a header row plus aligned data rows.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut width = vec![0usize; cols];
+    for (i, h) in header.iter().enumerate() {
+        width[i] = h.len();
+    }
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            width[i] = width[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (i, h) in header.iter().enumerate() {
+        let _ = write!(line, "{:<w$}  ", h, w = width[i]);
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    let total: usize = width.iter().sum::<usize>() + 2 * cols;
+    out.push_str(&"-".repeat(total.saturating_sub(2)));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            if i == 0 {
+                let _ = write!(line, "{:<w$}  ", cell, w = width[i]);
+            } else {
+                let _ = write!(line, "{:>w$}  ", cell, w = width[i]);
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a percentage like the paper's tables (two decimals).
+pub fn pct(x: f64) -> String {
+    format!("{:.2}", x)
+}
+
+/// Formats a count with thousands separators, e.g. `3,093,541`.
+pub fn thousands(mut n: usize) -> String {
+    let mut parts = Vec::new();
+    loop {
+        if n < 1000 {
+            parts.push(n.to_string());
+            break;
+        }
+        parts.push(format!("{:03}", n % 1000));
+        n /= 1000;
+    }
+    parts.reverse();
+    parts.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1000), "1,000");
+        assert_eq!(thousands(3093541), "3,093,541");
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["Program", "#Queries"],
+            &[
+                vec!["cfrac".into(), "89,255".into()],
+                vec!["gs".into(), "608,374".into()],
+            ],
+        );
+        assert!(t.contains("Program"));
+        assert!(t.lines().count() == 4);
+        // Numeric column is right-aligned.
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[2].ends_with("89,255"));
+    }
+
+    #[test]
+    fn pct_two_decimals() {
+        assert_eq!(pct(41.7341), "41.73");
+        assert_eq!(pct(0.0), "0.00");
+    }
+}

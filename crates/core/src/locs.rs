@@ -1,0 +1,282 @@
+//! Program locations: the abstract allocation sites `Loc = {loc₀, …}`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use sra_ir::{FuncId, GlobalId, Module, Ty, ValueId, ValueKind};
+use sra_ir::{Callee, Inst};
+
+/// Identifies one abstract location (`locᵢ` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocId(u32);
+
+impl LocId {
+    /// Creates a loc id from a raw index.
+    pub fn new(index: usize) -> Self {
+        LocId(index as u32)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loc{}", self.0)
+    }
+}
+
+/// What kind of memory a location stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LocKind {
+    /// A `malloc` call site.
+    Malloc,
+    /// An `alloca` (stack) site.
+    Alloca,
+    /// A module global.
+    Global,
+    /// Memory of unknown identity: a pointer parameter of an exported
+    /// function, or the result of an external call returning a pointer.
+    /// Two distinct `Unknown` locations may be the *same* concrete
+    /// memory, so the global test never separates them by site — only
+    /// same-site range reasoning applies.
+    Unknown,
+}
+
+impl LocKind {
+    /// `true` for memory whose identity is known (two distinct concrete
+    /// locations can never overlap).
+    pub fn is_concrete(self) -> bool {
+        !matches!(self, LocKind::Unknown)
+    }
+
+    /// Can two *different* locations of these kinds be proven disjoint?
+    ///
+    /// * Two concrete locations are distinct chunks — always disjoint.
+    /// * An `Unknown` location (a pointer that flowed in from outside
+    ///   the module) is disjoint from a `Malloc`/`Alloca` site by the
+    ///   freshness argument LLVM's `basicaa` also uses: the allocation
+    ///   postdates the incoming pointer, which therefore cannot point
+    ///   into it.
+    /// * `Unknown` may coincide with a `Global` or another `Unknown`.
+    pub fn separable_from(self, other: LocKind) -> bool {
+        match (self, other) {
+            (a, b) if a.is_concrete() && b.is_concrete() => true,
+            (LocKind::Unknown, LocKind::Malloc | LocKind::Alloca) => true,
+            (LocKind::Malloc | LocKind::Alloca, LocKind::Unknown) => true,
+            _ => false,
+        }
+    }
+}
+
+/// One allocation site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocSite {
+    /// The location id.
+    pub id: LocId,
+    /// Kind of memory.
+    pub kind: LocKind,
+    /// Function containing the site (`None` for globals).
+    pub func: Option<FuncId>,
+    /// The defining value (`None` for globals).
+    pub value: Option<ValueId>,
+    /// Human-readable name for diagnostics (`main.malloc.v3`, `@table`).
+    pub name: String,
+}
+
+/// The table of every allocation site in a module.
+///
+/// Sites are discovered in a deterministic order: globals first, then
+/// per function (in id order): `malloc`/`alloca` instructions, pointer
+/// parameters of exported functions, and external calls returning
+/// pointers.
+///
+/// # Examples
+///
+/// ```
+/// use sra_core::LocTable;
+/// use sra_ir::{FunctionBuilder, Module, Ty};
+/// let mut m = Module::new();
+/// m.add_global("tab", 8);
+/// let mut b = FunctionBuilder::new("f", &[], None);
+/// let n = b.const_int(4);
+/// b.malloc(n);
+/// b.ret(None);
+/// m.add_function(b.finish());
+/// let locs = LocTable::build(&m);
+/// assert_eq!(locs.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LocTable {
+    sites: Vec<AllocSite>,
+    by_value: HashMap<(FuncId, ValueId), LocId>,
+    by_global: HashMap<GlobalId, LocId>,
+}
+
+impl LocTable {
+    /// Scans `m` for allocation sites.
+    pub fn build(m: &Module) -> Self {
+        let mut t = LocTable::default();
+        for g in m.global_ids() {
+            let id = LocId::new(t.sites.len());
+            t.sites.push(AllocSite {
+                id,
+                kind: LocKind::Global,
+                func: None,
+                value: None,
+                name: format!("@{}", m.global(g).name()),
+            });
+            t.by_global.insert(g, id);
+        }
+        for fid in m.func_ids() {
+            let f = m.function(fid);
+            // Pointer params of exported functions have unknown callers.
+            if f.is_exported() {
+                for &p in f.params() {
+                    if f.value(p).ty() == Some(Ty::Ptr) {
+                        let id = LocId::new(t.sites.len());
+                        t.sites.push(AllocSite {
+                            id,
+                            kind: LocKind::Unknown,
+                            func: Some(fid),
+                            value: Some(p),
+                            name: format!("{}.param.{}", f.name(), p),
+                        });
+                        t.by_value.insert((fid, p), id);
+                    }
+                }
+            }
+            for (_, v) in f.insts() {
+                match f.value(v).kind() {
+                    ValueKind::Inst(Inst::Malloc { .. }) => {
+                        t.add_inst_site(fid, v, LocKind::Malloc, f.name(), "malloc");
+                    }
+                    ValueKind::Inst(Inst::Alloca { .. }) => {
+                        t.add_inst_site(fid, v, LocKind::Alloca, f.name(), "alloca");
+                    }
+                    ValueKind::Inst(Inst::Call {
+                        callee: Callee::External(name),
+                        ret_ty: Some(Ty::Ptr),
+                        ..
+                    }) => {
+                        let label = format!("ext.{}", name);
+                        t.add_inst_site(fid, v, LocKind::Unknown, f.name(), &label);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        t
+    }
+
+    fn add_inst_site(
+        &mut self,
+        fid: FuncId,
+        v: ValueId,
+        kind: LocKind,
+        func_name: &str,
+        label: &str,
+    ) {
+        let id = LocId::new(self.sites.len());
+        self.sites.push(AllocSite {
+            id,
+            kind,
+            func: Some(fid),
+            value: Some(v),
+            name: format!("{}.{}.{}", func_name, label, v),
+        });
+        self.by_value.insert((fid, v), id);
+    }
+
+    /// The number of allocation sites (the paper's `n`).
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// `true` when the module allocates no memory.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Site metadata for `loc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `loc` is not a site of this table.
+    pub fn site(&self, loc: LocId) -> &AllocSite {
+        &self.sites[loc.index()]
+    }
+
+    /// The location created by value `v` in function `f`, if `v` is an
+    /// allocation site (or unknown-pointer source).
+    pub fn loc_of_value(&self, f: FuncId, v: ValueId) -> Option<LocId> {
+        self.by_value.get(&(f, v)).copied()
+    }
+
+    /// The location of global `g`.
+    pub fn loc_of_global(&self, g: GlobalId) -> Option<LocId> {
+        self.by_global.get(&g).copied()
+    }
+
+    /// Iterates over all sites.
+    pub fn iter(&self) -> impl Iterator<Item = &AllocSite> {
+        self.sites.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sra_ir::FunctionBuilder;
+
+    #[test]
+    fn discovers_all_site_kinds() {
+        let mut m = Module::new();
+        let g = m.add_global("tab", 16);
+        let mut b = FunctionBuilder::new("f", &[Ty::Ptr, Ty::Int], None);
+        let n = b.const_int(8);
+        let heap = b.malloc(n);
+        let stack = b.alloca(n);
+        let ext = b.call(Callee::External("getenv".into()), &[], Some(Ty::Ptr));
+        b.ret(None);
+        let mut func = b.finish();
+        func.set_exported(true);
+        let fid = m.add_function(func);
+        let locs = LocTable::build(&m);
+        // global + exported ptr param + malloc + alloca + external ptr call
+        assert_eq!(locs.len(), 5);
+        assert_eq!(locs.site(locs.loc_of_global(g).unwrap()).kind, LocKind::Global);
+        let f = m.function(fid);
+        let p = f.params()[0];
+        assert_eq!(locs.site(locs.loc_of_value(fid, p).unwrap()).kind, LocKind::Unknown);
+        assert_eq!(locs.site(locs.loc_of_value(fid, heap).unwrap()).kind, LocKind::Malloc);
+        assert_eq!(locs.site(locs.loc_of_value(fid, stack).unwrap()).kind, LocKind::Alloca);
+        assert_eq!(locs.site(locs.loc_of_value(fid, ext).unwrap()).kind, LocKind::Unknown);
+    }
+
+    #[test]
+    fn non_exported_params_get_no_site() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("f", &[Ty::Ptr], None);
+        b.ret(None);
+        let fid = m.add_function(b.finish());
+        let locs = LocTable::build(&m);
+        assert!(locs.is_empty());
+        let p = m.function(fid).params()[0];
+        assert_eq!(locs.loc_of_value(fid, p), None);
+    }
+
+    #[test]
+    fn int_params_get_no_site() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("f", &[Ty::Int], None);
+        b.ret(None);
+        let mut func = b.finish();
+        func.set_exported(true);
+        m.add_function(func);
+        let locs = LocTable::build(&m);
+        assert!(locs.is_empty());
+    }
+}

@@ -1,0 +1,404 @@
+//! The local pointer range analysis `LR` (paper §3.6).
+//!
+//! The local analysis renames pointers at every φ-function and load: it
+//! binds each pointer to `(base, range)` where `base` is either a fresh
+//! location (`NewLocs()` in Figure 11) or a global, and `range` tracks
+//! the offset accumulated by pointer arithmetic from that base. Because
+//! fresh locations break the imprecision that φ joins introduce in the
+//! global analysis, two offsets from a common renamed base — like
+//! `newp[0]` and `newp[1]` in the paper's Figure 4 — are disambiguated
+//! even when their global ranges overlap.
+//!
+//! **Offset valuation.** The paper's local test renames "every pointer
+//! alive at the beginning of a single entry region" so that, *within one
+//! instance of the region*, offsets are relative to a fixed base
+//! (Figure 4 rewrites `p[i]`/`p[i+1]` into `newp[0]`/`newp[1]`). We
+//! obtain the same effect without rewriting the program: integer values
+//! are evaluated to exact symbolic *singletons*, with loop-φs, loads,
+//! parameters and call results bound to fresh symbols. Two offsets from
+//! a common base then compare as expressions over the same region
+//! instance: `[i, i]` and `[i+1, i+1]` are provably disjoint. This is
+//! the "same moment during execution" semantics the paper assigns to
+//! local disambiguation (§4).
+//!
+//! The analysis is a single pass over the dominance-tree pre-order
+//! (instructions are "evaluated abstractly in the order given by the
+//! program's dominance tree", §3.6); the underlying lattice is finite so
+//! no widening is needed.
+
+use sra_ir::cfg::Cfg;
+use sra_ir::dom::DomTree;
+use sra_ir::{BinOp, FuncId, GlobalId, Inst, Module, Ty, ValueId, ValueKind};
+use sra_symbolic::{SymExpr, SymRange, SymbolNames, SymbolTable};
+
+use std::fmt;
+
+/// The base a pointer is locally an offset of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LocalBase {
+    /// A fresh location minted by `NewLocs()` — one per allocation,
+    /// φ-function, load, call or parameter.
+    Fresh(u32),
+    /// The address of a module global (syntactically identifiable, so
+    /// two occurrences share the base).
+    Global(GlobalId),
+}
+
+impl fmt::Display for LocalBase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LocalBase::Fresh(i) => write!(f, "new{}", i),
+            LocalBase::Global(g) => write!(f, "{}", g),
+        }
+    }
+}
+
+/// The local abstract state of one pointer: `LR(p) = base + range`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LrState {
+    /// The local base.
+    pub base: LocalBase,
+    /// Offset range from the base.
+    pub range: SymRange,
+}
+
+impl LrState {
+    /// Renders as `new3 + [i, i]`.
+    pub fn display<'a>(&'a self, names: &'a dyn SymbolNames) -> impl fmt::Display + 'a {
+        DisplayLr { state: self, names }
+    }
+}
+
+struct DisplayLr<'a> {
+    state: &'a LrState,
+    names: &'a dyn SymbolNames,
+}
+
+impl fmt::Display for DisplayLr<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} + {}", self.state.base, self.state.range.display(self.names))
+    }
+}
+
+/// Results of the local analysis: `LR(p)` for every pointer `p`.
+#[derive(Debug, Clone)]
+pub struct LrAnalysis {
+    states: Vec<Vec<Option<LrState>>>,
+    symbols: SymbolTable,
+}
+
+impl LrAnalysis {
+    /// Runs the local analysis over every function of `m`.
+    pub fn analyze(m: &Module) -> Self {
+        let mut symbols = SymbolTable::new();
+        let states = m
+            .func_ids()
+            .map(|fid| analyze_function(m, fid, &mut symbols))
+            .collect();
+        LrAnalysis { states, symbols }
+    }
+
+    /// The local state of `v` in `f`; `None` for non-pointers and
+    /// unreachable values.
+    pub fn state(&self, f: FuncId, v: ValueId) -> Option<&LrState> {
+        self.states[f.index()][v.index()].as_ref()
+    }
+
+    /// The symbol table of the local offset symbols (for display).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+}
+
+fn analyze_function(
+    m: &Module,
+    fid: FuncId,
+    symbols: &mut SymbolTable,
+) -> Vec<Option<LrState>> {
+    let f = m.function(fid);
+    let mut states: Vec<Option<LrState>> = vec![None; f.num_values()];
+    // Exact symbolic value of every integer, singleton semantics.
+    let mut int_val: Vec<Option<SymExpr>> = vec![None; f.num_values()];
+    let mut fresh = 0u32;
+
+    // Parameters, constants and global addresses dominate everything.
+    for v in f.value_ids() {
+        match f.value(v).kind() {
+            ValueKind::Const(c) => int_val[v.index()] = Some(SymExpr::from(*c)),
+            ValueKind::Param { index } => match f.value(v).ty() {
+                Some(Ty::Ptr) => {
+                    states[v.index()] = Some(LrState {
+                        base: LocalBase::Fresh(fresh),
+                        range: SymRange::constant(0),
+                    });
+                    fresh += 1;
+                }
+                Some(Ty::Int) => {
+                    let name = match f.value(v).name() {
+                        Some(n) => n.to_owned(),
+                        None => format!("{}.arg{}", f.name(), index),
+                    };
+                    int_val[v.index()] = Some(SymExpr::from(symbols.fresh(&name)));
+                }
+                None => {}
+            },
+            ValueKind::GlobalAddr(g) => {
+                states[v.index()] = Some(LrState {
+                    base: LocalBase::Global(*g),
+                    range: SymRange::constant(0),
+                });
+            }
+            ValueKind::Inst(_) => {}
+        }
+    }
+
+    let cfg = Cfg::new(f);
+    let dom = DomTree::new(f, &cfg);
+    for b in dom.preorder() {
+        for &v in f.block(b).insts() {
+            let Some(inst) = f.value(v).as_inst() else { continue };
+            match f.value(v).ty() {
+                Some(Ty::Ptr) => {
+                    let state = match inst {
+                        // NewLocs() + [0,0] — Figure 11.
+                        Inst::Malloc { .. }
+                        | Inst::Alloca { .. }
+                        | Inst::Phi { .. }
+                        | Inst::Load { .. }
+                        | Inst::Call { .. } => {
+                            let s = LrState {
+                                base: LocalBase::Fresh(fresh),
+                                range: SymRange::constant(0),
+                            };
+                            fresh += 1;
+                            Some(s)
+                        }
+                        // Copies preserve the local state.
+                        Inst::Free { ptr } => states[ptr.index()].clone(),
+                        Inst::Sigma { input, .. } => states[input.index()].clone(),
+                        // Offsets accumulate exactly: LR(q) = loc + ([l,u] + c).
+                        Inst::PtrAdd { base, offset } => {
+                            states[base.index()].as_ref().map(|s| {
+                                let off = int_val[offset.index()]
+                                    .clone()
+                                    .expect("int operands are always valued");
+                                LrState {
+                                    base: s.base,
+                                    range: s.range.add_expr(&off),
+                                }
+                            })
+                        }
+                        _ => None,
+                    };
+                    states[v.index()] = state;
+                }
+                Some(Ty::Int) => {
+                    let expr = match inst {
+                        Inst::IntBin { op, lhs, rhs } => {
+                            let a = int_val[lhs.index()].clone().expect("valued");
+                            let bx = int_val[rhs.index()].clone().expect("valued");
+                            Some(match op {
+                                BinOp::Add => a + bx,
+                                BinOp::Sub => a - bx,
+                                BinOp::Mul => a * bx,
+                                BinOp::Div => SymExpr::div(a, bx),
+                                BinOp::Rem => SymExpr::rem(a, bx),
+                            })
+                        }
+                        Inst::Sigma { input, .. } => int_val[input.index()].clone(),
+                        // φs, loads, calls and comparisons denote "the
+                        // value at this moment" — a fresh symbol.
+                        Inst::Phi { .. }
+                        | Inst::Load { .. }
+                        | Inst::Call { .. }
+                        | Inst::Cmp { .. } => {
+                            let name = format!("{}.{}", f.name(), v);
+                            Some(SymExpr::from(symbols.fresh(&name)))
+                        }
+                        _ => None,
+                    };
+                    int_val[v.index()] = expr;
+                }
+                None => {}
+            }
+        }
+    }
+    states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sra_ir::{CmpOp, FunctionBuilder};
+
+    /// The paper's Figure 10 (right column): the φ gets a fresh base and
+    /// a4/a5 become separable.
+    #[test]
+    fn figure10_local_precision() {
+        let mut b = FunctionBuilder::new("f", &[Ty::Int], None);
+        let cond = b.param(0);
+        let t = b.create_block();
+        let e = b.create_block();
+        let j = b.create_block();
+        let two = b.const_int(2);
+        let a1 = b.malloc(two);
+        let one = b.const_int(1);
+        let a2 = b.ptr_add(a1, one);
+        let z = b.const_int(0);
+        let c = b.cmp(CmpOp::Ne, cond, z);
+        b.br(c, t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        let a3 = b.phi(Ty::Ptr, &[(t, a1), (e, a2)]);
+        let a4 = b.ptr_add(a3, one);
+        let two_c = b.const_int(2);
+        let a5 = b.ptr_add(a3, two_c);
+        b.ret(None);
+        let mut m = Module::new();
+        let fid = m.add_function(b.finish());
+        let lr = LrAnalysis::analyze(&m);
+
+        let s3 = lr.state(fid, a3).expect("φ has LR state");
+        let s4 = lr.state(fid, a4).expect("a4 has LR state");
+        let s5 = lr.state(fid, a5).expect("a5 has LR state");
+        // a3 is a fresh base at [0,0]; a4 and a5 offset from it.
+        assert_eq!(s3.range, SymRange::constant(0));
+        assert_eq!(s4.base, s3.base);
+        assert_eq!(s5.base, s3.base);
+        assert_eq!(s4.range, SymRange::constant(1));
+        assert_eq!(s5.range, SymRange::constant(2));
+        // Disjoint ranges on the same base: the local test separates
+        // them, exactly as the paper's right column shows.
+        assert!(s4.range.meet(&s5.range).is_empty());
+        // a1/a2 keep their own (different) base.
+        let s1 = lr.state(fid, a1).unwrap();
+        assert_ne!(s1.base, s3.base);
+    }
+
+    /// Loop-carried index: p+i and p+(i+1) get offsets [i,i] and
+    /// [i+1,i+1] — disjoint within one iteration (the Figure 4 insight).
+    #[test]
+    fn loop_index_offsets_are_singletons() {
+        let mut b = FunctionBuilder::new("f", &[Ty::Ptr, Ty::Int], None);
+        let p = b.param(0);
+        let n = b.param(1);
+        let head = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        let zero = b.const_int(0);
+        let entry = b.entry_block();
+        b.jump(head);
+        b.switch_to(head);
+        let i = b.phi(Ty::Int, &[(entry, zero)]);
+        let c = b.cmp(CmpOp::Lt, i, n);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let t0 = b.ptr_add(p, i);
+        let one = b.const_int(1);
+        let i1 = b.binop(BinOp::Add, i, one);
+        let t1 = b.ptr_add(p, i1);
+        let two = b.const_int(2);
+        let i2 = b.binop(BinOp::Add, i, two);
+        b.add_phi_arg(i, body, i2);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut m = Module::new();
+        let fid = m.add_function(b.finish());
+        let lr = LrAnalysis::analyze(&m);
+        let s0 = lr.state(fid, t0).unwrap();
+        let s1 = lr.state(fid, t1).unwrap();
+        assert_eq!(s0.base, s1.base);
+        assert!(s0.range.meet(&s1.range).is_empty(), "{} vs {}", s0.range, s1.range);
+    }
+
+    #[test]
+    fn sigma_copies_free_copies() {
+        let mut b = FunctionBuilder::new("f", &[Ty::Ptr, Ty::Ptr], None);
+        let p = b.param(0);
+        let q = b.param(1);
+        let t = b.create_block();
+        let e = b.create_block();
+        let c = b.cmp(CmpOp::Lt, p, q);
+        b.br(c, t, e);
+        b.switch_to(t);
+        let freed = b.free(p);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        let mut f = b.finish();
+        sra_ir::essa::run(&mut f);
+        let mut m = Module::new();
+        let fid = m.add_function(f);
+        let lr = LrAnalysis::analyze(&m);
+        let f = m.function(fid);
+        let p_base = lr.state(fid, p).unwrap().base;
+        // Every σ of p keeps p's base.
+        for v in f.value_ids() {
+            if let Some(Inst::Sigma { input, .. }) = f.value(v).as_inst() {
+                if original(f, *input) == p {
+                    assert_eq!(lr.state(fid, v).unwrap().base, p_base);
+                }
+            }
+        }
+        let _ = freed;
+    }
+
+    fn original(f: &sra_ir::Function, mut v: ValueId) -> ValueId {
+        while let Some(Inst::Sigma { input, .. }) = f.value(v).as_inst() {
+            v = *input;
+        }
+        v
+    }
+
+    #[test]
+    fn globals_share_base() {
+        let mut m = Module::new();
+        let g = m.add_global("tab", 16);
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let a1 = b.global_addr(g, Ty::Ptr);
+        let a2 = b.global_addr(g, Ty::Ptr);
+        let one = b.const_int(1);
+        let p = b.ptr_add(a1, one);
+        let five = b.const_int(5);
+        let q = b.ptr_add(a2, five);
+        b.ret(None);
+        let fid = m.add_function(b.finish());
+        let lr = LrAnalysis::analyze(&m);
+        let sp = lr.state(fid, p).unwrap();
+        let sq = lr.state(fid, q).unwrap();
+        assert_eq!(sp.base, sq.base);
+        assert_eq!(sp.base, LocalBase::Global(g));
+        assert!(sp.range.meet(&sq.range).is_empty());
+    }
+
+    #[test]
+    fn symbolic_offsets_accumulate() {
+        let mut b = FunctionBuilder::new("f", &[Ty::Ptr, Ty::Int], None);
+        let p = b.param(0);
+        let n = b.param(1);
+        b.set_name(n, "n");
+        let q = b.ptr_add(p, n);
+        let one = b.const_int(1);
+        let r = b.ptr_add(q, one);
+        b.ret(None);
+        let mut m = Module::new();
+        let fid = m.add_function(b.finish());
+        let lr = LrAnalysis::analyze(&m);
+        let sp = lr.state(fid, p).unwrap();
+        let sr = lr.state(fid, r).unwrap();
+        assert_eq!(sr.base, sp.base);
+        assert_eq!(
+            format!("{}", sr.range.display(lr.symbols())),
+            "[n + 1, n + 1]"
+        );
+        // p and q=p+n cannot be separated (n may be 0)…
+        let sq = lr.state(fid, q).unwrap();
+        assert!(!sp.range.meet(&sq.range).is_empty());
+        // …but q and r=q+1 can.
+        assert!(sq.range.meet(&sr.range).is_empty());
+    }
+}

@@ -1,0 +1,379 @@
+//! The `MemLocs` abstract domain: per-location symbolic offset ranges.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sra_symbolic::{SymExpr, SymRange, SymbolNames};
+
+use crate::locs::LocId;
+
+/// The abstract state of one pointer: the paper's
+/// `GR(p) ∈ (SymbRanges ⊎ ⊥)ⁿ` (§3.4), stored sparsely over its
+/// *support* (the locations whose component is not ⊥).
+///
+/// `Top` is the greatest element `([−∞,∞], …, [−∞,∞])` — the state of a
+/// pointer loaded from memory, which may address any location at any
+/// offset.
+///
+/// # Examples
+///
+/// ```
+/// use sra_core::{LocId, PtrState};
+/// use sra_symbolic::SymRange;
+///
+/// let a = PtrState::singleton(LocId::new(0), SymRange::constant(0));
+/// let b = PtrState::singleton(LocId::new(0), SymRange::interval(4.into(), 7.into()));
+/// let j = a.join(&b);
+/// assert_eq!(j.get(LocId::new(0)), Some(&SymRange::interval(0.into(), 7.into())));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PtrState {
+    /// Every location, full range.
+    Top,
+    /// Sparse map from locations in the support to their offset range.
+    /// An empty map is the least element ⊥ (points nowhere).
+    Map(BTreeMap<LocId, SymRange>),
+}
+
+impl PtrState {
+    /// The least element ⊥: a pointer that references no location (the
+    /// state of `free`'s result).
+    pub fn bottom() -> Self {
+        PtrState::Map(BTreeMap::new())
+    }
+
+    /// The greatest element.
+    pub fn top() -> Self {
+        PtrState::Top
+    }
+
+    /// A single `loc + range` abstract address.
+    pub fn singleton(loc: LocId, range: SymRange) -> Self {
+        let mut m = BTreeMap::new();
+        m.insert(loc, range);
+        PtrState::Map(m)
+    }
+
+    /// `true` for ⊥.
+    pub fn is_bottom(&self) -> bool {
+        matches!(self, PtrState::Map(m) if m.is_empty())
+    }
+
+    /// `true` for ⊤.
+    pub fn is_top(&self) -> bool {
+        matches!(self, PtrState::Top)
+    }
+
+    /// The component for `loc` (`None` = ⊥ at that location). `Top`
+    /// reports the full range for every location.
+    pub fn get(&self, loc: LocId) -> Option<&SymRange> {
+        match self {
+            PtrState::Top => Some(&FULL),
+            PtrState::Map(m) => m.get(&loc),
+        }
+    }
+
+    /// The support: locations whose component is not ⊥. For `Top` the
+    /// support is conceptually *all* locations; callers must branch on
+    /// [`PtrState::is_top`] first (this method returns an empty iterator
+    /// for `Top`).
+    pub fn support(&self) -> impl Iterator<Item = (LocId, &SymRange)> + '_ {
+        match self {
+            PtrState::Top => SupportIter::Top,
+            PtrState::Map(m) => SupportIter::Map(m.iter()),
+        }
+    }
+
+    /// Number of locations in the support (0 for ⊥; `None` for ⊤).
+    pub fn support_len(&self) -> Option<usize> {
+        match self {
+            PtrState::Top => None,
+            PtrState::Map(m) => Some(m.len()),
+        }
+    }
+
+    /// The join `⊔` (per-location range join; ⊥ components adopt the
+    /// other side).
+    pub fn join(&self, other: &PtrState) -> PtrState {
+        match (self, other) {
+            (PtrState::Top, _) | (_, PtrState::Top) => PtrState::Top,
+            (PtrState::Map(a), PtrState::Map(b)) => {
+                let mut out = a.clone();
+                for (loc, r) in b {
+                    out.entry(*loc)
+                        .and_modify(|cur| *cur = cur.join(r))
+                        .or_insert_with(|| r.clone());
+                }
+                PtrState::Map(out)
+            }
+        }
+    }
+
+    /// The ordering `⊑`: every component included (provable fragment).
+    pub fn le(&self, other: &PtrState) -> bool {
+        match (self, other) {
+            (_, PtrState::Top) => true,
+            (PtrState::Top, PtrState::Map(_)) => false,
+            (PtrState::Map(a), PtrState::Map(b)) => a.iter().all(|(loc, r)| {
+                b.get(loc).map(|rb| r.le(rb)).unwrap_or(false)
+            }),
+        }
+    }
+
+    /// The paper's widening (Definition 4): per-location widening of
+    /// ranges, with `⊥ ∇ R = R`.
+    pub fn widen(&self, next: &PtrState) -> PtrState {
+        match (self, next) {
+            (PtrState::Top, _) | (_, PtrState::Top) => PtrState::Top,
+            (PtrState::Map(a), PtrState::Map(b)) => {
+                let mut out = BTreeMap::new();
+                for (loc, rb) in b {
+                    let widened = match a.get(loc) {
+                        Some(ra) => ra.widen(rb),
+                        None => rb.clone(),
+                    };
+                    out.insert(*loc, widened);
+                }
+                // Locations only in `a` persist (the sequence grows).
+                for (loc, ra) in a {
+                    out.entry(*loc).or_insert_with(|| ra.clone());
+                }
+                PtrState::Map(out)
+            }
+        }
+    }
+
+    /// Shifts every component by a symbolic offset range: the transfer
+    /// function of `q = p + c` with `R(c) = offset` (Figure 9).
+    pub fn add_offset(&self, offset: &SymRange) -> PtrState {
+        match self {
+            PtrState::Top => PtrState::Top,
+            PtrState::Map(m) => {
+                let out = m
+                    .iter()
+                    .map(|(loc, r)| (*loc, r.add(offset)))
+                    .collect();
+                PtrState::Map(out)
+            }
+        }
+    }
+
+    /// Per-location meet against `other` transformed by `f`: the σ-node
+    /// transfer functions of Figure 9. A location where either side is ⊥
+    /// stays ⊥.
+    pub fn clamp_with(
+        &self,
+        other: &PtrState,
+        f: impl Fn(&SymRange, &SymRange) -> SymRange,
+    ) -> PtrState {
+        match (self, other) {
+            (_, PtrState::Top) => self.clone(), // [−∞,∞] clamps nothing
+            (PtrState::Top, PtrState::Map(b)) => {
+                let out = b
+                    .iter()
+                    .map(|(loc, rb)| (*loc, f(&FULL, rb)))
+                    .filter(|(_, r)| !r.is_empty())
+                    .collect();
+                PtrState::Map(out)
+            }
+            (PtrState::Map(a), PtrState::Map(b)) => {
+                let mut out = BTreeMap::new();
+                for (loc, ra) in a {
+                    if let Some(rb) = b.get(loc) {
+                        let clamped = f(ra, rb);
+                        if !clamped.is_empty() {
+                            out.insert(*loc, clamped);
+                        }
+                    }
+                }
+                PtrState::Map(out)
+            }
+        }
+    }
+
+    /// Renders using `names` for symbols, in the paper's set notation:
+    /// `{loc0 + [0, N-1], loc2 + [0, 0]}`.
+    pub fn display<'a>(&'a self, names: &'a dyn SymbolNames) -> impl fmt::Display + 'a {
+        DisplayState { state: self, names }
+    }
+}
+
+static FULL: SymRange = SymRange::Interval {
+    lo: sra_symbolic::Bound::NegInf,
+    hi: sra_symbolic::Bound::PosInf,
+};
+
+enum SupportIter<'a> {
+    Top,
+    Map(std::collections::btree_map::Iter<'a, LocId, SymRange>),
+}
+
+impl<'a> Iterator for SupportIter<'a> {
+    type Item = (LocId, &'a SymRange);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            SupportIter::Top => None,
+            SupportIter::Map(it) => it.next().map(|(l, r)| (*l, r)),
+        }
+    }
+}
+
+struct DisplayState<'a> {
+    state: &'a PtrState,
+    names: &'a dyn SymbolNames,
+}
+
+impl fmt::Display for DisplayState<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.state {
+            PtrState::Top => write!(f, "top"),
+            PtrState::Map(m) if m.is_empty() => write!(f, "bottom"),
+            PtrState::Map(m) => {
+                write!(f, "{{")?;
+                for (i, (loc, r)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{} + {}", loc, r.display(self.names))?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for PtrState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        struct NoNames;
+        impl SymbolNames for NoNames {
+            fn symbol_name(&self, _s: sra_symbolic::Symbol) -> Option<&str> {
+                None
+            }
+        }
+        write!(f, "{}", self.display(&NoNames))
+    }
+}
+
+/// Convenience: build `{loc + [l, u]}` from expressions.
+impl PtrState {
+    /// Builds `{loc + [lo, hi]}`.
+    pub fn at(loc: LocId, lo: SymExpr, hi: SymExpr) -> Self {
+        PtrState::singleton(loc, SymRange::interval(lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sra_symbolic::Symbol;
+
+    fn l(i: usize) -> LocId {
+        LocId::new(i)
+    }
+
+    fn n() -> SymExpr {
+        SymExpr::from(Symbol::new(0))
+    }
+
+    #[test]
+    fn join_unions_supports() {
+        let a = PtrState::singleton(l(0), SymRange::constant(0));
+        let b = PtrState::singleton(l(1), SymRange::constant(5));
+        let j = a.join(&b);
+        assert_eq!(j.support_len(), Some(2));
+        assert_eq!(j.get(l(0)), Some(&SymRange::constant(0)));
+        assert_eq!(j.get(l(1)), Some(&SymRange::constant(5)));
+    }
+
+    #[test]
+    fn bottom_is_neutral_for_join() {
+        let a = PtrState::at(l(0), 0.into(), n());
+        assert_eq!(PtrState::bottom().join(&a), a);
+        assert_eq!(a.join(&PtrState::bottom()), a);
+    }
+
+    #[test]
+    fn top_absorbs() {
+        let a = PtrState::at(l(0), 0.into(), n());
+        assert!(a.join(&PtrState::top()).is_top());
+        assert!(a.le(&PtrState::top()));
+        assert!(!PtrState::top().le(&a));
+    }
+
+    #[test]
+    fn ordering() {
+        let small = PtrState::at(l(0), 1.into(), 2.into());
+        let big = PtrState::at(l(0), 0.into(), 5.into());
+        assert!(small.le(&big));
+        assert!(!big.le(&small));
+        // Extra locations break inclusion.
+        let two = small.join(&PtrState::at(l(1), 0.into(), 0.into()));
+        assert!(!two.le(&big));
+        assert!(small.le(&two));
+        assert!(PtrState::bottom().le(&small));
+    }
+
+    #[test]
+    fn widen_per_location() {
+        let a = PtrState::at(l(0), 0.into(), 1.into());
+        let grown = PtrState::at(l(0), 0.into(), 2.into());
+        let w = a.widen(&grown);
+        let r = w.get(l(0)).unwrap();
+        assert_eq!(r.lo().unwrap(), &sra_symbolic::Bound::from(0));
+        assert_eq!(r.hi().unwrap(), &sra_symbolic::Bound::PosInf);
+        // New location appears as-is (⊥ ∇ R = R).
+        let with_new = grown.join(&PtrState::at(l(1), 0.into(), 0.into()));
+        let w = a.widen(&with_new);
+        assert_eq!(w.get(l(1)), Some(&SymRange::constant(0)));
+    }
+
+    #[test]
+    fn add_offset_shifts_all() {
+        let s = PtrState::at(l(0), 0.into(), n()).join(&PtrState::at(l(1), 2.into(), 2.into()));
+        let shifted = s.add_offset(&SymRange::constant(3));
+        assert_eq!(shifted.get(l(0)), Some(&SymRange::interval(3.into(), n() + 3.into())));
+        assert_eq!(shifted.get(l(1)), Some(&SymRange::constant(5)));
+        assert!(PtrState::top().add_offset(&SymRange::constant(1)).is_top());
+    }
+
+    #[test]
+    fn clamp_with_meets_per_location() {
+        // p1 = {loc0+[0,+inf], loc1+[0,0]}; p2 = {loc0+[N,N]}
+        let p1 = PtrState::singleton(
+            l(0),
+            SymRange::with_bounds(sra_symbolic::Bound::from(0), sra_symbolic::Bound::PosInf),
+        )
+        .join(&PtrState::at(l(1), 0.into(), 0.into()));
+        let p2 = PtrState::at(l(0), n(), n());
+        // q = p1 ∩ [−∞, p2] — clamp above by p2's upper bound.
+        let q = p1.clamp_with(&p2, |ra, rb| match rb.hi() {
+            Some(hi) => ra.clamp_above(hi.clone()),
+            None => ra.clone(),
+        });
+        // loc1 is ⊥ in p2 so it disappears; loc0 clamps to [0, N].
+        assert_eq!(q.get(l(1)), None);
+        assert_eq!(q.get(l(0)), Some(&SymRange::interval(0.into(), n())));
+    }
+
+    #[test]
+    fn clamp_from_top_narrows_support() {
+        let p2 = PtrState::at(l(3), 0.into(), n());
+        let q = PtrState::top().clamp_with(&p2, |ra, rb| match rb.hi() {
+            Some(hi) => ra.clamp_above(hi.clone()),
+            None => ra.clone(),
+        });
+        assert!(!q.is_top());
+        assert_eq!(q.support_len(), Some(1));
+        let r = q.get(l(3)).unwrap();
+        assert_eq!(r.lo(), Some(&sra_symbolic::Bound::NegInf));
+    }
+
+    #[test]
+    fn display_notation() {
+        let s = PtrState::at(l(0), 0.into(), 3.into());
+        assert_eq!(s.to_string(), "{loc0 + [0, 3]}");
+        assert_eq!(PtrState::bottom().to_string(), "bottom");
+        assert_eq!(PtrState::top().to_string(), "top");
+    }
+}

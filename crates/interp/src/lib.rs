@@ -1,0 +1,695 @@
+//! Concrete interpreter for the SSA IR — the soundness oracle.
+//!
+//! Executes modules with a provenance-tracking memory model: every
+//! allocation yields a fresh *chunk*, and a pointer is a `(chunk,
+//! offset)` pair, so "do these two pointers reference overlapping
+//! memory?" has an exact dynamic answer. The interpreter records every
+//! address each pointer-typed SSA value takes during execution; property
+//! tests compare those observations against the static analyses'
+//! `NoAlias` claims:
+//!
+//! * a **global** `NoAlias` (disjoint abstract address sets) must imply
+//!   the observed address sets are disjoint across the *whole*
+//!   execution;
+//! * a **local** `NoAlias` (same renamed base, disjoint offsets) is the
+//!   paper's weaker "not at the same moment" guarantee (§4): the `k`-th
+//!   definitions of the two values within one frame must not collide —
+//!   see [`Interp::aligned_conflict`].
+//!
+//! Execution traps on undefined behaviour (out-of-bounds access,
+//! use-after-free, division by zero). The paper's analyses are sound
+//! only for UB-free programs, so tests discard trapping runs.
+//!
+//! # Examples
+//!
+//! ```
+//! use sra_interp::{Interp, Value};
+//! use sra_ir::{FunctionBuilder, Module, Ty};
+//!
+//! let mut b = FunctionBuilder::new("main", &[], Some(Ty::Int));
+//! let n = b.const_int(3);
+//! let p = b.malloc(n);
+//! let seven = b.const_int(7);
+//! b.store(p, seven);
+//! let x = b.load(p, Ty::Int);
+//! b.ret(Some(x));
+//! let mut m = Module::new();
+//! let fid = m.add_function(b.finish());
+//!
+//! let mut interp = Interp::new(&m);
+//! let result = interp.run(fid, &[]).expect("no trap");
+//! assert_eq!(result.ret, Some(Value::Int(7)));
+//! ```
+
+use std::collections::HashMap;
+
+use sra_ir::{
+    BinOp, BlockId, Callee, FuncId, Inst, Module, Terminator, Ty, ValueId, ValueKind,
+};
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    /// An integer.
+    Int(i128),
+    /// A pointer: provenance chunk plus cell offset.
+    Ptr(Pointer),
+    /// An uninitialized cell.
+    Undef,
+}
+
+/// A concrete pointer with provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pointer {
+    /// Which allocation the pointer derives from.
+    pub chunk: u32,
+    /// Cell offset within (or out of bounds of) the chunk.
+    pub offset: i64,
+}
+
+/// Why execution stopped abnormally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// Load or store outside the bounds of a chunk.
+    OutOfBounds,
+    /// Access through a pointer into a freed chunk.
+    UseAfterFree,
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// The step budget was exhausted (likely an infinite loop).
+    OutOfFuel,
+    /// Dereference of a non-pointer (e.g. an uninitialized cell).
+    BadPointer,
+    /// The call stack grew past the limit.
+    StackOverflow,
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Trap::OutOfBounds => "out-of-bounds memory access",
+            Trap::UseAfterFree => "use after free",
+            Trap::DivByZero => "division by zero",
+            Trap::OutOfFuel => "step budget exhausted",
+            Trap::BadPointer => "dereference of a non-pointer value",
+            Trap::StackOverflow => "call stack overflow",
+        };
+        write!(f, "{}", s)
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// Result of a successful run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// The value returned by the entry function.
+    pub ret: Option<Value>,
+    /// Instructions executed.
+    pub steps: u64,
+}
+
+/// One recorded definition of a pointer value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefEvent {
+    /// Which function invocation (frame) performed the definition.
+    pub frame: u64,
+    /// The address the value was bound to (`None` when non-address,
+    /// e.g. an `Undef` load result).
+    pub addr: Option<Pointer>,
+}
+
+#[derive(Debug)]
+struct Chunk {
+    cells: Vec<Value>,
+    freed: bool,
+}
+
+/// The interpreter. Holds memory, external-call scripts and the
+/// observation log; reusable across runs (observations accumulate).
+#[derive(Debug)]
+pub struct Interp<'a> {
+    m: &'a Module,
+    chunks: Vec<Chunk>,
+    globals: HashMap<usize, u32>,
+    externals: HashMap<String, Vec<i128>>,
+    ext_cursor: HashMap<String, usize>,
+    observations: HashMap<(FuncId, ValueId), Vec<DefEvent>>,
+    fuel: u64,
+    max_stack: usize,
+    next_frame: u64,
+    steps: u64,
+}
+
+impl<'a> Interp<'a> {
+    /// Creates an interpreter for `m` with a default fuel of 1M steps.
+    pub fn new(m: &'a Module) -> Self {
+        let mut interp = Interp {
+            m,
+            chunks: Vec::new(),
+            globals: HashMap::new(),
+            externals: HashMap::new(),
+            ext_cursor: HashMap::new(),
+            observations: HashMap::new(),
+            fuel: 1_000_000,
+            max_stack: 256,
+            next_frame: 0,
+            steps: 0,
+        };
+        for g in m.global_ids() {
+            let size = m.global(g).size().max(0) as usize;
+            let chunk = interp.alloc_chunk(size);
+            interp.globals.insert(g.index(), chunk);
+        }
+        interp
+    }
+
+    /// Sets the step budget.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Scripts the integer results of an external function: successive
+    /// calls consume successive entries (cycling). Unscripted externals
+    /// return 0 (or a fresh 64-cell chunk for pointer results).
+    pub fn script_external(&mut self, name: &str, results: Vec<i128>) {
+        self.externals.insert(name.to_owned(), results);
+    }
+
+    /// Runs function `f` with `args`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on undefined behaviour or resource
+    /// exhaustion.
+    pub fn run(&mut self, f: FuncId, args: &[Value]) -> Result<RunResult, Trap> {
+        let start = self.steps;
+        let ret = self.call(f, args, 0)?;
+        Ok(RunResult { ret, steps: self.steps - start })
+    }
+
+    /// Every address value `v` of function `f` was observed to hold, in
+    /// definition order, across all recorded runs.
+    pub fn defs(&self, f: FuncId, v: ValueId) -> &[DefEvent] {
+        self.observations
+            .get(&(f, v))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The set of all addresses `v` ever held.
+    pub fn address_set(&self, f: FuncId, v: ValueId) -> std::collections::HashSet<Pointer> {
+        self.defs(f, v).iter().filter_map(|e| e.addr).collect()
+    }
+
+    /// Did the whole-execution address sets of `p` and `q` intersect?
+    /// (Oracle for *global* `NoAlias` claims.)
+    pub fn global_conflict(&self, f: FuncId, p: ValueId, q: ValueId) -> bool {
+        let a = self.address_set(f, p);
+        if a.is_empty() {
+            return false;
+        }
+        self.address_set(f, q).iter().any(|x| a.contains(x))
+    }
+
+    /// Did the `k`-th definitions of `p` and `q` within any common frame
+    /// collide? (Oracle for *local* `NoAlias` claims — the paper's
+    /// "same moment" semantics: aligned definitions belong to the same
+    /// instance of the enclosing region.)
+    pub fn aligned_conflict(&self, f: FuncId, p: ValueId, q: ValueId) -> bool {
+        let mut per_frame: HashMap<u64, (Vec<Option<Pointer>>, Vec<Option<Pointer>>)> =
+            HashMap::new();
+        for e in self.defs(f, p) {
+            per_frame.entry(e.frame).or_default().0.push(e.addr);
+        }
+        for e in self.defs(f, q) {
+            per_frame.entry(e.frame).or_default().1.push(e.addr);
+        }
+        for (_, (ps, qs)) in per_frame {
+            for (a, b) in ps.iter().zip(qs.iter()) {
+                if let (Some(a), Some(b)) = (a, b) {
+                    if a == b {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+
+    fn alloc_chunk(&mut self, size: usize) -> u32 {
+        let id = self.chunks.len() as u32;
+        self.chunks.push(Chunk { cells: vec![Value::Int(0); size], freed: false });
+        id
+    }
+
+    fn ext_int(&mut self, name: &str) -> i128 {
+        let Some(script) = self.externals.get(name) else { return 0 };
+        if script.is_empty() {
+            return 0;
+        }
+        let cursor = self.ext_cursor.entry(name.to_owned()).or_insert(0);
+        let v = script[*cursor % script.len()];
+        *cursor += 1;
+        v
+    }
+
+    fn call(&mut self, fid: FuncId, args: &[Value], depth: usize) -> Result<Option<Value>, Trap> {
+        if depth >= self.max_stack {
+            return Err(Trap::StackOverflow);
+        }
+        let f = self.m.function(fid);
+        let frame = self.next_frame;
+        self.next_frame += 1;
+        let mut regs: Vec<Option<Value>> = vec![None; f.num_values()];
+        for (i, &p) in f.params().iter().enumerate() {
+            let v = args.get(i).copied().unwrap_or(Value::Undef);
+            regs[p.index()] = Some(v);
+            self.observe(fid, p, frame, v);
+        }
+        // Constants and global addresses.
+        for v in f.value_ids() {
+            match f.value(v).kind() {
+                ValueKind::Const(c) => regs[v.index()] = Some(Value::Int(*c as i128)),
+                ValueKind::GlobalAddr(g) => {
+                    let chunk = self.globals[&g.index()];
+                    regs[v.index()] = Some(Value::Ptr(Pointer { chunk, offset: 0 }));
+                }
+                _ => {}
+            }
+        }
+
+        let mut block = f.entry();
+        let mut prev: Option<BlockId> = None;
+        loop {
+            // φ-functions evaluate atomically from the incoming edge.
+            let insts = f.block(block).insts();
+            let mut phi_vals: Vec<(ValueId, Value)> = Vec::new();
+            for &v in insts {
+                if let Some(Inst::Phi { args, .. }) = f.value(v).as_inst() {
+                    let pred = prev.expect("φ in entry block");
+                    let (_, av) = args
+                        .iter()
+                        .find(|(b, _)| *b == pred)
+                        .expect("φ covers predecessor");
+                    let val = regs[av.index()].unwrap_or(Value::Undef);
+                    phi_vals.push((v, val));
+                } else {
+                    break;
+                }
+            }
+            for (v, val) in phi_vals {
+                regs[v.index()] = Some(val);
+                self.observe(fid, v, frame, val);
+                self.tick()?;
+            }
+
+            let insts = f.block(block).insts().to_vec();
+            for v in insts {
+                let Some(inst) = f.value(v).as_inst() else { continue };
+                if inst.is_phi() {
+                    continue;
+                }
+                self.tick()?;
+                let inst = inst.clone();
+                let val = self.exec_inst(&mut regs, &inst, depth)?;
+                if let Some(val) = val {
+                    regs[v.index()] = Some(val);
+                    self.observe(fid, v, frame, val);
+                }
+            }
+
+            self.tick()?;
+            match f.block(block).terminator() {
+                Terminator::Jump(t) => {
+                    prev = Some(block);
+                    block = *t;
+                }
+                Terminator::Br { cond, then_bb, else_bb } => {
+                    let c = match regs[cond.index()] {
+                        Some(Value::Int(i)) => i != 0,
+                        _ => return Err(Trap::BadPointer),
+                    };
+                    prev = Some(block);
+                    block = if c { *then_bb } else { *else_bb };
+                }
+                Terminator::Ret(v) => {
+                    return Ok(v.map(|v| regs[v.index()].unwrap_or(Value::Undef)));
+                }
+            }
+        }
+    }
+
+    fn exec_inst(
+        &mut self,
+        regs: &mut [Option<Value>],
+        inst: &Inst,
+        depth: usize,
+    ) -> Result<Option<Value>, Trap> {
+        let get = |regs: &[Option<Value>], x: ValueId| regs[x.index()].unwrap_or(Value::Undef);
+        let get_int = |regs: &[Option<Value>], x: ValueId| -> i128 {
+            match get(regs, x) {
+                Value::Int(i) => i,
+                _ => 0, // undef int reads as 0 (deterministic)
+            }
+        };
+        Ok(match inst {
+            Inst::Malloc { size } | Inst::Alloca { size } => {
+                let n = get_int(regs, *size).clamp(0, 1 << 20) as usize;
+                let chunk = self.alloc_chunk(n);
+                Some(Value::Ptr(Pointer { chunk, offset: 0 }))
+            }
+            Inst::Free { ptr } => match get(regs, *ptr) {
+                Value::Ptr(p) => {
+                    if let Some(c) = self.chunks.get_mut(p.chunk as usize) {
+                        c.freed = true;
+                    }
+                    Some(Value::Ptr(p))
+                }
+                _ => Some(Value::Undef),
+            },
+            Inst::PtrAdd { base, offset } => match get(regs, *base) {
+                Value::Ptr(p) => {
+                    let off = get_int(regs, *offset);
+                    let new = p.offset as i128 + off;
+                    Some(Value::Ptr(Pointer {
+                        chunk: p.chunk,
+                        offset: new.clamp(i64::MIN as i128, i64::MAX as i128) as i64,
+                    }))
+                }
+                _ => Some(Value::Undef),
+            },
+            Inst::IntBin { op, lhs, rhs } => {
+                let a = get_int(regs, *lhs);
+                let b = get_int(regs, *rhs);
+                let r = match op {
+                    BinOp::Add => a.saturating_add(b),
+                    BinOp::Sub => a.saturating_sub(b),
+                    BinOp::Mul => a.saturating_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            return Err(Trap::DivByZero);
+                        }
+                        a.checked_div(b).unwrap_or(i128::MAX)
+                    }
+                    BinOp::Rem => {
+                        if b == 0 {
+                            return Err(Trap::DivByZero);
+                        }
+                        a.checked_rem(b).unwrap_or(0)
+                    }
+                };
+                Some(Value::Int(r))
+            }
+            Inst::Cmp { op, lhs, rhs } => {
+                let res = match (get(regs, *lhs), get(regs, *rhs)) {
+                    (Value::Ptr(a), Value::Ptr(b)) => {
+                        // Pointer comparison: compare (chunk, offset)
+                        // lexicographically; same-chunk compares are the
+                        // meaningful (defined) case.
+                        op.eval(
+                            ((a.chunk as i128) << 64) + a.offset as i128,
+                            ((b.chunk as i128) << 64) + b.offset as i128,
+                        )
+                    }
+                    (a, b) => {
+                        let ai = if let Value::Int(i) = a { i } else { 0 };
+                        let bi = if let Value::Int(i) = b { i } else { 0 };
+                        op.eval(ai, bi)
+                    }
+                };
+                Some(Value::Int(res as i128))
+            }
+            Inst::Load { ptr, .. } => {
+                let p = match get(regs, *ptr) {
+                    Value::Ptr(p) => p,
+                    _ => return Err(Trap::BadPointer),
+                };
+                Some(self.mem_read(p)?)
+            }
+            Inst::Store { ptr, val } => {
+                let p = match get(regs, *ptr) {
+                    Value::Ptr(p) => p,
+                    _ => return Err(Trap::BadPointer),
+                };
+                let v = get(regs, *val);
+                self.mem_write(p, v)?;
+                None
+            }
+            Inst::Phi { .. } => unreachable!("φ handled at block entry"),
+            Inst::Sigma { input, .. } => Some(get(regs, *input)),
+            Inst::Call { callee, args, ret_ty } => {
+                let argv: Vec<Value> = args.iter().map(|&a| get(regs, a)).collect();
+                match callee {
+                    Callee::Internal(target) => self.call(*target, &argv, depth + 1)?,
+                    Callee::External(name) => match ret_ty {
+                        Some(Ty::Int) => Some(Value::Int(self.ext_int(name))),
+                        Some(Ty::Ptr) => {
+                            let chunk = self.alloc_chunk(64);
+                            Some(Value::Ptr(Pointer { chunk, offset: 0 }))
+                        }
+                        None => None,
+                    },
+                }
+            }
+        })
+    }
+
+    fn mem_read(&mut self, p: Pointer) -> Result<Value, Trap> {
+        let chunk = self.chunks.get(p.chunk as usize).ok_or(Trap::BadPointer)?;
+        if chunk.freed {
+            return Err(Trap::UseAfterFree);
+        }
+        if p.offset < 0 || p.offset as usize >= chunk.cells.len() {
+            return Err(Trap::OutOfBounds);
+        }
+        Ok(chunk.cells[p.offset as usize])
+    }
+
+    fn mem_write(&mut self, p: Pointer, v: Value) -> Result<(), Trap> {
+        let chunk = self.chunks.get_mut(p.chunk as usize).ok_or(Trap::BadPointer)?;
+        if chunk.freed {
+            return Err(Trap::UseAfterFree);
+        }
+        if p.offset < 0 || p.offset as usize >= chunk.cells.len() {
+            return Err(Trap::OutOfBounds);
+        }
+        chunk.cells[p.offset as usize] = v;
+        Ok(())
+    }
+
+    fn observe(&mut self, fid: FuncId, v: ValueId, frame: u64, val: Value) {
+        if self.m.function(fid).value(v).ty() != Some(Ty::Ptr) {
+            return;
+        }
+        let addr = match val {
+            Value::Ptr(p) => Some(p),
+            _ => None,
+        };
+        self.observations
+            .entry((fid, v))
+            .or_default()
+            .push(DefEvent { frame, addr });
+    }
+
+    fn tick(&mut self) -> Result<(), Trap> {
+        self.steps += 1;
+        if self.steps > self.fuel {
+            Err(Trap::OutOfFuel)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sra_ir::{CmpOp, FunctionBuilder};
+
+    #[test]
+    fn arithmetic_and_memory() {
+        let mut b = FunctionBuilder::new("main", &[], Some(Ty::Int));
+        let four = b.const_int(4);
+        let p = b.malloc(four);
+        let two = b.const_int(2);
+        let q = b.ptr_add(p, two);
+        let x = b.const_int(41);
+        b.store(q, x);
+        let y = b.load(q, Ty::Int);
+        let one = b.const_int(1);
+        let z = b.binop(BinOp::Add, y, one);
+        b.ret(Some(z));
+        let mut m = Module::new();
+        let fid = m.add_function(b.finish());
+        let mut i = Interp::new(&m);
+        let r = i.run(fid, &[]).unwrap();
+        assert_eq!(r.ret, Some(Value::Int(42)));
+    }
+
+    #[test]
+    fn loop_executes_and_observes() {
+        // for (i = 0; i < 5; i++) *(p+i) = i
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let five = b.const_int(5);
+        let p = b.malloc(five);
+        let head = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        let zero = b.const_int(0);
+        let entry = b.entry_block();
+        b.jump(head);
+        b.switch_to(head);
+        let i = b.phi(Ty::Int, &[(entry, zero)]);
+        let c = b.cmp(CmpOp::Lt, i, five);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let addr = b.ptr_add(p, i);
+        b.store(addr, i);
+        let one = b.const_int(1);
+        let i2 = b.binop(BinOp::Add, i, one);
+        b.add_phi_arg(i, body, i2);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut m = Module::new();
+        let fid = m.add_function(b.finish());
+        let mut interp = Interp::new(&m);
+        interp.run(fid, &[]).unwrap();
+        // addr took offsets 0..5 of the malloc chunk.
+        let addrs = interp.address_set(fid, addr);
+        assert_eq!(addrs.len(), 5);
+        let offsets: std::collections::HashSet<i64> =
+            addrs.iter().map(|p| p.offset).collect();
+        assert_eq!(offsets, (0..5).collect());
+    }
+
+    #[test]
+    fn out_of_bounds_traps() {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let one = b.const_int(1);
+        let p = b.malloc(one);
+        let five = b.const_int(5);
+        let q = b.ptr_add(p, five);
+        let z = b.const_int(0);
+        b.store(q, z);
+        b.ret(None);
+        let mut m = Module::new();
+        let fid = m.add_function(b.finish());
+        let mut i = Interp::new(&m);
+        assert_eq!(i.run(fid, &[]), Err(Trap::OutOfBounds));
+    }
+
+    #[test]
+    fn use_after_free_traps() {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let one = b.const_int(1);
+        let p = b.malloc(one);
+        b.free(p);
+        let z = b.const_int(0);
+        b.store(p, z);
+        b.ret(None);
+        let mut m = Module::new();
+        let fid = m.add_function(b.finish());
+        let mut i = Interp::new(&m);
+        assert_eq!(i.run(fid, &[]), Err(Trap::UseAfterFree));
+    }
+
+    #[test]
+    fn div_by_zero_and_fuel() {
+        let mut b = FunctionBuilder::new("main", &[], Some(Ty::Int));
+        let one = b.const_int(1);
+        let zero = b.const_int(0);
+        let d = b.binop(BinOp::Div, one, zero);
+        b.ret(Some(d));
+        let mut m = Module::new();
+        let fid = m.add_function(b.finish());
+        let mut i = Interp::new(&m);
+        assert_eq!(i.run(fid, &[]), Err(Trap::DivByZero));
+
+        // Infinite loop exhausts fuel.
+        let mut b = FunctionBuilder::new("spin", &[], None);
+        let lp = b.create_block();
+        b.jump(lp);
+        b.switch_to(lp);
+        b.jump(lp);
+        let fid = m.add_function(b.finish());
+        let mut i = Interp::new(&m);
+        i.set_fuel(1000);
+        assert_eq!(i.run(fid, &[]), Err(Trap::OutOfFuel));
+    }
+
+    #[test]
+    fn internal_calls_and_externals() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("double", &[Ty::Int], Some(Ty::Int));
+        let x = b.param(0);
+        let two = b.const_int(2);
+        let r = b.binop(BinOp::Mul, x, two);
+        b.ret(Some(r));
+        let dbl = m.add_function(b.finish());
+        let mut b = FunctionBuilder::new("main", &[], Some(Ty::Int));
+        let n = b.call(Callee::External("atoi".into()), &[], Some(Ty::Int));
+        let d = b.call(Callee::Internal(dbl), &[n], Some(Ty::Int));
+        b.ret(Some(d));
+        let fid = m.add_function(b.finish());
+        let mut i = Interp::new(&m);
+        i.script_external("atoi", vec![21]);
+        let r = i.run(fid, &[]).unwrap();
+        assert_eq!(r.ret, Some(Value::Int(42)));
+    }
+
+    #[test]
+    fn globals_are_memory() {
+        let mut m = Module::new();
+        let g = m.add_global("cell", 2);
+        let mut b = FunctionBuilder::new("main", &[], Some(Ty::Int));
+        let a = b.global_addr(g, Ty::Ptr);
+        let nine = b.const_int(9);
+        b.store(a, nine);
+        let x = b.load(a, Ty::Int);
+        b.ret(Some(x));
+        let fid = m.add_function(b.finish());
+        let mut i = Interp::new(&m);
+        assert_eq!(i.run(fid, &[]).unwrap().ret, Some(Value::Int(9)));
+    }
+
+    #[test]
+    fn aligned_conflict_detection() {
+        // p+i and p+i+1 with i += 1: whole-run sets overlap but aligned
+        // (same-iteration) defs never collide.
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let ten = b.const_int(10);
+        let p = b.malloc(ten);
+        let head = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        let zero = b.const_int(0);
+        let entry = b.entry_block();
+        b.jump(head);
+        b.switch_to(head);
+        let i = b.phi(Ty::Int, &[(entry, zero)]);
+        let eight = b.const_int(8);
+        let c = b.cmp(CmpOp::Lt, i, eight);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let t0 = b.ptr_add(p, i);
+        let one = b.const_int(1);
+        let i1 = b.binop(BinOp::Add, i, one);
+        let t1 = b.ptr_add(p, i1);
+        let x = b.load(t0, Ty::Int);
+        b.store(t1, x);
+        b.add_phi_arg(i, body, i1);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut m = Module::new();
+        let fid = m.add_function(b.finish());
+        let mut interp = Interp::new(&m);
+        interp.run(fid, &[]).unwrap();
+        assert!(interp.global_conflict(fid, t0, t1), "whole-run sets overlap");
+        assert!(!interp.aligned_conflict(fid, t0, t1), "never collide in-iteration");
+    }
+}

@@ -1,0 +1,381 @@
+//! A convenient, checked way to construct functions.
+
+use std::collections::HashMap;
+
+use crate::function::{Function, ValueData, ValueKind};
+use crate::ids::{BlockId, GlobalId, ValueId};
+use crate::instr::{BinOp, Callee, CmpOp, Inst, Terminator};
+use crate::Ty;
+
+/// Builds one [`Function`] block by block.
+///
+/// The builder keeps a *current block*; instruction-creating methods
+/// append to it. Constants are interned so repeated `const_int(0)` calls
+/// return the same value.
+///
+/// # Examples
+///
+/// ```
+/// use sra_ir::{BinOp, FunctionBuilder, Ty};
+/// let mut b = FunctionBuilder::new("inc", &[Ty::Int], Some(Ty::Int));
+/// let x = b.param(0);
+/// let one = b.const_int(1);
+/// let y = b.binop(BinOp::Add, x, one);
+/// b.ret(Some(y));
+/// let f = b.finish();
+/// assert_eq!(f.num_insts(), 2);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    current: BlockId,
+    const_cache: HashMap<i64, ValueId>,
+}
+
+impl FunctionBuilder {
+    /// Starts a function with the given name and signature. The entry
+    /// block is created and made current.
+    pub fn new(name: &str, param_tys: &[Ty], ret_ty: Option<Ty>) -> Self {
+        let mut func = Function {
+            name: name.to_owned(),
+            param_tys: param_tys.to_vec(),
+            ret_ty,
+            params: Vec::new(),
+            values: Vec::new(),
+            blocks: Vec::new(),
+            exported: false,
+        };
+        for (index, &ty) in param_tys.iter().enumerate() {
+            let v = func.add_value(ValueData {
+                ty: Some(ty),
+                kind: ValueKind::Param { index },
+                block: None,
+                name: None,
+            });
+            func.params.push(v);
+        }
+        let entry = func.add_block();
+        FunctionBuilder { func, current: entry, const_cache: HashMap::new() }
+    }
+
+    /// The entry block id.
+    pub fn entry_block(&self) -> BlockId {
+        self.func.entry()
+    }
+
+    /// The block instructions are currently appended to.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Creates a new (empty, unterminated) block.
+    pub fn create_block(&mut self) -> BlockId {
+        self.func.add_block()
+    }
+
+    /// Makes `b` the current block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is already terminated.
+    pub fn switch_to(&mut self, b: BlockId) {
+        assert!(
+            self.func.block(b).term.is_none(),
+            "cannot append to terminated block {b}"
+        );
+        self.current = b;
+    }
+
+    /// The `index`-th parameter value.
+    pub fn param(&self, index: usize) -> ValueId {
+        self.func.params[index]
+    }
+
+    /// An interned integer constant.
+    pub fn const_int(&mut self, c: i64) -> ValueId {
+        if let Some(&v) = self.const_cache.get(&c) {
+            return v;
+        }
+        let v = self.func.add_value(ValueData {
+            ty: Some(Ty::Int),
+            kind: ValueKind::Const(c),
+            block: None,
+            name: None,
+        });
+        self.const_cache.insert(c, v);
+        v
+    }
+
+    /// The address of global `g`.
+    pub fn global_addr(&mut self, g: GlobalId, _ty: Ty) -> ValueId {
+        self.func.add_value(ValueData {
+            ty: Some(Ty::Ptr),
+            kind: ValueKind::GlobalAddr(g),
+            block: None,
+            name: None,
+        })
+    }
+
+    /// Attaches a diagnostic name to a value.
+    pub fn set_name(&mut self, v: ValueId, name: &str) {
+        self.func.value_mut(v).name = Some(name.to_owned());
+    }
+
+    fn inst(&mut self, inst: Inst, ty: Option<Ty>) -> ValueId {
+        assert!(
+            self.func.block(self.current).term.is_none(),
+            "appending to terminated block {}",
+            self.current
+        );
+        let v = self.func.add_value(ValueData {
+            ty,
+            kind: ValueKind::Inst(inst),
+            block: Some(self.current),
+            name: None,
+        });
+        self.func.push_inst(self.current, v);
+        v
+    }
+
+    /// `malloc(size)` — a heap allocation site.
+    pub fn malloc(&mut self, size: ValueId) -> ValueId {
+        self.inst(Inst::Malloc { size }, Some(Ty::Ptr))
+    }
+
+    /// `alloca(size)` — a stack allocation site.
+    pub fn alloca(&mut self, size: ValueId) -> ValueId {
+        self.inst(Inst::Alloca { size }, Some(Ty::Ptr))
+    }
+
+    /// `free(ptr)`, producing the invalidated pointer copy.
+    pub fn free(&mut self, ptr: ValueId) -> ValueId {
+        self.inst(Inst::Free { ptr }, Some(Ty::Ptr))
+    }
+
+    /// `base + offset` pointer arithmetic (offset in cells).
+    pub fn ptr_add(&mut self, base: ValueId, offset: ValueId) -> ValueId {
+        self.inst(Inst::PtrAdd { base, offset }, Some(Ty::Ptr))
+    }
+
+    /// Integer arithmetic.
+    pub fn binop(&mut self, op: BinOp, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.inst(Inst::IntBin { op, lhs, rhs }, Some(Ty::Int))
+    }
+
+    /// Integer comparison (0/1 result).
+    pub fn cmp(&mut self, op: CmpOp, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.inst(Inst::Cmp { op, lhs, rhs }, Some(Ty::Int))
+    }
+
+    /// `*ptr` load of one cell.
+    pub fn load(&mut self, ptr: ValueId, ty: Ty) -> ValueId {
+        self.inst(Inst::Load { ptr, ty }, Some(ty))
+    }
+
+    /// `*ptr = val` store of one cell.
+    pub fn store(&mut self, ptr: ValueId, val: ValueId) -> ValueId {
+        self.inst(Inst::Store { ptr, val }, None)
+    }
+
+    /// A φ-function with initial incoming arguments; more can be added
+    /// later with [`FunctionBuilder::add_phi_arg`] (for loop back
+    /// edges).
+    pub fn phi(&mut self, ty: Ty, args: &[(BlockId, ValueId)]) -> ValueId {
+        self.inst(Inst::Phi { ty, args: args.to_vec() }, Some(ty))
+    }
+
+    /// Adds an incoming `(pred, value)` pair to an existing φ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi` is not a φ-function.
+    pub fn add_phi_arg(&mut self, phi: ValueId, pred: BlockId, value: ValueId) {
+        match &mut self.func.value_mut(phi).kind {
+            ValueKind::Inst(Inst::Phi { args, .. }) => args.push((pred, value)),
+            other => panic!("add_phi_arg on non-phi {other:?}"),
+        }
+    }
+
+    /// Creates an (initially argument-less) φ at the *front* of block
+    /// `b`, regardless of the current block. Used by SSA construction,
+    /// which discovers the need for φs lazily.
+    pub fn prepend_phi(&mut self, b: BlockId, ty: Ty) -> ValueId {
+        let v = self.func.add_value(ValueData {
+            ty: Some(ty),
+            kind: ValueKind::Inst(Inst::Phi { ty, args: Vec::new() }),
+            block: Some(b),
+            name: None,
+        });
+        self.func.insert_inst_at(b, 0, v);
+        v
+    }
+
+    /// Replaces the incoming arguments of a φ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi` is not a φ-function.
+    pub fn set_phi_args(&mut self, phi: ValueId, new_args: Vec<(BlockId, ValueId)>) {
+        match &mut self.func.value_mut(phi).kind {
+            ValueKind::Inst(Inst::Phi { args, .. }) => *args = new_args,
+            other => panic!("set_phi_args on non-phi {other:?}"),
+        }
+    }
+
+    /// The current incoming arguments of a φ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi` is not a φ-function.
+    pub fn phi_args(&self, phi: ValueId) -> &[(BlockId, ValueId)] {
+        match &self.func.value(phi).kind {
+            ValueKind::Inst(Inst::Phi { args, .. }) => args,
+            other => panic!("phi_args on non-phi {other:?}"),
+        }
+    }
+
+    /// Rewrites every operand through `map` (chains are followed) and
+    /// removes the mapped-away φs from their blocks. Used by SSA
+    /// construction to eliminate trivial φs.
+    pub fn replace_values(&mut self, map: &HashMap<ValueId, ValueId>) {
+        if map.is_empty() {
+            return;
+        }
+        let resolve = |mut v: ValueId| {
+            let mut guard = 0;
+            while let Some(&n) = map.get(&v) {
+                v = n;
+                guard += 1;
+                assert!(guard < 1_000_000, "replacement cycle");
+            }
+            v
+        };
+        for i in 0..self.func.values.len() {
+            if let ValueKind::Inst(inst) = &mut self.func.values[i].kind {
+                inst.for_each_operand_mut(|o| *o = resolve(*o));
+            }
+        }
+        for b in 0..self.func.blocks.len() {
+            if let Some(t) = &mut self.func.blocks[b].term {
+                t.for_each_operand_mut(|o| *o = resolve(*o));
+            }
+            self.func.blocks[b]
+                .insts
+                .retain(|v| !map.contains_key(v));
+        }
+    }
+
+    /// A σ-node asserting `input ⟨op⟩ other` in the current block.
+    pub fn sigma(&mut self, input: ValueId, op: CmpOp, other: ValueId) -> ValueId {
+        let ty = self.func.value(input).ty;
+        self.inst(Inst::Sigma { input, op, other }, ty)
+    }
+
+    /// A call. `ret_ty = None` makes it void.
+    pub fn call(&mut self, callee: Callee, args: &[ValueId], ret_ty: Option<Ty>) -> ValueId {
+        self.inst(Inst::Call { callee, args: args.to_vec(), ret_ty }, ret_ty)
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn br(&mut self, cond: ValueId, then_bb: BlockId, else_bb: BlockId) {
+        self.terminate(Terminator::Br { cond, then_bb, else_bb });
+    }
+
+    /// Terminates the current block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.terminate(Terminator::Jump(target));
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, value: Option<ValueId>) {
+        self.terminate(Terminator::Ret(value));
+    }
+
+    fn terminate(&mut self, t: Terminator) {
+        assert!(
+            self.func.block(self.current).term.is_none(),
+            "block {} terminated twice",
+            self.current
+        );
+        self.func.set_terminator(self.current, t);
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block lacks a terminator.
+    pub fn finish(self) -> Function {
+        for (i, b) in self.func.blocks.iter().enumerate() {
+            assert!(
+                b.term.is_some(),
+                "block b{} of {} lacks a terminator",
+                i,
+                self.func.name
+            );
+        }
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_interned() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let a = b.const_int(42);
+        let c = b.const_int(42);
+        let d = b.const_int(7);
+        assert_eq!(a, c);
+        assert_ne!(a, d);
+        b.ret(None);
+        b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated twice")]
+    fn double_terminate_panics() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        b.ret(None);
+        b.ret(None);
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks a terminator")]
+    fn unterminated_block_panics() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let _dangling = b.create_block();
+        b.ret(None);
+        b.finish();
+    }
+
+    #[test]
+    fn phi_args_extend() {
+        let mut b = FunctionBuilder::new("f", &[Ty::Int], None);
+        let x = b.param(0);
+        let head = b.create_block();
+        let entry = b.entry_block();
+        b.jump(head);
+        b.switch_to(head);
+        let phi = b.phi(Ty::Int, &[(entry, x)]);
+        b.add_phi_arg(phi, head, phi);
+        b.jump(head);
+        let f = b.finish();
+        match f.value(phi).as_inst() {
+            Some(Inst::Phi { args, .. }) => assert_eq!(args.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn value_names() {
+        let mut b = FunctionBuilder::new("f", &[Ty::Int], None);
+        let x = b.param(0);
+        b.set_name(x, "n");
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(f.value(x).name(), Some("n"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Control-flow graph utilities: predecessors, successors, reverse
+//! post-order.
+
+use crate::function::Function;
+use crate::ids::BlockId;
+
+/// Precomputed CFG adjacency for one function.
+///
+/// # Examples
+///
+/// ```
+/// use sra_ir::{cfg::Cfg, FunctionBuilder};
+/// let mut b = FunctionBuilder::new("f", &[], None);
+/// let next = b.create_block();
+/// b.jump(next);
+/// b.switch_to(next);
+/// b.ret(None);
+/// let f = b.finish();
+/// let cfg = Cfg::new(&f);
+/// assert_eq!(cfg.preds(next), &[f.entry()]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    rpo_index: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds adjacency and a reverse post-order for `f`.
+    pub fn new(f: &Function) -> Self {
+        let n = f.num_blocks();
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for b in f.block_ids() {
+            if let Some(term) = f.block(b).terminator_opt() {
+                for s in term.successors() {
+                    succs[b.index()].push(s);
+                    preds[s.index()].push(b);
+                }
+            }
+        }
+        // Iterative DFS post-order from the entry.
+        let mut visited = vec![false; n];
+        let mut post: Vec<BlockId> = Vec::with_capacity(n);
+        // Stack of (block, next-successor-index).
+        let mut stack: Vec<(BlockId, usize)> = vec![(f.entry(), 0)];
+        visited[f.entry().index()] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let ss = &succs[b.index()];
+            if *next < ss.len() {
+                let s = ss[*next];
+                *next += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in post.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        Cfg { preds, succs, rpo: post, rpo_index }
+    }
+
+    /// Predecessors of `b` (duplicates possible for two-way branches to
+    /// the same target).
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Blocks in reverse post-order from the entry (unreachable blocks
+    /// excluded).
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `b` in the reverse post-order, or `None` when `b` is
+    /// unreachable.
+    pub fn rpo_index(&self, b: BlockId) -> Option<usize> {
+        let i = self.rpo_index[b.index()];
+        if i == usize::MAX {
+            None
+        } else {
+            Some(i)
+        }
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index(b).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::CmpOp;
+    use crate::Ty;
+
+    /// entry → {then, else} → join
+    fn diamond() -> (Function, [BlockId; 4]) {
+        let mut b = FunctionBuilder::new("f", &[Ty::Int], None);
+        let x = b.param(0);
+        let t = b.create_block();
+        let e = b.create_block();
+        let j = b.create_block();
+        let zero = b.const_int(0);
+        let c = b.cmp(CmpOp::Lt, x, zero);
+        b.br(c, t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        let entry = b.entry_block();
+        (b.finish(), [entry, t, e, j])
+    }
+
+    use crate::function::Function;
+
+    #[test]
+    fn diamond_adjacency() {
+        let (f, [entry, t, e, j]) = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.succs(entry), &[t, e]);
+        assert_eq!(cfg.preds(j), &[t, e]);
+        assert_eq!(cfg.preds(entry), &[] as &[BlockId]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_orders_preds_first() {
+        let (f, [entry, _, _, j]) = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.rpo()[0], entry);
+        assert_eq!(cfg.rpo().len(), 4);
+        // join comes after both branches
+        assert_eq!(cfg.rpo_index(j), Some(3));
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let dead = b.create_block();
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.rpo().len(), 1);
+    }
+
+    #[test]
+    fn loop_back_edge() {
+        let mut b = FunctionBuilder::new("f", &[Ty::Int], None);
+        let x = b.param(0);
+        let head = b.create_block();
+        let exit = b.create_block();
+        b.jump(head);
+        b.switch_to(head);
+        let zero = b.const_int(0);
+        let c = b.cmp(CmpOp::Lt, x, zero);
+        b.br(c, head, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.preds(head).len(), 2); // entry + itself
+        assert!(cfg.succs(head).contains(&head));
+    }
+}

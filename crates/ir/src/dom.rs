@@ -1,0 +1,241 @@
+//! Dominator tree (Cooper–Harvey–Kennedy) and dominance queries.
+
+use crate::cfg::Cfg;
+use crate::function::Function;
+use crate::ids::{BlockId, ValueId};
+
+/// The dominator tree of a function's CFG.
+///
+/// Built with the simple-and-fast iterative algorithm of Cooper, Harvey
+/// and Kennedy over the reverse post-order. Supports `O(1)` immediate-
+/// dominator lookup and `O(depth)` dominance queries, plus a pre-order
+/// walk used by the paper's *local* analysis, which abstractly
+/// interprets instructions "in the order given by the program's
+/// dominance tree" (§3.6).
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    idom: Vec<Option<BlockId>>,
+    children: Vec<Vec<BlockId>>,
+    /// Depth of each block in the dominator tree (entry = 0).
+    depth: Vec<u32>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Computes the dominator tree for `f` given its CFG.
+    pub fn new(f: &Function, cfg: &Cfg) -> Self {
+        let n = f.num_blocks();
+        let entry = f.entry();
+        let rpo = cfg.rpo();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cfg, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        let mut children: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for b in f.block_ids() {
+            if b != entry {
+                if let Some(d) = idom[b.index()] {
+                    children[d.index()].push(b);
+                }
+            }
+        }
+        // Depths via BFS down the tree.
+        let mut depth = vec![0u32; n];
+        let mut stack = vec![entry];
+        while let Some(b) = stack.pop() {
+            for &c in &children[b.index()] {
+                depth[c.index()] = depth[b.index()] + 1;
+                stack.push(c);
+            }
+        }
+        DomTree { idom, children, depth, entry }
+    }
+
+    /// Immediate dominator of `b`; `None` for the entry or unreachable
+    /// blocks.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            return None;
+        }
+        self.idom[b.index()]
+    }
+
+    /// Children of `b` in the dominator tree.
+    pub fn children(&self, b: BlockId) -> &[BlockId] {
+        &self.children[b.index()]
+    }
+
+    /// Does block `a` dominate block `b`? (Reflexive.)
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if b != self.entry && self.idom[b.index()].is_none() {
+            return false; // b unreachable
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            // Once we are at or above a's depth, a cannot be an ancestor.
+            if self.depth[cur.index()] <= self.depth[a.index()] {
+                return false;
+            }
+            match self.idom[cur.index()] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Pre-order (parents before children) walk of the dominator tree,
+    /// starting at the entry.
+    pub fn preorder(&self) -> Vec<BlockId> {
+        let mut out = Vec::with_capacity(self.children.len());
+        let mut stack = vec![self.entry];
+        while let Some(b) = stack.pop() {
+            out.push(b);
+            // Push in reverse so children visit in creation order.
+            for &c in self.children[b.index()].iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Does the definition of `v` dominate the *start* of block `b`?
+    /// Parameters, constants and globals dominate everything.
+    pub fn def_dominates_block(&self, f: &Function, v: ValueId, b: BlockId) -> bool {
+        match f.value(v).block() {
+            None => true,
+            Some(db) => db != b && self.dominates(db, b),
+        }
+    }
+}
+
+fn intersect(idom: &[Option<BlockId>], cfg: &Cfg, mut a: BlockId, mut b: BlockId) -> BlockId {
+    // Walk up by RPO index until the fingers meet.
+    let ix = |x: BlockId| cfg.rpo_index(x).expect("reachable");
+    while a != b {
+        while ix(a) > ix(b) {
+            a = idom[a.index()].expect("processed");
+        }
+        while ix(b) > ix(a) {
+            b = idom[b.index()].expect("processed");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::CmpOp;
+    use crate::Ty;
+
+    fn diamond() -> (Function, [BlockId; 4]) {
+        let mut b = FunctionBuilder::new("f", &[Ty::Int], None);
+        let x = b.param(0);
+        let t = b.create_block();
+        let e = b.create_block();
+        let j = b.create_block();
+        let zero = b.const_int(0);
+        let c = b.cmp(CmpOp::Lt, x, zero);
+        b.br(c, t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        let entry = b.entry_block();
+        (b.finish(), [entry, t, e, j])
+    }
+
+    use crate::function::Function;
+
+    #[test]
+    fn diamond_idoms() {
+        let (f, [entry, t, e, j]) = diamond();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        assert_eq!(dom.idom(entry), None);
+        assert_eq!(dom.idom(t), Some(entry));
+        assert_eq!(dom.idom(e), Some(entry));
+        assert_eq!(dom.idom(j), Some(entry)); // join dominated by entry only
+    }
+
+    #[test]
+    fn dominates_query() {
+        let (f, [entry, t, e, j]) = diamond();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        assert!(dom.dominates(entry, j));
+        assert!(dom.dominates(entry, entry));
+        assert!(!dom.dominates(t, j));
+        assert!(!dom.dominates(t, e));
+        assert!(dom.dominates(t, t));
+    }
+
+    #[test]
+    fn preorder_parents_first() {
+        let (f, [entry, ..]) = diamond();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        let order = dom.preorder();
+        assert_eq!(order[0], entry);
+        assert_eq!(order.len(), 4);
+        let pos = |b: BlockId| order.iter().position(|&x| x == b).unwrap();
+        for b in f.block_ids() {
+            if let Some(d) = dom.idom(b) {
+                assert!(pos(d) < pos(b), "idom must precede");
+            }
+        }
+    }
+
+    #[test]
+    fn loop_idom() {
+        let mut b = FunctionBuilder::new("f", &[Ty::Int], None);
+        let x = b.param(0);
+        let head = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        b.jump(head);
+        b.switch_to(head);
+        let zero = b.const_int(0);
+        let c = b.cmp(CmpOp::Lt, x, zero);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(None);
+        let entry = b.entry_block();
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        assert_eq!(dom.idom(head), Some(entry));
+        assert_eq!(dom.idom(body), Some(head));
+        assert_eq!(dom.idom(exit), Some(head));
+        assert!(dom.dominates(head, body));
+        assert!(!dom.dominates(body, exit));
+    }
+}

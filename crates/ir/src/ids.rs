@@ -1,0 +1,70 @@
+//! Typed index newtypes for IR entities.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            pub fn new(index: usize) -> Self {
+                $name(index as u32)
+            }
+
+            /// Returns the raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type! {
+    /// Identifies an SSA value (parameter, constant, or instruction
+    /// result) within one [`Function`](crate::Function).
+    ValueId, "v"
+}
+
+id_type! {
+    /// Identifies a basic block within one [`Function`](crate::Function).
+    BlockId, "b"
+}
+
+id_type! {
+    /// Identifies a function within a [`Module`](crate::Module).
+    FuncId, "f"
+}
+
+id_type! {
+    /// Identifies a global variable within a [`Module`](crate::Module).
+    GlobalId, "g"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let v = ValueId::new(12);
+        assert_eq!(v.index(), 12);
+        assert_eq!(v.to_string(), "v12");
+        assert_eq!(BlockId::new(3).to_string(), "b3");
+        assert_eq!(FuncId::new(0).to_string(), "f0");
+        assert_eq!(GlobalId::new(9).to_string(), "g9");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ValueId::new(1) < ValueId::new(2));
+    }
+}

@@ -1,0 +1,442 @@
+//! Instructions and terminators of the core pointer language.
+
+use std::fmt;
+
+use crate::ids::{BlockId, FuncId, ValueId};
+use crate::Ty;
+
+/// Integer binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Truncating division (C semantics).
+    Div,
+    /// Truncating remainder (C semantics).
+    Rem,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+        };
+        write!(f, "{}", s)
+    }
+}
+
+/// Comparison predicates (signed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The predicate that holds when this one does not.
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// The predicate with operands swapped (`a < b` ⟺ `b > a`).
+    pub fn swap(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Evaluates the predicate on concrete integers.
+    pub fn eval(self, a: i128, b: i128) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        };
+        write!(f, "{}", s)
+    }
+}
+
+/// The target of a call.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Callee {
+    /// A function defined in the same module; analyzed
+    /// interprocedurally.
+    Internal(FuncId),
+    /// An external (library) function known only by name; its result is
+    /// a fresh symbol of the symbolic kernel (`strlen`, `atoi`, …).
+    External(String),
+}
+
+/// A non-terminator instruction.
+///
+/// This is the paper's Figure 6 instruction set, extended with integer
+/// arithmetic, comparisons, stack allocation, globals and calls so that
+/// realistic C-like programs can be lowered to it. Every memory cell is
+/// one word; pointer arithmetic counts cells, exactly like the `` slots
+/// of the paper's Figure 2.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `p = malloc(size)` — heap allocation; an allocation site.
+    Malloc {
+        /// Number of cells.
+        size: ValueId,
+    },
+    /// Stack allocation (C local arrays/structs); an allocation site.
+    Alloca {
+        /// Number of cells.
+        size: ValueId,
+    },
+    /// `p = free(q)` — copies `q` while marking the result as pointing
+    /// to a zero-sized chunk (paper §3.1).
+    Free {
+        /// Pointer being freed.
+        ptr: ValueId,
+    },
+    /// `p = base + offset` — pointer arithmetic in cells. The offset may
+    /// be any integer value (constant or variable).
+    PtrAdd {
+        /// Base pointer.
+        base: ValueId,
+        /// Integer offset in cells.
+        offset: ValueId,
+    },
+    /// Integer arithmetic.
+    IntBin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: ValueId,
+        /// Right operand.
+        rhs: ValueId,
+    },
+    /// Integer comparison producing 0 or 1.
+    Cmp {
+        /// Predicate.
+        op: CmpOp,
+        /// Left operand.
+        lhs: ValueId,
+        /// Right operand.
+        rhs: ValueId,
+    },
+    /// `q = *p` — loads one cell.
+    Load {
+        /// Address.
+        ptr: ValueId,
+        /// Type of the loaded cell.
+        ty: Ty,
+    },
+    /// `*p = v` — stores one cell. Produces no value.
+    Store {
+        /// Address.
+        ptr: ValueId,
+        /// Stored value.
+        val: ValueId,
+    },
+    /// SSA φ-function.
+    Phi {
+        /// Result type.
+        ty: Ty,
+        /// `(predecessor, value)` incoming pairs.
+        args: Vec<(BlockId, ValueId)>,
+    },
+    /// e-SSA σ-node: a copy of `input` valid on the edge where
+    /// `input ⟨op⟩ other` is known to hold — the paper's bound
+    /// intersection `p₀ = p₁ ∩ [l, u]`.
+    Sigma {
+        /// The renamed value.
+        input: ValueId,
+        /// Relation known to hold between `input` and `other` here.
+        op: CmpOp,
+        /// The other side of the comparison.
+        other: ValueId,
+    },
+    /// Function call.
+    Call {
+        /// Callee (internal or external).
+        callee: Callee,
+        /// Actual arguments.
+        args: Vec<ValueId>,
+        /// Result type; `None` for void calls.
+        ret_ty: Option<Ty>,
+    },
+}
+
+impl Inst {
+    /// The type of the value this instruction produces, or `None` for
+    /// void instructions (stores and void calls).
+    pub fn result_ty(&self) -> Option<Ty> {
+        match self {
+            Inst::Malloc { .. } | Inst::Alloca { .. } | Inst::Free { .. } => Some(Ty::Ptr),
+            Inst::PtrAdd { .. } => Some(Ty::Ptr),
+            Inst::IntBin { .. } | Inst::Cmp { .. } => Some(Ty::Int),
+            Inst::Load { ty, .. } => Some(*ty),
+            Inst::Store { .. } => None,
+            Inst::Phi { ty, .. } => Some(*ty),
+            Inst::Sigma { .. } => None, // refined by the function (input's type)
+            Inst::Call { ret_ty, .. } => *ret_ty,
+        }
+    }
+
+    /// Calls `f` on every value operand (φ incoming values included).
+    pub fn for_each_operand(&self, mut f: impl FnMut(ValueId)) {
+        match self {
+            Inst::Malloc { size } | Inst::Alloca { size } => f(*size),
+            Inst::Free { ptr } => f(*ptr),
+            Inst::PtrAdd { base, offset } => {
+                f(*base);
+                f(*offset);
+            }
+            Inst::IntBin { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => {
+                f(*lhs);
+                f(*rhs);
+            }
+            Inst::Load { ptr, .. } => f(*ptr),
+            Inst::Store { ptr, val } => {
+                f(*ptr);
+                f(*val);
+            }
+            Inst::Phi { args, .. } => {
+                for (_, v) in args {
+                    f(*v);
+                }
+            }
+            Inst::Sigma { input, other, .. } => {
+                f(*input);
+                f(*other);
+            }
+            Inst::Call { args, .. } => {
+                for v in args {
+                    f(*v);
+                }
+            }
+        }
+    }
+
+    /// Calls `f` on mutable references to every value operand.
+    pub fn for_each_operand_mut(&mut self, mut f: impl FnMut(&mut ValueId)) {
+        match self {
+            Inst::Malloc { size } | Inst::Alloca { size } => f(size),
+            Inst::Free { ptr } => f(ptr),
+            Inst::PtrAdd { base, offset } => {
+                f(base);
+                f(offset);
+            }
+            Inst::IntBin { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            Inst::Load { ptr, .. } => f(ptr),
+            Inst::Store { ptr, val } => {
+                f(ptr);
+                f(val);
+            }
+            Inst::Phi { args, .. } => {
+                for (_, v) in args {
+                    f(v);
+                }
+            }
+            Inst::Sigma { input, other, .. } => {
+                f(input);
+                f(other);
+            }
+            Inst::Call { args, .. } => {
+                for v in args {
+                    f(v);
+                }
+            }
+        }
+    }
+
+    /// Returns `true` for φ-functions.
+    pub fn is_phi(&self) -> bool {
+        matches!(self, Inst::Phi { .. })
+    }
+
+    /// Returns `true` for σ-nodes.
+    pub fn is_sigma(&self) -> bool {
+        matches!(self, Inst::Sigma { .. })
+    }
+
+    /// Returns `true` for allocation sites (malloc/alloca).
+    pub fn is_allocation(&self) -> bool {
+        matches!(self, Inst::Malloc { .. } | Inst::Alloca { .. })
+    }
+}
+
+/// A block terminator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Terminator {
+    /// Conditional branch: to `then_bb` when `cond ≠ 0`, else
+    /// `else_bb`.
+    Br {
+        /// Condition value.
+        cond: ValueId,
+        /// Non-zero target.
+        then_bb: BlockId,
+        /// Zero target.
+        else_bb: BlockId,
+    },
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Function return with optional value.
+    Ret(Option<ValueId>),
+}
+
+impl Terminator {
+    /// Successor blocks in order.
+    pub fn successors(&self) -> impl Iterator<Item = BlockId> {
+        let pair = match self {
+            Terminator::Br { then_bb, else_bb, .. } => [Some(*then_bb), Some(*else_bb)],
+            Terminator::Jump(bb) => [Some(*bb), None],
+            Terminator::Ret(_) => [None, None],
+        };
+        pair.into_iter().flatten()
+    }
+
+    /// Calls `f` on mutable references to the successor block ids.
+    pub fn for_each_successor_mut(&mut self, mut f: impl FnMut(&mut BlockId)) {
+        match self {
+            Terminator::Br { then_bb, else_bb, .. } => {
+                f(then_bb);
+                f(else_bb);
+            }
+            Terminator::Jump(bb) => f(bb),
+            Terminator::Ret(_) => {}
+        }
+    }
+
+    /// Value operands of the terminator.
+    pub fn for_each_operand(&self, mut f: impl FnMut(ValueId)) {
+        match self {
+            Terminator::Br { cond, .. } => f(*cond),
+            Terminator::Jump(_) => {}
+            Terminator::Ret(Some(v)) => f(*v),
+            Terminator::Ret(None) => {}
+        }
+    }
+
+    /// Mutable value operands of the terminator.
+    pub fn for_each_operand_mut(&mut self, mut f: impl FnMut(&mut ValueId)) {
+        match self {
+            Terminator::Br { cond, .. } => f(cond),
+            Terminator::Jump(_) => {}
+            Terminator::Ret(Some(v)) => f(v),
+            Terminator::Ret(None) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_negate_swap() {
+        assert_eq!(CmpOp::Lt.negate(), CmpOp::Ge);
+        assert_eq!(CmpOp::Lt.swap(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.swap(), CmpOp::Eq);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.negate().negate(), op);
+            assert_eq!(op.swap().swap(), op);
+        }
+    }
+
+    #[test]
+    fn cmp_eval() {
+        assert!(CmpOp::Lt.eval(1, 2));
+        assert!(!CmpOp::Lt.eval(2, 2));
+        assert!(CmpOp::Le.eval(2, 2));
+        assert!(CmpOp::Ne.eval(1, 2));
+        assert!(CmpOp::Ge.eval(2, 2));
+        assert!(CmpOp::Gt.eval(3, 2));
+        assert!(CmpOp::Eq.eval(2, 2));
+    }
+
+    #[test]
+    fn successors() {
+        let t = Terminator::Br {
+            cond: ValueId::new(0),
+            then_bb: BlockId::new(1),
+            else_bb: BlockId::new(2),
+        };
+        let succs: Vec<BlockId> = t.successors().collect();
+        assert_eq!(succs, vec![BlockId::new(1), BlockId::new(2)]);
+        let t = Terminator::Jump(BlockId::new(7));
+        assert_eq!(t.successors().collect::<Vec<_>>(), vec![BlockId::new(7)]);
+        let t = Terminator::Ret(None);
+        assert_eq!(t.successors().count(), 0);
+    }
+
+    #[test]
+    fn operand_iteration() {
+        let i = Inst::PtrAdd { base: ValueId::new(1), offset: ValueId::new(2) };
+        let mut ops = Vec::new();
+        i.for_each_operand(|v| ops.push(v));
+        assert_eq!(ops, vec![ValueId::new(1), ValueId::new(2)]);
+
+        let mut i = i;
+        i.for_each_operand_mut(|v| *v = ValueId::new(9));
+        let mut ops = Vec::new();
+        i.for_each_operand(|v| ops.push(v));
+        assert_eq!(ops, vec![ValueId::new(9), ValueId::new(9)]);
+    }
+
+    #[test]
+    fn result_types() {
+        assert_eq!(Inst::Malloc { size: ValueId::new(0) }.result_ty(), Some(Ty::Ptr));
+        assert_eq!(
+            Inst::Store { ptr: ValueId::new(0), val: ValueId::new(1) }.result_ty(),
+            None
+        );
+        assert_eq!(
+            Inst::Cmp { op: CmpOp::Eq, lhs: ValueId::new(0), rhs: ValueId::new(1) }.result_ty(),
+            Some(Ty::Int)
+        );
+    }
+}

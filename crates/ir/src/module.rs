@@ -1,0 +1,155 @@
+//! Modules: collections of functions and globals.
+
+use crate::function::Function;
+use crate::ids::{FuncId, GlobalId};
+
+/// A module-level global variable (one allocation site of static
+/// storage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Global {
+    pub(crate) name: String,
+    pub(crate) size: i64,
+}
+
+impl Global {
+    /// The global's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Size in memory cells.
+    pub fn size(&self) -> i64 {
+        self.size
+    }
+}
+
+/// A whole program: functions plus globals.
+///
+/// # Examples
+///
+/// ```
+/// use sra_ir::{FunctionBuilder, Module, Ty};
+/// let mut m = Module::new();
+/// let g = m.add_global("buffer", 64);
+/// let mut b = FunctionBuilder::new("main", &[], None);
+/// let addr = b.global_addr(g, Ty::Ptr);
+/// let zero = b.const_int(0);
+/// b.store(addr, zero);
+/// b.ret(None);
+/// m.add_function(b.finish());
+/// assert_eq!(m.global(g).size(), 64);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Module {
+    funcs: Vec<Function>,
+    globals: Vec<Global>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a function, returning its id.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        let id = FuncId::new(self.funcs.len());
+        self.funcs.push(f);
+        id
+    }
+
+    /// Adds a global of `size` cells, returning its id.
+    pub fn add_global(&mut self, name: &str, size: i64) -> GlobalId {
+        let id = GlobalId::new(self.globals.len());
+        self.globals.push(Global { name: name.to_owned(), size });
+        id
+    }
+
+    /// The function with id `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `f` is not a function of this module.
+    pub fn function(&self, f: FuncId) -> &Function {
+        &self.funcs[f.index()]
+    }
+
+    /// Mutable access to a function (used by transformation passes).
+    pub fn function_mut(&mut self, f: FuncId) -> &mut Function {
+        &mut self.funcs[f.index()]
+    }
+
+    /// The global with id `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `g` is not a global of this module.
+    pub fn global(&self, g: GlobalId) -> &Global {
+        &self.globals[g.index()]
+    }
+
+    /// Looks a function up by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(FuncId::new)
+    }
+
+    /// All function ids.
+    pub fn func_ids(&self) -> impl Iterator<Item = FuncId> {
+        (0..self.funcs.len()).map(FuncId::new)
+    }
+
+    /// All global ids.
+    pub fn global_ids(&self) -> impl Iterator<Item = GlobalId> {
+        (0..self.globals.len()).map(GlobalId::new)
+    }
+
+    /// Number of functions.
+    pub fn num_functions(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Number of globals.
+    pub fn num_globals(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// Total instruction count across all functions (paper Figure 15's
+    /// x-axis).
+    pub fn num_insts(&self) -> usize {
+        self.funcs.iter().map(Function::num_insts).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    #[test]
+    fn function_lookup() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("alpha", &[], None);
+        b.ret(None);
+        let fa = m.add_function(b.finish());
+        let mut b = FunctionBuilder::new("beta", &[], None);
+        b.ret(None);
+        let fb = m.add_function(b.finish());
+        assert_eq!(m.function_by_name("alpha"), Some(fa));
+        assert_eq!(m.function_by_name("beta"), Some(fb));
+        assert_eq!(m.function_by_name("gamma"), None);
+        assert_eq!(m.num_functions(), 2);
+    }
+
+    #[test]
+    fn globals() {
+        let mut m = Module::new();
+        let g = m.add_global("tab", 128);
+        assert_eq!(m.global(g).name(), "tab");
+        assert_eq!(m.global(g).size(), 128);
+        assert_eq!(m.num_globals(), 1);
+        assert_eq!(m.global_ids().count(), 1);
+    }
+}

@@ -1,0 +1,599 @@
+//! Parser for the textual IR format emitted by [`crate::print`].
+//!
+//! Round-trips with the printer up to value renumbering: constants are
+//! printed inline and re-interned on parsing, so ids shift, but the
+//! instruction structure is preserved (see the round-trip tests).
+//!
+//! The format, by example:
+//!
+//! ```text
+//! global @tab [16 cells]
+//! func @walk(v0: ptr, v1: int) -> int exported {
+//! b0:
+//!   v2 = malloc v1
+//!   v3 = phi [b0: v2], [b1: v4]
+//!   v4 = ptradd v3, 1
+//!   store v4, 255
+//!   v5 = cmp lt v4, v2
+//!   br v5, b1, b2
+//! …
+//! }
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::function::{Function, ValueData, ValueKind};
+use crate::ids::{BlockId, FuncId, ValueId};
+use crate::instr::{BinOp, Callee, CmpOp, Inst, Terminator};
+use crate::module::Module;
+use crate::Ty;
+
+/// A parse failure with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for IrParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for IrParseError {}
+
+/// Parses a whole module in the printer's format.
+///
+/// # Errors
+///
+/// Returns an [`IrParseError`] at the first malformed line.
+pub fn parse_module(text: &str) -> Result<Module, IrParseError> {
+    let mut m = Module::new();
+    let mut func_names: HashMap<String, FuncId> = HashMap::new();
+    // Pre-scan function names so calls resolve in any order.
+    for line in text.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("func @") {
+            if let Some(name) = rest.split('(').next() {
+                func_names.insert(name.to_owned(), FuncId::new(func_names.len()));
+            }
+        }
+    }
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("global @") {
+            let (name, size) = parse_global(rest)
+                .ok_or_else(|| err(idx, "malformed global declaration"))?;
+            m.add_global(&name, size);
+            continue;
+        }
+        if line.starts_with("func @") {
+            let mut body = vec![(idx, line.to_owned())];
+            for (jdx, raw) in lines.by_ref() {
+                let l = raw.trim();
+                body.push((jdx, l.to_owned()));
+                if l == "}" {
+                    break;
+                }
+            }
+            let f = parse_function(&body, &func_names)?;
+            m.add_function(f);
+            continue;
+        }
+        return Err(err(idx, format!("unexpected top-level line: {line}")));
+    }
+    Ok(m)
+}
+
+fn err(idx: usize, message: impl Into<String>) -> IrParseError {
+    IrParseError { line: idx + 1, message: message.into() }
+}
+
+fn parse_global(rest: &str) -> Option<(String, i64)> {
+    // `name [N cells]`
+    let (name, tail) = rest.split_once(" [")?;
+    let size: i64 = tail.strip_suffix(" cells]")?.parse().ok()?;
+    Some((name.to_owned(), size))
+}
+
+struct FnParser<'a> {
+    func_names: &'a HashMap<String, FuncId>,
+    f: Function,
+    /// Textual value name (`v7`) → rebuilt id; filled lazily so forward
+    /// references (φ back edges) work.
+    values: HashMap<String, ValueId>,
+    /// Textual block name → id.
+    blocks: HashMap<String, BlockId>,
+    consts: HashMap<i64, ValueId>,
+}
+
+impl FnParser<'_> {
+    fn block(&mut self, name: &str) -> BlockId {
+        if let Some(&b) = self.blocks.get(name) {
+            return b;
+        }
+        let b = self.f.add_block();
+        self.blocks.insert(name.to_owned(), b);
+        b
+    }
+
+    /// Resolves an operand: integer literal or value name. Forward
+    /// references get a placeholder slot patched when defined.
+    fn operand(&mut self, tok: &str) -> Option<ValueId> {
+        if let Ok(c) = tok.parse::<i64>() {
+            if let Some(&v) = self.consts.get(&c) {
+                return Some(v);
+            }
+            let v = self.f.add_value(ValueData {
+                ty: Some(Ty::Int),
+                kind: ValueKind::Const(c),
+                block: None,
+                name: None,
+            });
+            self.consts.insert(c, v);
+            return Some(v);
+        }
+        if !tok.starts_with('v') {
+            return None;
+        }
+        if let Some(&v) = self.values.get(tok) {
+            return Some(v);
+        }
+        // Forward reference: reserve a slot now; the definition line
+        // will fill in the real data.
+        let v = self.f.add_value(ValueData {
+            ty: None,
+            kind: ValueKind::Const(0), // patched at definition
+            block: None,
+            name: None,
+        });
+        self.values.insert(tok.to_owned(), v);
+        Some(v)
+    }
+
+    /// Binds `name` to a definition, reusing a forward-reference slot.
+    fn define(&mut self, name: &str, data: ValueData) -> ValueId {
+        if let Some(&v) = self.values.get(name) {
+            *self.f.value_mut(v) = data;
+            return v;
+        }
+        let v = self.f.add_value(data);
+        self.values.insert(name.to_owned(), v);
+        v
+    }
+}
+
+fn parse_function(
+    body: &[(usize, String)],
+    func_names: &HashMap<String, FuncId>,
+) -> Result<Function, IrParseError> {
+    let (hidx, header) = &body[0];
+    let (name, params, ret, exported) =
+        parse_header(header).ok_or_else(|| err(*hidx, "malformed function header"))?;
+    let mut f = Function {
+        name,
+        param_tys: params.iter().map(|(_, t)| *t).collect(),
+        ret_ty: ret,
+        params: Vec::new(),
+        values: Vec::new(),
+        blocks: Vec::new(),
+        exported,
+    };
+    let mut p = FnParser {
+        func_names,
+        f: {
+            for (index, &(_, ty)) in params.iter().enumerate() {
+                let v = f.add_value(ValueData {
+                    ty: Some(ty),
+                    kind: ValueKind::Param { index },
+                    block: None,
+                    name: None,
+                });
+                f.params.push(v);
+            }
+            f
+        },
+        values: HashMap::new(),
+        blocks: HashMap::new(),
+        consts: HashMap::new(),
+    };
+    for (i, (pname, _)) in params.iter().enumerate() {
+        let v = p.f.params[i];
+        p.values.insert(pname.clone(), v);
+    }
+
+    let mut current: Option<BlockId> = None;
+    for (idx, line) in &body[1..] {
+        let line = line.as_str();
+        if line == "}" {
+            break;
+        }
+        if let Some(bname) = line.strip_suffix(':') {
+            current = Some(p.block(bname));
+            continue;
+        }
+        let b = current.ok_or_else(|| err(*idx, "instruction outside a block"))?;
+        // Strip trailing `; name` comments.
+        let line = line.split("    ;").next().unwrap_or(line).trim();
+        parse_line(&mut p, b, line).map_err(|m| err(*idx, m))?;
+    }
+    Ok(p.f)
+}
+
+fn parse_header(line: &str) -> Option<(String, Vec<(String, Ty)>, Option<Ty>, bool)> {
+    let rest = line.strip_prefix("func @")?;
+    let (name, rest) = rest.split_once('(')?;
+    let (params_text, rest) = rest.split_once(')')?;
+    let mut params = Vec::new();
+    for part in params_text.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (pname, ty) = part.split_once(": ")?;
+        let ty = match ty {
+            "ptr" => Ty::Ptr,
+            "int" => Ty::Int,
+            _ => return None,
+        };
+        params.push((pname.to_owned(), ty));
+    }
+    let rest = rest.trim();
+    let (ret, rest) = if let Some(r) = rest.strip_prefix("-> ") {
+        let (ty, tail) = r.split_once(' ').unwrap_or((r.trim_end_matches(" {"), ""));
+        let ty = match ty.trim() {
+            "ptr" => Some(Ty::Ptr),
+            "int" => Some(Ty::Int),
+            _ => return None,
+        };
+        (ty, tail)
+    } else {
+        (None, rest)
+    };
+    let exported = rest.contains("exported");
+    Some((name.to_owned(), params, ret, exported))
+}
+
+fn parse_line(p: &mut FnParser<'_>, b: BlockId, line: &str) -> Result<(), String> {
+    // Terminators first.
+    if let Some(rest) = line.strip_prefix("jump ") {
+        let t = p.block(rest.trim());
+        p.f.set_terminator(b, Terminator::Jump(t));
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("br ") {
+        let parts: Vec<&str> = rest.split(", ").collect();
+        if parts.len() != 3 {
+            return Err("br needs cond and two targets".into());
+        }
+        let cond = p.operand(parts[0]).ok_or("bad br condition")?;
+        let then_bb = p.block(parts[1]);
+        let else_bb = p.block(parts[2]);
+        p.f.set_terminator(b, Terminator::Br { cond, then_bb, else_bb });
+        return Ok(());
+    }
+    if line == "ret" {
+        p.f.set_terminator(b, Terminator::Ret(None));
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("ret ") {
+        let v = p.operand(rest.trim()).ok_or("bad ret operand")?;
+        p.f.set_terminator(b, Terminator::Ret(Some(v)));
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("store ") {
+        let (a, v) = rest.split_once(", ").ok_or("store needs two operands")?;
+        let ptr = p.operand(a).ok_or("bad store address")?;
+        let val = p.operand(v).ok_or("bad store value")?;
+        push_inst(p, b, None, Inst::Store { ptr, val }, None);
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("call ") {
+        let (inst, _) = parse_call(p, rest, None)?;
+        push_inst(p, b, None, inst, None);
+        return Ok(());
+    }
+    // `vN = <op> …`
+    let (lhs, rhs) = line.split_once(" = ").ok_or("expected assignment or terminator")?;
+    let (op, rest) = rhs.split_once(' ').unwrap_or((rhs, ""));
+    let (inst, ty) = match op {
+        "malloc" => (Inst::Malloc { size: p.operand(rest).ok_or("bad size")? }, Ty::Ptr),
+        "alloca" => (Inst::Alloca { size: p.operand(rest).ok_or("bad size")? }, Ty::Ptr),
+        "free" => (Inst::Free { ptr: p.operand(rest).ok_or("bad ptr")? }, Ty::Ptr),
+        "ptradd" => {
+            let (a, o) = rest.split_once(", ").ok_or("ptradd needs two operands")?;
+            (
+                Inst::PtrAdd {
+                    base: p.operand(a).ok_or("bad base")?,
+                    offset: p.operand(o).ok_or("bad offset")?,
+                },
+                Ty::Ptr,
+            )
+        }
+        "add" | "sub" | "mul" | "div" | "rem" => {
+            let bin = match op {
+                "add" => BinOp::Add,
+                "sub" => BinOp::Sub,
+                "mul" => BinOp::Mul,
+                "div" => BinOp::Div,
+                _ => BinOp::Rem,
+            };
+            let (a, o) = rest.split_once(", ").ok_or("binop needs two operands")?;
+            (
+                Inst::IntBin {
+                    op: bin,
+                    lhs: p.operand(a).ok_or("bad lhs")?,
+                    rhs: p.operand(o).ok_or("bad rhs")?,
+                },
+                Ty::Int,
+            )
+        }
+        "cmp" => {
+            let (pred, rest) = rest.split_once(' ').ok_or("cmp needs predicate")?;
+            let pred = parse_cmp(pred)?;
+            let (a, o) = rest.split_once(", ").ok_or("cmp needs two operands")?;
+            (
+                Inst::Cmp {
+                    op: pred,
+                    lhs: p.operand(a).ok_or("bad lhs")?,
+                    rhs: p.operand(o).ok_or("bad rhs")?,
+                },
+                Ty::Int,
+            )
+        }
+        "load.int" => (
+            Inst::Load { ptr: p.operand(rest).ok_or("bad address")?, ty: Ty::Int },
+            Ty::Int,
+        ),
+        "load.ptr" => (
+            Inst::Load { ptr: p.operand(rest).ok_or("bad address")?, ty: Ty::Ptr },
+            Ty::Ptr,
+        ),
+        "phi" => {
+            // `phi [b0: v1], [b2: v3]` — type inferred from args later;
+            // default int, fixed below if any arg is a pointer.
+            let mut args = Vec::new();
+            for piece in rest.split("], ") {
+                let piece = piece
+                    .trim()
+                    .trim_start_matches('[')
+                    .trim_end_matches(']');
+                if piece.is_empty() {
+                    continue;
+                }
+                let (bn, vn) = piece.split_once(": ").ok_or("bad phi arg")?;
+                let blk = p.block(bn.trim());
+                let val = p.operand(vn.trim()).ok_or("bad phi value")?;
+                args.push((blk, val));
+            }
+            let ty = args
+                .iter()
+                .find_map(|(_, v)| p.f.value(*v).ty())
+                .unwrap_or(Ty::Int);
+            (Inst::Phi { ty, args }, ty)
+        }
+        "sigma" => {
+            // `sigma v1 lt v2`
+            let parts: Vec<&str> = rest.split(' ').collect();
+            if parts.len() != 3 {
+                return Err("sigma needs input, predicate, other".into());
+            }
+            let input = p.operand(parts[0]).ok_or("bad sigma input")?;
+            let pred = parse_cmp(parts[1])?;
+            let other = p.operand(parts[2]).ok_or("bad sigma other")?;
+            let ty = p.f.value(input).ty().unwrap_or(Ty::Int);
+            (Inst::Sigma { input, op: pred, other }, ty)
+        }
+        "call" => {
+            let (inst, ty) = parse_call(p, rest, Some(Ty::Int))?;
+            // A result-producing call: the printed form cannot recover
+            // the type precisely for externals, so int is the default
+            // and `!`-marked known pointer externals stay int unless
+            // internal signatures say otherwise.
+            let ty = ty.unwrap_or(Ty::Int);
+            (inst, ty)
+        }
+        other => return Err(format!("unknown opcode `{other}`")),
+    };
+    push_inst(p, b, Some(lhs), inst, Some(ty));
+    Ok(())
+}
+
+fn parse_cmp(s: &str) -> Result<CmpOp, String> {
+    Ok(match s {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "lt" => CmpOp::Lt,
+        "le" => CmpOp::Le,
+        "gt" => CmpOp::Gt,
+        "ge" => CmpOp::Ge,
+        other => return Err(format!("unknown predicate `{other}`")),
+    })
+}
+
+/// Parses `@name(args…)` or `@name!(args…)`; returns the instruction
+/// and its return type (`None` = void statement form).
+fn parse_call(
+    p: &mut FnParser<'_>,
+    rest: &str,
+    default_ret: Option<Ty>,
+) -> Result<(Inst, Option<Ty>), String> {
+    let rest = rest.strip_prefix('@').ok_or("call target must start with @")?;
+    let (target, args_text) = rest.split_once('(').ok_or("call needs parentheses")?;
+    let args_text = args_text.strip_suffix(')').ok_or("unclosed call")?;
+    let mut args = Vec::new();
+    for a in args_text.split(", ") {
+        if a.is_empty() {
+            continue;
+        }
+        args.push(p.operand(a).ok_or("bad call argument")?);
+    }
+    let (callee, ret_ty) = if let Some(ext) = target.strip_suffix('!') {
+        (Callee::External(ext.to_owned()), default_ret)
+    } else {
+        let fid = *p
+            .func_names
+            .get(target)
+            .ok_or_else(|| format!("unknown function `@{target}`"))?;
+        (Callee::Internal(fid), default_ret)
+    };
+    Ok((Inst::Call { callee, args, ret_ty }, ret_ty))
+}
+
+fn push_inst(
+    p: &mut FnParser<'_>,
+    b: BlockId,
+    name: Option<&str>,
+    inst: Inst,
+    ty: Option<Ty>,
+) {
+    let data = ValueData { ty, kind: ValueKind::Inst(inst), block: Some(b), name: None };
+    let v = match name {
+        Some(n) => p.define(n, data),
+        None => p.f.add_value(data),
+    };
+    p.f.push_inst(b, v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::print::print_module;
+    use crate::verify::verify_module;
+
+    /// Renames `vN`/`bN` tokens in order of first appearance so two
+    /// prints can be compared module renumbering.
+    fn normalize(text: &str) -> String {
+        let mut map: HashMap<String, String> = HashMap::new();
+        let mut out = String::new();
+        let mut token = String::new();
+        let flush = |tok: &mut String, out: &mut String, map: &mut HashMap<String, String>| {
+            if tok.is_empty() {
+                return;
+            }
+            let is_id = (tok.starts_with('v') || tok.starts_with('b'))
+                && tok[1..].chars().all(|c| c.is_ascii_digit())
+                && tok.len() > 1;
+            if is_id {
+                let n = map.len();
+                let renamed = map
+                    .entry(tok.clone())
+                    .or_insert_with(|| format!("{}#{}", &tok[..1], n));
+                out.push_str(renamed);
+            } else {
+                out.push_str(tok);
+            }
+            tok.clear();
+        };
+        for c in text.chars() {
+            if c.is_ascii_alphanumeric() {
+                token.push(c);
+            } else {
+                flush(&mut token, &mut out, &mut map);
+                out.push(c);
+            }
+        }
+        flush(&mut token, &mut out, &mut map);
+        out
+    }
+
+    fn sample_module() -> Module {
+        let mut m = Module::new();
+        m.add_global("tab", 4);
+        let mut b = FunctionBuilder::new("walk", &[Ty::Ptr, Ty::Int], Some(Ty::Int));
+        let p0 = b.param(0);
+        let n = b.param(1);
+        let head = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        let zero = b.const_int(0);
+        let i0 = b.ptr_add(p0, zero);
+        let e = b.ptr_add(p0, n);
+        let entry = b.entry_block();
+        b.jump(head);
+        b.switch_to(head);
+        let cur = b.phi(Ty::Ptr, &[(entry, i0)]);
+        let c = b.cmp(CmpOp::Lt, cur, e);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let k = b.const_int(255);
+        b.store(cur, k);
+        let one = b.const_int(1);
+        let next = b.ptr_add(cur, one);
+        b.add_phi_arg(cur, body, next);
+        b.jump(head);
+        b.switch_to(exit);
+        let x = b.load(cur, Ty::Int);
+        b.ret(Some(x));
+        let mut f = b.finish();
+        crate::essa::run(&mut f);
+        f.set_exported(true);
+        m.add_function(f);
+
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let len = b.call(Callee::External("atoi".into()), &[], Some(Ty::Int));
+        let buf = b.malloc(len);
+        let walk = FuncId::new(0);
+        let _r = b.call(Callee::Internal(walk), &[buf, len], Some(Ty::Int));
+        let fr = b.free(buf);
+        let _ = fr;
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let m = sample_module();
+        let printed = print_module(&m);
+        let reparsed = parse_module(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        verify_module(&reparsed).expect("reparsed module verifies");
+        let reprinted = print_module(&reparsed);
+        assert_eq!(
+            normalize(&printed),
+            normalize(&reprinted),
+            "round-trip changed the module:\n--- first ---\n{printed}\n--- second ---\n{reprinted}"
+        );
+    }
+
+    #[test]
+    fn roundtrip_is_idempotent() {
+        let m = sample_module();
+        let once = print_module(&parse_module(&print_module(&m)).unwrap());
+        let twice = print_module(&parse_module(&once).unwrap());
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn parses_globals() {
+        let m = parse_module("global @buf [64 cells]\n").unwrap();
+        assert_eq!(m.num_globals(), 1);
+        assert_eq!(m.global(crate::GlobalId::new(0)).size(), 64);
+    }
+
+    #[test]
+    fn reports_errors_with_lines() {
+        let e = parse_module("func @f() {\nb0:\n  v1 = bogus v0\n}\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("bogus"));
+        let e = parse_module("what\n").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let text = "func @f(v0: int) {\nb0:\n  jump b1\nb1:\n  v1 = phi [b0: v0], [b1: v2]\n  v2 = add v1, 1\n  jump b1\n}\n";
+        let m = parse_module(text).unwrap();
+        verify_module(&m).expect("verifies");
+    }
+}

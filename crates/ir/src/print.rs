@@ -1,0 +1,186 @@
+//! Textual rendering of modules and functions.
+//!
+//! The format is line-oriented and stable, intended for tests, golden
+//! files and debugging dumps:
+//!
+//! ```text
+//! func @prepare(v0: ptr, v1: int, v2: ptr) {
+//! b0:
+//!   v5 = malloc v1
+//!   v6 = ptradd v5, 4
+//!   store v6, v1
+//!   jump b1
+//! ...
+//! }
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::function::{Function, ValueKind};
+use crate::ids::ValueId;
+use crate::instr::{Callee, Inst, Terminator};
+use crate::module::Module;
+
+/// Renders a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    for g in m.global_ids() {
+        let gl = m.global(g);
+        let _ = writeln!(out, "global @{} [{} cells]", gl.name(), gl.size());
+    }
+    for f in m.func_ids() {
+        out.push_str(&print_function(m.function(f), Some(m)));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one function.
+pub fn print_function(f: &Function, m: Option<&Module>) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "func @{}(", f.name());
+    for (i, &p) in f.params().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: {}", p, f.value(p).ty().expect("param typed"));
+    }
+    out.push(')');
+    if let Some(rt) = f.ret_ty() {
+        let _ = write!(out, " -> {}", rt);
+    }
+    if f.is_exported() {
+        out.push_str(" exported");
+    }
+    out.push_str(" {\n");
+    for b in f.block_ids() {
+        let _ = writeln!(out, "{}:", b);
+        for &v in f.block(b).insts() {
+            let _ = writeln!(out, "  {}", render_inst(f, m, v));
+        }
+        if let Some(t) = f.block(b).terminator_opt() {
+            let _ = writeln!(out, "  {}", render_term(f, t));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn operand(f: &Function, v: ValueId) -> String {
+    match f.value(v).kind() {
+        ValueKind::Const(c) => c.to_string(),
+        _ => v.to_string(),
+    }
+}
+
+fn render_inst(f: &Function, m: Option<&Module>, v: ValueId) -> String {
+    let val = f.value(v);
+    let inst = match val.kind() {
+        ValueKind::Inst(i) => i,
+        other => return format!("{} = <{:?}>", v, other),
+    };
+    let name_suffix = match val.name() {
+        Some(n) => format!("    ; {}", n),
+        None => String::new(),
+    };
+    let body = match inst {
+        Inst::Malloc { size } => format!("{} = malloc {}", v, operand(f, *size)),
+        Inst::Alloca { size } => format!("{} = alloca {}", v, operand(f, *size)),
+        Inst::Free { ptr } => format!("{} = free {}", v, operand(f, *ptr)),
+        Inst::PtrAdd { base, offset } => {
+            format!("{} = ptradd {}, {}", v, operand(f, *base), operand(f, *offset))
+        }
+        Inst::IntBin { op, lhs, rhs } => {
+            format!("{} = {} {}, {}", v, op, operand(f, *lhs), operand(f, *rhs))
+        }
+        Inst::Cmp { op, lhs, rhs } => {
+            format!("{} = cmp {} {}, {}", v, op, operand(f, *lhs), operand(f, *rhs))
+        }
+        Inst::Load { ptr, ty } => format!("{} = load.{} {}", v, ty, operand(f, *ptr)),
+        Inst::Store { ptr, val } => {
+            format!("store {}, {}", operand(f, *ptr), operand(f, *val))
+        }
+        Inst::Phi { args, .. } => {
+            let mut s = format!("{} = phi", v);
+            for (i, (b, a)) in args.iter().enumerate() {
+                let sep = if i == 0 { ' ' } else { ',' };
+                let _ = write!(s, "{} [{}: {}]", sep, b, operand(f, *a));
+            }
+            s
+        }
+        Inst::Sigma { input, op, other } => {
+            format!("{} = sigma {} {} {}", v, operand(f, *input), op, operand(f, *other))
+        }
+        Inst::Call { callee, args, .. } => {
+            let target = match callee {
+                Callee::Internal(fid) => match m {
+                    Some(m) => format!("@{}", m.function(*fid).name()),
+                    None => fid.to_string(),
+                },
+                Callee::External(name) => format!("@{}!", name),
+            };
+            let args: Vec<String> = args.iter().map(|&a| operand(f, a)).collect();
+            let lhs = if f.value(v).ty().is_some() {
+                format!("{} = ", v)
+            } else {
+                String::new()
+            };
+            format!("{}call {}({})", lhs, target, args.join(", "))
+        }
+    };
+    format!("{}{}", body, name_suffix)
+}
+
+fn render_term(f: &Function, t: &Terminator) -> String {
+    match t {
+        Terminator::Br { cond, then_bb, else_bb } => {
+            format!("br {}, {}, {}", operand(f, *cond), then_bb, else_bb)
+        }
+        Terminator::Jump(b) => format!("jump {}", b),
+        Terminator::Ret(Some(v)) => format!("ret {}", operand(f, *v)),
+        Terminator::Ret(None) => "ret".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::{BinOp, CmpOp};
+    use crate::Ty;
+
+    #[test]
+    fn renders_instructions() {
+        let mut b = FunctionBuilder::new("demo", &[Ty::Ptr, Ty::Int], Some(Ty::Int));
+        let p = b.param(0);
+        let n = b.param(1);
+        let q = b.ptr_add(p, n);
+        let x = b.load(q, Ty::Int);
+        let one = b.const_int(1);
+        let y = b.binop(BinOp::Add, x, one);
+        b.store(q, y);
+        let c = b.cmp(CmpOp::Le, y, n);
+        let _ = c;
+        b.ret(Some(y));
+        let f = b.finish();
+        let text = print_function(&f, None);
+        assert!(text.contains("func @demo(v0: ptr, v1: int) -> int {"));
+        assert!(text.contains("ptradd v0, v1"));
+        assert!(text.contains("load.int"));
+        assert!(text.contains("add v3, 1"));
+        assert!(text.contains("cmp le"));
+        assert!(text.contains("ret v5"));
+    }
+
+    #[test]
+    fn renders_module_with_globals() {
+        let mut m = Module::new();
+        m.add_global("table", 32);
+        let mut b = FunctionBuilder::new("main", &[], None);
+        b.ret(None);
+        m.add_function(b.finish());
+        let text = print_module(&m);
+        assert!(text.contains("global @table [32 cells]"));
+        assert!(text.contains("func @main()"));
+    }
+}

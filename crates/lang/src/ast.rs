@@ -1,0 +1,90 @@
+//! Abstract syntax of the mini-C language.
+
+use sra_ir::{CmpOp, Ty};
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinKind {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Variable (local, parameter or global array name).
+    Var(String),
+    /// Arithmetic: int ⊕ int, or ptr ± int (pointer arithmetic).
+    Bin(BinKind, Box<Expr>, Box<Expr>),
+    /// Comparison producing 0/1.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// `*e` — load an integer cell.
+    Load(Box<Expr>),
+    /// `load_ptr(e)` — load a pointer cell.
+    LoadPtr(Box<Expr>),
+    /// `e[i]` — load the integer cell at `e + i`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `malloc(n)` — heap allocation.
+    Malloc(Box<Expr>),
+    /// `alloca(n)` — stack allocation.
+    Alloca(Box<Expr>),
+    /// `name(args)` — internal or external call.
+    Call(String, Vec<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `int x;` / `ptr p;` — declares a mutable local.
+    Decl(String, Ty),
+    /// `x = e;`
+    Assign(String, Expr),
+    /// `*addr = e;` or `p[i] = e;` (addr already includes the index).
+    Store(Expr, Expr),
+    /// `store_ptr(addr, e);` — store a pointer value.
+    StorePtr(Expr, Expr),
+    /// `free(p);`
+    Free(Expr),
+    /// `if (c) { … } else { … }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (c) { … }`
+    While(Expr, Vec<Stmt>),
+    /// `return e;` / `return;`
+    Return(Option<Expr>),
+    /// An expression evaluated for effect (calls).
+    ExprStmt(Expr),
+}
+
+/// A function declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// `(name, type)` parameter list.
+    pub params: Vec<(String, Ty)>,
+    /// Return type; `None` for `void`.
+    pub ret: Option<Ty>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Marked `export` (or named `main`).
+    pub exported: bool,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// `(name, cells)` global arrays.
+    pub globals: Vec<(String, i64)>,
+    /// Function declarations.
+    pub funcs: Vec<FuncDecl>,
+}

@@ -1,0 +1,525 @@
+//! The fixpoint solver for integer symbolic ranges.
+
+use sra_ir::cfg::Cfg;
+use sra_ir::{
+    BinOp, CmpOp, Callee, FuncId, Function, Inst, Module, Ty, ValueId, ValueKind,
+};
+use sra_symbolic::{Bound, SymExpr, SymRange, Symbol, SymbolTable};
+
+/// Tuning knobs for [`RangeAnalysis`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeConfig {
+    /// Length of the descending sequence run after the widened fixpoint
+    /// (the paper uses 2; see Figure 12).
+    pub descending_steps: u32,
+    /// Hard cap on ascending sweeps before forcing unstable values to
+    /// `⊤` (a safety net; the widening discipline converges in a small
+    /// constant number of sweeps on well-formed e-SSA).
+    pub max_ascending_sweeps: u32,
+    /// Bind the result of an integer load to a fresh kernel symbol
+    /// instead of `⊤`. Off by default: a load executed repeatedly may
+    /// observe different values, so a singleton symbol would be unsound.
+    pub loads_as_symbols: bool,
+}
+
+impl Default for RangeConfig {
+    fn default() -> Self {
+        RangeConfig {
+            descending_steps: 2,
+            max_ascending_sweeps: 16,
+            loads_as_symbols: false,
+        }
+    }
+}
+
+/// Ranges for the integer values of one function.
+#[derive(Debug, Clone)]
+pub struct FunctionRanges {
+    ranges: Vec<SymRange>,
+}
+
+impl FunctionRanges {
+    /// The range of `v`; values that are not integers (or unreachable)
+    /// report `⊤`.
+    pub fn range(&self, v: ValueId) -> &SymRange {
+        &self.ranges[v.index()]
+    }
+
+    /// Iterates over the ranges of all values.
+    pub fn all_ranges(&self) -> impl Iterator<Item = &SymRange> {
+        self.ranges.iter()
+    }
+}
+
+/// Whole-module symbolic ranges of integer variables: the paper's
+/// `R : V → S²`.
+#[derive(Debug, Clone)]
+pub struct RangeAnalysis {
+    per_func: Vec<FunctionRanges>,
+    symbols: SymbolTable,
+}
+
+impl RangeAnalysis {
+    /// Analyzes every function of `m` with default configuration.
+    pub fn analyze(m: &Module) -> Self {
+        Self::analyze_with(m, RangeConfig::default())
+    }
+
+    /// Analyzes every function of `m`.
+    pub fn analyze_with(m: &Module, config: RangeConfig) -> Self {
+        let mut symbols = SymbolTable::new();
+        let per_func = m
+            .func_ids()
+            .map(|f| analyze_function(m.function(f), &mut symbols, config))
+            .collect();
+        RangeAnalysis { per_func, symbols }
+    }
+
+    /// Ranges of one function.
+    pub fn function(&self, f: FuncId) -> &FunctionRanges {
+        &self.per_func[f.index()]
+    }
+
+    /// Shorthand: the range of value `v` in function `f`.
+    pub fn range(&self, f: FuncId, v: ValueId) -> &SymRange {
+        self.per_func[f.index()].range(v)
+    }
+
+    /// The symbol table naming the symbolic kernel (for display).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+}
+
+struct Solver<'a> {
+    f: &'a Function,
+    cfg: Cfg,
+    config: RangeConfig,
+    ranges: Vec<SymRange>,
+    /// Lazily minted kernel symbols, one per symbol-producing value.
+    value_symbols: Vec<Option<Symbol>>,
+}
+
+fn analyze_function(
+    f: &Function,
+    symbols: &mut SymbolTable,
+    config: RangeConfig,
+) -> FunctionRanges {
+    let mut solver = Solver {
+        f,
+        cfg: Cfg::new(f),
+        config,
+        ranges: vec![SymRange::empty(); f.num_values()],
+        value_symbols: vec![None; f.num_values()],
+    };
+    solver.seed(symbols);
+    solver.run();
+    FunctionRanges { ranges: solver.ranges }
+}
+
+impl Solver<'_> {
+    /// Assigns initial states: constants, parameters and other kernel
+    /// sources get their exact (symbolic) singletons; everything else
+    /// starts at `∅` and grows.
+    fn seed(&mut self, symbols: &mut SymbolTable) {
+        for v in self.f.value_ids() {
+            let data = self.f.value(v);
+            if data.ty() != Some(Ty::Int) {
+                continue;
+            }
+            match data.kind() {
+                ValueKind::Const(c) => {
+                    self.ranges[v.index()] = SymRange::constant(*c);
+                }
+                ValueKind::Param { index } => {
+                    let name = match data.name() {
+                        Some(n) => n.to_owned(),
+                        None => format!("{}.arg{}", self.f.name(), index),
+                    };
+                    let s = symbols.fresh(&name);
+                    self.value_symbols[v.index()] = Some(s);
+                    self.ranges[v.index()] = SymRange::singleton(SymExpr::from(s));
+                }
+                ValueKind::Inst(Inst::Call { callee, .. }) => {
+                    // A call result is a kernel symbol: external library
+                    // results by definition; internal calls because this
+                    // bootstrap analysis is intraprocedural (§3.3 allows
+                    // any implementation).
+                    let name = match callee {
+                        Callee::External(n) => format!("{}()", n),
+                        Callee::Internal(_) => format!("{}.call{}", self.f.name(), v.index()),
+                    };
+                    let s = symbols.fresh(&name);
+                    self.value_symbols[v.index()] = Some(s);
+                    self.ranges[v.index()] = SymRange::singleton(SymExpr::from(s));
+                }
+                ValueKind::Inst(Inst::Load { .. }) => {
+                    if self.config.loads_as_symbols {
+                        let s = symbols.fresh(&format!("{}.load{}", self.f.name(), v.index()));
+                        self.value_symbols[v.index()] = Some(s);
+                        self.ranges[v.index()] = SymRange::singleton(SymExpr::from(s));
+                    } else {
+                        self.ranges[v.index()] = SymRange::top();
+                    }
+                }
+                ValueKind::Inst(Inst::Cmp { .. }) => {
+                    self.ranges[v.index()] = SymRange::interval(0.into(), 1.into());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn run(&mut self) {
+        // Ascending sweeps with widening at φ from the second sweep on.
+        let mut sweeps = 0;
+        loop {
+            let widen = sweeps > 0;
+            let changed = self.sweep(widen, false);
+            sweeps += 1;
+            if !changed {
+                break;
+            }
+            if sweeps >= self.config.max_ascending_sweeps {
+                // Safety net: force unstable φs to ⊤ and do a final sweep.
+                self.force_top_phis();
+                self.sweep(false, false);
+                break;
+            }
+        }
+        // Descending sequence of fixed length.
+        for _ in 0..self.config.descending_steps {
+            if !self.sweep(false, true) {
+                break;
+            }
+        }
+    }
+
+    /// One pass over every instruction in reverse post-order. Returns
+    /// whether any range changed.
+    ///
+    /// `widen`: apply `∇` at φ-functions. `descend`: recompute φs as the
+    /// plain join of their arguments (narrowing by re-evaluation).
+    fn sweep(&mut self, widen: bool, descend: bool) -> bool {
+        let mut changed = false;
+        let rpo: Vec<_> = self.cfg.rpo().to_vec();
+        for b in rpo {
+            let insts = self.f.block(b).insts().to_vec();
+            for v in insts {
+                let Some(inst) = self.f.value(v).as_inst() else { continue };
+                if self.f.value(v).ty() != Some(Ty::Int) {
+                    continue;
+                }
+                let new = match inst {
+                    Inst::Phi { args, .. } => {
+                        let mut acc = SymRange::empty();
+                        for (_, a) in args {
+                            acc = acc.join(&self.ranges[a.index()]);
+                        }
+                        let old = &self.ranges[v.index()];
+                        if descend {
+                            // Narrowing by re-evaluation: keep the meet
+                            // with the widened state so we never go
+                            // below a sound post-fixpoint.
+                            acc
+                        } else if widen {
+                            old.widen(&old.join(&acc))
+                        } else {
+                            old.join(&acc)
+                        }
+                    }
+                    Inst::IntBin { op, lhs, rhs } => {
+                        let l = &self.ranges[lhs.index()];
+                        let r = &self.ranges[rhs.index()];
+                        match op {
+                            BinOp::Add => l.add(r),
+                            BinOp::Sub => l.sub(r),
+                            BinOp::Mul => l.mul(r),
+                            BinOp::Div => l.div(r),
+                            BinOp::Rem => l.rem(r),
+                        }
+                    }
+                    Inst::Sigma { input, op, other } => {
+                        // Pointer σs carry no integer information.
+                        if self.f.value(*input).ty() != Some(Ty::Int) {
+                            continue;
+                        }
+                        let base = self.ranges[input.index()].clone();
+                        self.apply_sigma(base, *op, *other)
+                    }
+                    // Seeded kinds (consts, params, calls, loads, cmps)
+                    // are invariant.
+                    _ => continue,
+                };
+                if new != self.ranges[v.index()] {
+                    self.ranges[v.index()] = new;
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Refines `base` knowing `input ⟨op⟩ other` holds.
+    fn apply_sigma(&self, base: SymRange, op: CmpOp, other: ValueId) -> SymRange {
+        let other_r = &self.ranges[other.index()];
+        let one = SymExpr::from(1);
+        match op {
+            CmpOp::Lt => match other_r.hi() {
+                Some(Bound::Fin(u)) => base.clamp_above(Bound::Fin(u.clone() - one)),
+                _ => base,
+            },
+            CmpOp::Le => match other_r.hi() {
+                Some(hi) => base.clamp_above(hi.clone()),
+                None => base,
+            },
+            CmpOp::Gt => match other_r.lo() {
+                Some(Bound::Fin(l)) => base.clamp_below(Bound::Fin(l.clone() + one)),
+                _ => base,
+            },
+            CmpOp::Ge => match other_r.lo() {
+                Some(lo) => base.clamp_below(lo.clone()),
+                None => base,
+            },
+            CmpOp::Eq => base.meet(other_r),
+            CmpOp::Ne => base,
+        }
+    }
+
+    fn force_top_phis(&mut self) {
+        for v in self.f.value_ids() {
+            if let Some(Inst::Phi { .. }) = self.f.value(v).as_inst() {
+                if self.f.value(v).ty() == Some(Ty::Int) {
+                    self.ranges[v.index()] = SymRange::top();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sra_ir::FunctionBuilder;
+
+    /// Builds `for (i = start; i < n; i += step) body` and returns
+    /// (module, fid, phi, sigma-in-body).
+    fn counted_loop(start: i64, step: i64) -> (Module, FuncId, ValueId) {
+        let mut b = FunctionBuilder::new("loop", &[Ty::Int], None);
+        let n = b.param(0);
+        b.set_name(n, "n");
+        let head = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        let init = b.const_int(start);
+        let entry = b.entry_block();
+        b.jump(head);
+        b.switch_to(head);
+        let i = b.phi(Ty::Int, &[(entry, init)]);
+        let c = b.cmp(CmpOp::Lt, i, n);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let s = b.const_int(step);
+        let i2 = b.binop(BinOp::Add, i, s);
+        b.add_phi_arg(i, body, i2);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut f = b.finish();
+        sra_ir::essa::run(&mut f);
+        let mut m = Module::new();
+        let fid = m.add_function(f);
+        (m, fid, i)
+    }
+
+    fn show(r: &SymRange, ra: &RangeAnalysis) -> String {
+        format!("{}", r.display(ra.symbols()))
+    }
+
+    #[test]
+    fn loop_counter_is_bounded() {
+        let (m, fid, phi) = counted_loop(0, 1);
+        let ra = RangeAnalysis::analyze(&m);
+        // After widening + descending: i ∈ [0, n] at the φ (it can reach
+        // n before exiting), and the σ in the body is [0, n-1].
+        let phi_range = show(ra.range(fid, phi), &ra);
+        assert_eq!(phi_range, "[0, max(0, n)]", "φ range");
+        let f = m.function(fid);
+        let sigma_range = f
+            .value_ids()
+            .find_map(|v| match f.value(v).as_inst() {
+                Some(Inst::Sigma { input, op: CmpOp::Lt, .. }) if *input == phi => {
+                    Some(show(ra.range(fid, v), &ra))
+                }
+                _ => None,
+            })
+            .expect("σ for i < n exists");
+        assert_eq!(sigma_range, "[0, n - 1]", "σ range");
+    }
+
+    #[test]
+    fn step_two_keeps_lower_bound() {
+        let (m, fid, phi) = counted_loop(0, 2);
+        let ra = RangeAnalysis::analyze(&m);
+        // i grows by 2: it can overshoot the bound by 1.
+        assert_eq!(show(ra.range(fid, phi), &ra), "[0, max(0, n + 1)]");
+    }
+
+    #[test]
+    fn constants_and_arithmetic() {
+        let mut b = FunctionBuilder::new("f", &[Ty::Int], None);
+        let n = b.param(0);
+        b.set_name(n, "n");
+        let two = b.const_int(2);
+        let twice = b.binop(BinOp::Mul, n, two);
+        let five = b.const_int(5);
+        let shifted = b.binop(BinOp::Add, twice, five);
+        b.ret(None);
+        let f = b.finish();
+        let mut m = Module::new();
+        let fid = m.add_function(f);
+        let ra = RangeAnalysis::analyze(&m);
+        assert_eq!(show(ra.range(fid, twice), &ra), "[2*n, 2*n]");
+        assert_eq!(show(ra.range(fid, shifted), &ra), "[2*n + 5, 2*n + 5]");
+    }
+
+    #[test]
+    fn cmp_is_boolean() {
+        let mut b = FunctionBuilder::new("f", &[Ty::Int], None);
+        let n = b.param(0);
+        let z = b.const_int(0);
+        let c = b.cmp(CmpOp::Lt, n, z);
+        b.ret(None);
+        let f = b.finish();
+        let mut m = Module::new();
+        let fid = m.add_function(f);
+        let ra = RangeAnalysis::analyze(&m);
+        assert_eq!(format!("{}", ra.range(fid, c)), "[0, 1]");
+    }
+
+    #[test]
+    fn external_call_is_symbol() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let len = b.call(Callee::External("strlen".into()), &[], Some(Ty::Int));
+        let one = b.const_int(1);
+        let more = b.binop(BinOp::Add, len, one);
+        b.ret(None);
+        let f = b.finish();
+        let mut m = Module::new();
+        let fid = m.add_function(f);
+        let ra = RangeAnalysis::analyze(&m);
+        assert_eq!(show(ra.range(fid, len), &ra), "[strlen(), strlen()]");
+        assert_eq!(show(ra.range(fid, more), &ra), "[strlen() + 1, strlen() + 1]");
+    }
+
+    #[test]
+    fn loads_default_to_top() {
+        let mut b = FunctionBuilder::new("f", &[Ty::Ptr], None);
+        let p = b.param(0);
+        let x = b.load(p, Ty::Int);
+        b.ret(None);
+        let f = b.finish();
+        let mut m = Module::new();
+        let fid = m.add_function(f);
+        let ra = RangeAnalysis::analyze(&m);
+        assert!(ra.range(fid, x).is_top());
+        let ra = RangeAnalysis::analyze_with(
+            &m,
+            RangeConfig { loads_as_symbols: true, ..RangeConfig::default() },
+        );
+        assert!(!ra.range(fid, x).is_top());
+    }
+
+    #[test]
+    fn else_branch_gets_negated_constraint() {
+        // if (x < 0) {} else { use x }  →  x ≥ 0 in the else arm.
+        let mut b = FunctionBuilder::new("f", &[Ty::Int], None);
+        let x = b.param(0);
+        b.set_name(x, "x");
+        let t = b.create_block();
+        let e = b.create_block();
+        let z = b.const_int(0);
+        let c = b.cmp(CmpOp::Lt, x, z);
+        b.br(c, t, e);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        let mut f = b.finish();
+        sra_ir::essa::run(&mut f);
+        let mut m = Module::new();
+        let fid = m.add_function(f);
+        let ra = RangeAnalysis::analyze(&m);
+        let f = m.function(fid);
+        let mut found_pos = false;
+        let mut found_neg = false;
+        for v in f.value_ids() {
+            if let Some(Inst::Sigma { input, op, .. }) = f.value(v).as_inst() {
+                if *input == x {
+                    match op {
+                        CmpOp::Ge => {
+                            assert_eq!(show(ra.range(fid, v), &ra), "[max(0, x), x]");
+                            found_neg = true;
+                        }
+                        CmpOp::Lt => {
+                            assert_eq!(show(ra.range(fid, v), &ra), "[x, min(-1, x)]");
+                            found_pos = true;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        assert!(found_pos && found_neg, "both σs analyzed");
+    }
+
+    #[test]
+    fn nested_loop_converges() {
+        // Two nested counted loops; the analysis must converge quickly
+        // and keep the outer induction variable bounded.
+        let mut b = FunctionBuilder::new("f", &[Ty::Int, Ty::Int], None);
+        let n = b.param(0);
+        b.set_name(n, "n");
+        let mm = b.param(1);
+        b.set_name(mm, "m");
+        let oh = b.create_block();
+        let ob = b.create_block();
+        let ih = b.create_block();
+        let ib = b.create_block();
+        let ie = b.create_block();
+        let oe = b.create_block();
+        let z = b.const_int(0);
+        let entry = b.entry_block();
+        b.jump(oh);
+        b.switch_to(oh);
+        let i = b.phi(Ty::Int, &[(entry, z)]);
+        let c = b.cmp(CmpOp::Lt, i, n);
+        b.br(c, ob, oe);
+        b.switch_to(ob);
+        b.jump(ih);
+        b.switch_to(ih);
+        let j = b.phi(Ty::Int, &[(ob, z)]);
+        let c2 = b.cmp(CmpOp::Lt, j, mm);
+        b.br(c2, ib, ie);
+        b.switch_to(ib);
+        let one = b.const_int(1);
+        let j2 = b.binop(BinOp::Add, j, one);
+        b.add_phi_arg(j, ib, j2);
+        b.jump(ih);
+        b.switch_to(ie);
+        let one = b.const_int(1);
+        let i2 = b.binop(BinOp::Add, i, one);
+        b.add_phi_arg(i, ie, i2);
+        b.jump(oh);
+        b.switch_to(oe);
+        b.ret(None);
+        let mut f = b.finish();
+        sra_ir::essa::run(&mut f);
+        sra_ir::verify::verify_function(&f, None).expect("verified");
+        let mut m = Module::new();
+        let fid = m.add_function(f);
+        let ra = RangeAnalysis::analyze(&m);
+        assert_eq!(show(ra.range(fid, i), &ra), "[0, max(0, n)]");
+        assert_eq!(show(ra.range(fid, j), &ra), "[0, max(0, m)]");
+    }
+}

@@ -1,0 +1,257 @@
+//! Interval endpoints: symbolic expressions extended with ±∞.
+
+use std::fmt;
+
+use crate::expr::SymExpr;
+use crate::symbol::SymbolNames;
+
+/// One endpoint of a symbolic interval: an element of the paper's poset
+/// `S = SE ∪ {−∞, +∞}` (§3.3).
+///
+/// # Examples
+///
+/// ```
+/// use sra_symbolic::{Bound, SymExpr};
+/// let b = Bound::from(SymExpr::from(3));
+/// assert_eq!(b.try_le(&Bound::PosInf), Some(true));
+/// assert_eq!(Bound::NegInf.try_le(&b), Some(true));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Bound {
+    /// `−∞`.
+    NegInf,
+    /// A finite symbolic expression.
+    Fin(SymExpr),
+    /// `+∞`.
+    PosInf,
+}
+
+impl Bound {
+    /// Returns the finite expression, if any.
+    pub fn as_expr(&self) -> Option<&SymExpr> {
+        match self {
+            Bound::Fin(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for a finite bound.
+    pub fn is_finite(&self) -> bool {
+        matches!(self, Bound::Fin(_))
+    }
+
+    /// Returns `Some(c)` when the bound is the finite constant `c`.
+    pub fn as_constant(&self) -> Option<i128> {
+        self.as_expr().and_then(SymExpr::as_constant)
+    }
+
+    /// Sound three-valued order test between bounds.
+    pub fn try_le(&self, other: &Bound) -> Option<bool> {
+        match (self, other) {
+            (Bound::NegInf, _) | (_, Bound::PosInf) => Some(true),
+            (Bound::PosInf, _) | (_, Bound::NegInf) => Some(false),
+            (Bound::Fin(a), Bound::Fin(b)) => a.try_le(b),
+        }
+    }
+
+    /// Sound three-valued strict order test.
+    pub fn try_lt(&self, other: &Bound) -> Option<bool> {
+        match (self, other) {
+            (Bound::NegInf, Bound::NegInf) | (Bound::PosInf, Bound::PosInf) => Some(false),
+            (Bound::NegInf, _) | (_, Bound::PosInf) => Some(true),
+            (Bound::PosInf, _) | (_, Bound::NegInf) => Some(false),
+            (Bound::Fin(a), Bound::Fin(b)) => a.try_lt(b),
+        }
+    }
+
+    /// The smaller of two bounds, building a symbolic `min` when the
+    /// order is unknown.
+    pub fn min(a: Bound, b: Bound) -> Bound {
+        match (a, b) {
+            (Bound::NegInf, _) | (_, Bound::NegInf) => Bound::NegInf,
+            (Bound::PosInf, x) | (x, Bound::PosInf) => x,
+            (Bound::Fin(x), Bound::Fin(y)) => Bound::Fin(SymExpr::min(x, y)),
+        }
+    }
+
+    /// The larger of two bounds; dual of [`Bound::min`].
+    pub fn max(a: Bound, b: Bound) -> Bound {
+        match (a, b) {
+            (Bound::PosInf, _) | (_, Bound::PosInf) => Bound::PosInf,
+            (Bound::NegInf, x) | (x, Bound::NegInf) => x,
+            (Bound::Fin(x), Bound::Fin(y)) => Bound::Fin(SymExpr::max(x, y)),
+        }
+    }
+
+    /// Adds two bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when adding `−∞` to `+∞`; interval arithmetic never adds
+    /// endpoints of opposite polarity, so this indicates a bug in the
+    /// caller.
+    pub fn add(&self, other: &Bound) -> Bound {
+        match (self, other) {
+            (Bound::NegInf, Bound::PosInf) | (Bound::PosInf, Bound::NegInf) => {
+                panic!("Bound::add: −∞ + +∞ is undefined")
+            }
+            (Bound::NegInf, _) | (_, Bound::NegInf) => Bound::NegInf,
+            (Bound::PosInf, _) | (_, Bound::PosInf) => Bound::PosInf,
+            (Bound::Fin(a), Bound::Fin(b)) => Bound::Fin(a.clone() + b.clone()),
+        }
+    }
+
+    /// Adds a finite symbolic expression to this bound.
+    pub fn add_expr(&self, e: &SymExpr) -> Bound {
+        match self {
+            Bound::Fin(a) => Bound::Fin(a.clone() + e.clone()),
+            inf => inf.clone(),
+        }
+    }
+
+    /// Negates the bound (flipping infinities).
+    pub fn negate(&self) -> Bound {
+        match self {
+            Bound::NegInf => Bound::PosInf,
+            Bound::PosInf => Bound::NegInf,
+            Bound::Fin(e) => Bound::Fin(-e.clone()),
+        }
+    }
+
+    /// Multiplies by an integer constant. Zero collapses infinities to 0;
+    /// negative constants flip polarity.
+    pub fn mul_const(&self, c: i128) -> Bound {
+        if c == 0 {
+            return Bound::Fin(SymExpr::zero());
+        }
+        match self {
+            Bound::Fin(e) => Bound::Fin(e.clone() * SymExpr::from(c)),
+            Bound::NegInf => {
+                if c > 0 {
+                    Bound::NegInf
+                } else {
+                    Bound::PosInf
+                }
+            }
+            Bound::PosInf => {
+                if c > 0 {
+                    Bound::PosInf
+                } else {
+                    Bound::NegInf
+                }
+            }
+        }
+    }
+
+    /// Renders the bound using `names` for symbols.
+    pub fn display<'a>(&'a self, names: &'a dyn SymbolNames) -> impl fmt::Display + 'a {
+        DisplayBound { bound: self, names }
+    }
+}
+
+impl From<SymExpr> for Bound {
+    fn from(e: SymExpr) -> Self {
+        Bound::Fin(e)
+    }
+}
+
+impl From<i64> for Bound {
+    fn from(c: i64) -> Self {
+        Bound::Fin(SymExpr::from(c))
+    }
+}
+
+struct DisplayBound<'a> {
+    bound: &'a Bound,
+    names: &'a dyn SymbolNames,
+}
+
+impl fmt::Display for DisplayBound<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.bound {
+            Bound::NegInf => write!(f, "-inf"),
+            Bound::PosInf => write!(f, "+inf"),
+            Bound::Fin(e) => write!(f, "{}", e.display(self.names)),
+        }
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::NegInf => write!(f, "-inf"),
+            Bound::PosInf => write!(f, "+inf"),
+            Bound::Fin(e) => write!(f, "{}", e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Symbol;
+
+    fn n() -> SymExpr {
+        SymExpr::from(Symbol::new(0))
+    }
+
+    #[test]
+    fn order_with_infinities() {
+        let f = Bound::Fin(n());
+        assert_eq!(Bound::NegInf.try_le(&f), Some(true));
+        assert_eq!(f.try_le(&Bound::PosInf), Some(true));
+        assert_eq!(Bound::PosInf.try_le(&f), Some(false));
+        assert_eq!(Bound::PosInf.try_le(&Bound::PosInf), Some(true));
+        assert_eq!(Bound::PosInf.try_lt(&Bound::PosInf), Some(false));
+        assert_eq!(Bound::NegInf.try_lt(&Bound::PosInf), Some(true));
+    }
+
+    #[test]
+    fn min_max_infinities() {
+        let f = Bound::Fin(n());
+        assert_eq!(Bound::min(Bound::NegInf, f.clone()), Bound::NegInf);
+        assert_eq!(Bound::min(Bound::PosInf, f.clone()), f);
+        assert_eq!(Bound::max(Bound::PosInf, f.clone()), Bound::PosInf);
+        assert_eq!(Bound::max(Bound::NegInf, f.clone()), f);
+    }
+
+    #[test]
+    fn min_of_incomparable_is_symbolic() {
+        let a = Bound::Fin(SymExpr::from(Symbol::new(0)));
+        let b = Bound::Fin(SymExpr::from(Symbol::new(1)));
+        let m = Bound::min(a.clone(), b.clone());
+        assert!(m.is_finite());
+        assert_eq!(m.try_le(&a), Some(true));
+        assert_eq!(m.try_le(&b), Some(true));
+    }
+
+    #[test]
+    fn add_and_negate() {
+        let f = Bound::Fin(n());
+        assert_eq!(f.add(&Bound::from(2)), Bound::Fin(n() + SymExpr::from(2)));
+        assert_eq!(Bound::NegInf.add(&f), Bound::NegInf);
+        assert_eq!(Bound::NegInf.negate(), Bound::PosInf);
+        assert_eq!(f.negate().negate(), f);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn add_opposite_infinities_panics() {
+        let _ = Bound::NegInf.add(&Bound::PosInf);
+    }
+
+    #[test]
+    fn mul_const_polarity() {
+        assert_eq!(Bound::NegInf.mul_const(-2), Bound::PosInf);
+        assert_eq!(Bound::PosInf.mul_const(3), Bound::PosInf);
+        assert_eq!(Bound::PosInf.mul_const(0).as_constant(), Some(0));
+        let f = Bound::Fin(n());
+        assert_eq!(f.mul_const(2), Bound::Fin(n() * SymExpr::from(2)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Bound::NegInf.to_string(), "-inf");
+        assert_eq!(Bound::from(4).to_string(), "4");
+    }
+}

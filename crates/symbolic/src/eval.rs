@@ -1,0 +1,198 @@
+//! Concrete evaluation of symbolic expressions — the testing oracle.
+//!
+//! A [`Valuation`] assigns concrete integers to kernel symbols so that
+//! expressions, bounds and ranges can be evaluated and the algebraic
+//! laws of the lattice checked against ground truth. Arithmetic
+//! saturates exactly like the canonicalizer in [`crate::SymExpr`], so a
+//! property test comparing `eval(a op b)` with `eval(a) op eval(b)` is
+//! exact.
+
+use std::collections::HashMap;
+
+use crate::bound::Bound;
+use crate::expr::{Atom, SymExpr};
+use crate::range::SymRange;
+use crate::symbol::Symbol;
+
+/// A concrete assignment of integers to symbols.
+///
+/// # Examples
+///
+/// ```
+/// use sra_symbolic::{SymExpr, Symbol, Valuation};
+/// let n = Symbol::new(0);
+/// let mut v = Valuation::new();
+/// v.set(n, 41);
+/// let e = SymExpr::from(n) + 1.into();
+/// assert_eq!(v.eval(&e), Some(42));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Valuation {
+    values: HashMap<Symbol, i128>,
+}
+
+impl Valuation {
+    /// Creates an empty valuation (unset symbols evaluate as 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assigns `value` to `sym`, returning the previous value if any.
+    pub fn set(&mut self, sym: Symbol, value: i128) -> Option<i128> {
+        self.values.insert(sym, value)
+    }
+
+    /// Reads the value of `sym` (0 when unset).
+    pub fn get(&self, sym: Symbol) -> i128 {
+        self.values.get(&sym).copied().unwrap_or(0)
+    }
+
+    /// Evaluates an expression; `None` when the expression divides by a
+    /// zero denominator (undefined program behaviour).
+    pub fn eval(&self, e: &SymExpr) -> Option<i128> {
+        let mut acc = e.eval_constant_part();
+        for (atoms, coeff) in e.eval_terms() {
+            let mut prod: i128 = 1;
+            for atom in atoms {
+                prod = prod.saturating_mul(self.eval_atom(atom)?);
+            }
+            acc = acc.saturating_add(prod.saturating_mul(coeff));
+        }
+        Some(acc)
+    }
+
+    fn eval_atom(&self, atom: &Atom) -> Option<i128> {
+        match atom {
+            Atom::Sym(s) => Some(self.get(*s)),
+            Atom::Min(a, b) => Some(self.eval(a)?.min(self.eval(b)?)),
+            Atom::Max(a, b) => Some(self.eval(a)?.max(self.eval(b)?)),
+            Atom::Div(a, b) => {
+                let d = self.eval(b)?;
+                if d == 0 {
+                    None
+                } else {
+                    Some(self.eval(a)?.checked_div(d).unwrap_or(i128::MAX))
+                }
+            }
+            Atom::Mod(a, b) => {
+                let d = self.eval(b)?;
+                if d == 0 {
+                    None
+                } else {
+                    Some(self.eval(a)?.checked_rem(d).unwrap_or(0))
+                }
+            }
+        }
+    }
+
+    /// Evaluates a bound to a value on the extended number line:
+    /// `(sign, value)` where `sign < 0` is `−∞`, `sign > 0` is `+∞`.
+    pub fn eval_bound(&self, b: &Bound) -> Option<EvalBound> {
+        Some(match b {
+            Bound::NegInf => EvalBound::NegInf,
+            Bound::PosInf => EvalBound::PosInf,
+            Bound::Fin(e) => EvalBound::Fin(self.eval(e)?),
+        })
+    }
+
+    /// Checks whether the concrete integer `x` lies inside the range
+    /// under this valuation. `None` when evaluation is undefined.
+    pub fn range_contains(&self, r: &SymRange, x: i128) -> Option<bool> {
+        match r {
+            SymRange::Empty => Some(false),
+            SymRange::Interval { lo, hi } => {
+                let lo_ok = match self.eval_bound(lo)? {
+                    EvalBound::NegInf => true,
+                    EvalBound::Fin(l) => l <= x,
+                    EvalBound::PosInf => false,
+                };
+                let hi_ok = match self.eval_bound(hi)? {
+                    EvalBound::PosInf => true,
+                    EvalBound::Fin(u) => x <= u,
+                    EvalBound::NegInf => false,
+                };
+                Some(lo_ok && hi_ok)
+            }
+        }
+    }
+}
+
+/// A bound evaluated to the extended integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EvalBound {
+    /// `−∞`.
+    NegInf,
+    /// A finite value.
+    Fin(i128),
+    /// `+∞`.
+    PosInf,
+}
+
+impl SymExpr {
+    /// Internal access for the evaluator: the constant part.
+    fn eval_constant_part(&self) -> i128 {
+        self.as_constant_part()
+    }
+
+    /// Internal access for the evaluator: `(atoms, coeff)` pairs.
+    fn eval_terms(&self) -> impl Iterator<Item = (&[Atom], i128)> + '_ {
+        self.terms_view()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(i: u32) -> SymExpr {
+        SymExpr::from(Symbol::new(i))
+    }
+
+    #[test]
+    fn eval_affine() {
+        let mut v = Valuation::new();
+        v.set(Symbol::new(0), 10);
+        v.set(Symbol::new(1), -3);
+        let e = sym(0) * SymExpr::from(2) + sym(1) - SymExpr::from(4);
+        assert_eq!(v.eval(&e), Some(13));
+    }
+
+    #[test]
+    fn eval_unset_symbol_is_zero() {
+        let v = Valuation::new();
+        assert_eq!(v.eval(&(sym(7) + SymExpr::from(5))), Some(5));
+    }
+
+    #[test]
+    fn eval_min_max() {
+        let mut v = Valuation::new();
+        v.set(Symbol::new(0), 10);
+        v.set(Symbol::new(1), 3);
+        let e = SymExpr::min(sym(0), sym(1));
+        assert_eq!(v.eval(&e), Some(3));
+        let e = SymExpr::max(sym(0), sym(1));
+        assert_eq!(v.eval(&e), Some(10));
+    }
+
+    #[test]
+    fn eval_div_mod() {
+        let mut v = Valuation::new();
+        v.set(Symbol::new(0), 7);
+        assert_eq!(v.eval(&SymExpr::div(sym(0), 2.into())), Some(3));
+        assert_eq!(v.eval(&SymExpr::rem(sym(0), 2.into())), Some(1));
+        // Division by a symbol that is 0 is undefined.
+        assert_eq!(v.eval(&SymExpr::div(sym(0), sym(1))), None);
+    }
+
+    #[test]
+    fn range_membership() {
+        let mut v = Valuation::new();
+        v.set(Symbol::new(0), 10);
+        let r = SymRange::interval(0.into(), sym(0));
+        assert_eq!(v.range_contains(&r, 0), Some(true));
+        assert_eq!(v.range_contains(&r, 10), Some(true));
+        assert_eq!(v.range_contains(&r, 11), Some(false));
+        assert_eq!(v.range_contains(&SymRange::top(), i128::MAX), Some(true));
+        assert_eq!(v.range_contains(&SymRange::Empty, 0), Some(false));
+    }
+}

@@ -1,0 +1,53 @@
+//! Symbolic expression algebra and the `SymbRanges` interval lattice.
+//!
+//! This crate implements the arithmetic substrate of *Symbolic Range
+//! Analysis of Pointers* (Paisante et al., CGO 2016, §3.3): symbolic
+//! expressions over a program's *symbolic kernel*, the partially ordered
+//! set `S = SE ∪ {−∞, +∞}`, and the semi-lattice of symbolic intervals
+//! with join `⊔`, meet `⊓`, inclusion `⊑` and the paper's widening `∇`.
+//!
+//! A symbolic expression follows the paper's grammar
+//!
+//! ```text
+//! E ::= n | s | min(E,E) | max(E,E) | E − E | E + E | E/E | E mod E | E × E
+//! ```
+//!
+//! where `n` is an integer and `s` a *symbol* — a name that cannot be
+//! expressed as a function of other names (function parameters, values
+//! returned by library functions, globals).
+//!
+//! Expressions are kept in a canonical affine form (`c₀ + Σ cᵢ·tᵢ` with
+//! each term `tᵢ` a product of [`Atom`]s), which makes syntactic equality
+//! decide semantic equality for the affine fragment and gives a cheap,
+//! sound partial order: `e₁ ≤ e₂` is *provable* when `e₂ − e₁`
+//! canonicalizes to a non-negative constant, and structural rules handle
+//! `min`/`max`. Distinct kernel symbols are incomparable, exactly as the
+//! paper prescribes (`N < N+1` holds; `N` vs `M` is unknown).
+//!
+//! # Examples
+//!
+//! ```
+//! use sra_symbolic::{Symbol, SymExpr, SymRange};
+//!
+//! let n = Symbol::new(0); // e.g. the parameter `N`
+//! let lo = SymExpr::from(n);             // N
+//! let hi = SymExpr::from(n) + 10.into(); // N + 10
+//! assert_eq!(lo.try_lt(&hi), Some(true));
+//!
+//! // [0, N-1] and [N, N+9] never overlap:
+//! let a = SymRange::interval(SymExpr::from(0), SymExpr::from(n) - 1.into());
+//! let b = SymRange::interval(SymExpr::from(n), hi);
+//! assert!(a.meet(&b).is_empty());
+//! ```
+
+mod bound;
+mod eval;
+mod expr;
+mod range;
+mod symbol;
+
+pub use bound::Bound;
+pub use eval::Valuation;
+pub use expr::{Atom, SymExpr};
+pub use range::SymRange;
+pub use symbol::{Symbol, SymbolNames, SymbolTable};

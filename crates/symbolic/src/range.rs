@@ -1,0 +1,604 @@
+//! The `SymbRanges` semi-lattice of symbolic intervals.
+
+use std::fmt;
+
+use crate::bound::Bound;
+use crate::expr::SymExpr;
+use crate::symbol::SymbolNames;
+
+/// A symbolic interval `R = [l, u]` over [`Bound`]s, or the empty range.
+///
+/// This is the paper's semi-lattice `SymbRanges = (S², ⊑, ⊔, ∅,
+/// [−∞,+∞])` (§3.3) with:
+///
+/// * join `[a₁,a₂] ⊔ [b₁,b₂] = [min(a₁,b₁), max(a₂,b₂)]`,
+/// * meet `⊓` that returns [`SymRange::Empty`] when the intervals are
+///   *provably* disjoint and the (possibly symbolic) intersection
+///   otherwise,
+/// * the widening `∇` of §3.3, which pins a bound that stayed equal and
+///   pushes a changed bound to its infinity.
+///
+/// # Examples
+///
+/// ```
+/// use sra_symbolic::{SymExpr, SymRange, Symbol};
+/// let n = SymExpr::from(Symbol::new(0));
+/// let a = SymRange::interval(0.into(), n.clone() - 1.into());
+/// let b = SymRange::interval(n.clone(), n * 2.into());
+/// assert!(a.meet(&b).is_empty());        // [0,N-1] ⊓ [N,2N] = ∅
+/// assert!(!a.meet(&a.join(&b)).is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SymRange {
+    /// The least element `∅`.
+    Empty,
+    /// A (non-provably-empty) interval `[lo, hi]`.
+    Interval {
+        /// Lower bound (never `+∞` in a well-formed range).
+        lo: Bound,
+        /// Upper bound (never `−∞` in a well-formed range).
+        hi: Bound,
+    },
+}
+
+impl SymRange {
+    /// The empty range `∅` (the lattice's least element).
+    pub fn empty() -> Self {
+        SymRange::Empty
+    }
+
+    /// The full range `[−∞, +∞]` (the lattice's greatest element).
+    pub fn top() -> Self {
+        SymRange::Interval { lo: Bound::NegInf, hi: Bound::PosInf }
+    }
+
+    /// An interval with two finite symbolic endpoints.
+    pub fn interval(lo: SymExpr, hi: SymExpr) -> Self {
+        SymRange::Interval { lo: Bound::Fin(lo), hi: Bound::Fin(hi) }.normalized()
+    }
+
+    /// An interval from arbitrary bounds.
+    pub fn with_bounds(lo: Bound, hi: Bound) -> Self {
+        SymRange::Interval { lo, hi }.normalized()
+    }
+
+    /// The singleton range `[e, e]`.
+    pub fn singleton(e: SymExpr) -> Self {
+        SymRange::Interval { lo: Bound::Fin(e.clone()), hi: Bound::Fin(e) }
+    }
+
+    /// The singleton constant range `[c, c]`.
+    pub fn constant(c: i64) -> Self {
+        SymRange::singleton(SymExpr::from(c))
+    }
+
+    /// Collapses provably empty intervals to `∅` and oversized symbolic
+    /// endpoints to their infinity (sound, coarser).
+    fn normalized(self) -> Self {
+        match self {
+            SymRange::Empty => SymRange::Empty,
+            SymRange::Interval { lo, hi } => {
+                if hi.try_lt(&lo) == Some(true) {
+                    return SymRange::Empty;
+                }
+                let lo = match lo {
+                    Bound::Fin(e) if e.is_oversized() => Bound::NegInf,
+                    other => other,
+                };
+                let hi = match hi {
+                    Bound::Fin(e) if e.is_oversized() => Bound::PosInf,
+                    other => other,
+                };
+                SymRange::Interval { lo, hi }
+            }
+        }
+    }
+
+    /// Returns `true` for `∅`.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, SymRange::Empty)
+    }
+
+    /// Returns `true` for `[−∞, +∞]`.
+    pub fn is_top(&self) -> bool {
+        matches!(
+            self,
+            SymRange::Interval { lo: Bound::NegInf, hi: Bound::PosInf }
+        )
+    }
+
+    /// Lower bound (paper notation `R↓`), if the range is non-empty.
+    pub fn lo(&self) -> Option<&Bound> {
+        match self {
+            SymRange::Empty => None,
+            SymRange::Interval { lo, .. } => Some(lo),
+        }
+    }
+
+    /// Upper bound (paper notation `R↑`), if the range is non-empty.
+    pub fn hi(&self) -> Option<&Bound> {
+        match self {
+            SymRange::Empty => None,
+            SymRange::Interval { hi, .. } => Some(hi),
+        }
+    }
+
+    /// Returns the single expression `e` when the range is `[e, e]`.
+    pub fn as_singleton(&self) -> Option<&SymExpr> {
+        match self {
+            SymRange::Interval { lo: Bound::Fin(a), hi: Bound::Fin(b) } if a == b => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` when any bound mentions a kernel symbol — the
+    /// "exclusively symbolic range" census of the paper's §5 counts
+    /// pointers for which this holds.
+    pub fn is_symbolic(&self) -> bool {
+        let expr_symbolic = |b: &Bound| matches!(b, Bound::Fin(e) if e.is_symbolic());
+        match self {
+            SymRange::Empty => false,
+            SymRange::Interval { lo, hi } => expr_symbolic(lo) || expr_symbolic(hi),
+        }
+    }
+
+    /// The join `⊔`: smallest interval containing both operands. `∅` is
+    /// neutral and `[−∞,+∞]` absorbing, per §3.3.
+    pub fn join(&self, other: &SymRange) -> SymRange {
+        match (self, other) {
+            (SymRange::Empty, r) | (r, SymRange::Empty) => r.clone(),
+            (
+                SymRange::Interval { lo: l1, hi: h1 },
+                SymRange::Interval { lo: l2, hi: h2 },
+            ) => SymRange::Interval {
+                lo: Bound::min(l1.clone(), l2.clone()),
+                hi: Bound::max(h1.clone(), h2.clone()),
+            }
+            .normalized(),
+        }
+    }
+
+    /// The meet `⊓`: `∅` when the intervals are provably disjoint
+    /// (`a₂ < b₁` or `b₂ < a₁`), otherwise
+    /// `[max(a₁,b₁), min(a₂,b₂)]`. When disjointness cannot be proven the
+    /// result soundly over-approximates the intersection.
+    pub fn meet(&self, other: &SymRange) -> SymRange {
+        match (self, other) {
+            (SymRange::Empty, _) | (_, SymRange::Empty) => SymRange::Empty,
+            (
+                SymRange::Interval { lo: l1, hi: h1 },
+                SymRange::Interval { lo: l2, hi: h2 },
+            ) => {
+                if h1.try_lt(l2) == Some(true) || h2.try_lt(l1) == Some(true) {
+                    return SymRange::Empty;
+                }
+                SymRange::Interval {
+                    lo: Bound::max(l1.clone(), l2.clone()),
+                    hi: Bound::min(h1.clone(), h2.clone()),
+                }
+                .normalized()
+            }
+        }
+    }
+
+    /// Inclusion test `self ⊑ other`, provable fragment only: returns
+    /// `false` whenever inclusion cannot be *proven*, which is the sound
+    /// direction for fixpoint subsumption checks.
+    pub fn le(&self, other: &SymRange) -> bool {
+        match (self, other) {
+            (SymRange::Empty, _) => true,
+            (_, SymRange::Empty) => false,
+            (
+                SymRange::Interval { lo: l1, hi: h1 },
+                SymRange::Interval { lo: l2, hi: h2 },
+            ) => l2.try_le(l1) == Some(true) && h1.try_le(h2) == Some(true),
+        }
+    }
+
+    /// The paper's widening `∇` (§3.3): a bound that changed jumps to its
+    /// infinity; a bound that stayed (syntactically) equal is kept.
+    /// `∅` behaves as the bottom element.
+    pub fn widen(&self, next: &SymRange) -> SymRange {
+        match (self, next) {
+            (SymRange::Empty, r) | (r, SymRange::Empty) => r.clone(),
+            (
+                SymRange::Interval { lo: l, hi: h },
+                SymRange::Interval { lo: l2, hi: h2 },
+            ) => {
+                let lo = if l == l2 { l.clone() } else { Bound::NegInf };
+                let hi = if h == h2 { h.clone() } else { Bound::PosInf };
+                SymRange::Interval { lo, hi }
+            }
+        }
+    }
+
+    /// Interval addition `[l₁+l₂, u₁+u₂]`; `∅` is absorbing.
+    pub fn add(&self, other: &SymRange) -> SymRange {
+        match (self, other) {
+            (SymRange::Empty, _) | (_, SymRange::Empty) => SymRange::Empty,
+            (
+                SymRange::Interval { lo: l1, hi: h1 },
+                SymRange::Interval { lo: l2, hi: h2 },
+            ) => SymRange::Interval { lo: l1.add(l2), hi: h1.add(h2) }.normalized(),
+        }
+    }
+
+    /// Shifts both bounds by a finite expression.
+    pub fn add_expr(&self, e: &SymExpr) -> SymRange {
+        match self {
+            SymRange::Empty => SymRange::Empty,
+            SymRange::Interval { lo, hi } => SymRange::Interval {
+                lo: lo.add_expr(e),
+                hi: hi.add_expr(e),
+            }
+            .normalized(),
+        }
+    }
+
+    /// Interval negation `[-u, -l]`.
+    pub fn negate(&self) -> SymRange {
+        match self {
+            SymRange::Empty => SymRange::Empty,
+            SymRange::Interval { lo, hi } => {
+                SymRange::Interval { lo: hi.negate(), hi: lo.negate() }
+            }
+        }
+    }
+
+    /// Interval subtraction `self − other`.
+    pub fn sub(&self, other: &SymRange) -> SymRange {
+        self.add(&other.negate())
+    }
+
+    /// Interval multiplication.
+    ///
+    /// Exact for: a constant-singleton factor (scales and possibly flips
+    /// the interval), two symbolic singletons (exact product), and two
+    /// all-constant intervals (min/max of the four corner products).
+    /// Falls back to `[−∞, +∞]` otherwise — sound, if coarse.
+    pub fn mul(&self, other: &SymRange) -> SymRange {
+        match (self, other) {
+            (SymRange::Empty, _) | (_, SymRange::Empty) => return SymRange::Empty,
+            _ => {}
+        }
+        if let Some(c) = other.as_singleton().and_then(SymExpr::as_constant) {
+            return self.mul_const(c);
+        }
+        if let Some(c) = self.as_singleton().and_then(SymExpr::as_constant) {
+            return other.mul_const(c);
+        }
+        if let (Some(a), Some(b)) = (self.as_singleton(), other.as_singleton()) {
+            return SymRange::singleton(a.clone() * b.clone());
+        }
+        if let (Some((a, b)), Some((c, d))) = (self.const_bounds(), other.const_bounds()) {
+            let products = [
+                a.saturating_mul(c),
+                a.saturating_mul(d),
+                b.saturating_mul(c),
+                b.saturating_mul(d),
+            ];
+            let lo = *products.iter().min().expect("non-empty");
+            let hi = *products.iter().max().expect("non-empty");
+            return SymRange::Interval {
+                lo: Bound::Fin(SymExpr::from(lo)),
+                hi: Bound::Fin(SymExpr::from(hi)),
+            };
+        }
+        SymRange::top()
+    }
+
+    /// Multiplies by an integer constant (flipping for negatives).
+    pub fn mul_const(&self, c: i128) -> SymRange {
+        match self {
+            SymRange::Empty => SymRange::Empty,
+            SymRange::Interval { lo, hi } => {
+                if c >= 0 {
+                    SymRange::Interval { lo: lo.mul_const(c), hi: hi.mul_const(c) }
+                } else {
+                    SymRange::Interval { lo: hi.mul_const(c), hi: lo.mul_const(c) }
+                }
+                .normalized()
+            }
+        }
+    }
+
+    /// Interval truncating division.
+    ///
+    /// Exact when the divisor is a singleton positive constant (trunc
+    /// division is monotone in the dividend); singleton ÷ singleton
+    /// produces a symbolic quotient; everything else returns top.
+    pub fn div(&self, other: &SymRange) -> SymRange {
+        match (self, other) {
+            (SymRange::Empty, _) | (_, SymRange::Empty) => return SymRange::Empty,
+            _ => {}
+        }
+        if let (Some(a), Some(b)) = (self.as_singleton(), other.as_singleton()) {
+            return SymRange::singleton(SymExpr::div(a.clone(), b.clone()));
+        }
+        if let Some(d) = other.as_singleton().and_then(SymExpr::as_constant) {
+            if d > 0 {
+                if let SymRange::Interval { lo, hi } = self {
+                    let div_bound = |b: &Bound| match b {
+                        Bound::Fin(e) => {
+                            Bound::Fin(SymExpr::div(e.clone(), SymExpr::from(d)))
+                        }
+                        inf => inf.clone(),
+                    };
+                    return SymRange::Interval { lo: div_bound(lo), hi: div_bound(hi) }
+                        .normalized();
+                }
+            }
+        }
+        SymRange::top()
+    }
+
+    /// Interval truncating remainder.
+    ///
+    /// With a singleton positive-constant divisor `m` the result lies in
+    /// `[-(m-1), m-1]`, tightened to `[0, m-1]` when the dividend is
+    /// provably non-negative. Otherwise top.
+    pub fn rem(&self, other: &SymRange) -> SymRange {
+        match (self, other) {
+            (SymRange::Empty, _) | (_, SymRange::Empty) => return SymRange::Empty,
+            _ => {}
+        }
+        if let (Some(a), Some(b)) = (self.as_singleton(), other.as_singleton()) {
+            return SymRange::singleton(SymExpr::rem(a.clone(), b.clone()));
+        }
+        if let Some(m) = other.as_singleton().and_then(SymExpr::as_constant) {
+            if m > 0 {
+                let nonneg = self
+                    .lo()
+                    .map(|lo| Bound::from(0).try_le(lo) == Some(true))
+                    .unwrap_or(false);
+                let lo = if nonneg { 0 } else { -(m - 1) };
+                return SymRange::Interval {
+                    lo: Bound::Fin(SymExpr::from(lo)),
+                    hi: Bound::Fin(SymExpr::from(m - 1)),
+                };
+            }
+        }
+        SymRange::top()
+    }
+
+    /// Returns `true` unless the two ranges are *provably* disjoint —
+    /// the alias queries' "may overlap" check.
+    pub fn may_overlap(&self, other: &SymRange) -> bool {
+        !self.meet(other).is_empty()
+    }
+
+    /// Restricts to `[−∞, b]` (the paper's `p₁ ∩ [−∞, p₂]` σ-node).
+    pub fn clamp_above(&self, b: Bound) -> SymRange {
+        self.meet(&SymRange::Interval { lo: Bound::NegInf, hi: b })
+    }
+
+    /// Restricts to `[b, +∞]` (the paper's `p₁ ∩ [p₂, +∞]` σ-node).
+    pub fn clamp_below(&self, b: Bound) -> SymRange {
+        self.meet(&SymRange::Interval { lo: b, hi: Bound::PosInf })
+    }
+
+    fn const_bounds(&self) -> Option<(i128, i128)> {
+        match self {
+            SymRange::Interval { lo: Bound::Fin(a), hi: Bound::Fin(b) } => {
+                Some((a.as_constant()?, b.as_constant()?))
+            }
+            _ => None,
+        }
+    }
+
+    /// Renders the range using `names` for symbols.
+    pub fn display<'a>(&'a self, names: &'a dyn SymbolNames) -> impl fmt::Display + 'a {
+        DisplayRange { range: self, names }
+    }
+}
+
+struct DisplayRange<'a> {
+    range: &'a SymRange,
+    names: &'a dyn SymbolNames,
+}
+
+impl fmt::Display for DisplayRange<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.range {
+            SymRange::Empty => write!(f, "empty"),
+            SymRange::Interval { lo, hi } => write!(
+                f,
+                "[{}, {}]",
+                lo.display(self.names),
+                hi.display(self.names)
+            ),
+        }
+    }
+}
+
+impl fmt::Display for SymRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymRange::Empty => write!(f, "empty"),
+            SymRange::Interval { lo, hi } => write!(f, "[{}, {}]", lo, hi),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Symbol;
+
+    fn n() -> SymExpr {
+        SymExpr::from(Symbol::new(0))
+    }
+
+    fn m() -> SymExpr {
+        SymExpr::from(Symbol::new(1))
+    }
+
+    #[test]
+    fn join_neutral_and_absorbing() {
+        let r = SymRange::interval(0.into(), n());
+        assert_eq!(SymRange::empty().join(&r), r);
+        assert_eq!(r.join(&SymRange::empty()), r);
+        assert!(r.join(&SymRange::top()).is_top());
+    }
+
+    #[test]
+    fn meet_neutral_and_absorbing() {
+        let r = SymRange::interval(0.into(), n());
+        assert!(SymRange::empty().meet(&r).is_empty());
+        assert_eq!(SymRange::top().meet(&r), r);
+    }
+
+    #[test]
+    fn provably_disjoint_meet_is_empty() {
+        // [0, N-1] vs [N, N+strlen-1]: the paper's Figure 1 criterion.
+        let a = SymRange::interval(0.into(), n() - 1.into());
+        let b = SymRange::interval(n(), n() + m() - 1.into());
+        assert!(a.meet(&b).is_empty());
+        assert!(!a.may_overlap(&b));
+    }
+
+    #[test]
+    fn unknown_overlap_is_conservative() {
+        // [0, N+1] vs [1, N+2]: overlapping for N ≥ 1 (paper Figure 3).
+        let a = SymRange::interval(0.into(), n() + 1.into());
+        let b = SymRange::interval(1.into(), n() + 2.into());
+        assert!(a.may_overlap(&b));
+        // Distinct symbols: cannot prove disjointness either way.
+        let c = SymRange::interval(m(), m() + 1.into());
+        assert!(a.may_overlap(&c));
+    }
+
+    #[test]
+    fn join_is_upper_bound() {
+        let a = SymRange::interval(0.into(), n());
+        let b = SymRange::interval(5.into(), n() + 5.into());
+        let j = a.join(&b);
+        assert!(a.le(&j));
+        assert!(b.le(&j));
+    }
+
+    #[test]
+    fn widen_pins_stable_bounds() {
+        let a = SymRange::interval(0.into(), 1.into());
+        let grown_hi = SymRange::interval(0.into(), 2.into());
+        let w = a.widen(&grown_hi);
+        assert_eq!(w, SymRange::with_bounds(Bound::from(0), Bound::PosInf));
+        let grown_lo = SymRange::interval((-1).into(), 1.into());
+        let w = a.widen(&grown_lo);
+        assert_eq!(w, SymRange::with_bounds(Bound::NegInf, Bound::from(1)));
+        assert_eq!(a.widen(&a), a);
+        let w = a.widen(&SymRange::interval((-1).into(), 2.into()));
+        assert!(w.is_top());
+    }
+
+    #[test]
+    fn widen_from_empty_is_identity() {
+        let a = SymRange::interval(0.into(), n());
+        assert_eq!(SymRange::empty().widen(&a), a);
+    }
+
+    #[test]
+    fn arithmetic_add_sub() {
+        let a = SymRange::interval(0.into(), n());
+        let b = SymRange::constant(3);
+        assert_eq!(a.add(&b), SymRange::interval(3.into(), n() + 3.into()));
+        assert_eq!(a.sub(&b), SymRange::interval((-3).into(), n() - 3.into()));
+        assert!(a.add(&SymRange::empty()).is_empty());
+    }
+
+    #[test]
+    fn add_expr_shifts() {
+        let a = SymRange::interval(0.into(), n());
+        assert_eq!(a.add_expr(&m()), SymRange::interval(m(), n() + m()));
+        assert_eq!(SymRange::top().add_expr(&m()), SymRange::top());
+    }
+
+    #[test]
+    fn negate_flips() {
+        let a = SymRange::interval(1.into(), n());
+        assert_eq!(a.negate(), SymRange::interval(-n(), (-1).into()));
+        assert_eq!(
+            SymRange::with_bounds(Bound::from(0), Bound::PosInf).negate(),
+            SymRange::with_bounds(Bound::NegInf, Bound::from(0))
+        );
+    }
+
+    #[test]
+    fn mul_const_interval() {
+        let a = SymRange::interval(1.into(), n());
+        assert_eq!(a.mul_const(2), SymRange::interval(2.into(), n() * 2.into()));
+        assert_eq!(a.mul_const(-1), SymRange::interval(-n(), (-1).into()));
+    }
+
+    #[test]
+    fn mul_constant_corners() {
+        let a = SymRange::interval((-2).into(), 3.into());
+        let b = SymRange::interval((-5).into(), 7.into());
+        assert_eq!(a.mul(&b), SymRange::interval((-15).into(), 21.into()));
+    }
+
+    #[test]
+    fn mul_unknown_is_top() {
+        let a = SymRange::interval(0.into(), n());
+        let b = SymRange::interval(0.into(), m());
+        assert!(a.mul(&b).is_top());
+    }
+
+    #[test]
+    fn div_positive_const() {
+        let a = SymRange::interval(0.into(), 7.into());
+        assert_eq!(a.div(&SymRange::constant(2)), SymRange::interval(0.into(), 3.into()));
+        let s = SymRange::interval(0.into(), n());
+        let d = s.div(&SymRange::constant(2));
+        assert_eq!(d.lo().and_then(Bound::as_constant), Some(0));
+    }
+
+    #[test]
+    fn rem_positive_const() {
+        let a = SymRange::interval(0.into(), n());
+        assert_eq!(a.rem(&SymRange::constant(4)), SymRange::interval(0.into(), 3.into()));
+        let b = SymRange::interval((-5).into(), n());
+        assert_eq!(b.rem(&SymRange::constant(4)), SymRange::interval((-3).into(), 3.into()));
+    }
+
+    #[test]
+    fn clamp_above_below() {
+        let a = SymRange::with_bounds(Bound::from(0), Bound::PosInf);
+        let c = a.clamp_above(Bound::Fin(n() - 1.into()));
+        assert_eq!(c, SymRange::interval(0.into(), n() - 1.into()));
+        let c = SymRange::top().clamp_below(Bound::Fin(n()));
+        assert_eq!(c, SymRange::with_bounds(Bound::Fin(n()), Bound::PosInf));
+    }
+
+    #[test]
+    fn normalization_detects_constant_empty() {
+        assert!(SymRange::interval(3.into(), 2.into()).is_empty());
+        assert!(!SymRange::interval(2.into(), 2.into()).is_empty());
+    }
+
+    #[test]
+    fn le_inclusion() {
+        let inner = SymRange::interval(1.into(), n());
+        let outer = SymRange::interval(0.into(), n() + 1.into());
+        assert!(inner.le(&outer));
+        assert!(!outer.le(&inner));
+        assert!(SymRange::empty().le(&inner));
+        assert!(inner.le(&SymRange::top()));
+    }
+
+    #[test]
+    fn singleton_accessors() {
+        let s = SymRange::singleton(n());
+        assert_eq!(s.as_singleton(), Some(&n()));
+        assert!(s.is_symbolic());
+        assert!(!SymRange::constant(4).is_symbolic());
+        assert!(SymRange::interval(0.into(), n()).is_symbolic());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SymRange::constant(3).to_string(), "[3, 3]");
+        assert_eq!(SymRange::top().to_string(), "[-inf, +inf]");
+        assert_eq!(SymRange::empty().to_string(), "empty");
+    }
+}

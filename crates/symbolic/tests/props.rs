@@ -1,0 +1,257 @@
+//! Property-based tests for the symbolic algebra and the `SymbRanges`
+//! lattice: every algebraic law the analyses rely on is checked against
+//! concrete evaluation under random valuations.
+
+use proptest::prelude::*;
+use sra_symbolic::{Bound, SymExpr, SymRange, Symbol, Valuation};
+
+const NUM_SYMBOLS: u32 = 4;
+
+/// A small random symbolic expression.
+fn arb_expr() -> impl Strategy<Value = SymExpr> {
+    let leaf = prop_oneof![
+        (-20i64..=20).prop_map(SymExpr::from),
+        (0u32..NUM_SYMBOLS).prop_map(|i| SymExpr::from(Symbol::new(i))),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), -3i64..=3).prop_map(|(a, c)| a * SymExpr::from(c)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| SymExpr::min(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| SymExpr::max(a, b)),
+            (inner.clone(), 1i64..=5).prop_map(|(a, d)| SymExpr::div(a, d.into())),
+            (inner, 1i64..=5).prop_map(|(a, d)| SymExpr::rem(a, d.into())),
+        ]
+    })
+}
+
+fn arb_valuation() -> impl Strategy<Value = Valuation> {
+    proptest::collection::vec(-100i128..=100, NUM_SYMBOLS as usize).prop_map(|vals| {
+        let mut v = Valuation::new();
+        for (i, x) in vals.into_iter().enumerate() {
+            v.set(Symbol::new(i as u32), x);
+        }
+        v
+    })
+}
+
+/// A random range built from two expressions (possibly with infinities).
+fn arb_range() -> impl Strategy<Value = SymRange> {
+    (arb_expr(), arb_expr(), 0u8..4).prop_map(|(a, b, inf)| {
+        let lo = if inf & 1 != 0 { Bound::NegInf } else { Bound::Fin(a) };
+        let hi = if inf & 2 != 0 { Bound::PosInf } else { Bound::Fin(b) };
+        SymRange::with_bounds(lo, hi)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `+` on canonical forms agrees with concrete addition.
+    #[test]
+    fn eval_respects_add(a in arb_expr(), b in arb_expr(), v in arb_valuation()) {
+        let sum = a.clone() + b.clone();
+        if let (Some(x), Some(y), Some(s)) = (v.eval(&a), v.eval(&b), v.eval(&sum)) {
+            prop_assert_eq!(s, x.saturating_add(y));
+        }
+    }
+
+    /// `−` on canonical forms agrees with concrete subtraction.
+    #[test]
+    fn eval_respects_sub(a in arb_expr(), b in arb_expr(), v in arb_valuation()) {
+        let diff = a.clone() - b.clone();
+        if let (Some(x), Some(y), Some(d)) = (v.eval(&a), v.eval(&b), v.eval(&diff)) {
+            prop_assert_eq!(d, x.saturating_sub(y));
+        }
+    }
+
+    /// Smart `min`/`max` constructors agree with concrete min/max.
+    #[test]
+    fn eval_respects_min_max(a in arb_expr(), b in arb_expr(), v in arb_valuation()) {
+        let mn = SymExpr::min(a.clone(), b.clone());
+        let mx = SymExpr::max(a.clone(), b.clone());
+        if let (Some(x), Some(y)) = (v.eval(&a), v.eval(&b)) {
+            if let Some(m) = v.eval(&mn) {
+                prop_assert_eq!(m, x.min(y));
+            }
+            if let Some(m) = v.eval(&mx) {
+                prop_assert_eq!(m, x.max(y));
+            }
+        }
+    }
+
+    /// The partial order is sound: a proven `a ≤ b` holds concretely.
+    #[test]
+    fn try_le_is_sound(a in arb_expr(), b in arb_expr(), v in arb_valuation()) {
+        if let Some(verdict) = a.try_le(&b) {
+            if let (Some(x), Some(y)) = (v.eval(&a), v.eval(&b)) {
+                prop_assert_eq!(verdict, x <= y, "claimed {:?} for {} ≤ {}", verdict, a, b);
+            }
+        }
+    }
+
+    /// Strict order soundness.
+    #[test]
+    fn try_lt_is_sound(a in arb_expr(), b in arb_expr(), v in arb_valuation()) {
+        if let Some(verdict) = a.try_lt(&b) {
+            if let (Some(x), Some(y)) = (v.eval(&a), v.eval(&b)) {
+                prop_assert_eq!(verdict, x < y);
+            }
+        }
+    }
+
+    /// Join over-approximates both operands (membership-wise).
+    #[test]
+    fn join_is_upper_bound(
+        a in arb_range(), b in arb_range(), v in arb_valuation(), x in -200i128..=200
+    ) {
+        let j = a.join(&b);
+        for r in [&a, &b] {
+            if v.range_contains(r, x) == Some(true) {
+                prop_assert_eq!(
+                    v.range_contains(&j, x), Some(true),
+                    "x={} in {} but not in join {}", x, r, j
+                );
+            }
+        }
+    }
+
+    /// Meet over-approximates the intersection; in particular a meet that
+    /// is ∅ proves the concretizations are disjoint.
+    #[test]
+    fn meet_is_sound(
+        a in arb_range(), b in arb_range(), v in arb_valuation(), x in -200i128..=200
+    ) {
+        let m = a.meet(&b);
+        if v.range_contains(&a, x) == Some(true) && v.range_contains(&b, x) == Some(true) {
+            prop_assert_eq!(
+                v.range_contains(&m, x), Some(true),
+                "x={} in both {} and {} but not in meet {}", x, a, b, m
+            );
+        }
+    }
+
+    /// Interval addition is sound: x∈a ∧ y∈b ⇒ x+y ∈ a+b.
+    #[test]
+    fn add_is_sound(
+        a in arb_range(), b in arb_range(), v in arb_valuation(),
+        x in -150i128..=150, y in -150i128..=150
+    ) {
+        if v.range_contains(&a, x) == Some(true) && v.range_contains(&b, y) == Some(true) {
+            let sum = a.add(&b);
+            prop_assert_eq!(v.range_contains(&sum, x + y), Some(true));
+        }
+    }
+
+    /// Negation is sound and involutive on membership.
+    #[test]
+    fn negate_is_sound(a in arb_range(), v in arb_valuation(), x in -200i128..=200) {
+        if v.range_contains(&a, x) == Some(true) {
+            prop_assert_eq!(v.range_contains(&a.negate(), -x), Some(true));
+        }
+    }
+
+    /// Multiplication is sound.
+    #[test]
+    fn mul_is_sound(
+        a in arb_range(), b in arb_range(), v in arb_valuation(),
+        x in -40i128..=40, y in -40i128..=40
+    ) {
+        if v.range_contains(&a, x) == Some(true) && v.range_contains(&b, y) == Some(true) {
+            prop_assert_eq!(v.range_contains(&a.mul(&b), x * y), Some(true));
+        }
+    }
+
+    /// Division by a positive-constant singleton is sound.
+    #[test]
+    fn div_by_const_is_sound(
+        a in arb_range(), d in 1i64..=7, v in arb_valuation(), x in -200i128..=200
+    ) {
+        if v.range_contains(&a, x) == Some(true) {
+            let q = a.div(&SymRange::constant(d));
+            prop_assert_eq!(
+                v.range_contains(&q, x / d as i128), Some(true),
+                "{} / {} = {} not in {}", x, d, x / d as i128, q
+            );
+        }
+    }
+
+    /// Remainder by a positive-constant singleton is sound.
+    #[test]
+    fn rem_by_const_is_sound(
+        a in arb_range(), d in 1i64..=7, v in arb_valuation(), x in -200i128..=200
+    ) {
+        if v.range_contains(&a, x) == Some(true) {
+            let r = a.rem(&SymRange::constant(d));
+            prop_assert_eq!(v.range_contains(&r, x % d as i128), Some(true));
+        }
+    }
+
+    /// Widening over-approximates its second argument (the growing one)
+    /// and, when fed `prev ⊑ next` as in the fixpoint loop, `prev` too.
+    #[test]
+    fn widen_is_upper_bound(
+        a in arb_range(), b in arb_range(), v in arb_valuation(), x in -200i128..=200
+    ) {
+        let next = a.join(&b); // ensures a ⊑ next as in the analysis loop
+        let w = a.widen(&next);
+        for r in [&a, &next] {
+            if v.range_contains(r, x) == Some(true) {
+                prop_assert_eq!(v.range_contains(&w, x), Some(true));
+            }
+        }
+    }
+
+    /// Widening terminates: iterating `w := w ∇ (w ⊔ g)` stabilizes in at
+    /// most three steps from any starting point (each bound can only move
+    /// to its infinity once; §3.8's complexity argument).
+    #[test]
+    fn widen_terminates_quickly(a in arb_range(), gs in proptest::collection::vec(arb_range(), 1..4)) {
+        let mut w = a;
+        let mut changes = 0;
+        for _ in 0..4 {
+            let mut next = w.clone();
+            for g in &gs {
+                next = next.join(g);
+            }
+            let widened = w.widen(&next);
+            if widened != w {
+                changes += 1;
+                w = widened;
+            } else {
+                break;
+            }
+        }
+        // After the bounds have been pushed to ±∞ nothing can change.
+        let mut next = w.clone();
+        for g in &gs {
+            next = next.join(g);
+        }
+        prop_assert_eq!(w.widen(&next), w.clone(), "unstable after {} changes", changes);
+    }
+
+    /// `le` (⊑) is sound with respect to membership.
+    #[test]
+    fn le_is_sound(
+        a in arb_range(), b in arb_range(), v in arb_valuation(), x in -200i128..=200
+    ) {
+        if a.le(&b) && v.range_contains(&a, x) == Some(true) {
+            prop_assert_eq!(v.range_contains(&b, x), Some(true));
+        }
+    }
+
+    /// Join is commutative and idempotent (canonical forms make this
+    /// syntactic).
+    #[test]
+    fn join_commutative_idempotent(a in arb_range(), b in arb_range()) {
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        prop_assert_eq!(a.join(&a), a.clone());
+    }
+
+    /// Meet is commutative.
+    #[test]
+    fn meet_commutative(a in arb_range(), b in arb_range()) {
+        prop_assert_eq!(a.meet(&b), b.meet(&a));
+    }
+}

@@ -1,0 +1,208 @@
+//! The evaluation harness: runs every analysis over a module and
+//! collects the statistics behind the paper's Figures 13 and 14 and the
+//! §5 symbolic-range census.
+
+use std::time::{Duration, Instant};
+
+use sra_baselines::{BasicAlias, ScevAlias};
+use sra_core::{
+    pointer_values, AliasAnalysis, AliasResult, RbaaAnalysis, WhichTest,
+};
+use sra_ir::Module;
+
+/// Per-module evaluation results: one Figure 13/14 row.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Pairwise pointer queries issued (the paper's `#Queries`).
+    pub queries: usize,
+    /// `NoAlias` answers per analysis.
+    pub scev_no: usize,
+    /// `NoAlias` answers from `basicaa`.
+    pub basic_no: usize,
+    /// `NoAlias` answers from the paper's analysis.
+    pub rbaa_no: usize,
+    /// `NoAlias` answers from `rbaa ∪ basic` (the paper's `r + b`).
+    pub rb_no: usize,
+    /// rbaa answers from disjoint allocation-site supports.
+    pub rbaa_distinct: usize,
+    /// rbaa answers attributed to the global test proper — symbolic
+    /// range comparison on common locations (Figure 14).
+    pub rbaa_global: usize,
+    /// rbaa answers attributed to the local test.
+    pub rbaa_local: usize,
+    /// IR instructions in the module (Figure 15 x-axis).
+    pub insts: usize,
+    /// Pointer-typed SSA values (Figure 15 second series).
+    pub pointers: usize,
+    /// Pointers whose GR bounds mention a kernel symbol (§5 census).
+    pub symbolic_range_ptrs: usize,
+    /// Pointers with a non-⊥, non-⊤ GR state (census denominator).
+    pub ranged_ptrs: usize,
+    /// Wall time of the paper's analyses (bootstrap + GR + LR), which is
+    /// what Figure 15 measures ("only the time to map variables to
+    /// values in SymbRanges").
+    pub analysis_time: Duration,
+}
+
+impl Metrics {
+    /// `%scev` of Figure 13.
+    pub fn scev_pct(&self) -> f64 {
+        percent(self.scev_no, self.queries)
+    }
+
+    /// `%basic` of Figure 13.
+    pub fn basic_pct(&self) -> f64 {
+        percent(self.basic_no, self.queries)
+    }
+
+    /// `%rbaa` of Figure 13.
+    pub fn rbaa_pct(&self) -> f64 {
+        percent(self.rbaa_no, self.queries)
+    }
+
+    /// `%(r + b)` of Figure 13.
+    pub fn rb_pct(&self) -> f64 {
+        percent(self.rb_no, self.queries)
+    }
+
+    /// Share of GR-ranged pointers with exclusively symbolic bounds.
+    pub fn symbolic_pct(&self) -> f64 {
+        percent(self.symbolic_range_ptrs, self.ranged_ptrs)
+    }
+
+    /// Adds another module's numbers (for the Total row).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.queries += other.queries;
+        self.scev_no += other.scev_no;
+        self.basic_no += other.basic_no;
+        self.rbaa_no += other.rbaa_no;
+        self.rb_no += other.rb_no;
+        self.rbaa_distinct += other.rbaa_distinct;
+        self.rbaa_global += other.rbaa_global;
+        self.rbaa_local += other.rbaa_local;
+        self.insts += other.insts;
+        self.pointers += other.pointers;
+        self.symbolic_range_ptrs += other.symbolic_range_ptrs;
+        self.ranged_ptrs += other.ranged_ptrs;
+        self.analysis_time += other.analysis_time;
+    }
+}
+
+fn percent(n: usize, d: usize) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        100.0 * n as f64 / d as f64
+    }
+}
+
+/// Runs rbaa, basicaa and scev-aa over `m`, querying every unordered
+/// pair of pointer values within each function.
+pub fn evaluate(m: &Module) -> Metrics {
+    let started = Instant::now();
+    let rbaa = RbaaAnalysis::analyze(m);
+    let analysis_time = started.elapsed();
+    let basic = BasicAlias::analyze(m);
+    let scev = ScevAlias::analyze(m);
+
+    let mut out = Metrics { insts: m.num_insts(), analysis_time, ..Metrics::default() };
+
+    for f in m.func_ids() {
+        let ptrs = pointer_values(m, f);
+        out.pointers += ptrs.len();
+        for (i, &p) in ptrs.iter().enumerate() {
+            for &q in &ptrs[i + 1..] {
+                out.queries += 1;
+                let (r, test) = rbaa.alias_with_test(f, p, q);
+                let rbaa_no = r == AliasResult::NoAlias;
+                if rbaa_no {
+                    out.rbaa_no += 1;
+                    match test {
+                        Some(WhichTest::DistinctLocs) => out.rbaa_distinct += 1,
+                        Some(WhichTest::Global) => out.rbaa_global += 1,
+                        Some(WhichTest::Local) => out.rbaa_local += 1,
+                        None => {}
+                    }
+                }
+                let basic_no = basic.alias(f, p, q) == AliasResult::NoAlias;
+                if basic_no {
+                    out.basic_no += 1;
+                }
+                if scev.alias(f, p, q) == AliasResult::NoAlias {
+                    out.scev_no += 1;
+                }
+                if rbaa_no || basic_no {
+                    out.rb_no += 1;
+                }
+            }
+        }
+        // §5 census: pointers whose GR ranges are symbolic.
+        for &p in &ptrs {
+            let st = rbaa.gr().state(f, p);
+            if st.is_top() || st.is_bottom() {
+                continue;
+            }
+            out.ranged_ptrs += 1;
+            if st.support().any(|(_, r)| r.is_symbolic()) {
+                out.symbolic_range_ptrs += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Times only the paper's pipeline (bootstrap ranges + GR + LR) over a
+/// module — the Figure 15 measurement.
+pub fn time_analysis(m: &Module) -> Duration {
+    let started = Instant::now();
+    let rbaa = RbaaAnalysis::analyze(m);
+    // Keep the result alive so the work is not optimized away.
+    std::hint::black_box(&rbaa);
+    started.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite;
+
+    #[test]
+    fn evaluate_smallest_benchmark() {
+        let b = suite::benchmark("allroots").unwrap();
+        let m = b.build().unwrap();
+        let row = evaluate(&m);
+        assert!(row.queries > 50, "queries = {}", row.queries);
+        assert!(row.rbaa_no <= row.queries);
+        assert!(row.rb_no >= row.rbaa_no);
+        assert!(row.rb_no >= row.basic_no);
+        assert_eq!(
+            row.rbaa_no,
+            row.rbaa_distinct + row.rbaa_global + row.rbaa_local
+        );
+        assert!(row.insts > 100);
+        assert!(row.pointers > 20);
+    }
+
+    #[test]
+    fn rbaa_beats_scev_on_idiomatic_code() {
+        let b = suite::benchmark("anagram").unwrap();
+        let m = b.build().unwrap();
+        let row = evaluate(&m);
+        assert!(
+            row.rbaa_pct() > row.scev_pct(),
+            "rbaa {:.1}% vs scev {:.1}%",
+            row.rbaa_pct(),
+            row.scev_pct()
+        );
+    }
+
+    #[test]
+    fn metrics_merge_totals() {
+        let mut a = Metrics { queries: 10, rbaa_no: 4, ..Metrics::default() };
+        let b = Metrics { queries: 5, rbaa_no: 1, ..Metrics::default() };
+        a.merge(&b);
+        assert_eq!(a.queries, 15);
+        assert_eq!(a.rbaa_no, 5);
+        assert!((a.rbaa_pct() - 100.0 * 5.0 / 15.0).abs() < 1e-9);
+    }
+}

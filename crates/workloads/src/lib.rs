@@ -1,0 +1,44 @@
+//! Benchmark workloads reproducing the paper's evaluation inputs (§4).
+//!
+//! The paper evaluates on three C suites — Prolangs, PtrDist and
+//! MallocBench — that are not redistributable here, so this crate
+//! regenerates *stand-ins*: 22 synthetic benchmarks (one per row of
+//! Figure 13) assembled from the pointer idioms those suites exercise:
+//!
+//! * two-phase message serialization over a symbolic boundary (the
+//!   paper's Figure 1 — only symbolic range reasoning separates the
+//!   phases),
+//! * strided loop accesses `p[i]`/`p[i+1]` (Figure 3 — the local test
+//!   and SCEV win, `basicaa` does not),
+//! * constant struct-field accesses (everyone wins),
+//! * batteries of distinct allocations (site-based reasoning wins),
+//! * pointers laundered through memory and escaped allocations (nobody
+//!   wins),
+//! * internal helpers taking pointer parameters (only interprocedural
+//!   range propagation wins),
+//! * exported API functions (everyone is conservative).
+//!
+//! Each benchmark mixes these idioms with a deterministic per-name RNG
+//! and a scale factor proportional to the paper's per-benchmark query
+//! counts, so the *shape* of Figure 13 (who wins, by what order) is
+//! reproduced while absolute counts stay manageable.
+//!
+//! The [`scaling`] module generates IR directly (bypassing the parser)
+//! for the Figure 15 linearity experiment, and [`harness`] runs every
+//! analysis over a module and collects the per-row statistics.
+//!
+//! # Examples
+//!
+//! ```
+//! use sra_workloads::{suite, harness};
+//! let bench = &suite::benchmarks()[3]; // allroots (the smallest)
+//! let module = bench.build().expect("benchmark compiles");
+//! let row = harness::evaluate(&module);
+//! assert!(row.queries > 0);
+//! assert!(row.rbaa_pct() >= row.scev_pct());
+//! ```
+
+pub mod harness;
+pub mod scaling;
+pub mod suite;
+pub mod templates;

@@ -1,0 +1,228 @@
+//! Scalable program generation for the Figure 15 linearity experiment.
+//!
+//! Figure 15 measures analysis runtime over the 50 largest programs of
+//! the LLVM test suite (800k instructions, 240k pointers in total).
+//! This module generates programs of a requested instruction count
+//! directly through the [`sra_ir::FunctionBuilder`] (bypassing the
+//! parser, which is not what the experiment times) with the same
+//! instruction mix the suites exhibit: pointer-walk loops, strided
+//! stores, field accesses, allocations and calls.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sra_ir::{BinOp, Callee, CmpOp, FuncId, FunctionBuilder, Module, Ty};
+
+/// Generates a module with roughly `target_insts` IR instructions
+/// (within a few percent), deterministically from `seed`.
+pub fn generate_module(target_insts: usize, seed: u64) -> Module {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Module::new();
+    let mut made: usize = 0;
+    let mut funcs: Vec<FuncId> = Vec::new();
+    let mut i = 0;
+    while made < target_insts {
+        let mut f = gen_function(&format!("f{i}"), &mut rng);
+        sra_ir::essa::run(&mut f);
+        made += f.num_insts();
+        funcs.push(m.add_function(f));
+        i += 1;
+    }
+    // main calls every generated function with fresh buffers.
+    let mut b = FunctionBuilder::new("main", &[], Some(Ty::Int));
+    for &f in &funcs {
+        let n = b.call(Callee::External("atoi".into()), &[], Some(Ty::Int));
+        let sixty_four = b.const_int(64);
+        let size = b.binop(BinOp::Add, n, sixty_four);
+        let buf = b.malloc(size);
+        b.call(Callee::Internal(f), &[buf, n], None);
+    }
+    let zero = b.const_int(0);
+    b.ret(Some(zero));
+    let mut main = b.finish();
+    main.set_exported(true);
+    m.add_function(main);
+    m
+}
+
+/// One function: a handful of loops over the buffer parameter plus
+/// local allocations, in proportions similar to compiled C.
+fn gen_function(name: &str, rng: &mut StdRng) -> sra_ir::Function {
+    let mut b = FunctionBuilder::new(name, &[Ty::Ptr, Ty::Int], None);
+    let p = b.param(0);
+    let n = b.param(1);
+    let blocks = rng.gen_range(2..6);
+    for blk in 0..blocks {
+        match rng.gen_range(0..4) {
+            // Counted loop with two strided stores.
+            0 => {
+                let head = b.create_block();
+                let body = b.create_block();
+                let exit = b.create_block();
+                let zero = b.const_int(0);
+                let entry = b.current_block();
+                b.jump(head);
+                b.switch_to(head);
+                let i = b.phi(Ty::Int, &[(entry, zero)]);
+                let c = b.cmp(CmpOp::Lt, i, n);
+                b.br(c, body, exit);
+                b.switch_to(body);
+                let a0 = b.ptr_add(p, i);
+                b.store(a0, i);
+                let one = b.const_int(1);
+                let i1 = b.binop(BinOp::Add, i, one);
+                let a1 = b.ptr_add(p, i1);
+                let x = b.load(a0, Ty::Int);
+                b.store(a1, x);
+                let step = b.const_int(rng.gen_range(1..=4));
+                let inext = b.binop(BinOp::Add, i, step);
+                b.add_phi_arg(i, body, inext);
+                b.jump(head);
+                b.switch_to(exit);
+            }
+            // Local allocation with field writes.
+            1 => {
+                let fields = rng.gen_range(2..8);
+                let size = b.const_int(fields);
+                let s = if rng.gen_bool(0.5) {
+                    b.malloc(size)
+                } else {
+                    b.alloca(size)
+                };
+                for f in 0..fields {
+                    let off = b.const_int(f);
+                    let addr = b.ptr_add(s, off);
+                    let val = b.const_int(f * 3 + blk);
+                    b.store(addr, val);
+                }
+            }
+            // Pointer walk bounded by p + n.
+            2 => {
+                let head = b.create_block();
+                let body = b.create_block();
+                let exit = b.create_block();
+                let zero = b.const_int(0);
+                let i0 = b.ptr_add(p, zero);
+                let e = b.ptr_add(p, n);
+                let entry = b.current_block();
+                b.jump(head);
+                b.switch_to(head);
+                let cur = b.phi(Ty::Ptr, &[(entry, i0)]);
+                let c = b.cmp(CmpOp::Lt, cur, e);
+                b.br(c, body, exit);
+                b.switch_to(body);
+                let k = b.const_int(blk);
+                b.store(cur, k);
+                let step = b.const_int(rng.gen_range(1..=2));
+                let next = b.ptr_add(cur, step);
+                b.add_phi_arg(cur, body, next);
+                b.jump(head);
+                b.switch_to(exit);
+            }
+            // Straight-line integer arithmetic with a guarded store.
+            _ => {
+                let len = b.call(Callee::External("strlen".into()), &[], Some(Ty::Int));
+                let two = b.const_int(2);
+                let mid = b.binop(BinOp::Div, len, two);
+                let t = b.create_block();
+                let eb = b.create_block();
+                let c = b.cmp(CmpOp::Lt, mid, n);
+                b.br(c, t, eb);
+                b.switch_to(t);
+                let addr = b.ptr_add(p, mid);
+                b.store(addr, mid);
+                b.jump(eb);
+                b.switch_to(eb);
+            }
+        }
+    }
+    b.ret(None);
+    b.finish()
+}
+
+/// The sizes used by the Figure 15 sweep: 50 programs growing (roughly
+/// geometrically) from about 1k to `max_insts` instructions.
+pub fn figure15_sizes(max_insts: usize) -> Vec<usize> {
+    let lo = 1_000f64;
+    let hi = max_insts.max(2_000) as f64;
+    (0..50)
+        .map(|i| {
+            let t = i as f64 / 49.0;
+            (lo * (hi / lo).powf(t)) as usize
+        })
+        .collect()
+}
+
+/// Pearson linear correlation coefficient between two series — the
+/// statistic the paper reports for Figure 15 (R = 0.982 for time vs
+/// instructions, 0.975 for time vs pointers).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series must pair up");
+    let n = xs.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_size() {
+        let m = generate_module(5_000, 1);
+        let got = m.num_insts();
+        assert!(got >= 5_000, "got {got}");
+        assert!(got < 7_000, "overshoot bounded: {got}");
+        sra_ir::verify::verify_module(&m).expect("verified");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_module(2_000, 7);
+        let b = generate_module(2_000, 7);
+        assert_eq!(a.num_insts(), b.num_insts());
+        assert_eq!(a.num_functions(), b.num_functions());
+    }
+
+    #[test]
+    fn sizes_grow_to_max() {
+        let sizes = figure15_sizes(100_000);
+        assert_eq!(sizes.len(), 50);
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(sizes[0], 1_000);
+        assert!(*sizes.last().unwrap() >= 99_000);
+    }
+
+    #[test]
+    fn pearson_sanity() {
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+        let flat = vec![2.0; 10];
+        assert_eq!(pearson(&xs, &flat), 0.0);
+    }
+
+    #[test]
+    fn generated_module_analyzes() {
+        let m = generate_module(3_000, 3);
+        let metrics = crate::harness::evaluate(&m);
+        assert!(metrics.queries > 0);
+        assert!(metrics.rbaa_no > 0, "the generated idioms are analyzable");
+    }
+}

@@ -1,0 +1,296 @@
+//! Source-level idiom templates the benchmarks are assembled from.
+//!
+//! Every template emits one mini-C function exercising a specific
+//! pointer-disambiguation idiom; [`crate::suite`] mixes them with
+//! per-benchmark weights. Templates take a [`rand::Rng`] so repeated
+//! instances vary in sizes, strides and field counts while remaining
+//! deterministic per benchmark.
+
+use rand::Rng;
+
+/// Which idiom a template instance exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Template {
+    /// Figure 1: two-phase serialization over a symbolic boundary.
+    MessageSerialize,
+    /// Figure 3: strided loop, `p[i]` vs `p[i+1]` with step 2.
+    StridedLoop,
+    /// Constant struct-field accesses off a common base.
+    StructFields,
+    /// A battery of distinct allocations written independently.
+    DistinctObjects,
+    /// Pointers stored to and reloaded from memory (nobody wins).
+    LaunderedPointers,
+    /// An internal helper taking pointer parameters (interprocedural).
+    HelperCall,
+    /// An exported API function with pointer parameters.
+    ExportedApi,
+    /// Figure 7: pointer-walk loop bounded by `p + n`.
+    PointerWalk,
+    /// Row-major matrix sweep with symbolic width.
+    MatrixSweep,
+    /// malloc/free churn with reuse.
+    AllocFree,
+}
+
+/// All templates, for enumeration in tests.
+pub const ALL: &[Template] = &[
+    Template::MessageSerialize,
+    Template::StridedLoop,
+    Template::StructFields,
+    Template::DistinctObjects,
+    Template::LaunderedPointers,
+    Template::HelperCall,
+    Template::ExportedApi,
+    Template::PointerWalk,
+    Template::MatrixSweep,
+    Template::AllocFree,
+];
+
+impl Template {
+    /// Emits the source of one function named `name` (plus possibly a
+    /// helper named `name_h`). Returns `(source, call_stmt)` where
+    /// `call_stmt` is the statement `main` should use to invoke it.
+    pub fn emit(self, name: &str, rng: &mut impl Rng) -> (String, String) {
+        match self {
+            Template::MessageSerialize => message_serialize(name, rng),
+            Template::StridedLoop => strided_loop(name, rng),
+            Template::StructFields => struct_fields(name, rng),
+            Template::DistinctObjects => distinct_objects(name, rng),
+            Template::LaunderedPointers => laundered_pointers(name, rng),
+            Template::HelperCall => helper_call(name, rng),
+            Template::ExportedApi => exported_api(name, rng),
+            Template::PointerWalk => pointer_walk(name, rng),
+            Template::MatrixSweep => matrix_sweep(name, rng),
+            Template::AllocFree => alloc_free(name, rng),
+        }
+    }
+}
+
+fn message_serialize(name: &str, rng: &mut impl Rng) -> (String, String) {
+    let step = rng.gen_range(1..=2);
+    let src = format!(
+        r#"
+export void {name}(ptr p, int n, ptr m) {{
+    ptr i; ptr e;
+    i = p; e = p + n;
+    while (i < e) {{ *i = 0; i = i + {step}; }}
+    ptr f; f = e + strlen(m);
+    while (i < f) {{ *i = *m; m = m + 1; i = i + 1; }}
+}}
+"#
+    );
+    let n = rng.gen_range(8..64);
+    let call = format!(
+        "int z{name}; z{name} = atoi(); ptr b{name}; b{name} = malloc(z{name} + {n}); \
+         ptr s{name}; s{name} = malloc(strlen()); {name}(b{name}, z{name}, s{name});"
+    );
+    // Wrap the call block as a sequence main can inline.
+    (src, call)
+}
+
+fn strided_loop(name: &str, rng: &mut impl Rng) -> (String, String) {
+    let stride = rng.gen_range(2..=4);
+    let lanes = rng.gen_range(2..=stride);
+    let mut body = String::new();
+    for l in 0..lanes {
+        body.push_str(&format!("*(q + i + {l}) = {l}; "));
+    }
+    let src = format!(
+        r#"
+export void {name}(ptr q, int n) {{
+    int i; i = 0;
+    while (i < n) {{ {body}i = i + {stride}; }}
+}}
+"#
+    );
+    let n = rng.gen_range(16..128);
+    let call =
+        format!("ptr a{name}; a{name} = malloc({n} + atoi()); {name}(a{name}, {n});");
+    (src, call)
+}
+
+fn struct_fields(name: &str, rng: &mut impl Rng) -> (String, String) {
+    let fields = rng.gen_range(3..=8);
+    let mut body = String::new();
+    for f in 0..fields {
+        body.push_str(&format!("    ptr f{f}; f{f} = s + {f}; *f{f} = {f};\n"));
+    }
+    let src = format!("\nexport void {name}(ptr s) {{\n{body}}}\n");
+    let call = format!("ptr r{name}; r{name} = malloc({fields}); {name}(r{name});");
+    (src, call)
+}
+
+fn distinct_objects(name: &str, rng: &mut impl Rng) -> (String, String) {
+    let objs = rng.gen_range(3..=6);
+    let mut body = String::new();
+    for o in 0..objs {
+        let size = rng.gen_range(2..16);
+        let kind = if rng.gen_bool(0.7) { "malloc" } else { "alloca" };
+        body.push_str(&format!(
+            "    ptr o{o}; o{o} = {kind}({size}); *o{o} = {o}; *(o{o} + 1) = {o};\n"
+        ));
+    }
+    let src = format!("\nvoid {name}() {{\n{body}}}\n");
+    let call = format!("{name}();");
+    (src, call)
+}
+
+fn laundered_pointers(name: &str, rng: &mut impl Rng) -> (String, String) {
+    let size = rng.gen_range(4..16);
+    let src = format!(
+        r#"
+void {name}() {{
+    ptr slots; slots = malloc({size});
+    ptr a; a = malloc({size});
+    ptr b; b = malloc({size});
+    store_ptr(slots, a);
+    store_ptr(slots + 1, b);
+    ptr x; x = load_ptr(slots);
+    ptr y; y = load_ptr(slots + 1);
+    *x = 1; *y = 2;
+    *a = *x + *y;
+}}
+"#
+    );
+    (src, format!("{name}();"))
+}
+
+fn helper_call(name: &str, rng: &mut impl Rng) -> (String, String) {
+    let n = rng.gen_range(8..64);
+    // Internal helper: pointer params receive known allocations, so the
+    // interprocedural GR analysis keeps precise per-site offsets.
+    let src = format!(
+        r#"
+void {name}_h(ptr dst, ptr src, int n) {{
+    int i; i = 0;
+    while (i < n) {{ *(dst + i) = *(src + i); i = i + 1; }}
+}}
+void {name}() {{
+    ptr d; d = malloc({n});
+    ptr s; s = malloc({n});
+    {name}_h(d, s, {n});
+    {name}_h(d, d, {n});
+}}
+"#
+    );
+    (src, format!("{name}();"))
+}
+
+fn exported_api(name: &str, rng: &mut impl Rng) -> (String, String) {
+    let k = rng.gen_range(1..4);
+    let src = format!(
+        r#"
+export void {name}(ptr p, ptr q, int n) {{
+    int i; i = 0;
+    while (i < n) {{ *(p + i) = *(q + i) + {k}; i = i + 1; }}
+}}
+"#
+    );
+    let n = rng.gen_range(8..32);
+    let call = format!(
+        "ptr u{name}; u{name} = malloc({n}); ptr v{name}; v{name} = malloc({n}); \
+         {name}(u{name}, v{name}, {n});"
+    );
+    (src, call)
+}
+
+fn pointer_walk(name: &str, rng: &mut impl Rng) -> (String, String) {
+    let step = rng.gen_range(1..=3);
+    let src = format!(
+        r#"
+export void {name}(ptr p, int n) {{
+    ptr i; ptr e;
+    i = p; e = p + n;
+    while (i < e) {{ *i = 7; i = i + {step}; }}
+    ptr tail; tail = p + n + 1;
+    *tail = 9;
+}}
+"#
+    );
+    let call = format!(
+        "int w{name}; w{name} = atoi(); ptr m{name}; m{name} = malloc(w{name} + 2); \
+         {name}(m{name}, w{name});"
+    );
+    (src, call)
+}
+
+fn matrix_sweep(name: &str, rng: &mut impl Rng) -> (String, String) {
+    let rows = rng.gen_range(4..16);
+    let src = format!(
+        r#"
+export void {name}(ptr a, int w) {{
+    int r; r = 0;
+    while (r < {rows}) {{
+        int c; c = 0;
+        while (c < w) {{
+            *(a + r * w + c) = r + c;
+            c = c + 1;
+        }}
+        r = r + 1;
+    }}
+}}
+"#
+    );
+    let call = format!(
+        "int ww{name}; ww{name} = atoi(); ptr mx{name}; \
+         mx{name} = malloc({rows} * ww{name} + 1); {name}(mx{name}, ww{name});"
+    );
+    (src, call)
+}
+
+fn alloc_free(name: &str, rng: &mut impl Rng) -> (String, String) {
+    let rounds = rng.gen_range(2..=4);
+    let mut body = String::new();
+    for r in 0..rounds {
+        body.push_str(&format!(
+            "    ptr t{r}; t{r} = malloc(8); *t{r} = {r}; *(t{r} + 3) = {r}; free(t{r});\n"
+        ));
+    }
+    let src = format!("\nvoid {name}() {{\n{body}}}\n");
+    (src, format!("{name}();"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Every template, instantiated alone with a `main`, must compile.
+    #[test]
+    fn every_template_compiles() {
+        for (i, &t) in ALL.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(42 + i as u64);
+            let (src, call) = t.emit(&format!("fn{i}"), &mut rng);
+            let program = format!("{src}\nexport int main() {{ {call} return 0; }}\n");
+            let module = sra_lang::compile(&program)
+                .unwrap_or_else(|e| panic!("{t:?} failed to compile: {e}\n{program}"));
+            assert!(module.num_functions() >= 2, "{t:?}");
+        }
+    }
+
+    /// Templates are deterministic for a fixed seed.
+    #[test]
+    fn deterministic_emission() {
+        for &t in ALL {
+            let mut r1 = StdRng::seed_from_u64(7);
+            let mut r2 = StdRng::seed_from_u64(7);
+            assert_eq!(t.emit("x", &mut r1), t.emit("x", &mut r2));
+        }
+    }
+
+    /// Different seeds vary at least some templates' output.
+    #[test]
+    fn seeds_vary_output() {
+        let mut any_different = false;
+        for &t in ALL {
+            let mut r1 = StdRng::seed_from_u64(1);
+            let mut r2 = StdRng::seed_from_u64(2);
+            if t.emit("x", &mut r1) != t.emit("x", &mut r2) {
+                any_different = true;
+            }
+        }
+        assert!(any_different);
+    }
+}

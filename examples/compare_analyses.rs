@@ -1,0 +1,45 @@
+//! Head-to-head comparison of the three analyses on one synthetic
+//! benchmark — a one-row preview of the paper's Figure 13.
+//!
+//! ```text
+//! cargo run --release --example compare_analyses [benchmark]
+//! ```
+
+use sra::workloads::{harness, suite};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "anagram".to_owned());
+    let bench = suite::benchmark(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark `{name}`; available:");
+        for b in suite::benchmarks() {
+            eprintln!("  {} ({})", b.name, b.suite);
+        }
+        std::process::exit(1);
+    });
+
+    println!("benchmark `{}` from the {} suite", bench.name, bench.suite);
+    let module = bench.build().expect("benchmark compiles");
+    println!(
+        "  {} functions, {} instructions",
+        module.num_functions(),
+        module.num_insts()
+    );
+
+    let m = harness::evaluate(&module);
+    println!("\n  queries                : {}", m.queries);
+    println!("  scev   no-alias        : {:>6} ({:.2}%)", m.scev_no, m.scev_pct());
+    println!("  basic  no-alias        : {:>6} ({:.2}%)", m.basic_no, m.basic_pct());
+    println!("  rbaa   no-alias        : {:>6} ({:.2}%)", m.rbaa_no, m.rbaa_pct());
+    println!("  rbaa ∪ basic           : {:>6} ({:.2}%)", m.rb_no, m.rb_pct());
+    println!("\n  rbaa answers by mechanism:");
+    println!("    distinct locations   : {}", m.rbaa_distinct);
+    println!("    global test (ranges) : {}", m.rbaa_global);
+    println!("    local test           : {}", m.rbaa_local);
+    println!(
+        "\n  pointers with symbolic ranges: {}/{} ({:.2}%)",
+        m.symbolic_range_ptrs,
+        m.ranged_ptrs,
+        m.symbolic_pct()
+    );
+    println!("  analysis wall time: {:?}", m.analysis_time);
+}

@@ -1,0 +1,76 @@
+//! The paper's motivating example (Figure 1): a message built as a
+//! serialized byte sequence — identifier first, payload after —
+//! analyzed end to end.
+//!
+//! ```text
+//! cargo run --example message_protocol
+//! ```
+
+use sra::core::{AliasResult, RbaaAnalysis, WhichTest};
+use sra::ir::{CmpOp, Inst, Ty, ValueId};
+
+const SOURCE: &str = r#"
+void prepare(ptr p, int n, ptr m) {
+    ptr i; ptr e;
+    i = p; e = p + n;
+    while (i < e) { *i = 0; *(i + 1) = 255; i = i + 2; }  // header
+    ptr f; f = e + strlen(m);
+    while (i < f) { *i = *m; m = m + 1; i = i + 1; }      // payload
+}
+export int main() {
+    int z; z = atoi();
+    ptr b; b = malloc(z + strlen());
+    ptr s; s = malloc(strlen());
+    prepare(b, z, s);
+    return 0;
+}
+"#;
+
+fn main() {
+    let module = sra::lang::compile(SOURCE).expect("figure 1 compiles");
+    println!("--- IR after e-SSA ---------------------------------------");
+    let prepare = module.function_by_name("prepare").unwrap();
+    print!(
+        "{}",
+        sra::ir::print::print_function(module.function(prepare), Some(&module))
+    );
+
+    let rbaa = RbaaAnalysis::analyze(&module);
+    let func = module.function(prepare);
+
+    // The two store pointers: the σs of the loop φs on the `<` edges.
+    let stores: Vec<ValueId> = func
+        .value_ids()
+        .filter(|&v| {
+            func.value(v).ty() == Some(Ty::Ptr)
+                && matches!(
+                    func.value(v).as_inst(),
+                    Some(Inst::Sigma { op: CmpOp::Lt, input, .. })
+                        if matches!(func.value(*input).as_inst(), Some(Inst::Phi { .. }))
+                )
+        })
+        .collect();
+    let (header_ptr, payload_ptr) = (stores[0], stores[1]);
+
+    println!("\n--- Abstract states --------------------------------------");
+    println!(
+        "header store  GR = {}",
+        rbaa.gr().state(prepare, header_ptr).display(rbaa.symbols())
+    );
+    println!(
+        "payload store GR = {}",
+        rbaa.gr().state(prepare, payload_ptr).display(rbaa.symbols())
+    );
+
+    let (res, test) = rbaa.alias_with_test(prepare, header_ptr, payload_ptr);
+    println!("\n--- Verdict ----------------------------------------------");
+    println!("header vs payload: {res:?} (by {test:?})");
+    assert_eq!(res, AliasResult::NoAlias);
+    assert_eq!(test, Some(WhichTest::Global));
+    println!(
+        "The header loop writes p+[0, N-1] and the payload loop writes \
+         p+[N, N+strlen-1]: the global symbolic-range test proves the \
+         two loops independent, so they can be parallelized or merged — \
+         exactly the motivation of the paper's Section 1."
+    );
+}

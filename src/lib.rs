@@ -1,0 +1,9 @@
+//! Umbrella crate re-exporting the full symbolic-range-analysis toolchain.
+pub use sra_baselines as baselines;
+pub use sra_core as core;
+pub use sra_interp as interp;
+pub use sra_ir as ir;
+pub use sra_lang as lang;
+pub use sra_range as range;
+pub use sra_symbolic as symbolic;
+pub use sra_workloads as workloads;

@@ -1,0 +1,184 @@
+//! Cross-analysis relationships the paper's evaluation relies on:
+//! where each analysis wins, loses, and how they complement each other
+//! (§4's narrative around Figure 13).
+
+use sra::baselines::{BasicAlias, ScevAlias};
+use sra::core::{AliasAnalysis, AliasResult, RbaaAnalysis};
+use sra::ir::{Inst, Module, ValueId};
+
+fn compile(src: &str) -> Module {
+    sra::lang::compile(src).expect("compiles")
+}
+
+fn ptr_adds(m: &Module, f: sra_ir::FuncId) -> Vec<ValueId> {
+    let func = m.function(f);
+    func.value_ids()
+        .filter(|&v| matches!(func.value(v).as_inst(), Some(Inst::PtrAdd { .. })))
+        .collect()
+}
+
+/// Symbolic split point: only rbaa separates the two stores; basicaa
+/// and SCEV both fail (the paper's headline case, Figure 1).
+#[test]
+fn symbolic_boundary_only_rbaa() {
+    let m = compile(
+        r#"
+        export int main() {
+            int n; n = atoi();
+            ptr buf; buf = malloc(n + n);
+            ptr lo; lo = buf;
+            ptr hi; hi = buf + n;
+            int i; i = 0;
+            while (i < n) { *(lo + i) = 1; i = i + 1; }
+            int j; j = 0;
+            while (j < n) { *(hi + j) = 2; j = j + 1; }
+            return 0;
+        }
+        "#,
+    );
+    let f = m.function_by_name("main").unwrap();
+    let rbaa = RbaaAnalysis::analyze(&m);
+    let basic = BasicAlias::analyze(&m);
+    let scev = ScevAlias::analyze(&m);
+    let adds = ptr_adds(&m, f);
+    // Creation order: `hi = buf + n`, then the two loop-body addresses
+    // `lo + i` and `hi + j` (`lo = buf` is a copy, not an add).
+    assert_eq!(adds.len(), 3);
+    let lo_i = adds[1];
+    let hi_j = adds[2];
+    assert_eq!(rbaa.alias(f, lo_i, hi_j), AliasResult::NoAlias, "rbaa wins");
+    assert_eq!(basic.alias(f, lo_i, hi_j), AliasResult::MayAlias, "basic fails");
+    assert_eq!(scev.alias(f, lo_i, hi_j), AliasResult::MayAlias, "scev fails");
+}
+
+/// Constant fields: everyone wins (the paper notes basicaa handles
+/// compile-time-constant subscripts).
+#[test]
+fn constant_fields_everyone() {
+    let m = compile(
+        "export void main() { ptr s; s = malloc(4); *(s + 1) = 1; *(s + 2) = 2; }",
+    );
+    let f = m.function_by_name("main").unwrap();
+    let adds = ptr_adds(&m, f);
+    let rbaa = RbaaAnalysis::analyze(&m);
+    let basic = BasicAlias::analyze(&m);
+    let scev = ScevAlias::analyze(&m);
+    for (name, res) in [
+        ("rbaa", rbaa.alias(f, adds[0], adds[1])),
+        ("basic", basic.alias(f, adds[0], adds[1])),
+        ("scev", scev.alias(f, adds[0], adds[1])),
+    ] {
+        assert_eq!(res, AliasResult::NoAlias, "{name} separates constant fields");
+    }
+}
+
+/// Escaped-pointer laundering defeats everyone (the conservative
+/// common ground of Figure 13's non-disambiguated majority).
+#[test]
+fn laundering_defeats_everyone() {
+    let m = compile(
+        r#"
+        export void main() {
+            ptr slots; slots = malloc(2);
+            ptr a; a = malloc(4);
+            store_ptr(slots, a);
+            ptr x; x = load_ptr(slots);
+            *x = 1; *a = 2;
+        }
+        "#,
+    );
+    let f = m.function_by_name("main").unwrap();
+    let func = m.function(f);
+    let a = func
+        .value_ids()
+        .filter(|&v| matches!(func.value(v).as_inst(), Some(Inst::Malloc { .. })))
+        .nth(1)
+        .unwrap();
+    let x = func
+        .value_ids()
+        .find(|&v| {
+            matches!(func.value(v).as_inst(),
+                Some(Inst::Load { ty: sra_ir::Ty::Ptr, .. }))
+        })
+        .unwrap();
+    let rbaa = RbaaAnalysis::analyze(&m);
+    let basic = BasicAlias::analyze(&m);
+    let scev = ScevAlias::analyze(&m);
+    assert_eq!(rbaa.alias(f, a, x), AliasResult::MayAlias);
+    assert_eq!(basic.alias(f, a, x), AliasResult::MayAlias);
+    assert_eq!(scev.alias(f, a, x), AliasResult::MayAlias);
+}
+
+/// basicaa's escape analysis complements rbaa: a never-escaping malloc
+/// versus a loaded pointer is basicaa-only (rbaa's loads are ⊤). This
+/// is the "complement it in non-trivial ways" direction of §4.
+#[test]
+fn escape_analysis_is_basic_only() {
+    let m = compile(
+        r#"
+        export void main(ptr q) {
+            ptr secret; secret = malloc(4);
+            ptr x; x = load_ptr(q);
+            *secret = 1; *x = 2;
+        }
+        "#,
+    );
+    let f = m.function_by_name("main").unwrap();
+    let func = m.function(f);
+    let secret = func
+        .value_ids()
+        .find(|&v| matches!(func.value(v).as_inst(), Some(Inst::Malloc { .. })))
+        .unwrap();
+    let x = func
+        .value_ids()
+        .find(|&v| {
+            matches!(func.value(v).as_inst(),
+                Some(Inst::Load { ty: sra_ir::Ty::Ptr, .. }))
+        })
+        .unwrap();
+    let rbaa = RbaaAnalysis::analyze(&m);
+    let basic = BasicAlias::analyze(&m);
+    assert_eq!(basic.alias(f, secret, x), AliasResult::NoAlias, "basic wins");
+    assert_eq!(rbaa.alias(f, secret, x), AliasResult::MayAlias, "rbaa cannot");
+}
+
+/// And the reverse direction: symbolic strides are rbaa/scev-only.
+#[test]
+fn symbolic_strides_are_rbaa_and_scev() {
+    let m = compile(
+        r#"
+        export void main() {
+            int n; n = atoi();
+            ptr a; a = malloc(2 * n + 2);
+            int i; i = 0;
+            while (i < n) {
+                *(a + 2 * i) = 0;
+                *(a + 2 * i + 1) = 1;
+                i = i + 1;
+            }
+        }
+        "#,
+    );
+    let f = m.function_by_name("main").unwrap();
+    let adds = ptr_adds(&m, f);
+    // a + 2i and (a + 2i) + 1.
+    let even = adds[0];
+    let odd = adds[2];
+    let rbaa = RbaaAnalysis::analyze(&m);
+    let basic = BasicAlias::analyze(&m);
+    let scev = ScevAlias::analyze(&m);
+    assert_eq!(rbaa.alias(f, even, odd), AliasResult::NoAlias, "rbaa (local test)");
+    assert_eq!(scev.alias(f, even, odd), AliasResult::NoAlias, "scev (addrec diff)");
+    assert_eq!(basic.alias(f, even, odd), AliasResult::MayAlias, "basic fails");
+}
+
+/// The union r+b is never smaller than either analysis on a benchmark.
+#[test]
+fn union_dominates_components() {
+    let bench = sra::workloads::suite::benchmark("compiler").unwrap();
+    let module = bench.build().unwrap();
+    let metrics = sra::workloads::harness::evaluate(&module);
+    assert!(metrics.rb_no >= metrics.rbaa_no);
+    assert!(metrics.rb_no >= metrics.basic_no);
+    assert!(metrics.rbaa_no + metrics.basic_no >= metrics.rb_no, "union ≤ sum");
+}

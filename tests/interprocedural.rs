@@ -1,0 +1,196 @@
+//! Interprocedural behaviour of the global analysis (§3.1): actuals
+//! flow to formals through φ-like links, returns flow back, recursion
+//! converges through widening.
+
+use sra::core::{AliasAnalysis, AliasResult, RbaaAnalysis};
+use sra::ir::{Inst, Ty, ValueId};
+
+fn ptr_adds(m: &sra_ir::Module, f: sra_ir::FuncId) -> Vec<ValueId> {
+    let func = m.function(f);
+    func.value_ids()
+        .filter(|&v| matches!(func.value(v).as_inst(), Some(Inst::PtrAdd { .. })))
+        .collect()
+}
+
+/// A two-level call chain: offsets accumulate across functions and the
+/// leaf still separates disjoint slices of the same buffer.
+#[test]
+fn offsets_accumulate_through_calls() {
+    let m = sra::lang::compile(
+        r#"
+        void leaf(ptr base, int n) {
+            ptr lo; lo = base;
+            ptr hi; hi = base + n;
+            *lo = 1;
+            *hi = 2;
+        }
+        void mid(ptr buf, int n) {
+            leaf(buf, n);
+        }
+        export int main() {
+            int n; n = atoi();
+            ptr a; a = malloc(n + n + 1);
+            mid(a, n);
+            return 0;
+        }
+        "#,
+    )
+    .unwrap();
+    let leaf = m.function_by_name("leaf").unwrap();
+    let rbaa = RbaaAnalysis::analyze(&m);
+    let func = m.function(leaf);
+    // base flows from main's malloc: {loc0 + [0,0]}.
+    let base = func.params()[0];
+    let st = format!("{}", rbaa.gr().state(leaf, base).display(rbaa.symbols()));
+    assert!(st.contains("loc0 + [0, 0]"), "got {st}");
+    // lo = base and hi = base + n cannot be separated (n might be 0)…
+    let hi = ptr_adds(&m, leaf)[0];
+    assert_eq!(rbaa.alias(leaf, base, hi), AliasResult::MayAlias);
+}
+
+/// Return values join: a function returning either of two buffers may
+/// alias both, but not a third.
+#[test]
+fn return_values_join() {
+    let m = sra::lang::compile(
+        r#"
+        ptr pick(ptr a, ptr b) {
+            if (atoi() < 0) { return a; }
+            return b;
+        }
+        export int main() {
+            ptr x; x = malloc(4);
+            ptr y; y = malloc(4);
+            ptr z; z = malloc(4);
+            ptr chosen; chosen = pick(x, y);
+            *chosen = 1;
+            *z = 2;
+            return 0;
+        }
+        "#,
+    )
+    .unwrap();
+    let main_f = m.function_by_name("main").unwrap();
+    let rbaa = RbaaAnalysis::analyze(&m);
+    let func = m.function(main_f);
+    let mallocs: Vec<ValueId> = func
+        .value_ids()
+        .filter(|&v| matches!(func.value(v).as_inst(), Some(Inst::Malloc { .. })))
+        .collect();
+    let call = func
+        .value_ids()
+        .find(|&v| {
+            func.value(v).ty() == Some(Ty::Ptr)
+                && matches!(func.value(v).as_inst(), Some(Inst::Call { .. }))
+        })
+        .expect("call result");
+    assert_eq!(rbaa.alias(main_f, call, mallocs[0]), AliasResult::MayAlias);
+    assert_eq!(rbaa.alias(main_f, call, mallocs[1]), AliasResult::MayAlias);
+    assert_eq!(rbaa.alias(main_f, call, mallocs[2]), AliasResult::NoAlias);
+}
+
+/// Recursive pointer advancement converges (widening at formals) and
+/// remains sound: the recursive parameter covers all offsets.
+#[test]
+fn recursion_widens_parameter_range() {
+    let m = sra::lang::compile(
+        r#"
+        void fill(ptr p, int n) {
+            if (n < 1) { return; }
+            *p = n;
+            fill(p + 1, n - 1);
+        }
+        export int main() {
+            int n; n = atoi();
+            ptr a; a = malloc(n + 1);
+            fill(a, n);
+            return 0;
+        }
+        "#,
+    )
+    .unwrap();
+    let fill = m.function_by_name("fill").unwrap();
+    let rbaa = RbaaAnalysis::analyze(&m);
+    let p = m.function(fill).params()[0];
+    let st = rbaa.gr().state(fill, p);
+    // The parameter must cover offsets [0, +inf) of main's buffer: the
+    // exact fixpoint [0, n] is not reachable with φ-point widening, but
+    // the lower bound stays 0.
+    let txt = format!("{}", st.display(rbaa.symbols()));
+    assert!(txt.contains("loc0 + [0, +inf]"), "got {txt}");
+    // Soundness under execution.
+    let main_f = m.function_by_name("main").unwrap();
+    let mut interp = sra::interp::Interp::new(&m);
+    interp.script_external("atoi", vec![9]);
+    interp.run(main_f, &[]).expect("no trap");
+    let addrs = interp.address_set(fill, p);
+    // Offsets 0..=9: the last call (n = 0) still binds the parameter.
+    assert_eq!(addrs.len(), 10, "param visited offsets 0..=9");
+}
+
+/// Mutual recursion also converges.
+#[test]
+fn mutual_recursion_converges() {
+    let m = sra::lang::compile(
+        r#"
+        void even(ptr p, int n) {
+            if (n < 1) { return; }
+            *p = 0;
+            odd(p + 1, n - 1);
+        }
+        void odd(ptr p, int n) {
+            if (n < 1) { return; }
+            *p = 1;
+            even(p + 1, n - 1);
+        }
+        export int main() {
+            ptr a; a = malloc(16);
+            even(a, 15);
+            return 0;
+        }
+        "#,
+    )
+    .unwrap();
+    let rbaa = RbaaAnalysis::analyze(&m);
+    for name in ["even", "odd"] {
+        let f = m.function_by_name(name).unwrap();
+        let p = m.function(f).params()[0];
+        let st = rbaa.gr().state(f, p);
+        assert!(!st.is_bottom(), "{name}'s parameter is reachable");
+        assert!(!st.is_top(), "{name}'s parameter keeps its location set");
+    }
+}
+
+/// A function reachable from an exported API keeps conservative states
+/// even for its internal callers' precise arguments.
+#[test]
+fn exported_entry_taints_params() {
+    let m = sra::lang::compile(
+        r#"
+        export void api(ptr user, int n) {
+            helper(user, n);
+        }
+        void helper(ptr p, int n) {
+            *p = n;
+        }
+        export int main() {
+            ptr a; a = malloc(8);
+            helper(a, 3);
+            return 0;
+        }
+        "#,
+    )
+    .unwrap();
+    let helper = m.function_by_name("helper").unwrap();
+    let rbaa = RbaaAnalysis::analyze(&m);
+    let p = m.function(helper).params()[0];
+    let st = rbaa.gr().state(helper, p);
+    // helper's p joins main's malloc AND api's unknown user pointer:
+    // support must contain both a Malloc and an Unknown location.
+    let kinds: Vec<_> = st
+        .support()
+        .map(|(l, _)| rbaa.gr().locs().site(l).kind)
+        .collect();
+    assert!(kinds.contains(&sra::core::LocKind::Malloc), "{kinds:?}");
+    assert!(kinds.contains(&sra::core::LocKind::Unknown), "{kinds:?}");
+}

@@ -1,0 +1,179 @@
+//! End-to-end reproductions of the paper's worked examples (§2), from
+//! mini-C source through the full pipeline.
+
+use sra::core::{AliasResult, RbaaAnalysis, WhichTest};
+use sra::ir::{CmpOp, FuncId, Inst, Module, Ty, ValueId};
+
+/// Finds the σ-node refining `input ⟨op⟩ …` whose chain root is the
+/// `idx`-th pointer-φ (or any σ with op `op` whose original input
+/// matches the predicate).
+fn find_sigma(
+    m: &Module,
+    f: FuncId,
+    op: CmpOp,
+    pred: impl Fn(&sra_ir::Function, ValueId) -> bool,
+) -> Option<ValueId> {
+    let func = m.function(f);
+    func.value_ids().find(|&v| match func.value(v).as_inst() {
+        Some(Inst::Sigma { input, op: o, .. }) => *o == op && pred(func, *input),
+        _ => false,
+    })
+}
+
+/// The paper's Figure 1: the store in the first loop (identifier bytes)
+/// and the store in the second loop (payload bytes) never collide; the
+/// *global* test proves it because `[0, N-1]` and `[N, N+strlen-1]` are
+/// provably disjoint symbolic intervals of the same allocation site.
+#[test]
+fn figure1_message_buffer() {
+    let m = sra::lang::compile(
+        r#"
+        void prepare(ptr p, int n, ptr m) {
+            ptr i; ptr e;
+            i = p; e = p + n;
+            while (i < e) { *i = 0; *(i + 1) = 255; i = i + 2; }
+            ptr f; f = e + strlen(m);
+            while (i < f) { *i = *m; m = m + 1; i = i + 1; }
+        }
+        export int main() {
+            int z; z = atoi();
+            ptr b; b = malloc(z);
+            ptr s; s = malloc(strlen());
+            prepare(b, z, s);
+            return 0;
+        }
+        "#,
+    )
+    .expect("figure 1 compiles");
+    let prepare = m.function_by_name("prepare").expect("prepare exists");
+    let rbaa = RbaaAnalysis::analyze(&m);
+
+    // The two store addresses are the σs of the loop pointers on the
+    // `<` edges: the first-loop σ is a φ-input, as is the second's.
+    let func = m.function(prepare);
+    let sigmas: Vec<ValueId> = func
+        .value_ids()
+        .filter(|&v| {
+            func.value(v).ty() == Some(Ty::Ptr)
+                && matches!(
+                    func.value(v).as_inst(),
+                    Some(Inst::Sigma { op: CmpOp::Lt, input, .. })
+                        if matches!(func.value(*input).as_inst(), Some(Inst::Phi { .. }))
+                )
+        })
+        .collect();
+    assert_eq!(sigmas.len(), 2, "one σ per loop");
+    let (store1, store2) = (sigmas[0], sigmas[1]);
+    let (res, test) = rbaa.alias_with_test(prepare, store1, store2);
+    assert_eq!(res, AliasResult::NoAlias, "lines 6 and 10 are independent");
+    assert_eq!(
+        test,
+        Some(WhichTest::Global),
+        "the disambiguation is the global (symbolic range) test"
+    );
+}
+
+/// The paper's Figure 3/4: `p[i]` and `p[i+1]` with step 2 overlap
+/// globally (`[0, N+1]` vs `[1, N+2]`) but the local test separates
+/// them.
+#[test]
+fn figure3_accelerate() {
+    let m = sra::lang::compile(
+        r#"
+        export void accelerate(ptr p, int x, int y, int n) {
+            int i; i = 0;
+            while (i < n) {
+                *(p + i) = *(p + i) + x;
+                *(p + i + 1) = *(p + i + 1) + y;
+                i = i + 2;
+            }
+        }
+        "#,
+    )
+    .expect("figure 3 compiles");
+    let f = m.function_by_name("accelerate").unwrap();
+    let rbaa = RbaaAnalysis::analyze(&m);
+    let func = m.function(f);
+    // tmp0 = p + σ(i), tmp1 = p + (σ(i) + 1): find the two ptradds with
+    // those offset shapes (each occurs twice — load and store).
+    let adds: Vec<ValueId> = func
+        .value_ids()
+        .filter(|&v| matches!(func.value(v).as_inst(), Some(Inst::PtrAdd { .. })))
+        .collect();
+    assert!(adds.len() >= 4);
+    // First access of each statement: `p + i`, and `(p + i) + 1` (the
+    // source `p + i + 1` associates left).
+    let tmp0 = adds[0];
+    let tmp1 = adds
+        .iter()
+        .copied()
+        .find(|&v| match func.value(v).as_inst() {
+            Some(Inst::PtrAdd { base, offset }) => {
+                func.as_const(*offset) == Some(1)
+                    && matches!(func.value(*base).as_inst(), Some(Inst::PtrAdd { .. }))
+            }
+            _ => false,
+        })
+        .expect("(p + i) + 1 exists");
+    let (res, test) = rbaa.alias_with_test(f, tmp0, tmp1);
+    assert_eq!(res, AliasResult::NoAlias);
+    assert_eq!(
+        test,
+        Some(WhichTest::Local),
+        "only the local test can separate same-base offsets here"
+    );
+}
+
+/// The paper's Figure 10: the φ makes the global ranges of `a4 = a3+1`
+/// and `a5 = a3+2` overlap (`loc+[1,2]` vs `loc+[2,3]`), but the local
+/// analysis renames `a3` to a fresh location and separates them.
+#[test]
+fn figure10_phi_imprecision() {
+    let m = sra::lang::compile(
+        r#"
+        export void main() {
+            ptr a1; a1 = malloc(8);
+            ptr a3;
+            if (atoi() < 0) { a3 = a1; } else { a3 = a1 + 1; }
+            ptr a4; a4 = a3 + 1;
+            ptr a5; a5 = a3 + 2;
+            *a4 = 1;
+            *a5 = 2;
+        }
+        "#,
+    )
+    .unwrap();
+    let f = m.function_by_name("main").unwrap();
+    let rbaa = RbaaAnalysis::analyze(&m);
+    let func = m.function(f);
+    let adds: Vec<ValueId> = func
+        .value_ids()
+        .filter(|&v| matches!(func.value(v).as_inst(), Some(Inst::PtrAdd { .. })))
+        .collect();
+    // adds: a1+1 (else arm), a3+1, a3+2.
+    assert_eq!(adds.len(), 3);
+    let a4 = adds[1];
+    let a5 = adds[2];
+    // Global states overlap:
+    let sa4 = rbaa.gr().state(f, a4);
+    let sa5 = rbaa.gr().state(f, a5);
+    let (loc, r4) = sa4.support().next().expect("a4 has a location");
+    let r5 = sa5.get(loc).expect("a5 shares the location");
+    assert!(r4.may_overlap(r5), "global ranges overlap: {} vs {}", r4, r5);
+    // …but the query still answers NoAlias through the local test.
+    let (res, test) = rbaa.alias_with_test(f, a4, a5);
+    assert_eq!(res, AliasResult::NoAlias);
+    assert_eq!(test, Some(WhichTest::Local));
+}
+
+/// Sanity on the helper used above.
+#[test]
+fn find_sigma_helper_works() {
+    let m = sra::lang::compile(
+        "export void main(ptr p, ptr q) { if (p < q) { *p = 1; } }",
+    )
+    .unwrap();
+    let f = m.function_by_name("main").unwrap();
+    let s = find_sigma(&m, f, CmpOp::Lt, |_, _| true);
+    assert!(s.is_some(), "σ inserted for p < q");
+}

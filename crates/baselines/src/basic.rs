@@ -105,12 +105,8 @@ impl BasicAlias {
             (a, Root::Param(_)) | (Root::Param(_), a) if a.is_fresh_alloc() => true,
             // Fresh allocation vs anonymous pointer: only when the
             // allocation never escapes.
-            (Root::Malloc(v), Root::Anon) | (Root::Anon, Root::Malloc(v)) => {
-                !escaped.contains(&v)
-            }
-            (Root::Alloca(v), Root::Anon) | (Root::Anon, Root::Alloca(v)) => {
-                !escaped.contains(&v)
-            }
+            (Root::Malloc(v), Root::Anon) | (Root::Anon, Root::Malloc(v)) => !escaped.contains(&v),
+            (Root::Alloca(v), Root::Anon) | (Root::Anon, Root::Alloca(v)) => !escaped.contains(&v),
             // Distinct globals never alias.
             (Root::Global(a), Root::Global(b)) => a != b,
             // Params may alias each other, globals, and anything anon.
@@ -235,10 +231,8 @@ fn escape_set(f: &sra_ir::Function, decomp: &HashMap<ValueId, Decomp>) -> HashSe
     };
     for (_, v) in f.insts() {
         match f.value(v).kind() {
-            ValueKind::Inst(Inst::Store { val, .. }) => {
-                if f.value(*val).ty() == Some(Ty::Ptr) {
-                    mark(*val, &mut escaped);
-                }
+            ValueKind::Inst(Inst::Store { val, .. }) if f.value(*val).ty() == Some(Ty::Ptr) => {
+                mark(*val, &mut escaped);
             }
             ValueKind::Inst(Inst::Call { args, callee, .. }) => {
                 let _ = callee;
@@ -291,7 +285,10 @@ mod tests {
              ptr c; c = alloca(4); *a = 0; *b = 0; *c = 0; }",
         );
         let mallocs = find_mallocs(&m, fid);
-        assert_eq!(basic.alias(fid, mallocs[0], mallocs[1]), AliasResult::NoAlias);
+        assert_eq!(
+            basic.alias(fid, mallocs[0], mallocs[1]),
+            AliasResult::NoAlias
+        );
         let f = m.function(fid);
         let alloca = f
             .value_ids()
@@ -302,9 +299,8 @@ mod tests {
 
     #[test]
     fn constant_subscripts_disambiguate() {
-        let (m, fid, basic) = analyze(
-            "export void main() { ptr a; a = malloc(8); *(a + 1) = 0; *(a + 2) = 0; }",
-        );
+        let (m, fid, basic) =
+            analyze("export void main() { ptr a; a = malloc(8); *(a + 1) = 0; *(a + 2) = 0; }");
         let f = m.function(fid);
         let adds: Vec<ValueId> = f
             .value_ids()
@@ -344,9 +340,7 @@ mod tests {
         let malloc = find_mallocs(&m, fid)[0];
         let load = f
             .value_ids()
-            .find(|&v| {
-                matches!(f.value(v).as_inst(), Some(Inst::Load { ty: Ty::Ptr, .. }))
-            })
+            .find(|&v| matches!(f.value(v).as_inst(), Some(Inst::Load { ty: Ty::Ptr, .. })))
             .unwrap();
         assert_eq!(basic.alias(fid, malloc, load), AliasResult::NoAlias);
     }
@@ -361,9 +355,7 @@ mod tests {
         let malloc = find_mallocs(&m, fid)[0];
         let load = f
             .value_ids()
-            .find(|&v| {
-                matches!(f.value(v).as_inst(), Some(Inst::Load { ty: Ty::Ptr, .. }))
-            })
+            .find(|&v| matches!(f.value(v).as_inst(), Some(Inst::Load { ty: Ty::Ptr, .. })))
             .unwrap();
         // `a` was stored to memory: the loaded pointer may be `a`.
         assert_eq!(basic.alias(fid, malloc, load), AliasResult::MayAlias);
@@ -387,10 +379,7 @@ mod tests {
 
     #[test]
     fn param_vs_global_may_alias() {
-        let m = compile(
-            "int g[4]; export void main(ptr p) { *p = 0; g[0] = 1; }",
-        )
-        .unwrap();
+        let m = compile("int g[4]; export void main(ptr p) { *p = 0; g[0] = 1; }").unwrap();
         let fid = m.function_by_name("main").unwrap();
         let basic = BasicAlias::analyze(&m);
         let f = m.function(fid);

@@ -44,7 +44,11 @@ impl ScevOffset {
     fn add_const(&self, c: i64) -> ScevOffset {
         match self {
             ScevOffset::Const(a) => ScevOffset::Const(a.saturating_add(c)),
-            ScevOffset::AddRec { start, step, header } => ScevOffset::AddRec {
+            ScevOffset::AddRec {
+                start,
+                step,
+                header,
+            } => ScevOffset::AddRec {
                 start: Box::new(start.add_const(c)),
                 step: *step,
                 header: *header,
@@ -59,8 +63,16 @@ impl ScevOffset {
         match (self, other) {
             (ScevOffset::Const(a), ScevOffset::Const(b)) => Some(a - b),
             (
-                ScevOffset::AddRec { start: s1, step: t1, header: h1 },
-                ScevOffset::AddRec { start: s2, step: t2, header: h2 },
+                ScevOffset::AddRec {
+                    start: s1,
+                    step: t1,
+                    header: h1,
+                },
+                ScevOffset::AddRec {
+                    start: s2,
+                    step: t2,
+                    header: h2,
+                },
             ) if t1 == t2 && h1 == h2 => s1.const_difference(s2),
             _ => None,
         }
@@ -157,7 +169,12 @@ impl<'a> FunctionScev<'a> {
     fn new(f: &'a sra_ir::Function) -> Self {
         let cfg = Cfg::new(f);
         let dom = DomTree::new(f, &cfg);
-        FunctionScev { f, dom, ints: HashMap::new(), in_progress: Default::default() }
+        FunctionScev {
+            f,
+            dom,
+            ints: HashMap::new(),
+            in_progress: Default::default(),
+        }
     }
 
     fn compute(mut self) -> HashMap<ValueId, PtrScev> {
@@ -174,21 +191,28 @@ impl<'a> FunctionScev<'a> {
 
     fn pointer_scev(&mut self, v: ValueId) -> Option<PtrScev> {
         match self.f.value(v).kind() {
-            ValueKind::Param { .. } | ValueKind::GlobalAddr(_) => {
-                Some(PtrScev { base: v, offset: ScevOffset::Const(0) })
-            }
+            ValueKind::Param { .. } | ValueKind::GlobalAddr(_) => Some(PtrScev {
+                base: v,
+                offset: ScevOffset::Const(0),
+            }),
             ValueKind::Inst(inst) => match inst {
-                Inst::Malloc { .. } | Inst::Alloca { .. } | Inst::Load { .. }
-                | Inst::Call { .. } => {
-                    Some(PtrScev { base: v, offset: ScevOffset::Const(0) })
-                }
+                Inst::Malloc { .. }
+                | Inst::Alloca { .. }
+                | Inst::Load { .. }
+                | Inst::Call { .. } => Some(PtrScev {
+                    base: v,
+                    offset: ScevOffset::Const(0),
+                }),
                 Inst::Free { ptr } => self.pointer_scev(*ptr),
                 Inst::Sigma { input, .. } => self.pointer_scev(*input),
                 Inst::PtrAdd { base, offset } => {
                     let base_scev = self.pointer_scev(*base)?;
                     let off = self.int_scev(*offset);
                     let combined = add_offsets(&base_scev.offset, &off)?;
-                    Some(PtrScev { base: base_scev.base, offset: combined })
+                    Some(PtrScev {
+                        base: base_scev.base,
+                        offset: combined,
+                    })
                 }
                 // A pointer φ has no single base; LLVM's SCEV gives up
                 // unless it is itself an induction pointer — which we
@@ -309,7 +333,11 @@ impl<'a> FunctionScev<'a> {
         loop {
             match self.f.value(cur).as_inst() {
                 Some(Inst::Sigma { input, .. }) => cur = *input,
-                Some(Inst::IntBin { op: BinOp::Add, lhs, rhs }) => {
+                Some(Inst::IntBin {
+                    op: BinOp::Add,
+                    lhs,
+                    rhs,
+                }) => {
                     let mut l = *lhs;
                     while let Some(Inst::Sigma { input, .. }) = self.f.value(l).as_inst() {
                         l = *input;
@@ -318,9 +346,7 @@ impl<'a> FunctionScev<'a> {
                         self.f.as_const(*rhs)
                     } else {
                         let mut r = *rhs;
-                        while let Some(Inst::Sigma { input, .. }) =
-                            self.f.value(r).as_inst()
-                        {
+                        while let Some(Inst::Sigma { input, .. }) = self.f.value(r).as_inst() {
                             r = *input;
                         }
                         if r == phi {
@@ -329,12 +355,18 @@ impl<'a> FunctionScev<'a> {
                             None
                         }
                     };
-                    let Some(step) = step else { return ScevOffset::Unknown };
+                    let Some(step) = step else {
+                        return ScevOffset::Unknown;
+                    };
                     let start = self.int_scev(init);
                     if matches!(start, ScevOffset::Unknown) {
                         return ScevOffset::Unknown;
                     }
-                    return ScevOffset::AddRec { start: Box::new(start), step, header };
+                    return ScevOffset::AddRec {
+                        start: Box::new(start),
+                        step,
+                        header,
+                    };
                 }
                 _ => return ScevOffset::Unknown,
             }
@@ -346,12 +378,18 @@ impl<'a> FunctionScev<'a> {
 fn add_offsets(a: &ScevOffset, b: &ScevOffset) -> Option<ScevOffset> {
     match (a, b) {
         (ScevOffset::Unknown, _) | (_, ScevOffset::Unknown) => None,
-        (ScevOffset::Const(x), other) | (other, ScevOffset::Const(x)) => {
-            Some(other.add_const(*x))
-        }
+        (ScevOffset::Const(x), other) | (other, ScevOffset::Const(x)) => Some(other.add_const(*x)),
         (
-            ScevOffset::AddRec { start: s1, step: t1, header: h1 },
-            ScevOffset::AddRec { start: s2, step: t2, header: h2 },
+            ScevOffset::AddRec {
+                start: s1,
+                step: t1,
+                header: h1,
+            },
+            ScevOffset::AddRec {
+                start: s2,
+                step: t2,
+                header: h2,
+            },
         ) if h1 == h2 => Some(ScevOffset::AddRec {
             start: Box::new(add_offsets(s1, s2)?),
             step: t1.saturating_add(*t2),
@@ -364,7 +402,11 @@ fn add_offsets(a: &ScevOffset, b: &ScevOffset) -> Option<ScevOffset> {
 fn negate(a: &ScevOffset) -> ScevOffset {
     match a {
         ScevOffset::Const(c) => ScevOffset::Const(-c),
-        ScevOffset::AddRec { start, step, header } => ScevOffset::AddRec {
+        ScevOffset::AddRec {
+            start,
+            step,
+            header,
+        } => ScevOffset::AddRec {
             start: Box::new(negate(start)),
             step: -step,
             header: *header,
@@ -375,17 +417,27 @@ fn negate(a: &ScevOffset) -> ScevOffset {
 
 fn mul_offsets(a: &ScevOffset, b: &ScevOffset) -> ScevOffset {
     match (a, b) {
-        (ScevOffset::Const(x), ScevOffset::Const(y)) => {
-            ScevOffset::Const(x.saturating_mul(*y))
-        }
-        (ScevOffset::Const(c), ScevOffset::AddRec { start, step, header })
-        | (ScevOffset::AddRec { start, step, header }, ScevOffset::Const(c)) => {
+        (ScevOffset::Const(x), ScevOffset::Const(y)) => ScevOffset::Const(x.saturating_mul(*y)),
+        (
+            ScevOffset::Const(c),
             ScevOffset::AddRec {
-                start: Box::new(mul_offsets(&ScevOffset::Const(*c), start)),
-                step: step.saturating_mul(*c),
-                header: *header,
-            }
-        }
+                start,
+                step,
+                header,
+            },
+        )
+        | (
+            ScevOffset::AddRec {
+                start,
+                step,
+                header,
+            },
+            ScevOffset::Const(c),
+        ) => ScevOffset::AddRec {
+            start: Box::new(mul_offsets(&ScevOffset::Const(*c), start)),
+            step: step.saturating_mul(*c),
+            header: *header,
+        },
         _ => ScevOffset::Unknown,
     }
 }
@@ -449,10 +501,8 @@ mod tests {
 
     #[test]
     fn constant_offsets_disambiguate() {
-        let m = compile(
-            "export void main() { ptr a; a = malloc(8); *(a + 1) = 0; *(a + 2) = 1; }",
-        )
-        .unwrap();
+        let m = compile("export void main() { ptr a; a = malloc(8); *(a + 1) = 0; *(a + 2) = 1; }")
+            .unwrap();
         let fid = m.function_by_name("main").unwrap();
         let scev = ScevAlias::analyze(&m);
         let adds = ptr_adds(&m, fid);

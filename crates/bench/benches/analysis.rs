@@ -59,5 +59,10 @@ fn query_throughput(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, analysis_scaling, analysis_benchmarks, query_throughput);
+criterion_group!(
+    benches,
+    analysis_scaling,
+    analysis_benchmarks,
+    query_throughput
+);
 criterion_main!(benches);

@@ -13,9 +13,7 @@
 //! ```
 
 use sra_bench::{pct, render_table};
-use sra_core::{
-    pointer_values, AliasResult, GrConfig, RbaaAnalysis, WhichTest,
-};
+use sra_core::{pointer_values, AliasResult, GrConfig, RbaaAnalysis, WhichTest};
 use sra_workloads::suite;
 
 /// Percentage of no-alias answers under `config`, optionally without
@@ -53,23 +51,36 @@ fn main() {
         ("full (descend=2, local on)", base, true),
         (
             "descend=0",
-            GrConfig { descending_steps: 0, ..base },
+            GrConfig {
+                descending_steps: 0,
+                ..base
+            },
             true,
         ),
         (
             "descend=1",
-            GrConfig { descending_steps: 1, ..base },
+            GrConfig {
+                descending_steps: 1,
+                ..base
+            },
             true,
         ),
         (
             "descend=4",
-            GrConfig { descending_steps: 4, ..base },
+            GrConfig {
+                descending_steps: 4,
+                ..base
+            },
             true,
         ),
         ("local test off", base, false),
         (
             "no widening (cap-guarded)",
-            GrConfig { widening: false, max_ascending_sweeps: 12, ..base },
+            GrConfig {
+                widening: false,
+                max_ascending_sweeps: 12,
+                ..base
+            },
             true,
         ),
     ];
@@ -79,10 +90,7 @@ fn main() {
         rows.push(vec![name.to_string(), queries.to_string(), pct(p)]);
     }
     println!("\nAblation: rbaa no-alias rate under design variations\n");
-    println!(
-        "{}",
-        render_table(&["Variant", "#Queries", "%rbaa"], &rows)
-    );
+    println!("{}", render_table(&["Variant", "#Queries", "%rbaa"], &rows));
     println!(
         "(First 8 Figure-13 benchmarks; expect: descend=0 < descend=1 ≤ \
          descend=2 = full; local-off strictly below full.)"

@@ -53,7 +53,5 @@ fn main() {
             &rows
         )
     );
-    println!(
-        "Paper totals for reference: scev 6.97, basic 30.83, rbaa 41.73, r+b 46.53."
-    );
+    println!("Paper totals for reference: scev 6.97, basic 30.83, rbaa 41.73, r+b 46.53.");
 }

@@ -21,9 +21,7 @@
 //! own, since callers outside the module may pass anything.
 
 use sra_ir::cfg::Cfg;
-use sra_ir::{
-    Callee, CmpOp, FuncId, Inst, Module, Terminator, Ty, ValueId, ValueKind,
-};
+use sra_ir::{Callee, CmpOp, FuncId, Inst, Module, Terminator, Ty, ValueId, ValueKind};
 use sra_range::RangeAnalysis;
 use sra_symbolic::{Bound, SymExpr, SymRange};
 
@@ -46,7 +44,11 @@ pub struct GrConfig {
 
 impl Default for GrConfig {
     fn default() -> Self {
-        GrConfig { descending_steps: 2, max_ascending_sweeps: 32, widening: true }
+        GrConfig {
+            descending_steps: 2,
+            max_ascending_sweeps: 32,
+            widening: true,
+        }
     }
 }
 
@@ -106,19 +108,17 @@ struct GrSolver<'a> {
 }
 
 impl<'a> GrSolver<'a> {
-    fn new(
-        m: &'a Module,
-        ranges: &'a RangeAnalysis,
-        locs: &'a LocTable,
-        config: GrConfig,
-    ) -> Self {
+    fn new(m: &'a Module, ranges: &'a RangeAnalysis, locs: &'a LocTable, config: GrConfig) -> Self {
         let nf = m.num_functions();
         let mut callers: Vec<Vec<CallSite>> = (0..nf).map(|_| Vec::new()).collect();
         for fid in m.func_ids() {
             let f = m.function(fid);
             for (_, v) in f.insts() {
-                if let Some(Inst::Call { callee: Callee::Internal(target), args, .. }) =
-                    f.value(v).as_inst()
+                if let Some(Inst::Call {
+                    callee: Callee::Internal(target),
+                    args,
+                    ..
+                }) = f.value(v).as_inst()
                 {
                     callers[target.index()].push(CallSite {
                         caller: fid,
@@ -180,13 +180,13 @@ impl<'a> GrSolver<'a> {
                         let loc = self.locs.loc_of_global(*g).expect("global has loc");
                         Some(PtrState::singleton(loc, SymRange::constant(0)))
                     }
-                    ValueKind::Inst(Inst::Malloc { .. })
-                    | ValueKind::Inst(Inst::Alloca { .. }) => {
+                    ValueKind::Inst(Inst::Malloc { .. }) | ValueKind::Inst(Inst::Alloca { .. }) => {
                         let loc = self.locs.loc_of_value(fid, v).expect("site has loc");
                         Some(PtrState::singleton(loc, SymRange::constant(0)))
                     }
                     ValueKind::Inst(Inst::Call {
-                        callee: Callee::External(_), ..
+                        callee: Callee::External(_),
+                        ..
                     }) => {
                         let loc = self.locs.loc_of_value(fid, v).expect("ext call has loc");
                         Some(PtrState::singleton(loc, SymRange::constant(0)))
@@ -236,7 +236,9 @@ impl<'a> GrSolver<'a> {
                 if f.value(v).ty() != Some(Ty::Ptr) {
                     continue;
                 }
-                let Some(inst) = f.value(v).as_inst() else { continue };
+                let Some(inst) = f.value(v).as_inst() else {
+                    continue;
+                };
                 let new = match inst {
                     Inst::Phi { args, .. } => {
                         let mut acc = PtrState::bottom();
@@ -262,15 +264,22 @@ impl<'a> GrSolver<'a> {
                             input_state
                         }
                     }
-                    Inst::Call { callee: Callee::Internal(target), .. } => {
-                        self.ret_states[target.index()].clone()
-                    }
+                    Inst::Call {
+                        callee: Callee::Internal(target),
+                        ..
+                    } => self.ret_states[target.index()].clone(),
                     // Seeded kinds are invariant: malloc/alloca/global
                     // addresses, external calls, loads (⊤), free (⊥).
                     _ => continue,
                 };
                 let use_widen = widen
-                    && matches!(inst, Inst::Call { callee: Callee::Internal(_), .. });
+                    && matches!(
+                        inst,
+                        Inst::Call {
+                            callee: Callee::Internal(_),
+                            ..
+                        }
+                    );
                 changed |= self.update(fid, v, new, use_widen, descend);
             }
         }
@@ -328,7 +337,10 @@ impl<'a> GrSolver<'a> {
                     f.value(v).kind(),
                     ValueKind::Param { .. }
                         | ValueKind::Inst(Inst::Phi { .. })
-                        | ValueKind::Inst(Inst::Call { callee: Callee::Internal(_), .. })
+                        | ValueKind::Inst(Inst::Call {
+                            callee: Callee::Internal(_),
+                            ..
+                        })
                 );
                 if is_join {
                     self.states[fid.index()][v.index()] = PtrState::top();

@@ -56,8 +56,7 @@ pub use gr::{GrAnalysis, GrConfig};
 pub use locs::{AllocSite, LocId, LocKind, LocTable};
 pub use lr::{LocalBase, LrAnalysis, LrState};
 pub use query::{
-    global_no_alias, global_no_alias_kind, pointer_values, AliasAnalysis, AliasResult,
-    QueryStats, RbaaAnalysis,
-    WhichTest,
+    global_no_alias, global_no_alias_kind, pointer_values, AliasAnalysis, AliasResult, QueryStats,
+    RbaaAnalysis, WhichTest,
 };
 pub use state::PtrState;

@@ -3,8 +3,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use sra_ir::{FuncId, GlobalId, Module, Ty, ValueId, ValueKind};
 use sra_ir::{Callee, Inst};
+use sra_ir::{FuncId, GlobalId, Module, Ty, ValueId, ValueKind};
 
 /// Identifies one abstract location (`locᵢ` in the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -247,13 +247,28 @@ mod tests {
         let locs = LocTable::build(&m);
         // global + exported ptr param + malloc + alloca + external ptr call
         assert_eq!(locs.len(), 5);
-        assert_eq!(locs.site(locs.loc_of_global(g).unwrap()).kind, LocKind::Global);
+        assert_eq!(
+            locs.site(locs.loc_of_global(g).unwrap()).kind,
+            LocKind::Global
+        );
         let f = m.function(fid);
         let p = f.params()[0];
-        assert_eq!(locs.site(locs.loc_of_value(fid, p).unwrap()).kind, LocKind::Unknown);
-        assert_eq!(locs.site(locs.loc_of_value(fid, heap).unwrap()).kind, LocKind::Malloc);
-        assert_eq!(locs.site(locs.loc_of_value(fid, stack).unwrap()).kind, LocKind::Alloca);
-        assert_eq!(locs.site(locs.loc_of_value(fid, ext).unwrap()).kind, LocKind::Unknown);
+        assert_eq!(
+            locs.site(locs.loc_of_value(fid, p).unwrap()).kind,
+            LocKind::Unknown
+        );
+        assert_eq!(
+            locs.site(locs.loc_of_value(fid, heap).unwrap()).kind,
+            LocKind::Malloc
+        );
+        assert_eq!(
+            locs.site(locs.loc_of_value(fid, stack).unwrap()).kind,
+            LocKind::Alloca
+        );
+        assert_eq!(
+            locs.site(locs.loc_of_value(fid, ext).unwrap()).kind,
+            LocKind::Unknown
+        );
     }
 
     #[test]

@@ -60,6 +60,25 @@ pub struct LrState {
     pub base: LocalBase,
     /// Offset range from the base.
     pub range: SymRange,
+    /// The σ-nodes the pointer's derivation traversed — through the
+    /// base *and* through the integer offset expressions — as a sorted
+    /// set. Two states speak about the same dynamic instance of their
+    /// symbols — the precondition of the paper's "same moment" local
+    /// test — only when these sets are identical: the σ on a loop's
+    /// back-edge and the σ on its exit edge re-read the φ at
+    /// *different* instants, so offsets taken through them must not be
+    /// compared ([0,0] from the exit σ and [1,1] from the body σ can
+    /// both be `base+1` concretely when the loop runs once).
+    pub sigmas: Vec<ValueId>,
+    /// Block of the defining instruction (`None` for parameters and
+    /// global addresses). The local test additionally requires a
+    /// common block: within one execution of a block every value is
+    /// defined exactly once, so the k-th definitions of two pointers
+    /// in it belong to the same activation — the alignment that makes
+    /// range disjointness meaningful. Pointers in different blocks
+    /// (e.g. a loop body and its exit) are defined different numbers
+    /// of times and their aligned definitions may mix iterations.
+    pub block: Option<sra_ir::BlockId>,
 }
 
 impl LrState {
@@ -76,7 +95,12 @@ struct DisplayLr<'a> {
 
 impl fmt::Display for DisplayLr<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} + {}", self.state.base, self.state.range.display(self.names))
+        write!(
+            f,
+            "{} + {}",
+            self.state.base,
+            self.state.range.display(self.names)
+        )
     }
 }
 
@@ -110,26 +134,27 @@ impl LrAnalysis {
     }
 }
 
-fn analyze_function(
-    m: &Module,
-    fid: FuncId,
-    symbols: &mut SymbolTable,
-) -> Vec<Option<LrState>> {
+fn analyze_function(m: &Module, fid: FuncId, symbols: &mut SymbolTable) -> Vec<Option<LrState>> {
     let f = m.function(fid);
     let mut states: Vec<Option<LrState>> = vec![None; f.num_values()];
-    // Exact symbolic value of every integer, singleton semantics.
-    let mut int_val: Vec<Option<SymExpr>> = vec![None; f.num_values()];
+    // Exact symbolic value of every integer (singleton semantics) plus
+    // the σ-set its derivation traversed.
+    let mut int_val: Vec<Option<(SymExpr, Vec<ValueId>)>> = vec![None; f.num_values()];
     let mut fresh = 0u32;
 
     // Parameters, constants and global addresses dominate everything.
     for v in f.value_ids() {
         match f.value(v).kind() {
-            ValueKind::Const(c) => int_val[v.index()] = Some(SymExpr::from(*c)),
+            ValueKind::Const(c) => {
+                int_val[v.index()] = Some((SymExpr::from(*c), Vec::new()));
+            }
             ValueKind::Param { index } => match f.value(v).ty() {
                 Some(Ty::Ptr) => {
                     states[v.index()] = Some(LrState {
                         base: LocalBase::Fresh(fresh),
                         range: SymRange::constant(0),
+                        sigmas: Vec::new(),
+                        block: None,
                     });
                     fresh += 1;
                 }
@@ -138,7 +163,7 @@ fn analyze_function(
                         Some(n) => n.to_owned(),
                         None => format!("{}.arg{}", f.name(), index),
                     };
-                    int_val[v.index()] = Some(SymExpr::from(symbols.fresh(&name)));
+                    int_val[v.index()] = Some((SymExpr::from(symbols.fresh(&name)), Vec::new()));
                 }
                 None => {}
             },
@@ -146,6 +171,8 @@ fn analyze_function(
                 states[v.index()] = Some(LrState {
                     base: LocalBase::Global(*g),
                     range: SymRange::constant(0),
+                    sigmas: Vec::new(),
+                    block: None,
                 });
             }
             ValueKind::Inst(_) => {}
@@ -156,7 +183,9 @@ fn analyze_function(
     let dom = DomTree::new(f, &cfg);
     for b in dom.preorder() {
         for &v in f.block(b).insts() {
-            let Some(inst) = f.value(v).as_inst() else { continue };
+            let Some(inst) = f.value(v).as_inst() else {
+                continue;
+            };
             match f.value(v).ty() {
                 Some(Ty::Ptr) => {
                     let state = match inst {
@@ -169,25 +198,39 @@ fn analyze_function(
                             let s = LrState {
                                 base: LocalBase::Fresh(fresh),
                                 range: SymRange::constant(0),
+                                sigmas: Vec::new(),
+                                block: Some(b),
                             };
                             fresh += 1;
                             Some(s)
                         }
                         // Copies preserve the local state.
-                        Inst::Free { ptr } => states[ptr.index()].clone(),
-                        Inst::Sigma { input, .. } => states[input.index()].clone(),
-                        // Offsets accumulate exactly: LR(q) = loc + ([l,u] + c).
-                        Inst::PtrAdd { base, offset } => {
-                            states[base.index()].as_ref().map(|s| {
-                                let off = int_val[offset.index()]
-                                    .clone()
-                                    .expect("int operands are always valued");
-                                LrState {
-                                    base: s.base,
-                                    range: s.range.add_expr(&off),
-                                }
-                            })
-                        }
+                        Inst::Free { ptr } => states[ptr.index()].clone().map(|mut s| {
+                            s.block = Some(b);
+                            s
+                        }),
+                        // A σ re-reads its input on one CFG edge: the
+                        // state is preserved, but the instant of the
+                        // read is recorded so that only offsets taken
+                        // from the *same* σ remain comparable.
+                        Inst::Sigma { input, .. } => states[input.index()].clone().map(|mut s| {
+                            insert_sigma(&mut s.sigmas, v);
+                            s.block = Some(b);
+                            s
+                        }),
+                        // Offsets accumulate exactly: LR(q) = loc + ([l,u] + c),
+                        // inheriting the σ-instants of base and offset.
+                        Inst::PtrAdd { base, offset } => states[base.index()].as_ref().map(|s| {
+                            let (off, off_sigmas) = int_val[offset.index()]
+                                .clone()
+                                .expect("int operands are always valued");
+                            LrState {
+                                base: s.base,
+                                range: s.range.add_expr(&off),
+                                sigmas: union_sigmas(&s.sigmas, &off_sigmas),
+                                block: Some(b),
+                            }
+                        }),
                         _ => None,
                     };
                     states[v.index()] = state;
@@ -195,17 +238,25 @@ fn analyze_function(
                 Some(Ty::Int) => {
                     let expr = match inst {
                         Inst::IntBin { op, lhs, rhs } => {
-                            let a = int_val[lhs.index()].clone().expect("valued");
-                            let bx = int_val[rhs.index()].clone().expect("valued");
-                            Some(match op {
+                            let (a, sa) = int_val[lhs.index()].clone().expect("valued");
+                            let (bx, sb) = int_val[rhs.index()].clone().expect("valued");
+                            let e = match op {
                                 BinOp::Add => a + bx,
                                 BinOp::Sub => a - bx,
                                 BinOp::Mul => a * bx,
                                 BinOp::Div => SymExpr::div(a, bx),
                                 BinOp::Rem => SymExpr::rem(a, bx),
+                            };
+                            Some((e, union_sigmas(&sa, &sb)))
+                        }
+                        // Like pointer σs: value preserved, instant
+                        // recorded.
+                        Inst::Sigma { input, .. } => {
+                            int_val[input.index()].clone().map(|(e, mut s)| {
+                                insert_sigma(&mut s, v);
+                                (e, s)
                             })
                         }
-                        Inst::Sigma { input, .. } => int_val[input.index()].clone(),
                         // φs, loads, calls and comparisons denote "the
                         // value at this moment" — a fresh symbol.
                         Inst::Phi { .. }
@@ -213,7 +264,7 @@ fn analyze_function(
                         | Inst::Call { .. }
                         | Inst::Cmp { .. } => {
                             let name = format!("{}.{}", f.name(), v);
-                            Some(SymExpr::from(symbols.fresh(&name)))
+                            Some((SymExpr::from(symbols.fresh(&name)), Vec::new()))
                         }
                         _ => None,
                     };
@@ -224,6 +275,25 @@ fn analyze_function(
         }
     }
     states
+}
+
+/// Inserts `v` into a sorted σ-set.
+fn insert_sigma(set: &mut Vec<ValueId>, v: ValueId) {
+    if let Err(pos) = set.binary_search(&v) {
+        set.insert(pos, v);
+    }
+}
+
+/// Union of two sorted σ-sets.
+fn union_sigmas(a: &[ValueId], b: &[ValueId]) -> Vec<ValueId> {
+    if b.is_empty() {
+        return a.to_vec();
+    }
+    let mut out = a.to_vec();
+    for &v in b {
+        insert_sigma(&mut out, v);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -312,7 +382,12 @@ mod tests {
         let s0 = lr.state(fid, t0).unwrap();
         let s1 = lr.state(fid, t1).unwrap();
         assert_eq!(s0.base, s1.base);
-        assert!(s0.range.meet(&s1.range).is_empty(), "{} vs {}", s0.range, s1.range);
+        assert!(
+            s0.range.meet(&s1.range).is_empty(),
+            "{} vs {}",
+            s0.range,
+            s1.range
+        );
     }
 
     #[test]

@@ -118,7 +118,20 @@ impl RbaaAnalysis {
             return (AliasResult::NoAlias, Some(kind));
         }
         if let (Some(sp), Some(sq)) = (self.lr.state(f, p), self.lr.state(f, q)) {
-            if sp.base == sq.base && sp.range.meet(&sq.range).is_empty() {
+            // Preconditions for the "same moment" semantics: the
+            // pointers must be defined in the same block (so their k-th
+            // definitions belong to the same activation) and their
+            // derivations must have read every σ at the same instant
+            // (equal σ-sets — a body-σ and an exit-σ of one φ denote
+            // different iterations whose addresses may coincide). Only
+            // then does disjointness of the offset ranges prove the
+            // addresses distinct within every activation.
+            if sp.base == sq.base
+                && sp.block.is_some()
+                && sp.block == sq.block
+                && sp.sigmas == sq.sigmas
+                && sp.range.meet(&sq.range).is_empty()
+            {
                 return (AliasResult::NoAlias, Some(WhichTest::Local));
             }
         }
@@ -152,11 +165,7 @@ pub fn global_no_alias(a: &PtrState, b: &PtrState, locs: &LocTable) -> bool {
 /// Like [`global_no_alias`], reporting *how* the pointers were
 /// separated: by disjoint supports, or by range reasoning on common
 /// locations (the paper's "global test" of Figure 14).
-pub fn global_no_alias_kind(
-    a: &PtrState,
-    b: &PtrState,
-    locs: &LocTable,
-) -> Option<WhichTest> {
+pub fn global_no_alias_kind(a: &PtrState, b: &PtrState, locs: &LocTable) -> Option<WhichTest> {
     // ⊥ concretizes to the empty address set.
     if a.is_bottom() || b.is_bottom() {
         return Some(WhichTest::DistinctLocs);
@@ -369,7 +378,11 @@ mod tests {
             .expect("σ(i5)");
 
         let (res, test) = rbaa.alias_with_test(prep, sig1, sig2);
-        assert_eq!(res, AliasResult::NoAlias, "stores at lines 6 and 10 are independent");
+        assert_eq!(
+            res,
+            AliasResult::NoAlias,
+            "stores at lines 6 and 10 are independent"
+        );
         assert_eq!(test, Some(WhichTest::Global));
 
         // Complementarity: σ(i1) vs t0 = σ(i1)+1 overlaps globally
@@ -425,7 +438,11 @@ mod tests {
 
         let (res, test) = rbaa.alias_with_test(fid, tmp0, tmp1);
         assert_eq!(res, AliasResult::NoAlias);
-        assert_eq!(test, Some(WhichTest::Local), "only the local test separates them");
+        assert_eq!(
+            test,
+            Some(WhichTest::Local),
+            "only the local test separates them"
+        );
     }
 
     /// Distinct malloc sites never alias (global test).
@@ -526,5 +543,112 @@ mod tests {
         assert_eq!(stats.by_distinct_locs, 2);
         assert_eq!(stats.by_global, 1);
         assert!(stats.percent_no_alias() > 99.0);
+    }
+
+    /// Regression (found by the pipeline deep fuzz): the local test
+    /// must not compare offsets taken through *different* σs of the
+    /// same φ. In `while (p < e) { *p = x; p = p + 1; }` the body's
+    /// `p+1` (σ_< instance of iteration k) and the exit pointer (σ_≥
+    /// instance after the last iteration) both read the loop-φ, but at
+    /// different instants: with exactly one iteration both concretely
+    /// equal `base+1`, so a `NoAlias` verdict would be unsound.
+    #[test]
+    fn sigma_instances_are_not_comparable_locally() {
+        let mut b = FunctionBuilder::new("walk", &[], None);
+        let size = b.const_int(8);
+        let buf = b.malloc(size);
+        let head = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        let one = b.const_int(1);
+        let end = b.ptr_add(buf, one); // e = buf + 1: a single iteration
+        let entry = b.current_block();
+        b.jump(head);
+        b.switch_to(head);
+        let p = b.phi(Ty::Ptr, &[(entry, buf)]);
+        let c = b.cmp(CmpOp::Lt, p, end);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let zero = b.const_int(0);
+        b.store(p, zero);
+        let pnext = b.ptr_add(p, one);
+        b.add_phi_arg(p, body, pnext);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut f = b.finish();
+        f.set_exported(true);
+        sra_ir::essa::run(&mut f);
+        let mut m = Module::new();
+        let fid = m.add_function(f);
+        sra_ir::verify::verify_module(&m).expect("verifies");
+
+        let rbaa = RbaaAnalysis::analyze(&m);
+        let f = m.function(fid);
+        let exit_sigma = f
+            .value_ids()
+            .find(|&v| {
+                matches!(f.value(v).as_inst(),
+                    Some(sra_ir::Inst::Sigma { input, op: CmpOp::Ge, .. }) if *input == p)
+            })
+            .expect("exit σ of the loop φ");
+        // `pnext` was rewritten by e-SSA to add from the body σ; its LR
+        // offset is [1,1] while the exit σ's is [0,0] — yet both can be
+        // `buf+1` at run time. The σ-chain guard must reject the pair.
+        assert_eq!(
+            rbaa.alias(fid, pnext, exit_sigma),
+            AliasResult::MayAlias,
+            "offsets from different σ instances of one φ are incomparable"
+        );
+    }
+
+    /// Regression (code review of the σ-chain fix): the instance
+    /// confusion also flows through *integer* σs. In
+    /// `for (i = 0; i < n; i++) *(p+i) = 0; *(p + (i-1)) = 1;` the
+    /// body store uses σ_<(i) (iteration k) and the post-loop store
+    /// uses σ_≥(i) − 1 (after the last iteration); with one iteration
+    /// both are `p+0`, so ranges [i,i] vs [i−1,i−1] must not be
+    /// compared even though no pointer-typed σ is involved.
+    #[test]
+    fn int_sigma_instances_are_not_comparable_locally() {
+        let mut b = FunctionBuilder::new("tail", &[Ty::Ptr, Ty::Int], None);
+        let p = b.param(0);
+        let n = b.param(1);
+        let head = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        let zero = b.const_int(0);
+        let entry = b.current_block();
+        b.jump(head);
+        b.switch_to(head);
+        let i = b.phi(Ty::Int, &[(entry, zero)]);
+        let c = b.cmp(CmpOp::Lt, i, n);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let body_addr = b.ptr_add(p, i); // i rewritten to σ_<(i) by e-SSA
+        b.store(body_addr, zero);
+        let one = b.const_int(1);
+        let inext = b.binop(BinOp::Add, i, one);
+        b.add_phi_arg(i, body, inext);
+        b.jump(head);
+        b.switch_to(exit);
+        let neg_one = b.const_int(-1);
+        let im1 = b.binop(BinOp::Add, i, neg_one); // σ_≥(i) − 1
+        let tail_addr = b.ptr_add(p, im1);
+        b.store(tail_addr, one);
+        b.ret(None);
+        let mut f = b.finish();
+        f.set_exported(true);
+        sra_ir::essa::run(&mut f);
+        let mut m = Module::new();
+        let fid = m.add_function(f);
+        sra_ir::verify::verify_module(&m).expect("verifies");
+
+        let rbaa = RbaaAnalysis::analyze(&m);
+        assert_eq!(
+            rbaa.alias(fid, body_addr, tail_addr),
+            AliasResult::MayAlias,
+            "offsets through different int-σ instances are incomparable"
+        );
     }
 }

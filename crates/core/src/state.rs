@@ -114,9 +114,9 @@ impl PtrState {
         match (self, other) {
             (_, PtrState::Top) => true,
             (PtrState::Top, PtrState::Map(_)) => false,
-            (PtrState::Map(a), PtrState::Map(b)) => a.iter().all(|(loc, r)| {
-                b.get(loc).map(|rb| r.le(rb)).unwrap_or(false)
-            }),
+            (PtrState::Map(a), PtrState::Map(b)) => a
+                .iter()
+                .all(|(loc, r)| b.get(loc).map(|rb| r.le(rb)).unwrap_or(false)),
         }
     }
 
@@ -149,10 +149,7 @@ impl PtrState {
         match self {
             PtrState::Top => PtrState::Top,
             PtrState::Map(m) => {
-                let out = m
-                    .iter()
-                    .map(|(loc, r)| (*loc, r.add(offset)))
-                    .collect();
+                let out = m.iter().map(|(loc, r)| (*loc, r.add(offset))).collect();
                 PtrState::Map(out)
             }
         }
@@ -332,7 +329,10 @@ mod tests {
     fn add_offset_shifts_all() {
         let s = PtrState::at(l(0), 0.into(), n()).join(&PtrState::at(l(1), 2.into(), 2.into()));
         let shifted = s.add_offset(&SymRange::constant(3));
-        assert_eq!(shifted.get(l(0)), Some(&SymRange::interval(3.into(), n() + 3.into())));
+        assert_eq!(
+            shifted.get(l(0)),
+            Some(&SymRange::interval(3.into(), n() + 3.into()))
+        );
         assert_eq!(shifted.get(l(1)), Some(&SymRange::constant(5)));
         assert!(PtrState::top().add_offset(&SymRange::constant(1)).is_top());
     }

@@ -43,9 +43,7 @@
 
 use std::collections::HashMap;
 
-use sra_ir::{
-    BinOp, BlockId, Callee, FuncId, Inst, Module, Terminator, Ty, ValueId, ValueKind,
-};
+use sra_ir::{BinOp, BlockId, Callee, FuncId, Inst, Module, Terminator, Ty, ValueId, ValueKind};
 
 /// A runtime value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,7 +183,10 @@ impl<'a> Interp<'a> {
     pub fn run(&mut self, f: FuncId, args: &[Value]) -> Result<RunResult, Trap> {
         let start = self.steps;
         let ret = self.call(f, args, 0)?;
-        Ok(RunResult { ret, steps: self.steps - start })
+        Ok(RunResult {
+            ret,
+            steps: self.steps - start,
+        })
     }
 
     /// Every address value `v` of function `f` was observed to hold, in
@@ -217,8 +218,9 @@ impl<'a> Interp<'a> {
     /// "same moment" semantics: aligned definitions belong to the same
     /// instance of the enclosing region.)
     pub fn aligned_conflict(&self, f: FuncId, p: ValueId, q: ValueId) -> bool {
-        let mut per_frame: HashMap<u64, (Vec<Option<Pointer>>, Vec<Option<Pointer>>)> =
-            HashMap::new();
+        /// Addresses one value took within a frame, in definition order.
+        type AddrTrace = Vec<Option<Pointer>>;
+        let mut per_frame: HashMap<u64, (AddrTrace, AddrTrace)> = HashMap::new();
         for e in self.defs(f, p) {
             per_frame.entry(e.frame).or_default().0.push(e.addr);
         }
@@ -241,12 +243,17 @@ impl<'a> Interp<'a> {
 
     fn alloc_chunk(&mut self, size: usize) -> u32 {
         let id = self.chunks.len() as u32;
-        self.chunks.push(Chunk { cells: vec![Value::Int(0); size], freed: false });
+        self.chunks.push(Chunk {
+            cells: vec![Value::Int(0); size],
+            freed: false,
+        });
         id
     }
 
     fn ext_int(&mut self, name: &str) -> i128 {
-        let Some(script) = self.externals.get(name) else { return 0 };
+        let Some(script) = self.externals.get(name) else {
+            return 0;
+        };
         if script.is_empty() {
             return 0;
         }
@@ -308,7 +315,9 @@ impl<'a> Interp<'a> {
 
             let insts = f.block(block).insts().to_vec();
             for v in insts {
-                let Some(inst) = f.value(v).as_inst() else { continue };
+                let Some(inst) = f.value(v).as_inst() else {
+                    continue;
+                };
                 if inst.is_phi() {
                     continue;
                 }
@@ -327,7 +336,11 @@ impl<'a> Interp<'a> {
                     prev = Some(block);
                     block = *t;
                 }
-                Terminator::Br { cond, then_bb, else_bb } => {
+                Terminator::Br {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
                     let c = match regs[cond.index()] {
                         Some(Value::Int(i)) => i != 0,
                         _ => return Err(Trap::BadPointer),
@@ -440,7 +453,11 @@ impl<'a> Interp<'a> {
             }
             Inst::Phi { .. } => unreachable!("φ handled at block entry"),
             Inst::Sigma { input, .. } => Some(get(regs, *input)),
-            Inst::Call { callee, args, ret_ty } => {
+            Inst::Call {
+                callee,
+                args,
+                ret_ty,
+            } => {
                 let argv: Vec<Value> = args.iter().map(|&a| get(regs, a)).collect();
                 match callee {
                     Callee::Internal(target) => self.call(*target, &argv, depth + 1)?,
@@ -469,7 +486,10 @@ impl<'a> Interp<'a> {
     }
 
     fn mem_write(&mut self, p: Pointer, v: Value) -> Result<(), Trap> {
-        let chunk = self.chunks.get_mut(p.chunk as usize).ok_or(Trap::BadPointer)?;
+        let chunk = self
+            .chunks
+            .get_mut(p.chunk as usize)
+            .ok_or(Trap::BadPointer)?;
         if chunk.freed {
             return Err(Trap::UseAfterFree);
         }
@@ -561,8 +581,7 @@ mod tests {
         // addr took offsets 0..5 of the malloc chunk.
         let addrs = interp.address_set(fid, addr);
         assert_eq!(addrs.len(), 5);
-        let offsets: std::collections::HashSet<i64> =
-            addrs.iter().map(|p| p.offset).collect();
+        let offsets: std::collections::HashSet<i64> = addrs.iter().map(|p| p.offset).collect();
         assert_eq!(offsets, (0..5).collect());
     }
 
@@ -689,7 +708,13 @@ mod tests {
         let fid = m.add_function(b.finish());
         let mut interp = Interp::new(&m);
         interp.run(fid, &[]).unwrap();
-        assert!(interp.global_conflict(fid, t0, t1), "whole-run sets overlap");
-        assert!(!interp.aligned_conflict(fid, t0, t1), "never collide in-iteration");
+        assert!(
+            interp.global_conflict(fid, t0, t1),
+            "whole-run sets overlap"
+        );
+        assert!(
+            !interp.aligned_conflict(fid, t0, t1),
+            "never collide in-iteration"
+        );
     }
 }

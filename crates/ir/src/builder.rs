@@ -55,7 +55,11 @@ impl FunctionBuilder {
             func.params.push(v);
         }
         let entry = func.add_block();
-        FunctionBuilder { func, current: entry, const_cache: HashMap::new() }
+        FunctionBuilder {
+            func,
+            current: entry,
+            const_cache: HashMap::new(),
+        }
     }
 
     /// The entry block id.
@@ -181,7 +185,13 @@ impl FunctionBuilder {
     /// later with [`FunctionBuilder::add_phi_arg`] (for loop back
     /// edges).
     pub fn phi(&mut self, ty: Ty, args: &[(BlockId, ValueId)]) -> ValueId {
-        self.inst(Inst::Phi { ty, args: args.to_vec() }, Some(ty))
+        self.inst(
+            Inst::Phi {
+                ty,
+                args: args.to_vec(),
+            },
+            Some(ty),
+        )
     }
 
     /// Adds an incoming `(pred, value)` pair to an existing φ.
@@ -202,7 +212,10 @@ impl FunctionBuilder {
     pub fn prepend_phi(&mut self, b: BlockId, ty: Ty) -> ValueId {
         let v = self.func.add_value(ValueData {
             ty: Some(ty),
-            kind: ValueKind::Inst(Inst::Phi { ty, args: Vec::new() }),
+            kind: ValueKind::Inst(Inst::Phi {
+                ty,
+                args: Vec::new(),
+            }),
             block: Some(b),
             name: None,
         });
@@ -259,9 +272,7 @@ impl FunctionBuilder {
             if let Some(t) = &mut self.func.blocks[b].term {
                 t.for_each_operand_mut(|o| *o = resolve(*o));
             }
-            self.func.blocks[b]
-                .insts
-                .retain(|v| !map.contains_key(v));
+            self.func.blocks[b].insts.retain(|v| !map.contains_key(v));
         }
     }
 
@@ -273,12 +284,23 @@ impl FunctionBuilder {
 
     /// A call. `ret_ty = None` makes it void.
     pub fn call(&mut self, callee: Callee, args: &[ValueId], ret_ty: Option<Ty>) -> ValueId {
-        self.inst(Inst::Call { callee, args: args.to_vec(), ret_ty }, ret_ty)
+        self.inst(
+            Inst::Call {
+                callee,
+                args: args.to_vec(),
+                ret_ty,
+            },
+            ret_ty,
+        )
     }
 
     /// Terminates the current block with a conditional branch.
     pub fn br(&mut self, cond: ValueId, then_bb: BlockId, else_bb: BlockId) {
-        self.terminate(Terminator::Br { cond, then_bb, else_bb });
+        self.terminate(Terminator::Br {
+            cond,
+            then_bb,
+            else_bb,
+        });
     }
 
     /// Terminates the current block with an unconditional jump.

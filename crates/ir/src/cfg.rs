@@ -66,7 +66,12 @@ impl Cfg {
         for (i, &b) in post.iter().enumerate() {
             rpo_index[b.index()] = i;
         }
-        Cfg { preds, succs, rpo: post, rpo_index }
+        Cfg {
+            preds,
+            succs,
+            rpo: post,
+            rpo_index,
+        }
     }
 
     /// Predecessors of `b` (duplicates possible for two-way branches to

@@ -68,7 +68,12 @@ impl DomTree {
                 stack.push(c);
             }
         }
-        DomTree { idom, children, depth, entry }
+        DomTree {
+            idom,
+            children,
+            depth,
+            entry,
+        }
     }
 
     /// Immediate dominator of `b`; `None` for the entry or unreachable

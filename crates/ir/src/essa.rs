@@ -57,8 +57,10 @@ pub struct EssaReport {
 
 /// Converts `f` (already in SSA form) into e-SSA form in place.
 pub fn run(f: &mut Function) -> EssaReport {
-    let mut report = EssaReport::default();
-    report.edges_split = split_branch_edges(f);
+    let mut report = EssaReport {
+        edges_split: split_branch_edges(f),
+        ..EssaReport::default()
+    };
     insert_sigmas(f, &mut report);
     report
 }
@@ -73,8 +75,11 @@ fn split_branch_edges(f: &mut Function) -> usize {
         pred_count[b.index()] = cfg.preds(b).len();
     }
     for b in f.block_ids().collect::<Vec<_>>() {
-        let Some(Terminator::Br { cond, then_bb, else_bb }) =
-            f.block(b).terminator_opt().cloned()
+        let Some(Terminator::Br {
+            cond,
+            then_bb,
+            else_bb,
+        }) = f.block(b).terminator_opt().cloned()
         else {
             continue;
         };
@@ -91,9 +96,7 @@ fn split_branch_edges(f: &mut Function) -> usize {
                 // Re-route φ incoming edges from `b` to `fresh`.
                 let insts = f.block(*target).insts.to_vec();
                 for v in insts {
-                    if let ValueKind::Inst(Inst::Phi { args, .. }) =
-                        &mut f.value_mut(v).kind
-                    {
+                    if let ValueKind::Inst(Inst::Phi { args, .. }) = &mut f.value_mut(v).kind {
                         for (pred, _) in args.iter_mut() {
                             if *pred == b {
                                 *pred = fresh;
@@ -105,7 +108,14 @@ fn split_branch_edges(f: &mut Function) -> usize {
                 split += 1;
             }
         }
-        f.set_terminator(b, Terminator::Br { cond, then_bb, else_bb });
+        f.set_terminator(
+            b,
+            Terminator::Br {
+                cond,
+                then_bb,
+                else_bb,
+            },
+        );
     }
     split
 }
@@ -116,8 +126,11 @@ fn insert_sigmas(f: &mut Function, report: &mut EssaReport) {
     // Phase 1: create σ-nodes (operands still refer to pre-σ names).
     let mut any = false;
     for b in f.block_ids().collect::<Vec<_>>() {
-        let Some(Terminator::Br { cond, then_bb, else_bb }) =
-            f.block(b).terminator_opt().cloned()
+        let Some(Terminator::Br {
+            cond,
+            then_bb,
+            else_bb,
+        }) = f.block(b).terminator_opt().cloned()
         else {
             continue;
         };
@@ -146,13 +159,17 @@ fn insert_sigmas(f: &mut Function, report: &mut EssaReport) {
                     .block(target)
                     .insts
                     .iter()
-                    .take_while(|&&v| {
-                        matches!(f.value(v).kind(), ValueKind::Inst(i) if i.is_sigma())
-                    })
+                    .take_while(
+                        |&&v| matches!(f.value(v).kind(), ValueKind::Inst(i) if i.is_sigma()),
+                    )
                     .count();
                 let sigma = f.add_value(ValueData {
                     ty,
-                    kind: ValueKind::Inst(Inst::Sigma { input: old, op: o, other }),
+                    kind: ValueKind::Inst(Inst::Sigma {
+                        input: old,
+                        op: o,
+                        other,
+                    }),
                     block: Some(target),
                     name: None,
                 });
@@ -205,15 +222,11 @@ fn rename_walk(f: &mut Function, cfg: &Cfg, dom: &DomTree) {
                         ValueKind::Inst(Inst::Sigma { input, other, .. }) => {
                             let key = *input;
                             // Rewrite operands to the current names.
-                            if let Some(top) =
-                                stacks.get(&key).and_then(|s| s.last())
-                            {
+                            if let Some(top) = stacks.get(&key).and_then(|s| s.last()) {
                                 *input = *top;
                             }
                             let okey = *other;
-                            if let Some(top) =
-                                stacks.get(&okey).and_then(|s| s.last())
-                            {
+                            if let Some(top) = stacks.get(&okey).and_then(|s| s.last()) {
                                 *other = *top;
                             }
                             stacks.entry(key).or_default().push(v);
@@ -221,9 +234,7 @@ fn rename_walk(f: &mut Function, cfg: &Cfg, dom: &DomTree) {
                         }
                         ValueKind::Inst(inst) => {
                             inst.for_each_operand_mut(|o| {
-                                if let Some(top) =
-                                    stacks.get(o).and_then(|s| s.last())
-                                {
+                                if let Some(top) = stacks.get(o).and_then(|s| s.last()) {
                                     *o = *top;
                                 }
                             });
@@ -242,14 +253,10 @@ fn rename_walk(f: &mut Function, cfg: &Cfg, dom: &DomTree) {
                 for &s in cfg.succs(b) {
                     let insts = f.block(s).insts.to_vec();
                     for v in insts {
-                        if let ValueKind::Inst(Inst::Phi { args, .. }) =
-                            &mut f.value_mut(v).kind
-                        {
+                        if let ValueKind::Inst(Inst::Phi { args, .. }) = &mut f.value_mut(v).kind {
                             for (pred, val) in args.iter_mut() {
                                 if *pred == b {
-                                    if let Some(top) =
-                                        stacks.get(val).and_then(|st| st.last())
-                                    {
+                                    if let Some(top) = stacks.get(val).and_then(|st| st.last()) {
                                         *val = *top;
                                     }
                                 }
@@ -294,8 +301,8 @@ fn original_of(f: &Function, mut v: ValueId) -> ValueId {
 mod tests {
     use super::*;
     use crate::builder::FunctionBuilder;
-    use crate::instr::CmpOp;
     use crate::instr::BinOp;
+    use crate::instr::CmpOp;
     use crate::verify::verify_function;
 
     /// if (x < n) { y = x + 1 } else { y = x - 1 }; use in both arms.
@@ -323,8 +330,10 @@ mod tests {
         verify_function(&f, None).expect("verified");
         // The add in the then-arm must now use a σ, not x.
         let uses_sigma = |bb: BlockId| {
-            f.block(bb).insts().iter().any(|&v| {
-                match f.value(v).as_inst() {
+            f.block(bb)
+                .insts()
+                .iter()
+                .any(|&v| match f.value(v).as_inst() {
                     Some(Inst::IntBin { lhs, .. }) => {
                         matches!(
                             f.value(*lhs).as_inst(),
@@ -332,8 +341,7 @@ mod tests {
                         )
                     }
                     _ => false,
-                }
-            })
+                })
         };
         assert!(uses_sigma(t), "then-arm should use σ(x)");
         assert!(uses_sigma(e), "else-arm should use σ(x)");

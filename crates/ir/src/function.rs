@@ -188,9 +188,8 @@ impl Function {
     /// Iterates over every instruction in the function, in block order,
     /// yielding `(block, value)` pairs.
     pub fn insts(&self) -> impl Iterator<Item = (BlockId, ValueId)> + '_ {
-        self.block_ids().flat_map(move |b| {
-            self.block(b).insts.iter().map(move |&v| (b, v))
-        })
+        self.block_ids()
+            .flat_map(move |b| self.block(b).insts.iter().map(move |&v| (b, v)))
     }
 
     /// Total number of instructions (the size metric of the paper's

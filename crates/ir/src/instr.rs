@@ -332,7 +332,9 @@ impl Terminator {
     /// Successor blocks in order.
     pub fn successors(&self) -> impl Iterator<Item = BlockId> {
         let pair = match self {
-            Terminator::Br { then_bb, else_bb, .. } => [Some(*then_bb), Some(*else_bb)],
+            Terminator::Br {
+                then_bb, else_bb, ..
+            } => [Some(*then_bb), Some(*else_bb)],
             Terminator::Jump(bb) => [Some(*bb), None],
             Terminator::Ret(_) => [None, None],
         };
@@ -342,7 +344,9 @@ impl Terminator {
     /// Calls `f` on mutable references to the successor block ids.
     pub fn for_each_successor_mut(&mut self, mut f: impl FnMut(&mut BlockId)) {
         match self {
-            Terminator::Br { then_bb, else_bb, .. } => {
+            Terminator::Br {
+                then_bb, else_bb, ..
+            } => {
                 f(then_bb);
                 f(else_bb);
             }
@@ -381,7 +385,14 @@ mod tests {
         assert_eq!(CmpOp::Lt.negate(), CmpOp::Ge);
         assert_eq!(CmpOp::Lt.swap(), CmpOp::Gt);
         assert_eq!(CmpOp::Eq.swap(), CmpOp::Eq);
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.negate().negate(), op);
             assert_eq!(op.swap().swap(), op);
         }
@@ -415,7 +426,10 @@ mod tests {
 
     #[test]
     fn operand_iteration() {
-        let i = Inst::PtrAdd { base: ValueId::new(1), offset: ValueId::new(2) };
+        let i = Inst::PtrAdd {
+            base: ValueId::new(1),
+            offset: ValueId::new(2),
+        };
         let mut ops = Vec::new();
         i.for_each_operand(|v| ops.push(v));
         assert_eq!(ops, vec![ValueId::new(1), ValueId::new(2)]);
@@ -429,13 +443,28 @@ mod tests {
 
     #[test]
     fn result_types() {
-        assert_eq!(Inst::Malloc { size: ValueId::new(0) }.result_ty(), Some(Ty::Ptr));
         assert_eq!(
-            Inst::Store { ptr: ValueId::new(0), val: ValueId::new(1) }.result_ty(),
+            Inst::Malloc {
+                size: ValueId::new(0)
+            }
+            .result_ty(),
+            Some(Ty::Ptr)
+        );
+        assert_eq!(
+            Inst::Store {
+                ptr: ValueId::new(0),
+                val: ValueId::new(1)
+            }
+            .result_ty(),
             None
         );
         assert_eq!(
-            Inst::Cmp { op: CmpOp::Eq, lhs: ValueId::new(0), rhs: ValueId::new(1) }.result_ty(),
+            Inst::Cmp {
+                op: CmpOp::Eq,
+                lhs: ValueId::new(0),
+                rhs: ValueId::new(1)
+            }
+            .result_ty(),
             Some(Ty::Int)
         );
     }

@@ -61,7 +61,10 @@ impl Module {
     /// Adds a global of `size` cells, returning its id.
     pub fn add_global(&mut self, name: &str, size: i64) -> GlobalId {
         let id = GlobalId::new(self.globals.len());
-        self.globals.push(Global { name: name.to_owned(), size });
+        self.globals.push(Global {
+            name: name.to_owned(),
+            size,
+        });
         id
     }
 

@@ -70,8 +70,8 @@ pub fn parse_module(text: &str) -> Result<Module, IrParseError> {
             continue;
         }
         if let Some(rest) = line.strip_prefix("global @") {
-            let (name, size) = parse_global(rest)
-                .ok_or_else(|| err(idx, "malformed global declaration"))?;
+            let (name, size) =
+                parse_global(rest).ok_or_else(|| err(idx, "malformed global declaration"))?;
             m.add_global(&name, size);
             continue;
         }
@@ -94,7 +94,10 @@ pub fn parse_module(text: &str) -> Result<Module, IrParseError> {
 }
 
 fn err(idx: usize, message: impl Into<String>) -> IrParseError {
-    IrParseError { line: idx + 1, message: message.into() }
+    IrParseError {
+        line: idx + 1,
+        message: message.into(),
+    }
 }
 
 fn parse_global(rest: &str) -> Option<(String, i64)> {
@@ -228,7 +231,10 @@ fn parse_function(
     Ok(p.f)
 }
 
-fn parse_header(line: &str) -> Option<(String, Vec<(String, Ty)>, Option<Ty>, bool)> {
+/// A parsed `func` line: name, parameters, return type, exported flag.
+type Header = (String, Vec<(String, Ty)>, Option<Ty>, bool);
+
+fn parse_header(line: &str) -> Option<Header> {
     let rest = line.strip_prefix("func @")?;
     let (name, rest) = rest.split_once('(')?;
     let (params_text, rest) = rest.split_once(')')?;
@@ -277,7 +283,14 @@ fn parse_line(p: &mut FnParser<'_>, b: BlockId, line: &str) -> Result<(), String
         let cond = p.operand(parts[0]).ok_or("bad br condition")?;
         let then_bb = p.block(parts[1]);
         let else_bb = p.block(parts[2]);
-        p.f.set_terminator(b, Terminator::Br { cond, then_bb, else_bb });
+        p.f.set_terminator(
+            b,
+            Terminator::Br {
+                cond,
+                then_bb,
+                else_bb,
+            },
+        );
         return Ok(());
     }
     if line == "ret" {
@@ -302,12 +315,29 @@ fn parse_line(p: &mut FnParser<'_>, b: BlockId, line: &str) -> Result<(), String
         return Ok(());
     }
     // `vN = <op> …`
-    let (lhs, rhs) = line.split_once(" = ").ok_or("expected assignment or terminator")?;
+    let (lhs, rhs) = line
+        .split_once(" = ")
+        .ok_or("expected assignment or terminator")?;
     let (op, rest) = rhs.split_once(' ').unwrap_or((rhs, ""));
     let (inst, ty) = match op {
-        "malloc" => (Inst::Malloc { size: p.operand(rest).ok_or("bad size")? }, Ty::Ptr),
-        "alloca" => (Inst::Alloca { size: p.operand(rest).ok_or("bad size")? }, Ty::Ptr),
-        "free" => (Inst::Free { ptr: p.operand(rest).ok_or("bad ptr")? }, Ty::Ptr),
+        "malloc" => (
+            Inst::Malloc {
+                size: p.operand(rest).ok_or("bad size")?,
+            },
+            Ty::Ptr,
+        ),
+        "alloca" => (
+            Inst::Alloca {
+                size: p.operand(rest).ok_or("bad size")?,
+            },
+            Ty::Ptr,
+        ),
+        "free" => (
+            Inst::Free {
+                ptr: p.operand(rest).ok_or("bad ptr")?,
+            },
+            Ty::Ptr,
+        ),
         "ptradd" => {
             let (a, o) = rest.split_once(", ").ok_or("ptradd needs two operands")?;
             (
@@ -350,11 +380,17 @@ fn parse_line(p: &mut FnParser<'_>, b: BlockId, line: &str) -> Result<(), String
             )
         }
         "load.int" => (
-            Inst::Load { ptr: p.operand(rest).ok_or("bad address")?, ty: Ty::Int },
+            Inst::Load {
+                ptr: p.operand(rest).ok_or("bad address")?,
+                ty: Ty::Int,
+            },
             Ty::Int,
         ),
         "load.ptr" => (
-            Inst::Load { ptr: p.operand(rest).ok_or("bad address")?, ty: Ty::Ptr },
+            Inst::Load {
+                ptr: p.operand(rest).ok_or("bad address")?,
+                ty: Ty::Ptr,
+            },
             Ty::Ptr,
         ),
         "phi" => {
@@ -362,10 +398,7 @@ fn parse_line(p: &mut FnParser<'_>, b: BlockId, line: &str) -> Result<(), String
             // default int, fixed below if any arg is a pointer.
             let mut args = Vec::new();
             for piece in rest.split("], ") {
-                let piece = piece
-                    .trim()
-                    .trim_start_matches('[')
-                    .trim_end_matches(']');
+                let piece = piece.trim().trim_start_matches('[').trim_end_matches(']');
                 if piece.is_empty() {
                     continue;
                 }
@@ -390,7 +423,14 @@ fn parse_line(p: &mut FnParser<'_>, b: BlockId, line: &str) -> Result<(), String
             let pred = parse_cmp(parts[1])?;
             let other = p.operand(parts[2]).ok_or("bad sigma other")?;
             let ty = p.f.value(input).ty().unwrap_or(Ty::Int);
-            (Inst::Sigma { input, op: pred, other }, ty)
+            (
+                Inst::Sigma {
+                    input,
+                    op: pred,
+                    other,
+                },
+                ty,
+            )
         }
         "call" => {
             let (inst, ty) = parse_call(p, rest, Some(Ty::Int))?;
@@ -426,7 +466,9 @@ fn parse_call(
     rest: &str,
     default_ret: Option<Ty>,
 ) -> Result<(Inst, Option<Ty>), String> {
-    let rest = rest.strip_prefix('@').ok_or("call target must start with @")?;
+    let rest = rest
+        .strip_prefix('@')
+        .ok_or("call target must start with @")?;
     let (target, args_text) = rest.split_once('(').ok_or("call needs parentheses")?;
     let args_text = args_text.strip_suffix(')').ok_or("unclosed call")?;
     let mut args = Vec::new();
@@ -445,17 +487,23 @@ fn parse_call(
             .ok_or_else(|| format!("unknown function `@{target}`"))?;
         (Callee::Internal(fid), default_ret)
     };
-    Ok((Inst::Call { callee, args, ret_ty }, ret_ty))
+    Ok((
+        Inst::Call {
+            callee,
+            args,
+            ret_ty,
+        },
+        ret_ty,
+    ))
 }
 
-fn push_inst(
-    p: &mut FnParser<'_>,
-    b: BlockId,
-    name: Option<&str>,
-    inst: Inst,
-    ty: Option<Ty>,
-) {
-    let data = ValueData { ty, kind: ValueKind::Inst(inst), block: Some(b), name: None };
+fn push_inst(p: &mut FnParser<'_>, b: BlockId, name: Option<&str>, inst: Inst, ty: Option<Ty>) {
+    let data = ValueData {
+        ty,
+        kind: ValueKind::Inst(inst),
+        block: Some(b),
+        name: None,
+    };
     let v = match name {
         Some(n) => p.define(n, data),
         None => p.f.add_value(data),
@@ -555,8 +603,8 @@ mod tests {
     fn roundtrip_preserves_structure() {
         let m = sample_module();
         let printed = print_module(&m);
-        let reparsed = parse_module(&printed)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let reparsed =
+            parse_module(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
         verify_module(&reparsed).expect("reparsed module verifies");
         let reprinted = print_module(&reparsed);
         assert_eq!(

@@ -88,13 +88,24 @@ fn render_inst(f: &Function, m: Option<&Module>, v: ValueId) -> String {
         Inst::Alloca { size } => format!("{} = alloca {}", v, operand(f, *size)),
         Inst::Free { ptr } => format!("{} = free {}", v, operand(f, *ptr)),
         Inst::PtrAdd { base, offset } => {
-            format!("{} = ptradd {}, {}", v, operand(f, *base), operand(f, *offset))
+            format!(
+                "{} = ptradd {}, {}",
+                v,
+                operand(f, *base),
+                operand(f, *offset)
+            )
         }
         Inst::IntBin { op, lhs, rhs } => {
             format!("{} = {} {}, {}", v, op, operand(f, *lhs), operand(f, *rhs))
         }
         Inst::Cmp { op, lhs, rhs } => {
-            format!("{} = cmp {} {}, {}", v, op, operand(f, *lhs), operand(f, *rhs))
+            format!(
+                "{} = cmp {} {}, {}",
+                v,
+                op,
+                operand(f, *lhs),
+                operand(f, *rhs)
+            )
         }
         Inst::Load { ptr, ty } => format!("{} = load.{} {}", v, ty, operand(f, *ptr)),
         Inst::Store { ptr, val } => {
@@ -109,7 +120,13 @@ fn render_inst(f: &Function, m: Option<&Module>, v: ValueId) -> String {
             s
         }
         Inst::Sigma { input, op, other } => {
-            format!("{} = sigma {} {} {}", v, operand(f, *input), op, operand(f, *other))
+            format!(
+                "{} = sigma {} {} {}",
+                v,
+                operand(f, *input),
+                op,
+                operand(f, *other)
+            )
         }
         Inst::Call { callee, args, .. } => {
             let target = match callee {
@@ -133,7 +150,11 @@ fn render_inst(f: &Function, m: Option<&Module>, v: ValueId) -> String {
 
 fn render_term(f: &Function, t: &Terminator) -> String {
     match t {
-        Terminator::Br { cond, then_bb, else_bb } => {
+        Terminator::Br {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
             format!("br {}, {}, {}", operand(f, *cond), then_bb, else_bb)
         }
         Terminator::Jump(b) => format!("jump {}", b),

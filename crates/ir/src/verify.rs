@@ -134,9 +134,7 @@ pub fn verify_function(f: &Function, module: Option<&Module>) -> Result<(), Veri
                     }
                     for (ab, av) in args {
                         if !preds.contains(ab) && cfg.is_reachable(b) {
-                            problems.push(format!(
-                                "{v}: φ argument from non-predecessor {ab}"
-                            ));
+                            problems.push(format!("{v}: φ argument from non-predecessor {ab}"));
                         }
                         if f.value(*av).ty() != Some(*ty) {
                             problems.push(format!("{v}: φ argument {av} has wrong type"));
@@ -190,7 +188,10 @@ pub fn verify_function(f: &Function, module: Option<&Module>) -> Result<(), Veri
     if problems.is_empty() {
         Ok(())
     } else {
-        Err(VerifyError { function: f.name().to_owned(), problems })
+        Err(VerifyError {
+            function: f.name().to_owned(),
+            problems,
+        })
     }
 }
 
@@ -244,7 +245,11 @@ fn check_types(
                 problems.push(format!("{v}: store of void value"));
             }
         }
-        Inst::Call { callee, args, ret_ty } => {
+        Inst::Call {
+            callee,
+            args,
+            ret_ty,
+        } => {
             if let (Callee::Internal(fid), Some(m)) = (callee, module) {
                 if fid.index() >= m.num_functions() {
                     problems.push(format!("{v}: call to unknown function {fid}"));

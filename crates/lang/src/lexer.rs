@@ -91,7 +91,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unexpected character {:?} at byte {}", self.ch, self.offset)
+        write!(
+            f,
+            "unexpected character {:?} at byte {}",
+            self.ch, self.offset
+        )
     }
 }
 
@@ -133,9 +137,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Token::Ident(source[start..i].to_owned()));
@@ -227,7 +229,12 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     return Err(LexError { offset: i, ch: c });
                 }
             }
-            other => return Err(LexError { offset: i, ch: other }),
+            other => {
+                return Err(LexError {
+                    offset: i,
+                    ch: other,
+                })
+            }
         }
     }
     Ok(out)
@@ -257,7 +264,14 @@ mod tests {
         let toks = lex("< <= > >= == !=").unwrap();
         assert_eq!(
             toks,
-            vec![Token::Lt, Token::Le, Token::Gt, Token::Ge, Token::EqEq, Token::Ne]
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::EqEq,
+                Token::Ne
+            ]
         );
     }
 

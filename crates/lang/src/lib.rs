@@ -100,7 +100,10 @@ pub struct CompileOptions {
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { essa: true, verify: true }
+        CompileOptions {
+            essa: true,
+            verify: true,
+        }
     }
 }
 
@@ -133,9 +136,8 @@ pub fn compile_with(source: &str, opts: CompileOptions) -> Result<Module, Compil
         }
     }
     if opts.verify {
-        sra_ir::verify::verify_module(&module).unwrap_or_else(|e| {
-            panic!("internal error: lowering produced invalid IR: {e}")
-        });
+        sra_ir::verify::verify_module(&module)
+            .unwrap_or_else(|e| panic!("internal error: lowering produced invalid IR: {e}"));
     }
     Ok(module)
 }

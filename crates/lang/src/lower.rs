@@ -11,9 +11,7 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
-use sra_ir::{
-    BinOp, BlockId, Callee, FunctionBuilder, GlobalId, Module, Ty, ValueId,
-};
+use sra_ir::{BinOp, BlockId, Callee, FunctionBuilder, GlobalId, Module, Ty, ValueId};
 
 use crate::ast::{BinKind, Expr, FuncDecl, Program, Stmt};
 
@@ -253,12 +251,7 @@ impl<'a> FnLower<'a> {
                 if self.replacements.contains_key(&phi) {
                     continue;
                 }
-                let args: Vec<ValueId> = self
-                    .b
-                    .phi_args(phi)
-                    .iter()
-                    .map(|(_, a)| *a)
-                    .collect();
+                let args: Vec<ValueId> = self.b.phi_args(phi).iter().map(|(_, a)| *a).collect();
                 let mut same: Option<ValueId> = None;
                 let mut trivial = true;
                 for a in args {
@@ -406,11 +399,8 @@ impl<'a> FnLower<'a> {
                     if let Some((idx, tys, ret)) = self.sigs.get(name).cloned() {
                         if ret.is_none() {
                             let argv = self.call_args(name, args, &tys)?;
-                            self.b.call(
-                                Callee::Internal(sra_ir::FuncId::new(idx)),
-                                &argv,
-                                None,
-                            );
+                            self.b
+                                .call(Callee::Internal(sra_ir::FuncId::new(idx)), &argv, None);
                             return Ok(());
                         }
                     }
@@ -444,7 +434,7 @@ impl<'a> FnLower<'a> {
                 self.enter(join);
                 // If both arms returned, the join is unreachable; emit a
                 // terminator so the function is complete and move on.
-                if self.preds.get(&join).map_or(true, Vec::is_empty) {
+                if self.preds.get(&join).is_none_or(Vec::is_empty) {
                     match self.decl.ret {
                         None => self.b.ret(None),
                         Some(Ty::Int) => {
@@ -543,12 +533,8 @@ impl<'a> FnLower<'a> {
                         };
                         Ok((self.b.binop(op, lv, rv), Ty::Int))
                     }
-                    (Ty::Ptr, Ty::Int, BinKind::Add) => {
-                        Ok((self.b.ptr_add(lv, rv), Ty::Ptr))
-                    }
-                    (Ty::Int, Ty::Ptr, BinKind::Add) => {
-                        Ok((self.b.ptr_add(rv, lv), Ty::Ptr))
-                    }
+                    (Ty::Ptr, Ty::Int, BinKind::Add) => Ok((self.b.ptr_add(lv, rv), Ty::Ptr)),
+                    (Ty::Int, Ty::Ptr, BinKind::Add) => Ok((self.b.ptr_add(rv, lv), Ty::Ptr)),
                     (Ty::Ptr, Ty::Int, BinKind::Sub) => {
                         let zero = self.b.const_int(0);
                         let neg = self.b.binop(BinOp::Sub, zero, rv);
@@ -608,16 +594,12 @@ impl<'a> FnLower<'a> {
             Expr::Call(name, args) => {
                 if let Some((idx, tys, ret)) = self.sigs.get(name).cloned() {
                     let Some(ret) = ret else {
-                        return Err(err(format!(
-                            "void function `{name}` used as a value"
-                        )));
+                        return Err(err(format!("void function `{name}` used as a value")));
                     };
                     let argv = self.call_args(name, args, &tys)?;
-                    let v = self.b.call(
-                        Callee::Internal(sra_ir::FuncId::new(idx)),
-                        &argv,
-                        Some(ret),
-                    );
+                    let v =
+                        self.b
+                            .call(Callee::Internal(sra_ir::FuncId::new(idx)), &argv, Some(ret));
                     return Ok((v, ret));
                 }
                 // External: arguments lower as-is, return type by name.
@@ -630,7 +612,9 @@ impl<'a> FnLower<'a> {
                 } else {
                     Ty::Int
                 };
-                let v = self.b.call(Callee::External(name.clone()), &argv, Some(ret));
+                let v = self
+                    .b
+                    .call(Callee::External(name.clone()), &argv, Some(ret));
                 Ok((v, ret))
             }
         }

@@ -41,7 +41,10 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { at: self.pos, message: message.into() })
+        Err(ParseError {
+            at: self.pos,
+            message: message.into(),
+        })
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -111,9 +114,7 @@ impl Parser<'_> {
                 self.eat(&Token::LBracket)?;
                 let size = match self.next().cloned() {
                     Some(Token::Int(n)) => n,
-                    other => {
-                        return self.err(format!("expected array size, found {other:?}"))
-                    }
+                    other => return self.err(format!("expected array size, found {other:?}")),
                 };
                 self.eat(&Token::RBracket)?;
                 self.eat(&Token::Semi)?;
@@ -150,7 +151,13 @@ impl Parser<'_> {
         self.eat(&Token::RParen)?;
         let body = self.block()?;
         let exported = exported || name == "main";
-        Ok(FuncDecl { name, params, ret, body, exported })
+        Ok(FuncDecl {
+            name,
+            params,
+            ret,
+            body,
+            exported,
+        })
     }
 
     fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
@@ -239,8 +246,7 @@ impl Parser<'_> {
             self.eat(&Token::RParen)?;
             return Ok(Stmt::Free(e));
         }
-        if self.is_kw("store_ptr") && self.tokens.get(self.pos + 1) == Some(&Token::LParen)
-        {
+        if self.is_kw("store_ptr") && self.tokens.get(self.pos + 1) == Some(&Token::LParen) {
             self.pos += 2;
             let addr = self.expr()?;
             self.eat(&Token::Comma)?;
@@ -274,11 +280,8 @@ impl Parser<'_> {
                     if self.peek() == Some(&Token::Assign) {
                         self.pos += 1;
                         let val = self.expr()?;
-                        let addr = Expr::Bin(
-                            BinKind::Add,
-                            Box::new(Expr::Var(name)),
-                            Box::new(idx),
-                        );
+                        let addr =
+                            Expr::Bin(BinKind::Add, Box::new(Expr::Var(name)), Box::new(idx));
                         return Ok(Stmt::Store(addr, val));
                     }
                     self.pos = save;
@@ -395,12 +398,8 @@ impl Parser<'_> {
                     }
                     self.eat(&Token::RParen)?;
                     return Ok(match name.as_str() {
-                        "malloc" if args.len() == 1 => {
-                            Expr::Malloc(Box::new(args.remove_first()))
-                        }
-                        "alloca" if args.len() == 1 => {
-                            Expr::Alloca(Box::new(args.remove_first()))
-                        }
+                        "malloc" if args.len() == 1 => Expr::Malloc(Box::new(args.remove_first())),
+                        "alloca" if args.len() == 1 => Expr::Alloca(Box::new(args.remove_first())),
                         "load_ptr" if args.len() == 1 => {
                             Expr::LoadPtr(Box::new(args.remove_first()))
                         }
@@ -455,7 +454,9 @@ mod tests {
     #[test]
     fn precedence() {
         let p = parse_src("int f() { return 1 + 2 * 3; }");
-        let Stmt::Return(Some(e)) = &p.funcs[0].body[0] else { panic!() };
+        let Stmt::Return(Some(e)) = &p.funcs[0].body[0] else {
+            panic!()
+        };
         assert_eq!(
             *e,
             Expr::Bin(
@@ -477,7 +478,9 @@ mod tests {
         assert!(matches!(p.funcs[0].body[1], Stmt::Store(_, _)));
         assert!(matches!(p.funcs[0].body[2], Stmt::Store(_, _)));
         let p = parse_src("int f(ptr p) { return *p + p[1]; }");
-        let Stmt::Return(Some(Expr::Bin(_, l, r))) = &p.funcs[0].body[0] else { panic!() };
+        let Stmt::Return(Some(Expr::Bin(_, l, r))) = &p.funcs[0].body[0] else {
+            panic!()
+        };
         assert!(matches!(**l, Expr::Load(_)));
         assert!(matches!(**r, Expr::Index(_, _)));
     }
@@ -502,9 +505,15 @@ mod tests {
     #[test]
     fn builtin_calls() {
         let p = parse_src("void f() { ptr p; p = malloc(4); free(p); int x; x = atoi(); }");
-        assert!(matches!(p.funcs[0].body[1], Stmt::Assign(_, Expr::Malloc(_))));
+        assert!(matches!(
+            p.funcs[0].body[1],
+            Stmt::Assign(_, Expr::Malloc(_))
+        ));
         assert!(matches!(p.funcs[0].body[2], Stmt::Free(_)));
-        assert!(matches!(p.funcs[0].body[4], Stmt::Assign(_, Expr::Call(_, _))));
+        assert!(matches!(
+            p.funcs[0].body[4],
+            Stmt::Assign(_, Expr::Call(_, _))
+        ));
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! The fixpoint solver for integer symbolic ranges.
 
 use sra_ir::cfg::Cfg;
-use sra_ir::{
-    BinOp, CmpOp, Callee, FuncId, Function, Inst, Module, Ty, ValueId, ValueKind,
-};
+use sra_ir::{BinOp, Callee, CmpOp, FuncId, Function, Inst, Module, Ty, ValueId, ValueKind};
 use sra_symbolic::{Bound, SymExpr, SymRange, Symbol, SymbolTable};
 
 /// Tuning knobs for [`RangeAnalysis`].
@@ -114,7 +112,9 @@ fn analyze_function(
     };
     solver.seed(symbols);
     solver.run();
-    FunctionRanges { ranges: solver.ranges }
+    FunctionRanges {
+        ranges: solver.ranges,
+    }
 }
 
 impl Solver<'_> {
@@ -206,7 +206,9 @@ impl Solver<'_> {
         for b in rpo {
             let insts = self.f.block(b).insts().to_vec();
             for v in insts {
-                let Some(inst) = self.f.value(v).as_inst() else { continue };
+                let Some(inst) = self.f.value(v).as_inst() else {
+                    continue;
+                };
                 if self.f.value(v).ty() != Some(Ty::Int) {
                     continue;
                 }
@@ -348,9 +350,11 @@ mod tests {
         let sigma_range = f
             .value_ids()
             .find_map(|v| match f.value(v).as_inst() {
-                Some(Inst::Sigma { input, op: CmpOp::Lt, .. }) if *input == phi => {
-                    Some(show(ra.range(fid, v), &ra))
-                }
+                Some(Inst::Sigma {
+                    input,
+                    op: CmpOp::Lt,
+                    ..
+                }) if *input == phi => Some(show(ra.range(fid, v), &ra)),
                 _ => None,
             })
             .expect("σ for i < n exists");
@@ -409,7 +413,10 @@ mod tests {
         let fid = m.add_function(f);
         let ra = RangeAnalysis::analyze(&m);
         assert_eq!(show(ra.range(fid, len), &ra), "[strlen(), strlen()]");
-        assert_eq!(show(ra.range(fid, more), &ra), "[strlen() + 1, strlen() + 1]");
+        assert_eq!(
+            show(ra.range(fid, more), &ra),
+            "[strlen() + 1, strlen() + 1]"
+        );
     }
 
     #[test]
@@ -425,7 +432,10 @@ mod tests {
         assert!(ra.range(fid, x).is_top());
         let ra = RangeAnalysis::analyze_with(
             &m,
-            RangeConfig { loads_as_symbols: true, ..RangeConfig::default() },
+            RangeConfig {
+                loads_as_symbols: true,
+                ..RangeConfig::default()
+            },
         );
         assert!(!ra.range(fid, x).is_top());
     }

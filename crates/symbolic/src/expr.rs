@@ -113,7 +113,10 @@ pub struct SymExpr {
 impl SymExpr {
     /// The zero expression.
     pub fn zero() -> Self {
-        SymExpr { constant: 0, terms: BTreeMap::new() }
+        SymExpr {
+            constant: 0,
+            terms: BTreeMap::new(),
+        }
     }
 
     /// Returns `Some(c)` when the expression is the constant `c`.
@@ -241,6 +244,7 @@ impl SymExpr {
     /// constant; otherwise produces an opaque `Div` atom. Division by the
     /// constant zero yields an opaque atom as well (the program would be
     /// undefined; any value is a sound abstraction).
+    #[allow(clippy::should_implement_trait)] // associated constructor, not `Div::div`
     pub fn div(a: SymExpr, b: SymExpr) -> SymExpr {
         if let (Some(x), Some(y)) = (a.as_constant(), b.as_constant()) {
             if y != 0 {
@@ -248,10 +252,7 @@ impl SymExpr {
             }
         }
         if let Some(d) = b.as_constant() {
-            if d != 0
-                && a.constant % d == 0
-                && a.terms.values().all(|&c| c % d == 0)
-            {
+            if d != 0 && a.constant % d == 0 && a.terms.values().all(|&c| c % d == 0) {
                 let mut out = SymExpr::zero();
                 out.constant = a.constant / d;
                 for (t, &c) in &a.terms {
@@ -265,6 +266,7 @@ impl SymExpr {
 
     /// Truncating remainder (`%` with C semantics). Folds constants;
     /// otherwise produces an opaque `Mod` atom.
+    #[allow(clippy::should_implement_trait)] // associated constructor, not `Rem::rem`
     pub fn rem(a: SymExpr, b: SymExpr) -> SymExpr {
         if let (Some(x), Some(y)) = (a.as_constant(), b.as_constant()) {
             if y != 0 {
@@ -277,10 +279,10 @@ impl SymExpr {
     /// Tries to prove `self ≤ other` (for every valuation of the
     /// symbols).
     ///
-    /// Returns `Some(true)` when provably ≤, `Some(false)` when provably
-    /// >, and `None` when the order cannot be decided — e.g. between
-    /// expressions over distinct kernel symbols, which the paper leaves
-    /// unordered.
+    /// Returns `Some(true)` when provably ≤, `Some(false)` when
+    /// provably greater, and `None` when the order cannot be decided —
+    /// e.g. between expressions over distinct kernel symbols, which the
+    /// paper leaves unordered.
     pub fn try_le(&self, other: &SymExpr) -> Option<bool> {
         let diff = other.clone() - self.clone();
         if prove_nonneg(&diff, 4) {
@@ -356,7 +358,10 @@ fn prove_nonneg(e: &SymExpr, depth: u32) -> bool {
 
 impl From<i128> for SymExpr {
     fn from(c: i128) -> Self {
-        SymExpr { constant: c, terms: BTreeMap::new() }
+        SymExpr {
+            constant: c,
+            terms: BTreeMap::new(),
+        }
     }
 }
 
@@ -465,7 +470,11 @@ impl fmt::Display for DisplayExpr<'_> {
         let e = self.expr;
         let mut first = true;
         for (term, &coeff) in &e.terms {
-            let (sign, mag) = if coeff < 0 { ("-", -coeff) } else { ("+", coeff) };
+            let (sign, mag) = if coeff < 0 {
+                ("-", -coeff)
+            } else {
+                ("+", coeff)
+            };
             if first {
                 if sign == "-" {
                     write!(f, "-")?;
@@ -489,7 +498,11 @@ impl fmt::Display for DisplayExpr<'_> {
         if first {
             write!(f, "{}", e.constant)?;
         } else if e.constant != 0 {
-            let (sign, mag) = if e.constant < 0 { ("-", -e.constant) } else { ("+", e.constant) };
+            let (sign, mag) = if e.constant < 0 {
+                ("-", -e.constant)
+            } else {
+                ("+", e.constant)
+            };
             write!(f, " {} {}", sign, mag)?;
         }
         Ok(())

@@ -49,12 +49,19 @@ impl SymRange {
 
     /// The full range `[−∞, +∞]` (the lattice's greatest element).
     pub fn top() -> Self {
-        SymRange::Interval { lo: Bound::NegInf, hi: Bound::PosInf }
+        SymRange::Interval {
+            lo: Bound::NegInf,
+            hi: Bound::PosInf,
+        }
     }
 
     /// An interval with two finite symbolic endpoints.
     pub fn interval(lo: SymExpr, hi: SymExpr) -> Self {
-        SymRange::Interval { lo: Bound::Fin(lo), hi: Bound::Fin(hi) }.normalized()
+        SymRange::Interval {
+            lo: Bound::Fin(lo),
+            hi: Bound::Fin(hi),
+        }
+        .normalized()
     }
 
     /// An interval from arbitrary bounds.
@@ -64,7 +71,10 @@ impl SymRange {
 
     /// The singleton range `[e, e]`.
     pub fn singleton(e: SymExpr) -> Self {
-        SymRange::Interval { lo: Bound::Fin(e.clone()), hi: Bound::Fin(e) }
+        SymRange::Interval {
+            lo: Bound::Fin(e.clone()),
+            hi: Bound::Fin(e),
+        }
     }
 
     /// The singleton constant range `[c, c]`.
@@ -103,7 +113,10 @@ impl SymRange {
     pub fn is_top(&self) -> bool {
         matches!(
             self,
-            SymRange::Interval { lo: Bound::NegInf, hi: Bound::PosInf }
+            SymRange::Interval {
+                lo: Bound::NegInf,
+                hi: Bound::PosInf
+            }
         )
     }
 
@@ -126,7 +139,10 @@ impl SymRange {
     /// Returns the single expression `e` when the range is `[e, e]`.
     pub fn as_singleton(&self) -> Option<&SymExpr> {
         match self {
-            SymRange::Interval { lo: Bound::Fin(a), hi: Bound::Fin(b) } if a == b => Some(a),
+            SymRange::Interval {
+                lo: Bound::Fin(a),
+                hi: Bound::Fin(b),
+            } if a == b => Some(a),
             _ => None,
         }
     }
@@ -147,14 +163,13 @@ impl SymRange {
     pub fn join(&self, other: &SymRange) -> SymRange {
         match (self, other) {
             (SymRange::Empty, r) | (r, SymRange::Empty) => r.clone(),
-            (
-                SymRange::Interval { lo: l1, hi: h1 },
-                SymRange::Interval { lo: l2, hi: h2 },
-            ) => SymRange::Interval {
-                lo: Bound::min(l1.clone(), l2.clone()),
-                hi: Bound::max(h1.clone(), h2.clone()),
+            (SymRange::Interval { lo: l1, hi: h1 }, SymRange::Interval { lo: l2, hi: h2 }) => {
+                SymRange::Interval {
+                    lo: Bound::min(l1.clone(), l2.clone()),
+                    hi: Bound::max(h1.clone(), h2.clone()),
+                }
+                .normalized()
             }
-            .normalized(),
         }
     }
 
@@ -165,10 +180,7 @@ impl SymRange {
     pub fn meet(&self, other: &SymRange) -> SymRange {
         match (self, other) {
             (SymRange::Empty, _) | (_, SymRange::Empty) => SymRange::Empty,
-            (
-                SymRange::Interval { lo: l1, hi: h1 },
-                SymRange::Interval { lo: l2, hi: h2 },
-            ) => {
+            (SymRange::Interval { lo: l1, hi: h1 }, SymRange::Interval { lo: l2, hi: h2 }) => {
                 if h1.try_lt(l2) == Some(true) || h2.try_lt(l1) == Some(true) {
                     return SymRange::Empty;
                 }
@@ -188,10 +200,9 @@ impl SymRange {
         match (self, other) {
             (SymRange::Empty, _) => true,
             (_, SymRange::Empty) => false,
-            (
-                SymRange::Interval { lo: l1, hi: h1 },
-                SymRange::Interval { lo: l2, hi: h2 },
-            ) => l2.try_le(l1) == Some(true) && h1.try_le(h2) == Some(true),
+            (SymRange::Interval { lo: l1, hi: h1 }, SymRange::Interval { lo: l2, hi: h2 }) => {
+                l2.try_le(l1) == Some(true) && h1.try_le(h2) == Some(true)
+            }
         }
     }
 
@@ -201,10 +212,7 @@ impl SymRange {
     pub fn widen(&self, next: &SymRange) -> SymRange {
         match (self, next) {
             (SymRange::Empty, r) | (r, SymRange::Empty) => r.clone(),
-            (
-                SymRange::Interval { lo: l, hi: h },
-                SymRange::Interval { lo: l2, hi: h2 },
-            ) => {
+            (SymRange::Interval { lo: l, hi: h }, SymRange::Interval { lo: l2, hi: h2 }) => {
                 let lo = if l == l2 { l.clone() } else { Bound::NegInf };
                 let hi = if h == h2 { h.clone() } else { Bound::PosInf };
                 SymRange::Interval { lo, hi }
@@ -216,10 +224,13 @@ impl SymRange {
     pub fn add(&self, other: &SymRange) -> SymRange {
         match (self, other) {
             (SymRange::Empty, _) | (_, SymRange::Empty) => SymRange::Empty,
-            (
-                SymRange::Interval { lo: l1, hi: h1 },
-                SymRange::Interval { lo: l2, hi: h2 },
-            ) => SymRange::Interval { lo: l1.add(l2), hi: h1.add(h2) }.normalized(),
+            (SymRange::Interval { lo: l1, hi: h1 }, SymRange::Interval { lo: l2, hi: h2 }) => {
+                SymRange::Interval {
+                    lo: l1.add(l2),
+                    hi: h1.add(h2),
+                }
+                .normalized()
+            }
         }
     }
 
@@ -239,9 +250,10 @@ impl SymRange {
     pub fn negate(&self) -> SymRange {
         match self {
             SymRange::Empty => SymRange::Empty,
-            SymRange::Interval { lo, hi } => {
-                SymRange::Interval { lo: hi.negate(), hi: lo.negate() }
-            }
+            SymRange::Interval { lo, hi } => SymRange::Interval {
+                lo: hi.negate(),
+                hi: lo.negate(),
+            },
         }
     }
 
@@ -291,14 +303,18 @@ impl SymRange {
     pub fn mul_const(&self, c: i128) -> SymRange {
         match self {
             SymRange::Empty => SymRange::Empty,
-            SymRange::Interval { lo, hi } => {
-                if c >= 0 {
-                    SymRange::Interval { lo: lo.mul_const(c), hi: hi.mul_const(c) }
-                } else {
-                    SymRange::Interval { lo: hi.mul_const(c), hi: lo.mul_const(c) }
+            SymRange::Interval { lo, hi } => if c >= 0 {
+                SymRange::Interval {
+                    lo: lo.mul_const(c),
+                    hi: hi.mul_const(c),
                 }
-                .normalized()
+            } else {
+                SymRange::Interval {
+                    lo: hi.mul_const(c),
+                    hi: lo.mul_const(c),
+                }
             }
+            .normalized(),
         }
     }
 
@@ -319,13 +335,14 @@ impl SymRange {
             if d > 0 {
                 if let SymRange::Interval { lo, hi } = self {
                     let div_bound = |b: &Bound| match b {
-                        Bound::Fin(e) => {
-                            Bound::Fin(SymExpr::div(e.clone(), SymExpr::from(d)))
-                        }
+                        Bound::Fin(e) => Bound::Fin(SymExpr::div(e.clone(), SymExpr::from(d))),
                         inf => inf.clone(),
                     };
-                    return SymRange::Interval { lo: div_bound(lo), hi: div_bound(hi) }
-                        .normalized();
+                    return SymRange::Interval {
+                        lo: div_bound(lo),
+                        hi: div_bound(hi),
+                    }
+                    .normalized();
                 }
             }
         }
@@ -369,19 +386,26 @@ impl SymRange {
 
     /// Restricts to `[−∞, b]` (the paper's `p₁ ∩ [−∞, p₂]` σ-node).
     pub fn clamp_above(&self, b: Bound) -> SymRange {
-        self.meet(&SymRange::Interval { lo: Bound::NegInf, hi: b })
+        self.meet(&SymRange::Interval {
+            lo: Bound::NegInf,
+            hi: b,
+        })
     }
 
     /// Restricts to `[b, +∞]` (the paper's `p₁ ∩ [p₂, +∞]` σ-node).
     pub fn clamp_below(&self, b: Bound) -> SymRange {
-        self.meet(&SymRange::Interval { lo: b, hi: Bound::PosInf })
+        self.meet(&SymRange::Interval {
+            lo: b,
+            hi: Bound::PosInf,
+        })
     }
 
     fn const_bounds(&self) -> Option<(i128, i128)> {
         match self {
-            SymRange::Interval { lo: Bound::Fin(a), hi: Bound::Fin(b) } => {
-                Some((a.as_constant()?, b.as_constant()?))
-            }
+            SymRange::Interval {
+                lo: Bound::Fin(a),
+                hi: Bound::Fin(b),
+            } => Some((a.as_constant()?, b.as_constant()?)),
             _ => None,
         }
     }
@@ -547,7 +571,10 @@ mod tests {
     #[test]
     fn div_positive_const() {
         let a = SymRange::interval(0.into(), 7.into());
-        assert_eq!(a.div(&SymRange::constant(2)), SymRange::interval(0.into(), 3.into()));
+        assert_eq!(
+            a.div(&SymRange::constant(2)),
+            SymRange::interval(0.into(), 3.into())
+        );
         let s = SymRange::interval(0.into(), n());
         let d = s.div(&SymRange::constant(2));
         assert_eq!(d.lo().and_then(Bound::as_constant), Some(0));
@@ -556,9 +583,15 @@ mod tests {
     #[test]
     fn rem_positive_const() {
         let a = SymRange::interval(0.into(), n());
-        assert_eq!(a.rem(&SymRange::constant(4)), SymRange::interval(0.into(), 3.into()));
+        assert_eq!(
+            a.rem(&SymRange::constant(4)),
+            SymRange::interval(0.into(), 3.into())
+        );
         let b = SymRange::interval((-5).into(), n());
-        assert_eq!(b.rem(&SymRange::constant(4)), SymRange::interval((-3).into(), 3.into()));
+        assert_eq!(
+            b.rem(&SymRange::constant(4)),
+            SymRange::interval((-3).into(), 3.into())
+        );
     }
 
     #[test]

@@ -39,14 +39,25 @@ fn arb_valuation() -> impl Strategy<Value = Valuation> {
 /// A random range built from two expressions (possibly with infinities).
 fn arb_range() -> impl Strategy<Value = SymRange> {
     (arb_expr(), arb_expr(), 0u8..4).prop_map(|(a, b, inf)| {
-        let lo = if inf & 1 != 0 { Bound::NegInf } else { Bound::Fin(a) };
-        let hi = if inf & 2 != 0 { Bound::PosInf } else { Bound::Fin(b) };
+        let lo = if inf & 1 != 0 {
+            Bound::NegInf
+        } else {
+            Bound::Fin(a)
+        };
+        let hi = if inf & 2 != 0 {
+            Bound::PosInf
+        } else {
+            Bound::Fin(b)
+        };
         SymRange::with_bounds(lo, hi)
     })
 }
 
+// Tier-1 budget: 64 cases per property keeps the suite fast; override
+// with `PROPTEST_CASES`, or run `deep_fuzz_algebra -- --ignored` for a
+// 4096-case sweep of the load-bearing soundness laws.
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// `+` on canonical forms agrees with concrete addition.
     #[test]
@@ -254,4 +265,46 @@ proptest! {
     fn meet_commutative(a in arb_range(), b in arb_range()) {
         prop_assert_eq!(a.meet(&b), b.meet(&a));
     }
+}
+
+/// 4096-case sweep over the soundness laws the alias tests lean on:
+/// order claims (`try_le`/`try_lt`) and join/meet membership. Excluded
+/// from tier-1; run with `cargo test -p sra-symbolic -- --ignored`.
+#[test]
+#[ignore = "deep fuzz (minutes); tier-1 runs the 64-case variants"]
+fn deep_fuzz_algebra() {
+    let mut runner = TestRunner::new(ProptestConfig::with_cases(4096));
+    runner
+        .run(
+            &(
+                arb_expr(),
+                arb_expr(),
+                arb_range(),
+                arb_range(),
+                arb_valuation(),
+                -200i128..=200,
+            ),
+            |(ea, eb, ra, rb, v, x)| {
+                if let (Some(ca), Some(cb)) = (v.eval(&ea), v.eval(&eb)) {
+                    if let Some(verdict) = ea.try_le(&eb) {
+                        prop_assert_eq!(verdict, ca <= cb, "try_le on {} vs {}", ea, eb);
+                    }
+                    if let Some(verdict) = ea.try_lt(&eb) {
+                        prop_assert_eq!(verdict, ca < cb, "try_lt on {} vs {}", ea, eb);
+                    }
+                }
+                let j = ra.join(&rb);
+                let m = ra.meet(&rb);
+                let in_a = v.range_contains(&ra, x) == Some(true);
+                let in_b = v.range_contains(&rb, x) == Some(true);
+                if in_a || in_b {
+                    prop_assert_eq!(v.range_contains(&j, x), Some(true), "join misses member");
+                }
+                if in_a && in_b {
+                    prop_assert_eq!(v.range_contains(&m, x), Some(true), "meet misses member");
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
 }

@@ -5,9 +5,7 @@
 use std::time::{Duration, Instant};
 
 use sra_baselines::{BasicAlias, ScevAlias};
-use sra_core::{
-    pointer_values, AliasAnalysis, AliasResult, RbaaAnalysis, WhichTest,
-};
+use sra_core::{pointer_values, AliasAnalysis, AliasResult, RbaaAnalysis, WhichTest};
 use sra_ir::Module;
 
 /// Per-module evaluation results: one Figure 13/14 row.
@@ -105,7 +103,11 @@ pub fn evaluate(m: &Module) -> Metrics {
     let basic = BasicAlias::analyze(m);
     let scev = ScevAlias::analyze(m);
 
-    let mut out = Metrics { insts: m.num_insts(), analysis_time, ..Metrics::default() };
+    let mut out = Metrics {
+        insts: m.num_insts(),
+        analysis_time,
+        ..Metrics::default()
+    };
 
     for f in m.func_ids() {
         let ptrs = pointer_values(m, f);
@@ -198,8 +200,16 @@ mod tests {
 
     #[test]
     fn metrics_merge_totals() {
-        let mut a = Metrics { queries: 10, rbaa_no: 4, ..Metrics::default() };
-        let b = Metrics { queries: 5, rbaa_no: 1, ..Metrics::default() };
+        let mut a = Metrics {
+            queries: 10,
+            rbaa_no: 4,
+            ..Metrics::default()
+        };
+        let b = Metrics {
+            queries: 5,
+            rbaa_no: 1,
+            ..Metrics::default()
+        };
         a.merge(&b);
         assert_eq!(a.queries, 15);
         assert_eq!(a.rbaa_no, 5);

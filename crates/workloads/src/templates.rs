@@ -105,8 +105,7 @@ export void {name}(ptr q, int n) {{
 "#
     );
     let n = rng.gen_range(16..128);
-    let call =
-        format!("ptr a{name}; a{name} = malloc({n} + atoi()); {name}(a{name}, {n});");
+    let call = format!("ptr a{name}; a{name} = malloc({n} + atoi()); {name}(a{name}, {n});");
     (src, call)
 }
 
@@ -126,7 +125,11 @@ fn distinct_objects(name: &str, rng: &mut impl Rng) -> (String, String) {
     let mut body = String::new();
     for o in 0..objs {
         let size = rng.gen_range(2..16);
-        let kind = if rng.gen_bool(0.7) { "malloc" } else { "alloca" };
+        let kind = if rng.gen_bool(0.7) {
+            "malloc"
+        } else {
+            "alloca"
+        };
         body.push_str(&format!(
             "    ptr o{o}; o{o} = {kind}({size}); *o{o} = {o}; *(o{o} + 1) = {o};\n"
         ));

@@ -8,7 +8,9 @@
 use sra::workloads::{harness, suite};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "anagram".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "anagram".to_owned());
     let bench = suite::benchmark(&name).unwrap_or_else(|| {
         eprintln!("unknown benchmark `{name}`; available:");
         for b in suite::benchmarks() {
@@ -27,10 +29,26 @@ fn main() {
 
     let m = harness::evaluate(&module);
     println!("\n  queries                : {}", m.queries);
-    println!("  scev   no-alias        : {:>6} ({:.2}%)", m.scev_no, m.scev_pct());
-    println!("  basic  no-alias        : {:>6} ({:.2}%)", m.basic_no, m.basic_pct());
-    println!("  rbaa   no-alias        : {:>6} ({:.2}%)", m.rbaa_no, m.rbaa_pct());
-    println!("  rbaa ∪ basic           : {:>6} ({:.2}%)", m.rb_no, m.rb_pct());
+    println!(
+        "  scev   no-alias        : {:>6} ({:.2}%)",
+        m.scev_no,
+        m.scev_pct()
+    );
+    println!(
+        "  basic  no-alias        : {:>6} ({:.2}%)",
+        m.basic_no,
+        m.basic_pct()
+    );
+    println!(
+        "  rbaa   no-alias        : {:>6} ({:.2}%)",
+        m.rbaa_no,
+        m.rbaa_pct()
+    );
+    println!(
+        "  rbaa ∪ basic           : {:>6} ({:.2}%)",
+        m.rb_no,
+        m.rb_pct()
+    );
     println!("\n  rbaa answers by mechanism:");
     println!("    distinct locations   : {}", m.rbaa_distinct);
     println!("    global test (ranges) : {}", m.rbaa_global);

@@ -59,7 +59,9 @@ fn main() {
     );
     println!(
         "payload store GR = {}",
-        rbaa.gr().state(prepare, payload_ptr).display(rbaa.symbols())
+        rbaa.gr()
+            .state(prepare, payload_ptr)
+            .display(rbaa.symbols())
     );
 
     let (res, test) = rbaa.alias_with_test(prepare, header_ptr, payload_ptr);

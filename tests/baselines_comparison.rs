@@ -47,17 +47,23 @@ fn symbolic_boundary_only_rbaa() {
     let lo_i = adds[1];
     let hi_j = adds[2];
     assert_eq!(rbaa.alias(f, lo_i, hi_j), AliasResult::NoAlias, "rbaa wins");
-    assert_eq!(basic.alias(f, lo_i, hi_j), AliasResult::MayAlias, "basic fails");
-    assert_eq!(scev.alias(f, lo_i, hi_j), AliasResult::MayAlias, "scev fails");
+    assert_eq!(
+        basic.alias(f, lo_i, hi_j),
+        AliasResult::MayAlias,
+        "basic fails"
+    );
+    assert_eq!(
+        scev.alias(f, lo_i, hi_j),
+        AliasResult::MayAlias,
+        "scev fails"
+    );
 }
 
 /// Constant fields: everyone wins (the paper notes basicaa handles
 /// compile-time-constant subscripts).
 #[test]
 fn constant_fields_everyone() {
-    let m = compile(
-        "export void main() { ptr s; s = malloc(4); *(s + 1) = 1; *(s + 2) = 2; }",
-    );
+    let m = compile("export void main() { ptr s; s = malloc(4); *(s + 1) = 1; *(s + 2) = 2; }");
     let f = m.function_by_name("main").unwrap();
     let adds = ptr_adds(&m, f);
     let rbaa = RbaaAnalysis::analyze(&m);
@@ -68,7 +74,11 @@ fn constant_fields_everyone() {
         ("basic", basic.alias(f, adds[0], adds[1])),
         ("scev", scev.alias(f, adds[0], adds[1])),
     ] {
-        assert_eq!(res, AliasResult::NoAlias, "{name} separates constant fields");
+        assert_eq!(
+            res,
+            AliasResult::NoAlias,
+            "{name} separates constant fields"
+        );
     }
 }
 
@@ -97,8 +107,13 @@ fn laundering_defeats_everyone() {
     let x = func
         .value_ids()
         .find(|&v| {
-            matches!(func.value(v).as_inst(),
-                Some(Inst::Load { ty: sra_ir::Ty::Ptr, .. }))
+            matches!(
+                func.value(v).as_inst(),
+                Some(Inst::Load {
+                    ty: sra_ir::Ty::Ptr,
+                    ..
+                })
+            )
         })
         .unwrap();
     let rbaa = RbaaAnalysis::analyze(&m);
@@ -132,14 +147,27 @@ fn escape_analysis_is_basic_only() {
     let x = func
         .value_ids()
         .find(|&v| {
-            matches!(func.value(v).as_inst(),
-                Some(Inst::Load { ty: sra_ir::Ty::Ptr, .. }))
+            matches!(
+                func.value(v).as_inst(),
+                Some(Inst::Load {
+                    ty: sra_ir::Ty::Ptr,
+                    ..
+                })
+            )
         })
         .unwrap();
     let rbaa = RbaaAnalysis::analyze(&m);
     let basic = BasicAlias::analyze(&m);
-    assert_eq!(basic.alias(f, secret, x), AliasResult::NoAlias, "basic wins");
-    assert_eq!(rbaa.alias(f, secret, x), AliasResult::MayAlias, "rbaa cannot");
+    assert_eq!(
+        basic.alias(f, secret, x),
+        AliasResult::NoAlias,
+        "basic wins"
+    );
+    assert_eq!(
+        rbaa.alias(f, secret, x),
+        AliasResult::MayAlias,
+        "rbaa cannot"
+    );
 }
 
 /// And the reverse direction: symbolic strides are rbaa/scev-only.
@@ -167,9 +195,21 @@ fn symbolic_strides_are_rbaa_and_scev() {
     let rbaa = RbaaAnalysis::analyze(&m);
     let basic = BasicAlias::analyze(&m);
     let scev = ScevAlias::analyze(&m);
-    assert_eq!(rbaa.alias(f, even, odd), AliasResult::NoAlias, "rbaa (local test)");
-    assert_eq!(scev.alias(f, even, odd), AliasResult::NoAlias, "scev (addrec diff)");
-    assert_eq!(basic.alias(f, even, odd), AliasResult::MayAlias, "basic fails");
+    assert_eq!(
+        rbaa.alias(f, even, odd),
+        AliasResult::NoAlias,
+        "rbaa (local test)"
+    );
+    assert_eq!(
+        scev.alias(f, even, odd),
+        AliasResult::NoAlias,
+        "scev (addrec diff)"
+    );
+    assert_eq!(
+        basic.alias(f, even, odd),
+        AliasResult::MayAlias,
+        "basic fails"
+    );
 }
 
 /// The union r+b is never smaller than either analysis on a benchmark.
@@ -180,5 +220,8 @@ fn union_dominates_components() {
     let metrics = sra::workloads::harness::evaluate(&module);
     assert!(metrics.rb_no >= metrics.rbaa_no);
     assert!(metrics.rb_no >= metrics.basic_no);
-    assert!(metrics.rbaa_no + metrics.basic_no >= metrics.rb_no, "union ≤ sum");
+    assert!(
+        metrics.rbaa_no + metrics.basic_no >= metrics.rb_no,
+        "union ≤ sum"
+    );
 }

@@ -1,0 +1,70 @@
+//! Keeps the `examples/` honest: each one is executed and its key
+//! output line asserted, so a refactor that silently breaks an example
+//! (or its expected verdict) fails tier-1 instead of rotting. The
+//! examples also carry their own `assert!`s, so a non-zero exit status
+//! is a failure even if the wording below drifts.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// `cargo test` builds examples of this package into
+/// `<target>/<profile>/examples/`; the test binary itself lives in
+/// `<target>/<profile>/deps/`, so the examples directory is a sibling
+/// of our parent — robust against `CARGO_TARGET_DIR` overrides and
+/// debug/release profiles.
+fn example_path(name: &str) -> PathBuf {
+    let mut p = std::env::current_exe().expect("test binary path");
+    p.pop(); // strip the test binary name -> deps/
+    p.pop(); // strip deps/ -> the profile dir
+    p.push("examples");
+    p.push(name);
+    p
+}
+
+fn run_example(name: &str) -> String {
+    let path = example_path(name);
+    let out = Command::new(&path)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", path.display()));
+    assert!(
+        out.status.success(),
+        "example `{name}` exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8(out.stdout).expect("example output is UTF-8")
+}
+
+#[test]
+fn quickstart_proves_halves_disjoint() {
+    let out = run_example("quickstart");
+    assert!(out.contains("-> NoAlias"), "unexpected output:\n{out}");
+}
+
+#[test]
+fn message_protocol_uses_the_global_test() {
+    let out = run_example("message_protocol");
+    assert!(
+        out.contains("header vs payload: NoAlias (by Some(Global))"),
+        "unexpected output:\n{out}"
+    );
+}
+
+#[test]
+fn loop_parallel_uses_the_local_test() {
+    let out = run_example("loop_parallel");
+    assert!(
+        out.contains("lane 0 vs lane 1: NoAlias (by Some(Local))"),
+        "unexpected output:\n{out}"
+    );
+}
+
+#[test]
+fn compare_analyses_reports_symbolic_ratio() {
+    let out = run_example("compare_analyses");
+    assert!(
+        out.contains("pointers with symbolic ranges"),
+        "unexpected output:\n{out}"
+    );
+}

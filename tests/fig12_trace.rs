@@ -44,9 +44,7 @@ fn figure12_final_states() {
     let prepare = m.function_by_name("prepare").unwrap();
     let func = m.function(prepare);
     let rbaa = RbaaAnalysis::analyze(&m);
-    let show = |v: ValueId| {
-        format!("{}", rbaa.gr().state(prepare, v).display(rbaa.symbols()))
-    };
+    let show = |v: ValueId| format!("{}", rbaa.gr().state(prepare, v).display(rbaa.symbols()));
 
     // `e = p + n`: the boundary sits exactly at offset N (named `n`).
     let e = func
@@ -54,8 +52,10 @@ fn figure12_final_states() {
         .find(|&v| match func.value(v).as_inst() {
             Some(Inst::PtrAdd { offset, .. }) => {
                 func.value(*offset).name() == Some("n")
-                    || matches!(func.value(*offset).kind(),
-                        sra_ir::ValueKind::Param { index: 1 })
+                    || matches!(
+                        func.value(*offset).kind(),
+                        sra_ir::ValueKind::Param { index: 1 }
+                    )
             }
             _ => false,
         })
@@ -75,10 +75,7 @@ fn figure12_final_states() {
         .find(|&v| match func.value(v).as_inst() {
             Some(Inst::PtrAdd { base, offset }) => {
                 chase(*base) == e
-                    && matches!(
-                        func.value(*offset).as_inst(),
-                        Some(Inst::Call { .. })
-                    )
+                    && matches!(func.value(*offset).as_inst(), Some(Inst::Call { .. }))
             }
             _ => false,
         })
@@ -104,10 +101,7 @@ fn figure12_final_states() {
     // above and by N below (k = n + strlen); our solver carries the
     // precise `max(0, n)` where the paper's table informally writes `N`
     // (exact when N ≥ 0).
-    assert_eq!(
-        show(sigmas[1]),
-        "{loc0 + [max(0, n), n + strlen() - 1]}"
-    );
+    assert_eq!(show(sigmas[1]), "{loc0 + [max(0, n), n + strlen() - 1]}");
     // The disambiguation the example exists for: the two store regions
     // are provably disjoint — max(0,n) > n-1 for every n.
     let r1 = rbaa.gr().state(prepare, sigmas[0]);

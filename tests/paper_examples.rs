@@ -159,7 +159,12 @@ fn figure10_phi_imprecision() {
     let sa5 = rbaa.gr().state(f, a5);
     let (loc, r4) = sa4.support().next().expect("a4 has a location");
     let r5 = sa5.get(loc).expect("a5 shares the location");
-    assert!(r4.may_overlap(r5), "global ranges overlap: {} vs {}", r4, r5);
+    assert!(
+        r4.may_overlap(r5),
+        "global ranges overlap: {} vs {}",
+        r4,
+        r5
+    );
     // …but the query still answers NoAlias through the local test.
     let (res, test) = rbaa.alias_with_test(f, a4, a5);
     assert_eq!(res, AliasResult::NoAlias);
@@ -169,10 +174,8 @@ fn figure10_phi_imprecision() {
 /// Sanity on the helper used above.
 #[test]
 fn find_sigma_helper_works() {
-    let m = sra::lang::compile(
-        "export void main(ptr p, ptr q) { if (p < q) { *p = 1; } }",
-    )
-    .unwrap();
+    let m =
+        sra::lang::compile("export void main(ptr p, ptr q) { if (p < q) { *p = 1; } }").unwrap();
     let f = m.function_by_name("main").unwrap();
     let s = find_sigma(&m, f, CmpOp::Lt, |_, _| true);
     assert!(s.is_some(), "σ inserted for p < q");

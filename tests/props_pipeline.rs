@@ -14,12 +14,34 @@ const BUF: i64 = 32;
 /// generated programs never trap.
 #[derive(Debug, Clone)]
 enum S {
-    StoreConst { buf: u8, idx: i64, val: i64 },
-    LoadInto { buf: u8, idx: i64 },
-    AddConst { c: i64 },
-    If { cmp_c: i64, then: Vec<S>, els: Vec<S> },
-    Loop { bound: i64, buf: u8, id: u32 },
-    Walk { buf: u8, from: i64, to: i64, id: u32 },
+    StoreConst {
+        buf: u8,
+        idx: i64,
+        val: i64,
+    },
+    LoadInto {
+        buf: u8,
+        idx: i64,
+    },
+    AddConst {
+        c: i64,
+    },
+    If {
+        cmp_c: i64,
+        then: Vec<S>,
+        els: Vec<S>,
+    },
+    Loop {
+        bound: i64,
+        buf: u8,
+        id: u32,
+    },
+    Walk {
+        buf: u8,
+        from: i64,
+        to: i64,
+        id: u32,
+    },
 }
 
 fn arb_stmt() -> impl Strategy<Value = S> {
@@ -104,6 +126,9 @@ fn program(stmts: &[S]) -> String {
     )
 }
 
+// Tier-1 budget: 48 cases keeps this suite well under a minute; the
+// count is overridable via `PROPTEST_CASES`, and `deep_fuzz_soundness`
+// below reruns the oracle property at 4096 cases under `--ignored`.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -128,51 +153,7 @@ proptest! {
         stmts in proptest::collection::vec(arb_stmt(), 1..8),
         x0 in -20i128..20,
     ) {
-        let src = program(&stmts);
-        let m = sra::lang::compile(&src).expect("compiles");
-        let main = m.function_by_name("main").unwrap();
-        let mut interp = Interp::new(&m);
-        interp.set_fuel(500_000);
-        interp.script_external("atoi", vec![x0]);
-        if interp.run(main, &[]).is_err() {
-            // The generator avoids UB; a trap would be a bug.
-            panic!("generated program trapped:\n{src}");
-        }
-        let rbaa = RbaaAnalysis::analyze(&m);
-        let func = m.function(main);
-        let ptrs: Vec<_> = func
-            .value_ids()
-            .filter(|&v| func.value(v).ty() == Some(Ty::Ptr))
-            .collect();
-        for (i, &p) in ptrs.iter().enumerate() {
-            for &q in &ptrs[i + 1..] {
-                let (res, test) = rbaa.alias_with_test(main, p, q);
-                if res != AliasResult::NoAlias {
-                    continue;
-                }
-                if rbaa.gr().state(main, p).is_bottom()
-                    || rbaa.gr().state(main, q).is_bottom()
-                {
-                    continue;
-                }
-                match test.unwrap() {
-                    WhichTest::DistinctLocs | WhichTest::Global => {
-                        prop_assert!(
-                            !interp.global_conflict(main, p, q),
-                            "global claim violated for {} vs {}:\n{}",
-                            p, q, src
-                        );
-                    }
-                    WhichTest::Local => {
-                        prop_assert!(
-                            !interp.aligned_conflict(main, p, q),
-                            "local claim violated for {} vs {}:\n{}",
-                            p, q, src
-                        );
-                    }
-                }
-            }
-        }
+        check_analysis_sound(&stmts, x0)?;
     }
 
     /// The analysis never panics and the two loops of `Walk` segments
@@ -207,3 +188,72 @@ proptest! {
 }
 
 use sra::core::AliasAnalysis;
+
+/// The soundness oracle shared by the tier-1 property above and the
+/// deep-fuzz variant below: every `NoAlias` claim must survive
+/// concrete provenance-tracking execution.
+fn check_analysis_sound(stmts: &[S], x0: i128) -> Result<(), TestCaseError> {
+    let src = program(stmts);
+    let m = sra::lang::compile(&src).expect("compiles");
+    let main = m.function_by_name("main").unwrap();
+    let mut interp = Interp::new(&m);
+    interp.set_fuel(500_000);
+    interp.script_external("atoi", vec![x0]);
+    if interp.run(main, &[]).is_err() {
+        // The generator avoids UB; a trap would be a bug.
+        panic!("generated program trapped:\n{src}");
+    }
+    let rbaa = RbaaAnalysis::analyze(&m);
+    let func = m.function(main);
+    let ptrs: Vec<_> = func
+        .value_ids()
+        .filter(|&v| func.value(v).ty() == Some(Ty::Ptr))
+        .collect();
+    for (i, &p) in ptrs.iter().enumerate() {
+        for &q in &ptrs[i + 1..] {
+            let (res, test) = rbaa.alias_with_test(main, p, q);
+            if res != AliasResult::NoAlias {
+                continue;
+            }
+            if rbaa.gr().state(main, p).is_bottom() || rbaa.gr().state(main, q).is_bottom() {
+                continue;
+            }
+            match test.unwrap() {
+                WhichTest::DistinctLocs | WhichTest::Global => {
+                    prop_assert!(
+                        !interp.global_conflict(main, p, q),
+                        "global claim violated for {} vs {}:\n{}",
+                        p,
+                        q,
+                        src
+                    );
+                }
+                WhichTest::Local => {
+                    prop_assert!(
+                        !interp.aligned_conflict(main, p, q),
+                        "local claim violated for {} vs {}:\n{}",
+                        p,
+                        q,
+                        src
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Same property as `analysis_sound_under_execution` at 4096 cases.
+/// Excluded from tier-1; run with
+/// `cargo test --test props_pipeline -- --ignored`.
+#[test]
+#[ignore = "deep fuzz (minutes); tier-1 runs the 48-case variant"]
+fn deep_fuzz_soundness() {
+    let mut runner = TestRunner::new(ProptestConfig::with_cases(4096));
+    runner
+        .run(
+            &(proptest::collection::vec(arb_stmt(), 1..8), -20i128..20),
+            |(stmts, x0)| check_analysis_sound(&stmts, x0),
+        )
+        .unwrap();
+}

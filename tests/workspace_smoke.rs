@@ -1,0 +1,84 @@
+//! Workspace bootstrap smoke test: constructs a module directly with
+//! `FunctionBuilder` (no frontend), runs the full `RbaaAnalysis`, and
+//! checks the verdicts on the paper's Figure 1 message-protocol idiom —
+//! a header loop writing `p + [0, n-1]` followed by a payload write at
+//! `p + n`.
+
+use sra::core::{AliasAnalysis, AliasResult, RbaaAnalysis, WhichTest};
+use sra::ir::{BinOp, CmpOp, FunctionBuilder, Module, Ty, ValueId};
+
+/// Builds the Figure-1 shape:
+///
+/// ```text
+/// prepare(p: ptr, n: int):
+///     for (i = 0; i < n; i++) *(p + i) = i;   // header
+///     *(p + n) = 255;                          // payload start
+/// ```
+///
+/// Returns the module plus the header store address, the payload store
+/// address, and the raw `p` parameter.
+fn build_figure1() -> (Module, ValueId, ValueId, ValueId) {
+    let mut b = FunctionBuilder::new("prepare", &[Ty::Ptr, Ty::Int], None);
+    let p = b.param(0);
+    let n = b.param(1);
+
+    let head = b.create_block();
+    let body = b.create_block();
+    let exit = b.create_block();
+
+    let zero = b.const_int(0);
+    let entry = b.current_block();
+    b.jump(head);
+
+    b.switch_to(head);
+    let i = b.phi(Ty::Int, &[(entry, zero)]);
+    let c = b.cmp(CmpOp::Lt, i, n);
+    b.br(c, body, exit);
+
+    b.switch_to(body);
+    let header_addr = b.ptr_add(p, i);
+    b.store(header_addr, i);
+    let one = b.const_int(1);
+    let inext = b.binop(BinOp::Add, i, one);
+    b.add_phi_arg(i, body, inext);
+    b.jump(head);
+
+    b.switch_to(exit);
+    let payload_addr = b.ptr_add(p, n);
+    let sentinel = b.const_int(255);
+    b.store(payload_addr, sentinel);
+    b.ret(None);
+
+    let mut f = b.finish();
+    f.set_exported(true);
+    sra::ir::essa::run(&mut f);
+
+    let mut m = Module::new();
+    m.add_function(f);
+    (m, header_addr, payload_addr, p)
+}
+
+#[test]
+fn figure1_header_and_payload_do_not_alias() {
+    let (m, header_addr, payload_addr, p) = build_figure1();
+    sra::ir::verify::verify_module(&m).expect("built module verifies");
+
+    let rbaa = RbaaAnalysis::analyze(&m);
+    let prepare = m.function_by_name("prepare").expect("function exists");
+
+    // Header writes p + [0, n-1]; payload writes p + [n, n]. The
+    // ranges are symbolic — only the paper's global test separates
+    // them.
+    let (res, test) = rbaa.alias_with_test(prepare, header_addr, payload_addr);
+    assert_eq!(res, AliasResult::NoAlias, "header vs payload");
+    assert_eq!(test, Some(WhichTest::Global));
+
+    // The base pointer itself points at offset 0, which the header
+    // loop covers on its first iteration: the analysis must not claim
+    // independence there.
+    assert_eq!(
+        rbaa.alias(prepare, p, header_addr),
+        AliasResult::MayAlias,
+        "base pointer vs header store"
+    );
+}

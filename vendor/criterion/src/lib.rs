@@ -1,0 +1,271 @@
+//! Offline, dependency-free shim implementing the slice of the
+//! `criterion` 0.5 API this workspace's benches use: `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Throughput`, `Bencher::iter`, and
+//! the `criterion_group!`/`criterion_main!` macros.
+//!
+//! The build environment has no crates.io access (see
+//! `vendor/README.md`). Instead of criterion's statistical machinery
+//! this shim does a short calibrated warm-up, then times a fixed batch
+//! and reports mean ns/iter (and derived throughput) on stdout. Good
+//! enough to keep benches compiled, runnable, and comparable run to
+//! run; swap in real criterion for publication-quality numbers.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement configuration; mirrors the criterion knobs we need.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Nominal number of timed batches per benchmark.
+    pub sample_size: usize,
+    /// Wall-clock budget per benchmark.
+    pub measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        // CLI filtering/plotting is not supported by the shim; accept
+        // and ignore harness arguments like `--bench`.
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.config, id, None, |b| f(b));
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            config: Config::default(),
+            throughput: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    config: Config,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(&self.config, &full, self.throughput.clone(), |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&self.config, &full, self.throughput.clone(), |b| f(b));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: &str, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Times closures handed to it by the benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(config: &Config, id: &str, throughput: Option<Throughput>, mut body: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: find an iteration count that fills the per-sample
+    // time slice, starting from one warm-up iteration.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    body(&mut b);
+    let per_iter = (b.elapsed.as_nanos().max(1)) as u64;
+    let slice_ns =
+        (config.measurement_time.as_nanos() as u64 / config.sample_size.max(1) as u64).max(1);
+    let iters = (slice_ns / per_iter).clamp(1, 1_000_000);
+
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..config.sample_size {
+        b.iters = iters;
+        body(&mut b);
+        total += b.elapsed;
+        total_iters += iters;
+        let per = b.elapsed.as_nanos() as f64 / iters as f64;
+        if per < best {
+            best = per;
+        }
+        if total >= config.measurement_time {
+            break;
+        }
+    }
+    let mean = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    let mut line = format!(
+        "{id:<40} mean {:>12} ns/iter  (best {:>12} ns)",
+        fmt_f(mean),
+        fmt_f(best)
+    );
+    if let Some(Throughput::Elements(n)) = throughput {
+        let eps = n as f64 / (mean * 1e-9);
+        line.push_str(&format!("  {:>14} elem/s", fmt_f(eps)));
+    }
+    if let Some(Throughput::Bytes(n)) = throughput {
+        let bps = n as f64 / (mean * 1e-9);
+        line.push_str(&format!("  {:>14} B/s", fmt_f(bps)));
+    }
+    println!("{line}");
+}
+
+fn fmt_f(x: f64) -> String {
+    if x >= 1e6 {
+        format!("{:.3}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2}k", x / 1e3)
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+/// Mirrors criterion's macro: defines a function running each bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirrors criterion's macro: the bench harness entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10));
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.finish();
+    }
+}

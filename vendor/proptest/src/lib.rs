@@ -1,0 +1,244 @@
+//! Offline, dependency-free shim implementing the slice of the
+//! `proptest` 1.x API this workspace uses: the `Strategy` trait with
+//! `prop_map`/`prop_recursive`/`boxed`, range and tuple strategies,
+//! `collection::vec`, `Union` (behind `prop_oneof!`), `ProptestConfig`,
+//! `TestRunner`, and the `proptest!`/`prop_assert!`/`prop_assert_eq!`
+//! macros.
+//!
+//! The build environment has no crates.io access, so this stands in
+//! for the real crate (see `vendor/README.md`). Differences from real
+//! proptest, by design:
+//!
+//! - **No shrinking.** A failing case reports the generated input
+//!   as-is instead of a minimized counterexample.
+//! - **Deterministic seeding.** Cases derive from a fixed seed (or
+//!   `PROPTEST_SEED`) so CI runs are reproducible; set a different
+//!   seed to widen coverage.
+//! - **No failure persistence** (`proptest-regressions` files).
+//!
+//! `PROPTEST_CASES` overrides the default case count, like upstream.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Builds a [`strategy::Union`] choosing uniformly among the arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fails the current test case with a formatted message unless the
+/// condition holds. Must be used inside `proptest!` (or any closure
+/// returning `Result<_, TestCaseError>`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` specialized to equality, printing both operands.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// `prop_assert!` specialized to inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            l
+        );
+    }};
+}
+
+/// Rejects (skips) the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Declares property tests. Supports the subset of upstream syntax the
+/// workspace uses: an optional `#![proptest_config(..)]` header and
+/// `fn name(binding in strategy, ...) { body }` items carrying
+/// arbitrary attributes (`#[test]`, doc comments, `#[ignore]`, ...).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            let strat = ($($strat,)+);
+            let result = runner.run(&strat, |($($arg,)+)| {
+                $body
+                ::std::result::Result::Ok(())
+            });
+            if let ::std::result::Result::Err(e) = result {
+                ::std::panic!("{}", e);
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(200));
+        let strat = (0u8..3, (-5i64..=5).prop_map(|x| x * 2));
+        runner
+            .run(&strat, |(a, b)| {
+                prop_assert!(a < 3);
+                prop_assert!((-10..=10).contains(&b) && b % 2 == 0);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(200));
+        let strat = crate::collection::vec(0i32..10, 2..5);
+        runner
+            .run(&strat, |v| {
+                prop_assert!((2..5).contains(&v.len()));
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(300));
+        let strat = prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut seen = [false; 3];
+        runner
+            .run(&strat, |x| {
+                seen[x as usize] = true;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn recursive_strategies_bottom_out() {
+        #[derive(Debug, Clone)]
+        #[allow(dead_code)]
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let leaf = (0i64..10).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 16, 4, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+        });
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(300));
+        runner
+            .run(&strat, |t| {
+                prop_assert!(depth(&t) <= 4, "depth {} in {:?}", depth(&t), t);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn failing_property_reports_input() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(64));
+        let err = runner
+            .run(&(0i32..100), |x| {
+                prop_assert!(x < 10, "x too big");
+                Ok(())
+            })
+            .unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("x too big"), "{msg}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself compiles and runs with multiple bindings.
+        #[test]
+        fn macro_smoke(a in 0u32..10, b in crate::collection::vec(0i64..5, 1..4)) {
+            prop_assert!(a < 10);
+            prop_assert!(!b.is_empty());
+        }
+    }
+}

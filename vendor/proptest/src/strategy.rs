@@ -1,0 +1,213 @@
+//! The `Strategy` trait and combinators: maps, unions, boxed
+//! strategies, bounded recursion, and range/tuple sources.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use crate::test_runner::TestRng;
+
+/// A generator of random values. Unlike real proptest there is no
+/// value tree: strategies produce final values directly (no shrinking).
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, f }
+    }
+
+    /// Type-erases the strategy so it can be stored and cloned.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+
+    /// Builds recursive values: starting from `self` as the leaf
+    /// strategy, applies `recurse` up to `depth` times, at each level
+    /// choosing between bottoming out and recursing once more. The
+    /// `_desired_size`/`_expected_branch_size` tuning knobs of real
+    /// proptest are accepted but unused.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let branch = recurse(strat).boxed();
+            strat = Union::new_weighted(vec![(1, leaf.clone()), (2, branch)]).boxed();
+        }
+        strat
+    }
+}
+
+/// Strategy producing a clone of a fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// A clonable, type-erased strategy (`Arc`-backed like upstream).
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<Value = T>>);
+
+trait DynStrategy {
+    type Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Chooses one of several strategies per generated value; backs
+/// `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T: Debug> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        Union::new_weighted(arms.into_iter().map(|a| (1, a)).collect())
+    }
+
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+        Union { arms, total_weight }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight);
+        for (w, arm) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return arm.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                sample_i128(self.start as i128, self.end as i128 - 1, rng) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                sample_i128(*self.start() as i128, *self.end() as i128, rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, usize);
+
+/// Uniform sample from `[lo, hi]` inclusive; the wrapping-sub span is
+/// correct in two's complement for the full `i128` domain.
+fn sample_i128(lo: i128, hi: i128, rng: &mut TestRng) -> i128 {
+    let span = hi.wrapping_sub(lo) as u128;
+    if span == u128::MAX {
+        return rng.next_u128() as i128;
+    }
+    let r = rng.next_u128() % (span + 1);
+    lo.wrapping_add(r as i128)
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, G);

@@ -1,0 +1,185 @@
+//! The case-running machinery: configuration, RNG, and the runner that
+//! drives a strategy through a property closure.
+
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::strategy::Strategy;
+
+/// Runner configuration; `ProptestConfig` in the prelude, like
+/// upstream.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of cases to run per property.
+    pub cases: u32,
+    /// Proportion of rejected (`prop_assume!`) cases tolerated before
+    /// the property fails, times `cases`.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        Config {
+            cases,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+impl Config {
+    /// Explicit case count; still yields to a `PROPTEST_CASES`
+    /// override so one env var caps every suite, like upstream's
+    /// fork-on-default behavior.
+    pub fn with_cases(cases: u32) -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(cases);
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property is false for this input.
+    Fail(String),
+    /// The input does not satisfy a `prop_assume!` precondition.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// A property failure, carrying the (non-shrunk) failing input.
+#[derive(Debug)]
+pub struct TestError {
+    message: String,
+}
+
+impl fmt::Display for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for TestError {}
+
+/// SplitMix64 — deterministic unless reseeded via `PROPTEST_SEED`.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_u128(&mut self) -> u128 {
+        ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        (self.next_u128() % n as u128) as u64
+    }
+}
+
+/// Runs a strategy through a property closure `cases` times.
+pub struct TestRunner {
+    config: Config,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    pub fn new(config: Config) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0x5EED_CAFE_F00D_D00Du64);
+        TestRunner {
+            config,
+            rng: TestRng::new(seed),
+        }
+    }
+
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+
+    /// Runs the property; returns the first failure (with its input)
+    /// or `Ok` once `cases` inputs pass. Panics inside the property
+    /// propagate after the failing input is printed to stderr.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError>
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            let input = strategy.generate(&mut self.rng);
+            let repr = format!("{input:?}");
+            match catch_unwind(AssertUnwindSafe(|| test(input))) {
+                Ok(Ok(())) => passed += 1,
+                Ok(Err(TestCaseError::Reject(_))) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        return Err(TestError {
+                            message: format!(
+                                "too many rejected inputs ({rejected}) after {passed} passed cases"
+                            ),
+                        });
+                    }
+                }
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    return Err(TestError {
+                        message: format!(
+                            "property failed after {passed} passed cases: {msg}\nfailing input: {repr}"
+                        ),
+                    });
+                }
+                Err(panic) => {
+                    eprintln!(
+                        "property panicked after {passed} passed cases; failing input: {repr}"
+                    );
+                    resume_unwind(panic);
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -145,34 +145,47 @@ impl AliasAnalysis for BasicAlias {
 
 /// Walks a pointer back to its underlying objects, accumulating
 /// constant offsets; φs union their incoming decompositions (bounded).
+///
+/// Alongside the decomposition, returns the set of φs whose back-edges
+/// were *cut* to break a cycle and are still open (i.e. the caller is
+/// inside their computation). A result with open cuts is incomplete:
+/// it must not be memoised (a cut-off value would otherwise be cached
+/// with an empty — vacuously-no-alias — decomposition, which the
+/// differential soundness suite caught as a real collision). The φ
+/// that owns a cut closes it and widens every offset to "unknown":
+/// a pointer carried around a loop takes a different offset each
+/// iteration, so a constant subscript claim through it would be
+/// unsound.
 fn decompose(
     f: &sra_ir::Function,
     v: ValueId,
     memo: &mut HashMap<ValueId, Decomp>,
     visiting: &mut HashSet<ValueId>,
-) -> Decomp {
+) -> (Decomp, HashSet<ValueId>) {
     if let Some(d) = memo.get(&v) {
-        return d.clone();
+        return (d.clone(), HashSet::new());
     }
     if !visiting.insert(v) {
-        // φ-cycle: contribute nothing; the defining φ entry will union
-        // the non-cyclic operands.
-        return Vec::new();
+        // φ-cycle: contribute nothing here; the φ owning the cycle
+        // unions the non-cyclic operands and closes the cut.
+        let mut cuts = HashSet::new();
+        cuts.insert(v);
+        return (Vec::new(), cuts);
     }
     const MAX_ROOTS: usize = 8;
-    let d: Decomp = match f.value(v).kind() {
-        ValueKind::Param { .. } => vec![(Root::Param(v), Some(0))],
-        ValueKind::GlobalAddr(g) => vec![(Root::Global(*g), Some(0))],
+    let (d, mut cuts): (Decomp, HashSet<ValueId>) = match f.value(v).kind() {
+        ValueKind::Param { .. } => (vec![(Root::Param(v), Some(0))], HashSet::new()),
+        ValueKind::GlobalAddr(g) => (vec![(Root::Global(*g), Some(0))], HashSet::new()),
         ValueKind::Inst(inst) => match inst {
-            Inst::Malloc { .. } => vec![(Root::Malloc(v), Some(0))],
-            Inst::Alloca { .. } => vec![(Root::Alloca(v), Some(0))],
-            Inst::Load { .. } | Inst::Call { .. } => vec![(Root::Anon, None)],
+            Inst::Malloc { .. } => (vec![(Root::Malloc(v), Some(0))], HashSet::new()),
+            Inst::Alloca { .. } => (vec![(Root::Alloca(v), Some(0))], HashSet::new()),
+            Inst::Load { .. } | Inst::Call { .. } => (vec![(Root::Anon, None)], HashSet::new()),
             Inst::Free { ptr } => decompose(f, *ptr, memo, visiting),
             Inst::Sigma { input, .. } => decompose(f, *input, memo, visiting),
             Inst::PtrAdd { base, offset } => {
-                let base_d = decompose(f, *base, memo, visiting);
+                let (base_d, cuts) = decompose(f, *base, memo, visiting);
                 let off = f.as_const(*offset);
-                base_d
+                let d = base_d
                     .into_iter()
                     .map(|(r, o)| {
                         let o = match (o, off) {
@@ -181,12 +194,16 @@ fn decompose(
                         };
                         (r, o)
                     })
-                    .collect()
+                    .collect();
+                (d, cuts)
             }
             Inst::Phi { args, .. } => {
                 let mut out: Decomp = Vec::new();
+                let mut cuts = HashSet::new();
                 for (_, a) in args {
-                    for e in decompose(f, *a, memo, visiting) {
+                    let (d, c) = decompose(f, *a, memo, visiting);
+                    cuts.extend(c);
+                    for e in d {
                         if !out.contains(&e) {
                             out.push(e);
                         }
@@ -196,20 +213,29 @@ fn decompose(
                         break;
                     }
                 }
-                // φ of same root with different offsets: keep distinct
-                // entries; queries will see offset `None` pairs as may.
+                if !cuts.is_empty() {
+                    // Loop φ: offsets vary per iteration.
+                    for (_, o) in &mut out {
+                        *o = None;
+                    }
+                }
+                // This φ's own cycle (if any) is closed now.
+                cuts.remove(&v);
                 if out.is_empty() {
                     out.push((Root::Anon, None));
                 }
-                out
+                (out, cuts)
             }
-            _ => vec![(Root::Anon, None)],
+            _ => (vec![(Root::Anon, None)], HashSet::new()),
         },
-        ValueKind::Const(_) => vec![(Root::Anon, None)],
+        ValueKind::Const(_) => (vec![(Root::Anon, None)], HashSet::new()),
     };
     visiting.remove(&v);
-    memo.insert(v, d.clone());
-    d
+    cuts.remove(&v);
+    if cuts.is_empty() {
+        memo.insert(v, d.clone());
+    }
+    (d, cuts)
 }
 
 /// Allocation values whose address escapes: stored into memory, passed

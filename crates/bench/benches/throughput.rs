@@ -1,0 +1,106 @@
+//! The batch-driver throughput bench: serial vs parallel analysis and
+//! batched+cached vs per-query all-pairs evaluation.
+//!
+//! This bench backs the acceptance criterion of the driver PR: on the
+//! `scaling` workload at 4 threads, the batched+cached all-pairs
+//! evaluation ([`sra_core::AliasMatrix`] built on the pool) must beat
+//! the seed per-query path ([`sra_core::QueryStats::run_pairs`]) by at
+//! least 2×. Besides the per-case timings, the bench prints an explicit
+//! `speedup:` summary line comparing the two paths; the `#[ignore]`d
+//! test `throughput_speedup` in `crates/bench/tests/` asserts the same
+//! ratio.
+//!
+//! Run with `cargo bench -p sra-bench --bench throughput`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sra_bench::{batched_sweep, per_query_sweep};
+use sra_core::{analyze_parallel, DriverConfig, RbaaAnalysis};
+use sra_ir::Module;
+use sra_workloads::scaling;
+
+const SCALING_INSTS: usize = 20_000;
+const SCALING_SEED: u64 = 42;
+
+fn workload() -> Module {
+    scaling::generate_module(SCALING_INSTS, SCALING_SEED)
+}
+
+/// Pipeline analysis (bootstrap + GR + LR): serial vs the batch driver
+/// at 1/2/4 workers.
+fn analysis_serial_vs_parallel(c: &mut Criterion) {
+    let m = workload();
+    let insts = m.num_insts();
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(insts as u64));
+    group.bench_with_input(BenchmarkId::new("serial", insts), &m, |b, m| {
+        b.iter(|| RbaaAnalysis::analyze(std::hint::black_box(m)));
+    });
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new(&format!("parallel_t{threads}"), insts),
+            &m,
+            |b, m| {
+                b.iter(|| {
+                    analyze_parallel(std::hint::black_box(m), DriverConfig::with_threads(threads))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// All-pairs evaluation: the seed per-query path vs the cached matrix,
+/// unbatched (1 worker) and batched (4 workers).
+fn all_pairs_paths(c: &mut Criterion) {
+    let m = workload();
+    let rbaa = RbaaAnalysis::analyze(&m);
+    let queries = per_query_sweep(&m, &rbaa).queries;
+    let mut group = c.benchmark_group("all_pairs");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(queries as u64));
+    group.bench_function(&format!("per_query/{queries}"), |b| {
+        b.iter(|| per_query_sweep(std::hint::black_box(&m), &rbaa));
+    });
+    for threads in [1usize, 4] {
+        group.bench_function(&format!("batched_t{threads}/{queries}"), |b| {
+            b.iter(|| batched_sweep(std::hint::black_box(&m), &rbaa, threads));
+        });
+    }
+    group.finish();
+}
+
+/// The acceptance-criterion summary: one timed round of each path and
+/// the resulting speedup, printed as a plain line so the number shows
+/// up in any bench log.
+fn speedup_summary(c: &mut Criterion) {
+    let _ = c; // the summary is a direct measurement, not a criterion case
+    let m = workload();
+    let rbaa = RbaaAnalysis::analyze(&m);
+    // Warm-up round for fairness (page-in, allocator).
+    std::hint::black_box(per_query_sweep(&m, &rbaa));
+    std::hint::black_box(batched_sweep(&m, &rbaa, 4));
+
+    let t0 = std::time::Instant::now();
+    let serial_stats = per_query_sweep(&m, &rbaa);
+    let per_query = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let batched_stats = batched_sweep(&m, &rbaa, 4);
+    let batched = t0.elapsed();
+    assert_eq!(serial_stats, batched_stats, "paths must agree exactly");
+
+    let speedup = per_query.as_secs_f64() / batched.as_secs_f64();
+    println!(
+        "speedup: batched+cached all-pairs at 4 threads vs seed per-query path: \
+         {speedup:.2}x ({batched:?} vs {per_query:?}, {} queries)",
+        serial_stats.queries
+    );
+}
+
+criterion_group!(
+    benches,
+    analysis_serial_vs_parallel,
+    all_pairs_paths,
+    speedup_summary
+);
+criterion_main!(benches);

@@ -11,8 +11,43 @@
 //! | `ablation`       | design-choice ablations (descending steps, local test, widening) |
 //!
 //! Run with `cargo run -p sra-bench --release --bin <name>`.
+//!
+//! The criterion benches (`cargo bench -p sra-bench`) cover the
+//! lattice operations (`lattice`), whole-pipeline analysis
+//! (`analysis`), and the batch driver (`throughput`: serial vs
+//! parallel analysis, per-query vs batched+cached all-pairs
+//! evaluation, with a printed `speedup:` summary).
 
 use std::fmt::Write as _;
+
+use sra_core::{pointer_values, pool, AliasMatrix, QueryStats, RbaaAnalysis};
+use sra_ir::{FuncId, Module};
+
+/// The seed all-pairs path: every unordered pair answered from scratch
+/// through `alias_with_test`, function after function. Shared by the
+/// `throughput` bench and the acceptance test so both always measure
+/// the same sweep.
+pub fn per_query_sweep(m: &Module, rbaa: &RbaaAnalysis) -> QueryStats {
+    let mut total = QueryStats::default();
+    for f in m.func_ids() {
+        let ptrs = pointer_values(m, f);
+        total.merge(&QueryStats::run_pairs(rbaa, f, &ptrs));
+    }
+    total
+}
+
+/// The batched all-pairs path: one cached [`AliasMatrix`] per function,
+/// built on `threads` workers with hash-consed range comparisons.
+pub fn batched_sweep(m: &Module, rbaa: &RbaaAnalysis, threads: usize) -> QueryStats {
+    let matrices = pool::run_indexed(m.num_functions(), threads, |i| {
+        AliasMatrix::build(rbaa, m, FuncId::new(i))
+    });
+    let mut total = QueryStats::default();
+    for mx in &matrices {
+        total.merge(mx.stats());
+    }
+    total
+}
 
 /// Renders a plain-text table: a header row plus aligned data rows.
 pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {

@@ -1,0 +1,56 @@
+//! Asserts the batch-driver acceptance criterion: batched+cached
+//! all-pairs evaluation at 4 threads beats the seed per-query path by
+//! ≥ 2× on the `scaling` workload.
+//!
+//! Wall-clock assertions are load-sensitive, so this is excluded from
+//! tier-1; run it explicitly (release, otherwise constant factors
+//! swamp the comparison):
+//!
+//! ```text
+//! cargo test -q --release -p sra-bench --test throughput_speedup -- --ignored
+//! ```
+
+use sra_bench::{batched_sweep, per_query_sweep};
+use sra_core::RbaaAnalysis;
+use sra_workloads::scaling;
+
+#[test]
+#[ignore = "wall-clock assertion; run explicitly in --release"]
+fn batched_beats_per_query_2x_at_4_threads() {
+    let m = scaling::generate_module(20_000, 42);
+    let rbaa = RbaaAnalysis::analyze(&m);
+    // Warm-up.
+    std::hint::black_box(per_query_sweep(&m, &rbaa));
+    std::hint::black_box(batched_sweep(&m, &rbaa, 4));
+
+    // Best-of-3 per path damps scheduler noise.
+    let per_query = (0..3)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            std::hint::black_box(per_query_sweep(&m, &rbaa));
+            t.elapsed()
+        })
+        .min()
+        .unwrap();
+    let batched = (0..3)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            std::hint::black_box(batched_sweep(&m, &rbaa, 4));
+            t.elapsed()
+        })
+        .min()
+        .unwrap();
+
+    assert_eq!(
+        per_query_sweep(&m, &rbaa),
+        batched_sweep(&m, &rbaa, 4),
+        "both paths must report identical stats"
+    );
+    let speedup = per_query.as_secs_f64() / batched.as_secs_f64();
+    println!("speedup: {speedup:.2}x ({batched:?} vs {per_query:?})");
+    assert!(
+        speedup >= 2.0,
+        "batched+cached all-pairs must be ≥2× the per-query path, got {speedup:.2}x \
+         ({batched:?} vs {per_query:?})"
+    );
+}

@@ -1,0 +1,369 @@
+//! The batch analysis driver: whole-module analysis and all-pairs
+//! query evaluation fanned out across a thread pool.
+//!
+//! The serial pipeline ([`RbaaAnalysis::analyze`]) walks one function
+//! at a time and answers every `p, q` query from scratch. For the
+//! paper's evaluation workloads — 22 benchmarks, all-pairs queries per
+//! function (Figures 13/14), and the million-instruction scaling sweep
+//! (Figure 15) — both are embarrassingly parallel along the function
+//! axis. [`BatchAnalysis`] exploits that:
+//!
+//! 1. **parallel** — the bootstrap integer ranges and the local (LR)
+//!    analysis of each function run on a hand-rolled
+//!    [`std::thread`]-pool ([`crate::pool`]). Kernel-symbol identities
+//!    are pre-assigned from per-function budgets
+//!    ([`sra_range::symbol_budget`]), so the assembled result is
+//!    byte-identical to the serial analysis regardless of scheduling.
+//! 2. **serial** — the global (GR) analysis stays on the coordinating
+//!    thread: it is *inter*procedural, and its Gauss–Seidel sweep order
+//!    (callers seen updated within a sweep) is part of the precision
+//!    the snapshot tests pin. It is also the cheap phase compared to
+//!    the `O(P²)` query sweeps.
+//! 3. **parallel** — one [`AliasMatrix`] per function, built on worker
+//!    threads with a per-worker [`sra_symbolic::ExprArena`] memoising
+//!    every range comparison. Repeat queries are `O(1)`.
+//!
+//! Determinism: every phase either runs in function order or writes
+//! into per-function slots, so results never depend on thread timing —
+//! the equivalence property test compares this driver against the
+//! serial per-query path verdict for verdict.
+//!
+//! # Examples
+//!
+//! ```
+//! use sra_core::{AliasAnalysis, AliasResult, BatchAnalysis};
+//! use sra_ir::{FunctionBuilder, Module};
+//!
+//! let mut b = FunctionBuilder::new("main", &[], None);
+//! let ten = b.const_int(10);
+//! let p = b.malloc(ten);
+//! let q = b.malloc(ten);
+//! b.ret(None);
+//! let mut m = Module::new();
+//! let fid = m.add_function(b.finish());
+//!
+//! let batch = BatchAnalysis::analyze(&m);
+//! assert_eq!(batch.alias(fid, p, q), AliasResult::NoAlias);
+//! assert_eq!(batch.stats(fid).queries, 1);
+//! ```
+
+use sra_ir::{FuncId, Module, ValueId};
+use sra_range::{RangeAnalysis, RangeConfig, RangePart};
+
+use crate::gr::{GrAnalysis, GrConfig};
+use crate::lr::{self, LrAnalysis, LrPart};
+use crate::pool;
+use crate::query::{AliasAnalysis, AliasMatrix, AliasResult, QueryStats, RbaaAnalysis, WhichTest};
+
+/// Tuning knobs for [`BatchAnalysis`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriverConfig {
+    /// Worker threads for the per-function phases. `1` runs everything
+    /// inline (the deterministic reference schedule — results are
+    /// identical either way).
+    pub threads: usize,
+    /// Bootstrap integer-range configuration.
+    pub range: RangeConfig,
+    /// Global-analysis configuration.
+    pub gr: GrConfig,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            threads: pool::default_threads(),
+            range: RangeConfig::default(),
+            gr: GrConfig::default(),
+        }
+    }
+}
+
+impl DriverConfig {
+    /// A config with an explicit worker count and default analyses.
+    pub fn with_threads(threads: usize) -> Self {
+        DriverConfig {
+            threads,
+            ..DriverConfig::default()
+        }
+    }
+}
+
+/// Runs the paper's full analysis pipeline (bootstrap ranges + GR +
+/// LR) with the per-function phases on `config.threads` workers. The
+/// result is byte-identical to [`RbaaAnalysis::analyze`].
+pub fn analyze_parallel(m: &Module, config: DriverConfig) -> RbaaAnalysis {
+    let nf = m.num_functions();
+
+    // Pre-assign symbol-id blocks so workers mint non-conflicting,
+    // schedule-independent symbols. The budget scans are cheap but
+    // parallel anyway (LR's needs a dominance tree).
+    let budgets: Vec<(usize, usize)> = pool::run_indexed(nf, config.threads, |i| {
+        let fid = FuncId::new(i);
+        (
+            sra_range::symbol_budget(m.function(fid), config.range),
+            lr::symbol_budget(m, fid),
+        )
+    });
+    let mut range_bases = Vec::with_capacity(nf);
+    let mut lr_bases = Vec::with_capacity(nf);
+    let (mut rb, mut lb) = (0u32, 0u32);
+    for &(r, l) in &budgets {
+        range_bases.push(rb);
+        lr_bases.push(lb);
+        rb += r as u32;
+        lb += l as u32;
+    }
+
+    // Per-function analyses on the pool.
+    let parts: Vec<(RangePart, LrPart)> = pool::run_indexed(nf, config.threads, |i| {
+        let fid = FuncId::new(i);
+        (
+            sra_range::analyze_function_part(m.function(fid), config.range, range_bases[i]),
+            lr::analyze_function_part(m, fid, lr_bases[i]),
+        )
+    });
+    let mut range_parts = Vec::with_capacity(nf);
+    let mut lr_parts = Vec::with_capacity(nf);
+    for (r, l) in parts {
+        range_parts.push(r);
+        lr_parts.push(l);
+    }
+    let ranges = RangeAnalysis::from_parts(range_parts);
+    let lr = LrAnalysis::from_parts(lr_parts);
+
+    // Interprocedural global analysis: serial by design (see module
+    // docs).
+    let gr = GrAnalysis::analyze_with(m, &ranges, config.gr);
+
+    RbaaAnalysis::from_pieces(ranges, gr, lr)
+}
+
+/// The batch driver's result: the full [`RbaaAnalysis`] plus one cached
+/// [`AliasMatrix`] per function.
+#[derive(Debug)]
+pub struct BatchAnalysis {
+    rbaa: RbaaAnalysis,
+    matrices: Vec<AliasMatrix>,
+}
+
+impl BatchAnalysis {
+    /// Analyzes `m` and evaluates every function's all-pairs matrix,
+    /// with default configuration (all available workers).
+    pub fn analyze(m: &Module) -> Self {
+        Self::analyze_with(m, DriverConfig::default())
+    }
+
+    /// Analyzes `m` with an explicit configuration.
+    pub fn analyze_with(m: &Module, config: DriverConfig) -> Self {
+        let rbaa = analyze_parallel(m, config);
+        Self::from_rbaa(rbaa, m, config.threads)
+    }
+
+    /// Builds the per-function matrices over an existing analysis.
+    pub fn from_rbaa(rbaa: RbaaAnalysis, m: &Module, threads: usize) -> Self {
+        let matrices = pool::run_indexed(m.num_functions(), threads, |i| {
+            AliasMatrix::build(&rbaa, m, FuncId::new(i))
+        });
+        BatchAnalysis { rbaa, matrices }
+    }
+
+    /// The underlying analysis (states, symbol table, …).
+    pub fn rbaa(&self) -> &RbaaAnalysis {
+        &self.rbaa
+    }
+
+    /// The cached all-pairs matrix of `f`.
+    pub fn matrix(&self, f: FuncId) -> &AliasMatrix {
+        &self.matrices[f.index()]
+    }
+
+    /// The Figure 13/14 statistics of `f`'s all-pairs sweep.
+    pub fn stats(&self, f: FuncId) -> &QueryStats {
+        self.matrices[f.index()].stats()
+    }
+
+    /// Statistics summed over every function.
+    pub fn total_stats(&self) -> QueryStats {
+        let mut total = QueryStats::default();
+        for mx in &self.matrices {
+            total.merge(mx.stats());
+        }
+        total
+    }
+
+    /// Like [`RbaaAnalysis::alias_with_test`], answered from the cache
+    /// in `O(1)` (falling back to the direct computation for values
+    /// outside the pointer universe, e.g. non-pointers).
+    pub fn alias_with_test(
+        &self,
+        f: FuncId,
+        p: ValueId,
+        q: ValueId,
+    ) -> (AliasResult, Option<WhichTest>) {
+        match self.matrices[f.index()].lookup(p, q) {
+            Some(v) => v,
+            None => self.rbaa.alias_with_test(f, p, q),
+        }
+    }
+}
+
+impl AliasAnalysis for BatchAnalysis {
+    fn name(&self) -> &'static str {
+        "rbaa"
+    }
+
+    fn alias(&self, f: FuncId, p: ValueId, q: ValueId) -> AliasResult {
+        self.alias_with_test(f, p, q).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::pointer_values;
+
+    /// A module with interprocedural flow, loops, σs, frees — every
+    /// state kind the pipeline produces.
+    fn sample_module() -> Module {
+        use sra_ir::{BinOp, Callee, CmpOp, FunctionBuilder, Ty};
+        let mut m = Module::new();
+
+        let mut b = FunctionBuilder::new("callee", &[Ty::Ptr, Ty::Int], Some(Ty::Ptr));
+        let p = b.param(0);
+        let n = b.param(1);
+        let head = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        let zero = b.const_int(0);
+        let entry = b.entry_block();
+        b.jump(head);
+        b.switch_to(head);
+        let i = b.phi(Ty::Int, &[(entry, zero)]);
+        let c = b.cmp(CmpOp::Lt, i, n);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let a0 = b.ptr_add(p, i);
+        b.store(a0, i);
+        let one = b.const_int(1);
+        let i1 = b.binop(BinOp::Add, i, one);
+        let a1 = b.ptr_add(p, i1);
+        let x = b.load(a0, Ty::Int);
+        b.store(a1, x);
+        let two = b.const_int(2);
+        let i2 = b.binop(BinOp::Add, i, two);
+        b.add_phi_arg(i, body, i2);
+        b.jump(head);
+        b.switch_to(exit);
+        let q = b.ptr_add(p, n);
+        b.ret(Some(q));
+        let mut f = b.finish();
+        sra_ir::essa::run(&mut f);
+        let callee = m.add_function(f);
+
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let z = b.call(Callee::External("atoi".into()), &[], Some(Ty::Int));
+        let buf = b.malloc(z);
+        let other = b.malloc(z);
+        let r = b.call(Callee::Internal(callee), &[buf, z], Some(Ty::Ptr));
+        let dead = b.free(other);
+        let loaded = b.load(buf, Ty::Ptr);
+        let _ = (r, dead, loaded);
+        b.ret(None);
+        let mut f = b.finish();
+        f.set_exported(true);
+        m.add_function(f);
+        sra_ir::verify::verify_module(&m).expect("verifies");
+        m
+    }
+
+    #[test]
+    fn batch_matches_serial_per_query() {
+        let m = sample_module();
+        let serial = RbaaAnalysis::analyze(&m);
+        for threads in [1, 4] {
+            let batch = BatchAnalysis::analyze_with(&m, DriverConfig::with_threads(threads));
+            for f in m.func_ids() {
+                let ptrs = pointer_values(&m, f);
+                for &p in &ptrs {
+                    for &q in &ptrs {
+                        assert_eq!(
+                            batch.alias_with_test(f, p, q),
+                            serial.alias_with_test(f, p, q),
+                            "threads={threads} {f} {p} vs {q}"
+                        );
+                    }
+                }
+                assert_eq!(
+                    batch.stats(f),
+                    &QueryStats::run_pairs(&serial, f, &ptrs),
+                    "stats for {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_analysis_is_byte_identical() {
+        let m = sample_module();
+        let serial = RbaaAnalysis::analyze(&m);
+        let parallel = analyze_parallel(&m, DriverConfig::with_threads(4));
+        // Same symbol tables (names in the same order)…
+        assert_eq!(
+            serial.symbols().iter().collect::<Vec<_>>(),
+            parallel.symbols().iter().collect::<Vec<_>>()
+        );
+        // …and same displayed states everywhere.
+        for f in m.func_ids() {
+            let func = m.function(f);
+            for v in func.value_ids() {
+                assert_eq!(
+                    format!("{}", serial.gr().state(f, v).display(serial.symbols())),
+                    format!("{}", parallel.gr().state(f, v).display(parallel.symbols())),
+                );
+                assert_eq!(
+                    format!("{}", serial.ranges().range(f, v).display(serial.symbols())),
+                    format!(
+                        "{}",
+                        parallel.ranges().range(f, v).display(parallel.symbols())
+                    ),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_lookup_diagonal_and_outsiders() {
+        let m = sample_module();
+        let batch = BatchAnalysis::analyze(&m);
+        let f = m.func_ids().next().unwrap();
+        let ptrs = pointer_values(&m, f);
+        let p = ptrs[0];
+        assert_eq!(
+            batch.alias_with_test(f, p, p),
+            (AliasResult::MayAlias, None)
+        );
+        // A non-pointer value is outside the universe; the fallback
+        // still answers.
+        let func = m.function(f);
+        let non_ptr = func
+            .value_ids()
+            .find(|&v| func.value(v).ty() != Some(sra_ir::Ty::Ptr))
+            .unwrap();
+        assert_eq!(batch.matrix(f).lookup(non_ptr, p), None);
+        assert_eq!(
+            batch.alias_with_test(f, non_ptr, p),
+            batch.rbaa().alias_with_test(f, non_ptr, p)
+        );
+    }
+
+    #[test]
+    fn total_stats_sum_functions() {
+        let m = sample_module();
+        let batch = BatchAnalysis::analyze(&m);
+        let mut expect = QueryStats::default();
+        for f in m.func_ids() {
+            expect.merge(batch.stats(f));
+        }
+        assert_eq!(batch.total_stats(), expect);
+    }
+}

@@ -46,17 +46,20 @@
 //! assert_eq!(rbaa.alias(fid, first, last), AliasResult::MayAlias);
 //! ```
 
+mod driver;
 mod gr;
 mod locs;
-mod lr;
+pub mod lr;
+pub mod pool;
 mod query;
 mod state;
 
+pub use driver::{analyze_parallel, BatchAnalysis, DriverConfig};
 pub use gr::{GrAnalysis, GrConfig};
 pub use locs::{AllocSite, LocId, LocKind, LocTable};
-pub use lr::{LocalBase, LrAnalysis, LrState};
+pub use lr::{LocalBase, LrAnalysis, LrPart, LrState};
 pub use query::{
-    global_no_alias, global_no_alias_kind, pointer_values, AliasAnalysis, AliasResult, QueryStats,
-    RbaaAnalysis, WhichTest,
+    global_no_alias, global_no_alias_kind, pointer_values, AliasAnalysis, AliasMatrix, AliasResult,
+    QueryStats, RbaaAnalysis, WhichTest,
 };
 pub use state::PtrState;

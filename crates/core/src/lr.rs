@@ -104,6 +104,53 @@ impl fmt::Display for DisplayLr<'_> {
     }
 }
 
+/// The per-function output of the local analysis: the states plus the
+/// offset-symbol names minted, in minting order. See
+/// `sra_range::RangePart` for the role parts play in the batch driver.
+#[derive(Debug, Clone)]
+pub struct LrPart {
+    /// `LR(v)` for every value of the function.
+    pub states: Vec<Option<LrState>>,
+    /// The `first_symbol` this part was analyzed with.
+    pub first_symbol: u32,
+    /// Names of the symbols minted, starting at `first_symbol`.
+    pub symbol_names: Vec<String>,
+}
+
+/// The number of offset symbols [`analyze_function_part`] will mint for
+/// `fid`: one per integer parameter plus one per *reachable* integer
+/// φ/load/call/comparison. The analysis walks the dominance tree, but a
+/// count only needs reachability, so this pre-scan stops at the CFG's
+/// reverse post-order (same block set, no dominator computation).
+pub fn symbol_budget(m: &Module, fid: FuncId) -> usize {
+    let f = m.function(fid);
+    let params = f
+        .value_ids()
+        .filter(|&v| {
+            matches!(f.value(v).kind(), ValueKind::Param { .. }) && f.value(v).ty() == Some(Ty::Int)
+        })
+        .count();
+    let cfg = Cfg::new(f);
+    let mut insts = 0;
+    for &b in cfg.rpo() {
+        for &v in f.block(b).insts() {
+            if f.value(v).ty() != Some(Ty::Int) {
+                continue;
+            }
+            if matches!(
+                f.value(v).as_inst(),
+                Some(Inst::Phi { .. })
+                    | Some(Inst::Load { .. })
+                    | Some(Inst::Call { .. })
+                    | Some(Inst::Cmp { .. })
+            ) {
+                insts += 1;
+            }
+        }
+    }
+    params + insts
+}
+
 /// Results of the local analysis: `LR(p)` for every pointer `p`.
 #[derive(Debug, Clone)]
 pub struct LrAnalysis {
@@ -114,11 +161,36 @@ pub struct LrAnalysis {
 impl LrAnalysis {
     /// Runs the local analysis over every function of `m`.
     pub fn analyze(m: &Module) -> Self {
+        let mut parts = Vec::with_capacity(m.num_functions());
+        let mut base = 0u32;
+        for fid in m.func_ids() {
+            let part = analyze_function_part(m, fid, base);
+            base += part.symbol_names.len() as u32;
+            parts.push(part);
+        }
+        Self::from_parts(parts)
+    }
+
+    /// Reassembles a whole-module result from per-function parts in
+    /// function order; see [`sra_range::RangeAnalysis::from_parts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parts' symbol bases do not line up.
+    pub fn from_parts(parts: Vec<LrPart>) -> Self {
         let mut symbols = SymbolTable::new();
-        let states = m
-            .func_ids()
-            .map(|fid| analyze_function(m, fid, &mut symbols))
-            .collect();
+        let mut states = Vec::with_capacity(parts.len());
+        for part in parts {
+            assert_eq!(
+                part.first_symbol as usize,
+                symbols.len(),
+                "LR parts assembled out of order or with wrong bases"
+            );
+            for name in &part.symbol_names {
+                symbols.fresh(name);
+            }
+            states.push(part.states);
+        }
         LrAnalysis { states, symbols }
     }
 
@@ -134,7 +206,42 @@ impl LrAnalysis {
     }
 }
 
-fn analyze_function(m: &Module, fid: FuncId, symbols: &mut SymbolTable) -> Vec<Option<LrState>> {
+/// Analyzes one function, minting offset symbols `first_symbol,
+/// first_symbol + 1, …` (exactly [`symbol_budget`] of them). Pure and
+/// thread-safe.
+pub fn analyze_function_part(m: &Module, fid: FuncId, first_symbol: u32) -> LrPart {
+    let mut minter = Minter {
+        base: first_symbol,
+        names: Vec::new(),
+    };
+    let states = analyze_function(m, fid, &mut minter);
+    debug_assert_eq!(
+        minter.names.len(),
+        symbol_budget(m, fid),
+        "symbol_budget must match what the analysis mints"
+    );
+    LrPart {
+        states,
+        first_symbol,
+        symbol_names: minter.names,
+    }
+}
+
+/// Mints globally-unique symbols from a pre-assigned id block.
+struct Minter {
+    base: u32,
+    names: Vec<String>,
+}
+
+impl Minter {
+    fn fresh(&mut self, name: &str) -> sra_symbolic::Symbol {
+        let s = sra_symbolic::Symbol::new(self.base + self.names.len() as u32);
+        self.names.push(name.to_owned());
+        s
+    }
+}
+
+fn analyze_function(m: &Module, fid: FuncId, symbols: &mut Minter) -> Vec<Option<LrState>> {
     let f = m.function(fid);
     let mut states: Vec<Option<LrState>> = vec![None; f.num_values()];
     // Exact symbolic value of every integer (singleton semantics) plus

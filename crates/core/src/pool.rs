@@ -1,0 +1,117 @@
+//! A hand-rolled scoped thread pool for the batch driver.
+//!
+//! The workspace is dependency-free (no rayon), so fan-out is built on
+//! `std::thread::scope`: jobs are indices `0..n`, workers claim them
+//! from a shared atomic counter, and results are reassembled in index
+//! order — the output is a plain `Vec<T>` whose contents are
+//! independent of thread scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A reasonable worker count for this machine: the available
+/// parallelism, capped so tiny machines and CI runners stay responsive.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 16)
+}
+
+/// Runs `f(0), f(1), …, f(n-1)` across `threads` workers and returns
+/// the results in index order.
+///
+/// Work is claimed dynamically (an atomic next-index counter), so
+/// uneven job sizes balance automatically. With `threads <= 1` (or a
+/// single job) everything runs inline on the caller thread — the
+/// deterministic reference path the equivalence tests compare against.
+pub fn run_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect()
+    });
+
+    // Reassemble in index order.
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for batch in collected.drain(..) {
+        for (i, v) in batch {
+            debug_assert!(slots[i].is_none(), "job {i} ran twice");
+            slots[i] = Some(v);
+        }
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| v.unwrap_or_else(|| panic!("job {i} never ran")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_index_order() {
+        for threads in [1, 2, 4, 7] {
+            let out = run_indexed(23, threads, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn uneven_jobs_balance() {
+        // Jobs of very different sizes still all complete and land in
+        // order.
+        let out = run_indexed(16, 4, |i| {
+            let mut acc = 0u64;
+            for k in 0..(i as u64 * 10_000) {
+                acc = acc.wrapping_add(k);
+            }
+            (i, acc)
+        });
+        for (i, (j, _)) in out.iter().enumerate() {
+            assert_eq!(i, *j);
+        }
+    }
+
+    #[test]
+    fn default_threads_sane() {
+        let t = default_threads();
+        assert!((1..=16).contains(&t));
+    }
+}

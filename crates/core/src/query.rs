@@ -1,13 +1,15 @@
-//! Alias queries: the global test `QGR`, the local test `QLR`, and the
-//! combined analysis of the paper's Figure 5.
+//! Alias queries: the global test `QGR`, the local test `QLR`, the
+//! combined analysis of the paper's Figure 5, and the per-function
+//! [`AliasMatrix`] cache that answers all-pairs workloads in `O(1)`
+//! per repeat query.
 
-use sra_ir::{FuncId, Module, Ty, ValueId};
+use sra_ir::{BlockId, FuncId, Module, Ty, ValueId};
 use sra_range::RangeAnalysis;
-use sra_symbolic::SymbolTable;
+use sra_symbolic::{ExprArena, FxHashMap, RangeRef, SymbolTable};
 
 use crate::gr::{GrAnalysis, GrConfig};
-use crate::locs::LocTable;
-use crate::lr::LrAnalysis;
+use crate::locs::{LocId, LocKind, LocTable};
+use crate::lr::{LocalBase, LrAnalysis};
 use crate::state::PtrState;
 
 /// The verdict of one alias query.
@@ -78,6 +80,12 @@ impl RbaaAnalysis {
         let ranges = RangeAnalysis::analyze(m);
         let gr = GrAnalysis::analyze_with(m, &ranges, config);
         let lr = LrAnalysis::analyze(m);
+        RbaaAnalysis { ranges, gr, lr }
+    }
+
+    /// Assembles a result from already-computed pieces (the batch
+    /// driver runs the per-function pieces on worker threads).
+    pub(crate) fn from_pieces(ranges: RangeAnalysis, gr: GrAnalysis, lr: LrAnalysis) -> Self {
         RbaaAnalysis { ranges, gr, lr }
     }
 
@@ -267,6 +275,260 @@ pub fn pointer_values(m: &Module, f: FuncId) -> Vec<ValueId> {
     func.value_ids()
         .filter(|&v| func.value(v).ty() == Some(Ty::Ptr))
         .collect()
+}
+
+/// Packed verdict codes of one [`AliasMatrix`] cell.
+const CELL_MAY: u8 = 0;
+const CELL_DISTINCT: u8 = 1;
+const CELL_GLOBAL: u8 = 2;
+const CELL_LOCAL: u8 = 3;
+
+fn decode_cell(cell: u8) -> (AliasResult, Option<WhichTest>) {
+    match cell {
+        CELL_DISTINCT => (AliasResult::NoAlias, Some(WhichTest::DistinctLocs)),
+        CELL_GLOBAL => (AliasResult::NoAlias, Some(WhichTest::Global)),
+        CELL_LOCAL => (AliasResult::NoAlias, Some(WhichTest::Local)),
+        _ => (AliasResult::MayAlias, None),
+    }
+}
+
+/// The cached all-pairs verdicts of one function: every unordered pair
+/// of pointer-typed values of `f`, evaluated once through hash-consed
+/// symbolic ranges, packed into a triangular byte matrix.
+///
+/// Building the matrix costs what the all-pairs sweep of
+/// [`QueryStats::run_pairs`] costs *minus* every repeated range
+/// comparison (the [`ExprArena`] memoises those); afterwards
+/// [`AliasMatrix::lookup`] answers any repeat query in `O(1)`. Verdicts
+/// are byte-identical to [`RbaaAnalysis::alias_with_test`] — the
+/// workspace's equivalence property test pins this.
+#[derive(Debug, Clone)]
+pub struct AliasMatrix {
+    ptrs: Vec<ValueId>,
+    pos: FxHashMap<ValueId, usize>,
+    cells: Vec<u8>,
+    stats: QueryStats,
+}
+
+/// Interned global state of one pointer.
+#[derive(PartialEq, Eq, Hash)]
+enum IGr {
+    Bottom,
+    Top,
+    Support(Vec<(LocId, RangeRef)>),
+}
+
+/// Interned local state of one pointer.
+#[derive(PartialEq, Eq, Hash)]
+struct ILr {
+    base: LocalBase,
+    block: Option<BlockId>,
+    /// Dense id of the σ-set (equal sets share an id).
+    sigmas: u32,
+    range: RangeRef,
+}
+
+impl AliasMatrix {
+    /// Builds the matrix over every pointer-typed value of `f`.
+    pub fn build(rbaa: &RbaaAnalysis, m: &Module, f: FuncId) -> Self {
+        Self::build_for(rbaa, f, pointer_values(m, f))
+    }
+
+    /// Builds the matrix over an explicit pointer universe (must be
+    /// duplicate-free).
+    ///
+    /// Hash-consing happens at two levels: range endpoints are interned
+    /// in an [`ExprArena`] (each distinct symbolic comparison is proved
+    /// once), and whole pointer *states* are deduplicated into
+    /// signature classes — a function with `P` pointers typically has
+    /// far fewer distinct `(GR, LR)` states, and for `p ≠ q` the
+    /// verdict depends only on the states, so the `O(P²)` pair sweep
+    /// collapses to `O(S²)` state-pair verdicts plus an `O(P²)` table
+    /// fill.
+    pub fn build_for(rbaa: &RbaaAnalysis, f: FuncId, ptrs: Vec<ValueId>) -> Self {
+        let mut arena = ExprArena::new();
+        let locs = rbaa.gr().locs();
+        let kinds: Vec<LocKind> = (0..locs.len())
+            .map(|i| locs.site(LocId::new(i)).kind)
+            .collect();
+
+        // Intern each pointer's states once and collapse equal states
+        // to one signature class.
+        let mut sigma_ids: FxHashMap<&[ValueId], u32> = FxHashMap::default();
+        let mut sig_ids: FxHashMap<(IGr, Option<ILr>), u32> = FxHashMap::default();
+        let mut sigs: Vec<usize> = Vec::with_capacity(ptrs.len());
+        for &p in &ptrs {
+            let st = rbaa.gr().state(f, p);
+            let igr = if st.is_bottom() {
+                IGr::Bottom
+            } else if st.is_top() {
+                IGr::Top
+            } else {
+                IGr::Support(
+                    st.support()
+                        .map(|(loc, r)| (loc, arena.intern_range(r)))
+                        .collect(),
+                )
+            };
+            let ilr = rbaa.lr().state(f, p).map(|s| {
+                let next = sigma_ids.len() as u32;
+                let sigmas = *sigma_ids.entry(s.sigmas.as_slice()).or_insert(next);
+                ILr {
+                    base: s.base,
+                    block: s.block,
+                    sigmas,
+                    range: arena.intern_range(&s.range),
+                }
+            });
+            let next = sig_ids.len() as u32;
+            sigs.push(*sig_ids.entry((igr, ilr)).or_insert(next) as usize);
+        }
+        let mut by_id: Vec<Option<(&IGr, &Option<ILr>)>> = vec![None; sig_ids.len()];
+        for (k, &id) in &sig_ids {
+            by_id[id as usize] = Some((&k.0, &k.1));
+        }
+
+        // One verdict per unordered signature pair (including the
+        // "same signature, different pointer" diagonal).
+        // Row `a` of the upper triangle (b ≥ a) starts after the
+        // `a*s - a*(a-1)/2` entries of the rows above it.
+        let s = sig_ids.len();
+        let tri = |a: usize, b: usize| a * s - a * a.saturating_sub(1) / 2 - a + b;
+        let mut sig_cells = vec![CELL_MAY; s * (s + 1) / 2];
+        for a in 0..s {
+            let (ga, la) = by_id[a].expect("dense signature ids");
+            for b in a..s {
+                let (gb, lb) = by_id[b].expect("dense signature ids");
+                sig_cells[tri(a, b)] = Self::verdict(&mut arena, &kinds, ga, gb, la, lb);
+            }
+        }
+        let sig_cell = |a: usize, b: usize| {
+            let (a, b) = if a <= b { (a, b) } else { (b, a) };
+            sig_cells[tri(a, b)]
+        };
+
+        // Fill the pointer-pair triangle from the signature table.
+        let n = ptrs.len();
+        let mut cells = vec![CELL_MAY; n * n.saturating_sub(1) / 2];
+        let mut stats = QueryStats::default();
+        let mut idx = 0;
+        for i in 0..n {
+            for j in i + 1..n {
+                let cell = sig_cell(sigs[i], sigs[j]);
+                cells[idx] = cell;
+                idx += 1;
+                stats.queries += 1;
+                match cell {
+                    CELL_DISTINCT => {
+                        stats.no_alias += 1;
+                        stats.by_distinct_locs += 1;
+                    }
+                    CELL_GLOBAL => {
+                        stats.no_alias += 1;
+                        stats.by_global += 1;
+                    }
+                    CELL_LOCAL => {
+                        stats.no_alias += 1;
+                        stats.by_local += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let pos = ptrs.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        AliasMatrix {
+            ptrs,
+            pos,
+            cells,
+            stats,
+        }
+    }
+
+    /// One pair, on interned handles — mirrors
+    /// [`RbaaAnalysis::alias_with_test`] decision for decision.
+    fn verdict(
+        arena: &mut ExprArena,
+        kinds: &[LocKind],
+        gp: &IGr,
+        gq: &IGr,
+        lp: &Option<ILr>,
+        lq: &Option<ILr>,
+    ) -> u8 {
+        // The global test (`global_no_alias_kind` on handles).
+        let global = match (gp, gq) {
+            (IGr::Bottom, _) | (_, IGr::Bottom) => Some(CELL_DISTINCT),
+            (IGr::Top, _) | (_, IGr::Top) => None,
+            (IGr::Support(sa), IGr::Support(sb)) => {
+                let mut used_ranges = false;
+                let mut separated = true;
+                'pairs: for &(la, ra) in sa {
+                    for &(lb, rb) in sb {
+                        if la == lb {
+                            if !arena.ranges_disjoint(ra, rb) {
+                                separated = false;
+                                break 'pairs;
+                            }
+                            used_ranges = true;
+                        } else if !kinds[la.index()].separable_from(kinds[lb.index()]) {
+                            separated = false;
+                            break 'pairs;
+                        }
+                    }
+                }
+                if separated {
+                    Some(if used_ranges {
+                        CELL_GLOBAL
+                    } else {
+                        CELL_DISTINCT
+                    })
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(cell) = global {
+            return cell;
+        }
+        // The local test (`QLR` preconditions, then range disjointness).
+        if let (Some(a), Some(b)) = (lp, lq) {
+            if a.base == b.base
+                && a.block.is_some()
+                && a.block == b.block
+                && a.sigmas == b.sigmas
+                && arena.ranges_disjoint(a.range, b.range)
+            {
+                return CELL_LOCAL;
+            }
+        }
+        CELL_MAY
+    }
+
+    /// The pointer universe of the matrix, in value order.
+    pub fn pointers(&self) -> &[ValueId] {
+        &self.ptrs
+    }
+
+    /// The aggregate [`QueryStats`] of the all-pairs sweep (one
+    /// Figure 13/14 row contribution).
+    pub fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+
+    /// The cached verdict for `p` vs `q` in `O(1)`; `None` when either
+    /// value is outside the matrix's universe. `p == q` answers
+    /// `MayAlias` like [`RbaaAnalysis::alias_with_test`].
+    pub fn lookup(&self, p: ValueId, q: ValueId) -> Option<(AliasResult, Option<WhichTest>)> {
+        let &i = self.pos.get(&p)?;
+        let &j = self.pos.get(&q)?;
+        if i == j {
+            return Some((AliasResult::MayAlias, None));
+        }
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        let n = self.ptrs.len();
+        let idx = i * (2 * n - i - 1) / 2 + (j - i - 1);
+        Some(decode_cell(self.cells[idx]))
+    }
 }
 
 #[cfg(test)]

@@ -49,6 +49,24 @@ impl FunctionRanges {
     }
 }
 
+/// The per-function output of the bootstrap analysis: the ranges plus
+/// the kernel-symbol names the function minted, in minting order.
+///
+/// Parts exist so that a batch driver can analyze functions on worker
+/// threads: symbol identities are fixed *before* the analysis runs (a
+/// function's first symbol id is the sum of the [`symbol_budget`]s of
+/// the functions before it), so the assembled result is byte-identical
+/// to the serial one no matter how the work was scheduled.
+#[derive(Debug, Clone)]
+pub struct RangePart {
+    /// Ranges of the function's values.
+    pub ranges: FunctionRanges,
+    /// The `first_symbol` this part was analyzed with.
+    pub first_symbol: u32,
+    /// Names of the symbols minted, starting at `first_symbol`.
+    pub symbol_names: Vec<String>,
+}
+
 /// Whole-module symbolic ranges of integer variables: the paper's
 /// `R : V → S²`.
 #[derive(Debug, Clone)]
@@ -65,11 +83,39 @@ impl RangeAnalysis {
 
     /// Analyzes every function of `m`.
     pub fn analyze_with(m: &Module, config: RangeConfig) -> Self {
+        let mut parts = Vec::with_capacity(m.num_functions());
+        let mut base = 0u32;
+        for f in m.func_ids() {
+            let part = analyze_function_part(m.function(f), config, base);
+            base += part.symbol_names.len() as u32;
+            parts.push(part);
+        }
+        Self::from_parts(parts)
+    }
+
+    /// Reassembles a whole-module result from per-function parts, in
+    /// function order. Each part must have been produced with
+    /// `first_symbol` equal to the total symbol count of the parts
+    /// before it (as [`RangeAnalysis::analyze_with`] and the batch
+    /// driver do).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parts' symbol bases do not line up.
+    pub fn from_parts(parts: Vec<RangePart>) -> Self {
         let mut symbols = SymbolTable::new();
-        let per_func = m
-            .func_ids()
-            .map(|f| analyze_function(m.function(f), &mut symbols, config))
-            .collect();
+        let mut per_func = Vec::with_capacity(parts.len());
+        for part in parts {
+            assert_eq!(
+                part.first_symbol as usize,
+                symbols.len(),
+                "range parts assembled out of order or with wrong bases"
+            );
+            for name in &part.symbol_names {
+                symbols.fresh(name);
+            }
+            per_func.push(part.ranges);
+        }
         RangeAnalysis { per_func, symbols }
     }
 
@@ -89,6 +135,70 @@ impl RangeAnalysis {
     }
 }
 
+/// The number of kernel symbols [`analyze_function_part`] will mint for
+/// `f` — one per integer parameter, call result, and (under
+/// `loads_as_symbols`) load. Mirrors the solver's seeding exactly; the
+/// batch driver uses it to assign each function a disjoint, dense
+/// symbol-id block before dispatching work to threads.
+pub fn symbol_budget(f: &Function, config: RangeConfig) -> usize {
+    f.value_ids()
+        .filter(|&v| {
+            let data = f.value(v);
+            data.ty() == Some(Ty::Int)
+                && match data.kind() {
+                    ValueKind::Param { .. } | ValueKind::Inst(Inst::Call { .. }) => true,
+                    ValueKind::Inst(Inst::Load { .. }) => config.loads_as_symbols,
+                    _ => false,
+                }
+        })
+        .count()
+}
+
+/// Analyzes one function, minting kernel symbols `first_symbol,
+/// first_symbol + 1, …` (exactly [`symbol_budget`] of them). Pure and
+/// thread-safe: the batch driver runs one call per worker.
+pub fn analyze_function_part(f: &Function, config: RangeConfig, first_symbol: u32) -> RangePart {
+    let mut minter = Minter {
+        base: first_symbol,
+        names: Vec::new(),
+    };
+    let mut solver = Solver {
+        f,
+        cfg: Cfg::new(f),
+        config,
+        ranges: vec![SymRange::empty(); f.num_values()],
+        value_symbols: vec![None; f.num_values()],
+    };
+    solver.seed(&mut minter);
+    solver.run();
+    debug_assert_eq!(
+        minter.names.len(),
+        symbol_budget(f, config),
+        "symbol_budget must match what seeding mints"
+    );
+    RangePart {
+        ranges: FunctionRanges {
+            ranges: solver.ranges,
+        },
+        first_symbol,
+        symbol_names: minter.names,
+    }
+}
+
+/// Mints globally-unique symbols from a pre-assigned id block.
+struct Minter {
+    base: u32,
+    names: Vec<String>,
+}
+
+impl Minter {
+    fn fresh(&mut self, name: &str) -> Symbol {
+        let s = Symbol::new(self.base + self.names.len() as u32);
+        self.names.push(name.to_owned());
+        s
+    }
+}
+
 struct Solver<'a> {
     f: &'a Function,
     cfg: Cfg,
@@ -98,30 +208,11 @@ struct Solver<'a> {
     value_symbols: Vec<Option<Symbol>>,
 }
 
-fn analyze_function(
-    f: &Function,
-    symbols: &mut SymbolTable,
-    config: RangeConfig,
-) -> FunctionRanges {
-    let mut solver = Solver {
-        f,
-        cfg: Cfg::new(f),
-        config,
-        ranges: vec![SymRange::empty(); f.num_values()],
-        value_symbols: vec![None; f.num_values()],
-    };
-    solver.seed(symbols);
-    solver.run();
-    FunctionRanges {
-        ranges: solver.ranges,
-    }
-}
-
 impl Solver<'_> {
     /// Assigns initial states: constants, parameters and other kernel
     /// sources get their exact (symbolic) singletons; everything else
     /// starts at `∅` and grows.
-    fn seed(&mut self, symbols: &mut SymbolTable) {
+    fn seed(&mut self, symbols: &mut Minter) {
         for v in self.f.value_ids() {
             let data = self.f.value(v);
             if data.ty() != Some(Ty::Int) {

@@ -61,4 +61,6 @@
 
 mod analysis;
 
-pub use analysis::{FunctionRanges, RangeAnalysis, RangeConfig};
+pub use analysis::{
+    analyze_function_part, symbol_budget, FunctionRanges, RangeAnalysis, RangeConfig, RangePart,
+};

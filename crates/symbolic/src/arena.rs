@@ -1,0 +1,542 @@
+//! Hash-consing of symbolic expressions: the [`ExprArena`].
+//!
+//! The canonical [`SymExpr`] representation makes *syntactic* equality
+//! decide semantic equality for the affine fragment — but deciding it
+//! still walks two trees, and the order queries (`try_le`) clone and
+//! re-canonicalize their operands on every call. That is invisible in a
+//! single fixpoint sweep and dominant in all-pairs alias evaluation,
+//! where the same handful of bounds (`[0, 0]`, `[0, N−1]`, `[i, i]`, …)
+//! is compared against every other pointer's bounds thousands of times.
+//!
+//! The arena interns expressions once, handing out dense [`ExprId`]
+//! handles:
+//!
+//! * structural equality becomes an integer compare (`O(1)`),
+//! * order queries and min/max/± simplifications are memoised by id
+//!   pair, so each distinct comparison is computed exactly once,
+//! * interval disjointness — the single hottest operation of the alias
+//!   tests — reduces to two memoised endpoint comparisons
+//!   ([`ExprArena::ranges_disjoint`]), skipping the `min`/`max` bound
+//!   construction the full `meet` performs.
+//!
+//! Every memoised operation answers exactly like the corresponding
+//! `SymExpr` / [`SymRange`] operation (delegation on a miss, or a
+//! proven-equivalent short-cut); the equivalence property tests in the
+//! workspace pin this.
+//!
+//! # Examples
+//!
+//! ```
+//! use sra_symbolic::{ExprArena, SymExpr, Symbol};
+//!
+//! let mut arena = ExprArena::new();
+//! let n = SymExpr::from(Symbol::new(0));
+//! let a = arena.intern(&(n.clone() + 1.into()));
+//! let b = arena.intern(&(SymExpr::from(1) + n.clone()));
+//! assert_eq!(a, b); // structural equality is id equality
+//! let z = arena.intern(&n);
+//! assert_eq!(arena.try_le(z, a), Some(true)); // memoised after this
+//! ```
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::bound::Bound;
+use crate::expr::SymExpr;
+use crate::range::SymRange;
+
+/// A fast, non-cryptographic hasher (the `rustc-hash`/Firefox "fx"
+/// multiply-rotate scheme). The interning maps hash whole expression
+/// trees on every lookup; SipHash's per-byte cost dominates small
+/// functions' matrix builds, while fx is a handful of cycles per word.
+/// Not DoS-resistant — fine for analysis-internal keys.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_i128(&mut self, i: i128) {
+        self.add(i as u64);
+        self.add((i >> 64) as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A dense handle to an interned [`SymExpr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ExprId(u32);
+
+impl ExprId {
+    /// The raw index into the arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interned interval endpoint: [`Bound`] with the finite expression
+/// replaced by its [`ExprId`]. `Copy`, hashable, `O(1)` to compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BoundRef {
+    /// `−∞`.
+    NegInf,
+    /// A finite interned expression.
+    Fin(ExprId),
+    /// `+∞`.
+    PosInf,
+}
+
+/// An interned symbolic interval: [`SymRange`] by handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RangeRef {
+    /// The empty range `∅`.
+    Empty,
+    /// `[lo, hi]`.
+    Interval(BoundRef, BoundRef),
+}
+
+/// Cache-effectiveness counters (exposed for benches and tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Distinct expressions interned.
+    pub exprs: usize,
+    /// Memo hits across all memoised operations.
+    pub hits: u64,
+    /// Memo misses (first-time computations).
+    pub misses: u64,
+}
+
+/// A hash-consing arena for [`SymExpr`]s with memoised comparison and
+/// simplification.
+///
+/// Not shared between threads: the batch driver gives each worker its
+/// own arena, which keeps the results deterministic (caches only skip
+/// recomputation, they never change an answer) without any locking on
+/// the hot path.
+#[derive(Debug, Default)]
+pub struct ExprArena {
+    exprs: Vec<SymExpr>,
+    index: FxHashMap<SymExpr, ExprId>,
+    le_memo: FxHashMap<(ExprId, ExprId), Option<bool>>,
+    lt_memo: FxHashMap<(ExprId, ExprId), Option<bool>>,
+    min_memo: FxHashMap<(ExprId, ExprId), ExprId>,
+    max_memo: FxHashMap<(ExprId, ExprId), ExprId>,
+    add_memo: FxHashMap<(ExprId, ExprId), ExprId>,
+    sub_memo: FxHashMap<(ExprId, ExprId), ExprId>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ExprArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `e`, returning the id of the canonical copy. Equal
+    /// expressions always receive equal ids.
+    pub fn intern(&mut self, e: &SymExpr) -> ExprId {
+        if let Some(&id) = self.index.get(e) {
+            return id;
+        }
+        let id = ExprId(self.exprs.len() as u32);
+        self.exprs.push(e.clone());
+        self.index.insert(e.clone(), id);
+        id
+    }
+
+    /// The expression behind a handle.
+    pub fn expr(&self, id: ExprId) -> &SymExpr {
+        &self.exprs[id.index()]
+    }
+
+    /// Number of distinct expressions interned.
+    pub fn len(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// `true` when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.exprs.is_empty()
+    }
+
+    /// Cache counters.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            exprs: self.exprs.len(),
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+
+    /// Interns both endpoints of a bound.
+    pub fn intern_bound(&mut self, b: &Bound) -> BoundRef {
+        match b {
+            Bound::NegInf => BoundRef::NegInf,
+            Bound::PosInf => BoundRef::PosInf,
+            Bound::Fin(e) => BoundRef::Fin(self.intern(e)),
+        }
+    }
+
+    /// Interns a range endpoint-wise.
+    pub fn intern_range(&mut self, r: &SymRange) -> RangeRef {
+        match r {
+            SymRange::Empty => RangeRef::Empty,
+            SymRange::Interval { lo, hi } => {
+                RangeRef::Interval(self.intern_bound(lo), self.intern_bound(hi))
+            }
+        }
+    }
+
+    /// Reconstructs the [`Bound`] behind a handle (clones the
+    /// expression).
+    pub fn bound(&self, b: BoundRef) -> Bound {
+        match b {
+            BoundRef::NegInf => Bound::NegInf,
+            BoundRef::PosInf => Bound::PosInf,
+            BoundRef::Fin(e) => Bound::Fin(self.expr(e).clone()),
+        }
+    }
+
+    /// Reconstructs the [`SymRange`] behind a handle.
+    pub fn range(&self, r: RangeRef) -> SymRange {
+        match r {
+            RangeRef::Empty => SymRange::Empty,
+            RangeRef::Interval(lo, hi) => SymRange::Interval {
+                lo: self.bound(lo),
+                hi: self.bound(hi),
+            },
+        }
+    }
+
+    /// Memoised [`SymExpr::try_le`].
+    pub fn try_le(&mut self, a: ExprId, b: ExprId) -> Option<bool> {
+        if let Some(&r) = self.le_memo.get(&(a, b)) {
+            self.hits += 1;
+            return r;
+        }
+        self.misses += 1;
+        let r = self.exprs[a.index()].try_le(&self.exprs[b.index()]);
+        self.le_memo.insert((a, b), r);
+        r
+    }
+
+    /// Memoised [`SymExpr::try_lt`].
+    pub fn try_lt(&mut self, a: ExprId, b: ExprId) -> Option<bool> {
+        if let Some(&r) = self.lt_memo.get(&(a, b)) {
+            self.hits += 1;
+            return r;
+        }
+        self.misses += 1;
+        let r = self.exprs[a.index()].try_lt(&self.exprs[b.index()]);
+        self.lt_memo.insert((a, b), r);
+        r
+    }
+
+    /// Memoised [`SymExpr::min`] (the simplifying smart constructor).
+    pub fn min(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        if let Some(&r) = self.min_memo.get(&(a, b)) {
+            self.hits += 1;
+            return r;
+        }
+        self.misses += 1;
+        let e = SymExpr::min(self.exprs[a.index()].clone(), self.exprs[b.index()].clone());
+        let id = self.intern(&e);
+        self.min_memo.insert((a, b), id);
+        id
+    }
+
+    /// Memoised [`SymExpr::max`].
+    pub fn max(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        if let Some(&r) = self.max_memo.get(&(a, b)) {
+            self.hits += 1;
+            return r;
+        }
+        self.misses += 1;
+        let e = SymExpr::max(self.exprs[a.index()].clone(), self.exprs[b.index()].clone());
+        let id = self.intern(&e);
+        self.max_memo.insert((a, b), id);
+        id
+    }
+
+    /// Memoised addition.
+    pub fn add(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        if let Some(&r) = self.add_memo.get(&(a, b)) {
+            self.hits += 1;
+            return r;
+        }
+        self.misses += 1;
+        let e = self.exprs[a.index()].clone() + self.exprs[b.index()].clone();
+        let id = self.intern(&e);
+        self.add_memo.insert((a, b), id);
+        id
+    }
+
+    /// Memoised subtraction.
+    pub fn sub(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        if let Some(&r) = self.sub_memo.get(&(a, b)) {
+            self.hits += 1;
+            return r;
+        }
+        self.misses += 1;
+        let e = self.exprs[a.index()].clone() - self.exprs[b.index()].clone();
+        let id = self.intern(&e);
+        self.sub_memo.insert((a, b), id);
+        id
+    }
+
+    /// Memoised [`Bound::try_le`] on interned bounds.
+    pub fn bound_try_le(&mut self, a: BoundRef, b: BoundRef) -> Option<bool> {
+        match (a, b) {
+            (BoundRef::NegInf, _) | (_, BoundRef::PosInf) => Some(true),
+            (BoundRef::PosInf, _) | (_, BoundRef::NegInf) => Some(false),
+            (BoundRef::Fin(x), BoundRef::Fin(y)) => self.try_le(x, y),
+        }
+    }
+
+    /// Memoised [`Bound::try_lt`] on interned bounds.
+    pub fn bound_try_lt(&mut self, a: BoundRef, b: BoundRef) -> Option<bool> {
+        match (a, b) {
+            (BoundRef::NegInf, BoundRef::NegInf) | (BoundRef::PosInf, BoundRef::PosInf) => {
+                Some(false)
+            }
+            (BoundRef::NegInf, _) | (_, BoundRef::PosInf) => Some(true),
+            (BoundRef::PosInf, _) | (_, BoundRef::NegInf) => Some(false),
+            (BoundRef::Fin(x), BoundRef::Fin(y)) => self.try_lt(x, y),
+        }
+    }
+
+    /// Memoised provable-disjointness test, equal to
+    /// `range(a).meet(&range(b)).is_empty()`.
+    ///
+    /// This is the workhorse of the alias queries (`QGR`'s
+    /// `may_overlap` and `QLR`'s offset comparison). Two endpoint
+    /// comparisons decide it: `[l₁,h₁] ⊓ [l₂,h₂] = ∅ ⟺ h₁ < l₂ ∨
+    /// h₂ < l₁` — for *normalized* operands (every range the analyses
+    /// store) the `meet` construction's third chance to detect
+    /// emptiness, `min(h₁,h₂) < max(l₁,l₂)` on the freshly built
+    /// bounds, proves strictly less than the direct checks: its proof
+    /// must case-split away the outer `min`/`max` first, reaching the
+    /// same `hᵢ < lⱼ` obligations with *less* depth budget, and the
+    /// within-range branches `hᵢ < lᵢ` are unprovable or the input
+    /// would have normalized to `∅`. The debug assertion and the
+    /// `disjoint_in_matches_meet` property test keep the two paths
+    /// pinned together.
+    pub fn ranges_disjoint(&mut self, a: RangeRef, b: RangeRef) -> bool {
+        let r = match (a, b) {
+            (RangeRef::Empty, _) | (_, RangeRef::Empty) => true,
+            (RangeRef::Interval(l1, h1), RangeRef::Interval(l2, h2)) => {
+                self.bound_try_lt(h1, l2) == Some(true) || self.bound_try_lt(h2, l1) == Some(true)
+            }
+        };
+        debug_assert_eq!(
+            r,
+            self.range(a).meet(&self.range(b)).is_empty(),
+            "endpoint disjointness must agree with meet-emptiness for {} and {}",
+            self.range(a),
+            self.range(b),
+        );
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Symbol;
+
+    fn n() -> SymExpr {
+        SymExpr::from(Symbol::new(0))
+    }
+
+    fn m() -> SymExpr {
+        SymExpr::from(Symbol::new(1))
+    }
+
+    #[test]
+    fn interning_is_canonical() {
+        let mut a = ExprArena::new();
+        let x = a.intern(&(n() + 2.into()));
+        let y = a.intern(&(SymExpr::from(2) + n()));
+        let z = a.intern(&(n() + 3.into()));
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.expr(x), &(n() + 2.into()));
+    }
+
+    #[test]
+    fn try_le_matches_uncached_and_memoises() {
+        let mut a = ExprArena::new();
+        let pairs = [
+            (n(), n() + 1.into()),
+            (n() + 1.into(), n()),
+            (n(), m()),
+            (SymExpr::min(n(), m()), n()),
+            (SymExpr::from(3), SymExpr::from(7)),
+        ];
+        for (x, y) in &pairs {
+            let xi = a.intern(x);
+            let yi = a.intern(y);
+            assert_eq!(a.try_le(xi, yi), x.try_le(y));
+        }
+        let before = a.stats();
+        for (x, y) in &pairs {
+            let xi = a.intern(x);
+            let yi = a.intern(y);
+            let _ = a.try_le(xi, yi);
+        }
+        let after = a.stats();
+        assert_eq!(after.misses, before.misses, "second round is all hits");
+        assert!(after.hits > before.hits);
+    }
+
+    #[test]
+    fn min_max_match_smart_constructors() {
+        let mut a = ExprArena::new();
+        let x = a.intern(&n());
+        let y = a.intern(&(n() + 1.into()));
+        let z = a.intern(&m());
+        let mn = a.min(x, y);
+        assert_eq!(a.expr(mn), &SymExpr::min(n(), n() + 1.into()));
+        let mx = a.max(x, y);
+        assert_eq!(a.expr(mx), &SymExpr::max(n(), n() + 1.into()));
+        let opaque = a.min(x, z);
+        assert_eq!(a.expr(opaque), &SymExpr::min(n(), m()));
+        // add/sub round-trip.
+        let sum = a.add(x, z);
+        assert_eq!(a.expr(sum), &(n() + m()));
+        let diff = a.sub(x, z);
+        assert_eq!(a.expr(diff), &(n() - m()));
+    }
+
+    #[test]
+    fn bound_comparisons_with_infinities() {
+        let mut a = ExprArena::new();
+        let f = {
+            let id = a.intern(&n());
+            BoundRef::Fin(id)
+        };
+        assert_eq!(a.bound_try_le(BoundRef::NegInf, f), Some(true));
+        assert_eq!(a.bound_try_lt(f, BoundRef::PosInf), Some(true));
+        assert_eq!(a.bound_try_le(BoundRef::PosInf, f), Some(false));
+        assert_eq!(
+            a.bound_try_lt(BoundRef::PosInf, BoundRef::PosInf),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn ranges_disjoint_matches_meet() {
+        let mut a = ExprArena::new();
+        let cases = [
+            // The Figure 1 criterion.
+            (
+                SymRange::interval(0.into(), n() - 1.into()),
+                SymRange::interval(n(), n() + m() - 1.into()),
+            ),
+            // Overlapping for some valuation.
+            (
+                SymRange::interval(0.into(), n() + 1.into()),
+                SymRange::interval(1.into(), n() + 2.into()),
+            ),
+            // Distinct symbols: unknown, conservatively not disjoint.
+            (
+                SymRange::interval(0.into(), n()),
+                SymRange::interval(m(), m() + 1.into()),
+            ),
+            (SymRange::empty(), SymRange::top()),
+            (SymRange::constant(3), SymRange::constant(4)),
+        ];
+        for (x, y) in &cases {
+            let xi = a.intern_range(x);
+            let yi = a.intern_range(y);
+            let expect = x.meet(y).is_empty();
+            assert_eq!(a.ranges_disjoint(xi, yi), expect, "{x} vs {y}");
+            // Symmetric.
+            assert_eq!(a.ranges_disjoint(yi, xi), expect);
+        }
+        // Repeating every query is all memo hits (or infinity
+        // fast-paths that never touch the memo).
+        let misses = a.stats().misses;
+        for (x, y) in &cases {
+            let xi = a.intern_range(x);
+            let yi = a.intern_range(y);
+            let _ = a.ranges_disjoint(xi, yi);
+        }
+        assert_eq!(a.stats().misses, misses);
+    }
+
+    #[test]
+    fn range_roundtrip() {
+        let mut a = ExprArena::new();
+        for r in [
+            SymRange::empty(),
+            SymRange::top(),
+            SymRange::interval(0.into(), n()),
+            SymRange::with_bounds(Bound::from(0), Bound::PosInf),
+        ] {
+            let id = a.intern_range(&r);
+            assert_eq!(a.range(id), r);
+        }
+    }
+}

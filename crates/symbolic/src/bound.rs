@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::arena::ExprArena;
 use crate::expr::SymExpr;
 use crate::symbol::SymbolNames;
 
@@ -62,6 +63,23 @@ impl Bound {
             (Bound::PosInf, _) | (_, Bound::NegInf) => Some(false),
             (Bound::Fin(a), Bound::Fin(b)) => a.try_lt(b),
         }
+    }
+
+    /// Memoised variant of [`Bound::try_le`]: interns both endpoints in
+    /// `arena` so the underlying expression comparison is computed at
+    /// most once per distinct pair. Answers are identical to the
+    /// uncached path.
+    pub fn try_le_in(&self, other: &Bound, arena: &mut ExprArena) -> Option<bool> {
+        let a = arena.intern_bound(self);
+        let b = arena.intern_bound(other);
+        arena.bound_try_le(a, b)
+    }
+
+    /// Memoised variant of [`Bound::try_lt`]; see [`Bound::try_le_in`].
+    pub fn try_lt_in(&self, other: &Bound, arena: &mut ExprArena) -> Option<bool> {
+        let a = arena.intern_bound(self);
+        let b = arena.intern_bound(other);
+        arena.bound_try_lt(a, b)
     }
 
     /// The smaller of two bounds, building a symbolic `min` when the

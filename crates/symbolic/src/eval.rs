@@ -2,15 +2,28 @@
 //!
 //! A [`Valuation`] assigns concrete integers to kernel symbols so that
 //! expressions, bounds and ranges can be evaluated and the algebraic
-//! laws of the lattice checked against ground truth. Arithmetic
-//! saturates exactly like the canonicalizer in [`crate::SymExpr`], so a
-//! property test comparing `eval(a op b)` with `eval(a) op eval(b)` is
-//! exact.
+//! laws of the lattice checked against ground truth.
+//!
+//! Saturation semantics match the interpreter oracle's: a saturating
+//! binary op is "the mathematical result, clamped once". The affine
+//! combination `c₀ + Σ cᵢ·tᵢ` is therefore accumulated **exactly** in
+//! 256-bit arithmetic and clamped at the end — clamping intermediate
+//! products would mis-evaluate e.g. `x − y` at `y = i128::MIN`, where
+//! the canonical form's `(−1)·y` overflows `i128` while the
+//! mathematical sum `x + 2¹²⁷` may still clamp differently (the
+//! `arith_crosscheck` suite caught exactly that divergence). Products
+//! *within* a term and the opaque `min`/`max`/`div`/`mod` atoms
+//! saturate pairwise, like the interpreter evaluating one op at a time
+//! — but in the term's canonical (sorted) atom order, which for 3+-atom
+//! products can differ from program order once an intermediate product
+//! saturates. That residual divergence is inherent to canonicalization
+//! (see the contract note in [`crate::SymExpr`]'s module docs) and
+//! pinned in `tests/arith_crosscheck.rs`.
 
 use std::collections::HashMap;
 
 use crate::bound::Bound;
-use crate::expr::{Atom, SymExpr};
+use crate::expr::{sat_div, sat_rem, Atom, SymExpr};
 use crate::range::SymRange;
 use crate::symbol::Symbol;
 
@@ -50,15 +63,15 @@ impl Valuation {
     /// Evaluates an expression; `None` when the expression divides by a
     /// zero denominator (undefined program behaviour).
     pub fn eval(&self, e: &SymExpr) -> Option<i128> {
-        let mut acc = e.eval_constant_part();
+        let mut acc = I256::from_i128(e.eval_constant_part());
         for (atoms, coeff) in e.eval_terms() {
             let mut prod: i128 = 1;
             for atom in atoms {
                 prod = prod.saturating_mul(self.eval_atom(atom)?);
             }
-            acc = acc.saturating_add(prod.saturating_mul(coeff));
+            acc = acc.add(I256::mul_i128(prod, coeff));
         }
-        Some(acc)
+        Some(acc.clamp_i128())
     }
 
     fn eval_atom(&self, atom: &Atom) -> Option<i128> {
@@ -71,7 +84,7 @@ impl Valuation {
                 if d == 0 {
                     None
                 } else {
-                    Some(self.eval(a)?.checked_div(d).unwrap_or(i128::MAX))
+                    Some(sat_div(self.eval(a)?, d))
                 }
             }
             Atom::Mod(a, b) => {
@@ -79,7 +92,7 @@ impl Valuation {
                 if d == 0 {
                     None
                 } else {
-                    Some(self.eval(a)?.checked_rem(d).unwrap_or(0))
+                    Some(sat_rem(self.eval(a)?, d))
                 }
             }
         }
@@ -115,6 +128,113 @@ impl Valuation {
             }
         }
     }
+}
+
+/// A signed 256-bit accumulator for the affine combination, with a
+/// wrap counter that keeps the sum exact past ±(2²⁵⁵−1): a single
+/// `c·t` product of two `i128`s is bounded by 2²⁵⁴, but *two* such
+/// terms can already exceed the 256-bit range, and sums of up to
+/// `MAX_EXPR_ATOMS` of them reach ~2²⁶⁰. Every 256-bit wrap is counted
+/// (`wraps` holds the missing multiples of 2²⁵⁶), so intermediate
+/// overflow — including later cancellation back into range — never
+/// distorts the final, single clamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct I256 {
+    /// High 128 bits (two's complement).
+    hi: i128,
+    /// Low 128 bits.
+    lo: u128,
+    /// Signed count of 2²⁵⁶ wraps the accumulated value owes.
+    wraps: i32,
+}
+
+impl I256 {
+    fn from_i128(x: i128) -> I256 {
+        I256 {
+            hi: if x < 0 { -1 } else { 0 },
+            lo: x as u128,
+            wraps: 0,
+        }
+    }
+
+    fn add(self, o: I256) -> I256 {
+        let (lo, carry) = self.lo.overflowing_add(o.lo);
+        let hi = self.hi.wrapping_add(o.hi).wrapping_add(carry as i128);
+        // Signed-overflow rule on the 256-bit value (sign = `hi`'s):
+        // like signs in, opposite sign out ⇒ one wrap in that
+        // direction.
+        let mut wraps = self.wraps + o.wraps;
+        if self.hi < 0 && o.hi < 0 && hi >= 0 {
+            wraps -= 1;
+        } else if self.hi >= 0 && o.hi >= 0 && hi < 0 {
+            wraps += 1;
+        }
+        I256 { hi, lo, wraps }
+    }
+
+    fn neg(self) -> I256 {
+        let lo = (!self.lo).wrapping_add(1);
+        let hi = (!self.hi).wrapping_add((lo == 0) as i128);
+        // −(−2²⁵⁵) wraps back onto itself and owes one 2²⁵⁶.
+        let boundary = self.hi == i128::MIN && self.lo == 0;
+        I256 {
+            hi,
+            lo,
+            wraps: -self.wraps + boundary as i32,
+        }
+    }
+
+    /// Exact `a × b` as a 256-bit value.
+    fn mul_i128(a: i128, b: i128) -> I256 {
+        let negate = (a < 0) != (b < 0);
+        let (hi, lo) = umul128(a.unsigned_abs(), b.unsigned_abs());
+        // |a|·|b| ≤ 2²⁵⁴, so `hi ≤ 2¹²⁶` fits i128 as a non-negative.
+        let r = I256 {
+            hi: hi as i128,
+            lo,
+            wraps: 0,
+        };
+        if negate {
+            r.neg()
+        } else {
+            r
+        }
+    }
+
+    /// Clamps to the `i128` range (the single, final saturation).
+    fn clamp_i128(self) -> i128 {
+        if self.wraps != 0 {
+            // True value = stored ± wraps·2²⁵⁶; with |stored| < 2²⁵⁵
+            // the wrap term dominates, fixing the sign.
+            return if self.wraps > 0 { i128::MAX } else { i128::MIN };
+        }
+        let lo = self.lo as i128;
+        let ext = if lo < 0 { -1 } else { 0 };
+        if self.hi == ext {
+            lo
+        } else if self.hi < ext {
+            i128::MIN
+        } else {
+            i128::MAX
+        }
+    }
+}
+
+/// Full 128×128→256 unsigned multiplication (schoolbook on 64-bit
+/// limbs).
+fn umul128(a: u128, b: u128) -> (u128, u128) {
+    const LO: u128 = u64::MAX as u128;
+    let (a0, a1) = (a & LO, a >> 64);
+    let (b0, b1) = (b & LO, b >> 64);
+    let ll = a0 * b0;
+    let lh = a0 * b1;
+    let hl = a1 * b0;
+    let hh = a1 * b1;
+    // `mid` can carry past 64 bits (it sums three 64-bit values).
+    let mid = (ll >> 64) + (lh & LO) + (hl & LO);
+    let lo = (ll & LO) | ((mid & LO) << 64);
+    let hi = hh + (lh >> 64) + (hl >> 64) + (mid >> 64);
+    (hi, lo)
 }
 
 /// A bound evaluated to the extended integers.
@@ -182,6 +302,71 @@ mod tests {
         assert_eq!(v.eval(&SymExpr::rem(sym(0), 2.into())), Some(1));
         // Division by a symbol that is 0 is undefined.
         assert_eq!(v.eval(&SymExpr::div(sym(0), sym(1))), None);
+    }
+
+    #[test]
+    fn wide_accumulator_is_exact() {
+        // 2¹²⁷ · 1 clamps to MAX only at the end.
+        let p = I256::mul_i128(i128::MIN, -1);
+        assert_eq!(p.clamp_i128(), i128::MAX);
+        // … and cancels exactly before clamping: 2¹²⁷ − 2¹²⁷ = 0.
+        assert_eq!(p.add(I256::mul_i128(i128::MIN, 1)).clamp_i128(), 0);
+        // Largest product magnitude round-trips.
+        let big = I256::mul_i128(i128::MIN, i128::MIN);
+        assert_eq!(big.neg().neg(), big);
+        assert_eq!(big.clamp_i128(), i128::MAX);
+        assert_eq!(big.neg().clamp_i128(), i128::MIN);
+        // umul128 against a known identity: (2⁶⁴+3)² = 2¹²⁸ + 6·2⁶⁴ + 9.
+        let x = (1u128 << 64) + 3;
+        assert_eq!(umul128(x, x), (1, 6 * (1u128 << 64) + 9));
+    }
+
+    #[test]
+    fn wide_accumulator_survives_256bit_overflow() {
+        // Two +2²⁵⁴ terms exceed the plain 256-bit range; the wrap
+        // counter keeps the sign.
+        let big = I256::mul_i128(i128::MIN, i128::MIN); // +2²⁵⁴
+        let two = big.add(big); // +2²⁵⁵: wrapped, counted
+        assert_eq!(two.clamp_i128(), i128::MAX);
+        assert_eq!(two.neg().clamp_i128(), i128::MIN);
+        let four = two.add(two); // +2²⁵⁶
+        assert_eq!(four.clamp_i128(), i128::MAX);
+        // …and cancellation back into range stays exact:
+        // 2²⁵⁵ − 2²⁵⁴ − 2²⁵⁴ + 7 = 7.
+        let back = two.add(big.neg()).add(big.neg()).add(I256::from_i128(7));
+        assert_eq!(back.clamp_i128(), 7);
+        // Through the public evaluator: MIN·x + MIN·y at x = y = MIN is
+        // two +2²⁵⁴ terms; the sum +2²⁵⁵ must clamp to MAX, not wrap
+        // negative.
+        let x = Symbol::new(0);
+        let y = Symbol::new(1);
+        let e = SymExpr::from(i128::MIN) * SymExpr::from(x)
+            + SymExpr::from(i128::MIN) * SymExpr::from(y);
+        let mut v = Valuation::new();
+        v.set(x, i128::MIN);
+        v.set(y, i128::MIN);
+        assert_eq!(v.eval(&e), Some(i128::MAX));
+    }
+
+    #[test]
+    fn eval_matches_single_op_saturation() {
+        // x − y at the corner that exposes intermediate-clamp bugs:
+        // MIN − MIN = 0, and −1 − MIN = MAX exactly.
+        let x = Symbol::new(0);
+        let y = Symbol::new(1);
+        let diff = SymExpr::from(x) - SymExpr::from(y);
+        let mut v = Valuation::new();
+        v.set(x, i128::MIN);
+        v.set(y, i128::MIN);
+        assert_eq!(v.eval(&diff), Some(0));
+        v.set(x, -1);
+        assert_eq!(v.eval(&diff), Some(i128::MAX));
+        v.set(x, i128::MAX);
+        v.set(y, 1);
+        assert_eq!(
+            v.eval(&(SymExpr::from(x) + SymExpr::from(y))),
+            Some(i128::MAX)
+        );
     }
 
     #[test]

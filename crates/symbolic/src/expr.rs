@@ -12,6 +12,17 @@
 //! analyses that sit on top only ever feed bounded program constants, and
 //! the concrete-evaluation oracle in [`crate::Valuation`] uses the same
 //! saturation so property tests compare like with like.
+//!
+//! **Semantics contract.** Canonicalization applies *mathematical*
+//! identities (commuting sums, merging like terms, exact division).
+//! Saturating arithmetic is neither associative nor stable under such
+//! rewriting, so exact agreement with an op-by-op saturating evaluator
+//! (the interpreter) is guaranteed for single operations and whenever no
+//! intermediate value saturates — which covers every UB-free pointer
+//! workload, where offsets are bounded by allocation sizes. Past the
+//! saturation boundary the canonical form evaluates the *rewritten*
+//! expression; `tests/arith_crosscheck.rs` pins both the agreement
+//! regime and the known boundary divergences.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -87,6 +98,21 @@ fn sat_add(a: i128, b: i128) -> i128 {
 
 fn sat_mul(a: i128, b: i128) -> i128 {
     a.saturating_mul(b)
+}
+
+/// Truncating division with the same saturation as the concrete
+/// evaluator ([`crate::Valuation`]) and the interpreter oracle:
+/// `i128::MIN / -1` saturates to `i128::MAX` instead of overflowing.
+/// Callers must rule out `b == 0` first.
+pub(crate) fn sat_div(a: i128, b: i128) -> i128 {
+    a.checked_div(b).unwrap_or(i128::MAX)
+}
+
+/// Truncating remainder matching the concrete evaluator:
+/// `i128::MIN % -1` is 0 (the mathematical result `checked_rem` refuses
+/// to produce). Callers must rule out `b == 0` first.
+pub(crate) fn sat_rem(a: i128, b: i128) -> i128 {
+    a.checked_rem(b).unwrap_or(0)
 }
 
 /// A symbolic expression in canonical affine form.
@@ -244,19 +270,29 @@ impl SymExpr {
     /// constant; otherwise produces an opaque `Div` atom. Division by the
     /// constant zero yields an opaque atom as well (the program would be
     /// undefined; any value is a sound abstraction).
+    ///
+    /// Like every canonicalization here, the exact-division fold is a
+    /// *mathematical* identity (`6x/3 = 2x` over ℤ); in a program whose
+    /// intermediate values saturate, the folded form can evaluate
+    /// differently from the op-by-op original (saturation does not
+    /// commute with rewriting). See the crate docs and the
+    /// `arith_crosscheck` suite for the exact agreement contract.
     #[allow(clippy::should_implement_trait)] // associated constructor, not `Div::div`
     pub fn div(a: SymExpr, b: SymExpr) -> SymExpr {
         if let (Some(x), Some(y)) = (a.as_constant(), b.as_constant()) {
             if y != 0 {
-                return SymExpr::from(x / y);
+                return SymExpr::from(sat_div(x, y));
             }
         }
         if let Some(d) = b.as_constant() {
-            if d != 0 && a.constant % d == 0 && a.terms.values().all(|&c| c % d == 0) {
+            if d != 0
+                && sat_rem(a.constant, d) == 0
+                && a.terms.values().all(|&c| sat_rem(c, d) == 0)
+            {
                 let mut out = SymExpr::zero();
-                out.constant = a.constant / d;
+                out.constant = sat_div(a.constant, d);
                 for (t, &c) in &a.terms {
-                    out.add_term(t.clone(), c / d);
+                    out.add_term(t.clone(), sat_div(c, d));
                 }
                 return out;
             }
@@ -270,7 +306,7 @@ impl SymExpr {
     pub fn rem(a: SymExpr, b: SymExpr) -> SymExpr {
         if let (Some(x), Some(y)) = (a.as_constant(), b.as_constant()) {
             if y != 0 {
-                return SymExpr::from(x % y);
+                return SymExpr::from(sat_rem(x, y));
             }
         }
         SymExpr::from_atom(Atom::Mod(Box::new(a), Box::new(b)))

@@ -40,12 +40,16 @@
 //! assert!(a.meet(&b).is_empty());
 //! ```
 
+mod arena;
 mod bound;
 mod eval;
 mod expr;
 mod range;
 mod symbol;
 
+pub use arena::{
+    ArenaStats, BoundRef, ExprArena, ExprId, FxBuildHasher, FxHashMap, FxHasher, RangeRef,
+};
 pub use bound::Bound;
 pub use eval::Valuation;
 pub use expr::{Atom, SymExpr};

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::arena::ExprArena;
 use crate::bound::Bound;
 use crate::expr::SymExpr;
 use crate::symbol::SymbolNames;
@@ -382,6 +383,22 @@ impl SymRange {
     /// the alias queries' "may overlap" check.
     pub fn may_overlap(&self, other: &SymRange) -> bool {
         !self.meet(other).is_empty()
+    }
+
+    /// Memoised provable-disjointness: `self ⊓ other = ∅`, computed
+    /// through `arena` so repeated comparisons of the same interval
+    /// pair (the all-pairs alias workload) are `O(1)` after the first.
+    /// Identical answers to `self.meet(other).is_empty()`.
+    pub fn disjoint_in(&self, other: &SymRange, arena: &mut ExprArena) -> bool {
+        let a = arena.intern_range(self);
+        let b = arena.intern_range(other);
+        arena.ranges_disjoint(a, b)
+    }
+
+    /// Memoised variant of [`SymRange::may_overlap`]; see
+    /// [`SymRange::disjoint_in`].
+    pub fn may_overlap_in(&self, other: &SymRange, arena: &mut ExprArena) -> bool {
+        !self.disjoint_in(other, arena)
     }
 
     /// Restricts to `[−∞, b]` (the paper's `p₁ ∩ [−∞, p₂]` σ-node).

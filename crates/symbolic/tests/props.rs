@@ -265,6 +265,35 @@ proptest! {
     fn meet_commutative(a in arb_range(), b in arb_range()) {
         prop_assert_eq!(a.meet(&b), b.meet(&a));
     }
+
+    /// The arena's memoised disjointness (two endpoint comparisons)
+    /// agrees with full meet-emptiness on every normalized range pair —
+    /// the equivalence the cached alias matrix is built on.
+    #[test]
+    fn disjoint_in_matches_meet(a in arb_range(), b in arb_range()) {
+        let mut arena = sra_symbolic::ExprArena::new();
+        let expect = a.meet(&b).is_empty();
+        prop_assert_eq!(a.disjoint_in(&b, &mut arena), expect, "{} vs {}", &a, &b);
+        // Repeat queries (memo hits) answer identically.
+        prop_assert_eq!(a.disjoint_in(&b, &mut arena), expect);
+        prop_assert_eq!(b.disjoint_in(&a, &mut arena), expect);
+    }
+
+    /// Interned bound comparisons agree with the direct ones.
+    #[test]
+    fn bound_cmp_in_matches_direct(a in arb_range(), b in arb_range()) {
+        let mut arena = sra_symbolic::ExprArena::new();
+        let bounds = |r: &SymRange| match r {
+            SymRange::Empty => vec![],
+            SymRange::Interval { lo, hi } => vec![lo.clone(), hi.clone()],
+        };
+        for x in bounds(&a) {
+            for y in bounds(&b) {
+                prop_assert_eq!(x.try_le_in(&y, &mut arena), x.try_le(&y));
+                prop_assert_eq!(x.try_lt_in(&y, &mut arena), x.try_lt(&y));
+            }
+        }
+    }
 }
 
 /// 4096-case sweep over the soundness laws the alias tests lean on:

@@ -1,12 +1,23 @@
 //! The evaluation harness: runs every analysis over a module and
 //! collects the statistics behind the paper's Figures 13 and 14 and the
 //! §5 symbolic-range census.
+//!
+//! Evaluation rides on the batch driver: the paper's pipeline runs with
+//! its per-function phases on a thread pool, every function's all-pairs
+//! rbaa verdicts come from a cached [`sra_core::AliasMatrix`], and the
+//! per-function metric rows are themselves computed on the pool (the
+//! baselines are immutable after analysis, so workers share them).
+//! Results are independent of the worker count; `evaluate` and
+//! `evaluate_with(m, 1)` produce identical rows.
 
 use std::time::{Duration, Instant};
 
 use sra_baselines::{BasicAlias, ScevAlias};
-use sra_core::{pointer_values, AliasAnalysis, AliasResult, RbaaAnalysis, WhichTest};
-use sra_ir::Module;
+use sra_core::{
+    analyze_parallel, pool, AliasAnalysis, AliasResult, BatchAnalysis, DriverConfig, RbaaAnalysis,
+    WhichTest,
+};
+use sra_ir::{FuncId, Module};
 
 /// Per-module evaluation results: one Figure 13/14 row.
 #[derive(Debug, Clone, Default)]
@@ -95,59 +106,91 @@ fn percent(n: usize, d: usize) -> f64 {
 }
 
 /// Runs rbaa, basicaa and scev-aa over `m`, querying every unordered
-/// pair of pointer values within each function.
+/// pair of pointer values within each function. Uses the batch driver
+/// with the default worker count; see [`evaluate_with`].
 pub fn evaluate(m: &Module) -> Metrics {
+    evaluate_with(m, pool::default_threads())
+}
+
+/// [`evaluate`] with an explicit worker count (`1` = fully serial).
+pub fn evaluate_with(m: &Module, threads: usize) -> Metrics {
+    // Figure 15 times only the paper's pipeline (bootstrap + GR + LR),
+    // not query evaluation — matrices are built outside the clock.
     let started = Instant::now();
-    let rbaa = RbaaAnalysis::analyze(m);
+    let rbaa = analyze_parallel(m, DriverConfig::with_threads(threads));
     let analysis_time = started.elapsed();
+    let batch = BatchAnalysis::from_rbaa(rbaa, m, threads);
     let basic = BasicAlias::analyze(m);
     let scev = ScevAlias::analyze(m);
+
+    let partials = pool::run_indexed(m.num_functions(), threads, |i| {
+        evaluate_function(FuncId::new(i), &batch, &basic, &scev)
+    });
 
     let mut out = Metrics {
         insts: m.num_insts(),
         analysis_time,
         ..Metrics::default()
     };
+    for row in &partials {
+        out.merge(row);
+    }
+    out
+}
 
-    for f in m.func_ids() {
-        let ptrs = pointer_values(m, f);
-        out.pointers += ptrs.len();
-        for (i, &p) in ptrs.iter().enumerate() {
-            for &q in &ptrs[i + 1..] {
-                out.queries += 1;
-                let (r, test) = rbaa.alias_with_test(f, p, q);
-                let rbaa_no = r == AliasResult::NoAlias;
-                if rbaa_no {
-                    out.rbaa_no += 1;
-                    match test {
-                        Some(WhichTest::DistinctLocs) => out.rbaa_distinct += 1,
-                        Some(WhichTest::Global) => out.rbaa_global += 1,
-                        Some(WhichTest::Local) => out.rbaa_local += 1,
-                        None => {}
-                    }
+/// One function's contribution to the Figure 13/14 row: the cached
+/// rbaa matrix cross-checked per query against both baselines, plus
+/// the §5 census.
+fn evaluate_function(
+    f: FuncId,
+    batch: &BatchAnalysis,
+    basic: &BasicAlias,
+    scev: &ScevAlias,
+) -> Metrics {
+    let rbaa = batch.rbaa();
+    let matrix = batch.matrix(f);
+    let ptrs = matrix.pointers();
+    let mut out = Metrics {
+        pointers: ptrs.len(),
+        ..Metrics::default()
+    };
+    for (i, &p) in ptrs.iter().enumerate() {
+        for &q in &ptrs[i + 1..] {
+            out.queries += 1;
+            let (r, test) = matrix
+                .lookup(p, q)
+                .expect("matrix covers its own pointer universe");
+            let rbaa_no = r == AliasResult::NoAlias;
+            if rbaa_no {
+                out.rbaa_no += 1;
+                match test {
+                    Some(WhichTest::DistinctLocs) => out.rbaa_distinct += 1,
+                    Some(WhichTest::Global) => out.rbaa_global += 1,
+                    Some(WhichTest::Local) => out.rbaa_local += 1,
+                    None => {}
                 }
-                let basic_no = basic.alias(f, p, q) == AliasResult::NoAlias;
-                if basic_no {
-                    out.basic_no += 1;
-                }
-                if scev.alias(f, p, q) == AliasResult::NoAlias {
-                    out.scev_no += 1;
-                }
-                if rbaa_no || basic_no {
-                    out.rb_no += 1;
-                }
+            }
+            let basic_no = basic.alias(f, p, q) == AliasResult::NoAlias;
+            if basic_no {
+                out.basic_no += 1;
+            }
+            if scev.alias(f, p, q) == AliasResult::NoAlias {
+                out.scev_no += 1;
+            }
+            if rbaa_no || basic_no {
+                out.rb_no += 1;
             }
         }
-        // §5 census: pointers whose GR ranges are symbolic.
-        for &p in &ptrs {
-            let st = rbaa.gr().state(f, p);
-            if st.is_top() || st.is_bottom() {
-                continue;
-            }
-            out.ranged_ptrs += 1;
-            if st.support().any(|(_, r)| r.is_symbolic()) {
-                out.symbolic_range_ptrs += 1;
-            }
+    }
+    // §5 census: pointers whose GR ranges are symbolic.
+    for &p in ptrs {
+        let st = rbaa.gr().state(f, p);
+        if st.is_top() || st.is_bottom() {
+            continue;
+        }
+        out.ranged_ptrs += 1;
+        if st.support().any(|(_, r)| r.is_symbolic()) {
+            out.symbolic_range_ptrs += 1;
         }
     }
     out
@@ -159,6 +202,14 @@ pub fn time_analysis(m: &Module) -> Duration {
     let started = Instant::now();
     let rbaa = RbaaAnalysis::analyze(m);
     // Keep the result alive so the work is not optimized away.
+    std::hint::black_box(&rbaa);
+    started.elapsed()
+}
+
+/// [`time_analysis`] through the batch driver with `threads` workers.
+pub fn time_analysis_parallel(m: &Module, threads: usize) -> Duration {
+    let started = Instant::now();
+    let rbaa = analyze_parallel(m, DriverConfig::with_threads(threads));
     std::hint::black_box(&rbaa);
     started.elapsed()
 }
@@ -196,6 +247,26 @@ mod tests {
             row.rbaa_pct(),
             row.scev_pct()
         );
+    }
+
+    #[test]
+    fn worker_count_does_not_change_rows() {
+        let b = suite::benchmark("allroots").unwrap();
+        let m = b.build().unwrap();
+        let serial = evaluate_with(&m, 1);
+        let parallel = evaluate_with(&m, 4);
+        // Every statistic matches; only wall time may differ.
+        assert_eq!(serial.queries, parallel.queries);
+        assert_eq!(serial.scev_no, parallel.scev_no);
+        assert_eq!(serial.basic_no, parallel.basic_no);
+        assert_eq!(serial.rbaa_no, parallel.rbaa_no);
+        assert_eq!(serial.rb_no, parallel.rb_no);
+        assert_eq!(serial.rbaa_distinct, parallel.rbaa_distinct);
+        assert_eq!(serial.rbaa_global, parallel.rbaa_global);
+        assert_eq!(serial.rbaa_local, parallel.rbaa_local);
+        assert_eq!(serial.pointers, parallel.pointers);
+        assert_eq!(serial.symbolic_range_ptrs, parallel.symbolic_range_ptrs);
+        assert_eq!(serial.ranged_ptrs, parallel.ranged_ptrs);
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Cross-check of arithmetic semantics between the two executable
+//! models of the system: the interpreter's saturating `i128` ops (the
+//! soundness oracle) and `sra-symbolic`'s expression evaluation (the
+//! algebra the analyses reason with).
+//!
+//! Both layers promise the same semantics — saturation at the `i128`
+//! boundaries, truncating division saturating `MIN / -1` to `MAX`,
+//! truncating remainder with `MIN % -1 = 0` — and the bootstrap range
+//! analysis silently assumes it when it assigns straight-line code
+//! exact symbolic singletons. This suite pins the promise:
+//!
+//! * **op-level**: for every `BinOp` and operand pairs including the
+//!   `i128` corners, a one-instruction IR function run under the
+//!   interpreter must produce exactly what [`Valuation::eval`] computes
+//!   for the symbolic singleton the range analysis assigned;
+//! * **tree-level**: random expression trees (in the non-saturating
+//!   regime, where reassociation cannot change results) agree end to
+//!   end;
+//! * the historical divergence this suite was built around — the
+//!   canonicalizer's constant folds for `/` and `mod` overflowed on
+//!   `i128::MIN / -1` where interpreter and evaluator saturate — is
+//!   pinned by direct regressions.
+
+use proptest::prelude::*;
+use sra::interp::{Interp, Value};
+use sra::ir::{BinOp, FunctionBuilder, Module, Ty, ValueId};
+use sra::range::RangeAnalysis;
+use sra::symbolic::{SymExpr, Symbol, Valuation};
+
+const OPS: [BinOp; 5] = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Rem];
+
+/// Builds `f(x, y) = x ⟨op⟩ y`, runs it concretely and symbolically,
+/// and compares. Returns `None` when the interpreter traps (division
+/// by zero — the evaluator agrees by reporting `None` there too, which
+/// is asserted).
+fn crosscheck_op(op: BinOp, x: i128, y: i128) -> Option<()> {
+    let mut b = FunctionBuilder::new("f", &[Ty::Int, Ty::Int], Some(Ty::Int));
+    let px = b.param(0);
+    let py = b.param(1);
+    let r = b.binop(op, px, py);
+    b.ret(Some(r));
+    let mut m = Module::new();
+    let fid = m.add_function(b.finish());
+
+    let mut interp = Interp::new(&m);
+    let concrete = match interp.run(fid, &[Value::Int(x), Value::Int(y)]) {
+        Ok(res) => match res.ret {
+            Some(Value::Int(v)) => v,
+            other => panic!("unexpected return {other:?}"),
+        },
+        Err(trap) => {
+            // Division by zero is the only trap a pure binop can hit;
+            // the evaluator must agree that the expression is
+            // undefined.
+            assert_eq!(y, 0, "unexpected trap {trap} for {op:?} {x} {y}");
+            let e = symbolic_result(&m, fid, r);
+            let mut v = Valuation::new();
+            v.set(Symbol::new(0), x);
+            v.set(Symbol::new(1), y);
+            if let Some(e) = e {
+                assert_eq!(v.eval(&e), None, "evaluator defined where interp traps");
+            }
+            return None;
+        }
+    };
+
+    let e = symbolic_result(&m, fid, r).expect("straight-line binop has an exact singleton");
+    let mut v = Valuation::new();
+    v.set(Symbol::new(0), x);
+    v.set(Symbol::new(1), y);
+    let symbolic = v
+        .eval(&e)
+        .expect("defined execution implies defined evaluation");
+    assert_eq!(
+        symbolic, concrete,
+        "{op:?} diverges on ({x}, {y}): interp {concrete}, symbolic {symbolic} (expr {e})"
+    );
+    Some(())
+}
+
+/// The exact symbolic value the bootstrap range analysis assigned to
+/// `v` — parameters become Symbol(0), Symbol(1) in order.
+fn symbolic_result(m: &Module, fid: sra::ir::FuncId, v: ValueId) -> Option<SymExpr> {
+    let ra = RangeAnalysis::analyze(m);
+    ra.range(fid, v).as_singleton().cloned()
+}
+
+/// Every op over a grid of corner values, including both `i128`
+/// extremes (reachable through parameters, which the interpreter
+/// accepts as raw `i128`).
+#[test]
+fn all_ops_agree_on_corner_values() {
+    let corners = [
+        i128::MIN,
+        i128::MIN + 1,
+        i64::MIN as i128,
+        -17,
+        -1,
+        0,
+        1,
+        2,
+        17,
+        i64::MAX as i128,
+        i128::MAX - 1,
+        i128::MAX,
+    ];
+    let mut checked = 0usize;
+    for op in OPS {
+        for &x in &corners {
+            for &y in &corners {
+                if crosscheck_op(op, x, y).is_some() {
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(checked > 500, "only {checked} defined corner cases");
+}
+
+/// Regression for the divergence this suite flushed out: the
+/// canonicalizer's constant folds used raw `/` and `%`, which overflow
+/// (panic) on `i128::MIN / -1` where the interpreter and the evaluator
+/// saturate. Folded results must equal evaluated results.
+#[test]
+fn min_over_minus_one_saturates_in_constant_folds() {
+    let div = SymExpr::div(i128::MIN.into(), (-1).into());
+    assert_eq!(div.as_constant(), Some(i128::MAX));
+    let rem = SymExpr::rem(i128::MIN.into(), (-1).into());
+    assert_eq!(rem.as_constant(), Some(0));
+    // The exact-division fold takes the same saturating path.
+    let exact = SymExpr::div(
+        (SymExpr::from(Symbol::new(0)) + i128::MIN.into()) * 1.into(),
+        (-1).into(),
+    );
+    let mut v = Valuation::new();
+    v.set(Symbol::new(0), 5);
+    let direct = Valuation::eval(&v, &exact);
+    assert!(direct.is_some(), "no panic and a defined value");
+}
+
+/// The documented *limit* of the agreement contract: canonicalization
+/// rewrites expressions mathematically, and saturating arithmetic is
+/// not stable under rewriting, so multi-op programs whose intermediate
+/// values saturate may evaluate differently from their canonical form.
+/// This test pins two known instances so the boundary is explicit (and
+/// so a future change that closes or widens the gap shows up as a
+/// reviewable diff). UB-free pointer workloads never reach this regime:
+/// offsets are bounded by allocation sizes and out-of-bounds access
+/// traps, which is why the oracle-backed soundness rails stay exact.
+#[test]
+fn saturating_regime_divergence_is_known_and_bounded() {
+    // (6x)/3 folds to 2x; concretely the interpreter saturates the
+    // intermediate 6x first.
+    let mut b = FunctionBuilder::new("f", &[Ty::Int], Some(Ty::Int));
+    let px = b.param(0);
+    let six = b.const_int(6);
+    let t = b.binop(BinOp::Mul, px, six);
+    let three = b.const_int(3);
+    let r = b.binop(BinOp::Div, t, three);
+    b.ret(Some(r));
+    let mut m = Module::new();
+    let fid = m.add_function(b.finish());
+    let x = i128::MAX;
+    let mut interp = Interp::new(&m);
+    let concrete = match interp.run(fid, &[Value::Int(x)]).unwrap().ret {
+        Some(Value::Int(v)) => v,
+        other => panic!("unexpected return {other:?}"),
+    };
+    assert_eq!(concrete, i128::MAX / 3, "interp: sat(6·MAX)/3");
+    let folded = symbolic_result(&m, fid, r).expect("singleton");
+    assert_eq!(
+        folded,
+        SymExpr::from(Symbol::new(0)) * 2.into(),
+        "the exact-division fold rewrote to 2x"
+    );
+    let mut v = Valuation::new();
+    v.set(Symbol::new(0), x);
+    assert_eq!(
+        v.eval(&folded),
+        Some(i128::MAX),
+        "canonical form evaluates the rewritten expression"
+    );
+    // In the non-saturating regime the very same fold agrees exactly.
+    let mut v = Valuation::new();
+    v.set(Symbol::new(0), 41);
+    assert_eq!(v.eval(&folded), Some(82));
+    let mut interp = Interp::new(&m);
+    assert_eq!(
+        interp.run(fid, &[Value::Int(41)]).unwrap().ret,
+        Some(Value::Int(82))
+    );
+}
+
+/// One random expression tree as straight-line IR.
+#[derive(Debug, Clone)]
+enum Tree {
+    X,
+    Y,
+    Const(i64),
+    Bin(BinOp, Box<Tree>, Box<Tree>),
+}
+
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        Just(Tree::X),
+        Just(Tree::Y),
+        (-20i64..=20).prop_map(Tree::Const),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        (0usize..OPS.len(), inner.clone(), inner)
+            .prop_map(|(op, a, b)| Tree::Bin(OPS[op], Box::new(a), Box::new(b)))
+    })
+}
+
+fn emit(t: &Tree, b: &mut FunctionBuilder, px: ValueId, py: ValueId) -> ValueId {
+    match t {
+        Tree::X => px,
+        Tree::Y => py,
+        Tree::Const(c) => b.const_int(*c),
+        Tree::Bin(op, l, r) => {
+            let lv = emit(l, b, px, py);
+            let rv = emit(r, b, px, py);
+            b.binop(*op, lv, rv)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random trees over small operands: interpretation and symbolic
+    /// evaluation agree exactly. (Operands stay far from the
+    /// saturation boundary, where saturating arithmetic is plain
+    /// arithmetic and canonical-form reassociation is harmless; the
+    /// corner grid above covers the saturating regime op by op.)
+    #[test]
+    fn random_trees_agree(t in arb_tree(), x in -100i128..=100, y in -100i128..=100) {
+        let mut b = FunctionBuilder::new("f", &[Ty::Int, Ty::Int], Some(Ty::Int));
+        let px = b.param(0);
+        let py = b.param(1);
+        let r = emit(&t, &mut b, px, py);
+        b.ret(Some(r));
+        let mut m = Module::new();
+        let fid = m.add_function(b.finish());
+
+        let mut interp = Interp::new(&m);
+        let run = interp.run(fid, &[Value::Int(x), Value::Int(y)]);
+        let Ok(res) = run else {
+            return Ok(()); // division by zero somewhere in the tree
+        };
+        let Some(Value::Int(concrete)) = res.ret else {
+            panic!("unexpected return {:?}", res.ret);
+        };
+        let ra = RangeAnalysis::analyze(&m);
+        let range = ra.range(fid, r);
+        let mut v = Valuation::new();
+        v.set(Symbol::new(0), x);
+        v.set(Symbol::new(1), y);
+        if let Some(e) = range.as_singleton() {
+            if let Some(symbolic) = v.eval(e) {
+                prop_assert_eq!(symbolic, concrete, "tree {:?} on ({}, {})", t, x, y);
+            }
+        }
+        // Singleton or not, the concrete result must lie in the range
+        // (the soundness the analyses actually consume).
+        prop_assert_eq!(
+            v.range_contains(range, concrete).unwrap_or(true),
+            true,
+            "concrete {} outside {} for {:?}",
+            concrete,
+            range,
+            t
+        );
+    }
+}

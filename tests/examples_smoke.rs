@@ -61,6 +61,15 @@ fn loop_parallel_uses_the_local_test() {
 }
 
 #[test]
+fn batch_driver_reports_cached_replay() {
+    let out = run_example("batch_driver");
+    assert!(
+        out.contains("replayed") && out.contains("cached queries"),
+        "unexpected output:\n{out}"
+    );
+}
+
+#[test]
 fn compare_analyses_reports_symbolic_ratio() {
     let out = run_example("compare_analyses");
     assert!(

@@ -1,0 +1,112 @@
+//! Snapshot of the Figure 13/14 harness rows over the full 22-benchmark
+//! corpus: per-benchmark query counts, the `%scev`/`%basic`/`%rbaa`/
+//! `%(r+b)` percentages, and the Figure-14 attribution of rbaa answers
+//! (distinct-locations / global test / local test).
+//!
+//! Any change to the analyses' precision shows up here as an explicit,
+//! reviewable diff instead of drifting silently. To accept an
+//! intentional change, regenerate the snapshot:
+//!
+//! ```text
+//! BLESS=1 cargo test -q --test fig13_snapshot
+//! ```
+//!
+//! and review `tests/snapshots/fig13_14.txt` in the diff.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use sra::workloads::{harness, suite};
+
+fn snapshot_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("snapshots")
+        .join("fig13_14.txt")
+}
+
+/// Renders the harness rows. Everything in the table derives from
+/// integer counters, so the rendering is deterministic across runs,
+/// platforms and worker counts (the harness's parallel evaluation is
+/// schedule-independent by construction).
+fn render() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>8} {:>7} {:>7} {:>7} {:>7} {:>9} {:>7} {:>7}",
+        "benchmark", "queries", "%scev", "%basic", "%rbaa", "%(r+b)", "distinct", "global", "local"
+    );
+    let mut total = harness::Metrics::default();
+    for b in suite::benchmarks() {
+        let m = b.build().expect("benchmark compiles");
+        let row = harness::evaluate(&m);
+        let _ = writeln!(
+            out,
+            "{:<12} {:>8} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>9} {:>7} {:>7}",
+            b.name,
+            row.queries,
+            row.scev_pct(),
+            row.basic_pct(),
+            row.rbaa_pct(),
+            row.rb_pct(),
+            row.rbaa_distinct,
+            row.rbaa_global,
+            row.rbaa_local
+        );
+        total.merge(&row);
+    }
+    let _ = writeln!(
+        out,
+        "{:<12} {:>8} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>9} {:>7} {:>7}",
+        "TOTAL",
+        total.queries,
+        total.scev_pct(),
+        total.basic_pct(),
+        total.rbaa_pct(),
+        total.rb_pct(),
+        total.rbaa_distinct,
+        total.rbaa_global,
+        total.rbaa_local
+    );
+    out
+}
+
+#[test]
+fn figure13_14_rows_match_snapshot() {
+    let rendered = render();
+    let path = snapshot_path();
+    if std::env::var_os("BLESS").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("snapshot dir")).expect("mkdir snapshots");
+        std::fs::write(&path, &rendered).expect("write snapshot");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {} ({e}); regenerate with BLESS=1 cargo test --test fig13_snapshot",
+            path.display()
+        )
+    });
+    if rendered != expected {
+        // A line-by-line diff keeps precision regressions reviewable.
+        let mut diff = String::new();
+        for (i, (got, want)) in rendered.lines().zip(expected.lines()).enumerate() {
+            if got != want {
+                let _ = writeln!(
+                    diff,
+                    "line {}:\n  expected: {want}\n  got:      {got}",
+                    i + 1
+                );
+            }
+        }
+        if rendered.lines().count() != expected.lines().count() {
+            let _ = writeln!(diff, "(line counts differ)");
+        }
+        panic!(
+            "Figure 13/14 rows drifted from the blessed snapshot.\n{diff}\
+             If the change is intentional, regenerate with:\n  \
+             BLESS=1 cargo test -q --test fig13_snapshot\nand review the diff of {}",
+            snapshot_path().display()
+        );
+    }
+}

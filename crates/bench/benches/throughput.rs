@@ -14,15 +14,23 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sra_bench::{batched_sweep, per_query_sweep};
-use sra_core::{analyze_parallel, DriverConfig, RbaaAnalysis};
+use sra_core::{analyze_parallel, DriverConfig, GrConfig, GrSchedule, RbaaAnalysis};
 use sra_ir::Module;
+use sra_range::RangeAnalysis;
 use sra_workloads::scaling;
 
 const SCALING_INSTS: usize = 20_000;
 const SCALING_SEED: u64 = 42;
+/// The many-function workload for the GR wave scheduler: hundreds of
+/// interlinked functions (deep chains, recursive cliques, wide fans).
+const CALLGRAPH_FUNCS: usize = 600;
 
 fn workload() -> Module {
     scaling::generate_module(SCALING_INSTS, SCALING_SEED)
+}
+
+fn callgraph_workload() -> Module {
+    scaling::generate_call_graph_module(CALLGRAPH_FUNCS, SCALING_SEED)
 }
 
 /// Pipeline analysis (bootstrap + GR + LR): serial vs the batch driver
@@ -46,6 +54,79 @@ fn analysis_serial_vs_parallel(c: &mut Criterion) {
                 });
             },
         );
+    }
+    group.finish();
+}
+
+/// The interprocedural GR pass alone on the many-function workload:
+/// the serial condensation schedule vs SCC waves at 2/4 workers
+/// (byte-identical results; only wall time may differ).
+fn gr_serial_vs_waves(c: &mut Criterion) {
+    let m = callgraph_workload();
+    let ranges = RangeAnalysis::analyze(&m);
+    let nf = m.num_functions();
+    let mut group = c.benchmark_group("gr_schedule");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(nf as u64));
+    group.bench_with_input(BenchmarkId::new("serial", nf), &m, |b, m| {
+        b.iter(|| {
+            sra_core::GrAnalysis::analyze_with(
+                std::hint::black_box(m),
+                &ranges,
+                GrConfig {
+                    schedule: GrSchedule::Serial,
+                    threads: 1,
+                    ..GrConfig::default()
+                },
+            )
+        });
+    });
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new(&format!("waves_t{threads}"), nf),
+            &m,
+            |b, m| {
+                b.iter(|| {
+                    sra_core::GrAnalysis::analyze_with(
+                        std::hint::black_box(m),
+                        &ranges,
+                        GrConfig {
+                            schedule: GrSchedule::Waves,
+                            threads,
+                            ..GrConfig::default()
+                        },
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// End-to-end pipeline on the many-function workload, serial-GR
+/// baseline vs the wave-scheduled default.
+fn callgraph_end_to_end(c: &mut Criterion) {
+    let m = callgraph_workload();
+    let insts = m.num_insts();
+    let mut group = c.benchmark_group("callgraph_pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(insts as u64));
+    for (name, schedule) in [
+        ("gr_serial", GrSchedule::Serial),
+        ("gr_waves", GrSchedule::Waves),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, insts), &m, |b, m| {
+            b.iter(|| {
+                let config = DriverConfig {
+                    gr: GrConfig {
+                        schedule,
+                        ..GrConfig::default()
+                    },
+                    ..DriverConfig::default()
+                };
+                analyze_parallel(std::hint::black_box(m), config)
+            });
+        });
     }
     group.finish();
 }
@@ -100,6 +181,8 @@ fn speedup_summary(c: &mut Criterion) {
 criterion_group!(
     benches,
     analysis_serial_vs_parallel,
+    gr_serial_vs_waves,
+    callgraph_end_to_end,
     all_pairs_paths,
     speedup_summary
 );

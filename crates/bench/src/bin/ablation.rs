@@ -42,6 +42,11 @@ fn run(config: GrConfig, use_local: bool) -> (f64, usize) {
             }
         }
     }
+    // Guard the division: a benchmark subset with no pointer pairs
+    // must report 0.0, not NaN.
+    if queries == 0 {
+        return (0.0, 0);
+    }
     (100.0 * no_alias as f64 / queries as f64, queries)
 }
 

@@ -14,11 +14,14 @@
 //!    are pre-assigned from per-function budgets
 //!    ([`sra_range::symbol_budget`]), so the assembled result is
 //!    byte-identical to the serial analysis regardless of scheduling.
-//! 2. **serial** — the global (GR) analysis stays on the coordinating
-//!    thread: it is *inter*procedural, and its Gauss–Seidel sweep order
-//!    (callers seen updated within a sweep) is part of the precision
-//!    the snapshot tests pin. It is also the cheap phase compared to
-//!    the `O(P²)` query sweeps.
+//! 2. **parallel** — the global (GR) analysis is *inter*procedural, so
+//!    it cannot shard along the function axis; instead it runs as a
+//!    wave schedule over the bottom-up SCC condensation of the call
+//!    graph ([`GrSchedule::Waves`](crate::GrSchedule)): the mutually
+//!    independent SCCs of each condensation level are solved
+//!    concurrently, with the Gauss–Seidel order inside each SCC — which
+//!    is part of the precision the snapshot tests pin — preserved
+//!    exactly. Results are byte-identical to the serial schedule.
 //! 3. **parallel** — one [`AliasMatrix`] per function, built on worker
 //!    threads with a per-worker [`sra_symbolic::ExprArena`] memoising
 //!    every range comparison. Repeat queries are `O(1)`.
@@ -64,7 +67,9 @@ pub struct DriverConfig {
     pub threads: usize,
     /// Bootstrap integer-range configuration.
     pub range: RangeConfig,
-    /// Global-analysis configuration.
+    /// Global-analysis configuration. Its `threads` knob is overridden
+    /// with the driver's own [`DriverConfig::threads`], so one setting
+    /// governs every phase.
     pub gr: GrConfig,
 }
 
@@ -131,9 +136,14 @@ pub fn analyze_parallel(m: &Module, config: DriverConfig) -> RbaaAnalysis {
     let ranges = RangeAnalysis::from_parts(range_parts);
     let lr = LrAnalysis::from_parts(lr_parts);
 
-    // Interprocedural global analysis: serial by design (see module
-    // docs).
-    let gr = GrAnalysis::analyze_with(m, &ranges, config.gr);
+    // Interprocedural global analysis: wave-scheduled over the call
+    // graph's SCC condensation (see module docs), sharing the driver's
+    // worker count.
+    let gr_config = GrConfig {
+        threads: config.threads,
+        ..config.gr
+    };
+    let gr = GrAnalysis::analyze_with(m, &ranges, gr_config);
 
     RbaaAnalysis::from_pieces(ranges, gr, lr)
 }

@@ -19,14 +19,60 @@
 //! call's result joins the callee's return states. Exported functions
 //! additionally seed pointer formals with an `Unknown` location of their
 //! own, since callers outside the module may pass anything.
+//!
+//! # Scheduling
+//!
+//! The solver is a Gauss–Seidel fixpoint over the whole module. Its
+//! sweep order — which is *spec*, because widening makes the computed
+//! fixpoint order-sensitive — follows the SCC condensation of the call
+//! graph ([`sra_ir::callgraph::Condensation`]): levels of the
+//! condensation DAG, SCCs within a level in id order, member functions
+//! of an SCC in id order, one pass per function per global sweep.
+//! Sweep direction alternates: even sweeps walk the levels bottom-up
+//! (so callee *return* states reach every caller within one sweep),
+//! odd sweeps top-down (so caller *actuals* reach every formal within
+//! one sweep). A call DAG of any depth therefore converges in O(1)
+//! sweeps, where any fixed one-directional order — including the old
+//! flat function-id order — needed a number of sweeps proportional to
+//! the chain depth and could trip the ascending cap on nothing more
+//! than a deep chain of calls.
+//!
+//! Two SCCs on the same condensation level share no call edge in either
+//! direction, so they exchange no dataflow within a sweep. That is the
+//! parallelism [`GrSchedule::Waves`] exploits: each level's SCCs are
+//! analysed concurrently on the [`crate::pool`] thread pool, and the
+//! result is **byte-identical** to [`GrSchedule::Serial`] — the same
+//! determinism contract the batch driver established for the
+//! per-function phases. The `gr_schedule_equivalence` property suite
+//! pins the contract.
 
+use sra_ir::callgraph::Condensation;
 use sra_ir::cfg::Cfg;
 use sra_ir::{Callee, CmpOp, FuncId, Inst, Module, Terminator, Ty, ValueId, ValueKind};
 use sra_range::RangeAnalysis;
 use sra_symbolic::{Bound, SymExpr, SymRange};
 
 use crate::locs::LocTable;
+use crate::pool;
 use crate::state::PtrState;
+
+/// How the module-level Gauss–Seidel sweeps are executed.
+///
+/// Both schedules visit functions in the *same* order (the bottom-up
+/// SCC condensation of the call graph) and produce byte-identical
+/// states; `Waves` additionally runs the mutually independent SCCs of
+/// each condensation level concurrently. A module that is one big
+/// recursive SCC collapses `Waves` back to effectively-serial
+/// execution — the schedule can only parallelise what recursion has
+/// not fused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrSchedule {
+    /// Level by level on the calling thread.
+    Serial,
+    /// Same order and results; same-level SCCs fan out on the pool
+    /// with [`GrConfig::threads`] workers.
+    Waves,
+}
 
 /// Tuning knobs for [`GrAnalysis`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +86,11 @@ pub struct GrConfig {
     /// cut set). Disabling this is only useful for ablation studies on
     /// acyclic programs.
     pub widening: bool,
+    /// How to execute the sweeps (results are identical either way).
+    pub schedule: GrSchedule,
+    /// Worker threads for [`GrSchedule::Waves`] (`1` runs inline; the
+    /// batch driver overrides this with its own worker count).
+    pub threads: usize,
 }
 
 impl Default for GrConfig {
@@ -48,6 +99,8 @@ impl Default for GrConfig {
             descending_steps: 2,
             max_ascending_sweeps: 32,
             widening: true,
+            schedule: GrSchedule::Waves,
+            threads: pool::default_threads(),
         }
     }
 }
@@ -57,6 +110,7 @@ impl Default for GrConfig {
 pub struct GrAnalysis {
     locs: LocTable,
     states: Vec<Vec<PtrState>>,
+    ascending_sweeps: u32,
 }
 
 impl GrAnalysis {
@@ -68,12 +122,16 @@ impl GrAnalysis {
     /// Runs the analysis.
     pub fn analyze_with(m: &Module, ranges: &RangeAnalysis, config: GrConfig) -> Self {
         let locs = LocTable::build(m);
-        let states = {
+        let (states, ascending_sweeps) = {
             let mut solver = GrSolver::new(m, ranges, &locs, config);
             solver.run();
-            solver.states
+            (solver.states, solver.sweeps)
         };
-        GrAnalysis { locs, states }
+        GrAnalysis {
+            locs,
+            states,
+            ascending_sweeps,
+        }
     }
 
     /// The abstract state of value `v` in function `f` (⊥ for non-pointer
@@ -86,6 +144,13 @@ impl GrAnalysis {
     pub fn locs(&self) -> &LocTable {
         &self.locs
     }
+
+    /// How many ascending sweeps the fixpoint took — a schedule-quality
+    /// diagnostic: with the condensation order, deep call *chains*
+    /// converge in O(1) sweeps instead of O(depth).
+    pub fn ascending_sweeps(&self) -> u32 {
+        self.ascending_sweeps
+    }
 }
 
 /// A call site: caller and actual arguments.
@@ -94,17 +159,258 @@ struct CallSite {
     args: Vec<ValueId>,
 }
 
-struct GrSolver<'a> {
+/// The widening cut set (the paper's Definition 4 join points): every
+/// abstract-state join where recursive dataflow can re-enter — φ-nodes,
+/// formal parameters (joins over call-site actuals) and internal-call
+/// results (joins over callee returns).
+///
+/// `force_top_join_points` and the widened updates in `sweep_function`
+/// must agree on this set: a capped ascending sequence forces exactly
+/// these points to ⊤ and then relies on one more sweep re-deriving all
+/// *other* values from them, so a join point missing here would keep a
+/// stale, unsound state after the cap trips.
+fn is_widen_point(kind: &ValueKind) -> bool {
+    matches!(
+        kind,
+        ValueKind::Param { .. }
+            | ValueKind::Inst(Inst::Phi { .. })
+            | ValueKind::Inst(Inst::Call {
+                callee: Callee::Internal(_),
+                ..
+            })
+    )
+}
+
+/// Read/write access to the per-function pointer states during a
+/// sweep. The serial schedule mutates the solver's arrays in place;
+/// the wave schedule gives each SCC ownership of its members' states
+/// over a read-only snapshot of everything else.
+trait GrStore {
+    fn state(&self, f: FuncId, v: ValueId) -> &PtrState;
+    fn ret_state(&self, f: FuncId) -> &PtrState;
+    fn set_state(&mut self, f: FuncId, v: ValueId, s: PtrState);
+    fn set_ret_state(&mut self, f: FuncId, s: PtrState);
+}
+
+/// Direct, whole-module access (the serial schedule).
+struct DirectStore<'a> {
+    states: &'a mut [Vec<PtrState>],
+    rets: &'a mut [PtrState],
+}
+
+impl GrStore for DirectStore<'_> {
+    fn state(&self, f: FuncId, v: ValueId) -> &PtrState {
+        &self.states[f.index()][v.index()]
+    }
+
+    fn ret_state(&self, f: FuncId) -> &PtrState {
+        &self.rets[f.index()]
+    }
+
+    fn set_state(&mut self, f: FuncId, v: ValueId, s: PtrState) {
+        self.states[f.index()][v.index()] = s;
+    }
+
+    fn set_ret_state(&mut self, f: FuncId, s: PtrState) {
+        self.rets[f.index()] = s;
+    }
+}
+
+/// One SCC's working set during a wave: owned state vectors for the
+/// member functions (taken from the solver, mutated freely, written
+/// back after the level completes) over a shared snapshot of every
+/// other function's states. Cross-SCC *reads* only ever reach
+/// functions of earlier (already written-back) or later (not yet
+/// touched) levels — same-level SCCs are never call-adjacent.
+struct SccStore<'a> {
+    /// Member functions, ascending.
+    members: &'a [FuncId],
+    local_states: Vec<Vec<PtrState>>,
+    local_rets: Vec<PtrState>,
+    global_states: &'a [Vec<PtrState>],
+    global_rets: &'a [PtrState],
+}
+
+impl SccStore<'_> {
+    fn member_pos(&self, f: FuncId) -> Option<usize> {
+        self.members.binary_search(&f).ok()
+    }
+}
+
+impl GrStore for SccStore<'_> {
+    fn state(&self, f: FuncId, v: ValueId) -> &PtrState {
+        match self.member_pos(f) {
+            Some(k) => &self.local_states[k][v.index()],
+            None => &self.global_states[f.index()][v.index()],
+        }
+    }
+
+    fn ret_state(&self, f: FuncId) -> &PtrState {
+        match self.member_pos(f) {
+            Some(k) => &self.local_rets[k],
+            None => &self.global_rets[f.index()],
+        }
+    }
+
+    fn set_state(&mut self, f: FuncId, v: ValueId, s: PtrState) {
+        let k = self.member_pos(f).expect("writes stay within the SCC");
+        self.local_states[k][v.index()] = s;
+    }
+
+    fn set_ret_state(&mut self, f: FuncId, s: PtrState) {
+        let k = self.member_pos(f).expect("writes stay within the SCC");
+        self.local_rets[k] = s;
+    }
+}
+
+/// Writes `new` into the state of `(fid, v)`, applying widening or
+/// descending discipline; returns whether the state changed.
+fn update<S: GrStore>(
+    store: &mut S,
+    fid: FuncId,
+    v: ValueId,
+    new: PtrState,
+    widen: bool,
+    descend: bool,
+) -> bool {
+    let next = {
+        let slot = store.state(fid, v);
+        let next = if descend {
+            new
+        } else if widen {
+            slot.widen(&slot.join(&new))
+        } else {
+            slot.join(&new)
+        };
+        if next == *slot {
+            return false;
+        }
+        next
+    };
+    store.set_state(fid, v, next);
+    true
+}
+
+/// The immutable context of a sweep: everything `sweep_function` needs
+/// besides the states themselves, so the wave schedule can share it
+/// across worker threads.
+struct SweepCtx<'a> {
     m: &'a Module,
     ranges: &'a RangeAnalysis,
     locs: &'a LocTable,
-    config: GrConfig,
-    states: Vec<Vec<PtrState>>,
-    /// Join of the return states of each function.
-    ret_states: Vec<PtrState>,
     /// Call sites targeting each function.
     callers: Vec<Vec<CallSite>>,
     cfgs: Vec<Cfg>,
+}
+
+impl SweepCtx<'_> {
+    /// One Gauss–Seidel pass over `fid`: formals, then the reachable
+    /// blocks in reverse post-order, then the function's return state.
+    fn sweep_function<S: GrStore>(
+        &self,
+        store: &mut S,
+        fid: FuncId,
+        widen: bool,
+        descend: bool,
+    ) -> bool {
+        let f = self.m.function(fid);
+        let mut changed = false;
+
+        // Formal parameters: φ over actuals (+Unknown seed when exported).
+        for (index, &p) in f.params().iter().enumerate() {
+            if f.value(p).ty() != Some(Ty::Ptr) {
+                continue;
+            }
+            let mut acc = match self.locs.loc_of_value(fid, p) {
+                Some(unknown_loc) => PtrState::singleton(unknown_loc, SymRange::constant(0)),
+                None => PtrState::bottom(),
+            };
+            for site in &self.callers[fid.index()] {
+                // Arity mismatches only exist in unverified modules;
+                // treat a missing actual as contributing ⊥ rather than
+                // panicking.
+                let Some(&actual) = site.args.get(index) else {
+                    continue;
+                };
+                acc = acc.join(store.state(site.caller, actual));
+            }
+            changed |= update(store, fid, p, acc, widen, descend);
+        }
+
+        for &b in self.cfgs[fid.index()].rpo() {
+            for &v in f.block(b).insts() {
+                if f.value(v).ty() != Some(Ty::Ptr) {
+                    continue;
+                }
+                let Some(inst) = f.value(v).as_inst() else {
+                    continue;
+                };
+                let new = match inst {
+                    Inst::Phi { args, .. } => {
+                        let mut acc = PtrState::bottom();
+                        for (_, a) in args {
+                            acc = acc.join(store.state(fid, *a));
+                        }
+                        changed |= update(store, fid, v, acc, widen, descend);
+                        continue;
+                    }
+                    Inst::PtrAdd { base, offset } => {
+                        let off = self.ranges.range(fid, *offset);
+                        store.state(fid, *base).add_offset(off)
+                    }
+                    Inst::Sigma { input, op, other } => {
+                        let input_state = store.state(fid, *input);
+                        if f.value(*other).ty() == Some(Ty::Ptr) {
+                            apply_ptr_sigma(input_state, *op, store.state(fid, *other))
+                        } else {
+                            // Comparing a pointer with an integer tells
+                            // us nothing about locations.
+                            input_state.clone()
+                        }
+                    }
+                    Inst::Call {
+                        callee: Callee::Internal(target),
+                        ..
+                    } if target.index() < self.m.num_functions() => {
+                        store.ret_state(*target).clone()
+                    }
+                    // Seeded kinds are invariant: malloc/alloca/global
+                    // addresses, external calls, loads (⊤), free (⊥).
+                    // Out-of-range internal targets (unverified
+                    // modules) contribute nothing.
+                    _ => continue,
+                };
+                let use_widen = widen && is_widen_point(f.value(v).kind());
+                changed |= update(store, fid, v, new, use_widen, descend);
+            }
+        }
+
+        // Refresh this function's return state.
+        let mut ret = PtrState::bottom();
+        if f.ret_ty() == Some(Ty::Ptr) {
+            for b in f.block_ids() {
+                if let Some(Terminator::Ret(Some(v))) = f.block(b).terminator_opt() {
+                    ret = ret.join(store.state(fid, *v));
+                }
+            }
+        }
+        if ret != *store.ret_state(fid) {
+            store.set_ret_state(fid, ret);
+            changed = true;
+        }
+        changed
+    }
+}
+
+struct GrSolver<'a> {
+    ctx: SweepCtx<'a>,
+    config: GrConfig,
+    cond: Condensation,
+    states: Vec<Vec<PtrState>>,
+    /// Join of the return states of each function.
+    ret_states: Vec<PtrState>,
+    /// Ascending sweeps the fixpoint took.
+    sweeps: u32,
 }
 
 impl<'a> GrSolver<'a> {
@@ -120,10 +426,12 @@ impl<'a> GrSolver<'a> {
                     ..
                 }) = f.value(v).as_inst()
                 {
-                    callers[target.index()].push(CallSite {
-                        caller: fid,
-                        args: args.clone(),
-                    });
+                    if target.index() < nf {
+                        callers[target.index()].push(CallSite {
+                            caller: fid,
+                            args: args.clone(),
+                        });
+                    }
                 }
             }
         }
@@ -133,14 +441,18 @@ impl<'a> GrSolver<'a> {
             .collect();
         let cfgs = m.func_ids().map(|f| Cfg::new(m.function(f))).collect();
         GrSolver {
-            m,
-            ranges,
-            locs,
+            ctx: SweepCtx {
+                m,
+                ranges,
+                locs,
+                callers,
+                cfgs,
+            },
             config,
+            cond: Condensation::of_module(m),
             states,
             ret_states: vec![PtrState::bottom(); nf],
-            callers,
-            cfgs,
+            sweeps: 0,
         }
     }
 
@@ -149,19 +461,23 @@ impl<'a> GrSolver<'a> {
         let mut sweeps = 0;
         loop {
             let widen = self.config.widening && sweeps > 0;
-            let changed = self.sweep(widen, false);
+            // Alternate direction: bottom-up propagates returns to
+            // callers in one sweep, top-down propagates actuals to
+            // formals in one sweep.
+            let changed = self.sweep(widen, false, sweeps % 2 == 0);
             sweeps += 1;
             if !changed {
                 break;
             }
             if sweeps >= self.config.max_ascending_sweeps {
                 self.force_top_join_points();
-                self.sweep(false, false);
+                self.sweep(false, false, true);
                 break;
             }
         }
-        for _ in 0..self.config.descending_steps {
-            if !self.sweep(false, true) {
+        self.sweeps = sweeps;
+        for step in 0..self.config.descending_steps {
+            if !self.sweep(false, true, step % 2 == 0) {
                 break;
             }
         }
@@ -169,26 +485,31 @@ impl<'a> GrSolver<'a> {
 
     /// Invariant seeds: allocation sites, globals, unknown sources.
     fn seed(&mut self) {
-        for fid in self.m.func_ids() {
-            let f = self.m.function(fid);
+        let m = self.ctx.m;
+        for fid in m.func_ids() {
+            let f = m.function(fid);
             for v in f.value_ids() {
                 if f.value(v).ty() != Some(Ty::Ptr) {
                     continue;
                 }
                 let state = match f.value(v).kind() {
                     ValueKind::GlobalAddr(g) => {
-                        let loc = self.locs.loc_of_global(*g).expect("global has loc");
+                        let loc = self.ctx.locs.loc_of_global(*g).expect("global has loc");
                         Some(PtrState::singleton(loc, SymRange::constant(0)))
                     }
                     ValueKind::Inst(Inst::Malloc { .. }) | ValueKind::Inst(Inst::Alloca { .. }) => {
-                        let loc = self.locs.loc_of_value(fid, v).expect("site has loc");
+                        let loc = self.ctx.locs.loc_of_value(fid, v).expect("site has loc");
                         Some(PtrState::singleton(loc, SymRange::constant(0)))
                     }
                     ValueKind::Inst(Inst::Call {
                         callee: Callee::External(_),
                         ..
                     }) => {
-                        let loc = self.locs.loc_of_value(fid, v).expect("ext call has loc");
+                        let loc = self
+                            .ctx
+                            .locs
+                            .loc_of_value(fid, v)
+                            .expect("ext call has loc");
                         Some(PtrState::singleton(loc, SymRange::constant(0)))
                     }
                     ValueKind::Inst(Inst::Load { .. }) => Some(PtrState::top()),
@@ -201,148 +522,107 @@ impl<'a> GrSolver<'a> {
         }
     }
 
-    fn sweep(&mut self, widen: bool, descend: bool) -> bool {
+    /// One module sweep in condensation order — bottom-up when `up`,
+    /// top-down otherwise. The two schedules visit identical orders;
+    /// `Waves` additionally runs each level's SCCs concurrently, which
+    /// cannot change any result because same-level SCCs share no call
+    /// edge.
+    fn sweep(&mut self, widen: bool, descend: bool, up: bool) -> bool {
+        let GrSolver {
+            ctx,
+            config,
+            cond,
+            states,
+            ret_states,
+            ..
+        } = self;
+        let ctx: &SweepCtx = ctx;
+        let cond: &Condensation = cond;
+        let config: GrConfig = *config;
+        let waves = matches!(config.schedule, GrSchedule::Waves) && config.threads > 1;
         let mut changed = false;
-        for fid in self.m.func_ids() {
-            changed |= self.sweep_function(fid, widen, descend);
+        let mut order: Vec<&Vec<u32>> = cond.levels().iter().collect();
+        if !up {
+            order.reverse();
         }
-        changed
-    }
-
-    fn sweep_function(&mut self, fid: FuncId, widen: bool, descend: bool) -> bool {
-        let f = self.m.function(fid);
-        let mut changed = false;
-
-        // Formal parameters: φ over actuals (+Unknown seed when exported).
-        for (index, &p) in f.params().iter().enumerate() {
-            if f.value(p).ty() != Some(Ty::Ptr) {
+        for level in order {
+            if !waves || level.len() == 1 {
+                let mut store = DirectStore {
+                    states: states.as_mut_slice(),
+                    rets: ret_states.as_mut_slice(),
+                };
+                for &scc in level {
+                    for &f in cond.members(scc) {
+                        changed |= ctx.sweep_function(&mut store, f, widen, descend);
+                    }
+                }
                 continue;
             }
-            let mut acc = match self.locs.loc_of_value(fid, p) {
-                Some(unknown_loc) => PtrState::singleton(unknown_loc, SymRange::constant(0)),
-                None => PtrState::bottom(),
+            // Hand each SCC ownership of its members' states; the
+            // emptied slots are never read because same-level SCCs are
+            // not call-adjacent.
+            let items: Vec<(u32, Vec<Vec<PtrState>>, Vec<PtrState>)> = level
+                .iter()
+                .map(|&scc| {
+                    let members = cond.members(scc);
+                    (
+                        scc,
+                        members
+                            .iter()
+                            .map(|f| std::mem::take(&mut states[f.index()]))
+                            .collect(),
+                        members
+                            .iter()
+                            .map(|f| std::mem::take(&mut ret_states[f.index()]))
+                            .collect(),
+                    )
+                })
+                .collect();
+            let results = {
+                let global_states: &[Vec<PtrState>] = states.as_slice();
+                let global_rets: &[PtrState] = ret_states.as_slice();
+                pool::run_map(items, config.threads, |(scc, local_states, local_rets)| {
+                    let mut store = SccStore {
+                        members: cond.members(scc),
+                        local_states,
+                        local_rets,
+                        global_states,
+                        global_rets,
+                    };
+                    let mut ch = false;
+                    for &f in cond.members(scc) {
+                        ch |= ctx.sweep_function(&mut store, f, widen, descend);
+                    }
+                    (scc, store.local_states, store.local_rets, ch)
+                })
             };
-            for site in &self.callers[fid.index()] {
-                let actual = site.args[index];
-                acc = acc.join(&self.states[site.caller.index()][actual.index()]);
-            }
-            changed |= self.update(fid, p, acc, widen && !descend, descend);
-        }
-
-        let rpo: Vec<_> = self.cfgs[fid.index()].rpo().to_vec();
-        for b in rpo {
-            let insts = f.block(b).insts().to_vec();
-            for v in insts {
-                if f.value(v).ty() != Some(Ty::Ptr) {
-                    continue;
-                }
-                let Some(inst) = f.value(v).as_inst() else {
-                    continue;
-                };
-                let new = match inst {
-                    Inst::Phi { args, .. } => {
-                        let mut acc = PtrState::bottom();
-                        for (_, a) in args {
-                            acc = acc.join(&self.states[fid.index()][a.index()]);
-                        }
-                        changed |= self.update(fid, v, acc, widen, descend);
-                        continue;
-                    }
-                    Inst::PtrAdd { base, offset } => {
-                        let base_state = &self.states[fid.index()][base.index()];
-                        let off = self.ranges.range(fid, *offset);
-                        base_state.add_offset(off)
-                    }
-                    Inst::Sigma { input, op, other } => {
-                        let input_state = self.states[fid.index()][input.index()].clone();
-                        if f.value(*other).ty() == Some(Ty::Ptr) {
-                            let other_state = &self.states[fid.index()][other.index()];
-                            apply_ptr_sigma(&input_state, *op, other_state)
-                        } else {
-                            // Comparing a pointer with an integer tells
-                            // us nothing about locations.
-                            input_state
-                        }
-                    }
-                    Inst::Call {
-                        callee: Callee::Internal(target),
-                        ..
-                    } => self.ret_states[target.index()].clone(),
-                    // Seeded kinds are invariant: malloc/alloca/global
-                    // addresses, external calls, loads (⊤), free (⊥).
-                    _ => continue,
-                };
-                let use_widen = widen
-                    && matches!(
-                        inst,
-                        Inst::Call {
-                            callee: Callee::Internal(_),
-                            ..
-                        }
-                    );
-                changed |= self.update(fid, v, new, use_widen, descend);
-            }
-        }
-
-        // Refresh this function's return state.
-        let mut ret = PtrState::bottom();
-        if f.ret_ty() == Some(Ty::Ptr) {
-            for b in f.block_ids() {
-                if let Some(Terminator::Ret(Some(v))) = f.block(b).terminator_opt() {
-                    ret = ret.join(&self.states[fid.index()][v.index()]);
+            for (scc, local_states, local_rets, ch) in results {
+                changed |= ch;
+                let members = cond.members(scc);
+                for ((s, r), &f) in local_states.into_iter().zip(local_rets).zip(members) {
+                    states[f.index()] = s;
+                    ret_states[f.index()] = r;
                 }
             }
-        }
-        if ret != self.ret_states[fid.index()] {
-            self.ret_states[fid.index()] = ret;
-            changed = true;
         }
         changed
     }
 
-    /// Writes `new` into the state of `(fid, v)`, applying widening or
-    /// descending discipline; returns whether the state changed.
-    fn update(
-        &mut self,
-        fid: FuncId,
-        v: ValueId,
-        new: PtrState,
-        widen: bool,
-        descend: bool,
-    ) -> bool {
-        let slot = &mut self.states[fid.index()][v.index()];
-        let next = if descend {
-            new
-        } else if widen {
-            slot.widen(&slot.join(&new))
-        } else {
-            slot.join(&new)
-        };
-        if next != *slot {
-            *slot = next;
-            true
-        } else {
-            false
-        }
-    }
-
+    /// When the ascending cap trips, every join point of the widening
+    /// cut set — φs, formal parameters *and* internal-call results —
+    /// must go to ⊤: the one sweep that follows re-derives all other
+    /// values from them, so any join left behind would keep a stale,
+    /// unsound state (e.g. a deep recursive chain whose churn lives
+    /// entirely in formal/return joins).
     fn force_top_join_points(&mut self) {
-        for fid in self.m.func_ids() {
-            let f = self.m.function(fid);
+        let m = self.ctx.m;
+        for fid in m.func_ids() {
+            let f = m.function(fid);
             for v in f.value_ids() {
                 if f.value(v).ty() != Some(Ty::Ptr) {
                     continue;
                 }
-                let is_join = matches!(
-                    f.value(v).kind(),
-                    ValueKind::Param { .. }
-                        | ValueKind::Inst(Inst::Phi { .. })
-                        | ValueKind::Inst(Inst::Call {
-                            callee: Callee::Internal(_),
-                            ..
-                        })
-                );
-                if is_join {
+                if is_widen_point(f.value(v).kind()) {
                     self.states[fid.index()][v.index()] = PtrState::top();
                 }
             }
@@ -507,6 +787,161 @@ mod tests {
         let (loc, r) = st.support().next().unwrap();
         assert_eq!(gr.locs().site(loc).kind, crate::LocKind::Unknown);
         assert_eq!(r, &SymRange::constant(0));
+    }
+
+    /// Builds a call chain or ring of `n` functions `f_i(p: ptr) -> ptr
+    /// { q = p + 1; r = f_{i+1}(q); ret r }` (the last links back to
+    /// `f_0` when `ring`, otherwise returns its formal), plus a `main`
+    /// that calls `f_0` with a fresh allocation. The dataflow churns
+    /// exclusively through formal-parameter and call-result joins — no
+    /// φ-nodes anywhere.
+    fn chain_module(n: usize, ring: bool) -> (Module, Vec<FuncId>, ValueId) {
+        use sra_ir::Callee;
+        let mut m = Module::new();
+        for i in 0..n {
+            let mut b = FunctionBuilder::new(&format!("f{i}"), &[Ty::Ptr], Some(Ty::Ptr));
+            let p = b.param(0);
+            let one = b.const_int(1);
+            let q = b.ptr_add(p, one);
+            if i + 1 < n {
+                let r = b.call(Callee::Internal(FuncId::new(i + 1)), &[q], Some(Ty::Ptr));
+                b.ret(Some(r));
+            } else if ring {
+                let r = b.call(Callee::Internal(FuncId::new(0)), &[q], Some(Ty::Ptr));
+                b.ret(Some(r));
+            } else {
+                b.ret(Some(p));
+            }
+            m.add_function(b.finish());
+        }
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let hundred = b.const_int(100);
+        let x = b.malloc(hundred);
+        let r = b.call(Callee::Internal(FuncId::new(0)), &[x], Some(Ty::Ptr));
+        b.ret(None);
+        m.add_function(b.finish());
+        sra_ir::verify::verify_module(&m).expect("chain verifies");
+        let funcs = (0..n).map(FuncId::new).collect();
+        (m, funcs, r)
+    }
+
+    /// A deep *acyclic* call chain converges in O(1) sweeps under the
+    /// alternating condensation schedule — depth 64 is twice the
+    /// ascending cap, which any fixed one-directional sweep order
+    /// (including the pre-wave flat function-id order) would trip,
+    /// forcing every join to ⊤.
+    #[test]
+    fn deep_call_dag_converges_without_tripping_cap() {
+        let depth = 64;
+        let (m, funcs, _r) = chain_module(depth, false);
+        let ra = RangeAnalysis::analyze(&m);
+        for schedule in [GrSchedule::Serial, GrSchedule::Waves] {
+            let config = GrConfig {
+                schedule,
+                threads: 4,
+                ..GrConfig::default()
+            };
+            assert!(config.max_ascending_sweeps < depth as u32);
+            let gr = GrAnalysis::analyze_with(&m, &ra, config);
+            assert!(
+                gr.ascending_sweeps() <= 6,
+                "deep chain should converge in O(1) sweeps, took {}",
+                gr.ascending_sweeps()
+            );
+            // The deepest formal sits exactly `depth - 1` cells in.
+            let last = *funcs.last().unwrap();
+            let p = m.function(last).params()[0];
+            assert_eq!(
+                show(gr.state(last, p), &ra),
+                format!("{{loc0 + [{}, {}]}}", depth - 1, depth - 1)
+            );
+        }
+    }
+
+    /// Regression for the ascending-cap audit: a mutually recursive
+    /// ring whose churn lives *entirely* in formal and call-result
+    /// joins (no φs) must terminate when the cap trips, and every join
+    /// point of the widening cut set — formals AND call results, not
+    /// just φs — must land on ⊤ so no stale finite state survives.
+    /// Widening is disabled so the offsets genuinely grow without
+    /// bound until the cap fires.
+    #[test]
+    fn capped_recursive_ring_forces_all_join_kinds_top() {
+        let n = 8;
+        let (m, funcs, main_call) = chain_module(n, true);
+        let main = FuncId::new(n);
+        let ra = RangeAnalysis::analyze(&m);
+        for schedule in [GrSchedule::Serial, GrSchedule::Waves] {
+            let config = GrConfig {
+                widening: false,
+                max_ascending_sweeps: 2,
+                schedule,
+                threads: 4,
+                ..GrConfig::default()
+            };
+            let gr = GrAnalysis::analyze_with(&m, &ra, config);
+            for &f in &funcs {
+                let func = m.function(f);
+                let p = func.params()[0];
+                assert!(gr.state(f, p).is_top(), "{f}: capped formal must be ⊤");
+                for v in func.value_ids() {
+                    if func.value(v).ty() != Some(Ty::Ptr) {
+                        continue;
+                    }
+                    assert!(
+                        gr.state(f, v).is_top(),
+                        "{f} {v}: every pointer derived from capped joins must be ⊤"
+                    );
+                }
+            }
+            // The caller's call result is itself a forced join…
+            assert!(gr.state(main, main_call).is_top());
+            // …while the allocation seed stays precise (it is invariant,
+            // not a join).
+            let x = m
+                .function(main)
+                .value_ids()
+                .find(|&v| {
+                    matches!(
+                        m.function(main).value(v).kind(),
+                        ValueKind::Inst(Inst::Malloc { .. })
+                    )
+                })
+                .unwrap();
+            assert_eq!(show(gr.state(main, x), &ra), "{loc0 + [0, 0]}");
+        }
+    }
+
+    /// The same ring with widening on and the default cap still
+    /// terminates, and both schedules agree state-for-state.
+    #[test]
+    fn recursive_ring_schedules_agree() {
+        let (m, _funcs, _r) = chain_module(6, true);
+        let ra = RangeAnalysis::analyze(&m);
+        let serial = GrAnalysis::analyze_with(
+            &m,
+            &ra,
+            GrConfig {
+                schedule: GrSchedule::Serial,
+                threads: 1,
+                ..GrConfig::default()
+            },
+        );
+        let waves = GrAnalysis::analyze_with(
+            &m,
+            &ra,
+            GrConfig {
+                schedule: GrSchedule::Waves,
+                threads: 4,
+                ..GrConfig::default()
+            },
+        );
+        for f in m.func_ids() {
+            for v in m.function(f).value_ids() {
+                assert_eq!(serial.state(f, v), waves.state(f, v), "{f} {v}");
+            }
+        }
+        assert_eq!(serial.ascending_sweeps(), waves.ascending_sweeps());
     }
 
     /// A pointer loop: i = φ(p, i+2) with i < e bound — the paper's

@@ -55,7 +55,7 @@ mod query;
 mod state;
 
 pub use driver::{analyze_parallel, BatchAnalysis, DriverConfig};
-pub use gr::{GrAnalysis, GrConfig};
+pub use gr::{GrAnalysis, GrConfig, GrSchedule};
 pub use locs::{AllocSite, LocId, LocKind, LocTable};
 pub use lr::{LocalBase, LrAnalysis, LrPart, LrState};
 pub use query::{

@@ -7,6 +7,7 @@
 //! independent of thread scheduling.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A reasonable worker count for this machine: the available
 /// parallelism, capped so tiny machines and CI runners stay responsive.
@@ -75,6 +76,34 @@ where
         .collect()
 }
 
+/// Like [`run_indexed`], but each job consumes an owned input item:
+/// `f(items[0]), f(items[1]), …`, results in item order.
+///
+/// Owned inputs let jobs *move* heavyweight state (the GR wave
+/// scheduler hands each SCC its state vectors without cloning). Items
+/// are parked in per-slot mutexes so workers can take them across the
+/// scope boundary; the lock is uncontended — every slot is taken
+/// exactly once.
+pub fn run_map<I, T, F>(items: Vec<I>, threads: usize, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    run_indexed(slots.len(), threads, |i| {
+        let item = slots[i]
+            .lock()
+            .expect("pool item lock")
+            .take()
+            .expect("pool item taken once");
+        f(item)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,6 +136,19 @@ mod tests {
         for (i, (j, _)) in out.iter().enumerate() {
             assert_eq!(i, *j);
         }
+    }
+
+    #[test]
+    fn run_map_moves_items_in_order() {
+        for threads in [1, 2, 4] {
+            let items: Vec<String> = (0..17).map(|i| format!("job{i}")).collect();
+            let out = run_map(items, threads, |s| s + "!");
+            assert_eq!(out.len(), 17);
+            for (i, s) in out.iter().enumerate() {
+                assert_eq!(s, &format!("job{i}!"));
+            }
+        }
+        assert_eq!(run_map(Vec::<u8>::new(), 4, |x| x), Vec::<u8>::new());
     }
 
     #[test]

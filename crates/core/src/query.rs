@@ -807,6 +807,50 @@ mod tests {
         assert!(stats.percent_no_alias() > 99.0);
     }
 
+    /// Functions with zero pointer pairs — no pointers at all, or a
+    /// single pointer — must produce an empty matrix and all-zero
+    /// stats with finite percentages, not NaN or a panic.
+    #[test]
+    fn empty_and_single_pointer_functions_yield_empty_matrices() {
+        // percent_no_alias at zero queries is 0.0, not NaN.
+        let zero = QueryStats::default();
+        assert_eq!(zero.queries, 0);
+        assert_eq!(zero.percent_no_alias(), 0.0);
+        assert!(zero.percent_no_alias().is_finite());
+
+        let mut m = Module::new();
+        // An addressless function: integers only.
+        let mut b = FunctionBuilder::new("ints", &[Ty::Int], Some(Ty::Int));
+        let n = b.param(0);
+        let one = b.const_int(1);
+        let n1 = b.binop(BinOp::Add, n, one);
+        b.ret(Some(n1));
+        let ints = m.add_function(b.finish());
+        // A single-pointer function: one malloc, zero pairs.
+        let mut b = FunctionBuilder::new("one_ptr", &[], None);
+        let eight = b.const_int(8);
+        let p = b.malloc(eight);
+        b.ret(None);
+        let one_ptr = m.add_function(b.finish());
+        sra_ir::verify::verify_module(&m).expect("verifies");
+
+        let rbaa = RbaaAnalysis::analyze(&m);
+        for f in [ints, one_ptr] {
+            let matrix = AliasMatrix::build(&rbaa, &m, f);
+            assert_eq!(matrix.stats().queries, 0, "{f}");
+            assert_eq!(matrix.stats().no_alias, 0, "{f}");
+            assert_eq!(matrix.stats().percent_no_alias(), 0.0, "{f}");
+        }
+        // The empty matrix answers lookups about outsiders with None…
+        let matrix = AliasMatrix::build(&rbaa, &m, ints);
+        assert!(matrix.pointers().is_empty());
+        assert_eq!(matrix.lookup(n, n1), None);
+        // …and the single-pointer matrix still covers its diagonal.
+        let matrix = AliasMatrix::build(&rbaa, &m, one_ptr);
+        assert_eq!(matrix.pointers(), &[p]);
+        assert_eq!(matrix.lookup(p, p), Some((AliasResult::MayAlias, None)));
+    }
+
     /// Regression (found by the pipeline deep fuzz): the local test
     /// must not compare offsets taken through *different* σs of the
     /// same φ. In `while (p < e) { *p = x; p = p + 1; }` the body's

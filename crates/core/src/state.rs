@@ -35,6 +35,14 @@ pub enum PtrState {
     Map(BTreeMap<LocId, SymRange>),
 }
 
+/// The default is ⊥ (so dense state tables can be built with
+/// `mem::take`-friendly slots).
+impl Default for PtrState {
+    fn default() -> Self {
+        PtrState::bottom()
+    }
+}
+
 impl PtrState {
     /// The least element ⊥: a pointer that references no location (the
     /// state of `free`'s result).

@@ -1,0 +1,427 @@
+//! Call graph and its strongly-connected-component condensation.
+//!
+//! The interprocedural global analysis (GR) propagates information in
+//! both directions along call edges — actuals flow into formal
+//! parameters, return states flow back into call results — so the unit
+//! of scheduling is not a function but a *strongly connected component*
+//! of the call graph: within an SCC (mutual recursion) the members must
+//! be iterated together, while distinct SCCs are partially ordered by
+//! the condensation DAG.
+//!
+//! [`Condensation`] groups the SCCs into bottom-up **levels**: level 0
+//! holds the leaf SCCs (no internal callees outside themselves), level
+//! `k + 1` the SCCs whose deepest callee chain has length `k + 1`. Two
+//! SCCs on the *same* level are never connected by a call edge in
+//! either direction, which is what lets a scheduler analyse them
+//! concurrently without changing any result — the property
+//! `sra-core`'s wave-scheduled GR is built on.
+//!
+//! Everything here is deterministic: Tarjan's algorithm visits
+//! functions in id order and callees in sorted order, so SCC ids,
+//! member order and level contents depend only on the module.
+//!
+//! # Examples
+//!
+//! ```
+//! use sra_ir::callgraph::Condensation;
+//! use sra_ir::{Callee, FunctionBuilder, Module, Ty};
+//!
+//! let mut m = Module::new();
+//! let mut b = FunctionBuilder::new("leaf", &[Ty::Int], None);
+//! b.ret(None);
+//! let leaf = m.add_function(b.finish());
+//! let mut b = FunctionBuilder::new("root", &[Ty::Int], None);
+//! let n = b.param(0);
+//! b.call(Callee::Internal(leaf), &[n], None);
+//! b.ret(None);
+//! m.add_function(b.finish());
+//!
+//! let cond = Condensation::of_module(&m);
+//! assert_eq!(cond.num_sccs(), 2);
+//! // Bottom-up: the leaf's SCC sits on level 0, the caller's above it.
+//! assert_eq!(cond.levels().len(), 2);
+//! ```
+
+use crate::ids::FuncId;
+use crate::instr::{Callee, Inst};
+use crate::module::Module;
+
+/// Internal-call adjacency of a module: for each function, the sorted,
+/// duplicate-free list of module-internal callees.
+///
+/// External callees are not edges (they cannot carry states), and call
+/// targets outside the module's function range are ignored rather than
+/// trusted — the graph must never panic on unverified input.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    callees: Vec<Vec<FuncId>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `m`.
+    ///
+    /// Calls are collected from every value of every function —
+    /// including instructions in unreachable blocks, which still feed
+    /// the analyses' caller lists — so the edge set is a superset of
+    /// any dataflow the solvers read.
+    pub fn build(m: &Module) -> Self {
+        let n = m.num_functions();
+        let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        for fid in m.func_ids() {
+            let f = m.function(fid);
+            for v in f.value_ids() {
+                if let Some(Inst::Call {
+                    callee: Callee::Internal(target),
+                    ..
+                }) = f.value(v).as_inst()
+                {
+                    if target.index() < n {
+                        callees[fid.index()].push(*target);
+                    }
+                }
+            }
+            let list = &mut callees[fid.index()];
+            list.sort_unstable();
+            list.dedup();
+        }
+        CallGraph { callees }
+    }
+
+    /// Number of functions (graph nodes).
+    pub fn num_functions(&self) -> usize {
+        self.callees.len()
+    }
+
+    /// The internal callees of `f`, sorted and duplicate-free.
+    pub fn callees(&self, f: FuncId) -> &[FuncId] {
+        &self.callees[f.index()]
+    }
+}
+
+/// The SCC condensation of a [`CallGraph`], with a bottom-up level
+/// schedule.
+///
+/// SCC ids are assigned in Tarjan pop order, which is a reverse
+/// topological order of the condensation DAG: every callee SCC has a
+/// smaller id than its callers.
+#[derive(Debug, Clone)]
+pub struct Condensation {
+    /// Function index → SCC id.
+    scc_of: Vec<u32>,
+    /// SCC id → member functions in ascending id order.
+    sccs: Vec<Vec<FuncId>>,
+    /// Whether the SCC contains a cycle (more than one member, or a
+    /// self-recursive function).
+    recursive: Vec<bool>,
+    /// Bottom-up levels: `levels[0]` holds the leaf SCCs; each SCC's
+    /// level is one more than its deepest internal callee SCC. Within a
+    /// level, SCC ids are ascending.
+    levels: Vec<Vec<u32>>,
+}
+
+impl Condensation {
+    /// Condenses the call graph of `m`.
+    pub fn of_module(m: &Module) -> Self {
+        Self::build(&CallGraph::build(m))
+    }
+
+    /// Condenses `g` with an iterative Tarjan — no recursion, so call
+    /// chains deeper than the thread stack are fine.
+    pub fn build(g: &CallGraph) -> Self {
+        let n = g.num_functions();
+        const UNVISITED: u32 = u32::MAX;
+        let mut index = vec![UNVISITED; n];
+        let mut lowlink = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut scc_of = vec![0u32; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut sccs: Vec<Vec<FuncId>> = Vec::new();
+        let mut next_index = 0u32;
+        // The DFS frame: (node, next-callee position).
+        let mut frames: Vec<(u32, usize)> = Vec::new();
+
+        for start in 0..n as u32 {
+            if index[start as usize] != UNVISITED {
+                continue;
+            }
+            frames.push((start, 0));
+            index[start as usize] = next_index;
+            lowlink[start as usize] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start as usize] = true;
+
+            while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+                let vs = v as usize;
+                let callees = g.callees(FuncId::new(vs));
+                if *pos < callees.len() {
+                    let w = callees[*pos].index();
+                    *pos += 1;
+                    if index[w] == UNVISITED {
+                        index[w] = next_index;
+                        lowlink[w] = next_index;
+                        next_index += 1;
+                        stack.push(w as u32);
+                        on_stack[w] = true;
+                        frames.push((w as u32, 0));
+                    } else if on_stack[w] {
+                        lowlink[vs] = lowlink[vs].min(index[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        let p = parent as usize;
+                        lowlink[p] = lowlink[p].min(lowlink[vs]);
+                    }
+                    if lowlink[vs] == index[vs] {
+                        // v is an SCC root: pop its members.
+                        let id = sccs.len() as u32;
+                        let mut members = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("SCC member on stack");
+                            on_stack[w as usize] = false;
+                            scc_of[w as usize] = id;
+                            members.push(FuncId::new(w as usize));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        members.sort_unstable();
+                        sccs.push(members);
+                    }
+                }
+            }
+        }
+
+        // A cycle: several members, or a self edge.
+        let recursive: Vec<bool> = sccs
+            .iter()
+            .map(|members| {
+                members.len() > 1
+                    || members
+                        .iter()
+                        .any(|&f| g.callees(f).binary_search(&f).is_ok())
+            })
+            .collect();
+
+        // Levels, in SCC id order — callees always have smaller ids, so
+        // their levels are already final when a caller is reached.
+        let mut level = vec![0u32; sccs.len()];
+        let mut max_level = 0u32;
+        for (id, members) in sccs.iter().enumerate() {
+            for &f in members {
+                for &callee in g.callees(f) {
+                    let cs = scc_of[callee.index()] as usize;
+                    if cs != id {
+                        debug_assert!(cs < id, "callee SCCs precede callers");
+                        level[id] = level[id].max(level[cs] + 1);
+                    }
+                }
+            }
+            max_level = max_level.max(level[id]);
+        }
+        let mut levels: Vec<Vec<u32>> = vec![
+            Vec::new();
+            if sccs.is_empty() {
+                0
+            } else {
+                max_level as usize + 1
+            }
+        ];
+        for (id, &l) in level.iter().enumerate() {
+            levels[l as usize].push(id as u32);
+        }
+
+        Condensation {
+            scc_of,
+            sccs,
+            recursive,
+            levels,
+        }
+    }
+
+    /// Number of SCCs.
+    pub fn num_sccs(&self) -> usize {
+        self.sccs.len()
+    }
+
+    /// The SCC id of function `f`.
+    pub fn scc_of(&self, f: FuncId) -> u32 {
+        self.scc_of[f.index()]
+    }
+
+    /// The member functions of SCC `scc`, in ascending id order.
+    pub fn members(&self, scc: u32) -> &[FuncId] {
+        &self.sccs[scc as usize]
+    }
+
+    /// Whether `scc` contains a call cycle (mutual or self recursion).
+    pub fn is_recursive(&self, scc: u32) -> bool {
+        self.recursive[scc as usize]
+    }
+
+    /// The bottom-up level schedule: `levels()[0]` are the leaf SCCs.
+    /// Two SCCs on the same level share no call edge, in either
+    /// direction.
+    pub fn levels(&self) -> &[Vec<u32>] {
+        &self.levels
+    }
+
+    /// The widest level — an upper bound on useful scheduling
+    /// parallelism.
+    pub fn max_level_width(&self) -> usize {
+        self.levels.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::Callee;
+    use crate::Ty;
+
+    /// Builds a module whose call structure is given by `edges`
+    /// (caller index → callee index) over `n` trivial functions.
+    fn module_with_edges(n: usize, edges: &[(usize, usize)]) -> Module {
+        let mut m = Module::new();
+        for i in 0..n {
+            let mut b = FunctionBuilder::new(&format!("f{i}"), &[Ty::Int], None);
+            let arg = b.param(0);
+            for &(from, to) in edges {
+                if from == i {
+                    b.call(Callee::Internal(FuncId::new(to)), &[arg], None);
+                }
+            }
+            b.ret(None);
+            m.add_function(b.finish());
+        }
+        m
+    }
+
+    #[test]
+    fn acyclic_chain_levels_bottom_up() {
+        // f0 → f1 → f2: three singleton SCCs, three levels, f2 at the
+        // bottom.
+        let m = module_with_edges(3, &[(0, 1), (1, 2)]);
+        let cond = Condensation::of_module(&m);
+        assert_eq!(cond.num_sccs(), 3);
+        assert_eq!(cond.levels().len(), 3);
+        let leaf_scc = cond.levels()[0][0];
+        assert_eq!(cond.members(leaf_scc), &[FuncId::new(2)]);
+        let top_scc = cond.levels()[2][0];
+        assert_eq!(cond.members(top_scc), &[FuncId::new(0)]);
+        assert!(!cond.is_recursive(leaf_scc));
+    }
+
+    #[test]
+    fn mutual_recursion_collapses_to_one_scc() {
+        // f0 ⇄ f1, both called by f2.
+        let m = module_with_edges(3, &[(0, 1), (1, 0), (2, 0), (2, 1)]);
+        let cond = Condensation::of_module(&m);
+        assert_eq!(cond.num_sccs(), 2);
+        let pair = cond.scc_of(FuncId::new(0));
+        assert_eq!(pair, cond.scc_of(FuncId::new(1)));
+        assert_eq!(cond.members(pair), &[FuncId::new(0), FuncId::new(1)]);
+        assert!(cond.is_recursive(pair));
+        // The recursive pair is the leaf level, f2 above it.
+        assert_eq!(cond.levels().len(), 2);
+        assert_eq!(cond.levels()[0], &[pair]);
+    }
+
+    #[test]
+    fn self_recursion_is_recursive_singleton() {
+        let m = module_with_edges(1, &[(0, 0)]);
+        let cond = Condensation::of_module(&m);
+        assert_eq!(cond.num_sccs(), 1);
+        assert!(cond.is_recursive(0));
+        assert_eq!(cond.levels(), &[vec![0u32]]);
+    }
+
+    #[test]
+    fn independent_functions_share_level_zero() {
+        let m = module_with_edges(4, &[]);
+        let cond = Condensation::of_module(&m);
+        assert_eq!(cond.num_sccs(), 4);
+        assert_eq!(cond.levels().len(), 1);
+        assert_eq!(cond.levels()[0].len(), 4);
+        assert_eq!(cond.max_level_width(), 4);
+    }
+
+    #[test]
+    fn same_level_sccs_are_never_adjacent() {
+        // Diamond + a recursive pair hanging off one side.
+        let m = module_with_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (1, 4), (4, 5), (5, 4)]);
+        let g = CallGraph::build(&m);
+        let cond = Condensation::build(&g);
+        for level in cond.levels() {
+            for &a in level {
+                for &b in level {
+                    if a == b {
+                        continue;
+                    }
+                    for &fa in cond.members(a) {
+                        for &fb in cond.members(b) {
+                            assert!(
+                                !g.callees(fa).contains(&fb),
+                                "level-mates {fa} → {fb} are adjacent"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn callee_scc_ids_precede_callers() {
+        let m = module_with_edges(5, &[(0, 1), (1, 2), (0, 3), (3, 4), (4, 3)]);
+        let cond = Condensation::of_module(&m);
+        for f in m.func_ids() {
+            let me = cond.scc_of(f);
+            for v in m.function(f).value_ids() {
+                if let Some(Inst::Call {
+                    callee: Callee::Internal(t),
+                    ..
+                }) = m.function(f).value(v).as_inst()
+                {
+                    let callee_scc = cond.scc_of(*t);
+                    if callee_scc != me {
+                        assert!(callee_scc < me);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_module_and_out_of_range_targets() {
+        let m = Module::new();
+        let cond = Condensation::of_module(&m);
+        assert_eq!(cond.num_sccs(), 0);
+        assert!(cond.levels().is_empty());
+        assert_eq!(cond.max_level_width(), 0);
+
+        // A call to a function id beyond the module is ignored, not
+        // trusted.
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("f", &[Ty::Int], None);
+        let arg = b.param(0);
+        b.call(Callee::Internal(FuncId::new(7)), &[arg], None);
+        b.ret(None);
+        m.add_function(b.finish());
+        let g = CallGraph::build(&m);
+        assert!(g.callees(FuncId::new(0)).is_empty());
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_the_stack() {
+        // 20k-deep chain: the iterative Tarjan must not recurse.
+        let n = 20_000;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let m = module_with_edges(n, &edges);
+        let cond = Condensation::of_module(&m);
+        assert_eq!(cond.num_sccs(), n);
+        assert_eq!(cond.levels().len(), n);
+    }
+}

@@ -31,6 +31,16 @@ impl Cfg {
     /// Builds adjacency and a reverse post-order for `f`.
     pub fn new(f: &Function) -> Self {
         let n = f.num_blocks();
+        if n == 0 {
+            // A function with no blocks has no CFG; the parser rejects
+            // such functions, but hand-built ones must not panic here.
+            return Cfg {
+                preds: Vec::new(),
+                succs: Vec::new(),
+                rpo: Vec::new(),
+                rpo_index: Vec::new(),
+            };
+        }
         let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
         let mut succs: Vec<Vec<BlockId>> = vec![Vec::new(); n];
         for b in f.block_ids() {

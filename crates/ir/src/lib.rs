@@ -53,6 +53,7 @@
 //! ```
 
 pub mod builder;
+pub mod callgraph;
 pub mod cfg;
 pub mod dom;
 pub mod essa;

@@ -48,6 +48,14 @@ impl std::error::Error for IrParseError {}
 
 /// Parses a whole module in the printer's format.
 ///
+/// Parsing is *total*: any malformed input — unknown opcodes, values
+/// that are referenced but never defined, blocks without terminators,
+/// functions without blocks, internal calls whose arity does not match
+/// the callee — yields a structured [`IrParseError`] rather than a
+/// panic, here or in downstream passes that assume these invariants.
+/// Return types of internal calls are recovered from the callee
+/// signatures once the whole module is known.
+///
 /// # Errors
 ///
 /// Returns an [`IrParseError`] at the first malformed line.
@@ -55,14 +63,21 @@ pub fn parse_module(text: &str) -> Result<Module, IrParseError> {
     let mut m = Module::new();
     let mut func_names: HashMap<String, FuncId> = HashMap::new();
     // Pre-scan function names so calls resolve in any order.
-    for line in text.lines() {
+    for (idx, line) in text.lines().enumerate() {
         let t = line.trim();
         if let Some(rest) = t.strip_prefix("func @") {
             if let Some(name) = rest.split('(').next() {
-                func_names.insert(name.to_owned(), FuncId::new(func_names.len()));
+                let id = FuncId::new(func_names.len());
+                if func_names.insert(name.to_owned(), id).is_some() {
+                    return Err(err(idx, format!("duplicate function `@{name}`")));
+                }
             }
         }
     }
+    // Internal call sites: (line, target, arg count, value-producing),
+    // checked against the callee signatures once every function is
+    // parsed.
+    let mut call_sites: Vec<CallSiteRecord> = Vec::new();
     let mut lines = text.lines().enumerate().peekable();
     while let Some((idx, raw)) = lines.next() {
         let line = raw.trim();
@@ -84,13 +99,78 @@ pub fn parse_module(text: &str) -> Result<Module, IrParseError> {
                     break;
                 }
             }
-            let f = parse_function(&body, &func_names)?;
+            let f = parse_function(&body, &func_names, &mut call_sites)?;
             m.add_function(f);
             continue;
         }
         return Err(err(idx, format!("unexpected top-level line: {line}")));
     }
+    link_calls(&mut m, &call_sites)?;
     Ok(m)
+}
+
+/// One internal call site awaiting signature checks: line, target,
+/// argument count, whether the call produces a value.
+type CallSiteRecord = (usize, FuncId, usize, bool);
+
+/// Post-pass over the assembled module: validates internal call sites
+/// against the (now fully known) callee signatures and recovers their
+/// precise return types, which the printed form cannot carry.
+fn link_calls(m: &mut Module, call_sites: &[CallSiteRecord]) -> Result<(), IrParseError> {
+    for &(line, target, argc, valued) in call_sites {
+        if target.index() >= m.num_functions() {
+            return Err(err(line, format!("call to unparsed function {target}")));
+        }
+        let callee = m.function(target);
+        if callee.param_tys().len() != argc {
+            return Err(err(
+                line,
+                format!(
+                    "call to `@{}` with {argc} args, expected {}",
+                    callee.name(),
+                    callee.param_tys().len()
+                ),
+            ));
+        }
+        if valued && callee.ret_ty().is_none() {
+            return Err(err(
+                line,
+                format!(
+                    "call takes the result of void function `@{}`",
+                    callee.name()
+                ),
+            ));
+        }
+    }
+    // Fix up return types: valued internal calls adopt the callee's
+    // declared return type (the default was int), statement-form calls
+    // record it on the instruction while staying void values.
+    for fid in m.func_ids() {
+        let mut fixes: Vec<(ValueId, Option<Ty>, bool)> = Vec::new();
+        let f = m.function(fid);
+        for v in f.value_ids() {
+            if let ValueKind::Inst(crate::Inst::Call {
+                callee: crate::Callee::Internal(t),
+                ..
+            }) = &f.value(v).kind
+            {
+                let sig_ret = m.function(*t).ret_ty();
+                let valued = f.value(v).ty().is_some();
+                fixes.push((v, sig_ret, valued));
+            }
+        }
+        let f = m.function_mut(fid);
+        for (v, sig_ret, valued) in fixes {
+            let data = f.value_mut(v);
+            if let ValueKind::Inst(crate::Inst::Call { ret_ty, .. }) = &mut data.kind {
+                *ret_ty = sig_ret;
+            }
+            if valued {
+                data.ty = sig_ret;
+            }
+        }
+    }
+    Ok(())
 }
 
 fn err(idx: usize, message: impl Into<String>) -> IrParseError {
@@ -113,9 +193,14 @@ struct FnParser<'a> {
     /// Textual value name (`v7`) → rebuilt id; filled lazily so forward
     /// references (φ back edges) work.
     values: HashMap<String, ValueId>,
+    /// Forward-referenced names not yet defined — parsing fails if any
+    /// survive to the end of the function.
+    pending: std::collections::BTreeSet<String>,
     /// Textual block name → id.
     blocks: HashMap<String, BlockId>,
     consts: HashMap<i64, ValueId>,
+    /// Internal call sites of this function, for module-level linking.
+    calls: Vec<CallSiteRecord>,
 }
 
 impl FnParser<'_> {
@@ -128,8 +213,9 @@ impl FnParser<'_> {
         b
     }
 
-    /// Resolves an operand: integer literal or value name. Forward
-    /// references get a placeholder slot patched when defined.
+    /// Resolves an operand: integer literal or value name (`v` followed
+    /// by digits — anything else is malformed, not a fresh name).
+    /// Forward references get a placeholder slot patched when defined.
     fn operand(&mut self, tok: &str) -> Option<ValueId> {
         if let Ok(c) = tok.parse::<i64>() {
             if let Some(&v) = self.consts.get(&c) {
@@ -144,14 +230,14 @@ impl FnParser<'_> {
             self.consts.insert(c, v);
             return Some(v);
         }
-        if !tok.starts_with('v') {
+        if !tok.starts_with('v') || tok.len() < 2 || !tok[1..].bytes().all(|b| b.is_ascii_digit()) {
             return None;
         }
         if let Some(&v) = self.values.get(tok) {
             return Some(v);
         }
         // Forward reference: reserve a slot now; the definition line
-        // will fill in the real data.
+        // must fill in the real data before the function ends.
         let v = self.f.add_value(ValueData {
             ty: None,
             kind: ValueKind::Const(0), // patched at definition
@@ -159,12 +245,14 @@ impl FnParser<'_> {
             name: None,
         });
         self.values.insert(tok.to_owned(), v);
+        self.pending.insert(tok.to_owned());
         Some(v)
     }
 
     /// Binds `name` to a definition, reusing a forward-reference slot.
     fn define(&mut self, name: &str, data: ValueData) -> ValueId {
         if let Some(&v) = self.values.get(name) {
+            self.pending.remove(name);
             *self.f.value_mut(v) = data;
             return v;
         }
@@ -177,6 +265,7 @@ impl FnParser<'_> {
 fn parse_function(
     body: &[(usize, String)],
     func_names: &HashMap<String, FuncId>,
+    call_sites: &mut Vec<CallSiteRecord>,
 ) -> Result<Function, IrParseError> {
     let (hidx, header) = &body[0];
     let (name, params, ret, exported) =
@@ -205,8 +294,10 @@ fn parse_function(
             f
         },
         values: HashMap::new(),
+        pending: std::collections::BTreeSet::new(),
         blocks: HashMap::new(),
         consts: HashMap::new(),
+        calls: Vec::new(),
     };
     for (i, (pname, _)) in params.iter().enumerate() {
         let v = p.f.params[i];
@@ -226,8 +317,43 @@ fn parse_function(
         let b = current.ok_or_else(|| err(*idx, "instruction outside a block"))?;
         // Strip trailing `; name` comments.
         let line = line.split("    ;").next().unwrap_or(line).trim();
-        parse_line(&mut p, b, line).map_err(|m| err(*idx, m))?;
+        parse_line(&mut p, b, *idx, line).map_err(|m| err(*idx, m))?;
     }
+
+    // Structural invariants the downstream passes (CFG construction,
+    // dominance, the analyses) assume — reported here as parse errors
+    // instead of panicking later.
+    if !p.pending.is_empty() {
+        let names: Vec<&str> = p.pending.iter().map(String::as_str).collect();
+        return Err(err(
+            *hidx,
+            format!(
+                "function `{}` uses undefined value(s): {}",
+                p.f.name(),
+                names.join(", ")
+            ),
+        ));
+    }
+    if p.f.blocks.is_empty() {
+        return Err(err(
+            *hidx,
+            format!("function `{}` has no blocks", p.f.name()),
+        ));
+    }
+    let mut named_blocks: Vec<(&String, BlockId)> = p.blocks.iter().map(|(n, &b)| (n, b)).collect();
+    named_blocks.sort_by_key(|&(_, b)| b.index());
+    for (bname, b) in named_blocks {
+        if p.f.block(b).terminator_opt().is_none() {
+            return Err(err(
+                *hidx,
+                format!(
+                    "block `{bname}` of function `{}` has no terminator",
+                    p.f.name()
+                ),
+            ));
+        }
+    }
+    call_sites.append(&mut p.calls);
     Ok(p.f)
 }
 
@@ -268,7 +394,7 @@ fn parse_header(line: &str) -> Option<Header> {
     Some((name.to_owned(), params, ret, exported))
 }
 
-fn parse_line(p: &mut FnParser<'_>, b: BlockId, line: &str) -> Result<(), String> {
+fn parse_line(p: &mut FnParser<'_>, b: BlockId, idx: usize, line: &str) -> Result<(), String> {
     // Terminators first.
     if let Some(rest) = line.strip_prefix("jump ") {
         let t = p.block(rest.trim());
@@ -310,7 +436,7 @@ fn parse_line(p: &mut FnParser<'_>, b: BlockId, line: &str) -> Result<(), String
         return Ok(());
     }
     if let Some(rest) = line.strip_prefix("call ") {
-        let (inst, _) = parse_call(p, rest, None)?;
+        let (inst, _) = parse_call(p, rest, idx, None)?;
         push_inst(p, b, None, inst, None);
         return Ok(());
     }
@@ -433,7 +559,7 @@ fn parse_line(p: &mut FnParser<'_>, b: BlockId, line: &str) -> Result<(), String
             )
         }
         "call" => {
-            let (inst, ty) = parse_call(p, rest, Some(Ty::Int))?;
+            let (inst, ty) = parse_call(p, rest, idx, Some(Ty::Int))?;
             // A result-producing call: the printed form cannot recover
             // the type precisely for externals, so int is the default
             // and `!`-marked known pointer externals stay int unless
@@ -460,10 +586,12 @@ fn parse_cmp(s: &str) -> Result<CmpOp, String> {
 }
 
 /// Parses `@name(args…)` or `@name!(args…)`; returns the instruction
-/// and its return type (`None` = void statement form).
+/// and its return type (`None` = void statement form). Internal calls
+/// are recorded for module-level arity and return-type linking.
 fn parse_call(
     p: &mut FnParser<'_>,
     rest: &str,
+    idx: usize,
     default_ret: Option<Ty>,
 ) -> Result<(Inst, Option<Ty>), String> {
     let rest = rest
@@ -485,6 +613,7 @@ fn parse_call(
             .func_names
             .get(target)
             .ok_or_else(|| format!("unknown function `@{target}`"))?;
+        p.calls.push((idx, fid, args.len(), default_ret.is_some()));
         (Callee::Internal(fid), default_ret)
     };
     Ok((
@@ -643,5 +772,97 @@ mod tests {
         let text = "func @f(v0: int) {\nb0:\n  jump b1\nb1:\n  v1 = phi [b0: v0], [b1: v2]\n  v2 = add v1, 1\n  jump b1\n}\n";
         let m = parse_module(text).unwrap();
         verify_module(&m).expect("verifies");
+    }
+
+    /// The structural errors that previously escaped as panics in
+    /// downstream passes (CFG construction over zero blocks, call-site
+    /// argument indexing in the global analysis, …) are ordinary parse
+    /// errors now.
+    #[test]
+    fn rejects_structurally_broken_functions() {
+        // No blocks at all: `Cfg::new` used to index an empty visited
+        // array for such functions.
+        let e = parse_module("func @f() {\n}\n").unwrap_err();
+        assert!(e.message.contains("has no blocks"), "{e}");
+
+        // A referenced-but-undefined value.
+        let e = parse_module("func @f() {\nb0:\n  v1 = add v9, 1\n  ret\n}\n").unwrap_err();
+        assert!(e.message.contains("undefined value"), "{e}");
+        assert!(e.message.contains("v9"), "{e}");
+
+        // A block created as a branch target but never terminated.
+        let e = parse_module("func @f() {\nb0:\n  jump b1\n}\n").unwrap_err();
+        assert!(e.message.contains("has no terminator"), "{e}");
+        assert!(e.message.contains("b1"), "{e}");
+
+        // A garbage operand is malformed, not a fresh forward
+        // reference.
+        let e = parse_module("func @f() {\nb0:\n  v1 = add vx7, 1\n  ret\n}\n").unwrap_err();
+        assert!(e.message.contains("bad lhs"), "{e}");
+
+        // Duplicate function names would skew call resolution.
+        let e =
+            parse_module("func @f() {\nb0:\n  ret\n}\nfunc @f() {\nb0:\n  ret\n}\n").unwrap_err();
+        assert!(e.message.contains("duplicate function"), "{e}");
+    }
+
+    /// Internal calls are linked against the callee signatures: arity
+    /// mismatches are parse errors (the global analysis used to index
+    /// actuals by formal position and panic), and return types are
+    /// recovered from the signature.
+    #[test]
+    fn links_internal_calls_against_signatures() {
+        // Arity mismatch, with the offending line reported.
+        let text = "func @callee(v0: int, v1: int) {\nb0:\n  ret\n}\n\
+                    func @caller() {\nb0:\n  call @callee(3)\n  ret\n}\n";
+        let e = parse_module(text).unwrap_err();
+        assert_eq!(e.line, 7);
+        assert!(e.message.contains("1 args, expected 2"), "{e}");
+
+        // Taking the result of a void function.
+        let text = "func @callee() {\nb0:\n  ret\n}\n\
+                    func @caller() {\nb0:\n  v1 = call @callee()\n  ret\n}\n";
+        let e = parse_module(text).unwrap_err();
+        assert!(e.message.contains("void function"), "{e}");
+
+        // A pointer-returning internal call gets its precise type back
+        // (the printed form cannot carry it), so the round trip
+        // verifies.
+        let text = "func @mk(v0: int) -> ptr {\nb0:\n  v1 = malloc v0\n  ret v1\n}\n\
+                    func @use() {\nb0:\n  v1 = call @mk(8)\n  v2 = ptradd v1, 1\n  ret\n}\n";
+        let m = parse_module(text).unwrap();
+        verify_module(&m).expect("recovered return type verifies");
+        let user = m.function_by_name("use").unwrap();
+        let f = m.function(user);
+        let call = f
+            .value_ids()
+            .find(|&v| matches!(f.value(v).as_inst(), Some(Inst::Call { .. })))
+            .unwrap();
+        assert_eq!(f.value(call).ty(), Some(Ty::Ptr));
+    }
+
+    /// Pointer-returning internal calls round-trip through print →
+    /// parse → print with their types intact.
+    #[test]
+    fn roundtrip_recovers_internal_call_types() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("mk", &[Ty::Int], Some(Ty::Ptr));
+        let n = b.param(0);
+        let buf = b.malloc(n);
+        b.ret(Some(buf));
+        let mk = m.add_function(b.finish());
+        let mut b = FunctionBuilder::new("use", &[], None);
+        let eight = b.const_int(8);
+        let p = b.call(Callee::Internal(mk), &[eight], Some(Ty::Ptr));
+        let one = b.const_int(1);
+        let _q = b.ptr_add(p, one);
+        b.ret(None);
+        m.add_function(b.finish());
+        verify_module(&m).expect("source verifies");
+
+        let printed = print_module(&m);
+        let reparsed = parse_module(&printed).expect("parses");
+        verify_module(&reparsed).expect("reparsed verifies");
+        assert_eq!(normalize(&printed), normalize(&print_module(&reparsed)));
     }
 }

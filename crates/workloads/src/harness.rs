@@ -269,6 +269,46 @@ mod tests {
         assert_eq!(serial.ranged_ptrs, parallel.ranged_ptrs);
     }
 
+    /// Modules with zero pointer pairs keep every percentage finite —
+    /// the guard behind them must return 0.0, not NaN, so report
+    /// tables and the Figure 13/14 binaries stay well-defined on
+    /// trivial inputs.
+    #[test]
+    fn zero_query_modules_have_finite_percentages() {
+        use sra_ir::{FunctionBuilder, Module, Ty};
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("ints", &[Ty::Int], Some(Ty::Int));
+        let n = b.param(0);
+        b.ret(Some(n));
+        m.add_function(b.finish());
+        let row = evaluate(&m);
+        assert_eq!(row.queries, 0);
+        for pct in [
+            row.scev_pct(),
+            row.basic_pct(),
+            row.rbaa_pct(),
+            row.rb_pct(),
+            row.symbolic_pct(),
+        ] {
+            assert_eq!(pct, 0.0);
+            assert!(pct.is_finite());
+        }
+        // And the whole suite — including its smallest benchmarks —
+        // only ever produces finite percentages.
+        for bench in suite::benchmarks() {
+            let m = bench.build().unwrap();
+            let row = evaluate(&m);
+            for pct in [
+                row.rbaa_pct(),
+                row.basic_pct(),
+                row.scev_pct(),
+                row.rb_pct(),
+            ] {
+                assert!(pct.is_finite(), "{}: non-finite percentage", bench.name);
+            }
+        }
+    }
+
     #[test]
     fn metrics_merge_totals() {
         let mut a = Metrics {

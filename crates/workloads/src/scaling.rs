@@ -139,6 +139,136 @@ fn gen_function(name: &str, rng: &mut StdRng) -> sra_ir::Function {
     b.finish()
 }
 
+/// Generates a module of `funcs` interlinked functions whose *call
+/// graph* — not instruction count — is the scaling axis,
+/// deterministically from `seed`.
+///
+/// [`generate_module`] stresses the per-function phases: many
+/// instructions, but a flat two-level call graph (`main` → leaves)
+/// that the interprocedural GR solves in a couple of sweeps. This
+/// generator instead stresses the GR wave scheduler with the shapes
+/// that dominate real programs:
+///
+/// * **deep call chains** — `f_i` calls `f_{i+1}` through dozens of
+///   levels, so interprocedural state must travel far in both
+///   directions (actuals down, returns up);
+/// * **mutually recursive cliques** — 2–3 functions calling each
+///   other, which fuse into one condensation SCC and serialise;
+/// * **wide fans of independent leaves** — whole condensation levels
+///   of mutually unrelated SCCs, the parallelism the wave schedule
+///   harvests;
+/// * **cross links** — extra DAG edges between segments so levels
+///   interleave.
+///
+/// Every function takes `(ptr, int)` and returns a pointer derived
+/// from its formal, a callee's return, or a fresh allocation, so the
+/// churn runs through exactly the formal/return joins the GR cut set
+/// widens. `main` (exported, added last) calls every segment head with
+/// a fresh buffer.
+pub fn generate_call_graph_module(funcs: usize, seed: u64) -> Module {
+    let funcs = funcs.max(1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5cc5_c0de);
+
+    // Plan the call edges first: function ids are fixed (0..funcs,
+    // main last), so bodies can be built in one pass.
+    let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); funcs];
+    let mut heads: Vec<FuncId> = Vec::new();
+    let mut i = 0usize;
+    while i < funcs {
+        heads.push(FuncId::new(i));
+        let remaining = funcs - i;
+        match rng.gen_range(0..4) {
+            // Deep chain.
+            0 => {
+                let len = rng.gen_range(3..24).min(remaining);
+                for k in 0..len - 1 {
+                    callees[i + k].push(FuncId::new(i + k + 1));
+                }
+                i += len;
+            }
+            // Mutually recursive clique (ring of 2-3).
+            1 if remaining >= 2 => {
+                let len = rng.gen_range(2..4).min(remaining);
+                for k in 0..len {
+                    callees[i + k].push(FuncId::new(i + (k + 1) % len));
+                }
+                i += len;
+            }
+            // Fan: one dispatcher over a handful of fresh leaves.
+            2 if remaining >= 3 => {
+                let width = rng.gen_range(2..8).min(remaining - 1);
+                for k in 0..width {
+                    callees[i].push(FuncId::new(i + 1 + k));
+                }
+                i += width + 1;
+            }
+            // Independent leaf.
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    // Cross links: forward DAG edges between segments (never backward,
+    // so recursion stays confined to the planned cliques).
+    let cross = funcs / 6;
+    for _ in 0..cross {
+        let from = rng.gen_range(0..funcs.saturating_sub(1).max(1));
+        let to = rng.gen_range(from + 1..funcs);
+        let target = FuncId::new(to);
+        if !callees[from].contains(&target) {
+            callees[from].push(target);
+        }
+    }
+
+    let mut m = Module::new();
+    for (idx, targets) in callees.iter().enumerate() {
+        let mut b = FunctionBuilder::new(&format!("g{idx}"), &[Ty::Ptr, Ty::Int], Some(Ty::Ptr));
+        let p = b.param(0);
+        let n = b.param(1);
+        let step = b.const_int(rng.gen_range(1..4));
+        let q = b.ptr_add(p, step);
+        let mut last = q;
+        for &t in targets {
+            last = b.call(Callee::Internal(t), &[q, n], Some(Ty::Ptr));
+        }
+        // Some bodies allocate and do local pointer work so the
+        // per-function phases and matrices have meat too.
+        if rng.gen_bool(0.4) {
+            let size = b.const_int(rng.gen_range(4..16));
+            let s = b.malloc(size);
+            let off = b.const_int(1);
+            let s1 = b.ptr_add(s, off);
+            b.store(s1, n);
+            if rng.gen_bool(0.5) {
+                last = s1;
+            }
+        }
+        let ret = match rng.gen_range(0..3) {
+            0 => q,
+            _ => last,
+        };
+        b.ret(Some(ret));
+        let mut f = b.finish();
+        sra_ir::essa::run(&mut f);
+        m.add_function(f);
+    }
+    // main calls every segment head with a fresh buffer.
+    let mut b = FunctionBuilder::new("main", &[], Some(Ty::Int));
+    for &h in &heads {
+        let n = b.call(Callee::External("atoi".into()), &[], Some(Ty::Int));
+        let pad = b.const_int(64);
+        let size = b.binop(BinOp::Add, n, pad);
+        let buf = b.malloc(size);
+        let _ = b.call(Callee::Internal(h), &[buf, n], Some(Ty::Ptr));
+    }
+    let zero = b.const_int(0);
+    b.ret(Some(zero));
+    let mut main = b.finish();
+    main.set_exported(true);
+    m.add_function(main);
+    m
+}
+
 /// The sizes used by the Figure 15 sweep: 50 programs growing (roughly
 /// geometrically) from about 1k to `max_insts` instructions.
 pub fn figure15_sizes(max_insts: usize) -> Vec<usize> {
@@ -224,5 +354,41 @@ mod tests {
         let metrics = crate::harness::evaluate(&m);
         assert!(metrics.queries > 0);
         assert!(metrics.rbaa_no > 0, "the generated idioms are analyzable");
+    }
+
+    #[test]
+    fn call_graph_module_verifies_and_is_deterministic() {
+        let m = generate_call_graph_module(150, 9);
+        sra_ir::verify::verify_module(&m).expect("verified");
+        assert_eq!(m.num_functions(), 151); // 150 + main
+        let again = generate_call_graph_module(150, 9);
+        assert_eq!(
+            sra_ir::print_module(&m),
+            sra_ir::print_module(&again),
+            "generator must be deterministic"
+        );
+    }
+
+    #[test]
+    fn call_graph_module_has_depth_recursion_and_width() {
+        let m = generate_call_graph_module(200, 4);
+        let cond = sra_ir::callgraph::Condensation::of_module(&m);
+        assert!(
+            cond.levels().len() > 8,
+            "expected deep chains, got {} levels",
+            cond.levels().len()
+        );
+        assert!(
+            cond.max_level_width() > 8,
+            "expected wide levels, got {}",
+            cond.max_level_width()
+        );
+        assert!(
+            (0..cond.num_sccs() as u32).any(|s| cond.is_recursive(s)),
+            "expected at least one recursive clique"
+        );
+        // And the workload is analyzable end to end.
+        let metrics = crate::harness::evaluate(&m);
+        assert!(metrics.queries > 0);
     }
 }

@@ -7,16 +7,33 @@
 
 use proptest::prelude::*;
 use sra::core::{
-    pointer_values, AliasAnalysis, BatchAnalysis, DriverConfig, QueryStats, RbaaAnalysis,
+    pointer_values, AliasAnalysis, BatchAnalysis, DriverConfig, GrSchedule, QueryStats,
+    RbaaAnalysis,
 };
 use sra::ir::Module;
 
 /// Asserts the full equivalence on one module for a given worker
 /// count: every ordered pair (including the diagonal), plus the
-/// aggregated per-function statistics.
+/// aggregated per-function statistics. The batch driver runs with the
+/// GR schedule forced **both** ways — waves and serial — against the
+/// one serial reference.
 fn assert_equivalent(m: &Module, threads: usize) -> Result<(), TestCaseError> {
     let serial = RbaaAnalysis::analyze(m);
-    let batch = BatchAnalysis::analyze_with(m, DriverConfig::with_threads(threads));
+    for schedule in [GrSchedule::Waves, GrSchedule::Serial] {
+        let mut config = DriverConfig::with_threads(threads);
+        config.gr.schedule = schedule;
+        let batch = BatchAnalysis::analyze_with(m, config);
+        assert_batch_matches(m, &serial, &batch, threads)?;
+    }
+    Ok(())
+}
+
+fn assert_batch_matches(
+    m: &Module,
+    serial: &RbaaAnalysis,
+    batch: &BatchAnalysis,
+    threads: usize,
+) -> Result<(), TestCaseError> {
     for f in m.func_ids() {
         let ptrs = pointer_values(m, f);
         for &p in &ptrs {
@@ -35,7 +52,7 @@ fn assert_equivalent(m: &Module, threads: usize) -> Result<(), TestCaseError> {
         }
         prop_assert_eq!(
             batch.stats(f),
-            &QueryStats::run_pairs(&serial, f, &ptrs),
+            &QueryStats::run_pairs(serial, f, &ptrs),
             "stats drift for {}",
             f
         );

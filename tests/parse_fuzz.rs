@@ -1,0 +1,145 @@
+//! Parser robustness rail: `sra_ir::parse_module` must be *total* —
+//! every input either parses or returns a structured `IrParseError`,
+//! never a panic. The strategy prints a known-valid generated module
+//! and then mutates the text the way fuzzers and hand editors break
+//! files: deleted/duplicated/swapped lines, truncations, and
+//! character-level edits. Whatever still parses is fed through the
+//! verifier, and verifier-clean modules through the full analysis
+//! pipeline, so "parses but detonates downstream" counts as a failure
+//! too.
+
+use proptest::prelude::*;
+use sra::core::{BatchAnalysis, DriverConfig};
+use sra::ir::{parse_module, print_module};
+
+/// Applies one textual mutation, selected and parameterised by `which`
+/// and two free parameters interpreted per mutation kind.
+fn mutate(text: &str, which: u8, a: usize, b: usize) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.is_empty() {
+        return text.to_owned();
+    }
+    match which % 6 {
+        // Delete a line (a terminator, a definition, a header, …).
+        0 => {
+            let i = a % lines.len();
+            let mut out: Vec<&str> = lines.clone();
+            out.remove(i);
+            out.join("\n")
+        }
+        // Duplicate a line (double definitions, double terminators).
+        1 => {
+            let i = a % lines.len();
+            let mut out: Vec<&str> = lines.clone();
+            out.insert(i, lines[i]);
+            out.join("\n")
+        }
+        // Swap two lines.
+        2 => {
+            let i = a % lines.len();
+            let j = b % lines.len();
+            let mut out: Vec<&str> = lines.clone();
+            out.swap(i, j);
+            out.join("\n")
+        }
+        // Truncate the file mid-way (unclosed functions).
+        3 => {
+            let cut = a % (text.len() + 1);
+            let mut cut = cut.min(text.len());
+            while !text.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            text[..cut].to_owned()
+        }
+        // Replace a character (mangled opcodes, operands, labels).
+        4 => {
+            let mut chars: Vec<char> = text.chars().collect();
+            if chars.is_empty() {
+                return text.to_owned();
+            }
+            let i = a % chars.len();
+            let replacements = [' ', 'x', '9', '@', ':', ',', '(', '}', 'v'];
+            chars[i] = replacements[b % replacements.len()];
+            chars.into_iter().collect()
+        }
+        // Splice a line from one place into another (calls moved out of
+        // their functions, stray headers inside bodies).
+        _ => {
+            let i = a % lines.len();
+            let j = b % lines.len();
+            let mut out: Vec<&str> = lines.clone();
+            let moved = out.remove(i);
+            let at = j.min(out.len());
+            out.insert(at, moved);
+            out.join("\n")
+        }
+    }
+}
+
+/// One round: print a valid module, apply a stack of mutations, and
+/// require the parse → verify → analyze pipeline to fail *gracefully*
+/// at whichever stage first objects.
+fn check_no_panic(target: usize, seed: u64, mutations: &[(u8, usize, usize)]) {
+    let m = sra::workloads::scaling::generate_module(target, seed);
+    let mut text = print_module(&m);
+    for &(which, a, b) in mutations {
+        text = mutate(&text, which, a, b);
+    }
+    if let Ok(parsed) = parse_module(&text) {
+        // Parsed: structural invariants must hold far enough for the
+        // verifier to run without panicking…
+        if sra::ir::verify::verify_module(&parsed).is_ok() {
+            // …and a verifier-clean module must analyze cleanly.
+            let _ = BatchAnalysis::analyze_with(&parsed, DriverConfig::with_threads(2));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No input derived from a valid program can panic the parser (or
+    /// the verifier/pipeline behind it).
+    #[test]
+    fn mutated_modules_never_panic(
+        target in 120usize..400,
+        seed in 0u64..10_000,
+        mutations in proptest::collection::vec((0u8..6, 0usize..10_000, 0usize..10_000), 1..5),
+    ) {
+        check_no_panic(target, seed, &mutations);
+    }
+}
+
+/// The unmutated print → parse → verify → analyze pipeline stays green
+/// (the mutation property above only exercises the failure paths).
+#[test]
+fn printed_modules_reparse_verify_and_analyze() {
+    for seed in 0..4 {
+        let m = sra::workloads::scaling::generate_module(300, seed);
+        let text = print_module(&m);
+        let reparsed = parse_module(&text).expect("valid print reparses");
+        sra::ir::verify::verify_module(&reparsed).expect("reparsed verifies");
+        let _ = BatchAnalysis::analyze_with(&reparsed, DriverConfig::with_threads(2));
+    }
+}
+
+/// 1024-case sweep of the same property. Excluded from tier-1; run
+/// with `cargo test -q --release --test parse_fuzz -- --ignored`.
+#[test]
+#[ignore = "deep fuzz (minutes); tier-1 runs the 48-case variant"]
+fn deep_fuzz_parse_no_panic() {
+    let mut runner = proptest::test_runner::TestRunner::new(ProptestConfig::with_cases(1024));
+    runner
+        .run(
+            &(
+                120usize..400,
+                0u64..1_000_000,
+                proptest::collection::vec((0u8..6, 0usize..100_000, 0usize..100_000), 1..8),
+            ),
+            |(target, seed, mutations)| {
+                check_no_panic(target, seed, &mutations);
+                Ok(())
+            },
+        )
+        .unwrap();
+}

@@ -13,17 +13,19 @@
 //! Run with `cargo bench -p sra-bench --bench throughput`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sra_bench::{batched_sweep, per_query_sweep};
+use sra_bench::{batched_sweep, build_session, per_query_sweep, scratch_replay, session_replay};
 use sra_core::{analyze_parallel, DriverConfig, GrConfig, GrSchedule, RbaaAnalysis};
 use sra_ir::Module;
 use sra_range::RangeAnalysis;
-use sra_workloads::scaling;
+use sra_workloads::{edits, scaling};
 
 const SCALING_INSTS: usize = 20_000;
 const SCALING_SEED: u64 = 42;
 /// The many-function workload for the GR wave scheduler: hundreds of
 /// interlinked functions (deep chains, recursive cliques, wide fans).
 const CALLGRAPH_FUNCS: usize = 600;
+/// Single-function edits per replay of the session workload.
+const SESSION_EDITS: usize = 8;
 
 fn workload() -> Module {
     scaling::generate_module(SCALING_INSTS, SCALING_SEED)
@@ -151,6 +153,28 @@ fn all_pairs_paths(c: &mut Criterion) {
     group.finish();
 }
 
+/// Incremental sessions vs scratch re-analysis over a replayed stream
+/// of single-function edits: the session pays only for the dirty
+/// function's parts, the dirty GR components and the invalidated
+/// matrices; the scratch path re-runs `BatchAnalysis` per edit.
+fn session_vs_scratch(c: &mut Criterion) {
+    let m = workload();
+    let stream = edits::generate_replace_stream(&m, SESSION_EDITS, SCALING_SEED);
+    let base = build_session(&m);
+    let mut group = c.benchmark_group("session");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SESSION_EDITS as u64));
+    group.bench_function(&format!("scratch_per_edit/{SESSION_EDITS}"), |b| {
+        b.iter(|| scratch_replay(std::hint::black_box(&m), &stream));
+    });
+    // The clone restores the pre-stream state between iterations; its
+    // cost is included here (the trajectory harness excludes it).
+    group.bench_function(&format!("session_per_edit/{SESSION_EDITS}"), |b| {
+        b.iter(|| session_replay(&mut std::hint::black_box(&base).clone(), &stream));
+    });
+    group.finish();
+}
+
 /// The acceptance-criterion summary: one timed round of each path and
 /// the resulting speedup, printed as a plain line so the number shows
 /// up in any bench log.
@@ -184,6 +208,7 @@ criterion_group!(
     gr_serial_vs_waves,
     callgraph_end_to_end,
     all_pairs_paths,
+    session_vs_scratch,
     speedup_summary
 );
 criterion_main!(benches);

@@ -20,8 +20,12 @@
 
 use std::fmt::Write as _;
 
-use sra_core::{pointer_values, pool, AliasMatrix, QueryStats, RbaaAnalysis};
+use sra_core::{
+    pointer_values, pool, AliasMatrix, AnalysisSession, BatchAnalysis, DriverConfig, QueryStats,
+    RbaaAnalysis,
+};
 use sra_ir::{FuncId, Module};
+use sra_workloads::edits::{self, Edit};
 
 /// The seed all-pairs path: every unordered pair answered from scratch
 /// through `alias_with_test`, function after function. Shared by the
@@ -45,6 +49,47 @@ pub fn batched_sweep(m: &Module, rbaa: &RbaaAnalysis, threads: usize) -> QuerySt
     let mut total = QueryStats::default();
     for mx in &matrices {
         total.merge(mx.stats());
+    }
+    total
+}
+
+/// The scratch side of the edit-stream workload: apply each edit to a
+/// plain module and re-run the full batch analysis (what a server
+/// without sessions would do). Returns the summed query count as a
+/// keep-alive value.
+pub fn scratch_replay(m: &Module, stream: &[Edit]) -> usize {
+    let mut shadow = m.clone();
+    let mut total = 0usize;
+    for edit in stream {
+        edits::apply_to_module(&mut shadow, edit).expect("stream edits are valid");
+        let batch = BatchAnalysis::analyze_with(&shadow, DriverConfig::default());
+        total += batch.total_stats().queries;
+    }
+    total
+}
+
+/// Builds the long-lived session a server would keep per module (the
+/// one-time load cost, paid outside the per-edit measurements — the
+/// same convention the all-pairs measurements use by pre-building
+/// `rbaa` once and timing only the sweeps).
+pub fn build_session(m: &Module) -> AnalysisSession {
+    AnalysisSession::new(m.clone()).expect("module verifies")
+}
+
+/// The session side of the edit-stream workload: incremental updates
+/// against a pre-built session (clone one per replay from
+/// [`build_session`]'s result). Verdict-for-verdict identical to
+/// [`scratch_replay`] — the `session_equivalence` suite pins that —
+/// so only wall time differs.
+pub fn session_replay(session: &mut AnalysisSession, stream: &[Edit]) -> usize {
+    let mut total = 0usize;
+    for edit in stream {
+        edits::apply_to_session(session, edit).expect("stream edits are valid");
+        total += session
+            .module()
+            .func_ids()
+            .map(|f| session.stats_of(f).queries)
+            .sum::<usize>();
     }
     total
 }

@@ -46,7 +46,9 @@
 //! per-function phases. The `gr_schedule_equivalence` property suite
 //! pins the contract.
 
-use sra_ir::callgraph::Condensation;
+use std::sync::Arc;
+
+use sra_ir::callgraph::{CallGraph, Condensation};
 use sra_ir::cfg::Cfg;
 use sra_ir::{Callee, CmpOp, FuncId, Inst, Module, Terminator, Ty, ValueId, ValueKind};
 use sra_range::RangeAnalysis;
@@ -106,10 +108,14 @@ impl Default for GrConfig {
 }
 
 /// Results of the global analysis: `GR(p)` for every pointer `p`.
+///
+/// Per-function state vectors sit behind [`Arc`]s so an incremental
+/// session can share the untouched functions' fixpoints between
+/// successive analyses without copying them.
 #[derive(Debug, Clone)]
 pub struct GrAnalysis {
     locs: LocTable,
-    states: Vec<Vec<PtrState>>,
+    states: Vec<Arc<Vec<PtrState>>>,
     ascending_sweeps: u32,
 }
 
@@ -122,16 +128,49 @@ impl GrAnalysis {
     /// Runs the analysis.
     pub fn analyze_with(m: &Module, ranges: &RangeAnalysis, config: GrConfig) -> Self {
         let locs = LocTable::build(m);
+        let graph = CallGraph::build(m);
+        let components = graph.weak_components();
+        let callers = build_callers(m);
+        let cfgs = build_cfgs(m);
         let (states, ascending_sweeps) = {
-            let mut solver = GrSolver::new(m, ranges, &locs, config);
-            solver.run();
+            let mut solver = GrSolver::new(
+                m,
+                ranges,
+                &locs,
+                config,
+                &callers,
+                &cfgs,
+                Condensation::build(&graph),
+            );
+            solver.run(&components);
             (solver.states, solver.sweeps)
         };
+        GrAnalysis {
+            locs,
+            states: states.into_iter().map(Arc::new).collect(),
+            ascending_sweeps,
+        }
+    }
+
+    /// Assembles a result from already-solved pieces (the incremental
+    /// session recomputes only the dirty weak components and shares the
+    /// rest's state vectors by reference).
+    pub(crate) fn from_raw(
+        locs: LocTable,
+        states: Vec<Arc<Vec<PtrState>>>,
+        ascending_sweeps: u32,
+    ) -> Self {
         GrAnalysis {
             locs,
             states,
             ascending_sweeps,
         }
+    }
+
+    /// The shared state vector of one function (for the session's
+    /// zero-copy reuse of untouched components).
+    pub(crate) fn function_states(&self, f: FuncId) -> &Arc<Vec<PtrState>> {
+        &self.states[f.index()]
     }
 
     /// The abstract state of value `v` in function `f` (⊥ for non-pointer
@@ -154,9 +193,43 @@ impl GrAnalysis {
 }
 
 /// A call site: caller and actual arguments.
-struct CallSite {
-    caller: FuncId,
-    args: Vec<ValueId>,
+pub(crate) struct CallSite {
+    pub(crate) caller: FuncId,
+    pub(crate) args: Vec<ValueId>,
+}
+
+/// The call sites targeting each function, callers in id order, sites
+/// in instruction order — the join order the Gauss–Seidel formal-
+/// parameter updates see, which is therefore part of the reproducible
+/// schedule.
+pub(crate) fn build_callers(m: &Module) -> Vec<Vec<CallSite>> {
+    let nf = m.num_functions();
+    let mut callers: Vec<Vec<CallSite>> = (0..nf).map(|_| Vec::new()).collect();
+    for fid in m.func_ids() {
+        let f = m.function(fid);
+        for (_, v) in f.insts() {
+            if let Some(Inst::Call {
+                callee: Callee::Internal(target),
+                args,
+                ..
+            }) = f.value(v).as_inst()
+            {
+                if target.index() < nf {
+                    callers[target.index()].push(CallSite {
+                        caller: fid,
+                        args: args.clone(),
+                    });
+                }
+            }
+        }
+    }
+    callers
+}
+
+/// One CFG per function (reverse post-orders drive the sweeps; the
+/// session caches these across edits).
+pub(crate) fn build_cfgs(m: &Module) -> Vec<Cfg> {
+    m.func_ids().map(|f| Cfg::new(m.function(f))).collect()
 }
 
 /// The widening cut set (the paper's Definition 4 join points): every
@@ -275,6 +348,24 @@ fn update<S: GrStore>(
 ) -> bool {
     let next = {
         let slot = store.state(fid, v);
+        // Fast path for the (dominant) already-stable case: when `new`
+        // is *provably* included in the stored state, `join` returns
+        // the stored bounds verbatim (`Bound::min`/`max` hand back the
+        // provably-winning expression) and widening equal states is the
+        // identity, so the slow path below could only confirm
+        // "unchanged" after allocating two throwaway states. Not taken
+        // for descending sweeps, which deliberately shrink states.
+        if !descend && new.le(slot) {
+            debug_assert!(
+                {
+                    let joined = slot.join(&new);
+                    let next = if widen { slot.widen(&joined) } else { joined };
+                    next == *slot
+                },
+                "provable inclusion must leave the state byte-unchanged"
+            );
+            return false;
+        }
         let next = if descend {
             new
         } else if widen {
@@ -293,14 +384,14 @@ fn update<S: GrStore>(
 
 /// The immutable context of a sweep: everything `sweep_function` needs
 /// besides the states themselves, so the wave schedule can share it
-/// across worker threads.
-struct SweepCtx<'a> {
-    m: &'a Module,
-    ranges: &'a RangeAnalysis,
-    locs: &'a LocTable,
+/// across worker threads (and the session across edits).
+pub(crate) struct SweepCtx<'a> {
+    pub(crate) m: &'a Module,
+    pub(crate) ranges: &'a RangeAnalysis,
+    pub(crate) locs: &'a LocTable,
     /// Call sites targeting each function.
-    callers: Vec<Vec<CallSite>>,
-    cfgs: Vec<Cfg>,
+    pub(crate) callers: &'a [Vec<CallSite>],
+    pub(crate) cfgs: &'a [Cfg],
 }
 
 impl SweepCtx<'_> {
@@ -402,44 +493,62 @@ impl SweepCtx<'_> {
     }
 }
 
-struct GrSolver<'a> {
-    ctx: SweepCtx<'a>,
-    config: GrConfig,
-    cond: Condensation,
-    states: Vec<Vec<PtrState>>,
+/// The module-level Gauss–Seidel engine, exposed crate-internally so
+/// the incremental session can drive it one weak component at a time.
+///
+/// # Componentwise decomposition
+///
+/// Interprocedural dataflow crosses *call edges only*, so two distinct
+/// weakly connected components of the call graph never exchange any
+/// state. That makes the whole fixpoint decompose exactly:
+///
+/// * **ascending** — a component's trajectory under the global sweep
+///   loop is identical to sweeping it alone: converged components
+///   no-op in later sweeps (a Gauss–Seidel pass that changes nothing
+///   leaves a fixpoint that every later pass preserves), the widening
+///   flag and direction parity depend only on the sweep index, and the
+///   global sweep count is the maximum of the per-component counts;
+/// * **the only coupling is the ascending cap** — when *any* component
+///   is still unstable at `max_ascending_sweeps`, the scratch solver
+///   forces the widening cut set of *every* function to ⊤ and
+///   re-derives, converged components included. The per-component
+///   `tripped` bits are therefore OR-ed into one module-wide flag
+///   before the post phase;
+/// * **descending** — the scratch loop stops early only when *no*
+///   component changed in a step, but extra steps on a per-component
+///   stable state are no-ops, so running each component's descending
+///   loop with its own early exit yields byte-identical final states.
+///
+/// `run` *is* this composition, so the session's partial recompute and
+/// the scratch analysis execute the same code over each component —
+/// byte-identity is structural, and `tests/session_equivalence.rs`
+/// re-verifies it on random modules and edit streams.
+pub(crate) struct GrSolver<'a> {
+    pub(crate) ctx: SweepCtx<'a>,
+    pub(crate) config: GrConfig,
+    pub(crate) cond: Condensation,
+    pub(crate) states: Vec<Vec<PtrState>>,
     /// Join of the return states of each function.
-    ret_states: Vec<PtrState>,
-    /// Ascending sweeps the fixpoint took.
-    sweeps: u32,
+    pub(crate) ret_states: Vec<PtrState>,
+    /// Ascending sweeps the fixpoint took (max over components).
+    pub(crate) sweeps: u32,
 }
 
 impl<'a> GrSolver<'a> {
-    fn new(m: &'a Module, ranges: &'a RangeAnalysis, locs: &'a LocTable, config: GrConfig) -> Self {
+    pub(crate) fn new(
+        m: &'a Module,
+        ranges: &'a RangeAnalysis,
+        locs: &'a LocTable,
+        config: GrConfig,
+        callers: &'a [Vec<CallSite>],
+        cfgs: &'a [Cfg],
+        cond: Condensation,
+    ) -> Self {
         let nf = m.num_functions();
-        let mut callers: Vec<Vec<CallSite>> = (0..nf).map(|_| Vec::new()).collect();
-        for fid in m.func_ids() {
-            let f = m.function(fid);
-            for (_, v) in f.insts() {
-                if let Some(Inst::Call {
-                    callee: Callee::Internal(target),
-                    args,
-                    ..
-                }) = f.value(v).as_inst()
-                {
-                    if target.index() < nf {
-                        callers[target.index()].push(CallSite {
-                            caller: fid,
-                            args: args.clone(),
-                        });
-                    }
-                }
-            }
-        }
         let states = m
             .func_ids()
             .map(|f| vec![PtrState::bottom(); m.function(f).num_values()])
             .collect();
-        let cfgs = m.func_ids().map(|f| Cfg::new(m.function(f))).collect();
         GrSolver {
             ctx: SweepCtx {
                 m,
@@ -449,85 +558,161 @@ impl<'a> GrSolver<'a> {
                 cfgs,
             },
             config,
-            cond: Condensation::of_module(m),
+            cond,
             states,
             ret_states: vec![PtrState::bottom(); nf],
             sweeps: 0,
         }
     }
 
-    fn run(&mut self) {
-        self.seed();
+    /// The condensation levels restricted to each weak component (one
+    /// entry per element of `components`, members sorted ascending):
+    /// the same level order the full sweep uses, with foreign SCCs
+    /// dropped and empty levels elided. Built in one pass over the
+    /// levels — `O(total SCCs)`, not per-component rescans — so
+    /// many-component modules stay linear.
+    pub(crate) fn component_schedules(&self, components: &[Vec<FuncId>]) -> Vec<Vec<Vec<u32>>> {
+        // SCC → component index, via any member function.
+        let mut comp_of_fn = vec![u32::MAX; self.ctx.m.num_functions()];
+        for (k, members) in components.iter().enumerate() {
+            for &f in members {
+                comp_of_fn[f.index()] = k as u32;
+            }
+        }
+        let mut schedules: Vec<Vec<Vec<u32>>> = vec![Vec::new(); components.len()];
+        // The last module-level each component's schedule saw, so SCCs
+        // of one level land in one restricted level.
+        let mut last_level = vec![u32::MAX; components.len()];
+        for (li, level) in self.cond.levels().iter().enumerate() {
+            for &scc in level {
+                let member = self.cond.members(scc)[0];
+                let k = comp_of_fn[member.index()];
+                debug_assert_ne!(k, u32::MAX, "every SCC belongs to a component");
+                let k = k as usize;
+                if last_level[k] == li as u32 {
+                    schedules[k].last_mut().expect("level started").push(scc);
+                } else {
+                    schedules[k].push(vec![scc]);
+                    last_level[k] = li as u32;
+                }
+            }
+        }
+        schedules
+    }
+
+    /// The full fixpoint: ascend every component, combine the cap
+    /// verdicts, then finish every component under the shared flag.
+    ///
+    /// Components run sequentially (each with the configured wave
+    /// schedule *inside* it). Relative to the pre-component solver this
+    /// trades the cross-component wave parallelism of fully
+    /// disconnected call graphs — rare in practice, since entry points
+    /// link almost everything into one component — for never re-
+    /// sweeping an already-converged component while a slow one churns,
+    /// and for the per-component reuse the incremental session is built
+    /// on.
+    pub(crate) fn run(&mut self, components: &[Vec<FuncId>]) {
+        for fid in self.ctx.m.func_ids() {
+            self.seed_function(fid);
+        }
+        let schedules = self.component_schedules(components);
+        let mut tripped = false;
+        let mut max_sweeps = 1;
+        for levels in &schedules {
+            let (sweeps, trip) = self.ascend_component(levels);
+            tripped |= trip;
+            max_sweeps = max_sweeps.max(sweeps);
+        }
+        self.sweeps = max_sweeps;
+        for (levels, members) in schedules.iter().zip(components) {
+            self.finish_component(levels, members, tripped);
+        }
+    }
+
+    /// Invariant seeds of one function: allocation sites, globals,
+    /// unknown sources.
+    pub(crate) fn seed_function(&mut self, fid: FuncId) {
+        let f = self.ctx.m.function(fid);
+        for v in f.value_ids() {
+            if f.value(v).ty() != Some(Ty::Ptr) {
+                continue;
+            }
+            let state = match f.value(v).kind() {
+                ValueKind::GlobalAddr(g) => {
+                    let loc = self.ctx.locs.loc_of_global(*g).expect("global has loc");
+                    Some(PtrState::singleton(loc, SymRange::constant(0)))
+                }
+                ValueKind::Inst(Inst::Malloc { .. }) | ValueKind::Inst(Inst::Alloca { .. }) => {
+                    let loc = self.ctx.locs.loc_of_value(fid, v).expect("site has loc");
+                    Some(PtrState::singleton(loc, SymRange::constant(0)))
+                }
+                ValueKind::Inst(Inst::Call {
+                    callee: Callee::External(_),
+                    ..
+                }) => {
+                    let loc = self
+                        .ctx
+                        .locs
+                        .loc_of_value(fid, v)
+                        .expect("ext call has loc");
+                    Some(PtrState::singleton(loc, SymRange::constant(0)))
+                }
+                ValueKind::Inst(Inst::Load { .. }) => Some(PtrState::top()),
+                _ => None,
+            };
+            if let Some(s) = state {
+                self.states[fid.index()][v.index()] = s;
+            }
+        }
+    }
+
+    /// The ascending loop restricted to one component: runs until a
+    /// sweep changes nothing or the cap is hit, leaving the states at
+    /// the *pre-force* point either way. Returns `(sweeps, tripped)`.
+    pub(crate) fn ascend_component(&mut self, levels: &[Vec<u32>]) -> (u32, bool) {
         let mut sweeps = 0;
         loop {
             let widen = self.config.widening && sweeps > 0;
             // Alternate direction: bottom-up propagates returns to
             // callers in one sweep, top-down propagates actuals to
             // formals in one sweep.
-            let changed = self.sweep(widen, false, sweeps % 2 == 0);
+            let changed = self.sweep_levels(levels, widen, false, sweeps % 2 == 0);
             sweeps += 1;
             if !changed {
-                break;
+                return (sweeps, false);
             }
             if sweeps >= self.config.max_ascending_sweeps {
-                self.force_top_join_points();
-                self.sweep(false, false, true);
-                break;
+                return (sweeps, true);
             }
         }
-        self.sweeps = sweeps;
+    }
+
+    /// The post phase of one component: the cut-set forcing (when the
+    /// module-wide cap `tripped`) with its re-derive sweep, then the
+    /// descending sequence.
+    pub(crate) fn finish_component(
+        &mut self,
+        levels: &[Vec<u32>],
+        members: &[FuncId],
+        tripped: bool,
+    ) {
+        if tripped {
+            self.force_top_join_points(members);
+            self.sweep_levels(levels, false, false, true);
+        }
         for step in 0..self.config.descending_steps {
-            if !self.sweep(false, true, step % 2 == 0) {
+            if !self.sweep_levels(levels, false, true, step % 2 == 0) {
                 break;
             }
         }
     }
 
-    /// Invariant seeds: allocation sites, globals, unknown sources.
-    fn seed(&mut self) {
-        let m = self.ctx.m;
-        for fid in m.func_ids() {
-            let f = m.function(fid);
-            for v in f.value_ids() {
-                if f.value(v).ty() != Some(Ty::Ptr) {
-                    continue;
-                }
-                let state = match f.value(v).kind() {
-                    ValueKind::GlobalAddr(g) => {
-                        let loc = self.ctx.locs.loc_of_global(*g).expect("global has loc");
-                        Some(PtrState::singleton(loc, SymRange::constant(0)))
-                    }
-                    ValueKind::Inst(Inst::Malloc { .. }) | ValueKind::Inst(Inst::Alloca { .. }) => {
-                        let loc = self.ctx.locs.loc_of_value(fid, v).expect("site has loc");
-                        Some(PtrState::singleton(loc, SymRange::constant(0)))
-                    }
-                    ValueKind::Inst(Inst::Call {
-                        callee: Callee::External(_),
-                        ..
-                    }) => {
-                        let loc = self
-                            .ctx
-                            .locs
-                            .loc_of_value(fid, v)
-                            .expect("ext call has loc");
-                        Some(PtrState::singleton(loc, SymRange::constant(0)))
-                    }
-                    ValueKind::Inst(Inst::Load { .. }) => Some(PtrState::top()),
-                    _ => None,
-                };
-                if let Some(s) = state {
-                    self.states[fid.index()][v.index()] = s;
-                }
-            }
-        }
-    }
-
-    /// One module sweep in condensation order — bottom-up when `up`,
-    /// top-down otherwise. The two schedules visit identical orders;
-    /// `Waves` additionally runs each level's SCCs concurrently, which
-    /// cannot change any result because same-level SCCs share no call
-    /// edge.
-    fn sweep(&mut self, widen: bool, descend: bool, up: bool) -> bool {
+    /// One sweep over the given condensation levels — bottom-up when
+    /// `up`, top-down otherwise. The two schedules visit identical
+    /// orders; `Waves` additionally runs each level's SCCs
+    /// concurrently, which cannot change any result because same-level
+    /// SCCs share no call edge.
+    fn sweep_levels(&mut self, levels: &[Vec<u32>], widen: bool, descend: bool, up: bool) -> bool {
         let GrSolver {
             ctx,
             config,
@@ -541,7 +726,7 @@ impl<'a> GrSolver<'a> {
         let config: GrConfig = *config;
         let waves = matches!(config.schedule, GrSchedule::Waves) && config.threads > 1;
         let mut changed = false;
-        let mut order: Vec<&Vec<u32>> = cond.levels().iter().collect();
+        let mut order: Vec<&Vec<u32>> = levels.iter().collect();
         if !up {
             order.reverse();
         }
@@ -613,10 +798,11 @@ impl<'a> GrSolver<'a> {
     /// must go to ⊤: the one sweep that follows re-derives all other
     /// values from them, so any join left behind would keep a stale,
     /// unsound state (e.g. a deep recursive chain whose churn lives
-    /// entirely in formal/return joins).
-    fn force_top_join_points(&mut self) {
+    /// entirely in formal/return joins). Restricted to `members`
+    /// because the cap forcing runs once per weak component.
+    pub(crate) fn force_top_join_points(&mut self, members: &[FuncId]) {
         let m = self.ctx.m;
-        for fid in m.func_ids() {
+        for &fid in members {
             let f = m.function(fid);
             for v in f.value_ids() {
                 if f.value(v).ty() != Some(Ty::Ptr) {
@@ -910,6 +1096,68 @@ mod tests {
                 .unwrap();
             assert_eq!(show(gr.state(main, x), &ra), "{loc0 + [0, 0]}");
         }
+    }
+
+    /// The `update` fast path claims: whenever `new ⊑ slot` is
+    /// provable, the slow path (`join`, then optionally `widen`)
+    /// returns the stored state *byte-identically*, so skipping it
+    /// cannot change any result. The in-solver `debug_assert` re-checks
+    /// this on every debug-mode analysis; this test pins the algebraic
+    /// claim directly — in release builds too — over states whose
+    /// bounds exercise every way `Bound::min`/`max` can pick a winner:
+    /// constants, symbols, sums, unresolved min/max atoms, infinities,
+    /// multiple locations, ⊥ and ⊤.
+    #[test]
+    fn inclusion_fast_path_matches_slow_path() {
+        use sra_symbolic::{Bound, SymExpr, Symbol};
+        let n = || SymExpr::from(Symbol::new(0));
+        let m_ = || SymExpr::from(Symbol::new(1));
+        let l = crate::LocId::new;
+        let bounds: Vec<Bound> = vec![
+            Bound::NegInf,
+            Bound::from(0),
+            Bound::from(4),
+            Bound::Fin(n()),
+            Bound::Fin(n() + 1.into()),
+            Bound::Fin(n() + m_()),
+            Bound::Fin(SymExpr::min(n(), m_())),
+            Bound::Fin(SymExpr::max(n(), 7.into())),
+            Bound::PosInf,
+        ];
+        let mut ranges: Vec<SymRange> = vec![SymRange::empty()];
+        for lo in &bounds {
+            for hi in &bounds {
+                let r = SymRange::with_bounds(lo.clone(), hi.clone());
+                if !r.is_empty() {
+                    ranges.push(r);
+                }
+            }
+        }
+        let mut states: Vec<PtrState> = vec![PtrState::bottom(), PtrState::top()];
+        for (i, r) in ranges.iter().enumerate() {
+            states.push(PtrState::singleton(l(0), r.clone()));
+            states.push(
+                PtrState::singleton(l(0), r.clone())
+                    .join(&PtrState::singleton(l(1), ranges[i % 7].clone())),
+            );
+        }
+        let mut included = 0;
+        for slot in &states {
+            for new in &states {
+                if !new.le(slot) {
+                    continue;
+                }
+                included += 1;
+                let joined = slot.join(new);
+                assert_eq!(&joined, slot, "join must return the stored state verbatim");
+                assert_eq!(
+                    &slot.widen(&joined),
+                    slot,
+                    "widening the unchanged join must be the identity"
+                );
+            }
+        }
+        assert!(included > states.len(), "the sweep covered real inclusions");
     }
 
     /// The same ring with widening on and the default cap still

@@ -52,6 +52,7 @@ mod locs;
 pub mod lr;
 pub mod pool;
 mod query;
+pub mod session;
 mod state;
 
 pub use driver::{analyze_parallel, BatchAnalysis, DriverConfig};
@@ -62,4 +63,5 @@ pub use query::{
     global_no_alias, global_no_alias_kind, pointer_values, AliasAnalysis, AliasMatrix, AliasResult,
     QueryStats, RbaaAnalysis, WhichTest,
 };
+pub use session::{AnalysisSession, SessionError, SessionStats};
 pub use state::PtrState;

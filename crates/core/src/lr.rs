@@ -32,6 +32,7 @@ use sra_ir::{BinOp, FuncId, GlobalId, Inst, Module, Ty, ValueId, ValueKind};
 use sra_symbolic::{SymExpr, SymRange, SymbolNames, SymbolTable};
 
 use std::fmt;
+use std::sync::Arc;
 
 /// The base a pointer is locally an offset of.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -109,12 +110,40 @@ impl fmt::Display for DisplayLr<'_> {
 /// `sra_range::RangePart` for the role parts play in the batch driver.
 #[derive(Debug, Clone)]
 pub struct LrPart {
-    /// `LR(v)` for every value of the function.
-    pub states: Vec<Option<LrState>>,
+    /// `LR(v)` for every value of the function, behind an [`Arc`] so
+    /// an incremental session's cached part and the assembled
+    /// [`LrAnalysis`] share one copy.
+    pub states: Arc<Vec<Option<LrState>>>,
     /// The `first_symbol` this part was analyzed with.
     pub first_symbol: u32,
     /// Names of the symbols minted, starting at `first_symbol`.
     pub symbol_names: Vec<String>,
+}
+
+impl LrPart {
+    /// Rebases the part onto a new `first_symbol` (see
+    /// [`sra_range::RangePart::rebase`] — same contract: an LR part
+    /// mentions only its own symbol block, and a monotone shift
+    /// reproduces exactly what [`analyze_function_part`] would have
+    /// minted at the new base).
+    pub fn rebase(&mut self, new_first: u32) {
+        if new_first == self.first_symbol {
+            return;
+        }
+        let old = self.first_symbol;
+        let budget = self.symbol_names.len() as u32;
+        let map = |s: sra_symbolic::Symbol| {
+            debug_assert!(
+                s.index() >= old && (s.index() - old) < budget,
+                "LR parts only mention their own symbol block"
+            );
+            sra_symbolic::Symbol::new(s.index() - old + new_first)
+        };
+        for state in Arc::make_mut(&mut self.states).iter_mut().flatten() {
+            state.range = state.range.map_symbols(&map);
+        }
+        self.first_symbol = new_first;
+    }
 }
 
 /// The number of offset symbols [`analyze_function_part`] will mint for
@@ -154,7 +183,7 @@ pub fn symbol_budget(m: &Module, fid: FuncId) -> usize {
 /// Results of the local analysis: `LR(p)` for every pointer `p`.
 #[derive(Debug, Clone)]
 pub struct LrAnalysis {
-    states: Vec<Vec<Option<LrState>>>,
+    states: Vec<Arc<Vec<Option<LrState>>>>,
     symbols: SymbolTable,
 }
 
@@ -221,7 +250,7 @@ pub fn analyze_function_part(m: &Module, fid: FuncId, first_symbol: u32) -> LrPa
         "symbol_budget must match what the analysis mints"
     );
     LrPart {
-        states,
+        states: Arc::new(states),
         first_symbol,
         symbol_names: minter.names,
     }

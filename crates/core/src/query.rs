@@ -61,7 +61,7 @@ pub trait AliasAnalysis {
 /// be in e-SSA form (run [`sra_ir::essa::run`] on each function during
 /// lowering) — the analysis is still sound on plain SSA, only less
 /// precise, because σ-nodes are where comparison information enters.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RbaaAnalysis {
     ranges: RangeAnalysis,
     gr: GrAnalysis,

@@ -1,0 +1,1140 @@
+//! Incremental re-analysis sessions: function-granularity updates with
+//! dirty-component invalidation over the call-graph condensation.
+//!
+//! [`AnalysisSession`] is the long-lived handle a server keeps per
+//! module: it owns the parsed [`Module`] plus *all* cached analysis
+//! state — the per-function bootstrap-range and LR parts with their
+//! pre-budgeted symbol-id blocks, the per-function CFGs, the
+//! [`CallGraph`], the GR fixpoint split per weakly connected component,
+//! and one cached [`AliasMatrix`] per function — and accepts
+//! function-granularity updates ([`AnalysisSession::replace_function`],
+//! [`AnalysisSession::add_function`],
+//! [`AnalysisSession::remove_function`]).
+//!
+//! # The invalidation contract
+//!
+//! The specification is *byte-identity*: after every update, the
+//! session's verdicts, `WhichTest` attributions, displayed GR states
+//! and symbol tables are exactly those of a from-scratch
+//! [`analyze_parallel`](crate::analyze_parallel) +
+//! [`AliasMatrix`] build over the updated module. Anything less would
+//! let incrementality silently change precision or soundness, so
+//! "equal to scratch" is the spec the `session_equivalence` property
+//! rail pins. Reuse happens at three granularities:
+//!
+//! * **function parts** — the bootstrap ranges and LR states of a
+//!   function depend only on its own body, so an edit invalidates
+//!   exactly the edited function's parts. Parts whose pre-budgeted
+//!   symbol-id *block* moved (an earlier function's budget changed)
+//!   are **rebased**: their symbols are shifted by a monotone
+//!   renaming, which commutes with the analysis
+//!   ([`sra_symbolic::SymExpr::map_symbols`]), instead of re-analyzed.
+//! * **GR components** — interprocedural dataflow zig-zags along call
+//!   edges in both directions (returns up, actuals down), so the
+//!   region an edit can reach is the edited function's SCC plus every
+//!   SCC connected to it in either direction: its *weakly connected
+//!   component* of the call graph. The session re-seeds and re-solves
+//!   dirty components only (in the same alternating bottom-up/top-down
+//!   condensation order the scratch solver specs), re-verifying
+//!   convergence; components untouched by the edit keep their cached
+//!   fixpoint, rebased onto shifted symbol and location ids (or shared
+//!   outright when nothing moved). The one module-wide coupling is the
+//!   ascending cap: its trip flag is OR-ed across components, and a
+//!   cached component whose post phase ran under a different flag is
+//!   re-solved.
+//! * **alias matrices** — a matrix caches verdicts only (no symbols,
+//!   no location ids), and verdicts are invariant under the monotone
+//!   renamings above; the matrix of an unedited function is reused
+//!   whenever its GR states are unchanged up to renaming, and rebuilt
+//!   otherwise.
+//!
+//! [`SessionStats`] counts what was reused vs recomputed, so tests can
+//! assert e.g. that a no-op replace dirties nothing.
+//!
+//! # Examples
+//!
+//! ```
+//! use sra_core::{AliasResult, AnalysisSession};
+//! use sra_ir::{FunctionBuilder, Module};
+//!
+//! let mut b = FunctionBuilder::new("f", &[], None);
+//! let ten = b.const_int(10);
+//! let p = b.malloc(ten);
+//! let q = b.malloc(ten);
+//! b.ret(None);
+//! let mut m = Module::new();
+//! let fid = m.add_function(b.finish());
+//!
+//! let mut session = AnalysisSession::new(m).unwrap();
+//! assert_eq!(session.alias_with_test(fid, p, q).0, AliasResult::NoAlias);
+//!
+//! // A no-op replace dirties nothing: every cache is carried over.
+//! let body = session.module().function(fid).clone();
+//! session.replace_function(fid, body).unwrap();
+//! assert_eq!(session.stats().noop_edits, 1);
+//! assert!(session.stats().parts_reused > 0);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sra_ir::callgraph::{CallGraph, Condensation};
+use sra_ir::cfg::Cfg;
+use sra_ir::verify::{verify_function, verify_module, VerifyError};
+use sra_ir::{FuncId, Function, Module, ValueId};
+use sra_range::{RangeAnalysis, RangePart};
+use sra_symbolic::{Bound, SymRange, Symbol};
+
+use crate::driver::DriverConfig;
+use crate::gr::{self, GrAnalysis, GrConfig, GrSolver};
+use crate::locs::{LocId, LocTable};
+use crate::lr::{self, LrAnalysis, LrPart};
+use crate::pool;
+use crate::query::{AliasAnalysis, AliasMatrix, AliasResult, QueryStats, RbaaAnalysis, WhichTest};
+use crate::state::PtrState;
+
+/// Why a session update was rejected. Rejected updates leave the
+/// session (and its module) exactly as they were.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The update would break IR well-formedness — a structurally
+    /// invalid body, a call-arity mismatch, or a removed function that
+    /// other functions still call (the verifier reports the dangling
+    /// call site).
+    Verify(VerifyError),
+    /// The named function does not exist.
+    NoSuchFunction(FuncId),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Verify(e) => write!(f, "rejected update: {e}"),
+            SessionError::NoSuchFunction(id) => write!(f, "no function {id} in the session module"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<VerifyError> for SessionError {
+    fn from(e: VerifyError) -> Self {
+        SessionError::Verify(e)
+    }
+}
+
+/// Reuse/recompute counters, accumulated across every update since the
+/// session was created (the initial build is not counted).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Updates applied (including rejected-free no-ops).
+    pub edits: usize,
+    /// Replacements whose body was identical to the current one:
+    /// nothing was dirtied, every cache carried over.
+    pub noop_edits: usize,
+    /// Function parts (range + LR) re-analyzed from the body.
+    pub parts_reanalyzed: usize,
+    /// Cached parts carried over (as-is or rebased).
+    pub parts_reused: usize,
+    /// Subset of [`SessionStats::parts_reused`] whose symbol-id block
+    /// moved and was rebased by a monotone renaming.
+    pub parts_rebased: usize,
+    /// Weak components whose GR fixpoint was re-solved from seeds.
+    pub gr_components_solved: usize,
+    /// Weak components whose cached GR fixpoint was fully reused.
+    pub gr_components_reused: usize,
+    /// Weak components re-solved not because they were edited but
+    /// because the module-wide cap-trip flag changed (their cached
+    /// fixpoint was finished under the other flag).
+    pub gr_components_refinished: usize,
+    /// Alias matrices rebuilt.
+    pub matrices_rebuilt: usize,
+    /// Alias matrices reused from cache.
+    pub matrices_reused: usize,
+}
+
+/// The cached GR fixpoint metadata of one weakly connected component.
+/// The fixpoint *states* themselves live in the assembled
+/// [`GrAnalysis`] behind per-function [`std::sync::Arc`]s, so reusing a
+/// clean component is a reference bump, not a copy.
+#[derive(Debug, Clone)]
+struct CompCache {
+    /// Member functions, sorted ascending (current id space).
+    members: Vec<FuncId>,
+    /// Ascending sweeps the component's solo fixpoint took.
+    sweeps: u32,
+    /// Whether the component's own ascending loop hit the cap.
+    tripped: bool,
+    /// The module-wide trip flag the final states were finished under
+    /// (a later edit that flips it forces a re-solve of this
+    /// component, because the post phase ran under the other flag).
+    final_trip: bool,
+}
+
+/// First location id of each function's site block (globals precede
+/// every function in [`LocTable`]'s deterministic scan order, and are
+/// not editable, so per-function block starts fully describe how an
+/// edit shifted location ids).
+fn loc_starts(t: &LocTable, nf: usize) -> Vec<u32> {
+    let mut counts = vec![0u32; nf];
+    let mut globals = 0u32;
+    for site in t.iter() {
+        match site.func {
+            Some(f) if f.index() < nf => counts[f.index()] += 1,
+            Some(_) => {}
+            None => globals += 1,
+        }
+    }
+    let mut starts = Vec::with_capacity(nf);
+    let mut acc = globals;
+    for c in counts {
+        starts.push(acc);
+        acc += c;
+    }
+    starts
+}
+
+/// A long-lived analysis handle over one module; see the module docs.
+/// Cloning is supported (and cheap relative to a rebuild — state
+/// vectors are shared) so servers can fork a session per speculative
+/// edit stream.
+#[derive(Clone)]
+pub struct AnalysisSession {
+    module: Module,
+    config: DriverConfig,
+    /// Per-function caches, aligned with the module's function ids.
+    range_parts: Vec<RangePart>,
+    lr_parts: Vec<LrPart>,
+    cfgs: Vec<Cfg>,
+    callgraph: CallGraph,
+    /// GR fixpoints per weak component.
+    components: Vec<CompCache>,
+    /// The assembled whole-module analysis (byte-identical to scratch).
+    rbaa: RbaaAnalysis,
+    matrices: Vec<AliasMatrix>,
+    stats: SessionStats,
+}
+
+impl AnalysisSession {
+    /// Builds a session over `module` with default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the verifier's error when the module is not well-formed
+    /// (sessions only manage modules whose edits can be re-verified).
+    pub fn new(module: Module) -> Result<Self, SessionError> {
+        Self::with_config(module, DriverConfig::default())
+    }
+
+    /// Builds a session with an explicit driver configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the verifier's error when the module is not well-formed.
+    pub fn with_config(module: Module, config: DriverConfig) -> Result<Self, SessionError> {
+        verify_module(&module)?;
+        let nf = module.num_functions();
+        let callgraph = CallGraph::build(&module);
+        let cfgs = gr::build_cfgs(&module);
+        // Placeholder analysis state; the initial rebuild treats every
+        // function as edited and fills all caches.
+        let rbaa = RbaaAnalysis::from_pieces(
+            RangeAnalysis::from_parts(Vec::new()),
+            GrAnalysis::from_raw(LocTable::default(), Vec::new(), 0),
+            LrAnalysis::from_parts(Vec::new()),
+        );
+        let mut session = AnalysisSession {
+            module,
+            config,
+            range_parts: Vec::new(),
+            lr_parts: Vec::new(),
+            cfgs,
+            callgraph,
+            components: Vec::new(),
+            rbaa,
+            matrices: Vec::new(),
+            stats: SessionStats::default(),
+        };
+        let all: Vec<usize> = (0..nf).collect();
+        session.rebuild(&all, None);
+        session.stats = SessionStats::default();
+        Ok(session)
+    }
+
+    /// The module under analysis (reflecting every applied update).
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The driver configuration the session analyzes with.
+    pub fn config(&self) -> DriverConfig {
+        self.config
+    }
+
+    /// The assembled analysis — byte-identical to
+    /// [`analyze_parallel`](crate::analyze_parallel) on
+    /// [`AnalysisSession::module`].
+    pub fn analysis(&self) -> &RbaaAnalysis {
+        &self.rbaa
+    }
+
+    /// The cached all-pairs matrix of `f`.
+    pub fn matrix(&self, f: FuncId) -> &AliasMatrix {
+        &self.matrices[f.index()]
+    }
+
+    /// The Figure 13/14 statistics of `f`'s all-pairs sweep.
+    pub fn stats_of(&self, f: FuncId) -> &QueryStats {
+        self.matrices[f.index()].stats()
+    }
+
+    /// Reuse/recompute counters accumulated over all updates.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Like [`crate::BatchAnalysis::alias_with_test`]: answered from
+    /// the cached matrix in `O(1)`, falling back to the direct
+    /// computation for values outside the pointer universe.
+    pub fn alias_with_test(
+        &self,
+        f: FuncId,
+        p: ValueId,
+        q: ValueId,
+    ) -> (AliasResult, Option<WhichTest>) {
+        match self.matrices[f.index()].lookup(p, q) {
+            Some(v) => v,
+            None => self.rbaa.alias_with_test(f, p, q),
+        }
+    }
+
+    /// Replaces the body of `f`. A body equal to the current one is a
+    /// no-op: nothing is dirtied and every cache is carried over
+    /// (countable via [`SessionStats::noop_edits`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Verify`] when the new body (or a caller broken
+    /// by a signature change) fails verification; the session is left
+    /// unchanged.
+    pub fn replace_function(&mut self, f: FuncId, body: Function) -> Result<(), SessionError> {
+        if f.index() >= self.module.num_functions() {
+            return Err(SessionError::NoSuchFunction(f));
+        }
+        if *self.module.function(f) == body {
+            self.stats.edits += 1;
+            self.stats.noop_edits += 1;
+            self.stats.parts_reused += self.module.num_functions();
+            self.stats.matrices_reused += self.module.num_functions();
+            self.stats.gr_components_reused += self.components.len();
+            return Ok(());
+        }
+        let signature_changed = self.module.function(f).param_tys() != body.param_tys()
+            || self.module.function(f).ret_ty() != body.ret_ty();
+        let old = self.module.replace_function(f, body);
+        // Verify the new body plus — only when the signature changed —
+        // every caller whose call sites could now mismatch. Unrelated
+        // functions were valid before and cannot have been affected.
+        let mut check = verify_function(self.module.function(f), Some(&self.module));
+        if check.is_ok() && signature_changed {
+            for caller in self.module.func_ids() {
+                if caller != f && self.callgraph.callees(caller).contains(&f) {
+                    check = verify_function(self.module.function(caller), Some(&self.module));
+                    if check.is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        if let Err(e) = check {
+            self.module.replace_function(f, old);
+            return Err(e.into());
+        }
+        self.callgraph
+            .replace_function_edges(f, self.module.function(f));
+        self.cfgs[f.index()] = Cfg::new(self.module.function(f));
+        self.rebuild(&[f.index()], None);
+        self.stats.edits += 1;
+        Ok(())
+    }
+
+    /// Adds a function, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Verify`] when the body fails verification; the
+    /// session is left unchanged.
+    pub fn add_function(&mut self, body: Function) -> Result<FuncId, SessionError> {
+        let f = self.module.add_function(body);
+        if let Err(e) = verify_function(self.module.function(f), Some(&self.module)) {
+            self.module.remove_function(f);
+            return Err(e.into());
+        }
+        self.callgraph.push_function(self.module.function(f));
+        self.cfgs.push(Cfg::new(self.module.function(f)));
+        self.rebuild(&[f.index()], None);
+        self.stats.edits += 1;
+        Ok(f)
+    }
+
+    /// Removes function `f`. Later functions shift down one id, with
+    /// every internal call target remapped (exactly like
+    /// [`Module::remove_function`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Verify`] — carrying the verifier's structured
+    /// dangling-call report — when another function still calls `f`;
+    /// the session is left unchanged.
+    pub fn remove_function(&mut self, f: FuncId) -> Result<Function, SessionError> {
+        if f.index() >= self.module.num_functions() {
+            return Err(SessionError::NoSuchFunction(f));
+        }
+        let still_called = self
+            .module
+            .func_ids()
+            .any(|caller| caller != f && self.callgraph.callees(caller).contains(&f));
+        if still_called {
+            // Surface the verifier's structured error for the dangling
+            // call sites the removal would create.
+            let mut probe = self.module.clone();
+            probe.remove_function(f);
+            let err = verify_module(&probe).expect_err("dangling calls fail verification");
+            return Err(err.into());
+        }
+        let gone = f.index();
+        let removed = self.module.remove_function(f);
+        self.callgraph.remove_function(f);
+        self.cfgs.remove(gone);
+        self.range_parts.remove(gone);
+        self.lr_parts.remove(gone);
+        self.matrices.remove(gone);
+        // Shift cached component members into the new id space; the
+        // removed function's own component is dropped (its membership
+        // changed, so it could never match again anyway).
+        self.components.retain_mut(|c| {
+            if c.members.iter().any(|m| m.index() == gone) {
+                return false;
+            }
+            for m in &mut c.members {
+                if m.index() > gone {
+                    *m = FuncId::new(m.index() - 1);
+                }
+            }
+            true
+        });
+        self.rebuild(&[], Some(gone));
+        self.stats.edits += 1;
+        Ok(removed)
+    }
+
+    /// Recomputes the analysis after a structural update. `edited`
+    /// holds the current-id indices of replaced/added functions;
+    /// `removed` the old index a removal vacated (for the id-shift
+    /// remaps of cached state).
+    fn rebuild(&mut self, edited: &[usize], removed: Option<usize>) {
+        let nf = self.module.num_functions();
+        let is_edited = |i: usize| edited.contains(&i);
+        // Old-space metadata needed for the rebase/remap maps, captured
+        // before any cache is touched. `old_fid_of` translates a
+        // current id back into the pre-update id space.
+        let old_fid_of = |i: usize| match removed {
+            Some(gone) if i >= gone => i + 1,
+            _ => i,
+        };
+        // The spans are indexed by OLD function ids: a removal already
+        // compacted `range_parts`, so re-open a zero-budget gap at the
+        // vacated slot (its exact old budget is gone with the part, but
+        // a zero-budget span at the block's old start makes every
+        // symbol it minted correctly unmappable).
+        let mut old_range_spans: Vec<(u32, u32)> = self
+            .range_parts
+            .iter()
+            .map(|p| (p.first_symbol, p.symbol_names.len() as u32))
+            .collect();
+        if let Some(gone) = removed {
+            let gap_first = if gone == 0 {
+                0
+            } else {
+                let (first, budget) = old_range_spans[gone - 1];
+                first + budget
+            };
+            old_range_spans.insert(gone, (gap_first, 0));
+        }
+        let old_locs = self.rbaa.gr().locs();
+
+        // -- 1. Function parts: recompute edited, rebase the rest. ----
+        let m = &self.module;
+        let config = self.config;
+        let recomputed: Vec<(usize, RangePart, LrPart)> = {
+            let todo: Vec<usize> = (0..nf).filter(|&i| is_edited(i)).collect();
+            let parts = pool::run_indexed(todo.len(), config.threads, |k| {
+                let i = todo[k];
+                let fid = FuncId::new(i);
+                (
+                    sra_range::analyze_function_part(m.function(fid), config.range, 0),
+                    lr::analyze_function_part(m, fid, 0),
+                )
+            });
+            todo.into_iter()
+                .zip(parts)
+                .map(|(i, (r, l))| (i, r, l))
+                .collect()
+        };
+        // Splice recomputed parts in (added functions extend the vecs).
+        for (i, r, l) in recomputed {
+            if i < self.range_parts.len() {
+                self.range_parts[i] = r;
+                self.lr_parts[i] = l;
+            } else {
+                debug_assert_eq!(i, self.range_parts.len(), "functions are appended in order");
+                self.range_parts.push(r);
+                self.lr_parts.push(l);
+            }
+        }
+        // Prefix-sum the new symbol bases and rebase every part that
+        // moved — exactly the block assignment `analyze_parallel` uses.
+        let mut range_base = 0u32;
+        let mut lr_base = 0u32;
+        for i in 0..nf {
+            let (rp, lp) = (&mut self.range_parts[i], &mut self.lr_parts[i]);
+            let moved = rp.first_symbol != range_base || lp.first_symbol != lr_base;
+            rp.rebase(range_base);
+            lp.rebase(lr_base);
+            range_base += rp.symbol_names.len() as u32;
+            lr_base += lp.symbol_names.len() as u32;
+            if is_edited(i) {
+                self.stats.parts_reanalyzed += 1;
+            } else {
+                self.stats.parts_reused += 1;
+                if moved {
+                    self.stats.parts_rebased += 1;
+                }
+            }
+        }
+        let ranges = RangeAnalysis::from_parts(self.range_parts.clone());
+        let lr = LrAnalysis::from_parts(self.lr_parts.clone());
+
+        // -- 2. The old→new renaming maps for cached GR states. -------
+        let locs = LocTable::build(m);
+        let new_range_spans: Vec<(u32, u32)> = self
+            .range_parts
+            .iter()
+            .map(|p| (p.first_symbol, p.symbol_names.len() as u32))
+            .collect();
+        // Old symbol → owning old function, by binary search over the
+        // old block spans (which stay sorted even when a removal left a
+        // gap).
+        let old_owner = |s: Symbol| -> Option<usize> {
+            let i = old_range_spans.partition_point(|&(first, _)| first <= s.index());
+            let i = i.checked_sub(1)?;
+            let (first, budget) = old_range_spans[i];
+            (s.index() < first + budget).then_some(i)
+        };
+        // A current id for an old function id (None: the removed one).
+        let new_fid_of = |old: usize| -> Option<usize> {
+            match removed {
+                Some(gone) if old == gone => None,
+                Some(gone) if old > gone => Some(old - 1),
+                _ => Some(old),
+            }
+        };
+        let map_symbol = |s: Symbol| -> Option<Symbol> {
+            let old = old_owner(s)?;
+            let new = new_fid_of(old)?;
+            if is_edited(new) {
+                // The block was re-minted; old symbols have no
+                // guaranteed counterpart.
+                return None;
+            }
+            let (old_first, _) = old_range_spans[old];
+            let (new_first, _) = new_range_spans[new];
+            Some(Symbol::new(s.index() - old_first + new_first))
+        };
+        let map_loc = |l: LocId| -> Option<LocId> {
+            let site = old_locs.site(l);
+            match (site.func, site.value) {
+                (None, None) => {
+                    // A global: globals are not editable, so the fresh
+                    // table assigns them the same leading ids.
+                    Some(l)
+                }
+                (Some(fid), Some(v)) => {
+                    let new = new_fid_of(fid.index())?;
+                    if is_edited(new) {
+                        return None;
+                    }
+                    locs.loc_of_value(FuncId::new(new), v)
+                }
+                _ => None,
+            }
+        };
+        let remap_state = |s: &PtrState| -> Option<PtrState> {
+            match s {
+                PtrState::Top => Some(PtrState::Top),
+                PtrState::Map(map) => {
+                    let mut out = BTreeMap::new();
+                    for (l, r) in map {
+                        // Check mappability first (states of dirty but
+                        // unedited functions may mention re-minted
+                        // blocks), then remap infallibly.
+                        let ok = std::cell::Cell::new(true);
+                        let check = |b: &Bound| {
+                            if let Some(e) = b.as_expr() {
+                                e.for_each_symbol(|s| {
+                                    if map_symbol(s).is_none() {
+                                        ok.set(false);
+                                    }
+                                });
+                            }
+                        };
+                        if let SymRange::Interval { lo, hi } = r {
+                            check(lo);
+                            check(hi);
+                        }
+                        if !ok.get() {
+                            return None;
+                        }
+                        out.insert(
+                            map_loc(*l)?,
+                            r.map_symbols(&|s| map_symbol(s).expect("mappability checked")),
+                        );
+                    }
+                    Some(PtrState::Map(out))
+                }
+            }
+        };
+
+        // Per-function "nothing moved" test: a clean component whose
+        // members all kept their symbol block starts and location-id
+        // starts needs no remap at all — its state vectors are shared
+        // by reference (`Arc`) between the old and new analysis.
+        let new_loc_starts = loc_starts(&locs, nf);
+        let old_loc_starts = loc_starts(old_locs, old_range_spans.len());
+        let unshifted = |i: usize| -> bool {
+            let old = old_fid_of(i);
+            old < old_range_spans.len()
+                && old_range_spans[old].0 == new_range_spans[i].0
+                && old_loc_starts[old] == new_loc_starts[i]
+        };
+
+        // -- 3. GR: re-solve dirty components, carry over the rest. ---
+        let callers = gr::build_callers(m);
+        let graph = &self.callgraph;
+        let cond = Condensation::build(graph);
+        let new_components = graph.weak_components();
+        let gr_config = GrConfig {
+            threads: config.threads,
+            ..config.gr
+        };
+        let mut solver = GrSolver::new(m, &ranges, &locs, gr_config, &callers, &self.cfgs, cond);
+
+        // Pair each new component with a clean cache when membership
+        // matches exactly and no member was edited.
+        let mut old_caches: Vec<Option<CompCache>> = std::mem::take(&mut self.components)
+            .into_iter()
+            .map(Some)
+            .collect();
+        let mut matched: Vec<Option<CompCache>> = new_components
+            .iter()
+            .map(|members| {
+                if members.iter().any(|f| is_edited(f.index())) {
+                    return None;
+                }
+                let slot = old_caches
+                    .iter_mut()
+                    .find(|c| c.as_ref().is_some_and(|c| &c.members == members))?;
+                slot.take()
+            })
+            .collect();
+
+        // Phase 1: ascend dirty components; clean components contribute
+        // their cached cap metadata without any sweeping.
+        let schedules = solver.component_schedules(&new_components);
+        let mut trip = false;
+        let mut max_sweeps = 1u32;
+        let mut ascent: Vec<(u32, bool)> = Vec::with_capacity(new_components.len());
+        for (k, members) in new_components.iter().enumerate() {
+            let (sweeps, tripped) = match &matched[k] {
+                Some(cache) => (cache.sweeps, cache.tripped),
+                None => {
+                    for &f in members {
+                        solver.seed_function(f);
+                    }
+                    solver.ascend_component(&schedules[k])
+                }
+            };
+            trip |= tripped;
+            max_sweeps = max_sweeps.max(sweeps);
+            ascent.push((sweeps, tripped));
+        }
+
+        // Phase 2: finish every component under the shared trip flag.
+        // `CLEAN` functions carry their old fixpoint over; everything
+        // else is read back from the solver.
+        const DIRTY: u8 = 0;
+        const CLEAN_SHARED: u8 = 1;
+        const CLEAN_REMAP: u8 = 2;
+        let mut disposition: Vec<u8> = vec![DIRTY; nf];
+        let mut new_caches: Vec<CompCache> = Vec::with_capacity(new_components.len());
+        for (k, members) in new_components.iter().enumerate() {
+            let (sweeps, tripped) = ascent[k];
+            match matched[k].take() {
+                Some(cache) if cache.final_trip == trip => {
+                    // A member's states may mention any *other* member's
+                    // symbols and location ids (interprocedural joins),
+                    // so the zero-copy path needs the whole component
+                    // unshifted.
+                    let shared = members.iter().all(|f| unshifted(f.index()));
+                    for &f in members {
+                        disposition[f.index()] = if shared { CLEAN_SHARED } else { CLEAN_REMAP };
+                    }
+                    self.stats.gr_components_reused += 1;
+                    new_caches.push(cache);
+                    continue;
+                }
+                Some(_) => {
+                    // The module-wide cap verdict changed: the cached
+                    // fixpoint was finished under the other flag, so
+                    // re-solve this (rare) component from seeds.
+                    for &f in members {
+                        solver.seed_function(f);
+                    }
+                    let redo = solver.ascend_component(&schedules[k]);
+                    debug_assert_eq!(redo, (sweeps, tripped), "ascent is context-free");
+                    solver.finish_component(&schedules[k], members, trip);
+                    self.stats.gr_components_refinished += 1;
+                }
+                None => {
+                    solver.finish_component(&schedules[k], members, trip);
+                    self.stats.gr_components_solved += 1;
+                }
+            }
+            new_caches.push(CompCache {
+                members: members.clone(),
+                sweeps,
+                tripped,
+                final_trip: trip,
+            });
+        }
+        self.components = new_caches;
+
+        // Assemble the per-function state vectors: dirty ones move out
+        // of the solver, clean ones share (or remap) the old analysis'.
+        let mut gr_states: Vec<std::sync::Arc<Vec<PtrState>>> = Vec::with_capacity(nf);
+        for (i, &dispo) in disposition.iter().enumerate() {
+            match dispo {
+                CLEAN_SHARED => {
+                    let old = self.rbaa.gr().function_states(FuncId::new(old_fid_of(i)));
+                    gr_states.push(std::sync::Arc::clone(old));
+                }
+                CLEAN_REMAP => {
+                    let old = self.rbaa.gr().function_states(FuncId::new(old_fid_of(i)));
+                    gr_states.push(std::sync::Arc::new(
+                        old.iter()
+                            .map(|s| {
+                                remap_state(s).expect("clean components only mention their own ids")
+                            })
+                            .collect(),
+                    ));
+                }
+                _ => gr_states.push(std::sync::Arc::new(std::mem::take(&mut solver.states[i]))),
+            }
+        }
+        drop(solver);
+
+        // -- 4. Matrix invalidation: a clean-component function keeps --
+        // its matrix outright (verdicts are invariant under the
+        // monotone renamings); a dirty-component one keeps it iff its
+        // GR states came out unchanged up to the renaming. The
+        // comparison walks old and new states in lockstep
+        // (`eq_mapped`), materializing nothing; unmappable old symbols
+        // land on an out-of-range sentinel that can never compare
+        // equal.
+        let sentinel_symbol = Symbol::new(u32::MAX);
+        let cmp_symbol = |s: Symbol| map_symbol(s).unwrap_or(sentinel_symbol);
+        let state_eq = |old: &PtrState, new: &PtrState| -> bool {
+            match (old, new) {
+                (PtrState::Top, PtrState::Top) => true,
+                (PtrState::Map(a), PtrState::Map(b)) => {
+                    a.len() == b.len()
+                        && a.iter().zip(b).all(|((la, ra), (lb, rb))| {
+                            map_loc(*la) == Some(*lb) && ra.eq_mapped(rb, &cmp_symbol)
+                        })
+                }
+                _ => false,
+            }
+        };
+        let mut rebuild: Vec<usize> = Vec::new();
+        for i in 0..nf {
+            if is_edited(i) || i >= self.matrices.len() {
+                rebuild.push(i);
+                continue;
+            }
+            if disposition[i] != DIRTY {
+                self.stats.matrices_reused += 1;
+                continue;
+            }
+            let fid = FuncId::new(i);
+            let old_fid = FuncId::new(old_fid_of(i));
+            let same = self
+                .module
+                .function(fid)
+                .value_ids()
+                .all(|v| state_eq(self.rbaa.gr().state(old_fid, v), &gr_states[i][v.index()]));
+            if same {
+                self.stats.matrices_reused += 1;
+            } else {
+                rebuild.push(i);
+            }
+        }
+
+        // -- 5. Assemble and rebuild the invalidated matrices. --------
+        let gr = GrAnalysis::from_raw(locs, gr_states, max_sweeps);
+        self.rbaa = RbaaAnalysis::from_pieces(ranges, gr, lr);
+        let rbaa = &self.rbaa;
+        let m = &self.module;
+        let fresh = pool::run_indexed(rebuild.len(), config.threads, |k| {
+            AliasMatrix::build(rbaa, m, FuncId::new(rebuild[k]))
+        });
+        self.stats.matrices_rebuilt += rebuild.len();
+        let mut slots: Vec<Option<AliasMatrix>> = std::mem::take(&mut self.matrices)
+            .into_iter()
+            .map(Some)
+            .collect();
+        slots.resize_with(nf, || None);
+        for (i, mx) in rebuild.into_iter().zip(fresh) {
+            slots[i] = Some(mx);
+        }
+        self.matrices = slots
+            .into_iter()
+            .map(|s| s.expect("every function has a matrix"))
+            .collect();
+    }
+}
+
+impl AliasAnalysis for AnalysisSession {
+    fn name(&self) -> &'static str {
+        "rbaa"
+    }
+
+    fn alias(&self, f: FuncId, p: ValueId, q: ValueId) -> AliasResult {
+        self.alias_with_test(f, p, q).0
+    }
+}
+
+impl fmt::Debug for AnalysisSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnalysisSession")
+            .field("functions", &self.module.num_functions())
+            .field("components", &self.components.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::BatchAnalysis;
+    use crate::query::pointer_values;
+    use sra_ir::{Callee, FunctionBuilder, Ty};
+
+    /// The full byte-identity rail: states, symbols, sweeps, verdicts
+    /// and per-function statistics all equal a scratch analysis of the
+    /// session's current module.
+    fn assert_matches_scratch(session: &AnalysisSession) {
+        let m = session.module();
+        let scratch = crate::analyze_parallel(m, session.config());
+        let rbaa = session.analysis();
+        assert!(
+            rbaa.symbols().iter().eq(scratch.symbols().iter()),
+            "symbol tables diverged"
+        );
+        assert!(
+            rbaa.lr().symbols().iter().eq(scratch.lr().symbols().iter()),
+            "LR symbol tables diverged"
+        );
+        assert_eq!(
+            rbaa.gr().ascending_sweeps(),
+            scratch.gr().ascending_sweeps(),
+            "ascending sweep counts diverged"
+        );
+        for f in m.func_ids() {
+            let func = m.function(f);
+            for v in func.value_ids() {
+                assert_eq!(
+                    rbaa.gr().state(f, v),
+                    scratch.gr().state(f, v),
+                    "GR state diverged at {f} {v}"
+                );
+                assert_eq!(
+                    rbaa.ranges().range(f, v),
+                    scratch.ranges().range(f, v),
+                    "range diverged at {f} {v}"
+                );
+                assert_eq!(
+                    rbaa.lr().state(f, v),
+                    scratch.lr().state(f, v),
+                    "LR state diverged at {f} {v}"
+                );
+            }
+        }
+        let batch = BatchAnalysis::from_rbaa(scratch, m, 1);
+        for f in m.func_ids() {
+            let ptrs = pointer_values(m, f);
+            for &p in &ptrs {
+                for &q in &ptrs {
+                    assert_eq!(
+                        session.alias_with_test(f, p, q),
+                        batch.alias_with_test(f, p, q),
+                        "verdict diverged at {f}: {p} vs {q}"
+                    );
+                }
+            }
+            assert_eq!(session.stats_of(f), batch.stats(f), "stats diverged at {f}");
+        }
+    }
+
+    /// `f_i(p) -> ptr {{ q = p + 1; r = f_next(q); ret r }}` chain (the
+    /// last returns its formal, or links back to f0 when `ring`), plus
+    /// a main calling f0 with a fresh allocation.
+    fn chain_module(n: usize, ring: bool) -> Module {
+        let mut m = Module::new();
+        for i in 0..n {
+            m.add_function(chain_body(&format!("f{i}"), i, n, ring, 1));
+        }
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let hundred = b.const_int(100);
+        let x = b.malloc(hundred);
+        let _ = b.call(Callee::Internal(FuncId::new(0)), &[x], Some(Ty::Ptr));
+        b.ret(None);
+        m.add_function(b.finish());
+        sra_ir::verify::verify_module(&m).expect("chain verifies");
+        m
+    }
+
+    /// One chain member with a configurable offset (editing the offset
+    /// is a "real" single-function edit that changes no call edge).
+    fn chain_body(name: &str, i: usize, n: usize, ring: bool, offset: i64) -> Function {
+        let mut b = FunctionBuilder::new(name, &[Ty::Ptr], Some(Ty::Ptr));
+        let p = b.param(0);
+        let off = b.const_int(offset);
+        let q = b.ptr_add(p, off);
+        if i + 1 < n {
+            let r = b.call(Callee::Internal(FuncId::new(i + 1)), &[q], Some(Ty::Ptr));
+            b.ret(Some(r));
+        } else if ring {
+            let r = b.call(Callee::Internal(FuncId::new(0)), &[q], Some(Ty::Ptr));
+            b.ret(Some(r));
+        } else {
+            b.ret(Some(p));
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn single_function_edit_matches_scratch_and_reuses_parts() {
+        let m = chain_module(4, false);
+        let mut session =
+            AnalysisSession::with_config(m, DriverConfig::with_threads(2)).expect("verifies");
+        assert_matches_scratch(&session);
+        // Change f1's offset: call edges unchanged, dataflow changed.
+        session
+            .replace_function(FuncId::new(1), chain_body("f1", 1, 4, false, 3))
+            .expect("valid edit");
+        assert_matches_scratch(&session);
+        let stats = *session.stats();
+        assert_eq!(stats.edits, 1);
+        assert_eq!(stats.parts_reanalyzed, 1);
+        assert!(
+            stats.parts_reused >= 4,
+            "the other functions' parts carry over: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn noop_replace_dirties_nothing() {
+        let m = chain_module(3, false);
+        let mut session = AnalysisSession::new(m).expect("verifies");
+        let body = session.module().function(FuncId::new(1)).clone();
+        session
+            .replace_function(FuncId::new(1), body)
+            .expect("no-op ok");
+        let stats = *session.stats();
+        assert_eq!(stats.noop_edits, 1);
+        assert_eq!(stats.parts_reanalyzed, 0);
+        assert_eq!(stats.matrices_rebuilt, 0);
+        assert_eq!(stats.gr_components_solved, 0);
+        assert!(stats.parts_reused > 0);
+        assert!(stats.matrices_reused > 0);
+        assert!(stats.gr_components_reused > 0);
+        assert_matches_scratch(&session);
+    }
+
+    /// An edit that cuts a mutually recursive ring splits its SCC; the
+    /// reverse edit merges two SCCs back into one ring. Both directions
+    /// must stay byte-identical to scratch.
+    #[test]
+    fn edits_that_split_and_merge_sccs_match_scratch() {
+        let m = chain_module(3, true);
+        let cond = Condensation::of_module(&m);
+        assert!(cond.is_recursive(cond.scc_of(FuncId::new(0))));
+        let mut session = AnalysisSession::new(m).expect("verifies");
+        assert_matches_scratch(&session);
+
+        // Split: f2 stops calling f0 — the 3-cycle SCC falls apart.
+        session
+            .replace_function(FuncId::new(2), chain_body("f2", 2, 3, false, 1))
+            .expect("valid edit");
+        let cond = Condensation::of_module(session.module());
+        assert!(!cond.is_recursive(cond.scc_of(FuncId::new(0))));
+        assert_eq!(cond.num_sccs(), 4, "chain + main are all singletons");
+        assert_matches_scratch(&session);
+
+        // Merge: restore the back edge — the SCCs fuse into one ring.
+        session
+            .replace_function(FuncId::new(2), chain_body("f2", 2, 3, true, 1))
+            .expect("valid edit");
+        let cond = Condensation::of_module(session.module());
+        assert!(cond.is_recursive(cond.scc_of(FuncId::new(0))));
+        assert_eq!(cond.num_sccs(), 2, "ring + main");
+        assert_matches_scratch(&session);
+    }
+
+    #[test]
+    fn add_and_remove_functions_match_scratch() {
+        let m = chain_module(3, false);
+        let mut session = AnalysisSession::new(m).expect("verifies");
+        // Add an independent leaf.
+        let mut b = FunctionBuilder::new("leaf", &[Ty::Int], Some(Ty::Int));
+        let n = b.param(0);
+        let one = b.const_int(1);
+        let n1 = b.binop(sra_ir::BinOp::Add, n, one);
+        b.ret(Some(n1));
+        let leaf = session.add_function(b.finish()).expect("valid add");
+        assert_matches_scratch(&session);
+
+        // Removing a function that is still called is rejected with the
+        // verifier's structured error, leaving the session unchanged.
+        let before = session.module().clone();
+        let err = session.remove_function(FuncId::new(1)).unwrap_err();
+        assert!(matches!(err, SessionError::Verify(_)), "{err}");
+        assert_eq!(session.module(), &before);
+        assert_matches_scratch(&session);
+
+        // Removing the uncalled leaf shifts nothing else out of place.
+        session.remove_function(leaf).expect("leaf is uncalled");
+        assert_matches_scratch(&session);
+        // And the id space is dense again: main moved down by one.
+        assert_eq!(
+            session.module().function_by_name("main"),
+            Some(FuncId::new(3))
+        );
+    }
+
+    #[test]
+    fn invalid_replacement_is_rejected_and_session_unchanged() {
+        let m = chain_module(3, false);
+        let mut session = AnalysisSession::new(m).expect("verifies");
+        let before = session.module().clone();
+        // A body calling f1 with the wrong arity fails verification.
+        let mut b = FunctionBuilder::new("f0", &[Ty::Ptr], Some(Ty::Ptr));
+        let p = b.param(0);
+        let r = b.call(Callee::Internal(FuncId::new(1)), &[p, p], Some(Ty::Ptr));
+        b.ret(Some(r));
+        let err = session
+            .replace_function(FuncId::new(0), b.finish())
+            .unwrap_err();
+        assert!(matches!(err, SessionError::Verify(_)));
+        assert_eq!(session.module(), &before);
+        assert_matches_scratch(&session);
+        // Out-of-range ids are reported as such.
+        let mut b = FunctionBuilder::new("nope", &[], None);
+        b.ret(None);
+        assert_eq!(
+            session.replace_function(FuncId::new(99), b.finish()),
+            Err(SessionError::NoSuchFunction(FuncId::new(99)))
+        );
+    }
+
+    /// The one module-wide coupling between components is the ascending
+    /// cap: editing a capped recursive ring so it converges flips the
+    /// trip flag for *every* component, and an untouched independent
+    /// component must re-run its post phase from cached pre-force
+    /// states (the `gr_components_refinished` path) — and still match
+    /// scratch exactly.
+    #[test]
+    fn cap_trip_flip_refinishes_clean_components() {
+        let mut m = Module::new();
+        // Component A: a 2-ring whose churn grows without bound, fed a
+        // fresh allocation by a caller in the same component.
+        m.add_function(chain_body("f0", 0, 2, true, 1));
+        m.add_function(chain_body("f1", 1, 2, true, 1));
+        let mut b = FunctionBuilder::new("main_a", &[], None);
+        let sz = b.const_int(64);
+        let buf = b.malloc(sz);
+        let _ = b.call(Callee::Internal(FuncId::new(0)), &[buf], Some(Ty::Ptr));
+        b.ret(None);
+        m.add_function(b.finish());
+        // Component B: an independent function with a pointer loop (its
+        // φ is a join point the cap forcing would send to ⊤).
+        let mut b = FunctionBuilder::new("g", &[], None);
+        let sz = b.const_int(8);
+        let buf = b.malloc(sz);
+        let head = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        let one = b.const_int(1);
+        let end = b.ptr_add(buf, one);
+        let entry = b.current_block();
+        b.jump(head);
+        b.switch_to(head);
+        let p = b.phi(Ty::Ptr, &[(entry, buf)]);
+        let c = b.cmp(sra_ir::CmpOp::Lt, p, end);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let pn = b.ptr_add(p, one);
+        b.add_phi_arg(p, body, pn);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut g = b.finish();
+        sra_ir::essa::run(&mut g);
+        m.add_function(g);
+        sra_ir::verify::verify_module(&m).expect("verifies");
+
+        // Widening off + a small cap: the ring's unbounded churn trips
+        // it (so scratch forces g's φ to ⊤ too), while the *cut* chain
+        // of the later edit converges well within it.
+        let config = DriverConfig {
+            threads: 1,
+            gr: GrConfig {
+                widening: false,
+                max_ascending_sweeps: 8,
+                ..GrConfig::default()
+            },
+            ..DriverConfig::with_threads(1)
+        };
+        let mut session = AnalysisSession::with_config(m, config).expect("verifies");
+        assert_matches_scratch(&session);
+
+        // Cut the ring: nothing trips any more; g (untouched) must drop
+        // its forced-⊤ fixpoint and re-finish from its pre states.
+        session
+            .replace_function(FuncId::new(1), chain_body("f1", 1, 2, false, 1))
+            .expect("valid edit");
+        assert_matches_scratch(&session);
+        assert!(
+            session.stats().gr_components_refinished >= 1,
+            "the clean component re-ran its post phase: {:?}",
+            session.stats()
+        );
+
+        // Restore the ring: the flag flips back.
+        session
+            .replace_function(FuncId::new(1), chain_body("f1", 1, 2, true, 1))
+            .expect("valid edit");
+        assert_matches_scratch(&session);
+    }
+}

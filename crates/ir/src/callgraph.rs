@@ -42,9 +42,31 @@
 //! assert_eq!(cond.levels().len(), 2);
 //! ```
 
+use crate::function::Function;
 use crate::ids::FuncId;
 use crate::instr::{Callee, Inst};
 use crate::module::Module;
+
+/// The sorted, duplicate-free internal-callee list of one function,
+/// with targets at or beyond `num_functions` dropped (unverified input
+/// must never panic the graph).
+fn collect_callees(f: &Function, num_functions: usize) -> Vec<FuncId> {
+    let mut callees = Vec::new();
+    for v in f.value_ids() {
+        if let Some(Inst::Call {
+            callee: Callee::Internal(target),
+            ..
+        }) = f.value(v).as_inst()
+        {
+            if target.index() < num_functions {
+                callees.push(*target);
+            }
+        }
+    }
+    callees.sort_unstable();
+    callees.dedup();
+    callees
+}
 
 /// Internal-call adjacency of a module: for each function, the sorted,
 /// duplicate-free list of module-internal callees.
@@ -66,24 +88,10 @@ impl CallGraph {
     /// any dataflow the solvers read.
     pub fn build(m: &Module) -> Self {
         let n = m.num_functions();
-        let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
-        for fid in m.func_ids() {
-            let f = m.function(fid);
-            for v in f.value_ids() {
-                if let Some(Inst::Call {
-                    callee: Callee::Internal(target),
-                    ..
-                }) = f.value(v).as_inst()
-                {
-                    if target.index() < n {
-                        callees[fid.index()].push(*target);
-                    }
-                }
-            }
-            let list = &mut callees[fid.index()];
-            list.sort_unstable();
-            list.dedup();
-        }
+        let callees = m
+            .func_ids()
+            .map(|fid| collect_callees(m.function(fid), n))
+            .collect();
         CallGraph { callees }
     }
 
@@ -95,6 +103,93 @@ impl CallGraph {
     /// The internal callees of `f`, sorted and duplicate-free.
     pub fn callees(&self, f: FuncId) -> &[FuncId] {
         &self.callees[f.index()]
+    }
+
+    /// Recomputes the out-edges of `f` from its (replaced) body without
+    /// re-scanning any other function — the `O(1)`-functions update an
+    /// incremental analysis session does per edit, where a full
+    /// [`CallGraph::build`] would re-scan the whole module.
+    ///
+    /// On a module that verifies, the result is identical to
+    /// rebuilding the graph from scratch. (On *unverified* modules the
+    /// two can differ for out-of-range call targets in untouched
+    /// functions: `build` filters them against the final function
+    /// count, while incremental updates keep each row's original
+    /// filtering.)
+    ///
+    /// # Panics
+    ///
+    /// Panics when `f` is not a node of this graph.
+    pub fn replace_function_edges(&mut self, f: FuncId, body: &Function) {
+        let n = self.callees.len();
+        self.callees[f.index()] = collect_callees(body, n);
+    }
+
+    /// Appends a node for a newly added function (its id must be the
+    /// current [`CallGraph::num_functions`], mirroring
+    /// [`Module::add_function`]) and collects its out-edges.
+    pub fn push_function(&mut self, body: &Function) {
+        let n = self.callees.len() + 1;
+        self.callees.push(collect_callees(body, n));
+    }
+
+    /// Removes the node of `f`, shifting later ids down by one exactly
+    /// like [`Module::remove_function`]. Edges *to* `f` are dropped;
+    /// callers that still reference the removed function should have
+    /// been rejected beforehand (the verifier reports them).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `f` is not a node of this graph.
+    pub fn remove_function(&mut self, f: FuncId) {
+        let gone = f.index();
+        self.callees.remove(gone);
+        for list in &mut self.callees {
+            list.retain(|t| t.index() != gone);
+            for t in list.iter_mut() {
+                if t.index() > gone {
+                    *t = FuncId::new(t.index() - 1);
+                }
+            }
+        }
+    }
+
+    /// The weakly connected components of the graph: maximal sets of
+    /// functions transitively linked by call edges in *either*
+    /// direction. Interprocedural dataflow zig-zags arbitrarily
+    /// (returns up, actuals down), so a weak component is exactly the
+    /// region an edit inside it can affect — and two distinct
+    /// components exchange no dataflow at all.
+    ///
+    /// Deterministic: members are ascending, components ordered by
+    /// their smallest member.
+    pub fn weak_components(&self) -> Vec<Vec<FuncId>> {
+        let n = self.callees.len();
+        let mut root: Vec<u32> = (0..n as u32).collect();
+        fn find(root: &mut [u32], mut x: u32) -> u32 {
+            while root[x as usize] != x {
+                let up = root[root[x as usize] as usize];
+                root[x as usize] = up;
+                x = up;
+            }
+            x
+        }
+        for f in 0..n {
+            for t in &self.callees[f] {
+                let (a, b) = (find(&mut root, f as u32), find(&mut root, t.index() as u32));
+                if a != b {
+                    // Union by smaller root keeps component order stable.
+                    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                    root[hi as usize] = lo;
+                }
+            }
+        }
+        let mut members: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        for f in 0..n {
+            members[find(&mut root, f as u32) as usize].push(FuncId::new(f));
+        }
+        members.retain(|m| !m.is_empty());
+        members
     }
 }
 
@@ -412,6 +507,108 @@ mod tests {
         m.add_function(b.finish());
         let g = CallGraph::build(&m);
         assert!(g.callees(FuncId::new(0)).is_empty());
+    }
+
+    /// Builds the body of one function calling the given targets.
+    fn body_with_calls(name: &str, targets: &[usize]) -> crate::function::Function {
+        let mut b = FunctionBuilder::new(name, &[Ty::Int], None);
+        let arg = b.param(0);
+        for &t in targets {
+            b.call(Callee::Internal(FuncId::new(t)), &[arg], None);
+        }
+        b.ret(None);
+        b.finish()
+    }
+
+    /// Adding the back edge of a ring through `replace_function_edges`
+    /// merges the chain's singleton SCCs into one recursive SCC, and
+    /// the incremental graph matches a from-scratch build.
+    #[test]
+    fn replace_edges_added_edge_merges_sccs() {
+        // f0 → f1 → f2 (three singleton SCCs)…
+        let mut m = module_with_edges(3, &[(0, 1), (1, 2)]);
+        let mut g = CallGraph::build(&m);
+        assert_eq!(Condensation::build(&g).num_sccs(), 3);
+        // …then f2 is edited to call f0, closing the ring.
+        let new_body = body_with_calls("f2", &[0]);
+        g.replace_function_edges(FuncId::new(2), &new_body);
+        m.replace_function(FuncId::new(2), new_body);
+        assert_eq!(g.callees(FuncId::new(2)), &[FuncId::new(0)]);
+        let cond = Condensation::build(&g);
+        assert_eq!(cond.num_sccs(), 1, "the ring fuses into one SCC");
+        assert!(cond.is_recursive(0));
+        // Incremental == from scratch.
+        let fresh = CallGraph::build(&m);
+        for f in m.func_ids() {
+            assert_eq!(g.callees(f), fresh.callees(f));
+        }
+    }
+
+    /// Dropping a ring edge splits the recursive SCC back into
+    /// singletons.
+    #[test]
+    fn replace_edges_removed_edge_splits_scc() {
+        let mut m = module_with_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let mut g = CallGraph::build(&m);
+        let cond = Condensation::build(&g);
+        assert_eq!(cond.num_sccs(), 1);
+        assert!(cond.is_recursive(0));
+        let new_body = body_with_calls("f1", &[]);
+        g.replace_function_edges(FuncId::new(1), &new_body);
+        m.replace_function(FuncId::new(1), new_body);
+        let cond = Condensation::build(&g);
+        assert_eq!(cond.num_sccs(), 3, "cutting the ring splits the SCC");
+        for scc in 0..3 {
+            assert!(!cond.is_recursive(scc));
+        }
+        let fresh = CallGraph::build(&m);
+        for f in m.func_ids() {
+            assert_eq!(g.callees(f), fresh.callees(f));
+        }
+    }
+
+    /// push_function / remove_function keep the graph equal to a
+    /// from-scratch build, including the id shift on removal.
+    #[test]
+    fn incremental_add_and_remove_match_rebuild() {
+        let mut m = module_with_edges(3, &[(0, 1), (0, 2)]);
+        let mut g = CallGraph::build(&m);
+        // Add f3 calling f1.
+        let body = body_with_calls("f3", &[1]);
+        g.push_function(&body);
+        m.add_function(body);
+        let fresh = CallGraph::build(&m);
+        assert_eq!(g.num_functions(), 4);
+        for f in m.func_ids() {
+            assert_eq!(g.callees(f), fresh.callees(f));
+        }
+        // Remove f1 (still called by f0 and f3 — the *graph* just drops
+        // the edges; rejecting such removals is the session's job).
+        g.remove_function(FuncId::new(1));
+        assert_eq!(g.num_functions(), 3);
+        // Old f2 is now f1: f0's surviving callee list is exactly it.
+        assert_eq!(g.callees(FuncId::new(0)), &[FuncId::new(1)]);
+        // Old f3 (now f2) called only the removed function.
+        assert!(g.callees(FuncId::new(2)).is_empty());
+    }
+
+    /// Weak components: call direction does not matter, isolation does.
+    #[test]
+    fn weak_components_cover_zigzag_dataflow() {
+        // {f0 → f1 ← f2} zig-zags into one component; {f3 → f4} is
+        // another; f5 is alone.
+        let m = module_with_edges(6, &[(0, 1), (2, 1), (3, 4)]);
+        let g = CallGraph::build(&m);
+        let comps = g.weak_components();
+        let ids: Vec<Vec<usize>> = comps
+            .iter()
+            .map(|c| c.iter().map(|f| f.index()).collect())
+            .collect();
+        assert_eq!(ids, vec![vec![0, 1, 2], vec![3, 4], vec![5]]);
+        // Empty graph: no components.
+        assert!(CallGraph::build(&Module::new())
+            .weak_components()
+            .is_empty());
     }
 
     #[test]

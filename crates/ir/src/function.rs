@@ -240,6 +240,22 @@ impl Function {
         &mut self.values[v.index()]
     }
 
+    /// Rewrites the target of every internal call through `map` (used
+    /// by [`crate::Module::remove_function`] to keep `FuncId`s dense).
+    pub(crate) fn remap_internal_calls(&mut self, map: impl Fn(crate::FuncId) -> crate::FuncId) {
+        use crate::instr::{Callee, Inst};
+        use crate::ValueKind;
+        for data in &mut self.values {
+            if let ValueKind::Inst(Inst::Call {
+                callee: Callee::Internal(target),
+                ..
+            }) = &mut data.kind
+            {
+                *target = map(*target);
+            }
+        }
+    }
+
     pub(crate) fn block_mut(&mut self, b: BlockId) -> &mut BlockData {
         &mut self.blocks[b.index()]
     }

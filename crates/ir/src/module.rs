@@ -58,6 +58,52 @@ impl Module {
         id
     }
 
+    /// Replaces the body of function `f`, returning the previous one.
+    ///
+    /// Ids are stable: `f` keeps its id and no other function moves.
+    /// The replacement is purely structural — callers are responsible
+    /// for re-verifying the module (signature changes can break call
+    /// sites elsewhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `f` is not a function of this module.
+    pub fn replace_function(&mut self, f: FuncId, func: Function) -> Function {
+        std::mem::replace(&mut self.funcs[f.index()], func)
+    }
+
+    /// Removes function `f`, returning it. Functions after `f` shift
+    /// down by one id; every `Callee::Internal` reference in the
+    /// remaining functions is remapped accordingly, so a module whose
+    /// remaining functions never called `f` stays well-formed. Calls
+    /// that *did* target `f` are left pointing at the (now out-of-range)
+    /// old id — [`crate::verify::verify_module`] reports them as
+    /// structured errors, which is how incremental sessions surface
+    /// "removed a function that is still called".
+    ///
+    /// # Panics
+    ///
+    /// Panics when `f` is not a function of this module.
+    pub fn remove_function(&mut self, f: FuncId) -> Function {
+        let removed = self.funcs.remove(f.index());
+        let gone = f.index();
+        for func in &mut self.funcs {
+            func.remap_internal_calls(|t| {
+                if t.index() > gone {
+                    FuncId::new(t.index() - 1)
+                } else if t.index() == gone {
+                    // Dangling: park on a permanently invalid sentinel
+                    // id for the verifier to report (never reusable by
+                    // later `add_function` calls).
+                    FuncId::new(u32::MAX as usize)
+                } else {
+                    t
+                }
+            });
+        }
+        removed
+    }
+
     /// Adds a global of `size` cells, returning its id.
     pub fn add_global(&mut self, name: &str, size: i64) -> GlobalId {
         let id = GlobalId::new(self.globals.len());
@@ -144,6 +190,50 @@ mod tests {
         assert_eq!(m.function_by_name("beta"), Some(fb));
         assert_eq!(m.function_by_name("gamma"), None);
         assert_eq!(m.num_functions(), 2);
+    }
+
+    #[test]
+    fn replace_and_remove_keep_call_targets_consistent() {
+        use crate::instr::{Callee, Inst};
+        use crate::{Ty, ValueKind};
+        let mut m = Module::new();
+        for i in 0..3 {
+            let mut b = FunctionBuilder::new(&format!("f{i}"), &[Ty::Int], None);
+            b.ret(None);
+            m.add_function(b.finish());
+        }
+        // Replace f2's empty body with one that calls f1.
+        let mut b = FunctionBuilder::new("f2", &[Ty::Int], None);
+        let arg = b.param(0);
+        b.call(Callee::Internal(FuncId::new(1)), &[arg], None);
+        b.ret(None);
+        let old = m.replace_function(FuncId::new(2), b.finish());
+        assert_eq!(old.name(), "f2");
+        crate::verify::verify_module(&m).expect("replacement verifies");
+
+        // Removing f1 (still called by f2) leaves a dangling sentinel
+        // the verifier reports…
+        let mut probe = m.clone();
+        probe.remove_function(FuncId::new(1));
+        assert!(crate::verify::verify_module(&probe).is_err());
+
+        // …while removing the uncalled f0 shifts f2's reference down
+        // with the callee's new id.
+        m.remove_function(FuncId::new(0));
+        assert_eq!(m.num_functions(), 2);
+        crate::verify::verify_module(&m).expect("uncalled removal stays well-formed");
+        let caller = m.function(FuncId::new(1));
+        let targets: Vec<FuncId> = caller
+            .value_ids()
+            .filter_map(|v| match caller.value(v).kind() {
+                ValueKind::Inst(Inst::Call {
+                    callee: Callee::Internal(t),
+                    ..
+                }) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets, vec![FuncId::new(0)]);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The fixpoint solver for integer symbolic ranges.
 
+use std::sync::Arc;
+
 use sra_ir::cfg::Cfg;
 use sra_ir::{BinOp, Callee, CmpOp, FuncId, Function, Inst, Module, Ty, ValueId, ValueKind};
 use sra_symbolic::{Bound, SymExpr, SymRange, Symbol, SymbolTable};
@@ -47,6 +49,16 @@ impl FunctionRanges {
     pub fn all_ranges(&self) -> impl Iterator<Item = &SymRange> {
         self.ranges.iter()
     }
+
+    /// Rewrites every kernel symbol of every range through `map` (see
+    /// [`sra_symbolic::SymExpr::map_symbols`] for the monotonicity
+    /// contract). Used by incremental sessions to rebase cached parts
+    /// onto shifted symbol-id blocks.
+    pub fn map_symbols(&mut self, map: &impl Fn(Symbol) -> Symbol) {
+        for r in &mut self.ranges {
+            *r = r.map_symbols(map);
+        }
+    }
 }
 
 /// The per-function output of the bootstrap analysis: the ranges plus
@@ -59,19 +71,48 @@ impl FunctionRanges {
 /// to the serial one no matter how the work was scheduled.
 #[derive(Debug, Clone)]
 pub struct RangePart {
-    /// Ranges of the function's values.
-    pub ranges: FunctionRanges,
+    /// Ranges of the function's values, behind an [`Arc`] so an
+    /// incremental session's cached part and the assembled
+    /// [`RangeAnalysis`] share one copy (cloning a part is a reference
+    /// bump until someone rebases it).
+    pub ranges: Arc<FunctionRanges>,
     /// The `first_symbol` this part was analyzed with.
     pub first_symbol: u32,
     /// Names of the symbols minted, starting at `first_symbol`.
     pub symbol_names: Vec<String>,
 }
 
+impl RangePart {
+    /// Rebases the part onto a new `first_symbol`, remapping every
+    /// symbol it minted by the same delta. Because a function's ranges
+    /// mention only its own symbol block and the shift is monotone, the
+    /// result is byte-identical to re-running
+    /// [`analyze_function_part`] with `new_first` — which is what lets
+    /// an incremental session reuse the cached part of an unedited
+    /// function whose block merely moved when an *earlier* function's
+    /// symbol budget changed.
+    pub fn rebase(&mut self, new_first: u32) {
+        if new_first == self.first_symbol {
+            return;
+        }
+        let old = self.first_symbol;
+        let budget = self.symbol_names.len() as u32;
+        Arc::make_mut(&mut self.ranges).map_symbols(&|s: Symbol| {
+            debug_assert!(
+                s.index() >= old && (s.index() - old) < budget,
+                "range parts only mention their own symbol block"
+            );
+            Symbol::new(s.index() - old + new_first)
+        });
+        self.first_symbol = new_first;
+    }
+}
+
 /// Whole-module symbolic ranges of integer variables: the paper's
 /// `R : V → S²`.
 #[derive(Debug, Clone)]
 pub struct RangeAnalysis {
-    per_func: Vec<FunctionRanges>,
+    per_func: Vec<Arc<FunctionRanges>>,
     symbols: SymbolTable,
 }
 
@@ -177,9 +218,9 @@ pub fn analyze_function_part(f: &Function, config: RangeConfig, first_symbol: u3
         "symbol_budget must match what seeding mints"
     );
     RangePart {
-        ranges: FunctionRanges {
+        ranges: Arc::new(FunctionRanges {
             ranges: solver.ranges,
-        },
+        }),
         first_symbol,
         symbol_names: minter.names,
     }

@@ -46,6 +46,25 @@ impl Bound {
         self.as_expr().and_then(SymExpr::as_constant)
     }
 
+    /// Rewrites every kernel symbol through `f`; see
+    /// [`SymExpr::map_symbols`] for the monotonicity contract.
+    pub fn map_symbols(&self, f: &impl Fn(crate::Symbol) -> crate::Symbol) -> Bound {
+        match self {
+            Bound::Fin(e) => Bound::Fin(e.map_symbols(f)),
+            other => other.clone(),
+        }
+    }
+
+    /// Allocation-free equivalent of `self.map_symbols(f) == *other`
+    /// for strictly monotone `f`; see [`SymExpr::eq_mapped`].
+    pub fn eq_mapped(&self, other: &Bound, f: &impl Fn(crate::Symbol) -> crate::Symbol) -> bool {
+        match (self, other) {
+            (Bound::NegInf, Bound::NegInf) | (Bound::PosInf, Bound::PosInf) => true,
+            (Bound::Fin(a), Bound::Fin(b)) => a.eq_mapped(b, f),
+            _ => false,
+        }
+    }
+
     /// Sound three-valued order test between bounds.
     pub fn try_le(&self, other: &Bound) -> Option<bool> {
         match (self, other) {

@@ -73,6 +73,27 @@ impl Atom {
             }
         }
     }
+
+    fn map_symbols(&self, f: &impl Fn(Symbol) -> Symbol) -> Atom {
+        match self {
+            Atom::Sym(s) => Atom::Sym(f(*s)),
+            Atom::Min(a, b) => Atom::Min(Box::new(a.map_symbols(f)), Box::new(b.map_symbols(f))),
+            Atom::Max(a, b) => Atom::Max(Box::new(a.map_symbols(f)), Box::new(b.map_symbols(f))),
+            Atom::Div(a, b) => Atom::Div(Box::new(a.map_symbols(f)), Box::new(b.map_symbols(f))),
+            Atom::Mod(a, b) => Atom::Mod(Box::new(a.map_symbols(f)), Box::new(b.map_symbols(f))),
+        }
+    }
+
+    fn eq_mapped(&self, other: &Atom, f: &impl Fn(Symbol) -> Symbol) -> bool {
+        match (self, other) {
+            (Atom::Sym(a), Atom::Sym(b)) => f(*a) == *b,
+            (Atom::Min(a1, b1), Atom::Min(a2, b2))
+            | (Atom::Max(a1, b1), Atom::Max(a2, b2))
+            | (Atom::Div(a1, b1), Atom::Div(a2, b2))
+            | (Atom::Mod(a1, b1), Atom::Mod(a2, b2)) => a1.eq_mapped(a2, f) && b1.eq_mapped(b2, f),
+            _ => false,
+        }
+    }
 }
 
 /// A product of atoms, kept sorted so equal products compare equal.
@@ -200,6 +221,51 @@ impl SymExpr {
                 atom.for_each_symbol(f);
             }
         }
+    }
+
+    /// Rewrites every kernel symbol through `f`, preserving the
+    /// canonical form.
+    ///
+    /// `f` must be *strictly monotone* on the symbols that occur
+    /// (`a < b ⇒ f(a) < f(b)`), which every block-wise renumbering of
+    /// per-function symbol budgets is. Monotonicity guarantees that the
+    /// canonical orderings baked into the representation — sorted term
+    /// products, and the argument order of unresolved `min`/`max` — are
+    /// preserved, so the result is exactly the expression the analysis
+    /// would have built had it minted the renamed symbols in the first
+    /// place. That is what lets an incremental session *rebase* cached
+    /// per-function analysis parts onto shifted symbol-id blocks instead
+    /// of re-running the analysis.
+    pub fn map_symbols(&self, f: &impl Fn(Symbol) -> Symbol) -> SymExpr {
+        let mut out = SymExpr {
+            constant: self.constant,
+            terms: BTreeMap::new(),
+        };
+        for (term, &coeff) in &self.terms {
+            let mut atoms: Vec<Atom> = term.0.iter().map(|a| a.map_symbols(f)).collect();
+            atoms.sort();
+            out.add_term(Term(atoms), coeff);
+        }
+        out
+    }
+
+    /// Allocation-free equivalent of `self.map_symbols(f) == *other`
+    /// for *strictly monotone* `f` (which preserves the canonical term
+    /// order, so the two expressions can be walked in lockstep). A
+    /// non-monotone `f` may produce false negatives, never false
+    /// positives.
+    pub fn eq_mapped(&self, other: &SymExpr, f: &impl Fn(Symbol) -> Symbol) -> bool {
+        self.constant == other.constant
+            && self.terms.len() == other.terms.len()
+            && self
+                .terms
+                .iter()
+                .zip(&other.terms)
+                .all(|((ta, ca), (tb, cb))| {
+                    ca == cb
+                        && ta.0.len() == tb.0.len()
+                        && ta.0.iter().zip(&tb.0).all(|(a, b)| a.eq_mapped(b, f))
+                })
     }
 
     /// Crate-internal: the constant part of the affine form.
@@ -742,5 +808,26 @@ mod tests {
         assert_eq!(big.as_constant(), Some(i128::MAX));
         let neg = -SymExpr::from(i128::MIN);
         assert_eq!(neg.as_constant(), Some(i128::MAX));
+    }
+
+    /// A monotone renaming commutes with construction: mapping a built
+    /// expression equals building from mapped symbols, down to nested
+    /// min/max canonical argument order.
+    #[test]
+    fn map_symbols_commutes_with_construction() {
+        let shift = |s: Symbol| Symbol::new(s.index() + 10);
+        let build = |a: Symbol, b: Symbol| {
+            SymExpr::min(
+                SymExpr::from(a) * SymExpr::from(b),
+                SymExpr::from(b) + 3.into(),
+            ) + SymExpr::max(SymExpr::from(a), SymExpr::from(2)) * 5.into()
+                - 7.into()
+        };
+        let e = build(Symbol::new(0), Symbol::new(1));
+        let mapped = e.map_symbols(&shift);
+        let rebuilt = build(Symbol::new(10), Symbol::new(11));
+        assert_eq!(mapped, rebuilt);
+        // Identity map is a no-op.
+        assert_eq!(e.map_symbols(&|s| s), e);
     }
 }

@@ -83,6 +83,33 @@ impl SymRange {
         SymRange::singleton(SymExpr::from(c))
     }
 
+    /// Rewrites every kernel symbol of both endpoints through `f`; see
+    /// [`SymExpr::map_symbols`] for the monotonicity contract that makes
+    /// the result identical to re-deriving the range with renamed
+    /// symbols (no re-normalization is needed — emptiness and size are
+    /// invariant under a monotone renaming).
+    pub fn map_symbols(&self, f: &impl Fn(crate::Symbol) -> crate::Symbol) -> SymRange {
+        match self {
+            SymRange::Empty => SymRange::Empty,
+            SymRange::Interval { lo, hi } => SymRange::Interval {
+                lo: lo.map_symbols(f),
+                hi: hi.map_symbols(f),
+            },
+        }
+    }
+
+    /// Allocation-free equivalent of `self.map_symbols(f) == *other`
+    /// for strictly monotone `f`; see [`SymExpr::eq_mapped`].
+    pub fn eq_mapped(&self, other: &SymRange, f: &impl Fn(crate::Symbol) -> crate::Symbol) -> bool {
+        match (self, other) {
+            (SymRange::Empty, SymRange::Empty) => true,
+            (SymRange::Interval { lo: l1, hi: h1 }, SymRange::Interval { lo: l2, hi: h2 }) => {
+                l1.eq_mapped(l2, f) && h1.eq_mapped(h2, f)
+            }
+            _ => false,
+        }
+    }
+
     /// Collapses provably empty intervals to `∅` and oversized symbolic
     /// endpoints to their infinity (sound, coarser).
     fn normalized(self) -> Self {

@@ -1,0 +1,428 @@
+//! Randomized edit streams: function-granularity update sequences for
+//! exercising incremental re-analysis sessions.
+//!
+//! A production analysis service does not see one-shot batch runs; it
+//! sees a long-lived module receiving a stream of function-level
+//! updates. This module generates such streams deterministically:
+//! replacements (including deliberate no-ops, which a session must
+//! recognize and not recompute anything for), additions of fresh
+//! functions that may call into the existing module (merging weak
+//! components), and removals of currently-uncalled functions. Every
+//! edit is valid against the module state it will be applied to — the
+//! generator evolves a shadow copy as it draws — so sessions and
+//! scratch analyses can replay the same stream.
+//!
+//! # Examples
+//!
+//! ```
+//! use sra_workloads::{edits, scaling};
+//!
+//! let mut m = scaling::generate_module(400, 7);
+//! let stream = edits::generate_edit_stream(&m, 5, 7);
+//! assert_eq!(stream.len(), 5);
+//! for edit in &stream {
+//!     edits::apply_to_module(&mut m, edit).expect("stream edits stay valid");
+//! }
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sra_core::{AnalysisSession, SessionError};
+use sra_ir::{BinOp, Callee, CmpOp, FuncId, Function, FunctionBuilder, Module, Ty, ValueId};
+
+/// One function-granularity update.
+#[derive(Debug, Clone)]
+pub enum Edit {
+    /// Replace the body of `func` (same id, possibly identical body —
+    /// the no-op case a session should detect).
+    Replace {
+        /// The function to replace.
+        func: FuncId,
+        /// The new body.
+        body: Function,
+    },
+    /// Add a fresh function.
+    Add {
+        /// The new body.
+        body: Function,
+    },
+    /// Remove `func` (guaranteed uncalled at its position in the
+    /// stream).
+    Remove {
+        /// The function to remove.
+        func: FuncId,
+    },
+}
+
+/// Applies one edit to a plain module, verifying the result — the
+/// scratch-analysis side of a session-vs-scratch comparison.
+///
+/// # Errors
+///
+/// Returns the verifier's error (and leaves `m` untouched) when the
+/// edit does not apply cleanly.
+pub fn apply_to_module(m: &mut Module, edit: &Edit) -> Result<(), sra_ir::verify::VerifyError> {
+    let mut next = m.clone();
+    match edit {
+        Edit::Replace { func, body } => {
+            next.replace_function(*func, body.clone());
+        }
+        Edit::Add { body } => {
+            next.add_function(body.clone());
+        }
+        Edit::Remove { func } => {
+            next.remove_function(*func);
+        }
+    }
+    sra_ir::verify::verify_module(&next)?;
+    *m = next;
+    Ok(())
+}
+
+/// Applies one edit to an [`AnalysisSession`].
+///
+/// # Errors
+///
+/// Propagates the session's rejection, leaving the session unchanged.
+pub fn apply_to_session(s: &mut AnalysisSession, edit: &Edit) -> Result<(), SessionError> {
+    match edit {
+        Edit::Replace { func, body } => s.replace_function(*func, body.clone()),
+        Edit::Add { body } => s.add_function(body.clone()).map(|_| ()),
+        Edit::Remove { func } => s.remove_function(*func).map(|_| ()),
+    }
+}
+
+/// Generates `count` edits valid against `m` applied in order,
+/// deterministically from `seed`. Roughly: 55% real replacements, 15%
+/// no-op replacements, 15% additions, 15% removals (falling back to
+/// replacements when nothing is removable).
+pub fn generate_edit_stream(m: &Module, count: usize, seed: u64) -> Vec<Edit> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xed17_57ea);
+    let mut shadow = m.clone();
+    let mut added = 0usize;
+    let mut stream = Vec::with_capacity(count);
+    while stream.len() < count {
+        let nf = shadow.num_functions();
+        if nf == 0 {
+            let body = random_body(
+                &mut rng,
+                "seed_fn",
+                &[Ty::Ptr, Ty::Int],
+                None,
+                false,
+                &shadow,
+            );
+            stream.push(Edit::Add { body: body.clone() });
+            shadow.add_function(body);
+            continue;
+        }
+        let edit = match rng.gen_range(0..100) {
+            0..=14 => {
+                // No-op replace: the session should dirty nothing.
+                let func = FuncId::new(rng.gen_range(0..nf));
+                Edit::Replace {
+                    func,
+                    body: shadow.function(func).clone(),
+                }
+            }
+            15..=69 => {
+                let func = FuncId::new(rng.gen_range(0..nf));
+                let old = shadow.function(func);
+                let body = random_body(
+                    &mut rng,
+                    old.name(),
+                    old.param_tys(),
+                    old.ret_ty(),
+                    old.is_exported(),
+                    &shadow,
+                );
+                Edit::Replace { func, body }
+            }
+            70..=84 => {
+                added += 1;
+                let ret = if rng.gen_bool(0.5) {
+                    Some(Ty::Ptr)
+                } else {
+                    None
+                };
+                let body = random_body(
+                    &mut rng,
+                    &format!("added{added}"),
+                    &[Ty::Ptr, Ty::Int],
+                    ret,
+                    false,
+                    &shadow,
+                );
+                Edit::Add { body }
+            }
+            _ => match removable_function(&shadow, &mut rng) {
+                Some(func) => Edit::Remove { func },
+                None => {
+                    let func = FuncId::new(rng.gen_range(0..nf));
+                    let old = shadow.function(func);
+                    let body = random_body(
+                        &mut rng,
+                        old.name(),
+                        old.param_tys(),
+                        old.ret_ty(),
+                        old.is_exported(),
+                        &shadow,
+                    );
+                    Edit::Replace { func, body }
+                }
+            },
+        };
+        apply_to_module(&mut shadow, &edit).expect("generated edits apply to their shadow");
+        stream.push(edit);
+    }
+    stream
+}
+
+/// Generates a stream of `count` *single-function replacements* (no
+/// adds/removes, no no-ops), deterministically from `seed` — the
+/// acceptance workload for session-vs-scratch throughput: every edit
+/// invalidates exactly one function's parts.
+pub fn generate_replace_stream(m: &Module, count: usize, seed: u64) -> Vec<Edit> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4e91_ace5);
+    let mut shadow = m.clone();
+    let mut stream = Vec::with_capacity(count);
+    while stream.len() < count {
+        let func = FuncId::new(rng.gen_range(0..shadow.num_functions()));
+        let old = shadow.function(func);
+        let body = random_body(
+            &mut rng,
+            old.name(),
+            old.param_tys(),
+            old.ret_ty(),
+            old.is_exported(),
+            &shadow,
+        );
+        if shadow.function(func) == &body {
+            continue;
+        }
+        let edit = Edit::Replace { func, body };
+        apply_to_module(&mut shadow, &edit).expect("generated edits apply to their shadow");
+        stream.push(edit);
+    }
+    stream
+}
+
+/// A uniformly random function no other function calls (itself-only
+/// recursion does not pin a function down).
+fn removable_function(m: &Module, rng: &mut StdRng) -> Option<FuncId> {
+    let graph = sra_ir::callgraph::CallGraph::build(m);
+    let candidates: Vec<FuncId> = m
+        .func_ids()
+        .filter(|&f| {
+            m.func_ids()
+                .all(|caller| caller == f || !graph.callees(caller).contains(&f))
+        })
+        .collect();
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(candidates[rng.gen_range(0..candidates.len())])
+    }
+}
+
+/// A random body with the given signature, mixing the pointer idioms
+/// of the scaling generator with 0–2 internal calls into `m` (targets
+/// drawn uniformly, arguments synthesized per the callee's signature),
+/// so edits add and drop call edges — the events that split and merge
+/// SCCs and weak components.
+fn random_body(
+    rng: &mut StdRng,
+    name: &str,
+    param_tys: &[Ty],
+    ret_ty: Option<Ty>,
+    exported: bool,
+    m: &Module,
+) -> Function {
+    let mut b = FunctionBuilder::new(name, param_tys, ret_ty);
+    // Value pools to satisfy operand and argument needs.
+    let mut ptrs: Vec<ValueId> = Vec::new();
+    let mut ints: Vec<ValueId> = Vec::new();
+    for (i, ty) in param_tys.iter().enumerate() {
+        match ty {
+            Ty::Ptr => ptrs.push(b.param(i)),
+            Ty::Int => ints.push(b.param(i)),
+        }
+    }
+    if ptrs.is_empty() {
+        let sz = b.const_int(rng.gen_range(8..64));
+        let p = b.malloc(sz);
+        ptrs.push(p);
+    }
+    if ints.is_empty() {
+        let n = b.call(Callee::External("atoi".into()), &[], Some(Ty::Int));
+        ints.push(n);
+    }
+
+    let segments = rng.gen_range(1..4);
+    for seg in 0..segments {
+        match rng.gen_range(0..4) {
+            // Counted store loop over a pointer.
+            0 => {
+                let p = ptrs[rng.gen_range(0..ptrs.len())];
+                let n = ints[rng.gen_range(0..ints.len())];
+                let head = b.create_block();
+                let body = b.create_block();
+                let exit = b.create_block();
+                let zero = b.const_int(0);
+                let entry = b.current_block();
+                b.jump(head);
+                b.switch_to(head);
+                let i = b.phi(Ty::Int, &[(entry, zero)]);
+                let c = b.cmp(CmpOp::Lt, i, n);
+                b.br(c, body, exit);
+                b.switch_to(body);
+                let a0 = b.ptr_add(p, i);
+                b.store(a0, i);
+                let step = b.const_int(rng.gen_range(1..=3));
+                let inext = b.binop(BinOp::Add, i, step);
+                b.add_phi_arg(i, body, inext);
+                b.jump(head);
+                b.switch_to(exit);
+            }
+            // Local allocation with field writes.
+            1 => {
+                let fields = rng.gen_range(2..6);
+                let size = b.const_int(fields);
+                let s = if rng.gen_bool(0.5) {
+                    b.malloc(size)
+                } else {
+                    b.alloca(size)
+                };
+                for f in 0..fields {
+                    let off = b.const_int(f);
+                    let addr = b.ptr_add(s, off);
+                    let val = b.const_int(f + seg);
+                    b.store(addr, val);
+                }
+                ptrs.push(s);
+            }
+            // Offset derivation chain.
+            2 => {
+                let p = ptrs[rng.gen_range(0..ptrs.len())];
+                let one = b.const_int(rng.gen_range(1..4));
+                let q = b.ptr_add(p, one);
+                let n = ints[rng.gen_range(0..ints.len())];
+                let r = b.ptr_add(q, n);
+                b.store(q, n);
+                ptrs.push(r);
+            }
+            // 0–2 internal calls with synthesized arguments.
+            _ => {
+                for _ in 0..rng.gen_range(0..3) {
+                    if m.num_functions() == 0 {
+                        break;
+                    }
+                    let target = FuncId::new(rng.gen_range(0..m.num_functions()));
+                    let callee = m.function(target);
+                    let args: Vec<ValueId> = callee
+                        .param_tys()
+                        .iter()
+                        .map(|ty| match ty {
+                            Ty::Ptr => ptrs[rng.gen_range(0..ptrs.len())],
+                            Ty::Int => ints[rng.gen_range(0..ints.len())],
+                        })
+                        .collect();
+                    let ret = callee.ret_ty();
+                    let out = b.call(Callee::Internal(target), &args, ret);
+                    match ret {
+                        Some(Ty::Ptr) => ptrs.push(out),
+                        Some(Ty::Int) => ints.push(out),
+                        None => {}
+                    }
+                }
+            }
+        }
+    }
+
+    match ret_ty {
+        Some(Ty::Ptr) => {
+            let p = ptrs[rng.gen_range(0..ptrs.len())];
+            b.ret(Some(p));
+        }
+        Some(Ty::Int) => {
+            let n = ints[rng.gen_range(0..ints.len())];
+            b.ret(Some(n));
+        }
+        None => b.ret(None),
+    }
+    let mut f = b.finish();
+    sra_ir::essa::run(&mut f);
+    f.set_exported(exported);
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scaling;
+
+    #[test]
+    fn streams_are_deterministic_and_valid() {
+        let m = scaling::generate_module(600, 11);
+        let a = generate_edit_stream(&m, 12, 5);
+        let b = generate_edit_stream(&m, 12, 5);
+        assert_eq!(a.len(), 12);
+        for (x, y) in a.iter().zip(&b) {
+            match (x, y) {
+                (Edit::Replace { func: fa, body: ba }, Edit::Replace { func: fb, body: bb }) => {
+                    assert_eq!(fa, fb);
+                    assert_eq!(ba, bb);
+                }
+                (Edit::Add { body: ba }, Edit::Add { body: bb }) => assert_eq!(ba, bb),
+                (Edit::Remove { func: fa }, Edit::Remove { func: fb }) => assert_eq!(fa, fb),
+                other => panic!("streams diverged: {other:?}"),
+            }
+        }
+        // Replay keeps the module verifying at every step.
+        let mut m = m;
+        for edit in &a {
+            apply_to_module(&mut m, edit).expect("valid at its position");
+            sra_ir::verify::verify_module(&m).expect("still verifies");
+        }
+    }
+
+    #[test]
+    fn streams_cover_every_edit_kind() {
+        let m = scaling::generate_call_graph_module(40, 3);
+        let stream = generate_edit_stream(&m, 60, 9);
+        let mut replaces = 0;
+        let mut noops = 0;
+        let mut adds = 0;
+        let mut removes = 0;
+        let mut shadow = m.clone();
+        for edit in &stream {
+            match edit {
+                Edit::Replace { func, body } => {
+                    if shadow.function(*func) == body {
+                        noops += 1;
+                    } else {
+                        replaces += 1;
+                    }
+                }
+                Edit::Add { .. } => adds += 1,
+                Edit::Remove { .. } => removes += 1,
+            }
+            apply_to_module(&mut shadow, edit).expect("valid");
+        }
+        assert!(replaces > 0, "no real replacement in 60 edits");
+        assert!(noops > 0, "no no-op replacement in 60 edits");
+        assert!(adds > 0, "no addition in 60 edits");
+        assert!(removes > 0, "no removal in 60 edits");
+    }
+
+    #[test]
+    fn session_replays_a_stream() {
+        let m = scaling::generate_module(300, 21);
+        let stream = generate_edit_stream(&m, 6, 2);
+        let mut session = sra_core::AnalysisSession::new(m).expect("verifies");
+        for edit in &stream {
+            apply_to_session(&mut session, edit).expect("session accepts stream edits");
+        }
+        assert_eq!(session.stats().edits, 6);
+    }
+}

@@ -38,6 +38,7 @@
 //! assert!(row.rbaa_pct() >= row.scev_pct());
 //! ```
 
+pub mod edits;
 pub mod harness;
 pub mod scaling;
 pub mod suite;

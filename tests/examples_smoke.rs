@@ -70,6 +70,15 @@ fn batch_driver_reports_cached_replay() {
 }
 
 #[test]
+fn incremental_session_reuses_caches() {
+    let out = run_example("incremental_session");
+    assert!(
+        out.contains("incremental re-analysis:") && out.contains("reused"),
+        "unexpected output:\n{out}"
+    );
+}
+
+#[test]
 fn compare_analyses_reports_symbolic_ratio() {
     let out = run_example("compare_analyses");
     assert!(

@@ -1,9 +1,14 @@
 //! Criterion microbenches for the `SymbRanges` lattice operations —
 //! the inner loop of the abstract interpreter (§3.3/§3.8: constant-size
-//! per-variable work is what makes the analysis `O(|V|)`).
+//! per-variable work is what makes the analysis `O(|V|)`) — plus
+//! interned-vs-boxed groups that measure what the arena migration
+//! bought: equality, join and widen over ranges whose endpoints are
+//! deep `min`/`max` chains, answered as id compares and memo hits
+//! instead of tree walks and re-allocation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sra_symbolic::{SymExpr, SymRange, Symbol};
+use sra_bench::deep_chain_range;
+use sra_symbolic::{ExprArena, RangeId, SymExpr, SymRange, Symbol};
 
 fn ranges() -> (SymRange, SymRange) {
     let n = SymExpr::from(Symbol::new(0));
@@ -41,5 +46,44 @@ fn lattice_ops(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, lattice_ops);
+/// Interned vs boxed on deep min/max chains: the three operations the
+/// fixpoint loops and the alias matrices lean on hardest.
+fn interning_ops(c: &mut Criterion) {
+    const DEPTH: u32 = 12;
+    let x = deep_chain_range(DEPTH, 0);
+    let y = deep_chain_range(DEPTH, 100);
+    // A structurally equal twin of `x` built separately, so boxed
+    // equality has to walk the whole tree.
+    let x2 = deep_chain_range(DEPTH, 0);
+
+    let mut arena = ExprArena::new();
+    let xi = arena.intern_range(&x);
+    let yi = arena.intern_range(&y);
+    let x2i = arena.intern_range(&x2);
+    // Warm the memo tables: the steady state the analyses run in.
+    let ji: RangeId = arena.range_join(xi, yi);
+    let _ = arena.range_widen(xi, ji);
+
+    c.bench_function("deep_eq/boxed", |bch| {
+        bch.iter(|| std::hint::black_box(&x) == std::hint::black_box(&x2))
+    });
+    c.bench_function("deep_eq/interned", |bch| {
+        bch.iter(|| std::hint::black_box(xi) == std::hint::black_box(x2i))
+    });
+    c.bench_function("deep_join/boxed", |bch| {
+        bch.iter(|| std::hint::black_box(&x).join(std::hint::black_box(&y)))
+    });
+    c.bench_function("deep_join/interned", |bch| {
+        bch.iter(|| arena.range_join(std::hint::black_box(xi), std::hint::black_box(yi)))
+    });
+    c.bench_function("deep_widen/boxed", |bch| {
+        let grown = x.join(&y);
+        bch.iter(|| std::hint::black_box(&x).widen(std::hint::black_box(&grown)))
+    });
+    c.bench_function("deep_widen/interned", |bch| {
+        bch.iter(|| arena.range_widen(std::hint::black_box(xi), std::hint::black_box(ji)))
+    });
+}
+
+criterion_group!(benches, lattice_ops, interning_ops);
 criterion_main!(benches);

@@ -1,8 +1,10 @@
 //! The CI perf-trajectory harness: times the throughput-critical paths
-//! in quick mode, writes a machine-readable `BENCH_4.json`, and fails
-//! (non-zero exit) when a speedup drops below its acceptance floor —
-//! so CI both *publishes* the perf trajectory as an artifact and
-//! *gates* on it.
+//! in quick mode, writes a machine-readable `BENCH_5.json`, compares
+//! against the previous `BENCH_N.json` at the repo root (printing a
+//! per-group delta table — warn, don't gate, on regressions), and fails
+//! (non-zero exit) when a speedup drops below its acceptance gate — so
+//! CI both *publishes* the perf trajectory as an artifact and *gates*
+//! on it.
 //!
 //! ```text
 //! cargo run --release -p sra-bench --bin trajectory [out.json]
@@ -13,14 +15,22 @@
 //! * `all_pairs/per_query` vs `all_pairs/batched_t4` — the seed
 //!   per-query path vs the batched+cached matrices (PR 2's ≥2× floor);
 //! * `session/scratch_per_edit` vs `session/session_per_edit` — full
-//!   re-analysis per edit vs the incremental session, over a stream of
-//!   single-function edits on the 20k-instruction scaling module
-//!   (this PR's ≥2× floor).
+//!   re-analysis per edit vs the incremental session (PR 4's ≥2× floor,
+//!   1.5× gate);
+//! * `interning/boxed` vs `interning/interned` — the equality/join/
+//!   widen-heavy lattice sweep on boxed `SymRange` values vs interned
+//!   `RangeId` handles (PR 5's ≥1.5× floor).
+//!
+//! The run also surfaces the analysis' arena statistics (interned
+//! nodes, memo hit rate) for the scaling workload.
 
 use std::time::{Duration, Instant};
 
-use sra_bench::{batched_sweep, build_session, per_query_sweep, scratch_replay, session_replay};
+use sra_bench::{
+    batched_sweep, build_session, deep_chain_range, per_query_sweep, scratch_replay, session_replay,
+};
 use sra_core::RbaaAnalysis;
+use sra_symbolic::{ExprArena, RangeId, SymRange};
 use sra_workloads::{edits, scaling};
 
 const SCALING_INSTS: usize = 20_000;
@@ -30,14 +40,19 @@ const SAMPLES: usize = 5;
 /// The acceptance floors recorded in the trajectory.
 const BATCHED_FLOOR: f64 = 2.0;
 const SESSION_FLOOR: f64 = 2.0;
+const INTERNING_FLOOR: f64 = 1.5;
 /// The CI hard-fail gate for the session ratio sits below its floor:
 /// the measured value (~2.4× on a quiet machine, see the committed
-/// BENCH_4.json) clears the floor, but shared-runner timing variance
+/// BENCH_5.json) clears the floor, but shared-runner timing variance
 /// would make an exit-code gate at 2.0 flaky. Dropping below the floor
 /// prints a loud warning; dropping below the gate (a real regression)
-/// fails the job. The batched ratio's ~7× headroom needs no such
-/// margin.
+/// fails the job. The batched and interning ratios' headroom needs no
+/// such margin.
 const SESSION_GATE: f64 = 1.5;
+const INTERNING_GATE: f64 = 1.5;
+/// Previous-trajectory deltas louder than this warn (never gate — the
+/// comparison crosses machines and runner generations).
+const DELTA_WARN: f64 = 0.20;
 
 /// Median wall time of `SAMPLES` runs of `f` (one warm-up run first).
 fn median_time(mut f: impl FnMut() -> usize) -> Duration {
@@ -53,10 +68,125 @@ fn median_time(mut f: impl FnMut() -> usize) -> Duration {
     times[times.len() / 2]
 }
 
+const INTERNING_RANGES: u32 = 12;
+const INTERNING_DEPTH: u32 = 8;
+const INTERNING_REPS: usize = 5;
+
+/// The boxed side of the interning group: all-pairs equality + join +
+/// widen on deep-chain `SymRange` values.
+fn boxed_lattice_sweep(ranges: &[SymRange]) -> usize {
+    let mut count = 0usize;
+    for _ in 0..INTERNING_REPS {
+        for a in ranges {
+            for b in ranges {
+                if std::hint::black_box(a) == std::hint::black_box(b) {
+                    count += 1;
+                }
+                let j = a.join(b);
+                let w = a.widen(&j);
+                count += usize::from(!w.is_empty());
+            }
+        }
+    }
+    count
+}
+
+/// The interned side: the same sweep on `RangeId` handles. The arena
+/// is built *inside* the measured region — interning the operands,
+/// computing each distinct join/widen once and replaying the repeats
+/// as memo hits — so the gate watches the full interned-path cost, not
+/// just warm-cache lookups.
+fn interned_lattice_sweep(ranges: &[SymRange]) -> usize {
+    let mut arena = ExprArena::new();
+    let ids: Vec<RangeId> = ranges.iter().map(|r| arena.intern_range(r)).collect();
+    let mut count = 0usize;
+    for _ in 0..INTERNING_REPS {
+        for &a in &ids {
+            for &b in &ids {
+                if std::hint::black_box(a) == std::hint::black_box(b) {
+                    count += 1;
+                }
+                let j = arena.range_join(a, b);
+                let w = arena.range_widen(a, j);
+                count += usize::from(!arena.range_is_empty(w));
+            }
+        }
+    }
+    count
+}
+
+/// Extracts `"groups": { "<name>": { "median_ns": <n> }, … }` from a
+/// prior trajectory JSON (hand-rolled: the workspace is dependency-
+/// free, and the schema is our own).
+fn parse_groups(json: &str) -> Vec<(String, u128)> {
+    let mut out = Vec::new();
+    let Some(start) = json.find("\"groups\"") else {
+        return out;
+    };
+    let rest = &json[start..];
+    let end = rest.find("},\n  \"").map(|e| e + 1).unwrap_or(rest.len());
+    let section = &rest[..end];
+    let mut i = 0;
+    let bytes = section.as_bytes();
+    while let Some(q) = section[i..].find('"').map(|k| i + k) {
+        let Some(q2) = section[q + 1..].find('"').map(|k| q + 1 + k) else {
+            break;
+        };
+        let name = &section[q + 1..q2];
+        i = q2 + 1;
+        if name == "groups" || name != "median_ns" && !name.contains('/') {
+            continue;
+        }
+        if name.contains('/') {
+            // Find the median_ns number that follows.
+            let Some(m) = section[i..].find("\"median_ns\"").map(|k| i + k) else {
+                break;
+            };
+            let mut j = m + "\"median_ns\"".len();
+            while j < bytes.len() && !bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            let mut k = j;
+            while k < bytes.len() && bytes[k].is_ascii_digit() {
+                k += 1;
+            }
+            if let Ok(v) = section[j..k].parse::<u128>() {
+                out.push((name.to_owned(), v));
+            }
+            i = k;
+        }
+    }
+    out
+}
+
+/// The newest `BENCH_N.json` at the repo root other than `out_path`.
+fn previous_trajectory(out_path: &str) -> Option<(String, String)> {
+    let mut best: Option<(u32, String)> = None;
+    for entry in std::fs::read_dir(".").ok()?.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name == out_path {
+            continue;
+        }
+        let Some(num) = name
+            .strip_prefix("BENCH_")
+            .and_then(|r| r.strip_suffix(".json"))
+            .and_then(|n| n.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(b, _)| num > *b) {
+            best = Some((num, name));
+        }
+    }
+    let (_, name) = best?;
+    let contents = std::fs::read_to_string(&name).ok()?;
+    Some((name, contents))
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_4.json".to_owned());
+        .unwrap_or_else(|| "BENCH_5.json".to_owned());
 
     let m = scaling::generate_module(SCALING_INSTS, SCALING_SEED);
     eprintln!(
@@ -71,6 +201,22 @@ fn main() {
     let batched = median_time(|| batched_sweep(&m, &rbaa, 4).queries);
     let batched_ratio = per_query.as_secs_f64() / batched.as_secs_f64();
     eprintln!("all_pairs: per_query {per_query:?}, batched_t4 {batched:?} ({batched_ratio:.2}x)");
+
+    // The analysis' interning effectiveness on the scaling workload.
+    let arena = rbaa.arena_stats();
+    let hit_rate = if arena.hits + arena.misses == 0 {
+        0.0
+    } else {
+        100.0 * arena.hits as f64 / (arena.hits + arena.misses) as f64
+    };
+    eprintln!(
+        "arena: {} exprs, {} ranges, {} hits / {} misses ({hit_rate:.1}% hit rate), ~{} KiB",
+        arena.exprs,
+        arena.ranges,
+        arena.hits,
+        arena.misses,
+        arena.bytes / 1024
+    );
 
     // Group 2: the edit-stream replay paths. The session is built once
     // (the server's module-load cost) and each sample replays the
@@ -90,6 +236,19 @@ fn main() {
          ({session_ratio:.2}x)"
     );
 
+    // Group 3: interned vs boxed on the equality/join-heavy lattice
+    // sweep (deep min/max chains).
+    let chains: Vec<SymRange> = (0..INTERNING_RANGES)
+        .map(|i| deep_chain_range(INTERNING_DEPTH, i * 50))
+        .collect();
+    let boxed = median_time(|| boxed_lattice_sweep(&chains));
+    let interned = median_time(|| interned_lattice_sweep(&chains));
+    let interning_ratio = boxed.as_secs_f64() / interned.as_secs_f64();
+    eprintln!(
+        "interning ({INTERNING_RANGES} deep ranges): boxed {boxed:?}, interned {interned:?} \
+         ({interning_ratio:.2}x)"
+    );
+
     let json = format!(
         "{{\n  \"schema\": \"sra-bench-trajectory/v1\",\n  \"workload\": {{\n    \
          \"insts\": {SCALING_INSTS},\n    \"seed\": {SCALING_SEED},\n    \
@@ -97,19 +256,78 @@ fn main() {
          \"all_pairs/per_query\": {{ \"median_ns\": {} }},\n    \
          \"all_pairs/batched_t4\": {{ \"median_ns\": {} }},\n    \
          \"session/scratch_per_edit\": {{ \"median_ns\": {} }},\n    \
-         \"session/session_per_edit\": {{ \"median_ns\": {} }}\n  }},\n  \
+         \"session/session_per_edit\": {{ \"median_ns\": {} }},\n    \
+         \"interning/boxed\": {{ \"median_ns\": {} }},\n    \
+         \"interning/interned\": {{ \"median_ns\": {} }}\n  }},\n  \
+         \"arena\": {{\n    \"exprs\": {},\n    \"ranges\": {},\n    \
+         \"hits\": {},\n    \"misses\": {},\n    \"bytes\": {}\n  }},\n  \
          \"ratios\": {{\n    \"batched_vs_per_query\": {batched_ratio:.3},\n    \
-         \"session_vs_scratch\": {session_ratio:.3}\n  }},\n  \"floors\": {{\n    \
+         \"session_vs_scratch\": {session_ratio:.3},\n    \
+         \"interning\": {interning_ratio:.3}\n  }},\n  \"floors\": {{\n    \
          \"batched_vs_per_query\": {BATCHED_FLOOR},\n    \
-         \"session_vs_scratch\": {SESSION_FLOOR}\n  }},\n  \"gates\": {{\n    \
+         \"session_vs_scratch\": {SESSION_FLOOR},\n    \
+         \"interning\": {INTERNING_FLOOR}\n  }},\n  \"gates\": {{\n    \
          \"batched_vs_per_query\": {BATCHED_FLOOR},\n    \
-         \"session_vs_scratch\": {SESSION_GATE}\n  }}\n}}\n",
+         \"session_vs_scratch\": {SESSION_GATE},\n    \
+         \"interning\": {INTERNING_GATE}\n  }}\n}}\n",
         per_query.as_nanos(),
         batched.as_nanos(),
         scratch.as_nanos(),
         session.as_nanos(),
+        boxed.as_nanos(),
+        interned.as_nanos(),
+        arena.exprs,
+        arena.ranges,
+        arena.hits,
+        arena.misses,
+        arena.bytes,
     );
-    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+
+    // The trajectory, not just the floor: diff against the previous
+    // committed BENCH_N.json when one exists. Warnings only — absolute
+    // medians are machine-dependent; the ratio gates below are the
+    // portable contract.
+    if let Some((prev_name, prev_json)) = previous_trajectory(&out_path) {
+        let prev = parse_groups(&prev_json);
+        let cur = parse_groups(&json);
+        if prev.is_empty() {
+            eprintln!("note: {prev_name} has no parsable groups; skipping the delta table");
+        } else {
+            eprintln!("\ntrajectory vs {prev_name}:");
+            eprintln!(
+                "{:<28} {:>12} {:>12} {:>8}",
+                "group", "prev ns", "now ns", "delta"
+            );
+            for (name, now) in &cur {
+                match prev.iter().find(|(n, _)| n == name) {
+                    Some((_, before)) => {
+                        let delta = *now as f64 / *before as f64 - 1.0;
+                        eprintln!(
+                            "{:<28} {:>12} {:>12} {:>+7.1}%",
+                            name,
+                            before,
+                            now,
+                            delta * 100.0
+                        );
+                        if delta > DELTA_WARN {
+                            eprintln!(
+                                "WARN: {name} regressed {:.1}% vs {prev_name} (> {:.0}% \
+                                 threshold); not gating — medians are machine-dependent",
+                                delta * 100.0,
+                                DELTA_WARN * 100.0
+                            );
+                        }
+                    }
+                    None => eprintln!("{:<28} {:>12} {:>12}      new", name, "-", now),
+                }
+            }
+            eprintln!();
+        }
+    } else {
+        eprintln!("note: no previous BENCH_N.json at the repo root; skipping the delta table");
+    }
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
         eprintln!("failed to write {out_path}: {e}");
         std::process::exit(2);
     });
@@ -136,11 +354,19 @@ fn main() {
              {SESSION_GATE}x gate)"
         );
     }
+    if interning_ratio < INTERNING_GATE {
+        eprintln!(
+            "FAIL: interned/boxed speedup {interning_ratio:.2}x is below the \
+             {INTERNING_GATE}x regression gate"
+        );
+        failed = true;
+    }
     if failed {
         std::process::exit(1);
     }
     println!(
         "trajectory ok: batched {batched_ratio:.2}x (floor {BATCHED_FLOOR}x), \
-         session {session_ratio:.2}x (floor {SESSION_FLOOR}x, gate {SESSION_GATE}x)"
+         session {session_ratio:.2}x (floor {SESSION_FLOOR}x, gate {SESSION_GATE}x), \
+         interning {interning_ratio:.2}x (floor {INTERNING_FLOOR}x)"
     );
 }

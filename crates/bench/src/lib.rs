@@ -25,7 +25,23 @@ use sra_core::{
     RbaaAnalysis,
 };
 use sra_ir::{FuncId, Module};
+use sra_symbolic::{Bound, SymExpr, SymRange, Symbol};
 use sra_workloads::edits::{self, Edit};
+
+/// A range whose endpoints are `depth`-deep opaque min/max chains over
+/// pairwise-incomparable symbols — the worst case for boxed deep
+/// equality and for join's `Bound::min`/`max` re-proving. Shared by
+/// the `lattice` criterion groups and the `trajectory` interning gate
+/// so both always measure the same workload shape.
+pub fn deep_chain_range(depth: u32, seed: u32) -> SymRange {
+    let mut lo = SymExpr::from(Symbol::new(seed));
+    let mut hi = SymExpr::from(Symbol::new(seed + 1));
+    for i in 0..depth {
+        lo = SymExpr::min(SymExpr::from(Symbol::new(seed + 2 + i)), lo);
+        hi = SymExpr::max(SymExpr::from(Symbol::new(seed + 2 + i)), hi);
+    }
+    SymRange::with_bounds(Bound::Fin(lo), Bound::Fin(hi))
+}
 
 /// The seed all-pairs path: every unordered pair answered from scratch
 /// through `alias_with_test`, function after function. Shared by the

@@ -331,12 +331,11 @@ mod tests {
                     format!("{}", parallel.gr().state(f, v).display(parallel.symbols())),
                 );
                 assert_eq!(
-                    format!("{}", serial.ranges().range(f, v).display(serial.symbols())),
-                    format!(
-                        "{}",
-                        parallel.ranges().range(f, v).display(parallel.symbols())
-                    ),
+                    serial.ranges().display_range(f, v),
+                    parallel.ranges().display_range(f, v),
                 );
+                // Canonical module arenas: the raw ids agree too.
+                assert_eq!(serial.ranges().range(f, v), parallel.ranges().range(f, v));
             }
         }
     }

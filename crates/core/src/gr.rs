@@ -20,6 +20,19 @@
 //! additionally seed pointer formals with an `Unknown` location of their
 //! own, since callers outside the module may pass anything.
 //!
+//! # States are interned
+//!
+//! Every offset range of every state is a [`sra_symbolic::RangeId`] into the solver's
+//! arena (seeded from the bootstrap analysis' module arena, so `R(c)`
+//! handles stay valid), which turns the fixpoint's dominating costs —
+//! state equality in `update`, widening's bound-stability test, and the
+//! provable-inclusion fast path — into integer compares and memo hits.
+//! After the fixpoint, [`GrAnalysis`] re-interns the final states into
+//! a fresh *canonical* arena (a structure-driven import in function/
+//! value order), so the ids an analysis hands out depend only on the
+//! final states — serial, waves and incremental-session assemblies
+//! agree id-for-id.
+//!
 //! # Scheduling
 //!
 //! The solver is a Gauss–Seidel fixpoint over the whole module. Its
@@ -40,11 +53,13 @@
 //! Two SCCs on the same condensation level share no call edge in either
 //! direction, so they exchange no dataflow within a sweep. That is the
 //! parallelism [`GrSchedule::Waves`] exploits: each level's SCCs are
-//! analysed concurrently on the [`crate::pool`] thread pool, and the
-//! result is **byte-identical** to [`GrSchedule::Serial`] — the same
-//! determinism contract the batch driver established for the
-//! per-function phases. The `gr_schedule_equivalence` property suite
-//! pins the contract.
+//! analysed concurrently on the [`crate::pool`] thread pool — each task
+//! interning into a private *overlay* over the frozen solver arena —
+//! and after the level the overlays are merged back in SCC order
+//! ([`sra_symbolic::ExprArena::adopt`]), so the result is
+//! **byte-identical** to [`GrSchedule::Serial`] — the same determinism
+//! contract the batch driver established for the per-function phases.
+//! The `gr_schedule_equivalence` property suite pins the contract.
 
 use std::sync::Arc;
 
@@ -52,11 +67,11 @@ use sra_ir::callgraph::{CallGraph, Condensation};
 use sra_ir::cfg::Cfg;
 use sra_ir::{Callee, CmpOp, FuncId, Inst, Module, Terminator, Ty, ValueId, ValueKind};
 use sra_range::RangeAnalysis;
-use sra_symbolic::{Bound, SymExpr, SymRange};
+use sra_symbolic::{BoundId, ExprArena, ImportMap, OverlayXlate, Symbol};
 
 use crate::locs::LocTable;
 use crate::pool;
-use crate::state::PtrState;
+use crate::state::{PtrState, PtrStateRef};
 
 /// How the module-level Gauss–Seidel sweeps are executed.
 ///
@@ -107,7 +122,8 @@ impl Default for GrConfig {
     }
 }
 
-/// Results of the global analysis: `GR(p)` for every pointer `p`.
+/// Results of the global analysis: `GR(p)` for every pointer `p`, with
+/// every offset range interned in one canonical arena.
 ///
 /// Per-function state vectors sit behind [`Arc`]s so an incremental
 /// session can share the untouched functions' fixpoints between
@@ -116,6 +132,7 @@ impl Default for GrConfig {
 pub struct GrAnalysis {
     locs: LocTable,
     states: Vec<Arc<Vec<PtrState>>>,
+    arena: Arc<ExprArena>,
     ascending_sweeps: u32,
 }
 
@@ -132,7 +149,7 @@ impl GrAnalysis {
         let components = graph.weak_components();
         let callers = build_callers(m);
         let cfgs = build_cfgs(m);
-        let (states, ascending_sweeps) = {
+        let (states, solver_arena, ascending_sweeps) = {
             let mut solver = GrSolver::new(
                 m,
                 ranges,
@@ -143,40 +160,63 @@ impl GrAnalysis {
                 Condensation::build(&graph),
             );
             solver.run(&components);
-            (solver.states, solver.sweeps)
+            (solver.states, solver.arena, solver.sweeps)
         };
+        let (states, arena) = canonicalize_states(states, &solver_arena);
         GrAnalysis {
             locs,
-            states: states.into_iter().map(Arc::new).collect(),
+            states,
+            arena,
             ascending_sweeps,
         }
     }
 
     /// Assembles a result from already-solved pieces (the incremental
-    /// session recomputes only the dirty weak components and shares the
-    /// rest's state vectors by reference).
+    /// session recomputes only the dirty weak components, importing
+    /// clean components' cached states into the fresh canonical
+    /// `arena`).
     pub(crate) fn from_raw(
         locs: LocTable,
         states: Vec<Arc<Vec<PtrState>>>,
+        arena: Arc<ExprArena>,
         ascending_sweeps: u32,
     ) -> Self {
         GrAnalysis {
             locs,
             states,
+            arena,
             ascending_sweeps,
         }
     }
 
     /// The shared state vector of one function (for the session's
-    /// zero-copy reuse of untouched components).
+    /// carry-over of untouched components).
     pub(crate) fn function_states(&self, f: FuncId) -> &Arc<Vec<PtrState>> {
         &self.states[f.index()]
     }
 
-    /// The abstract state of value `v` in function `f` (⊥ for non-pointer
-    /// values).
-    pub fn state(&self, f: FuncId, v: ValueId) -> &PtrState {
+    /// Raw access to a stored state (crate-internal fast paths that
+    /// manage the arena themselves).
+    pub(crate) fn raw_state(&self, f: FuncId, v: ValueId) -> &PtrState {
         &self.states[f.index()][v.index()]
+    }
+
+    /// The abstract state of value `v` in function `f` (⊥ for
+    /// non-pointer values), bundled with the arena its offset ranges
+    /// point into.
+    pub fn state(&self, f: FuncId, v: ValueId) -> PtrStateRef<'_> {
+        PtrStateRef::new(&self.states[f.index()][v.index()], &self.arena)
+    }
+
+    /// The canonical arena every state's range handles point into.
+    pub fn arena(&self) -> &ExprArena {
+        &self.arena
+    }
+
+    /// The canonical arena behind its shared handle (overlay bases for
+    /// parallel consumers such as the matrix builds).
+    pub fn arena_arc(&self) -> Arc<ExprArena> {
+        Arc::clone(&self.arena)
     }
 
     /// The allocation-site table the states refer to.
@@ -190,6 +230,52 @@ impl GrAnalysis {
     pub fn ascending_sweeps(&self) -> u32 {
         self.ascending_sweeps
     }
+}
+
+/// Imports one state into `dst`, translating every range handle (the
+/// canonical re-interning after a solve, and the session's clean-
+/// component carry-over — there with a symbol renaming and a location
+/// remap on the keys).
+pub(crate) fn import_ptr_state(
+    dst: &mut ExprArena,
+    src: &ExprArena,
+    s: &PtrState,
+    rename: &impl Fn(Symbol) -> Symbol,
+    map: &mut ImportMap,
+) -> PtrState {
+    match s {
+        PtrState::Top => PtrState::Top,
+        PtrState::Map(m) => PtrState::Map(
+            m.iter()
+                .map(|(loc, &r)| (*loc, dst.import_range(src, r, rename, map)))
+                .collect(),
+        ),
+    }
+}
+
+/// Re-interns final solver states into a fresh canonical arena, in
+/// function/value order. The import is structure-driven, so the
+/// canonical arena — and every id — is a pure function of the final
+/// states: serial and wave solves (whose *solver* arenas differ in
+/// insertion order) land on identical canonical ids.
+fn canonicalize_states(
+    states: Vec<Vec<PtrState>>,
+    solver_arena: &ExprArena,
+) -> (Vec<Arc<Vec<PtrState>>>, Arc<ExprArena>) {
+    let mut arena = ExprArena::new();
+    let mut map = ImportMap::default();
+    let out = states
+        .into_iter()
+        .map(|func| {
+            Arc::new(
+                func.iter()
+                    .map(|s| import_ptr_state(&mut arena, solver_arena, s, &|s| s, &mut map))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    arena.absorb_op_stats(solver_arena);
+    (out, Arc::new(arena))
 }
 
 /// A call site: caller and actual arguments.
@@ -257,7 +343,9 @@ fn is_widen_point(kind: &ValueKind) -> bool {
 /// Read/write access to the per-function pointer states during a
 /// sweep. The serial schedule mutates the solver's arrays in place;
 /// the wave schedule gives each SCC ownership of its members' states
-/// over a read-only snapshot of everything else.
+/// over a read-only snapshot of everything else. (The arena travels
+/// *beside* the store — the serial path lends the solver arena, a wave
+/// task lends its private overlay.)
 trait GrStore {
     fn state(&self, f: FuncId, v: ValueId) -> &PtrState;
     fn ret_state(&self, f: FuncId) -> &PtrState;
@@ -340,6 +428,7 @@ impl GrStore for SccStore<'_> {
 /// descending discipline; returns whether the state changed.
 fn update<S: GrStore>(
     store: &mut S,
+    arena: &mut ExprArena,
     fid: FuncId,
     v: ValueId,
     new: PtrState,
@@ -350,30 +439,38 @@ fn update<S: GrStore>(
         let slot = store.state(fid, v);
         // Fast path for the (dominant) already-stable case: when `new`
         // is *provably* included in the stored state, `join` returns
-        // the stored bounds verbatim (`Bound::min`/`max` hand back the
+        // the stored bounds verbatim (`bound_min`/`max` hand back the
         // provably-winning expression) and widening equal states is the
         // identity, so the slow path below could only confirm
-        // "unchanged" after allocating two throwaway states. Not taken
-        // for descending sweeps, which deliberately shrink states.
-        if !descend && new.le(slot) {
+        // "unchanged" after allocating two throwaway states. With
+        // interned states the inclusion test itself is all memo hits.
+        // Not taken for descending sweeps, which deliberately shrink
+        // states.
+        if !descend && new.le(slot, arena) {
             debug_assert!(
                 {
-                    let joined = slot.join(&new);
-                    let next = if widen { slot.widen(&joined) } else { joined };
-                    next == *slot
+                    let joined = slot.join(&new, arena);
+                    let next = if widen {
+                        slot.widen(&joined, arena)
+                    } else {
+                        joined
+                    };
+                    next == *store.state(fid, v)
                 },
                 "provable inclusion must leave the state byte-unchanged"
             );
             return false;
         }
+        let slot = store.state(fid, v);
         let next = if descend {
             new
         } else if widen {
-            slot.widen(&slot.join(&new))
+            let joined = slot.join(&new, arena);
+            store.state(fid, v).widen(&joined, arena)
         } else {
-            slot.join(&new)
+            slot.join(&new, arena)
         };
-        if next == *slot {
+        if next == *store.state(fid, v) {
             return false;
         }
         next
@@ -397,9 +494,12 @@ pub(crate) struct SweepCtx<'a> {
 impl SweepCtx<'_> {
     /// One Gauss–Seidel pass over `fid`: formals, then the reachable
     /// blocks in reverse post-order, then the function's return state.
+    /// `arena` is the store's companion allocator (solver arena or a
+    /// wave task's overlay).
     fn sweep_function<S: GrStore>(
         &self,
         store: &mut S,
+        arena: &mut ExprArena,
         fid: FuncId,
         widen: bool,
         descend: bool,
@@ -413,7 +513,10 @@ impl SweepCtx<'_> {
                 continue;
             }
             let mut acc = match self.locs.loc_of_value(fid, p) {
-                Some(unknown_loc) => PtrState::singleton(unknown_loc, SymRange::constant(0)),
+                Some(unknown_loc) => {
+                    let zero = arena.range_constant(0);
+                    PtrState::singleton(unknown_loc, zero)
+                }
                 None => PtrState::bottom(),
             };
             for site in &self.callers[fid.index()] {
@@ -423,9 +526,9 @@ impl SweepCtx<'_> {
                 let Some(&actual) = site.args.get(index) else {
                     continue;
                 };
-                acc = acc.join(store.state(site.caller, actual));
+                acc = acc.join(store.state(site.caller, actual), arena);
             }
-            changed |= update(store, fid, p, acc, widen, descend);
+            changed |= update(store, arena, fid, p, acc, widen, descend);
         }
 
         for &b in self.cfgs[fid.index()].rpo() {
@@ -440,23 +543,24 @@ impl SweepCtx<'_> {
                     Inst::Phi { args, .. } => {
                         let mut acc = PtrState::bottom();
                         for (_, a) in args {
-                            acc = acc.join(store.state(fid, *a));
+                            acc = acc.join(store.state(fid, *a), arena);
                         }
-                        changed |= update(store, fid, v, acc, widen, descend);
+                        changed |= update(store, arena, fid, v, acc, widen, descend);
                         continue;
                     }
                     Inst::PtrAdd { base, offset } => {
                         let off = self.ranges.range(fid, *offset);
-                        store.state(fid, *base).add_offset(off)
+                        store.state(fid, *base).clone().add_offset(off, arena)
                     }
                     Inst::Sigma { input, op, other } => {
-                        let input_state = store.state(fid, *input);
                         if f.value(*other).ty() == Some(Ty::Ptr) {
-                            apply_ptr_sigma(input_state, *op, store.state(fid, *other))
+                            let input_state = store.state(fid, *input).clone();
+                            let other_state = store.state(fid, *other).clone();
+                            apply_ptr_sigma(arena, &input_state, *op, &other_state)
                         } else {
                             // Comparing a pointer with an integer tells
                             // us nothing about locations.
-                            input_state.clone()
+                            store.state(fid, *input).clone()
                         }
                     }
                     Inst::Call {
@@ -472,7 +576,7 @@ impl SweepCtx<'_> {
                     _ => continue,
                 };
                 let use_widen = widen && is_widen_point(f.value(v).kind());
-                changed |= update(store, fid, v, new, use_widen, descend);
+                changed |= update(store, arena, fid, v, new, use_widen, descend);
             }
         }
 
@@ -481,7 +585,7 @@ impl SweepCtx<'_> {
         if f.ret_ty() == Some(Ty::Ptr) {
             for b in f.block_ids() {
                 if let Some(Terminator::Ret(Some(v))) = f.block(b).terminator_opt() {
-                    ret = ret.join(store.state(fid, *v));
+                    ret = ret.join(store.state(fid, *v), arena);
                 }
             }
         }
@@ -490,6 +594,16 @@ impl SweepCtx<'_> {
             changed = true;
         }
         changed
+    }
+}
+
+/// Remaps every range handle of a state through an overlay merge
+/// translation.
+fn remap_state(s: &mut PtrState, xl: &OverlayXlate) {
+    if let PtrState::Map(m) = s {
+        for r in m.values_mut() {
+            *r = xl.range(*r);
+        }
     }
 }
 
@@ -527,6 +641,10 @@ pub(crate) struct GrSolver<'a> {
     pub(crate) ctx: SweepCtx<'a>,
     pub(crate) config: GrConfig,
     pub(crate) cond: Condensation,
+    /// The solver's working arena: a clone of the bootstrap analysis'
+    /// module arena (so `R(c)` handles resolve directly), extended by
+    /// everything the fixpoint builds.
+    pub(crate) arena: ExprArena,
     pub(crate) states: Vec<Vec<PtrState>>,
     /// Join of the return states of each function.
     pub(crate) ret_states: Vec<PtrState>,
@@ -549,6 +667,12 @@ impl<'a> GrSolver<'a> {
             .func_ids()
             .map(|f| vec![PtrState::bottom(); m.function(f).num_values()])
             .collect();
+        // The clone starts with fresh counters: the bootstrap arena's
+        // op stats are already reported by the range analysis itself,
+        // and the canonical GR arena absorbs this solver's stats at
+        // assembly — copied counters would double-count.
+        let mut arena = ranges.arena().clone();
+        arena.clear_op_stats();
         GrSolver {
             ctx: SweepCtx {
                 m,
@@ -559,6 +683,7 @@ impl<'a> GrSolver<'a> {
             },
             config,
             cond,
+            arena,
             states,
             ret_states: vec![PtrState::bottom(); nf],
             sweeps: 0,
@@ -640,11 +765,13 @@ impl<'a> GrSolver<'a> {
             let state = match f.value(v).kind() {
                 ValueKind::GlobalAddr(g) => {
                     let loc = self.ctx.locs.loc_of_global(*g).expect("global has loc");
-                    Some(PtrState::singleton(loc, SymRange::constant(0)))
+                    let zero = self.arena.range_constant(0);
+                    Some(PtrState::singleton(loc, zero))
                 }
                 ValueKind::Inst(Inst::Malloc { .. }) | ValueKind::Inst(Inst::Alloca { .. }) => {
                     let loc = self.ctx.locs.loc_of_value(fid, v).expect("site has loc");
-                    Some(PtrState::singleton(loc, SymRange::constant(0)))
+                    let zero = self.arena.range_constant(0);
+                    Some(PtrState::singleton(loc, zero))
                 }
                 ValueKind::Inst(Inst::Call {
                     callee: Callee::External(_),
@@ -655,7 +782,8 @@ impl<'a> GrSolver<'a> {
                         .locs
                         .loc_of_value(fid, v)
                         .expect("ext call has loc");
-                    Some(PtrState::singleton(loc, SymRange::constant(0)))
+                    let zero = self.arena.range_constant(0);
+                    Some(PtrState::singleton(loc, zero))
                 }
                 ValueKind::Inst(Inst::Load { .. }) => Some(PtrState::top()),
                 _ => None,
@@ -710,13 +838,16 @@ impl<'a> GrSolver<'a> {
     /// One sweep over the given condensation levels — bottom-up when
     /// `up`, top-down otherwise. The two schedules visit identical
     /// orders; `Waves` additionally runs each level's SCCs
-    /// concurrently, which cannot change any result because same-level
-    /// SCCs share no call edge.
+    /// concurrently (each interning into a private overlay, merged back
+    /// in SCC order), which cannot change any result because same-level
+    /// SCCs share no call edge and the overlay merge only translates
+    /// ids.
     fn sweep_levels(&mut self, levels: &[Vec<u32>], widen: bool, descend: bool, up: bool) -> bool {
         let GrSolver {
             ctx,
             config,
             cond,
+            arena,
             states,
             ret_states,
             ..
@@ -738,14 +869,15 @@ impl<'a> GrSolver<'a> {
                 };
                 for &scc in level {
                     for &f in cond.members(scc) {
-                        changed |= ctx.sweep_function(&mut store, f, widen, descend);
+                        changed |= ctx.sweep_function(&mut store, arena, f, widen, descend);
                     }
                 }
                 continue;
             }
             // Hand each SCC ownership of its members' states; the
             // emptied slots are never read because same-level SCCs are
-            // not call-adjacent.
+            // not call-adjacent. Each task interns into an overlay over
+            // the frozen solver arena.
             let items: Vec<(u32, Vec<Vec<PtrState>>, Vec<PtrState>)> = level
                 .iter()
                 .map(|&scc| {
@@ -763,10 +895,13 @@ impl<'a> GrSolver<'a> {
                     )
                 })
                 .collect();
+            let frozen = Arc::new(std::mem::take(arena));
             let results = {
                 let global_states: &[Vec<PtrState>] = states.as_slice();
                 let global_rets: &[PtrState] = ret_states.as_slice();
+                let frozen = &frozen;
                 pool::run_map(items, config.threads, |(scc, local_states, local_rets)| {
+                    let mut task_arena = ExprArena::with_base(Arc::clone(frozen));
                     let mut store = SccStore {
                         members: cond.members(scc),
                         local_states,
@@ -776,14 +911,32 @@ impl<'a> GrSolver<'a> {
                     };
                     let mut ch = false;
                     for &f in cond.members(scc) {
-                        ch |= ctx.sweep_function(&mut store, f, widen, descend);
+                        ch |= ctx.sweep_function(&mut store, &mut task_arena, f, widen, descend);
                     }
-                    (scc, store.local_states, store.local_rets, ch)
+                    (
+                        scc,
+                        store.local_states,
+                        store.local_rets,
+                        ch,
+                        task_arena.into_overlay_part(),
+                    )
                 })
             };
-            for (scc, local_states, local_rets, ch) in results {
+            *arena = Arc::try_unwrap(frozen).expect("wave overlays released their base");
+            // Merge overlays back in SCC order (results preserve item
+            // order) — deterministic regardless of thread timing.
+            for (scc, mut local_states, mut local_rets, ch, part) in results {
                 changed |= ch;
+                let xl = arena.adopt(part);
                 let members = cond.members(scc);
+                for func in &mut local_states {
+                    for s in func.iter_mut() {
+                        remap_state(s, &xl);
+                    }
+                }
+                for s in &mut local_rets {
+                    remap_state(s, &xl);
+                }
                 for ((s, r), &f) in local_states.into_iter().zip(local_rets).zip(members) {
                     states[f.index()] = s;
                     ret_states[f.index()] = r;
@@ -818,26 +971,38 @@ impl<'a> GrSolver<'a> {
 
 /// σ transfer for pointer comparisons: refine `input` knowing
 /// `input ⟨op⟩ other` (Figure 9's intersection rules).
-fn apply_ptr_sigma(input: &PtrState, op: CmpOp, other: &PtrState) -> PtrState {
-    let one = SymExpr::from(1);
+fn apply_ptr_sigma(
+    arena: &mut ExprArena,
+    input: &PtrState,
+    op: CmpOp,
+    other: &PtrState,
+) -> PtrState {
     match op {
-        CmpOp::Lt => input.clamp_with(other, |ra, rb| match rb.hi() {
-            Some(Bound::Fin(u)) => ra.clamp_above(Bound::Fin(u.clone() - one.clone())),
-            _ => ra.clone(),
+        CmpOp::Lt => input.clamp_with(other, arena, |arena, ra, rb| match arena.range_hi(rb) {
+            Some(BoundId::Fin(u)) => {
+                let one = arena.constant(1);
+                let um1 = arena.sub(u, one);
+                arena.range_clamp_above(ra, BoundId::Fin(um1))
+            }
+            _ => ra,
         }),
-        CmpOp::Le => input.clamp_with(other, |ra, rb| match rb.hi() {
-            Some(hi) => ra.clamp_above(hi.clone()),
-            None => ra.clone(),
+        CmpOp::Le => input.clamp_with(other, arena, |arena, ra, rb| match arena.range_hi(rb) {
+            Some(hi) => arena.range_clamp_above(ra, hi),
+            None => ra,
         }),
-        CmpOp::Gt => input.clamp_with(other, |ra, rb| match rb.lo() {
-            Some(Bound::Fin(l)) => ra.clamp_below(Bound::Fin(l.clone() + one.clone())),
-            _ => ra.clone(),
+        CmpOp::Gt => input.clamp_with(other, arena, |arena, ra, rb| match arena.range_lo(rb) {
+            Some(BoundId::Fin(l)) => {
+                let one = arena.constant(1);
+                let lp1 = arena.add(l, one);
+                arena.range_clamp_below(ra, BoundId::Fin(lp1))
+            }
+            _ => ra,
         }),
-        CmpOp::Ge => input.clamp_with(other, |ra, rb| match rb.lo() {
-            Some(lo) => ra.clamp_below(lo.clone()),
-            None => ra.clone(),
+        CmpOp::Ge => input.clamp_with(other, arena, |arena, ra, rb| match arena.range_lo(rb) {
+            Some(lo) => arena.range_clamp_below(ra, lo),
+            None => ra,
         }),
-        CmpOp::Eq => input.clamp_with(other, |ra, rb| ra.meet(rb)),
+        CmpOp::Eq => input.clamp_with(other, arena, |arena, ra, rb| arena.range_meet(ra, rb)),
         CmpOp::Ne => input.clone(),
     }
 }
@@ -846,8 +1011,9 @@ fn apply_ptr_sigma(input: &PtrState, op: CmpOp, other: &PtrState) -> PtrState {
 mod tests {
     use super::*;
     use sra_ir::FunctionBuilder;
+    use sra_symbolic::{RangeId, SymRange};
 
-    fn show(s: &PtrState, ra: &RangeAnalysis) -> String {
+    fn show(s: PtrStateRef<'_>, ra: &RangeAnalysis) -> String {
         format!("{}", s.display(ra.symbols()))
     }
 
@@ -907,7 +1073,10 @@ mod tests {
         // separate them (the local test will).
         let r4 = gr.state(fid, a4).get(crate::LocId::new(0)).unwrap();
         let r5 = gr.state(fid, a5).get(crate::LocId::new(0)).unwrap();
-        assert!(r4.may_overlap(r5));
+        assert!(gr
+            .arena()
+            .range_value(r4)
+            .may_overlap(&gr.arena().range_value(r5)));
     }
 
     /// Loads yield ⊤ and free yields ⊥ (Figure 9).
@@ -972,7 +1141,7 @@ mod tests {
         assert_eq!(st.support_len(), Some(1));
         let (loc, r) = st.support().next().unwrap();
         assert_eq!(gr.locs().site(loc).kind, crate::LocKind::Unknown);
-        assert_eq!(r, &SymRange::constant(0));
+        assert_eq!(gr.arena().range_value(r), SymRange::constant(0));
     }
 
     /// Builds a call chain or ring of `n` functions `f_i(p: ptr) -> ptr
@@ -1104,7 +1273,7 @@ mod tests {
     /// cannot change any result. The in-solver `debug_assert` re-checks
     /// this on every debug-mode analysis; this test pins the algebraic
     /// claim directly — in release builds too — over states whose
-    /// bounds exercise every way `Bound::min`/`max` can pick a winner:
+    /// bounds exercise every way `bound_min`/`max` can pick a winner:
     /// constants, symbols, sums, unresolved min/max atoms, infinities,
     /// multiple locations, ⊥ and ⊤.
     #[test]
@@ -1113,6 +1282,7 @@ mod tests {
         let n = || SymExpr::from(Symbol::new(0));
         let m_ = || SymExpr::from(Symbol::new(1));
         let l = crate::LocId::new;
+        let mut arena = ExprArena::new();
         let bounds: Vec<Bound> = vec![
             Bound::NegInf,
             Bound::from(0),
@@ -1124,34 +1294,33 @@ mod tests {
             Bound::Fin(SymExpr::max(n(), 7.into())),
             Bound::PosInf,
         ];
-        let mut ranges: Vec<SymRange> = vec![SymRange::empty()];
+        let mut ranges: Vec<RangeId> = vec![ExprArena::EMPTY_RANGE];
         for lo in &bounds {
             for hi in &bounds {
                 let r = SymRange::with_bounds(lo.clone(), hi.clone());
                 if !r.is_empty() {
-                    ranges.push(r);
+                    ranges.push(arena.intern_range(&r));
                 }
             }
         }
         let mut states: Vec<PtrState> = vec![PtrState::bottom(), PtrState::top()];
-        for (i, r) in ranges.iter().enumerate() {
-            states.push(PtrState::singleton(l(0), r.clone()));
-            states.push(
-                PtrState::singleton(l(0), r.clone())
-                    .join(&PtrState::singleton(l(1), ranges[i % 7].clone())),
-            );
+        for (i, &r) in ranges.iter().enumerate() {
+            states.push(PtrState::singleton(l(0), r));
+            let a = PtrState::singleton(l(0), r);
+            let b = PtrState::singleton(l(1), ranges[i % 7]);
+            states.push(a.join(&b, &mut arena));
         }
         let mut included = 0;
         for slot in &states {
             for new in &states {
-                if !new.le(slot) {
+                if !new.le(slot, &mut arena) {
                     continue;
                 }
                 included += 1;
-                let joined = slot.join(new);
+                let joined = slot.join(new, &mut arena);
                 assert_eq!(&joined, slot, "join must return the stored state verbatim");
                 assert_eq!(
-                    &slot.widen(&joined),
+                    &slot.widen(&joined, &mut arena),
                     slot,
                     "widening the unchanged join must be the identity"
                 );
@@ -1161,7 +1330,8 @@ mod tests {
     }
 
     /// The same ring with widening on and the default cap still
-    /// terminates, and both schedules agree state-for-state.
+    /// terminates, and both schedules agree state-for-state — down to
+    /// identical canonical-arena ids.
     #[test]
     fn recursive_ring_schedules_agree() {
         let (m, _funcs, _r) = chain_module(6, true);
@@ -1187,6 +1357,9 @@ mod tests {
         for f in m.func_ids() {
             for v in m.function(f).value_ids() {
                 assert_eq!(serial.state(f, v), waves.state(f, v), "{f} {v}");
+                // Canonicalization makes the raw id-level states agree
+                // too, not just their structural values.
+                assert_eq!(serial.raw_state(f, v), waves.raw_state(f, v), "{f} {v}");
             }
         }
         assert_eq!(serial.ascending_sweeps(), waves.ascending_sweeps());

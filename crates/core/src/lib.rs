@@ -58,10 +58,10 @@ mod state;
 pub use driver::{analyze_parallel, BatchAnalysis, DriverConfig};
 pub use gr::{GrAnalysis, GrConfig, GrSchedule};
 pub use locs::{AllocSite, LocId, LocKind, LocTable};
-pub use lr::{LocalBase, LrAnalysis, LrPart, LrState};
+pub use lr::{LocalBase, LrAnalysis, LrPart, LrState, LrStateRef};
 pub use query::{
     global_no_alias, global_no_alias_kind, pointer_values, AliasAnalysis, AliasMatrix, AliasResult,
     QueryStats, RbaaAnalysis, WhichTest,
 };
 pub use session::{AnalysisSession, SessionError, SessionStats};
-pub use state::PtrState;
+pub use state::{PtrState, PtrStateRef};

@@ -24,12 +24,15 @@
 //! The analysis is a single pass over the dominance-tree pre-order
 //! (instructions are "evaluated abstractly in the order given by the
 //! program's dominance tree", §3.6); the underlying lattice is finite so
-//! no widening is needed.
+//! no widening is needed. Offsets are interned [`ExprId`]s/[`RangeId`]s
+//! in a per-part [`ExprArena`] — the σ-set-carrying [`LrState`] is ids
+//! all the way down, and [`LrAnalysis::from_parts`] imports the part
+//! arenas into one module arena exactly like the bootstrap ranges.
 
 use sra_ir::cfg::Cfg;
 use sra_ir::dom::DomTree;
 use sra_ir::{BinOp, FuncId, GlobalId, Inst, Module, Ty, ValueId, ValueKind};
-use sra_symbolic::{SymExpr, SymRange, SymbolNames, SymbolTable};
+use sra_symbolic::{ExprArena, ExprId, ImportMap, RangeId, Symbol, SymbolNames, SymbolTable};
 
 use std::fmt;
 use std::sync::Arc;
@@ -54,13 +57,14 @@ impl fmt::Display for LocalBase {
     }
 }
 
-/// The local abstract state of one pointer: `LR(p) = base + range`.
+/// The local abstract state of one pointer: `LR(p) = base + range`,
+/// with the offset range interned in the owning analysis' arena.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LrState {
     /// The local base.
     pub base: LocalBase,
-    /// Offset range from the base.
-    pub range: SymRange,
+    /// Offset range from the base (a handle into the analysis' arena).
+    pub range: RangeId,
     /// The σ-nodes the pointer's derivation traversed — through the
     /// base *and* through the integer offset expressions — as a sorted
     /// set. Two states speak about the same dynamic instance of their
@@ -68,7 +72,7 @@ pub struct LrState {
     /// test — only when these sets are identical: the σ on a loop's
     /// back-edge and the σ on its exit edge re-read the φ at
     /// *different* instants, so offsets taken through them must not be
-    /// compared ([0,0] from the exit σ and [1,1] from the body σ can
+    /// compared (\[0,0\] from the exit σ and \[1,1\] from the body σ can
     /// both be `base+1` concretely when the loop runs once).
     pub sigmas: Vec<ValueId>,
     /// Block of the defining instruction (`None` for parameters and
@@ -82,15 +86,95 @@ pub struct LrState {
     pub block: Option<sra_ir::BlockId>,
 }
 
-impl LrState {
+/// An [`LrState`] bundled with its arena — what [`LrAnalysis::state`]
+/// hands out. Equality is structural across arenas (the byte-identity
+/// rails compare states of independently built analyses).
+#[derive(Clone, Copy)]
+pub struct LrStateRef<'a> {
+    state: &'a LrState,
+    arena: &'a ExprArena,
+}
+
+impl<'a> LrStateRef<'a> {
+    /// Bundles a state with its arena.
+    pub fn new(state: &'a LrState, arena: &'a ExprArena) -> Self {
+        LrStateRef { state, arena }
+    }
+
+    /// The underlying state.
+    pub fn state(&self) -> &'a LrState {
+        self.state
+    }
+
+    /// The arena the state's range handle points into.
+    pub fn arena(&self) -> &'a ExprArena {
+        self.arena
+    }
+
+    /// The local base.
+    pub fn base(&self) -> LocalBase {
+        self.state.base
+    }
+
+    /// The interned offset range.
+    pub fn range(&self) -> RangeId {
+        self.state.range
+    }
+
+    /// The σ-set of the derivation.
+    pub fn sigmas(&self) -> &'a [ValueId] {
+        &self.state.sigmas
+    }
+
+    /// Block of the defining instruction.
+    pub fn block(&self) -> Option<sra_ir::BlockId> {
+        self.state.block
+    }
+
     /// Renders as `new3 + [i, i]`.
-    pub fn display<'a>(&'a self, names: &'a dyn SymbolNames) -> impl fmt::Display + 'a {
-        DisplayLr { state: self, names }
+    pub fn display(&self, names: &'a dyn SymbolNames) -> impl fmt::Display + 'a {
+        DisplayLr {
+            state: self.state,
+            arena: self.arena,
+            names,
+        }
+    }
+}
+
+impl PartialEq for LrStateRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.state.base == other.state.base
+            && self.state.sigmas == other.state.sigmas
+            && self.state.block == other.state.block
+            && self
+                .arena
+                .range_structural_eq(self.state.range, other.arena, other.state.range)
+    }
+}
+
+impl Eq for LrStateRef<'_> {}
+
+impl fmt::Debug for LrStateRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        struct NoNames;
+        impl SymbolNames for NoNames {
+            fn symbol_name(&self, _s: Symbol) -> Option<&str> {
+                None
+            }
+        }
+        write!(
+            f,
+            "{} (σ: {:?}, block: {:?})",
+            self.display(&NoNames),
+            self.state.sigmas,
+            self.state.block
+        )
     }
 }
 
 struct DisplayLr<'a> {
     state: &'a LrState,
+    arena: &'a ExprArena,
     names: &'a dyn SymbolNames,
 }
 
@@ -100,19 +184,21 @@ impl fmt::Display for DisplayLr<'_> {
             f,
             "{} + {}",
             self.state.base,
-            self.state.range.display(self.names)
+            self.arena.display_range(self.state.range, self.names)
         )
     }
 }
 
-/// The per-function output of the local analysis: the states plus the
-/// offset-symbol names minted, in minting order. See
-/// `sra_range::RangePart` for the role parts play in the batch driver.
+/// The per-function output of the local analysis: the states (ranges
+/// interned in the part's own arena) plus the offset-symbol names
+/// minted, in minting order. See [`sra_range::RangePart`] for the role
+/// parts play in the batch driver.
 #[derive(Debug, Clone)]
 pub struct LrPart {
-    /// `LR(v)` for every value of the function, behind an [`Arc`] so
-    /// an incremental session's cached part and the assembled
-    /// [`LrAnalysis`] share one copy.
+    /// The part's private arena (shared by reference with an
+    /// incremental session's cache).
+    pub arena: Arc<ExprArena>,
+    /// `LR(v)` for every value of the function.
     pub states: Arc<Vec<Option<LrState>>>,
     /// The `first_symbol` this part was analyzed with.
     pub first_symbol: u32,
@@ -123,25 +209,38 @@ pub struct LrPart {
 impl LrPart {
     /// Rebases the part onto a new `first_symbol` (see
     /// [`sra_range::RangePart::rebase`] — same contract: an LR part
-    /// mentions only its own symbol block, and a monotone shift
-    /// reproduces exactly what [`analyze_function_part`] would have
-    /// minted at the new base).
+    /// mentions only its own symbol block, and the arena import under
+    /// the monotone shift reproduces exactly what
+    /// [`analyze_function_part`] would have minted at the new base).
     pub fn rebase(&mut self, new_first: u32) {
         if new_first == self.first_symbol {
             return;
         }
         let old = self.first_symbol;
         let budget = self.symbol_names.len() as u32;
-        let map = |s: sra_symbolic::Symbol| {
+        let rename = |s: Symbol| {
             debug_assert!(
                 s.index() >= old && (s.index() - old) < budget,
                 "LR parts only mention their own symbol block"
             );
-            sra_symbolic::Symbol::new(s.index() - old + new_first)
+            Symbol::new(s.index() - old + new_first)
         };
-        for state in Arc::make_mut(&mut self.states).iter_mut().flatten() {
-            state.range = state.range.map_symbols(&map);
-        }
+        let mut dst = ExprArena::new();
+        let mut map = ImportMap::default();
+        let states = self
+            .states
+            .iter()
+            .map(|slot| {
+                slot.as_ref().map(|s| LrState {
+                    base: s.base,
+                    range: dst.import_range(&self.arena, s.range, &rename, &mut map),
+                    sigmas: s.sigmas.clone(),
+                    block: s.block,
+                })
+            })
+            .collect();
+        self.arena = Arc::new(dst);
+        self.states = Arc::new(states);
         self.first_symbol = new_first;
     }
 }
@@ -180,11 +279,13 @@ pub fn symbol_budget(m: &Module, fid: FuncId) -> usize {
     params + insts
 }
 
-/// Results of the local analysis: `LR(p)` for every pointer `p`.
+/// Results of the local analysis: `LR(p)` for every pointer `p`, with
+/// every offset range interned in one module arena.
 #[derive(Debug, Clone)]
 pub struct LrAnalysis {
-    states: Vec<Arc<Vec<Option<LrState>>>>,
+    states: Vec<Vec<Option<LrState>>>,
     symbols: SymbolTable,
+    arena: Arc<ExprArena>,
 }
 
 impl LrAnalysis {
@@ -201,13 +302,17 @@ impl LrAnalysis {
     }
 
     /// Reassembles a whole-module result from per-function parts in
-    /// function order; see [`sra_range::RangeAnalysis::from_parts`].
+    /// function order, importing every part arena into one module
+    /// arena; see [`sra_range::RangeAnalysis::from_parts`] — the same
+    /// structure-driven import makes the module arena (and every id)
+    /// canonical in the analyzed states.
     ///
     /// # Panics
     ///
     /// Panics when the parts' symbol bases do not line up.
     pub fn from_parts(parts: Vec<LrPart>) -> Self {
         let mut symbols = SymbolTable::new();
+        let mut arena = ExprArena::new();
         let mut states = Vec::with_capacity(parts.len());
         for part in parts {
             assert_eq!(
@@ -218,15 +323,51 @@ impl LrAnalysis {
             for name in &part.symbol_names {
                 symbols.fresh(name);
             }
-            states.push(part.states);
+            let mut map = ImportMap::default();
+            let func_states = part
+                .states
+                .iter()
+                .map(|slot| {
+                    slot.as_ref().map(|s| LrState {
+                        base: s.base,
+                        range: arena.import_range(&part.arena, s.range, &|s| s, &mut map),
+                        sigmas: s.sigmas.clone(),
+                        block: s.block,
+                    })
+                })
+                .collect();
+            arena.absorb_op_stats(&part.arena);
+            states.push(func_states);
         }
-        LrAnalysis { states, symbols }
+        LrAnalysis {
+            states,
+            symbols,
+            arena: Arc::new(arena),
+        }
     }
 
     /// The local state of `v` in `f`; `None` for non-pointers and
     /// unreachable values.
-    pub fn state(&self, f: FuncId, v: ValueId) -> Option<&LrState> {
+    pub fn state(&self, f: FuncId, v: ValueId) -> Option<LrStateRef<'_>> {
+        self.states[f.index()][v.index()]
+            .as_ref()
+            .map(|s| LrStateRef::new(s, &self.arena))
+    }
+
+    /// Raw access to the stored state (crate-internal fast paths).
+    pub(crate) fn raw_state(&self, f: FuncId, v: ValueId) -> Option<&LrState> {
         self.states[f.index()][v.index()].as_ref()
+    }
+
+    /// The module arena every state's range handle points into.
+    pub fn arena(&self) -> &ExprArena {
+        &self.arena
+    }
+
+    /// The module arena behind its shared handle (overlay bases for
+    /// parallel consumers).
+    pub fn arena_arc(&self) -> Arc<ExprArena> {
+        Arc::clone(&self.arena)
     }
 
     /// The symbol table of the local offset symbols (for display).
@@ -236,20 +377,22 @@ impl LrAnalysis {
 }
 
 /// Analyzes one function, minting offset symbols `first_symbol,
-/// first_symbol + 1, …` (exactly [`symbol_budget`] of them). Pure and
-/// thread-safe.
+/// first_symbol + 1, …` (exactly [`symbol_budget`] of them) into a
+/// fresh part arena. Pure and thread-safe.
 pub fn analyze_function_part(m: &Module, fid: FuncId, first_symbol: u32) -> LrPart {
     let mut minter = Minter {
         base: first_symbol,
         names: Vec::new(),
     };
-    let states = analyze_function(m, fid, &mut minter);
+    let mut arena = ExprArena::new();
+    let states = analyze_function(m, fid, &mut arena, &mut minter);
     debug_assert_eq!(
         minter.names.len(),
         symbol_budget(m, fid),
         "symbol_budget must match what the analysis mints"
     );
     LrPart {
+        arena: Arc::new(arena),
         states: Arc::new(states),
         first_symbol,
         symbol_names: minter.names,
@@ -263,32 +406,38 @@ struct Minter {
 }
 
 impl Minter {
-    fn fresh(&mut self, name: &str) -> sra_symbolic::Symbol {
-        let s = sra_symbolic::Symbol::new(self.base + self.names.len() as u32);
+    fn fresh(&mut self, name: &str) -> Symbol {
+        let s = Symbol::new(self.base + self.names.len() as u32);
         self.names.push(name.to_owned());
         s
     }
 }
 
-fn analyze_function(m: &Module, fid: FuncId, symbols: &mut Minter) -> Vec<Option<LrState>> {
+fn analyze_function(
+    m: &Module,
+    fid: FuncId,
+    arena: &mut ExprArena,
+    symbols: &mut Minter,
+) -> Vec<Option<LrState>> {
     let f = m.function(fid);
+    let zero_range = arena.range_constant(0);
     let mut states: Vec<Option<LrState>> = vec![None; f.num_values()];
     // Exact symbolic value of every integer (singleton semantics) plus
     // the σ-set its derivation traversed.
-    let mut int_val: Vec<Option<(SymExpr, Vec<ValueId>)>> = vec![None; f.num_values()];
+    let mut int_val: Vec<Option<(ExprId, Vec<ValueId>)>> = vec![None; f.num_values()];
     let mut fresh = 0u32;
 
     // Parameters, constants and global addresses dominate everything.
     for v in f.value_ids() {
         match f.value(v).kind() {
             ValueKind::Const(c) => {
-                int_val[v.index()] = Some((SymExpr::from(*c), Vec::new()));
+                int_val[v.index()] = Some((arena.constant(*c as i128), Vec::new()));
             }
             ValueKind::Param { index } => match f.value(v).ty() {
                 Some(Ty::Ptr) => {
                     states[v.index()] = Some(LrState {
                         base: LocalBase::Fresh(fresh),
-                        range: SymRange::constant(0),
+                        range: zero_range,
                         sigmas: Vec::new(),
                         block: None,
                     });
@@ -299,14 +448,15 @@ fn analyze_function(m: &Module, fid: FuncId, symbols: &mut Minter) -> Vec<Option
                         Some(n) => n.to_owned(),
                         None => format!("{}.arg{}", f.name(), index),
                     };
-                    int_val[v.index()] = Some((SymExpr::from(symbols.fresh(&name)), Vec::new()));
+                    let s = symbols.fresh(&name);
+                    int_val[v.index()] = Some((arena.symbol(s), Vec::new()));
                 }
                 None => {}
             },
             ValueKind::GlobalAddr(g) => {
                 states[v.index()] = Some(LrState {
                     base: LocalBase::Global(*g),
-                    range: SymRange::constant(0),
+                    range: zero_range,
                     sigmas: Vec::new(),
                     block: None,
                 });
@@ -333,7 +483,7 @@ fn analyze_function(m: &Module, fid: FuncId, symbols: &mut Minter) -> Vec<Option
                         | Inst::Call { .. } => {
                             let s = LrState {
                                 base: LocalBase::Fresh(fresh),
-                                range: SymRange::constant(0),
+                                range: zero_range,
                                 sigmas: Vec::new(),
                                 block: Some(b),
                             };
@@ -356,17 +506,17 @@ fn analyze_function(m: &Module, fid: FuncId, symbols: &mut Minter) -> Vec<Option
                         }),
                         // Offsets accumulate exactly: LR(q) = loc + ([l,u] + c),
                         // inheriting the σ-instants of base and offset.
-                        Inst::PtrAdd { base, offset } => states[base.index()].as_ref().map(|s| {
+                        Inst::PtrAdd { base, offset } => {
                             let (off, off_sigmas) = int_val[offset.index()]
                                 .clone()
                                 .expect("int operands are always valued");
-                            LrState {
+                            states[base.index()].clone().map(|s| LrState {
                                 base: s.base,
-                                range: s.range.add_expr(&off),
+                                range: arena.range_add_expr(s.range, off),
                                 sigmas: union_sigmas(&s.sigmas, &off_sigmas),
                                 block: Some(b),
-                            }
-                        }),
+                            })
+                        }
                         _ => None,
                     };
                     states[v.index()] = state;
@@ -377,11 +527,11 @@ fn analyze_function(m: &Module, fid: FuncId, symbols: &mut Minter) -> Vec<Option
                             let (a, sa) = int_val[lhs.index()].clone().expect("valued");
                             let (bx, sb) = int_val[rhs.index()].clone().expect("valued");
                             let e = match op {
-                                BinOp::Add => a + bx,
-                                BinOp::Sub => a - bx,
-                                BinOp::Mul => a * bx,
-                                BinOp::Div => SymExpr::div(a, bx),
-                                BinOp::Rem => SymExpr::rem(a, bx),
+                                BinOp::Add => arena.add(a, bx),
+                                BinOp::Sub => arena.sub(a, bx),
+                                BinOp::Mul => arena.mul(a, bx),
+                                BinOp::Div => arena.div(a, bx),
+                                BinOp::Rem => arena.rem(a, bx),
                             };
                             Some((e, union_sigmas(&sa, &sb)))
                         }
@@ -400,7 +550,7 @@ fn analyze_function(m: &Module, fid: FuncId, symbols: &mut Minter) -> Vec<Option
                         | Inst::Call { .. }
                         | Inst::Cmp { .. } => {
                             let name = format!("{}.{}", f.name(), v);
-                            Some((SymExpr::from(symbols.fresh(&name)), Vec::new()))
+                            Some((arena.symbol(symbols.fresh(&name)), Vec::new()))
                         }
                         _ => None,
                     };
@@ -436,6 +586,15 @@ fn union_sigmas(a: &[ValueId], b: &[ValueId]) -> Vec<ValueId> {
 mod tests {
     use super::*;
     use sra_ir::{CmpOp, FunctionBuilder};
+    use sra_symbolic::SymRange;
+
+    fn rv(lr: &LrAnalysis, s: LrStateRef<'_>) -> SymRange {
+        lr.arena().range_value(s.range())
+    }
+
+    fn disjoint(lr: &LrAnalysis, a: LrStateRef<'_>, b: LrStateRef<'_>) -> bool {
+        rv(lr, a).meet(&rv(lr, b)).is_empty()
+    }
 
     /// The paper's Figure 10 (right column): the φ gets a fresh base and
     /// a4/a5 become separable.
@@ -471,17 +630,17 @@ mod tests {
         let s4 = lr.state(fid, a4).expect("a4 has LR state");
         let s5 = lr.state(fid, a5).expect("a5 has LR state");
         // a3 is a fresh base at [0,0]; a4 and a5 offset from it.
-        assert_eq!(s3.range, SymRange::constant(0));
-        assert_eq!(s4.base, s3.base);
-        assert_eq!(s5.base, s3.base);
-        assert_eq!(s4.range, SymRange::constant(1));
-        assert_eq!(s5.range, SymRange::constant(2));
+        assert_eq!(rv(&lr, s3), SymRange::constant(0));
+        assert_eq!(s4.base(), s3.base());
+        assert_eq!(s5.base(), s3.base());
+        assert_eq!(rv(&lr, s4), SymRange::constant(1));
+        assert_eq!(rv(&lr, s5), SymRange::constant(2));
         // Disjoint ranges on the same base: the local test separates
         // them, exactly as the paper's right column shows.
-        assert!(s4.range.meet(&s5.range).is_empty());
+        assert!(disjoint(&lr, s4, s5));
         // a1/a2 keep their own (different) base.
         let s1 = lr.state(fid, a1).unwrap();
-        assert_ne!(s1.base, s3.base);
+        assert_ne!(s1.base(), s3.base());
     }
 
     /// Loop-carried index: p+i and p+(i+1) get offsets [i,i] and
@@ -517,13 +676,8 @@ mod tests {
         let lr = LrAnalysis::analyze(&m);
         let s0 = lr.state(fid, t0).unwrap();
         let s1 = lr.state(fid, t1).unwrap();
-        assert_eq!(s0.base, s1.base);
-        assert!(
-            s0.range.meet(&s1.range).is_empty(),
-            "{} vs {}",
-            s0.range,
-            s1.range
-        );
+        assert_eq!(s0.base(), s1.base());
+        assert!(disjoint(&lr, s0, s1), "{} vs {}", rv(&lr, s0), rv(&lr, s1));
     }
 
     #[test]
@@ -546,12 +700,12 @@ mod tests {
         let fid = m.add_function(f);
         let lr = LrAnalysis::analyze(&m);
         let f = m.function(fid);
-        let p_base = lr.state(fid, p).unwrap().base;
+        let p_base = lr.state(fid, p).unwrap().base();
         // Every σ of p keeps p's base.
         for v in f.value_ids() {
             if let Some(Inst::Sigma { input, .. }) = f.value(v).as_inst() {
                 if original(f, *input) == p {
-                    assert_eq!(lr.state(fid, v).unwrap().base, p_base);
+                    assert_eq!(lr.state(fid, v).unwrap().base(), p_base);
                 }
             }
         }
@@ -581,9 +735,9 @@ mod tests {
         let lr = LrAnalysis::analyze(&m);
         let sp = lr.state(fid, p).unwrap();
         let sq = lr.state(fid, q).unwrap();
-        assert_eq!(sp.base, sq.base);
-        assert_eq!(sp.base, LocalBase::Global(g));
-        assert!(sp.range.meet(&sq.range).is_empty());
+        assert_eq!(sp.base(), sq.base());
+        assert_eq!(sp.base(), LocalBase::Global(g));
+        assert!(disjoint(&lr, sp, sq));
     }
 
     #[test]
@@ -601,15 +755,41 @@ mod tests {
         let lr = LrAnalysis::analyze(&m);
         let sp = lr.state(fid, p).unwrap();
         let sr = lr.state(fid, r).unwrap();
-        assert_eq!(sr.base, sp.base);
+        assert_eq!(sr.base(), sp.base());
         assert_eq!(
-            format!("{}", sr.range.display(lr.symbols())),
-            "[n + 1, n + 1]"
+            format!("{}", sr.display(lr.symbols())),
+            "new0 + [n + 1, n + 1]"
         );
         // p and q=p+n cannot be separated (n may be 0)…
         let sq = lr.state(fid, q).unwrap();
-        assert!(!sp.range.meet(&sq.range).is_empty());
+        assert!(!disjoint(&lr, sp, sq));
         // …but q and r=q+1 can.
-        assert!(sq.range.meet(&sr.range).is_empty());
+        assert!(disjoint(&lr, sq, sr));
+    }
+
+    /// Rebasing an LR part is byte-identical to re-analyzing at the new
+    /// base, down to the module arena ids after assembly.
+    #[test]
+    fn rebase_equals_reanalysis() {
+        let mut b = FunctionBuilder::new("f", &[Ty::Ptr, Ty::Int], None);
+        let p = b.param(0);
+        let n = b.param(1);
+        let q = b.ptr_add(p, n);
+        let _ = q;
+        b.ret(None);
+        let mut m = Module::new();
+        let fid = m.add_function(b.finish());
+        let mut part = analyze_function_part(&m, fid, 4);
+        part.rebase(0);
+        let fresh = analyze_function_part(&m, fid, 0);
+        let via_rebase = LrAnalysis::from_parts(vec![part]);
+        let via_fresh = LrAnalysis::from_parts(vec![fresh]);
+        for v in m.function(fid).value_ids() {
+            assert_eq!(
+                via_rebase.raw_state(fid, v),
+                via_fresh.raw_state(fid, v),
+                "{v}"
+            );
+        }
     }
 }

@@ -5,7 +5,7 @@
 
 use sra_ir::{BlockId, FuncId, Module, Ty, ValueId};
 use sra_range::RangeAnalysis;
-use sra_symbolic::{ExprArena, FxHashMap, RangeRef, SymbolTable};
+use sra_symbolic::{ArenaStats, ExprArena, FxHashMap, RangeId, SymbolTable};
 
 use crate::gr::{GrAnalysis, GrConfig};
 use crate::locs::{LocId, LocKind, LocTable};
@@ -109,8 +109,24 @@ impl RbaaAnalysis {
         self.ranges.symbols()
     }
 
+    /// Summed arena counters of the three module arenas (bootstrap
+    /// ranges, GR, LR) — the interning effectiveness of one analysis.
+    pub fn arena_stats(&self) -> ArenaStats {
+        let mut s = self.ranges.arena().stats();
+        s.merge(&self.gr.arena().stats());
+        s.merge(&self.lr.arena().stats());
+        s
+    }
+
     /// Like [`AliasAnalysis::alias`], additionally reporting which test
     /// fired for a `NoAlias` answer (the paper's Figure 14 attribution).
+    ///
+    /// This is the *uncached reference path*: each call re-proves its
+    /// range comparisons from the interned states (reconstructing the
+    /// handful of ranges it needs), exactly like the seed per-query
+    /// sweep the batched matrices are benchmarked against. Batch
+    /// consumers use [`crate::AliasMatrix`], which memoises every
+    /// comparison.
     pub fn alias_with_test(
         &self,
         f: FuncId,
@@ -120,12 +136,15 @@ impl RbaaAnalysis {
         if p == q {
             return (AliasResult::MayAlias, None);
         }
-        if let Some(kind) =
-            global_no_alias_kind(self.gr.state(f, p), self.gr.state(f, q), self.gr.locs())
-        {
+        if let Some(kind) = global_no_alias_kind(
+            self.gr.raw_state(f, p),
+            self.gr.raw_state(f, q),
+            self.gr.locs(),
+            self.gr.arena(),
+        ) {
             return (AliasResult::NoAlias, Some(kind));
         }
-        if let (Some(sp), Some(sq)) = (self.lr.state(f, p), self.lr.state(f, q)) {
+        if let (Some(sp), Some(sq)) = (self.lr.raw_state(f, p), self.lr.raw_state(f, q)) {
             // Preconditions for the "same moment" semantics: the
             // pointers must be defined in the same block (so their k-th
             // definitions belong to the same activation) and their
@@ -138,9 +157,15 @@ impl RbaaAnalysis {
                 && sp.block.is_some()
                 && sp.block == sq.block
                 && sp.sigmas == sq.sigmas
-                && sp.range.meet(&sq.range).is_empty()
             {
-                return (AliasResult::NoAlias, Some(WhichTest::Local));
+                let arena = self.lr.arena();
+                if arena
+                    .range_value(sp.range)
+                    .meet(&arena.range_value(sq.range))
+                    .is_empty()
+                {
+                    return (AliasResult::NoAlias, Some(WhichTest::Local));
+                }
             }
         }
         (AliasResult::MayAlias, None)
@@ -158,7 +183,8 @@ impl AliasAnalysis for RbaaAnalysis {
 }
 
 /// The global test `QGR` (§3.5): `NoAlias` when the concretizations are
-/// provably disjoint.
+/// provably disjoint. `arena` is the arena the states' range handles
+/// point into (usually [`GrAnalysis::arena`]).
 ///
 /// Implements Proposition 2, extended for `Unknown` locations (pointer
 /// parameters of exported functions and external-call results): two
@@ -166,14 +192,19 @@ impl AliasAnalysis for RbaaAnalysis {
 /// allocation sites, because two unknown bases may be the same memory;
 /// within a *common* location the symbolic offset ranges must be
 /// provably disjoint.
-pub fn global_no_alias(a: &PtrState, b: &PtrState, locs: &LocTable) -> bool {
-    global_no_alias_kind(a, b, locs).is_some()
+pub fn global_no_alias(a: &PtrState, b: &PtrState, locs: &LocTable, arena: &ExprArena) -> bool {
+    global_no_alias_kind(a, b, locs, arena).is_some()
 }
 
 /// Like [`global_no_alias`], reporting *how* the pointers were
 /// separated: by disjoint supports, or by range reasoning on common
 /// locations (the paper's "global test" of Figure 14).
-pub fn global_no_alias_kind(a: &PtrState, b: &PtrState, locs: &LocTable) -> Option<WhichTest> {
+pub fn global_no_alias_kind(
+    a: &PtrState,
+    b: &PtrState,
+    locs: &LocTable,
+    arena: &ExprArena,
+) -> Option<WhichTest> {
     // ⊥ concretizes to the empty address set.
     if a.is_bottom() || b.is_bottom() {
         return Some(WhichTest::DistinctLocs);
@@ -185,7 +216,7 @@ pub fn global_no_alias_kind(a: &PtrState, b: &PtrState, locs: &LocTable) -> Opti
     for (la, ra) in a.support() {
         for (lb, rb) in b.support() {
             if la == lb {
-                if ra.may_overlap(rb) {
+                if arena.range_value(ra).may_overlap(&arena.range_value(rb)) {
                     return None;
                 }
                 used_ranges = true;
@@ -293,14 +324,15 @@ fn decode_cell(cell: u8) -> (AliasResult, Option<WhichTest>) {
 }
 
 /// The cached all-pairs verdicts of one function: every unordered pair
-/// of pointer-typed values of `f`, evaluated once through hash-consed
-/// symbolic ranges, packed into a triangular byte matrix.
+/// of pointer-typed values of `f`, evaluated once over the analyses'
+/// interned states, packed into a triangular byte matrix.
 ///
-/// Building the matrix costs what the all-pairs sweep of
-/// [`QueryStats::run_pairs`] costs *minus* every repeated range
-/// comparison (the [`ExprArena`] memoises those); afterwards
-/// [`AliasMatrix::lookup`] answers any repeat query in `O(1)`. Verdicts
-/// are byte-identical to [`RbaaAnalysis::alias_with_test`] — the
+/// The build works directly on the GR and LR module arenas' handles —
+/// state signatures are `RangeId` vectors, no re-interning — through
+/// per-build *overlay* arenas ([`ExprArena::with_base`]), so every
+/// distinct range comparison is proved once and matrix builds can run
+/// on worker threads against one shared analysis. Verdicts are
+/// byte-identical to [`RbaaAnalysis::alias_with_test`] — the
 /// workspace's equivalence property test pins this.
 #[derive(Debug, Clone)]
 pub struct AliasMatrix {
@@ -315,7 +347,7 @@ pub struct AliasMatrix {
 enum IGr {
     Bottom,
     Top,
-    Support(Vec<(LocId, RangeRef)>),
+    Support(Vec<(LocId, RangeId)>),
 }
 
 /// Interned local state of one pointer.
@@ -325,7 +357,7 @@ struct ILr {
     block: Option<BlockId>,
     /// Dense id of the σ-set (equal sets share an id).
     sigmas: u32,
-    range: RangeRef,
+    range: RangeId,
 }
 
 impl AliasMatrix {
@@ -337,47 +369,44 @@ impl AliasMatrix {
     /// Builds the matrix over an explicit pointer universe (must be
     /// duplicate-free).
     ///
-    /// Hash-consing happens at two levels: range endpoints are interned
-    /// in an [`ExprArena`] (each distinct symbolic comparison is proved
-    /// once), and whole pointer *states* are deduplicated into
-    /// signature classes — a function with `P` pointers typically has
-    /// far fewer distinct `(GR, LR)` states, and for `p ≠ q` the
-    /// verdict depends only on the states, so the `O(P²)` pair sweep
-    /// collapses to `O(S²)` state-pair verdicts plus an `O(P²)` table
-    /// fill.
+    /// Hash-consing happens at two levels: the states' offset ranges
+    /// are already interned handles into the GR/LR module arenas (the
+    /// per-build overlays memoise each distinct comparison once), and
+    /// whole pointer *states* are deduplicated into signature classes —
+    /// a function with `P` pointers typically has far fewer distinct
+    /// `(GR, LR)` states, and for `p ≠ q` the verdict depends only on
+    /// the states, so the `O(P²)` pair sweep collapses to `O(S²)`
+    /// state-pair verdicts plus an `O(P²)` table fill.
     pub fn build_for(rbaa: &RbaaAnalysis, f: FuncId, ptrs: Vec<ValueId>) -> Self {
-        let mut arena = ExprArena::new();
+        let mut gr_arena = ExprArena::with_base(rbaa.gr().arena_arc());
+        let mut lr_arena = ExprArena::with_base(rbaa.lr().arena_arc());
         let locs = rbaa.gr().locs();
         let kinds: Vec<LocKind> = (0..locs.len())
             .map(|i| locs.site(LocId::new(i)).kind)
             .collect();
 
-        // Intern each pointer's states once and collapse equal states
-        // to one signature class.
+        // Collapse equal states to one signature class (the states'
+        // ranges are already interned ids — signatures are id tuples).
         let mut sigma_ids: FxHashMap<&[ValueId], u32> = FxHashMap::default();
         let mut sig_ids: FxHashMap<(IGr, Option<ILr>), u32> = FxHashMap::default();
         let mut sigs: Vec<usize> = Vec::with_capacity(ptrs.len());
         for &p in &ptrs {
-            let st = rbaa.gr().state(f, p);
+            let st = rbaa.gr().raw_state(f, p);
             let igr = if st.is_bottom() {
                 IGr::Bottom
             } else if st.is_top() {
                 IGr::Top
             } else {
-                IGr::Support(
-                    st.support()
-                        .map(|(loc, r)| (loc, arena.intern_range(r)))
-                        .collect(),
-                )
+                IGr::Support(st.support().collect())
             };
-            let ilr = rbaa.lr().state(f, p).map(|s| {
+            let ilr = rbaa.lr().raw_state(f, p).map(|s| {
                 let next = sigma_ids.len() as u32;
                 let sigmas = *sigma_ids.entry(s.sigmas.as_slice()).or_insert(next);
                 ILr {
                     base: s.base,
                     block: s.block,
                     sigmas,
-                    range: arena.intern_range(&s.range),
+                    range: s.range,
                 }
             });
             let next = sig_ids.len() as u32;
@@ -399,7 +428,8 @@ impl AliasMatrix {
             let (ga, la) = by_id[a].expect("dense signature ids");
             for b in a..s {
                 let (gb, lb) = by_id[b].expect("dense signature ids");
-                sig_cells[tri(a, b)] = Self::verdict(&mut arena, &kinds, ga, gb, la, lb);
+                sig_cells[tri(a, b)] =
+                    Self::verdict(&mut gr_arena, &mut lr_arena, &kinds, ga, gb, la, lb);
             }
         }
         let sig_cell = |a: usize, b: usize| {
@@ -447,8 +477,11 @@ impl AliasMatrix {
 
     /// One pair, on interned handles — mirrors
     /// [`RbaaAnalysis::alias_with_test`] decision for decision.
+    /// `gr_arena`/`lr_arena` are the build's overlays over the
+    /// respective module arenas.
     fn verdict(
-        arena: &mut ExprArena,
+        gr_arena: &mut ExprArena,
+        lr_arena: &mut ExprArena,
         kinds: &[LocKind],
         gp: &IGr,
         gq: &IGr,
@@ -465,7 +498,7 @@ impl AliasMatrix {
                 'pairs: for &(la, ra) in sa {
                     for &(lb, rb) in sb {
                         if la == lb {
-                            if !arena.ranges_disjoint(ra, rb) {
+                            if !gr_arena.ranges_disjoint(ra, rb) {
                                 separated = false;
                                 break 'pairs;
                             }
@@ -496,7 +529,7 @@ impl AliasMatrix {
                 && a.block.is_some()
                 && a.block == b.block
                 && a.sigmas == b.sigmas
-                && arena.ranges_disjoint(a.range, b.range)
+                && lr_arena.ranges_disjoint(a.range, b.range)
             {
                 return CELL_LOCAL;
             }
@@ -530,7 +563,6 @@ impl AliasMatrix {
         Some(decode_cell(self.cells[idx]))
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -26,9 +26,9 @@
 //!   function depend only on its own body, so an edit invalidates
 //!   exactly the edited function's parts. Parts whose pre-budgeted
 //!   symbol-id *block* moved (an earlier function's budget changed)
-//!   are **rebased**: their symbols are shifted by a monotone
-//!   renaming, which commutes with the analysis
-//!   ([`sra_symbolic::SymExpr::map_symbols`]), instead of re-analyzed.
+//!   are **rebased**: their arenas are re-imported under a monotone
+//!   symbol renaming ([`sra_symbolic::ExprArena::import_range`]), which
+//!   commutes with the analysis, instead of re-analyzed.
 //! * **GR components** — interprocedural dataflow zig-zags along call
 //!   edges in both directions (returns up, actuals down), so the
 //!   region an edit can reach is the edited function's SCC plus every
@@ -37,8 +37,9 @@
 //!   dirty components only (in the same alternating bottom-up/top-down
 //!   condensation order the scratch solver specs), re-verifying
 //!   convergence; components untouched by the edit keep their cached
-//!   fixpoint, rebased onto shifted symbol and location ids (or shared
-//!   outright when nothing moved). The one module-wide coupling is the
+//!   fixpoint — their states are *imported* into the rebuild's fresh
+//!   canonical arena under the (monotone) symbol/location renaming the
+//!   edit induced, never re-solved. The one module-wide coupling is the
 //!   ascending cap: its trip flag is OR-ed across components, and a
 //!   cached component whose post phase ran under a different flag is
 //!   re-solved.
@@ -75,7 +76,6 @@
 //! assert!(session.stats().parts_reused > 0);
 //! ```
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use sra_ir::callgraph::{CallGraph, Condensation};
@@ -83,7 +83,7 @@ use sra_ir::cfg::Cfg;
 use sra_ir::verify::{verify_function, verify_module, VerifyError};
 use sra_ir::{FuncId, Function, Module, ValueId};
 use sra_range::{RangeAnalysis, RangePart};
-use sra_symbolic::{Bound, SymRange, Symbol};
+use sra_symbolic::{ExprArena, ImportMap, Symbol, TryImportMap};
 
 use crate::driver::DriverConfig;
 use crate::gr::{self, GrAnalysis, GrConfig, GrSolver};
@@ -171,29 +171,6 @@ struct CompCache {
     final_trip: bool,
 }
 
-/// First location id of each function's site block (globals precede
-/// every function in [`LocTable`]'s deterministic scan order, and are
-/// not editable, so per-function block starts fully describe how an
-/// edit shifted location ids).
-fn loc_starts(t: &LocTable, nf: usize) -> Vec<u32> {
-    let mut counts = vec![0u32; nf];
-    let mut globals = 0u32;
-    for site in t.iter() {
-        match site.func {
-            Some(f) if f.index() < nf => counts[f.index()] += 1,
-            Some(_) => {}
-            None => globals += 1,
-        }
-    }
-    let mut starts = Vec::with_capacity(nf);
-    let mut acc = globals;
-    for c in counts {
-        starts.push(acc);
-        acc += c;
-    }
-    starts
-}
-
 /// A long-lived analysis handle over one module; see the module docs.
 /// Cloning is supported (and cheap relative to a rebuild — state
 /// vectors are shared) so servers can fork a session per speculative
@@ -240,7 +217,12 @@ impl AnalysisSession {
         // function as edited and fills all caches.
         let rbaa = RbaaAnalysis::from_pieces(
             RangeAnalysis::from_parts(Vec::new()),
-            GrAnalysis::from_raw(LocTable::default(), Vec::new(), 0),
+            GrAnalysis::from_raw(
+                LocTable::default(),
+                Vec::new(),
+                std::sync::Arc::new(ExprArena::new()),
+                0,
+            ),
             LrAnalysis::from_parts(Vec::new()),
         );
         let mut session = AnalysisSession {
@@ -569,54 +551,10 @@ impl AnalysisSession {
                 _ => None,
             }
         };
-        let remap_state = |s: &PtrState| -> Option<PtrState> {
-            match s {
-                PtrState::Top => Some(PtrState::Top),
-                PtrState::Map(map) => {
-                    let mut out = BTreeMap::new();
-                    for (l, r) in map {
-                        // Check mappability first (states of dirty but
-                        // unedited functions may mention re-minted
-                        // blocks), then remap infallibly.
-                        let ok = std::cell::Cell::new(true);
-                        let check = |b: &Bound| {
-                            if let Some(e) = b.as_expr() {
-                                e.for_each_symbol(|s| {
-                                    if map_symbol(s).is_none() {
-                                        ok.set(false);
-                                    }
-                                });
-                            }
-                        };
-                        if let SymRange::Interval { lo, hi } = r {
-                            check(lo);
-                            check(hi);
-                        }
-                        if !ok.get() {
-                            return None;
-                        }
-                        out.insert(
-                            map_loc(*l)?,
-                            r.map_symbols(&|s| map_symbol(s).expect("mappability checked")),
-                        );
-                    }
-                    Some(PtrState::Map(out))
-                }
-            }
-        };
-
-        // Per-function "nothing moved" test: a clean component whose
-        // members all kept their symbol block starts and location-id
-        // starts needs no remap at all — its state vectors are shared
-        // by reference (`Arc`) between the old and new analysis.
-        let new_loc_starts = loc_starts(&locs, nf);
-        let old_loc_starts = loc_starts(old_locs, old_range_spans.len());
-        let unshifted = |i: usize| -> bool {
-            let old = old_fid_of(i);
-            old < old_range_spans.len()
-                && old_range_spans[old].0 == new_range_spans[i].0
-                && old_loc_starts[old] == new_loc_starts[i]
-        };
+        // The old GR canonical arena stays alive through the rebuild:
+        // clean components' cached states are *imported* out of it into
+        // the fresh canonical arena under `map_symbol`/`map_loc`.
+        let old_gr_arena = self.rbaa.gr().arena_arc();
 
         // -- 3. GR: re-solve dirty components, carry over the rest. ---
         let callers = gr::build_callers(m);
@@ -670,24 +608,19 @@ impl AnalysisSession {
         }
 
         // Phase 2: finish every component under the shared trip flag.
-        // `CLEAN` functions carry their old fixpoint over; everything
-        // else is read back from the solver.
+        // `CLEAN` functions carry their old fixpoint over (imported
+        // into the fresh canonical arena below); everything else is
+        // read back from the solver.
         const DIRTY: u8 = 0;
-        const CLEAN_SHARED: u8 = 1;
-        const CLEAN_REMAP: u8 = 2;
+        const CLEAN: u8 = 1;
         let mut disposition: Vec<u8> = vec![DIRTY; nf];
         let mut new_caches: Vec<CompCache> = Vec::with_capacity(new_components.len());
         for (k, members) in new_components.iter().enumerate() {
             let (sweeps, tripped) = ascent[k];
             match matched[k].take() {
                 Some(cache) if cache.final_trip == trip => {
-                    // A member's states may mention any *other* member's
-                    // symbols and location ids (interprocedural joins),
-                    // so the zero-copy path needs the whole component
-                    // unshifted.
-                    let shared = members.iter().all(|f| unshifted(f.index()));
                     for &f in members {
-                        disposition[f.index()] = if shared { CLEAN_SHARED } else { CLEAN_REMAP };
+                        disposition[f.index()] = CLEAN;
                     }
                     self.stats.gr_components_reused += 1;
                     new_caches.push(cache);
@@ -719,38 +652,77 @@ impl AnalysisSession {
         }
         self.components = new_caches;
 
-        // Assemble the per-function state vectors: dirty ones move out
-        // of the solver, clean ones share (or remap) the old analysis'.
+        // Assemble the per-function state vectors into one fresh
+        // canonical arena, in function order — the exact import a
+        // scratch analysis performs, so the assembled ids match scratch
+        // id-for-id. Dirty functions import out of the solver arena
+        // (identity renaming); clean ones import their cached states
+        // out of the *old* canonical arena under the edit's monotone
+        // symbol/location renaming — the arena-level replacement for
+        // the value-level state rebase.
+        let solver_states = std::mem::take(&mut solver.states);
+        let solver_arena = std::mem::take(&mut solver.arena);
+        drop(solver);
+        let mut gr_arena = ExprArena::new();
+        let mut dirty_map = ImportMap::default();
+        let mut clean_map = TryImportMap::default();
+        let rename_clean = |s: Symbol| map_symbol(s);
+        let mut solver_states = solver_states.into_iter().map(Some).collect::<Vec<_>>();
         let mut gr_states: Vec<std::sync::Arc<Vec<PtrState>>> = Vec::with_capacity(nf);
         for (i, &dispo) in disposition.iter().enumerate() {
-            match dispo {
-                CLEAN_SHARED => {
-                    let old = self.rbaa.gr().function_states(FuncId::new(old_fid_of(i)));
-                    gr_states.push(std::sync::Arc::clone(old));
-                }
-                CLEAN_REMAP => {
-                    let old = self.rbaa.gr().function_states(FuncId::new(old_fid_of(i)));
-                    gr_states.push(std::sync::Arc::new(
-                        old.iter()
-                            .map(|s| {
-                                remap_state(s).expect("clean components only mention their own ids")
-                            })
-                            .collect(),
-                    ));
-                }
-                _ => gr_states.push(std::sync::Arc::new(std::mem::take(&mut solver.states[i]))),
+            if dispo == CLEAN {
+                let old = self.rbaa.gr().function_states(FuncId::new(old_fid_of(i)));
+                gr_states.push(std::sync::Arc::new(
+                    old.iter()
+                        .map(|s| match s {
+                            PtrState::Top => PtrState::Top,
+                            PtrState::Map(m) => PtrState::Map(
+                                m.iter()
+                                    .map(|(l, &r)| {
+                                        let loc = map_loc(*l)
+                                            .expect("clean components only mention their own ids");
+                                        let r = gr_arena
+                                            .try_import_range(
+                                                &old_gr_arena,
+                                                r,
+                                                &rename_clean,
+                                                &mut clean_map,
+                                            )
+                                            .expect("clean components only mention their own ids");
+                                        (loc, r)
+                                    })
+                                    .collect(),
+                            ),
+                        })
+                        .collect(),
+                ));
+            } else {
+                let states = solver_states[i].take().expect("dirty slot solved once");
+                gr_states.push(std::sync::Arc::new(
+                    states
+                        .iter()
+                        .map(|s| {
+                            gr::import_ptr_state(
+                                &mut gr_arena,
+                                &solver_arena,
+                                s,
+                                &|s| s,
+                                &mut dirty_map,
+                            )
+                        })
+                        .collect(),
+                ));
             }
         }
-        drop(solver);
 
         // -- 4. Matrix invalidation: a clean-component function keeps --
         // its matrix outright (verdicts are invariant under the
         // monotone renamings); a dirty-component one keeps it iff its
         // GR states came out unchanged up to the renaming. The
-        // comparison walks old and new states in lockstep
-        // (`eq_mapped`), materializing nothing; unmappable old symbols
-        // land on an out-of-range sentinel that can never compare
-        // equal.
+        // comparison walks old and new arena nodes in lockstep
+        // (`range_eq_mapped`), materializing nothing; unmappable old
+        // symbols land on an out-of-range sentinel that can never
+        // compare equal.
         let sentinel_symbol = Symbol::new(u32::MAX);
         let cmp_symbol = |s: Symbol| map_symbol(s).unwrap_or(sentinel_symbol);
         let state_eq = |old: &PtrState, new: &PtrState| -> bool {
@@ -759,7 +731,8 @@ impl AnalysisSession {
                 (PtrState::Map(a), PtrState::Map(b)) => {
                     a.len() == b.len()
                         && a.iter().zip(b).all(|((la, ra), (lb, rb))| {
-                            map_loc(*la) == Some(*lb) && ra.eq_mapped(rb, &cmp_symbol)
+                            map_loc(*la) == Some(*lb)
+                                && old_gr_arena.range_eq_mapped(*ra, &gr_arena, *rb, &cmp_symbol)
                         })
                 }
                 _ => false,
@@ -777,11 +750,12 @@ impl AnalysisSession {
             }
             let fid = FuncId::new(i);
             let old_fid = FuncId::new(old_fid_of(i));
-            let same = self
-                .module
-                .function(fid)
-                .value_ids()
-                .all(|v| state_eq(self.rbaa.gr().state(old_fid, v), &gr_states[i][v.index()]));
+            let same = self.module.function(fid).value_ids().all(|v| {
+                state_eq(
+                    self.rbaa.gr().raw_state(old_fid, v),
+                    &gr_states[i][v.index()],
+                )
+            });
             if same {
                 self.stats.matrices_reused += 1;
             } else {
@@ -790,7 +764,8 @@ impl AnalysisSession {
         }
 
         // -- 5. Assemble and rebuild the invalidated matrices. --------
-        let gr = GrAnalysis::from_raw(locs, gr_states, max_sweeps);
+        gr_arena.absorb_op_stats(&solver_arena);
+        let gr = GrAnalysis::from_raw(locs, gr_states, std::sync::Arc::new(gr_arena), max_sweeps);
         self.rbaa = RbaaAnalysis::from_pieces(ranges, gr, lr);
         let rbaa = &self.rbaa;
         let m = &self.module;

@@ -3,13 +3,16 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use sra_symbolic::{SymExpr, SymRange, SymbolNames};
+use sra_symbolic::{ExprArena, RangeId, SymbolNames};
 
 use crate::locs::LocId;
 
 /// The abstract state of one pointer: the paper's
 /// `GR(p) ∈ (SymbRanges ⊎ ⊥)ⁿ` (§3.4), stored sparsely over its
-/// *support* (the locations whose component is not ⊥).
+/// *support* (the locations whose component is not ⊥). Every offset
+/// range is an interned handle into the analysis' [`ExprArena`], so
+/// states are cheap to clone and `O(support)` to compare — the lattice
+/// operations take the arena explicitly.
 ///
 /// `Top` is the greatest element `([−∞,∞], …, [−∞,∞])` — the state of a
 /// pointer loaded from memory, which may address any location at any
@@ -19,12 +22,19 @@ use crate::locs::LocId;
 ///
 /// ```
 /// use sra_core::{LocId, PtrState};
-/// use sra_symbolic::SymRange;
+/// use sra_symbolic::{ExprArena, SymRange};
 ///
-/// let a = PtrState::singleton(LocId::new(0), SymRange::constant(0));
-/// let b = PtrState::singleton(LocId::new(0), SymRange::interval(4.into(), 7.into()));
-/// let j = a.join(&b);
-/// assert_eq!(j.get(LocId::new(0)), Some(&SymRange::interval(0.into(), 7.into())));
+/// let mut arena = ExprArena::new();
+/// let r0 = arena.intern_range(&SymRange::constant(0));
+/// let r47 = arena.intern_range(&SymRange::interval(4.into(), 7.into()));
+/// let a = PtrState::singleton(LocId::new(0), r0);
+/// let b = PtrState::singleton(LocId::new(0), r47);
+/// let j = a.join(&b, &mut arena);
+/// let joined = j.get(LocId::new(0)).unwrap();
+/// assert_eq!(
+///     arena.range_value(joined),
+///     SymRange::interval(0.into(), 7.into())
+/// );
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PtrState {
@@ -32,7 +42,7 @@ pub enum PtrState {
     Top,
     /// Sparse map from locations in the support to their offset range.
     /// An empty map is the least element ⊥ (points nowhere).
-    Map(BTreeMap<LocId, SymRange>),
+    Map(BTreeMap<LocId, RangeId>),
 }
 
 /// The default is ⊥ (so dense state tables can be built with
@@ -56,7 +66,7 @@ impl PtrState {
     }
 
     /// A single `loc + range` abstract address.
-    pub fn singleton(loc: LocId, range: SymRange) -> Self {
+    pub fn singleton(loc: LocId, range: RangeId) -> Self {
         let mut m = BTreeMap::new();
         m.insert(loc, range);
         PtrState::Map(m)
@@ -73,11 +83,13 @@ impl PtrState {
     }
 
     /// The component for `loc` (`None` = ⊥ at that location). `Top`
-    /// reports the full range for every location.
-    pub fn get(&self, loc: LocId) -> Option<&SymRange> {
+    /// reports the full range for every location
+    /// ([`ExprArena::TOP_RANGE`] is pre-interned with the same id in
+    /// every arena, so no arena access is needed here).
+    pub fn get(&self, loc: LocId) -> Option<RangeId> {
         match self {
-            PtrState::Top => Some(&FULL),
-            PtrState::Map(m) => m.get(&loc),
+            PtrState::Top => Some(ExprArena::TOP_RANGE),
+            PtrState::Map(m) => m.get(&loc).copied(),
         }
     }
 
@@ -85,7 +97,7 @@ impl PtrState {
     /// support is conceptually *all* locations; callers must branch on
     /// [`PtrState::is_top`] first (this method returns an empty iterator
     /// for `Top`).
-    pub fn support(&self) -> impl Iterator<Item = (LocId, &SymRange)> + '_ {
+    pub fn support(&self) -> impl Iterator<Item = (LocId, RangeId)> + '_ {
         match self {
             PtrState::Top => SupportIter::Top,
             PtrState::Map(m) => SupportIter::Map(m.iter()),
@@ -102,15 +114,21 @@ impl PtrState {
 
     /// The join `⊔` (per-location range join; ⊥ components adopt the
     /// other side).
-    pub fn join(&self, other: &PtrState) -> PtrState {
+    pub fn join(&self, other: &PtrState, arena: &mut ExprArena) -> PtrState {
         match (self, other) {
             (PtrState::Top, _) | (_, PtrState::Top) => PtrState::Top,
             (PtrState::Map(a), PtrState::Map(b)) => {
                 let mut out = a.clone();
                 for (loc, r) in b {
-                    out.entry(*loc)
-                        .and_modify(|cur| *cur = cur.join(r))
-                        .or_insert_with(|| r.clone());
+                    match out.entry(*loc) {
+                        std::collections::btree_map::Entry::Occupied(mut o) => {
+                            let j = arena.range_join(*o.get(), *r);
+                            *o.get_mut() = j;
+                        }
+                        std::collections::btree_map::Entry::Vacant(v) => {
+                            v.insert(*r);
+                        }
+                    }
                 }
                 PtrState::Map(out)
             }
@@ -118,33 +136,34 @@ impl PtrState {
     }
 
     /// The ordering `⊑`: every component included (provable fragment).
-    pub fn le(&self, other: &PtrState) -> bool {
+    pub fn le(&self, other: &PtrState, arena: &mut ExprArena) -> bool {
         match (self, other) {
             (_, PtrState::Top) => true,
             (PtrState::Top, PtrState::Map(_)) => false,
-            (PtrState::Map(a), PtrState::Map(b)) => a
-                .iter()
-                .all(|(loc, r)| b.get(loc).map(|rb| r.le(rb)).unwrap_or(false)),
+            (PtrState::Map(a), PtrState::Map(b)) => a.iter().all(|(loc, &r)| match b.get(loc) {
+                Some(&rb) => arena.range_le(r, rb),
+                None => false,
+            }),
         }
     }
 
     /// The paper's widening (Definition 4): per-location widening of
     /// ranges, with `⊥ ∇ R = R`.
-    pub fn widen(&self, next: &PtrState) -> PtrState {
+    pub fn widen(&self, next: &PtrState, arena: &mut ExprArena) -> PtrState {
         match (self, next) {
             (PtrState::Top, _) | (_, PtrState::Top) => PtrState::Top,
             (PtrState::Map(a), PtrState::Map(b)) => {
                 let mut out = BTreeMap::new();
-                for (loc, rb) in b {
+                for (loc, &rb) in b {
                     let widened = match a.get(loc) {
-                        Some(ra) => ra.widen(rb),
-                        None => rb.clone(),
+                        Some(&ra) => arena.range_widen(ra, rb),
+                        None => rb,
                     };
                     out.insert(*loc, widened);
                 }
                 // Locations only in `a` persist (the sequence grows).
-                for (loc, ra) in a {
-                    out.entry(*loc).or_insert_with(|| ra.clone());
+                for (loc, &ra) in a {
+                    out.entry(*loc).or_insert(ra);
                 }
                 PtrState::Map(out)
             }
@@ -153,11 +172,14 @@ impl PtrState {
 
     /// Shifts every component by a symbolic offset range: the transfer
     /// function of `q = p + c` with `R(c) = offset` (Figure 9).
-    pub fn add_offset(&self, offset: &SymRange) -> PtrState {
+    pub fn add_offset(&self, offset: RangeId, arena: &mut ExprArena) -> PtrState {
         match self {
             PtrState::Top => PtrState::Top,
             PtrState::Map(m) => {
-                let out = m.iter().map(|(loc, r)| (*loc, r.add(offset))).collect();
+                let out = m
+                    .iter()
+                    .map(|(loc, &r)| (*loc, arena.range_add(r, offset)))
+                    .collect();
                 PtrState::Map(out)
             }
         }
@@ -169,24 +191,27 @@ impl PtrState {
     pub fn clamp_with(
         &self,
         other: &PtrState,
-        f: impl Fn(&SymRange, &SymRange) -> SymRange,
+        arena: &mut ExprArena,
+        f: impl Fn(&mut ExprArena, RangeId, RangeId) -> RangeId,
     ) -> PtrState {
         match (self, other) {
             (_, PtrState::Top) => self.clone(), // [−∞,∞] clamps nothing
             (PtrState::Top, PtrState::Map(b)) => {
-                let out = b
-                    .iter()
-                    .map(|(loc, rb)| (*loc, f(&FULL, rb)))
-                    .filter(|(_, r)| !r.is_empty())
-                    .collect();
+                let mut out = BTreeMap::new();
+                for (loc, &rb) in b {
+                    let clamped = f(arena, ExprArena::TOP_RANGE, rb);
+                    if !arena.range_is_empty(clamped) {
+                        out.insert(*loc, clamped);
+                    }
+                }
                 PtrState::Map(out)
             }
             (PtrState::Map(a), PtrState::Map(b)) => {
                 let mut out = BTreeMap::new();
-                for (loc, ra) in a {
-                    if let Some(rb) = b.get(loc) {
-                        let clamped = f(ra, rb);
-                        if !clamped.is_empty() {
+                for (loc, &ra) in a {
+                    if let Some(&rb) = b.get(loc) {
+                        let clamped = f(arena, ra, rb);
+                        if !arena.range_is_empty(clamped) {
                             out.insert(*loc, clamped);
                         }
                     }
@@ -198,34 +223,141 @@ impl PtrState {
 
     /// Renders using `names` for symbols, in the paper's set notation:
     /// `{loc0 + [0, N-1], loc2 + [0, 0]}`.
-    pub fn display<'a>(&'a self, names: &'a dyn SymbolNames) -> impl fmt::Display + 'a {
-        DisplayState { state: self, names }
+    pub fn display<'a>(
+        &'a self,
+        arena: &'a ExprArena,
+        names: &'a dyn SymbolNames,
+    ) -> impl fmt::Display + 'a {
+        DisplayState {
+            state: self,
+            arena,
+            names,
+        }
     }
 }
 
-static FULL: SymRange = SymRange::Interval {
-    lo: sra_symbolic::Bound::NegInf,
-    hi: sra_symbolic::Bound::PosInf,
-};
+/// A pointer state bundled with the arena its range handles point
+/// into — what [`crate::GrAnalysis::state`] hands out, so call sites
+/// can display, inspect and compare states without tracking the arena
+/// separately. Equality is *structural* (a lockstep walk through both
+/// arenas), so states from two independently built analyses compare
+/// meaningfully — the property the byte-identity rails assert.
+#[derive(Clone, Copy)]
+pub struct PtrStateRef<'a> {
+    state: &'a PtrState,
+    arena: &'a ExprArena,
+}
+
+impl<'a> PtrStateRef<'a> {
+    /// Bundles a state with its arena.
+    pub fn new(state: &'a PtrState, arena: &'a ExprArena) -> Self {
+        PtrStateRef { state, arena }
+    }
+
+    /// The underlying state.
+    pub fn state(&self) -> &'a PtrState {
+        self.state
+    }
+
+    /// The arena the state's range handles point into.
+    pub fn arena(&self) -> &'a ExprArena {
+        self.arena
+    }
+
+    /// `true` for ⊥.
+    pub fn is_bottom(&self) -> bool {
+        self.state.is_bottom()
+    }
+
+    /// `true` for ⊤.
+    pub fn is_top(&self) -> bool {
+        self.state.is_top()
+    }
+
+    /// The component for `loc`; see [`PtrState::get`].
+    pub fn get(&self, loc: LocId) -> Option<RangeId> {
+        self.state.get(loc)
+    }
+
+    /// The support; see [`PtrState::support`].
+    pub fn support(&self) -> impl Iterator<Item = (LocId, RangeId)> + 'a {
+        self.state.support()
+    }
+
+    /// Number of locations in the support (0 for ⊥; `None` for ⊤).
+    pub fn support_len(&self) -> Option<usize> {
+        self.state.support_len()
+    }
+
+    /// Renders using `names` for symbols.
+    pub fn display(&self, names: &'a dyn SymbolNames) -> impl fmt::Display + 'a {
+        DisplayState {
+            state: self.state,
+            arena: self.arena,
+            names,
+        }
+    }
+}
+
+impl PartialEq for PtrStateRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.state, other.state) {
+            (PtrState::Top, PtrState::Top) => true,
+            (PtrState::Map(a), PtrState::Map(b)) => {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|((la, ra), (lb, rb))| {
+                        la == lb && self.arena.range_structural_eq(*ra, other.arena, *rb)
+                    })
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for PtrStateRef<'_> {}
+
+/// Debug renders through `Display` (states print as
+/// `{loc0 + [0, N-1]}`, which is what a failing equality assertion
+/// wants to show).
+impl fmt::Debug for PtrStateRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for PtrStateRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display(&NoNames))
+    }
+}
+
+struct NoNames;
+
+impl SymbolNames for NoNames {
+    fn symbol_name(&self, _s: sra_symbolic::Symbol) -> Option<&str> {
+        None
+    }
+}
 
 enum SupportIter<'a> {
     Top,
-    Map(std::collections::btree_map::Iter<'a, LocId, SymRange>),
+    Map(std::collections::btree_map::Iter<'a, LocId, RangeId>),
 }
 
-impl<'a> Iterator for SupportIter<'a> {
-    type Item = (LocId, &'a SymRange);
+impl Iterator for SupportIter<'_> {
+    type Item = (LocId, RangeId);
 
     fn next(&mut self) -> Option<Self::Item> {
         match self {
             SupportIter::Top => None,
-            SupportIter::Map(it) => it.next().map(|(l, r)| (*l, r)),
+            SupportIter::Map(it) => it.next().map(|(l, r)| (*l, *r)),
         }
     }
 }
 
 struct DisplayState<'a> {
     state: &'a PtrState,
+    arena: &'a ExprArena,
     names: &'a dyn SymbolNames,
 }
 
@@ -240,7 +372,7 @@ impl fmt::Display for DisplayState<'_> {
                     if i > 0 {
                         write!(f, ", ")?;
                     }
-                    write!(f, "{} + {}", loc, r.display(self.names))?;
+                    write!(f, "{} + {}", loc, self.arena.display_range(*r, self.names))?;
                 }
                 write!(f, "}}")
             }
@@ -248,30 +380,10 @@ impl fmt::Display for DisplayState<'_> {
     }
 }
 
-impl fmt::Display for PtrState {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        struct NoNames;
-        impl SymbolNames for NoNames {
-            fn symbol_name(&self, _s: sra_symbolic::Symbol) -> Option<&str> {
-                None
-            }
-        }
-        write!(f, "{}", self.display(&NoNames))
-    }
-}
-
-/// Convenience: build `{loc + [l, u]}` from expressions.
-impl PtrState {
-    /// Builds `{loc + [lo, hi]}`.
-    pub fn at(loc: LocId, lo: SymExpr, hi: SymExpr) -> Self {
-        PtrState::singleton(loc, SymRange::interval(lo, hi))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sra_symbolic::Symbol;
+    use sra_symbolic::{Bound, SymExpr, SymRange, Symbol};
 
     fn l(i: usize) -> LocId {
         LocId::new(i)
@@ -281,107 +393,164 @@ mod tests {
         SymExpr::from(Symbol::new(0))
     }
 
+    fn at(arena: &mut ExprArena, loc: LocId, lo: SymExpr, hi: SymExpr) -> PtrState {
+        let r = arena.intern_range(&SymRange::interval(lo, hi));
+        PtrState::singleton(loc, r)
+    }
+
+    fn rv(arena: &ExprArena, s: &PtrState, loc: LocId) -> Option<SymRange> {
+        s.get(loc).map(|r| arena.range_value(r))
+    }
+
     #[test]
     fn join_unions_supports() {
-        let a = PtrState::singleton(l(0), SymRange::constant(0));
-        let b = PtrState::singleton(l(1), SymRange::constant(5));
-        let j = a.join(&b);
+        let mut a = ExprArena::new();
+        let s0 = PtrState::singleton(l(0), a.intern_range(&SymRange::constant(0)));
+        let s1 = PtrState::singleton(l(1), a.intern_range(&SymRange::constant(5)));
+        let j = s0.join(&s1, &mut a);
         assert_eq!(j.support_len(), Some(2));
-        assert_eq!(j.get(l(0)), Some(&SymRange::constant(0)));
-        assert_eq!(j.get(l(1)), Some(&SymRange::constant(5)));
+        assert_eq!(rv(&a, &j, l(0)), Some(SymRange::constant(0)));
+        assert_eq!(rv(&a, &j, l(1)), Some(SymRange::constant(5)));
     }
 
     #[test]
     fn bottom_is_neutral_for_join() {
-        let a = PtrState::at(l(0), 0.into(), n());
-        assert_eq!(PtrState::bottom().join(&a), a);
-        assert_eq!(a.join(&PtrState::bottom()), a);
+        let mut arena = ExprArena::new();
+        let a = at(&mut arena, l(0), 0.into(), n());
+        assert_eq!(PtrState::bottom().join(&a, &mut arena), a);
+        assert_eq!(a.join(&PtrState::bottom(), &mut arena), a);
     }
 
     #[test]
     fn top_absorbs() {
-        let a = PtrState::at(l(0), 0.into(), n());
-        assert!(a.join(&PtrState::top()).is_top());
-        assert!(a.le(&PtrState::top()));
-        assert!(!PtrState::top().le(&a));
+        let mut arena = ExprArena::new();
+        let a = at(&mut arena, l(0), 0.into(), n());
+        assert!(a.join(&PtrState::top(), &mut arena).is_top());
+        assert!(a.le(&PtrState::top(), &mut arena));
+        assert!(!PtrState::top().le(&a, &mut arena));
     }
 
     #[test]
     fn ordering() {
-        let small = PtrState::at(l(0), 1.into(), 2.into());
-        let big = PtrState::at(l(0), 0.into(), 5.into());
-        assert!(small.le(&big));
-        assert!(!big.le(&small));
+        let mut arena = ExprArena::new();
+        let small = at(&mut arena, l(0), 1.into(), 2.into());
+        let big = at(&mut arena, l(0), 0.into(), 5.into());
+        assert!(small.le(&big, &mut arena));
+        assert!(!big.le(&small, &mut arena));
         // Extra locations break inclusion.
-        let two = small.join(&PtrState::at(l(1), 0.into(), 0.into()));
-        assert!(!two.le(&big));
-        assert!(small.le(&two));
-        assert!(PtrState::bottom().le(&small));
+        let extra = at(&mut arena, l(1), 0.into(), 0.into());
+        let two = small.join(&extra, &mut arena);
+        assert!(!two.le(&big, &mut arena));
+        assert!(small.le(&two, &mut arena));
+        assert!(PtrState::bottom().le(&small, &mut arena));
     }
 
     #[test]
     fn widen_per_location() {
-        let a = PtrState::at(l(0), 0.into(), 1.into());
-        let grown = PtrState::at(l(0), 0.into(), 2.into());
-        let w = a.widen(&grown);
-        let r = w.get(l(0)).unwrap();
-        assert_eq!(r.lo().unwrap(), &sra_symbolic::Bound::from(0));
-        assert_eq!(r.hi().unwrap(), &sra_symbolic::Bound::PosInf);
+        let mut arena = ExprArena::new();
+        let a = at(&mut arena, l(0), 0.into(), 1.into());
+        let grown = at(&mut arena, l(0), 0.into(), 2.into());
+        let w = a.widen(&grown, &mut arena);
+        let r = arena.range_value(w.get(l(0)).unwrap());
+        assert_eq!(r.lo().unwrap(), &Bound::from(0));
+        assert_eq!(r.hi().unwrap(), &Bound::PosInf);
         // New location appears as-is (⊥ ∇ R = R).
-        let with_new = grown.join(&PtrState::at(l(1), 0.into(), 0.into()));
-        let w = a.widen(&with_new);
-        assert_eq!(w.get(l(1)), Some(&SymRange::constant(0)));
+        let extra = at(&mut arena, l(1), 0.into(), 0.into());
+        let with_new = grown.join(&extra, &mut arena);
+        let w = a.widen(&with_new, &mut arena);
+        assert_eq!(rv(&arena, &w, l(1)), Some(SymRange::constant(0)));
     }
 
     #[test]
     fn add_offset_shifts_all() {
-        let s = PtrState::at(l(0), 0.into(), n()).join(&PtrState::at(l(1), 2.into(), 2.into()));
-        let shifted = s.add_offset(&SymRange::constant(3));
+        let mut arena = ExprArena::new();
+        let a = at(&mut arena, l(0), 0.into(), n());
+        let b = at(&mut arena, l(1), 2.into(), 2.into());
+        let s = a.join(&b, &mut arena);
+        let three = arena.intern_range(&SymRange::constant(3));
+        let shifted = s.add_offset(three, &mut arena);
         assert_eq!(
-            shifted.get(l(0)),
-            Some(&SymRange::interval(3.into(), n() + 3.into()))
+            rv(&arena, &shifted, l(0)),
+            Some(SymRange::interval(3.into(), n() + 3.into()))
         );
-        assert_eq!(shifted.get(l(1)), Some(&SymRange::constant(5)));
-        assert!(PtrState::top().add_offset(&SymRange::constant(1)).is_top());
+        assert_eq!(rv(&arena, &shifted, l(1)), Some(SymRange::constant(5)));
+        assert!(PtrState::top().add_offset(three, &mut arena).is_top());
     }
 
     #[test]
     fn clamp_with_meets_per_location() {
+        let mut arena = ExprArena::new();
         // p1 = {loc0+[0,+inf], loc1+[0,0]}; p2 = {loc0+[N,N]}
-        let p1 = PtrState::singleton(
-            l(0),
-            SymRange::with_bounds(sra_symbolic::Bound::from(0), sra_symbolic::Bound::PosInf),
-        )
-        .join(&PtrState::at(l(1), 0.into(), 0.into()));
-        let p2 = PtrState::at(l(0), n(), n());
+        let half = arena.intern_range(&SymRange::with_bounds(Bound::from(0), Bound::PosInf));
+        let p1a = PtrState::singleton(l(0), half);
+        let p1b = at(&mut arena, l(1), 0.into(), 0.into());
+        let p1 = p1a.join(&p1b, &mut arena);
+        let p2 = at(&mut arena, l(0), n(), n());
         // q = p1 ∩ [−∞, p2] — clamp above by p2's upper bound.
-        let q = p1.clamp_with(&p2, |ra, rb| match rb.hi() {
-            Some(hi) => ra.clamp_above(hi.clone()),
-            None => ra.clone(),
+        let q = p1.clamp_with(&p2, &mut arena, |arena, ra, rb| match arena.range_hi(rb) {
+            Some(hi) => arena.range_clamp_above(ra, hi),
+            None => ra,
         });
         // loc1 is ⊥ in p2 so it disappears; loc0 clamps to [0, N].
         assert_eq!(q.get(l(1)), None);
-        assert_eq!(q.get(l(0)), Some(&SymRange::interval(0.into(), n())));
+        assert_eq!(
+            rv(&arena, &q, l(0)),
+            Some(SymRange::interval(0.into(), n()))
+        );
     }
 
     #[test]
     fn clamp_from_top_narrows_support() {
-        let p2 = PtrState::at(l(3), 0.into(), n());
-        let q = PtrState::top().clamp_with(&p2, |ra, rb| match rb.hi() {
-            Some(hi) => ra.clamp_above(hi.clone()),
-            None => ra.clone(),
-        });
+        let mut arena = ExprArena::new();
+        let p2 = at(&mut arena, l(3), 0.into(), n());
+        let q =
+            PtrState::top().clamp_with(&p2, &mut arena, |arena, ra, rb| match arena.range_hi(rb) {
+                Some(hi) => arena.range_clamp_above(ra, hi),
+                None => ra,
+            });
         assert!(!q.is_top());
         assert_eq!(q.support_len(), Some(1));
-        let r = q.get(l(3)).unwrap();
-        assert_eq!(r.lo(), Some(&sra_symbolic::Bound::NegInf));
+        let r = arena.range_value(q.get(l(3)).unwrap());
+        assert_eq!(r.lo(), Some(&Bound::NegInf));
     }
 
     #[test]
     fn display_notation() {
-        let s = PtrState::at(l(0), 0.into(), 3.into());
-        assert_eq!(s.to_string(), "{loc0 + [0, 3]}");
-        assert_eq!(PtrState::bottom().to_string(), "bottom");
-        assert_eq!(PtrState::top().to_string(), "top");
+        let mut arena = ExprArena::new();
+        let s = at(&mut arena, l(0), 0.into(), 3.into());
+        assert_eq!(
+            format!("{}", s.display(&arena, &NoNames)),
+            "{loc0 + [0, 3]}"
+        );
+        assert_eq!(
+            format!("{}", PtrState::bottom().display(&arena, &NoNames)),
+            "bottom"
+        );
+        assert_eq!(
+            format!("{}", PtrState::top().display(&arena, &NoNames)),
+            "top"
+        );
+    }
+
+    /// `PtrStateRef` equality is structural across arenas: equal values
+    /// in different arenas compare equal, different values never do.
+    #[test]
+    fn state_ref_structural_equality() {
+        let mut a1 = ExprArena::new();
+        let mut a2 = ExprArena::new();
+        // Skew a2's id space so equal values get different raw ids.
+        let _ = a2.intern(&(n() * 9.into() - 4.into()));
+        let s1 = at(&mut a1, l(0), 0.into(), n());
+        let s2 = at(&mut a2, l(0), 0.into(), n());
+        let s3 = at(&mut a2, l(0), 1.into(), n());
+        assert_eq!(PtrStateRef::new(&s1, &a1), PtrStateRef::new(&s2, &a2));
+        assert_ne!(PtrStateRef::new(&s1, &a1), PtrStateRef::new(&s3, &a2));
+        let top = PtrState::top();
+        assert_eq!(PtrStateRef::new(&top, &a1), PtrStateRef::new(&top, &a2));
+        assert_ne!(PtrStateRef::new(&top, &a1), PtrStateRef::new(&s2, &a2));
+        assert_eq!(
+            format!("{:?}", PtrStateRef::new(&s1, &a1)),
+            "{loc0 + [0, s0]}"
+        );
     }
 }

@@ -1,10 +1,20 @@
 //! The fixpoint solver for integer symbolic ranges.
+//!
+//! The solver operates entirely on interned handles
+//! ([`RangeId`]/[`ExprId`]) in a per-part [`ExprArena`]: cloning a
+//! state is a `Copy`, equality (the fixpoint's change detection) is an
+//! integer compare, and every join/widen/meet/arithmetic step is
+//! memoised. [`RangeAnalysis::from_parts`] then *imports* each part's
+//! final ranges into one module arena — a structure-driven translation,
+//! so the module arena (and therefore every module-level id) depends
+//! only on the analyzed ranges, never on which thread produced which
+//! part or what intermediate junk a part arena accumulated.
 
 use std::sync::Arc;
 
 use sra_ir::cfg::Cfg;
 use sra_ir::{BinOp, Callee, CmpOp, FuncId, Function, Inst, Module, Ty, ValueId, ValueKind};
-use sra_symbolic::{Bound, SymExpr, SymRange, Symbol, SymbolTable};
+use sra_symbolic::{BoundId, ExprArena, ImportMap, RangeId, Symbol, SymbolTable};
 
 /// Tuning knobs for [`RangeAnalysis`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,50 +42,44 @@ impl Default for RangeConfig {
     }
 }
 
-/// Ranges for the integer values of one function.
+/// Ranges for the integer values of one function, as handles into the
+/// owning [`RangeAnalysis`]'s module arena.
 #[derive(Debug, Clone)]
 pub struct FunctionRanges {
-    ranges: Vec<SymRange>,
+    ranges: Vec<RangeId>,
 }
 
 impl FunctionRanges {
     /// The range of `v`; values that are not integers (or unreachable)
-    /// report `⊤`.
-    pub fn range(&self, v: ValueId) -> &SymRange {
-        &self.ranges[v.index()]
+    /// report `∅`.
+    pub fn range(&self, v: ValueId) -> RangeId {
+        self.ranges[v.index()]
     }
 
     /// Iterates over the ranges of all values.
-    pub fn all_ranges(&self) -> impl Iterator<Item = &SymRange> {
-        self.ranges.iter()
-    }
-
-    /// Rewrites every kernel symbol of every range through `map` (see
-    /// [`sra_symbolic::SymExpr::map_symbols`] for the monotonicity
-    /// contract). Used by incremental sessions to rebase cached parts
-    /// onto shifted symbol-id blocks.
-    pub fn map_symbols(&mut self, map: &impl Fn(Symbol) -> Symbol) {
-        for r in &mut self.ranges {
-            *r = r.map_symbols(map);
-        }
+    pub fn all_ranges(&self) -> impl Iterator<Item = RangeId> + '_ {
+        self.ranges.iter().copied()
     }
 }
 
-/// The per-function output of the bootstrap analysis: the ranges plus
-/// the kernel-symbol names the function minted, in minting order.
+/// The per-function output of the bootstrap analysis: the final ranges
+/// in the part's own arena, plus the kernel-symbol names the function
+/// minted, in minting order.
 ///
 /// Parts exist so that a batch driver can analyze functions on worker
 /// threads: symbol identities are fixed *before* the analysis runs (a
 /// function's first symbol id is the sum of the [`symbol_budget`]s of
-/// the functions before it), so the assembled result is byte-identical
+/// the functions before it), and each part owns its arena, so workers
+/// never share an allocator and the assembled result is byte-identical
 /// to the serial one no matter how the work was scheduled.
 #[derive(Debug, Clone)]
 pub struct RangePart {
-    /// Ranges of the function's values, behind an [`Arc`] so an
-    /// incremental session's cached part and the assembled
-    /// [`RangeAnalysis`] share one copy (cloning a part is a reference
-    /// bump until someone rebases it).
-    pub ranges: Arc<FunctionRanges>,
+    /// The part's private arena (shared by reference with an
+    /// incremental session's cache — cloning a part is a refcount
+    /// bump).
+    pub arena: Arc<ExprArena>,
+    /// Ranges of the function's values, as ids into [`RangePart::arena`].
+    pub ranges: Arc<Vec<RangeId>>,
     /// The `first_symbol` this part was analyzed with.
     pub first_symbol: u32,
     /// Names of the symbols minted, starting at `first_symbol`.
@@ -84,36 +88,46 @@ pub struct RangePart {
 
 impl RangePart {
     /// Rebases the part onto a new `first_symbol`, remapping every
-    /// symbol it minted by the same delta. Because a function's ranges
-    /// mention only its own symbol block and the shift is monotone, the
-    /// result is byte-identical to re-running
-    /// [`analyze_function_part`] with `new_first` — which is what lets
-    /// an incremental session reuse the cached part of an unedited
-    /// function whose block merely moved when an *earlier* function's
-    /// symbol budget changed.
+    /// symbol it minted by the same delta — an arena-to-arena *import*
+    /// under a monotone renaming, which commutes with the analysis, so
+    /// the result is exactly the part [`analyze_function_part`] would
+    /// have produced at `new_first` (down to the module arena the parts
+    /// later assemble into). This is what lets an incremental session
+    /// reuse the cached part of an unedited function whose symbol-id
+    /// block merely moved when an *earlier* function's budget changed.
     pub fn rebase(&mut self, new_first: u32) {
         if new_first == self.first_symbol {
             return;
         }
         let old = self.first_symbol;
         let budget = self.symbol_names.len() as u32;
-        Arc::make_mut(&mut self.ranges).map_symbols(&|s: Symbol| {
+        let rename = |s: Symbol| {
             debug_assert!(
                 s.index() >= old && (s.index() - old) < budget,
                 "range parts only mention their own symbol block"
             );
             Symbol::new(s.index() - old + new_first)
-        });
+        };
+        let mut dst = ExprArena::new();
+        let mut map = ImportMap::default();
+        let ranges = self
+            .ranges
+            .iter()
+            .map(|&r| dst.import_range(&self.arena, r, &rename, &mut map))
+            .collect();
+        self.arena = Arc::new(dst);
+        self.ranges = Arc::new(ranges);
         self.first_symbol = new_first;
     }
 }
 
 /// Whole-module symbolic ranges of integer variables: the paper's
-/// `R : V → S²`.
+/// `R : V → S²`, with every range interned in one module arena.
 #[derive(Debug, Clone)]
 pub struct RangeAnalysis {
-    per_func: Vec<Arc<FunctionRanges>>,
+    per_func: Vec<FunctionRanges>,
     symbols: SymbolTable,
+    arena: Arc<ExprArena>,
 }
 
 impl RangeAnalysis {
@@ -135,16 +149,23 @@ impl RangeAnalysis {
     }
 
     /// Reassembles a whole-module result from per-function parts, in
-    /// function order. Each part must have been produced with
-    /// `first_symbol` equal to the total symbol count of the parts
-    /// before it (as [`RangeAnalysis::analyze_with`] and the batch
-    /// driver do).
+    /// function order, importing every part arena into one module
+    /// arena. Each part must have been produced with `first_symbol`
+    /// equal to the total symbol count of the parts before it (as
+    /// [`RangeAnalysis::analyze_with`] and the batch driver do).
+    ///
+    /// The import walks the final range *structures* in function/value
+    /// order, so the module arena — and every [`RangeId`] this analysis
+    /// hands out — is a pure function of the analyzed ranges:
+    /// separately assembled but byte-identical analyses (serial vs
+    /// batched, scratch vs incremental session) agree id-for-id.
     ///
     /// # Panics
     ///
     /// Panics when the parts' symbol bases do not line up.
     pub fn from_parts(parts: Vec<RangePart>) -> Self {
         let mut symbols = SymbolTable::new();
+        let mut arena = ExprArena::new();
         let mut per_func = Vec::with_capacity(parts.len());
         for part in parts {
             assert_eq!(
@@ -155,9 +176,20 @@ impl RangeAnalysis {
             for name in &part.symbol_names {
                 symbols.fresh(name);
             }
-            per_func.push(part.ranges);
+            let mut map = ImportMap::default();
+            let ranges = part
+                .ranges
+                .iter()
+                .map(|&r| arena.import_range(&part.arena, r, &|s| s, &mut map))
+                .collect();
+            arena.absorb_op_stats(&part.arena);
+            per_func.push(FunctionRanges { ranges });
         }
-        RangeAnalysis { per_func, symbols }
+        RangeAnalysis {
+            per_func,
+            symbols,
+            arena: Arc::new(arena),
+        }
     }
 
     /// Ranges of one function.
@@ -166,13 +198,29 @@ impl RangeAnalysis {
     }
 
     /// Shorthand: the range of value `v` in function `f`.
-    pub fn range(&self, f: FuncId, v: ValueId) -> &SymRange {
+    pub fn range(&self, f: FuncId, v: ValueId) -> RangeId {
         self.per_func[f.index()].range(v)
+    }
+
+    /// The module arena every [`RangeId`] of this analysis points into.
+    pub fn arena(&self) -> &ExprArena {
+        &self.arena
+    }
+
+    /// The module arena behind its shared handle (overlay bases for
+    /// parallel consumers).
+    pub fn arena_arc(&self) -> Arc<ExprArena> {
+        Arc::clone(&self.arena)
     }
 
     /// The symbol table naming the symbolic kernel (for display).
     pub fn symbols(&self) -> &SymbolTable {
         &self.symbols
+    }
+
+    /// Renders the range of `(f, v)` using this analysis' symbol names.
+    pub fn display_range(&self, f: FuncId, v: ValueId) -> String {
+        self.arena.display_range(self.range(f, v), &self.symbols)
     }
 }
 
@@ -196,7 +244,8 @@ pub fn symbol_budget(f: &Function, config: RangeConfig) -> usize {
 }
 
 /// Analyzes one function, minting kernel symbols `first_symbol,
-/// first_symbol + 1, …` (exactly [`symbol_budget`] of them). Pure and
+/// first_symbol + 1, …` (exactly [`symbol_budget`] of them) and
+/// interning every range into a fresh part arena. Pure and
 /// thread-safe: the batch driver runs one call per worker.
 pub fn analyze_function_part(f: &Function, config: RangeConfig, first_symbol: u32) -> RangePart {
     let mut minter = Minter {
@@ -207,8 +256,8 @@ pub fn analyze_function_part(f: &Function, config: RangeConfig, first_symbol: u3
         f,
         cfg: Cfg::new(f),
         config,
-        ranges: vec![SymRange::empty(); f.num_values()],
-        value_symbols: vec![None; f.num_values()],
+        arena: ExprArena::new(),
+        ranges: vec![ExprArena::EMPTY_RANGE; f.num_values()],
     };
     solver.seed(&mut minter);
     solver.run();
@@ -218,9 +267,8 @@ pub fn analyze_function_part(f: &Function, config: RangeConfig, first_symbol: u3
         "symbol_budget must match what seeding mints"
     );
     RangePart {
-        ranges: Arc::new(FunctionRanges {
-            ranges: solver.ranges,
-        }),
+        arena: Arc::new(solver.arena),
+        ranges: Arc::new(solver.ranges),
         first_symbol,
         symbol_names: minter.names,
     }
@@ -244,12 +292,16 @@ struct Solver<'a> {
     f: &'a Function,
     cfg: Cfg,
     config: RangeConfig,
-    ranges: Vec<SymRange>,
-    /// Lazily minted kernel symbols, one per symbol-producing value.
-    value_symbols: Vec<Option<Symbol>>,
+    arena: ExprArena,
+    ranges: Vec<RangeId>,
 }
 
 impl Solver<'_> {
+    fn singleton_symbol(&mut self, s: Symbol) -> RangeId {
+        let e = self.arena.symbol(s);
+        self.arena.range_singleton(e)
+    }
+
     /// Assigns initial states: constants, parameters and other kernel
     /// sources get their exact (symbolic) singletons; everything else
     /// starts at `∅` and grows.
@@ -261,7 +313,7 @@ impl Solver<'_> {
             }
             match data.kind() {
                 ValueKind::Const(c) => {
-                    self.ranges[v.index()] = SymRange::constant(*c);
+                    self.ranges[v.index()] = self.arena.range_constant(*c);
                 }
                 ValueKind::Param { index } => {
                     let name = match data.name() {
@@ -269,8 +321,7 @@ impl Solver<'_> {
                         None => format!("{}.arg{}", self.f.name(), index),
                     };
                     let s = symbols.fresh(&name);
-                    self.value_symbols[v.index()] = Some(s);
-                    self.ranges[v.index()] = SymRange::singleton(SymExpr::from(s));
+                    self.ranges[v.index()] = self.singleton_symbol(s);
                 }
                 ValueKind::Inst(Inst::Call { callee, .. }) => {
                     // A call result is a kernel symbol: external library
@@ -282,20 +333,20 @@ impl Solver<'_> {
                         Callee::Internal(_) => format!("{}.call{}", self.f.name(), v.index()),
                     };
                     let s = symbols.fresh(&name);
-                    self.value_symbols[v.index()] = Some(s);
-                    self.ranges[v.index()] = SymRange::singleton(SymExpr::from(s));
+                    self.ranges[v.index()] = self.singleton_symbol(s);
                 }
                 ValueKind::Inst(Inst::Load { .. }) => {
                     if self.config.loads_as_symbols {
                         let s = symbols.fresh(&format!("{}.load{}", self.f.name(), v.index()));
-                        self.value_symbols[v.index()] = Some(s);
-                        self.ranges[v.index()] = SymRange::singleton(SymExpr::from(s));
+                        self.ranges[v.index()] = self.singleton_symbol(s);
                     } else {
-                        self.ranges[v.index()] = SymRange::top();
+                        self.ranges[v.index()] = ExprArena::TOP_RANGE;
                     }
                 }
                 ValueKind::Inst(Inst::Cmp { .. }) => {
-                    self.ranges[v.index()] = SymRange::interval(0.into(), 1.into());
+                    let zero = self.arena.constant(0);
+                    let one = self.arena.constant(1);
+                    self.ranges[v.index()] = self.arena.range_interval(zero, one);
                 }
                 _ => {}
             }
@@ -328,7 +379,8 @@ impl Solver<'_> {
     }
 
     /// One pass over every instruction in reverse post-order. Returns
-    /// whether any range changed.
+    /// whether any range changed (an id compare — interning makes the
+    /// fixpoint's change detection `O(1)`).
     ///
     /// `widen`: apply `∇` at φ-functions. `descend`: recompute φs as the
     /// plain join of their arguments (narrowing by re-evaluation).
@@ -346,31 +398,32 @@ impl Solver<'_> {
                 }
                 let new = match inst {
                     Inst::Phi { args, .. } => {
-                        let mut acc = SymRange::empty();
+                        let mut acc = ExprArena::EMPTY_RANGE;
                         for (_, a) in args {
-                            acc = acc.join(&self.ranges[a.index()]);
+                            acc = self.arena.range_join(acc, self.ranges[a.index()]);
                         }
-                        let old = &self.ranges[v.index()];
+                        let old = self.ranges[v.index()];
                         if descend {
                             // Narrowing by re-evaluation: keep the meet
                             // with the widened state so we never go
                             // below a sound post-fixpoint.
                             acc
                         } else if widen {
-                            old.widen(&old.join(&acc))
+                            let joined = self.arena.range_join(old, acc);
+                            self.arena.range_widen(old, joined)
                         } else {
-                            old.join(&acc)
+                            self.arena.range_join(old, acc)
                         }
                     }
                     Inst::IntBin { op, lhs, rhs } => {
-                        let l = &self.ranges[lhs.index()];
-                        let r = &self.ranges[rhs.index()];
+                        let l = self.ranges[lhs.index()];
+                        let r = self.ranges[rhs.index()];
                         match op {
-                            BinOp::Add => l.add(r),
-                            BinOp::Sub => l.sub(r),
-                            BinOp::Mul => l.mul(r),
-                            BinOp::Div => l.div(r),
-                            BinOp::Rem => l.rem(r),
+                            BinOp::Add => self.arena.range_add(l, r),
+                            BinOp::Sub => self.arena.range_sub(l, r),
+                            BinOp::Mul => self.arena.range_mul(l, r),
+                            BinOp::Div => self.arena.range_div(l, r),
+                            BinOp::Rem => self.arena.range_rem(l, r),
                         }
                     }
                     Inst::Sigma { input, op, other } => {
@@ -378,7 +431,7 @@ impl Solver<'_> {
                         if self.f.value(*input).ty() != Some(Ty::Int) {
                             continue;
                         }
-                        let base = self.ranges[input.index()].clone();
+                        let base = self.ranges[input.index()];
                         self.apply_sigma(base, *op, *other)
                     }
                     // Seeded kinds (consts, params, calls, loads, cmps)
@@ -395,27 +448,34 @@ impl Solver<'_> {
     }
 
     /// Refines `base` knowing `input ⟨op⟩ other` holds.
-    fn apply_sigma(&self, base: SymRange, op: CmpOp, other: ValueId) -> SymRange {
-        let other_r = &self.ranges[other.index()];
-        let one = SymExpr::from(1);
+    fn apply_sigma(&mut self, base: RangeId, op: CmpOp, other: ValueId) -> RangeId {
+        let other_r = self.ranges[other.index()];
         match op {
-            CmpOp::Lt => match other_r.hi() {
-                Some(Bound::Fin(u)) => base.clamp_above(Bound::Fin(u.clone() - one)),
+            CmpOp::Lt => match self.arena.range_hi(other_r) {
+                Some(BoundId::Fin(u)) => {
+                    let one = self.arena.constant(1);
+                    let um1 = self.arena.sub(u, one);
+                    self.arena.range_clamp_above(base, BoundId::Fin(um1))
+                }
                 _ => base,
             },
-            CmpOp::Le => match other_r.hi() {
-                Some(hi) => base.clamp_above(hi.clone()),
+            CmpOp::Le => match self.arena.range_hi(other_r) {
+                Some(hi) => self.arena.range_clamp_above(base, hi),
                 None => base,
             },
-            CmpOp::Gt => match other_r.lo() {
-                Some(Bound::Fin(l)) => base.clamp_below(Bound::Fin(l.clone() + one)),
+            CmpOp::Gt => match self.arena.range_lo(other_r) {
+                Some(BoundId::Fin(l)) => {
+                    let one = self.arena.constant(1);
+                    let lp1 = self.arena.add(l, one);
+                    self.arena.range_clamp_below(base, BoundId::Fin(lp1))
+                }
                 _ => base,
             },
-            CmpOp::Ge => match other_r.lo() {
-                Some(lo) => base.clamp_below(lo.clone()),
+            CmpOp::Ge => match self.arena.range_lo(other_r) {
+                Some(lo) => self.arena.range_clamp_below(base, lo),
                 None => base,
             },
-            CmpOp::Eq => base.meet(other_r),
+            CmpOp::Eq => self.arena.range_meet(base, other_r),
             CmpOp::Ne => base,
         }
     }
@@ -424,7 +484,7 @@ impl Solver<'_> {
         for v in self.f.value_ids() {
             if let Some(Inst::Phi { .. }) = self.f.value(v).as_inst() {
                 if self.f.value(v).ty() == Some(Ty::Int) {
-                    self.ranges[v.index()] = SymRange::top();
+                    self.ranges[v.index()] = ExprArena::TOP_RANGE;
                 }
             }
         }
@@ -435,6 +495,7 @@ impl Solver<'_> {
 mod tests {
     use super::*;
     use sra_ir::FunctionBuilder;
+    use sra_symbolic::SymRange;
 
     /// Builds `for (i = start; i < n; i += step) body` and returns
     /// (module, fid, phi, sigma-in-body).
@@ -466,8 +527,8 @@ mod tests {
         (m, fid, i)
     }
 
-    fn show(r: &SymRange, ra: &RangeAnalysis) -> String {
-        format!("{}", r.display(ra.symbols()))
+    fn show(ra: &RangeAnalysis, fid: FuncId, v: ValueId) -> String {
+        ra.display_range(fid, v)
     }
 
     #[test]
@@ -476,7 +537,7 @@ mod tests {
         let ra = RangeAnalysis::analyze(&m);
         // After widening + descending: i ∈ [0, n] at the φ (it can reach
         // n before exiting), and the σ in the body is [0, n-1].
-        let phi_range = show(ra.range(fid, phi), &ra);
+        let phi_range = show(&ra, fid, phi);
         assert_eq!(phi_range, "[0, max(0, n)]", "φ range");
         let f = m.function(fid);
         let sigma_range = f
@@ -486,7 +547,7 @@ mod tests {
                     input,
                     op: CmpOp::Lt,
                     ..
-                }) if *input == phi => Some(show(ra.range(fid, v), &ra)),
+                }) if *input == phi => Some(show(&ra, fid, v)),
                 _ => None,
             })
             .expect("σ for i < n exists");
@@ -498,7 +559,7 @@ mod tests {
         let (m, fid, phi) = counted_loop(0, 2);
         let ra = RangeAnalysis::analyze(&m);
         // i grows by 2: it can overshoot the bound by 1.
-        assert_eq!(show(ra.range(fid, phi), &ra), "[0, max(0, n + 1)]");
+        assert_eq!(show(&ra, fid, phi), "[0, max(0, n + 1)]");
     }
 
     #[test]
@@ -515,8 +576,8 @@ mod tests {
         let mut m = Module::new();
         let fid = m.add_function(f);
         let ra = RangeAnalysis::analyze(&m);
-        assert_eq!(show(ra.range(fid, twice), &ra), "[2*n, 2*n]");
-        assert_eq!(show(ra.range(fid, shifted), &ra), "[2*n + 5, 2*n + 5]");
+        assert_eq!(show(&ra, fid, twice), "[2*n, 2*n]");
+        assert_eq!(show(&ra, fid, shifted), "[2*n + 5, 2*n + 5]");
     }
 
     #[test]
@@ -530,7 +591,10 @@ mod tests {
         let mut m = Module::new();
         let fid = m.add_function(f);
         let ra = RangeAnalysis::analyze(&m);
-        assert_eq!(format!("{}", ra.range(fid, c)), "[0, 1]");
+        assert_eq!(
+            ra.arena().range_value(ra.range(fid, c)),
+            SymRange::interval(0.into(), 1.into())
+        );
     }
 
     #[test]
@@ -544,11 +608,8 @@ mod tests {
         let mut m = Module::new();
         let fid = m.add_function(f);
         let ra = RangeAnalysis::analyze(&m);
-        assert_eq!(show(ra.range(fid, len), &ra), "[strlen(), strlen()]");
-        assert_eq!(
-            show(ra.range(fid, more), &ra),
-            "[strlen() + 1, strlen() + 1]"
-        );
+        assert_eq!(show(&ra, fid, len), "[strlen(), strlen()]");
+        assert_eq!(show(&ra, fid, more), "[strlen() + 1, strlen() + 1]");
     }
 
     #[test]
@@ -561,7 +622,7 @@ mod tests {
         let mut m = Module::new();
         let fid = m.add_function(f);
         let ra = RangeAnalysis::analyze(&m);
-        assert!(ra.range(fid, x).is_top());
+        assert!(ra.arena().range_is_top(ra.range(fid, x)));
         let ra = RangeAnalysis::analyze_with(
             &m,
             RangeConfig {
@@ -569,7 +630,7 @@ mod tests {
                 ..RangeConfig::default()
             },
         );
-        assert!(!ra.range(fid, x).is_top());
+        assert!(!ra.arena().range_is_top(ra.range(fid, x)));
     }
 
     #[test]
@@ -600,11 +661,11 @@ mod tests {
                 if *input == x {
                     match op {
                         CmpOp::Ge => {
-                            assert_eq!(show(ra.range(fid, v), &ra), "[max(0, x), x]");
+                            assert_eq!(show(&ra, fid, v), "[max(0, x), x]");
                             found_neg = true;
                         }
                         CmpOp::Lt => {
-                            assert_eq!(show(ra.range(fid, v), &ra), "[x, min(-1, x)]");
+                            assert_eq!(show(&ra, fid, v), "[x, min(-1, x)]");
                             found_pos = true;
                         }
                         _ => {}
@@ -661,7 +722,34 @@ mod tests {
         let mut m = Module::new();
         let fid = m.add_function(f);
         let ra = RangeAnalysis::analyze(&m);
-        assert_eq!(show(ra.range(fid, i), &ra), "[0, max(0, n)]");
-        assert_eq!(show(ra.range(fid, j), &ra), "[0, max(0, m)]");
+        assert_eq!(show(&ra, fid, i), "[0, max(0, n)]");
+        assert_eq!(show(&ra, fid, j), "[0, max(0, m)]");
+    }
+
+    /// Rebasing a part is byte-identical to re-analyzing at the new
+    /// base: the arena import commutes with the analysis.
+    #[test]
+    fn rebase_equals_reanalysis() {
+        let (m, fid, _) = counted_loop(0, 1);
+        let f = m.function(fid);
+        let mut part = analyze_function_part(f, RangeConfig::default(), 0);
+        part.rebase(7);
+        let fresh = analyze_function_part(f, RangeConfig::default(), 7);
+        assert_eq!(part.first_symbol, fresh.first_symbol);
+        assert_eq!(part.symbol_names, fresh.symbol_names);
+        for (a, b) in part.ranges.iter().zip(fresh.ranges.iter()) {
+            assert_eq!(part.arena.range_value(*a), fresh.arena.range_value(*b));
+        }
+        // And assembling either into a module arena gives identical ids.
+        let via_rebase = RangeAnalysis::from_parts(vec![{
+            let mut p = analyze_function_part(f, RangeConfig::default(), 3);
+            p.rebase(0);
+            p
+        }]);
+        let via_fresh =
+            RangeAnalysis::from_parts(vec![analyze_function_part(f, RangeConfig::default(), 0)]);
+        for v in f.value_ids() {
+            assert_eq!(via_rebase.range(fid, v), via_fresh.range(fid, v));
+        }
     }
 }

@@ -55,7 +55,7 @@
 //! // Inside the loop body, the σ of i is clamped to [0, n-1].
 //! let fr = ranges.function(fid);
 //! assert!(fr.all_ranges().any(|r| {
-//!     format!("{}", r.display(ranges.symbols())) == "[0, n - 1]"
+//!     ranges.arena().display_range(r, ranges.symbols()) == "[0, n - 1]"
 //! }));
 //! ```
 

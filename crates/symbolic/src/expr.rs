@@ -273,6 +273,27 @@ impl SymExpr {
         self.constant
     }
 
+    /// Crate-internal: reassembles an expression from already-canonical
+    /// parts (the [`crate::ExprArena`] reconstructing a node). `terms`
+    /// must be distinct canonical terms with non-zero coefficients —
+    /// exactly what a prior [`SymExpr::terms_view`] produced — so the
+    /// `BTreeMap` insert reproduces the original map verbatim.
+    pub(crate) fn from_raw_parts(
+        constant: i128,
+        terms: impl Iterator<Item = (Vec<Atom>, i128)>,
+    ) -> SymExpr {
+        let mut map = BTreeMap::new();
+        for (atoms, coeff) in terms {
+            debug_assert_ne!(coeff, 0, "canonical terms have non-zero coefficients");
+            let prev = map.insert(Term(atoms), coeff);
+            debug_assert!(prev.is_none(), "canonical terms are distinct");
+        }
+        SymExpr {
+            constant,
+            terms: map,
+        }
+    }
+
     /// Crate-internal: iterates `(atoms-of-term, coefficient)` pairs.
     pub(crate) fn terms_view(&self) -> impl Iterator<Item = (&[Atom], i128)> + '_ {
         self.terms.iter().map(|(t, &c)| (t.0.as_slice(), c))

@@ -48,7 +48,8 @@ mod range;
 mod symbol;
 
 pub use arena::{
-    ArenaStats, BoundRef, ExprArena, ExprId, FxBuildHasher, FxHashMap, FxHasher, RangeRef,
+    ArenaStats, BoundId, BoundRef, ExprArena, ExprId, FxBuildHasher, FxHashMap, FxHasher,
+    ImportMap, OpStats, OverlayPart, OverlayXlate, RangeId, TryImportMap,
 };
 pub use bound::Bound;
 pub use eval::Valuation;

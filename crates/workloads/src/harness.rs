@@ -18,6 +18,7 @@ use sra_core::{
     WhichTest,
 };
 use sra_ir::{FuncId, Module};
+use sra_symbolic::ArenaStats;
 
 /// Per-module evaluation results: one Figure 13/14 row.
 #[derive(Debug, Clone, Default)]
@@ -51,6 +52,10 @@ pub struct Metrics {
     /// what Figure 15 measures ("only the time to map variables to
     /// values in SymbRanges").
     pub analysis_time: Duration,
+    /// Interning effectiveness of the analysis' module arenas
+    /// (bootstrap ranges + GR + LR summed): node counts, per-op memo
+    /// hit/miss table, approximate bytes.
+    pub arena_stats: ArenaStats,
 }
 
 impl Metrics {
@@ -94,6 +99,7 @@ impl Metrics {
         self.symbolic_range_ptrs += other.symbolic_range_ptrs;
         self.ranged_ptrs += other.ranged_ptrs;
         self.analysis_time += other.analysis_time;
+        self.arena_stats.merge(&other.arena_stats);
     }
 }
 
@@ -130,6 +136,7 @@ pub fn evaluate_with(m: &Module, threads: usize) -> Metrics {
     let mut out = Metrics {
         insts: m.num_insts(),
         analysis_time,
+        arena_stats: batch.rbaa().arena_stats(),
         ..Metrics::default()
     };
     for row in &partials {
@@ -183,13 +190,14 @@ fn evaluate_function(
         }
     }
     // §5 census: pointers whose GR ranges are symbolic.
+    let arena = rbaa.gr().arena();
     for &p in ptrs {
         let st = rbaa.gr().state(f, p);
         if st.is_top() || st.is_bottom() {
             continue;
         }
         out.ranged_ptrs += 1;
-        if st.support().any(|(_, r)| r.is_symbolic()) {
+        if st.support().any(|(_, r)| arena.range_is_symbolic(r)) {
             out.symbolic_range_ptrs += 1;
         }
     }
@@ -234,6 +242,11 @@ mod tests {
         );
         assert!(row.insts > 100);
         assert!(row.pointers > 20);
+        // The interning stats of the analysis' module arenas surface
+        // through the metrics row.
+        assert!(row.arena_stats.exprs > 0, "{:?}", row.arena_stats);
+        assert!(row.arena_stats.hits > 0, "{:?}", row.arena_stats);
+        assert!(row.arena_stats.bytes > 0);
     }
 
     #[test]

@@ -82,7 +82,10 @@ fn crosscheck_op(op: BinOp, x: i128, y: i128) -> Option<()> {
 /// `v` — parameters become Symbol(0), Symbol(1) in order.
 fn symbolic_result(m: &Module, fid: sra::ir::FuncId, v: ValueId) -> Option<SymExpr> {
     let ra = RangeAnalysis::analyze(m);
-    ra.range(fid, v).as_singleton().cloned()
+    let arena = ra.arena();
+    arena
+        .range_as_singleton(ra.range(fid, v))
+        .map(|e| arena.expr_value(e))
 }
 
 /// Every op over a grid of corner values, including both `i128`
@@ -252,7 +255,7 @@ proptest! {
             panic!("unexpected return {:?}", res.ret);
         };
         let ra = RangeAnalysis::analyze(&m);
-        let range = ra.range(fid, r);
+        let range = ra.arena().range_value(ra.range(fid, r));
         let mut v = Valuation::new();
         v.set(Symbol::new(0), x);
         v.set(Symbol::new(1), y);
@@ -264,7 +267,7 @@ proptest! {
         // Singleton or not, the concrete result must lie in the range
         // (the soundness the analyses actually consume).
         prop_assert_eq!(
-            v.range_contains(range, concrete).unwrap_or(true),
+            v.range_contains(&range, concrete).unwrap_or(true),
             true,
             "concrete {} outside {} for {:?}",
             concrete,

@@ -108,7 +108,11 @@ fn figure12_final_states() {
     let r2 = rbaa.gr().state(prepare, sigmas[1]);
     let (loc, range1) = r1.support().next().unwrap();
     let range2 = r2.get(loc).unwrap();
-    assert!(range1.meet(range2).is_empty());
+    let arena = rbaa.gr().arena();
+    assert!(arena
+        .range_value(range1)
+        .meet(&arena.range_value(range2))
+        .is_empty());
 
     // The widening/descending machinery: the φ of the first loop must
     // NOT be stuck at [0, +inf] (which is where widening leaves it

@@ -14,10 +14,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sra_bench::{batched_sweep, build_session, per_query_sweep, scratch_replay, session_replay};
-use sra_core::{analyze_parallel, DriverConfig, GrConfig, GrSchedule, RbaaAnalysis};
+use sra_core::{analyze_parallel, AliasService, DriverConfig, GrConfig, GrSchedule, RbaaAnalysis};
 use sra_ir::Module;
 use sra_range::RangeAnalysis;
-use sra_workloads::{edits, scaling};
+use sra_workloads::{edits, scaling, traffic};
 
 const SCALING_INSTS: usize = 20_000;
 const SCALING_SEED: u64 = 42;
@@ -175,6 +175,52 @@ fn session_vs_scratch(c: &mut Criterion) {
     group.finish();
 }
 
+/// The alias-query service under traffic: a single-threaded query loop
+/// against a quiescent service vs the mixed workload (4 readers racing
+/// 2 writers replaying per-tenant edit streams). The mixed case pays
+/// for tenant re-analysis on every edit; snapshot isolation keeps the
+/// readers at their fair CPU share regardless — the ratio the
+/// `trajectory` bin gates on.
+fn service_traffic(c: &mut Criterion) {
+    let cfg = traffic::TrafficConfig {
+        tenants: 4,
+        insts_per_tenant: 2_000,
+        readers: 4,
+        writers: 2,
+        edits_per_tenant: 4,
+        queries_per_reader: 2_000,
+        ..traffic::TrafficConfig::default()
+    };
+    let modules = traffic::build_tenants(&cfg);
+    let streams = traffic::edit_streams(&cfg, &modules);
+
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+
+    let quiescent = AliasService::new();
+    traffic::populate(&quiescent, modules.clone());
+    group.throughput(Throughput::Elements(cfg.queries_per_reader as u64));
+    group.bench_function(&format!("single_thread/{}", cfg.queries_per_reader), |b| {
+        b.iter(|| traffic::single_thread_queries(&quiescent, &cfg, cfg.queries_per_reader));
+    });
+
+    // `run_mixed` consumes the edit streams, so every iteration gets a
+    // fresh service; the populate cost (initial per-tenant analysis)
+    // is part of the measured iteration here — the trajectory harness
+    // times only the mixed phase.
+    group.throughput(Throughput::Elements(
+        (cfg.queries_per_reader * cfg.readers) as u64,
+    ));
+    group.bench_function(&format!("mixed/{}r{}w", cfg.readers, cfg.writers), |b| {
+        b.iter(|| {
+            let service = AliasService::new();
+            traffic::populate(&service, modules.clone());
+            traffic::run_mixed(&service, &cfg, &streams)
+        });
+    });
+    group.finish();
+}
+
 /// The acceptance-criterion summary: one timed round of each path and
 /// the resulting speedup, printed as a plain line so the number shows
 /// up in any bench log.
@@ -209,6 +255,7 @@ criterion_group!(
     callgraph_end_to_end,
     all_pairs_paths,
     session_vs_scratch,
+    service_traffic,
     speedup_summary
 );
 criterion_main!(benches);

@@ -1,10 +1,11 @@
 //! The CI perf-trajectory harness: times the throughput-critical paths
-//! in quick mode, writes a machine-readable `BENCH_5.json`, compares
+//! in quick mode, writes a machine-readable `BENCH_6.json`, compares
 //! against the previous `BENCH_N.json` at the repo root (printing a
-//! per-group delta table — warn, don't gate, on regressions), and fails
-//! (non-zero exit) when a speedup drops below its acceptance gate — so
-//! CI both *publishes* the perf trajectory as an artifact and *gates*
-//! on it.
+//! per-group delta table — warn, don't gate, on regressions; groups
+//! that appear or disappear across trajectories are listed as `new` /
+//! `gone` instead of being skipped), and fails (non-zero exit) when a
+//! speedup drops below its acceptance gate — so CI both *publishes*
+//! the perf trajectory as an artifact and *gates* on it.
 //!
 //! ```text
 //! cargo run --release -p sra-bench --bin trajectory [out.json]
@@ -19,7 +20,17 @@
 //!   1.5× gate);
 //! * `interning/boxed` vs `interning/interned` — the equality/join/
 //!   widen-heavy lattice sweep on boxed `SymRange` values vs interned
-//!   `RangeId` handles (PR 5's ≥1.5× floor).
+//!   `RangeId` handles (PR 5's ≥1.5× floor);
+//! * `service/single_thread` vs `service/mixed_4r2w` — one reader on a
+//!   quiescent `AliasService` vs 4 readers racing 2 writers through
+//!   per-tenant edit streams (PR 6). The gated ratio is aggregate
+//!   mixed queries/sec over the single-reader baseline: snapshot
+//!   isolation means readers keep their fair CPU share even while
+//!   every edit re-analyzes its tenant, so the ratio holding near
+//!   readers/(readers+writers) on a saturated runner (and above 1×
+//!   with spare cores) is the "readers never block" contract in
+//!   trajectory form. The mixed p99 query latency is recorded
+//!   alongside.
 //!
 //! The run also surfaces the analysis' arena statistics (interned
 //! nodes, memo hit rate) for the scaling workload.
@@ -29,9 +40,9 @@ use std::time::{Duration, Instant};
 use sra_bench::{
     batched_sweep, build_session, deep_chain_range, per_query_sweep, scratch_replay, session_replay,
 };
-use sra_core::RbaaAnalysis;
+use sra_core::{AliasService, RbaaAnalysis};
 use sra_symbolic::{ExprArena, RangeId, SymRange};
-use sra_workloads::{edits, scaling};
+use sra_workloads::{edits, scaling, traffic};
 
 const SCALING_INSTS: usize = 20_000;
 const SCALING_SEED: u64 = 42;
@@ -50,6 +61,19 @@ const INTERNING_FLOOR: f64 = 1.5;
 /// such margin.
 const SESSION_GATE: f64 = 1.5;
 const INTERNING_GATE: f64 = 1.5;
+/// The service floor is deliberately conservative because the ratio's
+/// healthy value depends on the runner's core count. With snapshot
+/// isolation, readers always keep their fair share of CPU: on a
+/// single-core runner that is readers/(readers+writers) ≈ 0.67× the
+/// quiet single-reader baseline (measured 0.67× here); with spare
+/// cores it rises past 1×. If readers instead serialized behind the
+/// writers' re-analysis, they would answer little more than their
+/// fixed quota (8k queries) over the same edit-phase wall (~0.26 s
+/// here) — a ratio around 0.005×, two orders of magnitude below
+/// healthy. The floor sits below every healthy machine shape; the
+/// gate still catches the collapse with ~40× margin.
+const SERVICE_FLOOR: f64 = 0.4;
+const SERVICE_GATE: f64 = 0.2;
 /// Previous-trajectory deltas louder than this warn (never gate — the
 /// comparison crosses machines and runner generations).
 const DELTA_WARN: f64 = 0.20;
@@ -183,10 +207,20 @@ fn previous_trajectory(out_path: &str) -> Option<(String, String)> {
     Some((name, contents))
 }
 
+/// The service traffic shape: smaller tenants than the scaling
+/// workload (edits re-analyze a whole tenant per publish, and five
+/// samples replay the full mixed phase each).
+const SERVICE_TENANTS: usize = 4;
+const SERVICE_INSTS: usize = 2_000;
+const SERVICE_READERS: usize = 4;
+const SERVICE_WRITERS: usize = 2;
+const SERVICE_EDITS: usize = 4;
+const SERVICE_QUERIES_PER_READER: usize = 2_000;
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_5.json".to_owned());
+        .unwrap_or_else(|| "BENCH_6.json".to_owned());
 
     let m = scaling::generate_module(SCALING_INSTS, SCALING_SEED);
     eprintln!(
@@ -249,6 +283,64 @@ fn main() {
          ({interning_ratio:.2}x)"
     );
 
+    // Group 4: the alias-query service under traffic. The single-
+    // threaded baseline queries a quiescent service; the mixed run
+    // races SERVICE_READERS readers against SERVICE_WRITERS writers
+    // replaying the per-tenant edit streams. `run_mixed` consumes the
+    // streams, so each sample repopulates a fresh service outside its
+    // timed region (the report's wall clock covers only the mixed
+    // phase).
+    let cfg = traffic::TrafficConfig {
+        tenants: SERVICE_TENANTS,
+        insts_per_tenant: SERVICE_INSTS,
+        readers: SERVICE_READERS,
+        writers: SERVICE_WRITERS,
+        edits_per_tenant: SERVICE_EDITS,
+        queries_per_reader: SERVICE_QUERIES_PER_READER,
+        ..traffic::TrafficConfig::default()
+    };
+    let modules = traffic::build_tenants(&cfg);
+    let streams = traffic::edit_streams(&cfg, &modules);
+    let quiescent = AliasService::new();
+    traffic::populate(&quiescent, modules.clone());
+    let single_qps = {
+        // Warm-up, then the median-by-throughput of SAMPLES runs.
+        std::hint::black_box(traffic::single_thread_queries(
+            &quiescent,
+            &cfg,
+            SERVICE_QUERIES_PER_READER,
+        ));
+        let mut runs: Vec<(usize, Duration)> = (0..SAMPLES)
+            .map(|_| traffic::single_thread_queries(&quiescent, &cfg, SERVICE_QUERIES_PER_READER))
+            .collect();
+        runs.sort_by_key(|r| r.1);
+        let (queries, wall) = runs[runs.len() / 2];
+        (queries as f64 / wall.as_secs_f64().max(1e-9), wall)
+    };
+    let mixed = {
+        let mut reports: Vec<traffic::TrafficReport> = (0..=SAMPLES)
+            .map(|_| {
+                let service = AliasService::new();
+                traffic::populate(&service, modules.clone());
+                traffic::run_mixed(&service, &cfg, &streams)
+            })
+            .collect();
+        for r in &reports {
+            assert_eq!(r.monotone_violations, 0, "a reader saw an epoch regression");
+            assert_eq!(r.lookup_failures, 0, "a reader lost a registered tenant");
+        }
+        reports.remove(0); // warm-up
+        reports.sort_by_key(|r| r.wall);
+        reports.swap_remove(reports.len() / 2)
+    };
+    let service_ratio = mixed.queries_per_sec / single_qps.0;
+    eprintln!(
+        "service ({SERVICE_TENANTS} tenants, {SERVICE_READERS}r/{SERVICE_WRITERS}w, \
+         {SERVICE_EDITS} edits each): single {:.0} q/s, mixed {:.0} q/s \
+         ({service_ratio:.2}x), mixed p99 {} ns",
+        single_qps.0, mixed.queries_per_sec, mixed.p99_ns
+    );
+
     let json = format!(
         "{{\n  \"schema\": \"sra-bench-trajectory/v1\",\n  \"workload\": {{\n    \
          \"insts\": {SCALING_INSTS},\n    \"seed\": {SCALING_SEED},\n    \
@@ -258,29 +350,54 @@ fn main() {
          \"session/scratch_per_edit\": {{ \"median_ns\": {} }},\n    \
          \"session/session_per_edit\": {{ \"median_ns\": {} }},\n    \
          \"interning/boxed\": {{ \"median_ns\": {} }},\n    \
-         \"interning/interned\": {{ \"median_ns\": {} }}\n  }},\n  \
+         \"interning/interned\": {{ \"median_ns\": {} }},\n    \
+         \"service/single_thread\": {{ \"median_ns\": {} }},\n    \
+         \"service/mixed_{SERVICE_READERS}r{SERVICE_WRITERS}w\": \
+         {{ \"median_ns\": {} }}\n  }},\n  \
          \"arena\": {{\n    \"exprs\": {},\n    \"ranges\": {},\n    \
          \"hits\": {},\n    \"misses\": {},\n    \"bytes\": {}\n  }},\n  \
+         \"service\": {{\n    \"tenants\": {SERVICE_TENANTS},\n    \
+         \"insts_per_tenant\": {SERVICE_INSTS},\n    \
+         \"readers\": {SERVICE_READERS},\n    \
+         \"writers\": {SERVICE_WRITERS},\n    \
+         \"edits_per_tenant\": {SERVICE_EDITS},\n    \
+         \"single_thread_qps\": {:.1},\n    \
+         \"mixed_qps\": {:.1},\n    \
+         \"mixed_p50_ns\": {},\n    \
+         \"mixed_p99_ns\": {},\n    \
+         \"mixed_queries\": {},\n    \
+         \"mixed_edits\": {}\n  }},\n  \
          \"ratios\": {{\n    \"batched_vs_per_query\": {batched_ratio:.3},\n    \
          \"session_vs_scratch\": {session_ratio:.3},\n    \
-         \"interning\": {interning_ratio:.3}\n  }},\n  \"floors\": {{\n    \
+         \"interning\": {interning_ratio:.3},\n    \
+         \"service_vs_single_thread\": {service_ratio:.3}\n  }},\n  \"floors\": {{\n    \
          \"batched_vs_per_query\": {BATCHED_FLOOR},\n    \
          \"session_vs_scratch\": {SESSION_FLOOR},\n    \
-         \"interning\": {INTERNING_FLOOR}\n  }},\n  \"gates\": {{\n    \
+         \"interning\": {INTERNING_FLOOR},\n    \
+         \"service_vs_single_thread\": {SERVICE_FLOOR}\n  }},\n  \"gates\": {{\n    \
          \"batched_vs_per_query\": {BATCHED_FLOOR},\n    \
          \"session_vs_scratch\": {SESSION_GATE},\n    \
-         \"interning\": {INTERNING_GATE}\n  }}\n}}\n",
+         \"interning\": {INTERNING_GATE},\n    \
+         \"service_vs_single_thread\": {SERVICE_GATE}\n  }}\n}}\n",
         per_query.as_nanos(),
         batched.as_nanos(),
         scratch.as_nanos(),
         session.as_nanos(),
         boxed.as_nanos(),
         interned.as_nanos(),
+        single_qps.1.as_nanos(),
+        mixed.wall.as_nanos(),
         arena.exprs,
         arena.ranges,
         arena.hits,
         arena.misses,
         arena.bytes,
+        single_qps.0,
+        mixed.queries_per_sec,
+        mixed.p50_ns,
+        mixed.p99_ns,
+        mixed.queries,
+        mixed.edits,
     );
 
     // The trajectory, not just the floor: diff against the previous
@@ -318,7 +435,17 @@ fn main() {
                             );
                         }
                     }
+                    // A group the previous trajectory never measured:
+                    // list it as `new` rather than skipping it, so a
+                    // PR adding a group shows up in the table.
                     None => eprintln!("{:<28} {:>12} {:>12}      new", name, "-", now),
+                }
+            }
+            // And the reverse: groups the previous trajectory had that
+            // this run no longer measures.
+            for (name, before) in &prev {
+                if !cur.iter().any(|(n, _)| n == name) {
+                    eprintln!("{:<28} {:>12} {:>12}     gone", name, before, "-");
                 }
             }
             eprintln!();
@@ -361,12 +488,30 @@ fn main() {
         );
         failed = true;
     }
+    if service_ratio < SERVICE_GATE {
+        eprintln!(
+            "FAIL: service mixed/single-thread throughput ratio {service_ratio:.2}x is \
+             below the {SERVICE_GATE}x regression gate — readers are being blocked by \
+             concurrent edits"
+        );
+        failed = true;
+    } else if service_ratio < SERVICE_FLOOR {
+        eprintln!(
+            "WARN: service mixed/single-thread throughput ratio {service_ratio:.2}x is \
+             below the {SERVICE_FLOOR}x acceptance floor (within runner-noise margin of \
+             the {SERVICE_GATE}x gate)"
+        );
+    }
     if failed {
         std::process::exit(1);
     }
     println!(
         "trajectory ok: batched {batched_ratio:.2}x (floor {BATCHED_FLOOR}x), \
          session {session_ratio:.2}x (floor {SESSION_FLOOR}x, gate {SESSION_GATE}x), \
-         interning {interning_ratio:.2}x (floor {INTERNING_FLOOR}x)"
+         interning {interning_ratio:.2}x (floor {INTERNING_FLOOR}x), \
+         service {:.0} q/s mixed at {SERVICE_READERS}r/{SERVICE_WRITERS}w \
+         ({service_ratio:.2}x vs single thread, floor {SERVICE_FLOOR}x, \
+         gate {SERVICE_GATE}x; p99 {} ns)",
+        mixed.queries_per_sec, mixed.p99_ns
     );
 }

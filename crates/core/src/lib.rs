@@ -52,6 +52,7 @@ mod locs;
 pub mod lr;
 pub mod pool;
 mod query;
+pub mod service;
 pub mod session;
 mod state;
 
@@ -63,5 +64,6 @@ pub use query::{
     global_no_alias, global_no_alias_kind, pointer_values, AliasAnalysis, AliasMatrix, AliasResult,
     QueryStats, RbaaAnalysis, WhichTest,
 };
-pub use session::{AnalysisSession, SessionError, SessionStats};
+pub use service::{AliasService, EpochSnapshot, ServiceError, TenantWriter};
+pub use session::{AnalysisSession, FrozenAnalysis, SessionError, SessionStats};
 pub use state::{PtrState, PtrStateRef};

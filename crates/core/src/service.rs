@@ -1,0 +1,523 @@
+//! A snapshot-isolated, thread-safe alias-query service: many named
+//! tenants ("modules"), each backed by an incremental
+//! [`AnalysisSession`], serving concurrent readers while a per-tenant
+//! writer applies edits.
+//!
+//! # The tenant/epoch/snapshot contract
+//!
+//! Each tenant owns a monotone **epoch** counter. Epoch 0 is the
+//! snapshot published when the tenant is added; every applied edit
+//! bumps the epoch by exactly one and publishes a fresh immutable
+//! [`Arc<EpochSnapshot>`](EpochSnapshot). A snapshot is self-contained
+//! (module + assembled analysis + all-pairs matrices, `Arc`-shared
+//! with the session via [`AnalysisSession::freeze`]) and answers
+//! queries without ever touching the live session, so:
+//!
+//! * **readers never block on edits** — [`AliasService::snapshot`]
+//!   briefly takes a lock that writers hold only for the O(1) pointer
+//!   swap of a publish, *never* during the (possibly long) re-analysis
+//!   of an edit. A reader that grabbed a snapshot holds plain
+//!   immutable data;
+//! * **readers never see a half-applied epoch** — a snapshot is frozen
+//!   *after* the session's rebuild completes, and publication replaces
+//!   the whole `Arc` atomically under the lock; there is no state in
+//!   between two epochs to observe;
+//! * **epochs are monotone per tenant** — the writer mutex serializes
+//!   edits, and each publish carries the next counter value, so any
+//!   single reader observes non-decreasing epochs;
+//! * **a slow reader never starves writers** — a reader holds only its
+//!   own `Arc` clone of a snapshot; writers publish later epochs
+//!   regardless, and the superseded snapshot's memory (matrices,
+//!   arenas) is freed when its last reader drops it.
+//!
+//! # Examples
+//!
+//! ```
+//! use sra_core::service::AliasService;
+//! use sra_core::AliasResult;
+//! use sra_ir::{FunctionBuilder, Module};
+//!
+//! let mut b = FunctionBuilder::new("f", &[], None);
+//! let ten = b.const_int(10);
+//! let p = b.malloc(ten);
+//! let q = b.malloc(ten);
+//! b.ret(None);
+//! let mut m = Module::new();
+//! let fid = m.add_function(b.finish());
+//!
+//! let service = AliasService::new();
+//! service.add_tenant("app", m).unwrap();
+//! let snap = service.snapshot("app").unwrap();
+//! assert_eq!(snap.epoch(), 0);
+//! assert_eq!(snap.alias_with_test(fid, p, q).0, AliasResult::NoAlias);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, RwLock};
+
+use sra_ir::{FuncId, Function, Module, ValueId};
+
+use crate::driver::DriverConfig;
+use crate::query::{AliasResult, WhichTest};
+use crate::session::{AnalysisSession, FrozenAnalysis, SessionError, SessionStats};
+
+/// Why a service call failed. Edit rejections wrap the session's
+/// structured error and leave the tenant (and its published snapshot)
+/// exactly as they were.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// No tenant is registered under this name.
+    NoSuchTenant(String),
+    /// [`AliasService::add_tenant`] found the name already taken.
+    TenantExists(String),
+    /// The tenant's session rejected the edit (or the initial module
+    /// failed verification).
+    Session(SessionError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::NoSuchTenant(n) => write!(f, "no tenant named {n:?}"),
+            ServiceError::TenantExists(n) => write!(f, "tenant {n:?} already exists"),
+            ServiceError::Session(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<SessionError> for ServiceError {
+    fn from(e: SessionError) -> Self {
+        ServiceError::Session(e)
+    }
+}
+
+/// One published epoch of one tenant: an epoch number plus the frozen
+/// analysis ([`FrozenAnalysis`]) of the module after exactly that many
+/// applied edits. Immutable; readers clone the `Arc` and query at
+/// leisure while the writer moves on.
+#[derive(Debug)]
+pub struct EpochSnapshot {
+    epoch: u64,
+    frozen: FrozenAnalysis,
+}
+
+impl EpochSnapshot {
+    /// How many edits this tenant had applied when the snapshot was
+    /// published (epoch 0 = the initial module).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The tenant's module at this epoch.
+    pub fn module(&self) -> &Module {
+        self.frozen.module()
+    }
+
+    /// The frozen analysis backing this epoch.
+    pub fn frozen(&self) -> &FrozenAnalysis {
+        &self.frozen
+    }
+
+    /// Answers one alias query against this epoch — `O(1)` from the
+    /// cached matrix, byte-identical to a scratch analysis of
+    /// [`EpochSnapshot::module`].
+    pub fn alias_with_test(
+        &self,
+        f: FuncId,
+        p: ValueId,
+        q: ValueId,
+    ) -> (AliasResult, Option<WhichTest>) {
+        self.frozen.alias_with_test(f, p, q)
+    }
+}
+
+/// One tenant: the writer side (session + epoch counter) behind a
+/// mutex that serializes edits, and the published snapshot behind a
+/// lock held only for O(1) clone/swap operations.
+struct Tenant {
+    writer: Mutex<WriterSide>,
+    published: RwLock<Arc<EpochSnapshot>>,
+}
+
+struct WriterSide {
+    session: AnalysisSession,
+    epoch: u64,
+}
+
+impl Tenant {
+    fn publish(&self, snap: Arc<EpochSnapshot>) {
+        *self.published.write().expect("published lock") = snap;
+    }
+}
+
+/// The exclusive writer handle of one tenant, obtained through
+/// [`AliasService::with_writer`]. Holding it serializes edits to the
+/// tenant; each successful edit re-analyzes incrementally, bumps the
+/// epoch and publishes a fresh snapshot — readers keep being served
+/// from the last published epoch the whole time.
+pub struct TenantWriter<'a> {
+    tenant: &'a Tenant,
+    side: &'a mut WriterSide,
+}
+
+impl TenantWriter<'_> {
+    /// The epoch of the most recently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.side.epoch
+    }
+
+    /// The live session under this writer (read-only; edits go through
+    /// the publishing methods so every applied edit is also published).
+    pub fn session(&self) -> &AnalysisSession {
+        &self.side.session
+    }
+
+    /// The session's accumulated reuse/recompute counters.
+    pub fn stats(&self) -> &SessionStats {
+        self.side.session.stats()
+    }
+
+    /// Replaces the body of `f`, publishing the next epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the session's rejection; nothing is published and
+    /// the epoch does not advance.
+    pub fn replace_function(&mut self, f: FuncId, body: Function) -> Result<u64, SessionError> {
+        self.side.session.replace_function(f, body)?;
+        Ok(self.publish_next())
+    }
+
+    /// Adds a function, publishing the next epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the session's rejection; nothing is published.
+    pub fn add_function(&mut self, body: Function) -> Result<(FuncId, u64), SessionError> {
+        let f = self.side.session.add_function(body)?;
+        Ok((f, self.publish_next()))
+    }
+
+    /// Removes function `f`, publishing the next epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the session's rejection (e.g. the function is still
+    /// called); nothing is published.
+    pub fn remove_function(&mut self, f: FuncId) -> Result<(Function, u64), SessionError> {
+        let removed = self.side.session.remove_function(f)?;
+        Ok((removed, self.publish_next()))
+    }
+
+    fn publish_next(&mut self) -> u64 {
+        self.side.epoch += 1;
+        let snap = Arc::new(EpochSnapshot {
+            epoch: self.side.epoch,
+            frozen: self.side.session.freeze(),
+        });
+        self.tenant.publish(snap);
+        self.side.epoch
+    }
+}
+
+/// The long-lived, thread-safe alias-query service; see the module
+/// docs for the snapshot/epoch contract. `&AliasService` is `Sync`:
+/// share it across reader and writer threads freely (e.g. via
+/// [`std::thread::scope`] or an `Arc`).
+#[derive(Default)]
+pub struct AliasService {
+    tenants: RwLock<HashMap<String, Arc<Tenant>>>,
+    config: DriverConfig,
+}
+
+impl AliasService {
+    /// An empty service analyzing with the default driver
+    /// configuration.
+    pub fn new() -> Self {
+        Self::with_config(DriverConfig::default())
+    }
+
+    /// An empty service; every tenant's session analyzes with
+    /// `config`.
+    pub fn with_config(config: DriverConfig) -> Self {
+        AliasService {
+            tenants: RwLock::new(HashMap::new()),
+            config,
+        }
+    }
+
+    /// Registers a tenant, analyzes its module and publishes epoch 0.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::TenantExists`] when the name is taken;
+    /// [`ServiceError::Session`] when the module fails verification.
+    pub fn add_tenant(&self, name: &str, module: Module) -> Result<(), ServiceError> {
+        // Build outside the map lock: adding a large tenant must not
+        // stall lookups (or other adds) for the duration of a full
+        // analysis. The name is re-checked under the lock.
+        if self.tenants.read().expect("tenant map").contains_key(name) {
+            return Err(ServiceError::TenantExists(name.to_owned()));
+        }
+        let session = AnalysisSession::with_config(module, self.config)?;
+        let snap = Arc::new(EpochSnapshot {
+            epoch: 0,
+            frozen: session.freeze(),
+        });
+        let tenant = Arc::new(Tenant {
+            writer: Mutex::new(WriterSide { session, epoch: 0 }),
+            published: RwLock::new(snap),
+        });
+        let mut map = self.tenants.write().expect("tenant map");
+        if map.contains_key(name) {
+            return Err(ServiceError::TenantExists(name.to_owned()));
+        }
+        map.insert(name.to_owned(), tenant);
+        Ok(())
+    }
+
+    /// Unregisters a tenant. Readers holding its snapshots keep them
+    /// (a snapshot is self-contained); subsequent lookups fail with
+    /// [`ServiceError::NoSuchTenant`]. A writer currently inside
+    /// [`AliasService::with_writer`] on this tenant finishes
+    /// unaffected — its final publishes simply go to a tenant no
+    /// longer reachable by name.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NoSuchTenant`] when the name is unknown.
+    pub fn remove_tenant(&self, name: &str) -> Result<(), ServiceError> {
+        self.tenants
+            .write()
+            .expect("tenant map")
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| ServiceError::NoSuchTenant(name.to_owned()))
+    }
+
+    /// The registered tenant names, sorted.
+    pub fn tenant_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .tenants
+            .read()
+            .expect("tenant map")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// How many tenants are registered.
+    pub fn num_tenants(&self) -> usize {
+        self.tenants.read().expect("tenant map").len()
+    }
+
+    fn tenant(&self, name: &str) -> Result<Arc<Tenant>, ServiceError> {
+        self.tenants
+            .read()
+            .expect("tenant map")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServiceError::NoSuchTenant(name.to_owned()))
+    }
+
+    /// The reader entry point: the tenant's most recently published
+    /// snapshot. O(1) — two briefly-held locks (map lookup, `Arc`
+    /// clone); never blocks on an in-flight edit, because writers take
+    /// the publish lock only for the pointer swap after their
+    /// re-analysis already finished.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NoSuchTenant`] when the name is unknown.
+    pub fn snapshot(&self, name: &str) -> Result<Arc<EpochSnapshot>, ServiceError> {
+        let tenant = self.tenant(name)?;
+        let snap = tenant.published.read().expect("published lock").clone();
+        Ok(snap)
+    }
+
+    /// Convenience one-shot query: grabs the tenant's current snapshot
+    /// and answers from it, returning the answering epoch alongside
+    /// the verdict.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NoSuchTenant`] when the name is unknown.
+    #[allow(clippy::type_complexity)]
+    pub fn query(
+        &self,
+        name: &str,
+        f: FuncId,
+        p: ValueId,
+        q: ValueId,
+    ) -> Result<(u64, (AliasResult, Option<WhichTest>)), ServiceError> {
+        let snap = self.snapshot(name)?;
+        Ok((snap.epoch(), snap.alias_with_test(f, p, q)))
+    }
+
+    /// Runs `body` with the tenant's exclusive [`TenantWriter`].
+    /// Writers to the *same* tenant serialize here; writers to other
+    /// tenants and all readers proceed concurrently. Each edit applied
+    /// through the writer publishes its own epoch, so readers see
+    /// every intermediate state exactly once — there is no "commit at
+    /// the end" batching that could make a long closure hide epochs.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NoSuchTenant`] when the name is unknown (the
+    /// closure is not run).
+    pub fn with_writer<R>(
+        &self,
+        name: &str,
+        body: impl FnOnce(&mut TenantWriter<'_>) -> R,
+    ) -> Result<R, ServiceError> {
+        let tenant = self.tenant(name)?;
+        let mut side = tenant.writer.lock().expect("writer lock");
+        let mut writer = TenantWriter {
+            tenant: &tenant,
+            side: &mut side,
+        };
+        Ok(body(&mut writer))
+    }
+
+    /// Single-edit convenience wrappers over
+    /// [`AliasService::with_writer`], returning the published epoch.
+    ///
+    /// # Errors
+    ///
+    /// Tenant lookup and session rejections, as
+    /// [`ServiceError`].
+    pub fn replace_function(
+        &self,
+        name: &str,
+        f: FuncId,
+        body: Function,
+    ) -> Result<u64, ServiceError> {
+        self.with_writer(name, |w| w.replace_function(f, body))?
+            .map_err(Into::into)
+    }
+
+    /// See [`AliasService::replace_function`].
+    ///
+    /// # Errors
+    ///
+    /// Tenant lookup and session rejections, as [`ServiceError`].
+    pub fn add_function(&self, name: &str, body: Function) -> Result<(FuncId, u64), ServiceError> {
+        self.with_writer(name, |w| w.add_function(body))?
+            .map_err(Into::into)
+    }
+
+    /// See [`AliasService::replace_function`].
+    ///
+    /// # Errors
+    ///
+    /// Tenant lookup and session rejections, as [`ServiceError`].
+    pub fn remove_function(&self, name: &str, f: FuncId) -> Result<(Function, u64), ServiceError> {
+        self.with_writer(name, |w| w.remove_function(f))?
+            .map_err(Into::into)
+    }
+}
+
+impl fmt::Debug for AliasService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AliasService")
+            .field("tenants", &self.tenant_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sra_ir::{FunctionBuilder, Ty};
+
+    fn two_mallocs() -> (Module, FuncId, ValueId, ValueId) {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let ten = b.const_int(10);
+        let p = b.malloc(ten);
+        let q = b.malloc(ten);
+        b.ret(None);
+        let mut m = Module::new();
+        let fid = m.add_function(b.finish());
+        (m, fid, p, q)
+    }
+
+    #[test]
+    fn tenants_epochs_and_queries() {
+        let (m, fid, p, q) = two_mallocs();
+        let service = AliasService::new();
+        service.add_tenant("a", m.clone()).expect("fresh name");
+        assert_eq!(
+            service.add_tenant("a", m.clone()),
+            Err(ServiceError::TenantExists("a".into()))
+        );
+        service.add_tenant("b", m).expect("second tenant");
+        assert_eq!(service.tenant_names(), ["a", "b"]);
+
+        let snap = service.snapshot("a").expect("registered");
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.alias_with_test(fid, p, q).0, AliasResult::NoAlias);
+        let (epoch, verdict) = service.query("a", fid, p, q).expect("registered");
+        assert_eq!(epoch, 0);
+        assert_eq!(verdict.0, AliasResult::NoAlias);
+
+        // An edit publishes epoch 1; the old snapshot is untouched.
+        let mut b = FunctionBuilder::new("g", &[Ty::Ptr], None);
+        b.ret(None);
+        let (g, epoch) = service.add_function("a", b.finish()).expect("valid add");
+        assert_eq!(epoch, 1);
+        assert_eq!(snap.epoch(), 0, "published snapshots are immutable");
+        assert_eq!(snap.module().num_functions(), 1);
+        let newer = service.snapshot("a").expect("registered");
+        assert_eq!(newer.epoch(), 1);
+        assert_eq!(newer.module().num_functions(), 2);
+        // The sibling tenant's epoch is independent.
+        assert_eq!(service.snapshot("b").expect("registered").epoch(), 0);
+
+        let (_, epoch) = service.remove_function("a", g).expect("uncalled");
+        assert_eq!(epoch, 2);
+
+        service.remove_tenant("b").expect("registered");
+        assert_eq!(
+            service.snapshot("b").unwrap_err(),
+            ServiceError::NoSuchTenant("b".into())
+        );
+        assert_eq!(service.num_tenants(), 1);
+    }
+
+    #[test]
+    fn rejected_edits_do_not_publish() {
+        let (m, _, _, _) = two_mallocs();
+        let service = AliasService::new();
+        service.add_tenant("a", m).expect("fresh name");
+        let err = service
+            .remove_function("a", FuncId::new(7))
+            .expect_err("no such function");
+        assert!(matches!(err, ServiceError::Session(_)), "{err}");
+        assert_eq!(service.snapshot("a").expect("registered").epoch(), 0);
+    }
+
+    #[test]
+    fn writer_batches_publish_every_epoch() {
+        let (m, fid, _, _) = two_mallocs();
+        let service = AliasService::new();
+        service.add_tenant("a", m.clone()).expect("fresh name");
+        let body = m.function(fid).clone();
+        let last = service
+            .with_writer("a", |w| {
+                let e1 = w.replace_function(fid, body.clone()).expect("no-op ok");
+                assert_eq!(e1, 1);
+                assert_eq!(w.stats().noop_edits, 1);
+                let e2 = w.replace_function(fid, body).expect("no-op ok");
+                assert_eq!(e2, 2);
+                w.epoch()
+            })
+            .expect("registered");
+        assert_eq!(last, 2);
+        assert_eq!(service.snapshot("a").expect("registered").epoch(), 2);
+    }
+}

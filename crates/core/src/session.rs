@@ -188,8 +188,76 @@ pub struct AnalysisSession {
     components: Vec<CompCache>,
     /// The assembled whole-module analysis (byte-identical to scratch).
     rbaa: RbaaAnalysis,
-    matrices: Vec<AliasMatrix>,
+    /// Per-function matrices behind [`std::sync::Arc`]s so a
+    /// [`AnalysisSession::freeze`] snapshot shares them zero-copy: a
+    /// rebuild allocates fresh `Arc`s only for invalidated matrices,
+    /// and a published snapshot keeps superseded ones alive until its
+    /// last reader drops it.
+    matrices: Vec<std::sync::Arc<AliasMatrix>>,
     stats: SessionStats,
+}
+
+/// An immutable, self-contained snapshot of a session's analysis
+/// state, produced by [`AnalysisSession::freeze`]: the module at freeze
+/// time plus the assembled [`RbaaAnalysis`] and every per-function
+/// [`AliasMatrix`]. Freezing is cheap — the analysis' state vectors,
+/// arenas and matrices are `Arc`-shared with the session, so a freeze
+/// is reference bumps plus one module clone — and the result borrows
+/// nothing: it can be sent to (and queried from) any number of threads
+/// while the session keeps applying edits.
+#[derive(Debug, Clone)]
+pub struct FrozenAnalysis {
+    module: std::sync::Arc<Module>,
+    rbaa: RbaaAnalysis,
+    matrices: std::sync::Arc<[std::sync::Arc<AliasMatrix>]>,
+}
+
+impl FrozenAnalysis {
+    /// The module exactly as it was at freeze time.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The assembled analysis at freeze time.
+    pub fn analysis(&self) -> &RbaaAnalysis {
+        &self.rbaa
+    }
+
+    /// The cached all-pairs matrix of `f`.
+    pub fn matrix(&self, f: FuncId) -> &AliasMatrix {
+        &self.matrices[f.index()]
+    }
+
+    /// The Figure 13/14 statistics of `f`'s all-pairs sweep.
+    pub fn stats_of(&self, f: FuncId) -> &QueryStats {
+        self.matrices[f.index()].stats()
+    }
+
+    /// Answers one alias query from the frozen state — `O(1)` from the
+    /// cached matrix, falling back to the direct computation for
+    /// values outside the pointer universe. Byte-identical to
+    /// [`AnalysisSession::alias_with_test`] at the freeze point.
+    pub fn alias_with_test(
+        &self,
+        f: FuncId,
+        p: ValueId,
+        q: ValueId,
+    ) -> (AliasResult, Option<WhichTest>) {
+        match self.matrices[f.index()].lookup(p, q) {
+            Some(v) => v,
+            None => self.rbaa.alias_with_test(f, p, q),
+        }
+    }
+}
+
+impl AliasAnalysis for FrozenAnalysis {
+    fn name(&self) -> &'static str {
+        "rbaa"
+    }
+
+    fn alias(&self, f: FuncId, p: ValueId, q: ValueId) -> AliasResult {
+        self.alias_with_test(f, p, q).0
+    }
 }
 
 impl AnalysisSession {
@@ -273,6 +341,20 @@ impl AnalysisSession {
     /// Reuse/recompute counters accumulated over all updates.
     pub fn stats(&self) -> &SessionStats {
         &self.stats
+    }
+
+    /// Freezes the current state into an immutable, thread-shareable
+    /// [`FrozenAnalysis`] — the publish half of a snapshot-isolated
+    /// query service (see [`crate::service::AliasService`]). The cost
+    /// is one module clone plus `Arc` reference bumps for the analysis
+    /// state and matrices; subsequent edits to the session never touch
+    /// a frozen snapshot.
+    pub fn freeze(&self) -> FrozenAnalysis {
+        FrozenAnalysis {
+            module: std::sync::Arc::new(self.module.clone()),
+            rbaa: self.rbaa.clone(),
+            matrices: self.matrices.clone().into(),
+        }
     }
 
     /// Like [`crate::BatchAnalysis::alias_with_test`]: answered from
@@ -773,13 +855,14 @@ impl AnalysisSession {
             AliasMatrix::build(rbaa, m, FuncId::new(rebuild[k]))
         });
         self.stats.matrices_rebuilt += rebuild.len();
-        let mut slots: Vec<Option<AliasMatrix>> = std::mem::take(&mut self.matrices)
-            .into_iter()
-            .map(Some)
-            .collect();
+        let mut slots: Vec<Option<std::sync::Arc<AliasMatrix>>> =
+            std::mem::take(&mut self.matrices)
+                .into_iter()
+                .map(Some)
+                .collect();
         slots.resize_with(nf, || None);
         for (i, mx) in rebuild.into_iter().zip(fresh) {
-            slots[i] = Some(mx);
+            slots[i] = Some(std::sync::Arc::new(mx));
         }
         self.matrices = slots
             .into_iter()

@@ -43,3 +43,4 @@ pub mod harness;
 pub mod scaling;
 pub mod suite;
 pub mod templates;
+pub mod traffic;

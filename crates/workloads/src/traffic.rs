@@ -1,0 +1,468 @@
+//! Mixed edit/query traffic: a deterministic workload generator and
+//! multi-threaded driver for the snapshot-isolated
+//! [`AliasService`].
+//!
+//! A production alias-query service sees many named modules
+//! ("tenants") with skewed popularity, a stream of function-level
+//! edits per tenant, and thousands of concurrent alias queries racing
+//! those edits. This module generates that shape deterministically:
+//!
+//! * [`build_tenants`] — one scaling-generator module per tenant;
+//! * [`edit_streams`] — one [`Edit`] stream per tenant (valid at every
+//!   prefix, via [`crate::edits`]);
+//! * [`ZipfSampler`] — tenant popularity skew (rank-`s` Zipf), so a
+//!   few hot tenants absorb most queries like real fleets do;
+//! * [`run_mixed`] — N reader threads × M writer threads over one
+//!   service: writers apply their tenants' streams in order (each
+//!   tenant is owned by exactly one writer, so per-tenant edit order
+//!   is deterministic), readers grab snapshots, generate all-pairs
+//!   queries from whatever module the snapshot carries, and record
+//!   per-query latency plus per-tenant epoch monotonicity;
+//! * [`single_thread_queries`] — the same reader loop on the calling
+//!   thread with no concurrent edits: the baseline the bench
+//!   trajectory's `service` ratio gates against.
+//!
+//! Determinism caveat: with real threads the *interleaving* of edits
+//! and queries is scheduling-dependent; what stays deterministic is
+//! the per-tenant module/edit sequence and each reader's query pattern
+//! against any given snapshot — which is exactly what the stress
+//! suite's replay checks need.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sra_core::{pointer_values, AliasService, EpochSnapshot, ServiceError};
+use sra_ir::{FuncId, Module};
+
+use crate::edits::{self, Edit};
+use crate::scaling;
+
+/// Shape of one traffic run. All fields are plain data so tests and
+/// benches can tweak a [`TrafficConfig::default`].
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// How many tenants the service hosts.
+    pub tenants: usize,
+    /// Approximate instruction count of each tenant's module.
+    pub insts_per_tenant: usize,
+    /// Reader thread count.
+    pub readers: usize,
+    /// Writer thread count (each tenant is owned by exactly one).
+    pub writers: usize,
+    /// Edits applied per tenant over the run.
+    pub edits_per_tenant: usize,
+    /// Queries each reader must answer before it may stop.
+    pub queries_per_reader: usize,
+    /// Queries drawn against one snapshot before re-sampling a tenant.
+    pub queries_per_batch: usize,
+    /// Zipf exponent for tenant popularity (0 = uniform).
+    pub zipf_s: f64,
+    /// Master seed; everything derives from it deterministically.
+    pub seed: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            tenants: 4,
+            insts_per_tenant: 400,
+            readers: 4,
+            writers: 2,
+            edits_per_tenant: 6,
+            queries_per_reader: 500,
+            queries_per_batch: 16,
+            zipf_s: 1.1,
+            seed: 42,
+        }
+    }
+}
+
+/// The canonical name of tenant `i` (`"t0"`, `"t1"`, …).
+pub fn tenant_name(i: usize) -> String {
+    format!("t{i}")
+}
+
+/// One deterministic module per tenant.
+pub fn build_tenants(cfg: &TrafficConfig) -> Vec<Module> {
+    (0..cfg.tenants)
+        .map(|i| {
+            scaling::generate_module(
+                cfg.insts_per_tenant,
+                cfg.seed ^ (i as u64).wrapping_mul(0x9e37_79b9),
+            )
+        })
+        .collect()
+}
+
+/// One deterministic edit stream per tenant, valid at every prefix.
+pub fn edit_streams(cfg: &TrafficConfig, modules: &[Module]) -> Vec<Vec<Edit>> {
+    modules
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            edits::generate_edit_stream(m, cfg.edits_per_tenant, cfg.seed ^ (i as u64) << 17)
+        })
+        .collect()
+}
+
+/// Registers `modules` as tenants `t0..tN` of `service`.
+///
+/// # Panics
+///
+/// Panics when a tenant name is already taken or a module fails
+/// verification — traffic setup bugs, not runtime conditions.
+pub fn populate(service: &AliasService, modules: Vec<Module>) {
+    for (i, m) in modules.into_iter().enumerate() {
+        service
+            .add_tenant(&tenant_name(i), m)
+            .expect("fresh tenant over a generated module");
+    }
+}
+
+/// Rank-skewed tenant sampling: `P(i) ∝ (i+1)^-s`. `s = 0` is uniform;
+/// `s ≈ 1` is the classic web-traffic skew.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// A sampler over `n ≥ 1` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "a Zipf sampler needs at least one rank");
+        let mut cdf: Vec<f64> = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += ((i + 1) as f64).powf(-s);
+            cdf.push(acc);
+        }
+        for w in &mut cdf {
+            *w /= acc;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        // The vendored rand shim samples integers only; derive a
+        // uniform f64 in [0,1) from 53 random bits.
+        let u = rng.gen_range(0..(1u64 << 53)) as f64 / (1u64 << 53) as f64;
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+}
+
+/// What one traffic run did, with the latency percentiles the bench
+/// trajectory gates on.
+#[derive(Debug, Clone)]
+pub struct TrafficReport {
+    /// Total queries answered across all readers.
+    pub queries: usize,
+    /// Total edits applied across all writers.
+    pub edits: usize,
+    /// Wall time of the whole run (spawn to last join).
+    pub wall: Duration,
+    /// Aggregate reader throughput over the wall time.
+    pub queries_per_sec: f64,
+    /// Median per-query latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile per-query latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Times any single reader observed a tenant's epoch go backwards
+    /// (the snapshot contract says: never).
+    pub monotone_violations: usize,
+    /// Reader lookups that hit a missing tenant (only non-zero when a
+    /// chaos thread removes tenants mid-run).
+    pub lookup_failures: usize,
+    /// Final published epoch per tenant (index = tenant rank).
+    pub final_epochs: Vec<u64>,
+}
+
+/// What one reader did: carried by [`run_mixed`] workers and by
+/// [`single_thread_queries`].
+struct ReaderTally {
+    queries: usize,
+    latencies_ns: Vec<u64>,
+    monotone_violations: usize,
+    lookup_failures: usize,
+}
+
+/// One batch of all-pairs queries against `snap`, appending latencies.
+/// Returns how many queries were answered (0 when the snapshot's
+/// module has no function with two pointers).
+fn query_batch(snap: &EpochSnapshot, rng: &mut StdRng, batch: usize, tally: &mut ReaderTally) {
+    let m = snap.module();
+    let nf = m.num_functions();
+    if nf == 0 {
+        return;
+    }
+    // Scan from a random start for a function with ≥ 2 pointers.
+    let start = rng.gen_range(0..nf);
+    for k in 0..nf {
+        let f = FuncId::new((start + k) % nf);
+        let ptrs = pointer_values(m, f);
+        if ptrs.len() < 2 {
+            continue;
+        }
+        for _ in 0..batch {
+            let i = rng.gen_range(0..ptrs.len());
+            let mut j = rng.gen_range(0..ptrs.len() - 1);
+            if j >= i {
+                j += 1;
+            }
+            let t = Instant::now();
+            let verdict = snap.alias_with_test(f, ptrs[i], ptrs[j]);
+            let dt = t.elapsed().as_nanos() as u64;
+            std::hint::black_box(verdict);
+            tally.latencies_ns.push(dt);
+            tally.queries += 1;
+        }
+        return;
+    }
+}
+
+/// The shared reader loop: sample a tenant, grab its snapshot, check
+/// epoch monotonicity, answer a batch. Runs until `quota` queries are
+/// answered AND `done()` reports true.
+fn reader_loop(
+    service: &AliasService,
+    cfg: &TrafficConfig,
+    seed: u64,
+    quota: usize,
+    done: impl Fn() -> bool,
+) -> ReaderTally {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = ZipfSampler::new(cfg.tenants.max(1), cfg.zipf_s);
+    let mut last_epoch: HashMap<usize, u64> = HashMap::new();
+    let mut tally = ReaderTally {
+        queries: 0,
+        latencies_ns: Vec::with_capacity(quota + cfg.queries_per_batch),
+        monotone_violations: 0,
+        lookup_failures: 0,
+    };
+    while tally.queries < quota || !done() {
+        let t = zipf.sample(&mut rng);
+        let snap = match service.snapshot(&tenant_name(t)) {
+            Ok(s) => s,
+            Err(ServiceError::NoSuchTenant(_)) => {
+                tally.lookup_failures += 1;
+                continue;
+            }
+            Err(e) => panic!("snapshot failed: {e}"),
+        };
+        let seen = last_epoch.entry(t).or_insert(0);
+        if snap.epoch() < *seen {
+            tally.monotone_violations += 1;
+        }
+        *seen = (*seen).max(snap.epoch());
+        query_batch(&snap, &mut rng, cfg.queries_per_batch, &mut tally);
+    }
+    tally
+}
+
+/// The single-threaded baseline: one reader, no concurrent edits,
+/// `quota` queries with the exact sampling pattern [`run_mixed`]
+/// readers use. Returns `(queries, wall)` for a throughput ratio.
+pub fn single_thread_queries(
+    service: &AliasService,
+    cfg: &TrafficConfig,
+    quota: usize,
+) -> (usize, Duration) {
+    let t = Instant::now();
+    let tally = reader_loop(service, cfg, cfg.seed ^ 0x5ead, quota, || true);
+    (tally.queries, t.elapsed())
+}
+
+/// Drives `service` with `cfg.readers` reader threads and
+/// `cfg.writers` writer threads. Tenant `i`'s stream is applied, in
+/// order, by writer `i % cfg.writers`; readers run until every writer
+/// finished *and* their personal query quota is met, so queries
+/// provably race in-flight edits for the whole edit phase.
+///
+/// # Panics
+///
+/// Panics when a writer's edit is rejected (streams are valid by
+/// construction) or a worker thread panics.
+pub fn run_mixed(
+    service: &AliasService,
+    cfg: &TrafficConfig,
+    streams: &[Vec<Edit>],
+) -> TrafficReport {
+    assert!(cfg.readers >= 1, "need at least one reader");
+    assert!(cfg.writers >= 1, "need at least one writer");
+    assert_eq!(streams.len(), cfg.tenants, "one stream per tenant");
+    let writers_left = AtomicUsize::new(cfg.writers);
+    let start = Instant::now();
+    let tallies: Vec<ReaderTally> = std::thread::scope(|scope| {
+        for w in 0..cfg.writers {
+            let writers_left = &writers_left;
+            scope.spawn(move || {
+                apply_streams(service, cfg, streams, w);
+                writers_left.fetch_sub(1, Ordering::Release);
+            });
+        }
+        let readers: Vec<_> = (0..cfg.readers)
+            .map(|r| {
+                let writers_left = &writers_left;
+                scope.spawn(move || {
+                    reader_loop(
+                        service,
+                        cfg,
+                        cfg.seed ^ 0xbeef ^ ((r as u64) << 32),
+                        cfg.queries_per_reader,
+                        || writers_left.load(Ordering::Acquire) == 0,
+                    )
+                })
+            })
+            .collect();
+        readers
+            .into_iter()
+            .map(|h| h.join().expect("reader thread"))
+            .collect()
+    });
+    let wall = start.elapsed();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut queries = 0;
+    let mut monotone_violations = 0;
+    let mut lookup_failures = 0;
+    for t in tallies {
+        queries += t.queries;
+        monotone_violations += t.monotone_violations;
+        lookup_failures += t.lookup_failures;
+        latencies.extend(t.latencies_ns);
+    }
+    latencies.sort_unstable();
+    let pick = |q: f64| -> u64 {
+        if latencies.is_empty() {
+            0
+        } else {
+            let idx = ((latencies.len() - 1) as f64 * q) as usize;
+            latencies[idx]
+        }
+    };
+    let final_epochs: Vec<u64> = (0..cfg.tenants)
+        .map(|i| {
+            service
+                .snapshot(&tenant_name(i))
+                .map(|s| s.epoch())
+                .unwrap_or(0)
+        })
+        .collect();
+    TrafficReport {
+        queries,
+        edits: streams.iter().map(Vec::len).sum(),
+        wall,
+        queries_per_sec: queries as f64 / wall.as_secs_f64().max(1e-9),
+        p50_ns: pick(0.50),
+        p99_ns: pick(0.99),
+        monotone_violations,
+        lookup_failures,
+        final_epochs,
+    }
+}
+
+/// Writer `w`'s share of the work: tenants `i` with `i % writers == w`,
+/// their streams applied round-robin one edit at a time (so a writer
+/// owning two tenants interleaves their publishes, like a real
+/// multiplexed ingest path).
+fn apply_streams(service: &AliasService, cfg: &TrafficConfig, streams: &[Vec<Edit>], w: usize) {
+    let mine: Vec<usize> = (0..cfg.tenants).filter(|i| i % cfg.writers == w).collect();
+    let deepest = mine.iter().map(|&i| streams[i].len()).max().unwrap_or(0);
+    for k in 0..deepest {
+        for &i in &mine {
+            let Some(edit) = streams[i].get(k) else {
+                continue;
+            };
+            let name = tenant_name(i);
+            let applied = match edit {
+                Edit::Replace { func, body } => service
+                    .replace_function(&name, *func, body.clone())
+                    .map(|_| ()),
+                Edit::Add { body } => service.add_function(&name, body.clone()).map(|_| ()),
+                Edit::Remove { func } => service.remove_function(&name, *func).map(|_| ()),
+            };
+            applied.expect("generated streams stay valid against their tenant");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_skews_toward_low_ranks_and_uniform_at_zero() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let zipf = ZipfSampler::new(8, 1.2);
+        let mut counts = [0usize; 8];
+        for _ in 0..4000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts[0] > counts[4] && counts[0] > counts[7],
+            "rank 0 should dominate: {counts:?}"
+        );
+        let uniform = ZipfSampler::new(8, 0.0);
+        let mut counts = [0usize; 8];
+        for _ in 0..4000 {
+            counts[uniform.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts.iter().all(|&c| c > 4000 / 8 / 2),
+            "s=0 should be roughly uniform: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn tenants_and_streams_are_deterministic() {
+        let cfg = TrafficConfig {
+            tenants: 3,
+            insts_per_tenant: 200,
+            edits_per_tenant: 4,
+            ..TrafficConfig::default()
+        };
+        let a = build_tenants(&cfg);
+        let b = build_tenants(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        let sa = edit_streams(&cfg, &a);
+        assert_eq!(sa.len(), 3);
+        assert!(sa.iter().all(|s| s.len() == 4));
+        // Every stream is valid when replayed against its module.
+        for (m, stream) in a.iter().zip(&sa) {
+            let mut m = m.clone();
+            for e in stream {
+                edits::apply_to_module(&mut m, e).expect("stream valid at every prefix");
+            }
+        }
+    }
+
+    #[test]
+    fn small_mixed_run_reports_consistently() {
+        let cfg = TrafficConfig {
+            tenants: 2,
+            insts_per_tenant: 150,
+            readers: 2,
+            writers: 1,
+            edits_per_tenant: 3,
+            queries_per_reader: 50,
+            ..TrafficConfig::default()
+        };
+        let modules = build_tenants(&cfg);
+        let streams = edit_streams(&cfg, &modules);
+        let service = AliasService::new();
+        populate(&service, modules);
+        let report = run_mixed(&service, &cfg, &streams);
+        assert_eq!(report.edits, 6);
+        assert!(report.queries >= 100, "quota per reader: {report:?}");
+        assert_eq!(report.monotone_violations, 0);
+        assert_eq!(report.lookup_failures, 0);
+        assert_eq!(report.final_epochs, vec![3, 3]);
+        assert!(report.p99_ns >= report.p50_ns);
+    }
+}

@@ -79,6 +79,16 @@ fn incremental_session_reuses_caches() {
 }
 
 #[test]
+fn alias_service_serves_during_writer_stall() {
+    let out = run_example("alias_service");
+    assert!(
+        out.contains("answered 100 queries at epoch 1 while a writer held the tenant lock")
+            && out.contains("final epochs per tenant:"),
+        "unexpected output:\n{out}"
+    );
+}
+
+#[test]
 fn compare_analyses_reports_symbolic_ratio() {
     let out = run_example("compare_analyses");
     assert!(

@@ -1,5 +1,5 @@
 //! The CI perf-trajectory harness: times the throughput-critical paths
-//! in quick mode, writes a machine-readable `BENCH_6.json`, compares
+//! in quick mode, writes a machine-readable `BENCH_7.json`, compares
 //! against the previous `BENCH_N.json` at the repo root (printing a
 //! per-group delta table — warn, don't gate, on regressions; groups
 //! that appear or disappear across trajectories are listed as `new` /
@@ -29,8 +29,14 @@
 //!   every edit re-analyzes its tenant, so the ratio holding near
 //!   readers/(readers+writers) on a saturated runner (and above 1×
 //!   with spare cores) is the "readers never block" contract in
-//!   trajectory form. The mixed p99 query latency is recorded
-//!   alongside.
+//!   trajectory form. The mixed p50/p99 query latencies are recorded
+//!   alongside (amortised over 32-query timed sub-batches, nearest-rank
+//!   percentiles);
+//! * `demand/matrix_build_t4` vs `demand/single_query` — building one
+//!   giant function's full packed alias matrix (the O(P²) wall) vs one
+//!   cold demand-driven query through a fresh [`sra_core::DemandCache`]
+//!   (PR 7's ≥10× floor). The giant function's packed-matrix byte
+//!   accounting rides along in the JSON.
 //!
 //! The run also surfaces the analysis' arena statistics (interned
 //! nodes, memo hit rate) for the scaling workload.
@@ -40,7 +46,7 @@ use std::time::{Duration, Instant};
 use sra_bench::{
     batched_sweep, build_session, deep_chain_range, per_query_sweep, scratch_replay, session_replay,
 };
-use sra_core::{AliasService, RbaaAnalysis};
+use sra_core::{pointer_values, AliasMatrix, AliasResult, AliasService, RbaaAnalysis};
 use sra_symbolic::{ExprArena, RangeId, SymRange};
 use sra_workloads::{edits, scaling, traffic};
 
@@ -74,6 +80,13 @@ const INTERNING_GATE: f64 = 1.5;
 /// gate still catches the collapse with ~40× margin.
 const SERVICE_FLOOR: f64 = 0.4;
 const SERVICE_GATE: f64 = 0.2;
+/// The demand group's contract is structural, not a timing nuance: a
+/// single demand query interns two signatures and proves one pair,
+/// while the matrix build proves the whole signature triangle and
+/// fills millions of packed cells. Anything under 10× means demand
+/// mode started doing eager work, so floor and gate coincide.
+const DEMAND_FLOOR: f64 = 10.0;
+const DEMAND_GATE: f64 = 10.0;
 /// Previous-trajectory deltas louder than this warn (never gate — the
 /// comparison crosses machines and runner generations).
 const DELTA_WARN: f64 = 0.20;
@@ -207,6 +220,13 @@ fn previous_trajectory(out_path: &str) -> Option<(String, String)> {
     Some((name, contents))
 }
 
+/// The demand-group workload: one function with thousands of pointers
+/// in a dozen alias cliques — the shape where an eager all-pairs
+/// matrix is millions of cells but any one query touches two
+/// signatures.
+const GIANT_PTRS: usize = 3_000;
+const GIANT_CLIQUES: usize = 12;
+
 /// The service traffic shape: smaller tenants than the scaling
 /// workload (edits re-analyze a whole tenant per publish, and five
 /// samples replay the full mixed phase each).
@@ -220,7 +240,7 @@ const SERVICE_QUERIES_PER_READER: usize = 2_000;
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_6.json".to_owned());
+        .unwrap_or_else(|| "BENCH_7.json".to_owned());
 
     let m = scaling::generate_module(SCALING_INSTS, SCALING_SEED);
     eprintln!(
@@ -341,6 +361,38 @@ fn main() {
         single_qps.0, mixed.queries_per_sec, mixed.p99_ns
     );
 
+    // Group 5: the O(P²) wall. Building the giant function's full
+    // packed matrix vs answering one cold query through a fresh
+    // demand cache (fresh per sample, so the measured cost includes
+    // signature interning — the cache-miss path, not a warm memo hit).
+    let giant = scaling::generate_giant_function(GIANT_PTRS, GIANT_CLIQUES, SCALING_SEED);
+    let giant_f = giant.func_ids().next().expect("one giant function");
+    let giant_rbaa = RbaaAnalysis::analyze(&giant);
+    let giant_ptrs = pointer_values(&giant, giant_f);
+    let (p, q) = (
+        giant_ptrs[0],
+        *giant_ptrs.last().expect("thousands of pointers"),
+    );
+    let matrix_build = median_time(|| {
+        AliasMatrix::build_with(&giant_rbaa, &giant, giant_f, 4)
+            .bytes()
+            .pairs
+    });
+    let single_query = median_time(|| {
+        let mut cache = giant_rbaa.demand_cache();
+        usize::from(cache.query(&giant_rbaa, giant_f, p, q).0 == AliasResult::NoAlias)
+    });
+    let demand_ratio = matrix_build.as_secs_f64() / single_query.as_secs_f64();
+    let giant_bytes = AliasMatrix::build_with(&giant_rbaa, &giant, giant_f, 4).bytes();
+    eprintln!(
+        "demand ({GIANT_PTRS} ptrs, {GIANT_CLIQUES} cliques): matrix build {matrix_build:?} \
+         ({} pairs, {} KiB packed vs {} KiB unpacked), single query {single_query:?} \
+         ({demand_ratio:.0}x)",
+        giant_bytes.pairs,
+        giant_bytes.packed_bytes / 1024,
+        giant_bytes.unpacked_bytes / 1024
+    );
+
     let json = format!(
         "{{\n  \"schema\": \"sra-bench-trajectory/v1\",\n  \"workload\": {{\n    \
          \"insts\": {SCALING_INSTS},\n    \"seed\": {SCALING_SEED},\n    \
@@ -353,14 +405,23 @@ fn main() {
          \"interning/interned\": {{ \"median_ns\": {} }},\n    \
          \"service/single_thread\": {{ \"median_ns\": {} }},\n    \
          \"service/mixed_{SERVICE_READERS}r{SERVICE_WRITERS}w\": \
-         {{ \"median_ns\": {} }}\n  }},\n  \
+         {{ \"median_ns\": {} }},\n    \
+         \"demand/matrix_build_t4\": {{ \"median_ns\": {} }},\n    \
+         \"demand/single_query\": {{ \"median_ns\": {} }}\n  }},\n  \
          \"arena\": {{\n    \"exprs\": {},\n    \"ranges\": {},\n    \
          \"hits\": {},\n    \"misses\": {},\n    \"bytes\": {}\n  }},\n  \
+         \"matrix\": {{\n    \"giant_ptrs\": {GIANT_PTRS},\n    \
+         \"giant_cliques\": {GIANT_CLIQUES},\n    \
+         \"pairs\": {},\n    \
+         \"packed_bytes\": {},\n    \
+         \"unpacked_bytes\": {},\n    \
+         \"saving_ratio\": {:.2}\n  }},\n  \
          \"service\": {{\n    \"tenants\": {SERVICE_TENANTS},\n    \
          \"insts_per_tenant\": {SERVICE_INSTS},\n    \
          \"readers\": {SERVICE_READERS},\n    \
          \"writers\": {SERVICE_WRITERS},\n    \
          \"edits_per_tenant\": {SERVICE_EDITS},\n    \
+         \"latency_method\": \"amortised 32-query sub-batches, nearest-rank percentiles\",\n    \
          \"single_thread_qps\": {:.1},\n    \
          \"mixed_qps\": {:.1},\n    \
          \"mixed_p50_ns\": {},\n    \
@@ -370,15 +431,18 @@ fn main() {
          \"ratios\": {{\n    \"batched_vs_per_query\": {batched_ratio:.3},\n    \
          \"session_vs_scratch\": {session_ratio:.3},\n    \
          \"interning\": {interning_ratio:.3},\n    \
-         \"service_vs_single_thread\": {service_ratio:.3}\n  }},\n  \"floors\": {{\n    \
+         \"service_vs_single_thread\": {service_ratio:.3},\n    \
+         \"demand_vs_matrix_build\": {demand_ratio:.1}\n  }},\n  \"floors\": {{\n    \
          \"batched_vs_per_query\": {BATCHED_FLOOR},\n    \
          \"session_vs_scratch\": {SESSION_FLOOR},\n    \
          \"interning\": {INTERNING_FLOOR},\n    \
-         \"service_vs_single_thread\": {SERVICE_FLOOR}\n  }},\n  \"gates\": {{\n    \
+         \"service_vs_single_thread\": {SERVICE_FLOOR},\n    \
+         \"demand_vs_matrix_build\": {DEMAND_FLOOR}\n  }},\n  \"gates\": {{\n    \
          \"batched_vs_per_query\": {BATCHED_FLOOR},\n    \
          \"session_vs_scratch\": {SESSION_GATE},\n    \
          \"interning\": {INTERNING_GATE},\n    \
-         \"service_vs_single_thread\": {SERVICE_GATE}\n  }}\n}}\n",
+         \"service_vs_single_thread\": {SERVICE_GATE},\n    \
+         \"demand_vs_matrix_build\": {DEMAND_GATE}\n  }}\n}}\n",
         per_query.as_nanos(),
         batched.as_nanos(),
         scratch.as_nanos(),
@@ -387,11 +451,17 @@ fn main() {
         interned.as_nanos(),
         single_qps.1.as_nanos(),
         mixed.wall.as_nanos(),
+        matrix_build.as_nanos(),
+        single_query.as_nanos(),
         arena.exprs,
         arena.ranges,
         arena.hits,
         arena.misses,
         arena.bytes,
+        giant_bytes.pairs,
+        giant_bytes.packed_bytes,
+        giant_bytes.unpacked_bytes,
+        giant_bytes.saving_ratio(),
         single_qps.0,
         mixed.queries_per_sec,
         mixed.p50_ns,
@@ -502,6 +572,13 @@ fn main() {
              the {SERVICE_GATE}x gate)"
         );
     }
+    if demand_ratio < DEMAND_GATE {
+        eprintln!(
+            "FAIL: demand single-query vs matrix-build ratio {demand_ratio:.2}x is below \
+             the {DEMAND_GATE}x gate — demand mode is doing eager all-pairs work"
+        );
+        failed = true;
+    }
     if failed {
         std::process::exit(1);
     }
@@ -511,7 +588,8 @@ fn main() {
          interning {interning_ratio:.2}x (floor {INTERNING_FLOOR}x), \
          service {:.0} q/s mixed at {SERVICE_READERS}r/{SERVICE_WRITERS}w \
          ({service_ratio:.2}x vs single thread, floor {SERVICE_FLOOR}x, \
-         gate {SERVICE_GATE}x; p99 {} ns)",
+         gate {SERVICE_GATE}x; p99 {} ns), \
+         demand {demand_ratio:.0}x vs full matrix build (floor {DEMAND_FLOOR}x)",
         mixed.queries_per_sec, mixed.p99_ns
     );
 }

@@ -170,11 +170,26 @@ impl BatchAnalysis {
     }
 
     /// Builds the per-function matrices over an existing analysis.
+    /// A single-function module hands the whole worker budget to that
+    /// function's signature triangle ([`AliasMatrix::build_with`]);
+    /// several functions share the budget function-wise instead, so
+    /// the pool is never oversubscribed. Byte-identical either way.
     pub fn from_rbaa(rbaa: RbaaAnalysis, m: &Module, threads: usize) -> Self {
-        let matrices = pool::run_indexed(m.num_functions(), threads, |i| {
-            AliasMatrix::build(&rbaa, m, FuncId::new(i))
+        let nf = m.num_functions();
+        let inner = if nf == 1 { threads } else { 1 };
+        let matrices = pool::run_indexed(nf, threads, |i| {
+            AliasMatrix::build_with(&rbaa, m, FuncId::new(i), inner)
         });
         BatchAnalysis { rbaa, matrices }
+    }
+
+    /// Per-module totals of the matrices' packed-cell byte accounting.
+    pub fn total_matrix_bytes(&self) -> crate::query::MatrixBytes {
+        let mut total = crate::query::MatrixBytes::default();
+        for mx in &self.matrices {
+            total.merge(&mx.bytes());
+        }
+        total
     }
 
     /// The underlying analysis (states, symbol table, …).

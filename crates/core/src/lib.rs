@@ -62,7 +62,7 @@ pub use locs::{AllocSite, LocId, LocKind, LocTable};
 pub use lr::{LocalBase, LrAnalysis, LrPart, LrState, LrStateRef};
 pub use query::{
     global_no_alias, global_no_alias_kind, pointer_values, AliasAnalysis, AliasMatrix, AliasResult,
-    QueryStats, RbaaAnalysis, WhichTest,
+    DemandCache, DemandStats, MatrixBytes, QueryMode, QueryStats, RbaaAnalysis, WhichTest,
 };
 pub use service::{AliasService, EpochSnapshot, ServiceError, TenantWriter};
 pub use session::{AnalysisSession, FrozenAnalysis, SessionError, SessionStats};

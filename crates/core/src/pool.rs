@@ -104,6 +104,29 @@ where
     })
 }
 
+/// Splits `0..total` into at most `pieces` contiguous, non-empty
+/// `(start, end)` ranges of near-equal length, in order.
+///
+/// The matrix build tiles its signature triangle with this: the tile
+/// list is deterministic (it depends only on `total` and `pieces`), so
+/// concatenating per-tile results reproduces the serial sweep exactly.
+pub fn chunk_bounds(total: usize, pieces: usize) -> Vec<(usize, usize)> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let pieces = pieces.clamp(1, total);
+    let base = total / pieces;
+    let extra = total % pieces;
+    let mut out = Vec::with_capacity(pieces);
+    let mut start = 0;
+    for k in 0..pieces {
+        let len = base + usize::from(k < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,5 +178,30 @@ mod tests {
     fn default_threads_sane() {
         let t = default_threads();
         assert!((1..=16).contains(&t));
+    }
+
+    #[test]
+    fn chunk_bounds_cover_exactly_once() {
+        for total in [0usize, 1, 2, 7, 16, 100, 101] {
+            for pieces in [1usize, 2, 3, 8, 200] {
+                let bounds = chunk_bounds(total, pieces);
+                if total == 0 {
+                    assert!(bounds.is_empty());
+                    continue;
+                }
+                assert!(bounds.len() <= pieces.max(1));
+                let mut at = 0;
+                for &(lo, hi) in &bounds {
+                    assert_eq!(lo, at, "contiguous");
+                    assert!(hi > lo, "non-empty");
+                    at = hi;
+                }
+                assert_eq!(at, total, "covers 0..total");
+                // Near-equal: lengths differ by at most one.
+                let lens: Vec<usize> = bounds.iter().map(|&(lo, hi)| hi - lo).collect();
+                let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(max - min <= 1, "balanced: {lens:?}");
+            }
+        }
     }
 }

@@ -1,7 +1,10 @@
 //! Alias queries: the global test `QGR`, the local test `QLR`, the
-//! combined analysis of the paper's Figure 5, and the per-function
+//! combined analysis of the paper's Figure 5, the per-function
 //! [`AliasMatrix`] cache that answers all-pairs workloads in `O(1)`
-//! per repeat query.
+//! per repeat query, and the [`DemandCache`] that answers single
+//! queries without paying the all-pairs triangle.
+
+use std::sync::Arc;
 
 use sra_ir::{BlockId, FuncId, Module, Ty, ValueId};
 use sra_range::RangeAnalysis;
@@ -10,6 +13,7 @@ use sra_symbolic::{ArenaStats, ExprArena, FxHashMap, RangeId, SymbolTable};
 use crate::gr::{GrAnalysis, GrConfig};
 use crate::locs::{LocId, LocKind, LocTable};
 use crate::lr::{LocalBase, LrAnalysis};
+use crate::pool;
 use crate::state::PtrState;
 
 /// The verdict of one alias query.
@@ -38,6 +42,28 @@ pub enum WhichTest {
     Global,
     /// The local test of §3.7 (same local base, disjoint offsets).
     Local,
+}
+
+/// How a session or service answers alias queries.
+///
+/// Both modes are pinned byte-identical to the uncached
+/// [`RbaaAnalysis::alias_with_test`] reference; they trade *where* the
+/// work happens. `Matrix` pays the all-pairs triangle at (re)build time
+/// and answers lookups in `O(1)`; `Demand` builds nothing up front and
+/// proves each signature pair the first time a query needs it — the
+/// right choice when consumers touch a sparse subset of the `O(P²)`
+/// pair universe (the scaling cliff of giant functions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum QueryMode {
+    /// Eagerly build per-function [`AliasMatrix`] caches; queries are
+    /// lock-free `O(1)` lookups.
+    #[default]
+    Matrix,
+    /// Answer queries from a lazily grown [`DemandCache`]. The cache
+    /// memoises per signature pair under a mutex, so concurrent readers
+    /// of one snapshot serialize on it — throughput-critical all-pairs
+    /// consumers should prefer `Matrix`.
+    Demand,
 }
 
 /// A pointer disambiguation oracle.
@@ -169,6 +195,12 @@ impl RbaaAnalysis {
             }
         }
         (AliasResult::MayAlias, None)
+    }
+
+    /// Starts an empty [`DemandCache`] over this analysis — single
+    /// queries with memoisation, no all-pairs matrix build.
+    pub fn demand_cache(&self) -> DemandCache {
+        DemandCache::new(self)
     }
 }
 
@@ -308,7 +340,9 @@ pub fn pointer_values(m: &Module, f: FuncId) -> Vec<ValueId> {
         .collect()
 }
 
-/// Packed verdict codes of one [`AliasMatrix`] cell.
+/// Packed verdict codes of one [`AliasMatrix`] cell. Exactly four
+/// values — a cell is two bits: `NoAlias`/`MayAlias` plus the
+/// which-test attribution sideband.
 const CELL_MAY: u8 = 0;
 const CELL_DISTINCT: u8 = 1;
 const CELL_GLOBAL: u8 = 2;
@@ -323,9 +357,50 @@ fn decode_cell(cell: u8) -> (AliasResult, Option<WhichTest>) {
     }
 }
 
+/// Reads 2-bit cell `idx` of a packed cell store (four cells per byte,
+/// little-endian within the byte).
+#[inline]
+fn get_packed(cells: &[u8], idx: usize) -> u8 {
+    (cells[idx >> 2] >> ((idx & 3) * 2)) & 3
+}
+
+/// Byte accounting of packed [`AliasMatrix`] cell storage, in the style
+/// of [`ArenaStats`]: the triangular bitset holds four 2-bit verdicts
+/// per byte, so `packed_bytes ≈ pairs / 4` against the one-byte-per-pair
+/// layout recorded in `unpacked_bytes`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatrixBytes {
+    /// Unordered pointer pairs the matrix caches (its cell count).
+    pub pairs: usize,
+    /// Bytes actually allocated for the packed 2-bit cells.
+    pub packed_bytes: usize,
+    /// Bytes the former one-byte-per-cell layout would allocate.
+    pub unpacked_bytes: usize,
+}
+
+impl MatrixBytes {
+    /// Accumulates another matrix's accounting (for per-module totals).
+    pub fn merge(&mut self, other: &MatrixBytes) {
+        self.pairs += other.pairs;
+        self.packed_bytes += other.packed_bytes;
+        self.unpacked_bytes += other.unpacked_bytes;
+    }
+
+    /// Memory saving of the packed layout (`unpacked / packed`, ~4× at
+    /// scale); `0.0` for an empty matrix.
+    pub fn saving_ratio(&self) -> f64 {
+        if self.packed_bytes == 0 {
+            0.0
+        } else {
+            self.unpacked_bytes as f64 / self.packed_bytes as f64
+        }
+    }
+}
+
 /// The cached all-pairs verdicts of one function: every unordered pair
 /// of pointer-typed values of `f`, evaluated once over the analyses'
-/// interned states, packed into a triangular byte matrix.
+/// interned states, packed into a triangular bitset of 2-bit cells
+/// (four verdicts per byte — see [`MatrixBytes`]).
 ///
 /// The build works directly on the GR and LR module arenas' handles —
 /// state signatures are `RangeId` vectors, no re-interning — through
@@ -333,17 +408,20 @@ fn decode_cell(cell: u8) -> (AliasResult, Option<WhichTest>) {
 /// distinct range comparison is proved once and matrix builds can run
 /// on worker threads against one shared analysis. Verdicts are
 /// byte-identical to [`RbaaAnalysis::alias_with_test`] — the
-/// workspace's equivalence property test pins this.
+/// workspace's equivalence property tests pin this, for the serial and
+/// the tiled parallel build alike.
 #[derive(Debug, Clone)]
 pub struct AliasMatrix {
     ptrs: Vec<ValueId>,
     pos: FxHashMap<ValueId, usize>,
+    /// 2-bit cells, four per byte; cell `k` is the verdict of the k-th
+    /// unordered pair in row-major upper-triangle order.
     cells: Vec<u8>,
     stats: QueryStats,
 }
 
 /// Interned global state of one pointer.
-#[derive(PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 enum IGr {
     Bottom,
     Top,
@@ -351,7 +429,7 @@ enum IGr {
 }
 
 /// Interned local state of one pointer.
-#[derive(PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 struct ILr {
     base: LocalBase,
     block: Option<BlockId>,
@@ -361,13 +439,23 @@ struct ILr {
 }
 
 impl AliasMatrix {
-    /// Builds the matrix over every pointer-typed value of `f`.
+    /// Builds the matrix over every pointer-typed value of `f`
+    /// (serial — see [`AliasMatrix::build_with`]).
     pub fn build(rbaa: &RbaaAnalysis, m: &Module, f: FuncId) -> Self {
-        Self::build_for(rbaa, f, pointer_values(m, f))
+        Self::build_for_with(rbaa, f, pointer_values(m, f), 1)
+    }
+
+    /// Like [`AliasMatrix::build`], with the signature triangle tiled
+    /// across `threads` pool workers — byte-identical to the serial
+    /// build (each tile proves its comparisons in its own overlay
+    /// arena, and verdicts depend only on the interned states, never on
+    /// which overlay memoised them).
+    pub fn build_with(rbaa: &RbaaAnalysis, m: &Module, f: FuncId, threads: usize) -> Self {
+        Self::build_for_with(rbaa, f, pointer_values(m, f), threads)
     }
 
     /// Builds the matrix over an explicit pointer universe (must be
-    /// duplicate-free).
+    /// duplicate-free), serially.
     ///
     /// Hash-consing happens at two levels: the states' offset ranges
     /// are already interned handles into the GR/LR module arenas (the
@@ -378,8 +466,17 @@ impl AliasMatrix {
     /// the states, so the `O(P²)` pair sweep collapses to `O(S²)`
     /// state-pair verdicts plus an `O(P²)` table fill.
     pub fn build_for(rbaa: &RbaaAnalysis, f: FuncId, ptrs: Vec<ValueId>) -> Self {
-        let mut gr_arena = ExprArena::with_base(rbaa.gr().arena_arc());
-        let mut lr_arena = ExprArena::with_base(rbaa.lr().arena_arc());
+        Self::build_for_with(rbaa, f, ptrs, 1)
+    }
+
+    /// [`AliasMatrix::build_for`] with a worker budget for the
+    /// signature triangle.
+    pub fn build_for_with(
+        rbaa: &RbaaAnalysis,
+        f: FuncId,
+        ptrs: Vec<ValueId>,
+        threads: usize,
+    ) -> Self {
         let locs = rbaa.gr().locs();
         let kinds: Vec<LocKind> = (0..locs.len())
             .map(|i| locs.site(LocId::new(i)).kind)
@@ -422,30 +519,73 @@ impl AliasMatrix {
         // Row `a` of the upper triangle (b ≥ a) starts after the
         // `a*s - a*(a-1)/2` entries of the rows above it.
         let s = sig_ids.len();
-        let tri = |a: usize, b: usize| a * s - a * a.saturating_sub(1) / 2 - a + b;
-        let mut sig_cells = vec![CELL_MAY; s * (s + 1) / 2];
-        for a in 0..s {
-            let (ga, la) = by_id[a].expect("dense signature ids");
-            for b in a..s {
+        let row_start = |a: usize| a * s - a * a.saturating_sub(1) / 2;
+        let tri = |a: usize, b: usize| row_start(a) + b - a;
+        // Tile the flat triangle index space onto the pool: tiles are a
+        // deterministic split, each worker proves its tile against its
+        // own overlay arena, and concatenation restores serial order —
+        // so the parallel build is byte-identical to `threads == 1`.
+        let total = s * (s + 1) / 2;
+        let tiles = pool::chunk_bounds(total, if threads <= 1 { 1 } else { threads * 4 });
+        let parts: Vec<Vec<u8>> = pool::run_map(tiles, threads, |(lo, hi)| {
+            let mut gr_arena = ExprArena::with_base(rbaa.gr().arena_arc());
+            let mut lr_arena = ExprArena::with_base(rbaa.lr().arena_arc());
+            // Recover the (row, column) of the tile's first flat index:
+            // the largest row whose start is ≤ lo.
+            let mut a = {
+                let (mut l, mut h) = (0usize, s);
+                while l + 1 < h {
+                    let mid = (l + h) / 2;
+                    if row_start(mid) <= lo {
+                        l = mid;
+                    } else {
+                        h = mid;
+                    }
+                }
+                l
+            };
+            let mut b = a + (lo - row_start(a));
+            let mut out = Vec::with_capacity(hi - lo);
+            for _ in lo..hi {
+                let (ga, la) = by_id[a].expect("dense signature ids");
                 let (gb, lb) = by_id[b].expect("dense signature ids");
-                sig_cells[tri(a, b)] =
-                    Self::verdict(&mut gr_arena, &mut lr_arena, &kinds, ga, gb, la, lb);
+                out.push(Self::verdict(
+                    &mut gr_arena,
+                    &mut lr_arena,
+                    &kinds,
+                    ga,
+                    gb,
+                    la,
+                    lb,
+                ));
+                b += 1;
+                if b == s {
+                    a += 1;
+                    b = a;
+                }
             }
+            out
+        });
+        let mut sig_cells = Vec::with_capacity(total);
+        for part in parts {
+            sig_cells.extend(part);
         }
         let sig_cell = |a: usize, b: usize| {
             let (a, b) = if a <= b { (a, b) } else { (b, a) };
             sig_cells[tri(a, b)]
         };
 
-        // Fill the pointer-pair triangle from the signature table.
+        // Fill the pointer-pair triangle from the signature table:
+        // 2-bit cells, four pairs per byte.
         let n = ptrs.len();
-        let mut cells = vec![CELL_MAY; n * n.saturating_sub(1) / 2];
+        let npairs = n * n.saturating_sub(1) / 2;
+        let mut cells = vec![0u8; npairs.div_ceil(4)];
         let mut stats = QueryStats::default();
         let mut idx = 0;
         for i in 0..n {
             for j in i + 1..n {
                 let cell = sig_cell(sigs[i], sigs[j]);
-                cells[idx] = cell;
+                cells[idx >> 2] |= cell << ((idx & 3) * 2);
                 idx += 1;
                 stats.queries += 1;
                 match cell {
@@ -560,7 +700,191 @@ impl AliasMatrix {
         let (i, j) = if i < j { (i, j) } else { (j, i) };
         let n = self.ptrs.len();
         let idx = i * (2 * n - i - 1) / 2 + (j - i - 1);
-        Some(decode_cell(self.cells[idx]))
+        Some(decode_cell(get_packed(&self.cells, idx)))
+    }
+
+    /// Byte accounting of this matrix's packed cell store.
+    pub fn bytes(&self) -> MatrixBytes {
+        let n = self.ptrs.len();
+        let pairs = n * n.saturating_sub(1) / 2;
+        MatrixBytes {
+            pairs,
+            packed_bytes: self.cells.len(),
+            unpacked_bytes: pairs,
+        }
+    }
+}
+
+/// Activity counters of one [`DemandCache`] — how much of the pair
+/// universe a query stream actually touched.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DemandStats {
+    /// Queries answered (including `p == q` shortcuts).
+    pub queries: usize,
+    /// Pointer states interned into signature classes (first sight of a
+    /// `(f, value)`; repeats hit the per-pointer memo).
+    pub sig_misses: usize,
+    /// Signature-pair verdicts proved (first sight of an unordered
+    /// signature pair; repeats hit the pair memo).
+    pub pair_misses: usize,
+}
+
+/// Demand-driven alias queries: answers single `(f, p, q)` pairs
+/// against the interned GR/LR states with per-signature-pair
+/// memoisation — **no all-pairs matrix build**.
+///
+/// Where [`AliasMatrix::build_for`] pays `O(S²)` signature verdicts
+/// plus an `O(P²)` fill up front, a `DemandCache` interns each
+/// pointer's state signature the first time a query mentions it and
+/// proves each unordered signature pair the first time a query needs
+/// it; everything after that is two hash lookups. Verdicts are
+/// byte-identical to [`RbaaAnalysis::alias_with_test`] (the
+/// `demand_equivalence` rail pins this): the memo key fully determines
+/// the inputs of the decision, so caching cannot change an answer.
+///
+/// The cache is valid only for the analysis it was created from; it
+/// borrows nothing, so sessions drop and recreate it on rebuild.
+pub struct DemandCache {
+    /// Overlay arenas over the GR/LR module arenas — same memoised
+    /// comparison machinery the matrix build uses.
+    gr_arena: ExprArena,
+    lr_arena: ExprArena,
+    /// The GR module arena this cache was built over, to catch queries
+    /// against a different analysis in debug builds.
+    gr_base: Arc<ExprArena>,
+    kinds: Vec<LocKind>,
+    sigma_ids: FxHashMap<Vec<ValueId>, u32>,
+    /// Signature contents by dense id (`sigs[id]` is the interning key
+    /// of signature class `id`).
+    sigs: Vec<(IGr, Option<ILr>)>,
+    sig_ids: FxHashMap<(IGr, Option<ILr>), u32>,
+    /// Per-pointer signature memo.
+    ptr_sig: FxHashMap<(FuncId, ValueId), u32>,
+    /// Per-unordered-signature-pair verdict memo.
+    pair_memo: FxHashMap<(u32, u32), u8>,
+    stats: DemandStats,
+}
+
+impl std::fmt::Debug for DemandCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DemandCache")
+            .field("signatures", &self.sigs.len())
+            .field("pairs", &self.pair_memo.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl DemandCache {
+    /// Starts an empty cache over `rbaa` (see
+    /// [`RbaaAnalysis::demand_cache`]).
+    pub fn new(rbaa: &RbaaAnalysis) -> Self {
+        let locs = rbaa.gr().locs();
+        DemandCache {
+            gr_arena: ExprArena::with_base(rbaa.gr().arena_arc()),
+            lr_arena: ExprArena::with_base(rbaa.lr().arena_arc()),
+            gr_base: rbaa.gr().arena_arc(),
+            kinds: (0..locs.len())
+                .map(|i| locs.site(LocId::new(i)).kind)
+                .collect(),
+            sigma_ids: FxHashMap::default(),
+            sigs: Vec::new(),
+            sig_ids: FxHashMap::default(),
+            ptr_sig: FxHashMap::default(),
+            pair_memo: FxHashMap::default(),
+            stats: DemandStats::default(),
+        }
+    }
+
+    /// Answers one query — byte-identical to
+    /// [`RbaaAnalysis::alias_with_test`] on the same `rbaa`.
+    ///
+    /// `rbaa` must be the analysis this cache was created from (other
+    /// analyses' states would be read against the wrong arenas; debug
+    /// builds assert the arena identity).
+    pub fn query(
+        &mut self,
+        rbaa: &RbaaAnalysis,
+        f: FuncId,
+        p: ValueId,
+        q: ValueId,
+    ) -> (AliasResult, Option<WhichTest>) {
+        debug_assert!(
+            Arc::ptr_eq(&self.gr_base, &rbaa.gr().arena_arc()),
+            "demand cache queried against a different analysis"
+        );
+        self.stats.queries += 1;
+        if p == q {
+            return (AliasResult::MayAlias, None);
+        }
+        let a = self.sig_of(rbaa, f, p);
+        let b = self.sig_of(rbaa, f, q);
+        let key = if a <= b { (a, b) } else { (b, a) };
+        // Split the borrows: the memo entry computation reads `sigs`
+        // while mutating the overlay arenas.
+        let DemandCache {
+            gr_arena,
+            lr_arena,
+            kinds,
+            sigs,
+            pair_memo,
+            stats,
+            ..
+        } = self;
+        let cell = *pair_memo.entry(key).or_insert_with(|| {
+            stats.pair_misses += 1;
+            let (ga, la) = &sigs[key.0 as usize];
+            let (gb, lb) = &sigs[key.1 as usize];
+            AliasMatrix::verdict(gr_arena, lr_arena, kinds, ga, gb, la, lb)
+        });
+        decode_cell(cell)
+    }
+
+    /// The cache's activity counters.
+    pub fn stats(&self) -> DemandStats {
+        self.stats
+    }
+
+    /// Interns the `(GR, LR)` state of `(f, p)` into a signature class,
+    /// memoised per pointer. A signature fully determines both states
+    /// (exact support handles, base, block, σ-set identity, offset
+    /// handles), so equal signatures — even across functions — always
+    /// produce equal verdicts.
+    fn sig_of(&mut self, rbaa: &RbaaAnalysis, f: FuncId, p: ValueId) -> u32 {
+        if let Some(&id) = self.ptr_sig.get(&(f, p)) {
+            return id;
+        }
+        self.stats.sig_misses += 1;
+        let st = rbaa.gr().raw_state(f, p);
+        let igr = if st.is_bottom() {
+            IGr::Bottom
+        } else if st.is_top() {
+            IGr::Top
+        } else {
+            IGr::Support(st.support().collect())
+        };
+        let ilr = rbaa.lr().raw_state(f, p).map(|s| {
+            let next = self.sigma_ids.len() as u32;
+            let sigmas = *self.sigma_ids.entry(s.sigmas.clone()).or_insert(next);
+            ILr {
+                base: s.base,
+                block: s.block,
+                sigmas,
+                range: s.range,
+            }
+        });
+        let key = (igr, ilr);
+        let id = match self.sig_ids.get(&key) {
+            Some(&id) => id,
+            None => {
+                let id = self.sigs.len() as u32;
+                self.sigs.push(key.clone());
+                self.sig_ids.insert(key, id);
+                id
+            }
+        };
+        self.ptr_sig.insert((f, p), id);
+        id
     }
 }
 #[cfg(test)]
@@ -938,6 +1262,118 @@ mod tests {
             AliasResult::MayAlias,
             "offsets from different σ instances of one φ are incomparable"
         );
+    }
+
+    /// A module whose pointers exercise every cell code: distinct
+    /// mallocs (DistinctLocs), same-base disjoint offsets (Global),
+    /// a loaded pointer (⊤ → MayAlias) and a freed one (⊥).
+    fn mixed_pointer_module() -> (Module, FuncId) {
+        let mut b = FunctionBuilder::new("mixed", &[], None);
+        let ten = b.const_int(10);
+        let p = b.malloc(ten);
+        let q = b.malloc(ten);
+        for off in 0..6 {
+            let c = b.const_int(off);
+            let base = if off % 2 == 0 { p } else { q };
+            let _ = b.ptr_add(base, c);
+        }
+        let _top = b.load(p, Ty::Ptr);
+        let _dead = b.free(q);
+        b.ret(None);
+        let mut m = Module::new();
+        let fid = m.add_function(b.finish());
+        sra_ir::verify::verify_module(&m).expect("verifies");
+        (m, fid)
+    }
+
+    /// The tiled parallel build must be byte-identical to the serial
+    /// one: same verdicts on every pair, same stats, same byte layout.
+    #[test]
+    fn parallel_build_matches_serial() {
+        let (m, fid) = mixed_pointer_module();
+        let rbaa = RbaaAnalysis::analyze(&m);
+        let ptrs = pointer_values(&m, fid);
+        let serial = AliasMatrix::build(&rbaa, &m, fid);
+        for threads in [2, 4, 7] {
+            let tiled = AliasMatrix::build_with(&rbaa, &m, fid, threads);
+            assert_eq!(serial.stats(), tiled.stats(), "t{threads}");
+            assert_eq!(serial.bytes(), tiled.bytes(), "t{threads}");
+            assert_eq!(serial.cells, tiled.cells, "t{threads}");
+            for &p in &ptrs {
+                for &q in &ptrs {
+                    assert_eq!(serial.lookup(p, q), tiled.lookup(p, q));
+                }
+            }
+        }
+    }
+
+    /// Cells pack four verdicts per byte, and the accounting says so.
+    #[test]
+    fn packed_cells_quarter_the_bytes() {
+        let (m, fid) = mixed_pointer_module();
+        let rbaa = RbaaAnalysis::analyze(&m);
+        let matrix = AliasMatrix::build(&rbaa, &m, fid);
+        let n = matrix.pointers().len();
+        let pairs = n * (n - 1) / 2;
+        let bytes = matrix.bytes();
+        assert_eq!(bytes.pairs, pairs);
+        assert_eq!(bytes.unpacked_bytes, pairs);
+        assert_eq!(bytes.packed_bytes, pairs.div_ceil(4));
+        assert!(bytes.saving_ratio() >= 3.0, "{:?}", bytes);
+        let mut total = MatrixBytes::default();
+        total.merge(&bytes);
+        total.merge(&bytes);
+        assert_eq!(total.pairs, 2 * pairs);
+        assert_eq!(MatrixBytes::default().saving_ratio(), 0.0);
+    }
+
+    /// Demand-driven answers are byte-identical to the uncached
+    /// reference, and repeats hit the memo instead of re-proving.
+    #[test]
+    fn demand_cache_matches_reference_and_memoises() {
+        let (m, fid) = mixed_pointer_module();
+        let rbaa = RbaaAnalysis::analyze(&m);
+        let ptrs = pointer_values(&m, fid);
+        let mut cache = rbaa.demand_cache();
+        for &p in &ptrs {
+            for &q in &ptrs {
+                assert_eq!(
+                    cache.query(&rbaa, fid, p, q),
+                    rbaa.alias_with_test(fid, p, q)
+                );
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.queries, ptrs.len() * ptrs.len());
+        assert_eq!(stats.sig_misses, ptrs.len());
+        // Pair verdicts are proved per signature class, not per pair.
+        let s = stats.sig_misses;
+        assert!(stats.pair_misses <= s * (s + 1) / 2);
+        // A repeat query is pure memo traffic.
+        let before = cache.stats();
+        cache.query(&rbaa, fid, ptrs[0], ptrs[1]);
+        let after = cache.stats();
+        assert_eq!(after.sig_misses, before.sig_misses);
+        assert_eq!(after.pair_misses, before.pair_misses);
+        assert_eq!(after.queries, before.queries + 1);
+    }
+
+    /// A single cold query proves only the one signature pair it
+    /// needs — the "no full matrix build" property of demand mode.
+    #[test]
+    fn demand_single_query_touches_one_pair() {
+        let (m, fid) = mixed_pointer_module();
+        let rbaa = RbaaAnalysis::analyze(&m);
+        let ptrs = pointer_values(&m, fid);
+        let mut cache = rbaa.demand_cache();
+        let (p, q) = (ptrs[0], ptrs[1]);
+        assert_eq!(
+            cache.query(&rbaa, fid, p, q),
+            rbaa.alias_with_test(fid, p, q)
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.sig_misses, 2, "only the two queried pointers");
+        assert_eq!(stats.pair_misses, 1, "only the one queried pair");
     }
 
     /// Regression (code review of the σ-chain fix): the instance

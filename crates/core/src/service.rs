@@ -59,7 +59,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use sra_ir::{FuncId, Function, Module, ValueId};
 
 use crate::driver::DriverConfig;
-use crate::query::{AliasResult, WhichTest};
+use crate::query::{AliasResult, QueryMode, WhichTest};
 use crate::session::{AnalysisSession, FrozenAnalysis, SessionError, SessionStats};
 
 /// Why a service call failed. Edit rejections wrap the session's
@@ -231,6 +231,7 @@ impl TenantWriter<'_> {
 pub struct AliasService {
     tenants: RwLock<HashMap<String, Arc<Tenant>>>,
     config: DriverConfig,
+    mode: QueryMode,
 }
 
 impl AliasService {
@@ -243,10 +244,24 @@ impl AliasService {
     /// An empty service; every tenant's session analyzes with
     /// `config`.
     pub fn with_config(config: DriverConfig) -> Self {
+        Self::with_mode(config, QueryMode::Matrix)
+    }
+
+    /// An empty service whose tenants answer queries per `mode`:
+    /// [`QueryMode::Matrix`] snapshots are matrix-backed (lock-free
+    /// `O(1)` lookups); [`QueryMode::Demand`] snapshots skip every
+    /// matrix build and memoise single queries on demand.
+    pub fn with_mode(config: DriverConfig, mode: QueryMode) -> Self {
         AliasService {
             tenants: RwLock::new(HashMap::new()),
             config,
+            mode,
         }
+    }
+
+    /// The query mode every tenant answers with.
+    pub fn query_mode(&self) -> QueryMode {
+        self.mode
     }
 
     /// Registers a tenant, analyzes its module and publishes epoch 0.
@@ -262,7 +277,7 @@ impl AliasService {
         if self.tenants.read().expect("tenant map").contains_key(name) {
             return Err(ServiceError::TenantExists(name.to_owned()));
         }
-        let session = AnalysisSession::with_config(module, self.config)?;
+        let session = AnalysisSession::with_mode(module, self.config, self.mode)?;
         let snap = Arc::new(EpochSnapshot {
             epoch: 0,
             frozen: session.freeze(),
@@ -487,6 +502,59 @@ mod tests {
             ServiceError::NoSuchTenant("b".into())
         );
         assert_eq!(service.num_tenants(), 1);
+    }
+
+    /// A demand-mode service answers byte-identically to a matrix-mode
+    /// one across epochs, without its snapshots carrying matrices.
+    #[test]
+    fn demand_mode_service_matches_matrix_mode() {
+        let (m, fid, p, q) = two_mallocs();
+        let matrix = AliasService::new();
+        let demand = AliasService::with_mode(DriverConfig::default(), QueryMode::Demand);
+        assert_eq!(demand.query_mode(), QueryMode::Demand);
+        matrix.add_tenant("a", m.clone()).expect("fresh name");
+        demand.add_tenant("a", m.clone()).expect("fresh name");
+
+        let check = |want_epoch: u64| {
+            let ms = matrix.snapshot("a").expect("registered");
+            let ds = demand.snapshot("a").expect("registered");
+            assert_eq!(ms.epoch(), want_epoch);
+            assert_eq!(ds.epoch(), want_epoch);
+            assert_eq!(ds.frozen().query_mode(), QueryMode::Demand);
+            let module = ds.module();
+            for f in module.func_ids() {
+                let ptrs = crate::query::pointer_values(module, f);
+                for &a in &ptrs {
+                    for &b in &ptrs {
+                        assert_eq!(ds.alias_with_test(f, a, b), ms.alias_with_test(f, a, b));
+                    }
+                }
+            }
+        };
+        check(0);
+        assert_eq!(demand.query("a", fid, p, q).expect("registered").0, 0);
+
+        // Edits publish demand-backed epochs just the same.
+        let mut b = FunctionBuilder::new("g", &[], None);
+        let eight = b.const_int(8);
+        let r = b.malloc(eight);
+        let _ = b.ptr_add(r, eight);
+        b.ret(None);
+        let body = b.finish();
+        matrix.add_function("a", body.clone()).expect("valid add");
+        let (g, epoch) = demand.add_function("a", body).expect("valid add");
+        assert_eq!(epoch, 1);
+        check(1);
+        matrix.remove_function("a", g).expect("uncalled");
+        demand.remove_function("a", g).expect("uncalled");
+        check(2);
+        // The live sessions really never built matrices.
+        demand
+            .with_writer("a", |w| {
+                assert_eq!(w.session().query_mode(), QueryMode::Demand);
+                assert_eq!(w.stats().matrices_rebuilt, 0, "{:?}", w.stats());
+            })
+            .expect("registered");
     }
 
     #[test]

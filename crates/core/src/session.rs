@@ -77,6 +77,7 @@
 //! ```
 
 use std::fmt;
+use std::sync::Mutex;
 
 use sra_ir::callgraph::{CallGraph, Condensation};
 use sra_ir::cfg::Cfg;
@@ -90,7 +91,10 @@ use crate::gr::{self, GrAnalysis, GrConfig, GrSolver};
 use crate::locs::{LocId, LocTable};
 use crate::lr::{self, LrAnalysis, LrPart};
 use crate::pool;
-use crate::query::{AliasAnalysis, AliasMatrix, AliasResult, QueryStats, RbaaAnalysis, WhichTest};
+use crate::query::{
+    AliasAnalysis, AliasMatrix, AliasResult, DemandCache, DemandStats, QueryMode, QueryStats,
+    RbaaAnalysis, WhichTest,
+};
 use crate::state::PtrState;
 
 /// Why a session update was rejected. Rejected updates leave the
@@ -175,10 +179,10 @@ struct CompCache {
 /// Cloning is supported (and cheap relative to a rebuild — state
 /// vectors are shared) so servers can fork a session per speculative
 /// edit stream.
-#[derive(Clone)]
 pub struct AnalysisSession {
     module: Module,
     config: DriverConfig,
+    mode: QueryMode,
     /// Per-function caches, aligned with the module's function ids.
     range_parts: Vec<RangePart>,
     lr_parts: Vec<LrPart>,
@@ -192,9 +196,33 @@ pub struct AnalysisSession {
     /// [`AnalysisSession::freeze`] snapshot shares them zero-copy: a
     /// rebuild allocates fresh `Arc`s only for invalidated matrices,
     /// and a published snapshot keeps superseded ones alive until its
-    /// last reader drops it.
+    /// last reader drops it. Stays empty in [`QueryMode::Demand`].
     matrices: Vec<std::sync::Arc<AliasMatrix>>,
+    /// The lazily started demand cache ([`QueryMode::Demand`] only);
+    /// dropped on every rebuild — it indexes the superseded analysis.
+    demand: Mutex<Option<DemandCache>>,
     stats: SessionStats,
+}
+
+impl Clone for AnalysisSession {
+    fn clone(&self) -> Self {
+        AnalysisSession {
+            module: self.module.clone(),
+            config: self.config,
+            mode: self.mode,
+            range_parts: self.range_parts.clone(),
+            lr_parts: self.lr_parts.clone(),
+            cfgs: self.cfgs.clone(),
+            callgraph: self.callgraph.clone(),
+            components: self.components.clone(),
+            rbaa: self.rbaa.clone(),
+            matrices: self.matrices.clone(),
+            // The demand cache is pure memoisation — the fork regrows
+            // its own on first query.
+            demand: Mutex::new(None),
+            stats: self.stats,
+        }
+    }
 }
 
 /// An immutable, self-contained snapshot of a session's analysis
@@ -205,11 +233,38 @@ pub struct AnalysisSession {
 /// is reference bumps plus one module clone — and the result borrows
 /// nothing: it can be sent to (and queried from) any number of threads
 /// while the session keeps applying edits.
-#[derive(Debug, Clone)]
+///
+/// A snapshot frozen from a [`QueryMode::Demand`] session carries no
+/// matrices; queries grow a private [`DemandCache`] instead (under a
+/// mutex — concurrent readers of one snapshot serialize on it).
 pub struct FrozenAnalysis {
     module: std::sync::Arc<Module>,
     rbaa: RbaaAnalysis,
     matrices: std::sync::Arc<[std::sync::Arc<AliasMatrix>]>,
+    mode: QueryMode,
+    demand: Mutex<Option<DemandCache>>,
+}
+
+impl Clone for FrozenAnalysis {
+    fn clone(&self) -> Self {
+        FrozenAnalysis {
+            module: self.module.clone(),
+            rbaa: self.rbaa.clone(),
+            matrices: self.matrices.clone(),
+            mode: self.mode,
+            demand: Mutex::new(None),
+        }
+    }
+}
+
+impl fmt::Debug for FrozenAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FrozenAnalysis")
+            .field("functions", &self.module.num_functions())
+            .field("mode", &self.mode)
+            .field("matrices", &self.matrices.len())
+            .finish()
+    }
 }
 
 impl FrozenAnalysis {
@@ -223,19 +278,33 @@ impl FrozenAnalysis {
         &self.rbaa
     }
 
+    /// The query mode the snapshot answers with.
+    pub fn query_mode(&self) -> QueryMode {
+        self.mode
+    }
+
     /// The cached all-pairs matrix of `f`.
+    ///
+    /// # Panics
+    ///
+    /// In [`QueryMode::Demand`] no matrices exist.
     pub fn matrix(&self, f: FuncId) -> &AliasMatrix {
         &self.matrices[f.index()]
     }
 
     /// The Figure 13/14 statistics of `f`'s all-pairs sweep.
+    ///
+    /// # Panics
+    ///
+    /// In [`QueryMode::Demand`] no matrices exist.
     pub fn stats_of(&self, f: FuncId) -> &QueryStats {
         self.matrices[f.index()].stats()
     }
 
     /// Answers one alias query from the frozen state — `O(1)` from the
-    /// cached matrix, falling back to the direct computation for
-    /// values outside the pointer universe. Byte-identical to
+    /// cached matrix (or memoised on demand in [`QueryMode::Demand`]),
+    /// falling back to the direct computation for values outside the
+    /// pointer universe. Byte-identical to
     /// [`AnalysisSession::alias_with_test`] at the freeze point.
     pub fn alias_with_test(
         &self,
@@ -243,6 +312,11 @@ impl FrozenAnalysis {
         p: ValueId,
         q: ValueId,
     ) -> (AliasResult, Option<WhichTest>) {
+        if self.mode == QueryMode::Demand {
+            let mut guard = self.demand.lock().expect("demand cache lock");
+            let cache = guard.get_or_insert_with(|| self.rbaa.demand_cache());
+            return cache.query(&self.rbaa, f, p, q);
+        }
         match self.matrices[f.index()].lookup(p, q) {
             Some(v) => v,
             None => self.rbaa.alias_with_test(f, p, q),
@@ -277,6 +351,22 @@ impl AnalysisSession {
     ///
     /// Returns the verifier's error when the module is not well-formed.
     pub fn with_config(module: Module, config: DriverConfig) -> Result<Self, SessionError> {
+        Self::with_mode(module, config, QueryMode::Matrix)
+    }
+
+    /// Builds a session with an explicit configuration and query mode.
+    /// [`QueryMode::Demand`] skips all matrix builds — initial and
+    /// after every edit — and answers queries from a lazily grown
+    /// [`DemandCache`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the verifier's error when the module is not well-formed.
+    pub fn with_mode(
+        module: Module,
+        config: DriverConfig,
+        mode: QueryMode,
+    ) -> Result<Self, SessionError> {
         verify_module(&module)?;
         let nf = module.num_functions();
         let callgraph = CallGraph::build(&module);
@@ -296,6 +386,7 @@ impl AnalysisSession {
         let mut session = AnalysisSession {
             module,
             config,
+            mode,
             range_parts: Vec::new(),
             lr_parts: Vec::new(),
             cfgs,
@@ -303,6 +394,7 @@ impl AnalysisSession {
             components: Vec::new(),
             rbaa,
             matrices: Vec::new(),
+            demand: Mutex::new(None),
             stats: SessionStats::default(),
         };
         let all: Vec<usize> = (0..nf).collect();
@@ -321,6 +413,21 @@ impl AnalysisSession {
         self.config
     }
 
+    /// The query mode the session answers with.
+    pub fn query_mode(&self) -> QueryMode {
+        self.mode
+    }
+
+    /// The demand cache's activity counters; `None` until the first
+    /// [`QueryMode::Demand`] query (and always in [`QueryMode::Matrix`]).
+    pub fn demand_stats(&self) -> Option<DemandStats> {
+        self.demand
+            .lock()
+            .expect("demand cache lock")
+            .as_ref()
+            .map(|c| c.stats())
+    }
+
     /// The assembled analysis — byte-identical to
     /// [`analyze_parallel`](crate::analyze_parallel) on
     /// [`AnalysisSession::module`].
@@ -329,11 +436,19 @@ impl AnalysisSession {
     }
 
     /// The cached all-pairs matrix of `f`.
+    ///
+    /// # Panics
+    ///
+    /// In [`QueryMode::Demand`] no matrices exist.
     pub fn matrix(&self, f: FuncId) -> &AliasMatrix {
         &self.matrices[f.index()]
     }
 
     /// The Figure 13/14 statistics of `f`'s all-pairs sweep.
+    ///
+    /// # Panics
+    ///
+    /// In [`QueryMode::Demand`] no matrices exist.
     pub fn stats_of(&self, f: FuncId) -> &QueryStats {
         self.matrices[f.index()].stats()
     }
@@ -354,18 +469,26 @@ impl AnalysisSession {
             module: std::sync::Arc::new(self.module.clone()),
             rbaa: self.rbaa.clone(),
             matrices: self.matrices.clone().into(),
+            mode: self.mode,
+            demand: Mutex::new(None),
         }
     }
 
     /// Like [`crate::BatchAnalysis::alias_with_test`]: answered from
-    /// the cached matrix in `O(1)`, falling back to the direct
-    /// computation for values outside the pointer universe.
+    /// the cached matrix in `O(1)` (or memoised on demand in
+    /// [`QueryMode::Demand`]), falling back to the direct computation
+    /// for values outside the pointer universe.
     pub fn alias_with_test(
         &self,
         f: FuncId,
         p: ValueId,
         q: ValueId,
     ) -> (AliasResult, Option<WhichTest>) {
+        if self.mode == QueryMode::Demand {
+            let mut guard = self.demand.lock().expect("demand cache lock");
+            let cache = guard.get_or_insert_with(|| self.rbaa.demand_cache());
+            return cache.query(&self.rbaa, f, p, q);
+        }
         match self.matrices[f.index()].lookup(p, q) {
             Some(v) => v,
             None => self.rbaa.alias_with_test(f, p, q),
@@ -472,7 +595,9 @@ impl AnalysisSession {
         self.cfgs.remove(gone);
         self.range_parts.remove(gone);
         self.lr_parts.remove(gone);
-        self.matrices.remove(gone);
+        if self.mode == QueryMode::Matrix {
+            self.matrices.remove(gone);
+        }
         // Shift cached component members into the new id space; the
         // removed function's own component is dropped (its membership
         // changed, so it could never match again anyway).
@@ -804,44 +929,53 @@ impl AnalysisSession {
         // comparison walks old and new arena nodes in lockstep
         // (`range_eq_mapped`), materializing nothing; unmappable old
         // symbols land on an out-of-range sentinel that can never
-        // compare equal.
-        let sentinel_symbol = Symbol::new(u32::MAX);
-        let cmp_symbol = |s: Symbol| map_symbol(s).unwrap_or(sentinel_symbol);
-        let state_eq = |old: &PtrState, new: &PtrState| -> bool {
-            match (old, new) {
-                (PtrState::Top, PtrState::Top) => true,
-                (PtrState::Map(a), PtrState::Map(b)) => {
-                    a.len() == b.len()
-                        && a.iter().zip(b).all(|((la, ra), (lb, rb))| {
-                            map_loc(*la) == Some(*lb)
-                                && old_gr_arena.range_eq_mapped(*ra, &gr_arena, *rb, &cmp_symbol)
-                        })
-                }
-                _ => false,
-            }
-        };
+        // compare equal. Demand mode holds no matrices, so there is
+        // nothing to invalidate — the demand cache is dropped wholesale
+        // below.
         let mut rebuild: Vec<usize> = Vec::new();
-        for i in 0..nf {
-            if is_edited(i) || i >= self.matrices.len() {
-                rebuild.push(i);
-                continue;
-            }
-            if disposition[i] != DIRTY {
-                self.stats.matrices_reused += 1;
-                continue;
-            }
-            let fid = FuncId::new(i);
-            let old_fid = FuncId::new(old_fid_of(i));
-            let same = self.module.function(fid).value_ids().all(|v| {
-                state_eq(
-                    self.rbaa.gr().raw_state(old_fid, v),
-                    &gr_states[i][v.index()],
-                )
-            });
-            if same {
-                self.stats.matrices_reused += 1;
-            } else {
-                rebuild.push(i);
+        if self.mode == QueryMode::Matrix {
+            let sentinel_symbol = Symbol::new(u32::MAX);
+            let cmp_symbol = |s: Symbol| map_symbol(s).unwrap_or(sentinel_symbol);
+            let state_eq = |old: &PtrState, new: &PtrState| -> bool {
+                match (old, new) {
+                    (PtrState::Top, PtrState::Top) => true,
+                    (PtrState::Map(a), PtrState::Map(b)) => {
+                        a.len() == b.len()
+                            && a.iter().zip(b).all(|((la, ra), (lb, rb))| {
+                                map_loc(*la) == Some(*lb)
+                                    && old_gr_arena.range_eq_mapped(
+                                        *ra,
+                                        &gr_arena,
+                                        *rb,
+                                        &cmp_symbol,
+                                    )
+                            })
+                    }
+                    _ => false,
+                }
+            };
+            for i in 0..nf {
+                if is_edited(i) || i >= self.matrices.len() {
+                    rebuild.push(i);
+                    continue;
+                }
+                if disposition[i] != DIRTY {
+                    self.stats.matrices_reused += 1;
+                    continue;
+                }
+                let fid = FuncId::new(i);
+                let old_fid = FuncId::new(old_fid_of(i));
+                let same = self.module.function(fid).value_ids().all(|v| {
+                    state_eq(
+                        self.rbaa.gr().raw_state(old_fid, v),
+                        &gr_states[i][v.index()],
+                    )
+                });
+                if same {
+                    self.stats.matrices_reused += 1;
+                } else {
+                    rebuild.push(i);
+                }
             }
         }
 
@@ -849,10 +983,24 @@ impl AnalysisSession {
         gr_arena.absorb_op_stats(&solver_arena);
         let gr = GrAnalysis::from_raw(locs, gr_states, std::sync::Arc::new(gr_arena), max_sweeps);
         self.rbaa = RbaaAnalysis::from_pieces(ranges, gr, lr);
+        // Any grown demand cache indexes the superseded analysis.
+        *self.demand.lock().expect("demand cache lock") = None;
+        if self.mode == QueryMode::Demand {
+            // No matrices in demand mode — queries regrow the cache.
+            return;
+        }
         let rbaa = &self.rbaa;
         let m = &self.module;
+        // One invalidated matrix gets the whole worker budget for its
+        // signature triangle; several share it function-wise (tiling
+        // inside each would oversubscribe the pool).
+        let inner = if rebuild.len() == 1 {
+            config.threads
+        } else {
+            1
+        };
         let fresh = pool::run_indexed(rebuild.len(), config.threads, |k| {
-            AliasMatrix::build(rbaa, m, FuncId::new(rebuild[k]))
+            AliasMatrix::build_with(rbaa, m, FuncId::new(rebuild[k]), inner)
         });
         self.stats.matrices_rebuilt += rebuild.len();
         let mut slots: Vec<Option<std::sync::Arc<AliasMatrix>>> =
@@ -1114,6 +1262,76 @@ mod tests {
             session.replace_function(FuncId::new(99), b.finish()),
             Err(SessionError::NoSuchFunction(FuncId::new(99)))
         );
+    }
+
+    /// A demand-mode session builds no matrices — ever — yet answers
+    /// byte-identically to a matrix-mode session through replaces,
+    /// adds, removals, and freezes.
+    #[test]
+    fn demand_mode_matches_matrix_mode_through_edits() {
+        let m = chain_module(4, false);
+        let config = DriverConfig::with_threads(2);
+        let mut demand =
+            AnalysisSession::with_mode(m.clone(), config, QueryMode::Demand).expect("verifies");
+        let mut matrix = AnalysisSession::with_config(m, config).expect("verifies");
+        assert_eq!(demand.query_mode(), QueryMode::Demand);
+        assert_eq!(matrix.query_mode(), QueryMode::Matrix);
+
+        let check = |d: &AnalysisSession, mx: &AnalysisSession| {
+            let m = d.module();
+            let frozen = d.freeze();
+            assert_eq!(frozen.query_mode(), QueryMode::Demand);
+            for f in m.func_ids() {
+                let ptrs = pointer_values(m, f);
+                for &p in &ptrs {
+                    for &q in &ptrs {
+                        let want = mx.alias_with_test(f, p, q);
+                        assert_eq!(d.alias_with_test(f, p, q), want, "session at {f}");
+                        assert_eq!(frozen.alias_with_test(f, p, q), want, "frozen at {f}");
+                    }
+                }
+            }
+        };
+        check(&demand, &matrix);
+
+        // A real edit, applied to both.
+        let body = || chain_body("f1", 1, 4, false, 5);
+        demand
+            .replace_function(FuncId::new(1), body())
+            .expect("edit");
+        matrix
+            .replace_function(FuncId::new(1), body())
+            .expect("edit");
+        check(&demand, &matrix);
+
+        // Add then remove a leaf (the removal path must not expect a
+        // matrix slot to vacate).
+        let leaf_body = || {
+            let mut b = FunctionBuilder::new("leaf", &[], None);
+            let eight = b.const_int(8);
+            let _ = b.malloc(eight);
+            b.ret(None);
+            b.finish()
+        };
+        let d_leaf = demand.add_function(leaf_body()).expect("add");
+        let m_leaf = matrix.add_function(leaf_body()).expect("add");
+        assert_eq!(d_leaf, m_leaf);
+        check(&demand, &matrix);
+        demand.remove_function(d_leaf).expect("remove");
+        matrix.remove_function(m_leaf).expect("remove");
+        check(&demand, &matrix);
+
+        // The whole point: demand mode never built a matrix, and the
+        // queries above were answered by a memoising cache.
+        assert_eq!(demand.stats().matrices_rebuilt, 0, "{:?}", demand.stats());
+        let dstats = demand.demand_stats().expect("cache was exercised");
+        assert!(dstats.queries > 0);
+        assert!(matrix.stats().matrices_rebuilt > 0);
+        assert_eq!(matrix.demand_stats(), None);
+        // Clones start with a cold cache but the same verdicts.
+        let fork = demand.clone();
+        assert_eq!(fork.demand_stats(), None);
+        check(&fork, &matrix);
     }
 
     /// The one module-wide coupling between components is the ascending

@@ -14,8 +14,8 @@ use std::time::{Duration, Instant};
 
 use sra_baselines::{BasicAlias, ScevAlias};
 use sra_core::{
-    analyze_parallel, pool, AliasAnalysis, AliasResult, BatchAnalysis, DriverConfig, RbaaAnalysis,
-    WhichTest,
+    analyze_parallel, pool, AliasAnalysis, AliasResult, BatchAnalysis, DriverConfig, MatrixBytes,
+    RbaaAnalysis, WhichTest,
 };
 use sra_ir::{FuncId, Module};
 use sra_symbolic::ArenaStats;
@@ -56,6 +56,9 @@ pub struct Metrics {
     /// (bootstrap ranges + GR + LR summed): node counts, per-op memo
     /// hit/miss table, approximate bytes.
     pub arena_stats: ArenaStats,
+    /// Footprint of the cached alias matrices: pair count plus packed
+    /// (2-bit cells) vs byte-per-cell sizes.
+    pub matrix_bytes: MatrixBytes,
 }
 
 impl Metrics {
@@ -100,6 +103,7 @@ impl Metrics {
         self.ranged_ptrs += other.ranged_ptrs;
         self.analysis_time += other.analysis_time;
         self.arena_stats.merge(&other.arena_stats);
+        self.matrix_bytes.merge(&other.matrix_bytes);
     }
 }
 
@@ -159,6 +163,7 @@ fn evaluate_function(
     let ptrs = matrix.pointers();
     let mut out = Metrics {
         pointers: ptrs.len(),
+        matrix_bytes: matrix.bytes(),
         ..Metrics::default()
     };
     for (i, &p) in ptrs.iter().enumerate() {
@@ -247,6 +252,13 @@ mod tests {
         assert!(row.arena_stats.exprs > 0, "{:?}", row.arena_stats);
         assert!(row.arena_stats.hits > 0, "{:?}", row.arena_stats);
         assert!(row.arena_stats.bytes > 0);
+        // So does the packed-matrix footprint.
+        assert!(row.matrix_bytes.pairs >= row.queries);
+        assert!(
+            row.matrix_bytes.saving_ratio() >= 3.0,
+            "2-bit cells should pack ≥ 3.9× on any non-trivial module: {:?}",
+            row.matrix_bytes
+        );
     }
 
     #[test]

@@ -269,6 +269,51 @@ pub fn generate_call_graph_module(funcs: usize, seed: u64) -> Module {
     m
 }
 
+/// How far apart the constant offsets of a giant-function clique are
+/// spread. Small enough that same-clique pointers with equal offsets
+/// exist (MayAlias), large enough that most same-clique pairs have
+/// provably disjoint singleton ranges (NoAlias via the global test).
+const GIANT_SPREAD: i64 = 48;
+
+/// Generates a module containing **one giant function** with roughly
+/// `ptrs` pointer values partitioned into `cliques` allocation
+/// cliques, deterministically from `seed`.
+///
+/// This is the adversarial shape for eager all-pairs matrices: a
+/// single function's alias matrix is O(ptrs²) cells, so a few
+/// thousand pointers already cost millions of verdicts — while a
+/// demand-driven query touches exactly one pair. Each clique is one
+/// `malloc`; every other pointer is a `ptr_add(base, c)` off a
+/// random clique base with a constant offset in `0..GIANT_SPREAD`.
+/// Pointers from different cliques never alias (disjoint allocation
+/// sites), same-clique pointers alias exactly when their constant
+/// offsets collide — so the verdict mix exercises both the distinct-
+/// locations and the global-range paths of the alias tests.
+pub fn generate_giant_function(ptrs: usize, cliques: usize, seed: u64) -> Module {
+    let cliques = cliques.clamp(1, ptrs.max(1));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x61a7_f00d);
+    let mut b = FunctionBuilder::new("giant", &[], None);
+    let mut bases = Vec::with_capacity(cliques);
+    for c in 0..cliques {
+        let size = b.const_int(GIANT_SPREAD + c as i64);
+        bases.push(b.malloc(size));
+    }
+    let mut made = cliques;
+    while made < ptrs {
+        let c = rng.gen_range(0..cliques);
+        let off = b.const_int(rng.gen_range(0..GIANT_SPREAD));
+        let p = b.ptr_add(bases[c], off);
+        b.store(p, off);
+        made += 1;
+    }
+    b.ret(None);
+    let mut f = b.finish();
+    f.set_exported(true);
+    let mut m = Module::new();
+    m.add_function(f);
+    m
+}
+
 /// The sizes used by the Figure 15 sweep: 50 programs growing (roughly
 /// geometrically) from about 1k to `max_insts` instructions.
 pub fn figure15_sizes(max_insts: usize) -> Vec<usize> {
@@ -354,6 +399,53 @@ mod tests {
         let metrics = crate::harness::evaluate(&m);
         assert!(metrics.queries > 0);
         assert!(metrics.rbaa_no > 0, "the generated idioms are analyzable");
+    }
+
+    #[test]
+    fn giant_function_has_requested_shape() {
+        let m = generate_giant_function(500, 8, 11);
+        sra_ir::verify::verify_module(&m).expect("verified");
+        assert_eq!(m.num_functions(), 1, "one giant function, nothing else");
+        let ptrs = sra_core::pointer_values(&m, sra_ir::FuncId::new(0));
+        assert_eq!(
+            ptrs.len(),
+            500,
+            "every clique base and derived pointer counts"
+        );
+        let again = generate_giant_function(500, 8, 11);
+        assert_eq!(
+            sra_ir::print_module(&m),
+            sra_ir::print_module(&again),
+            "generator must be deterministic"
+        );
+    }
+
+    #[test]
+    fn giant_function_mixes_both_verdicts() {
+        use sra_core::{AliasAnalysis, AliasResult};
+        let m = generate_giant_function(60, 4, 5);
+        let f = sra_ir::FuncId::new(0);
+        let rbaa = sra_core::RbaaAnalysis::analyze(&m);
+        let ptrs = sra_core::pointer_values(&m, f);
+        let mut no = 0usize;
+        let mut may = 0usize;
+        for (i, &p) in ptrs.iter().enumerate() {
+            for &q in &ptrs[i + 1..] {
+                match rbaa.alias(f, p, q) {
+                    AliasResult::NoAlias => no += 1,
+                    AliasResult::MayAlias => may += 1,
+                }
+            }
+        }
+        assert!(
+            no > 0,
+            "cross-clique and distinct-offset pairs disambiguate"
+        );
+        assert!(may > 0, "same-clique equal-offset collisions exist");
+        assert!(
+            no > may,
+            "disjoint cliques should dominate: {no} NoAlias vs {may} MayAlias"
+        );
     }
 
     #[test]

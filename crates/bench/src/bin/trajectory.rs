@@ -1,5 +1,5 @@
 //! The CI perf-trajectory harness: times the throughput-critical paths
-//! in quick mode, writes a machine-readable `BENCH_7.json`, compares
+//! in quick mode, writes a machine-readable `BENCH_8.json`, compares
 //! against the previous `BENCH_N.json` at the repo root (printing a
 //! per-group delta table — warn, don't gate, on regressions; groups
 //! that appear or disappear across trajectories are listed as `new` /
@@ -36,7 +36,16 @@
 //!   giant function's full packed alias matrix (the O(P²) wall) vs one
 //!   cold demand-driven query through a fresh [`sra_core::DemandCache`]
 //!   (PR 7's ≥10× floor). The giant function's packed-matrix byte
-//!   accounting rides along in the JSON.
+//!   accounting rides along in the JSON;
+//! * `source_edit/scratch_per_edit` vs `source_edit/session_per_edit`
+//!   — the source-to-verdict frontend (PR 8's ≥3× floor): both sides
+//!   replay the same textual tweak stream over a ~20k-instruction
+//!   mini-C program; the scratch side recompiles the whole text and
+//!   re-analyzes from scratch per edit, the incremental side diffs
+//!   the text at function granularity and applies the diff to a
+//!   long-lived session. The incremental cost honestly includes
+//!   tokenizing the full text to diff it and re-lowering the changed
+//!   functions, not just the session update.
 //!
 //! The run also surfaces the analysis' arena statistics (interned
 //! nodes, memo hit rate) for the scaling workload.
@@ -44,11 +53,13 @@
 use std::time::{Duration, Instant};
 
 use sra_bench::{
-    batched_sweep, build_session, deep_chain_range, per_query_sweep, scratch_replay, session_replay,
+    batched_sweep, build_session, deep_chain_range, per_query_sweep, scratch_replay,
+    session_replay, source_scratch_replay, source_session_replay,
 };
 use sra_core::{pointer_values, AliasMatrix, AliasResult, AliasService, RbaaAnalysis};
+use sra_lang::SourceProgram;
 use sra_symbolic::{ExprArena, RangeId, SymRange};
-use sra_workloads::{edits, scaling, traffic};
+use sra_workloads::{edits, scaling, source_edits, traffic};
 
 const SCALING_INSTS: usize = 20_000;
 const SCALING_SEED: u64 = 42;
@@ -87,6 +98,15 @@ const SERVICE_GATE: f64 = 0.2;
 /// mode started doing eager work, so floor and gate coincide.
 const DEMAND_FLOOR: f64 = 10.0;
 const DEMAND_GATE: f64 = 10.0;
+/// The source-edit floor is the PR acceptance bar: a textual tweak
+/// must land at least 3× faster than recompiling and re-analyzing the
+/// whole program, *including* the diff's full-text tokenization and
+/// the changed functions' re-lowering. As with the session group, the
+/// exit-code gate sits below the floor to absorb shared-runner timing
+/// variance; dropping below the floor warns loudly, dropping below
+/// the gate fails.
+const SOURCE_FLOOR: f64 = 3.0;
+const SOURCE_GATE: f64 = 2.0;
 /// Previous-trajectory deltas louder than this warn (never gate — the
 /// comparison crosses machines and runner generations).
 const DELTA_WARN: f64 = 0.20;
@@ -240,7 +260,7 @@ const SERVICE_QUERIES_PER_READER: usize = 2_000;
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_7.json".to_owned());
+        .unwrap_or_else(|| "BENCH_8.json".to_owned());
 
     let m = scaling::generate_module(SCALING_INSTS, SCALING_SEED);
     eprintln!(
@@ -393,6 +413,34 @@ fn main() {
         giant_bytes.unpacked_bytes / 1024
     );
 
+    // Group 6: the source-to-verdict frontend. Capture the base text
+    // *before* generating the stream (each step carries the full text
+    // after its edit), then replay the same stream both ways.
+    let mut src = source_edits::generate_sized_workload(SCALING_INSTS, SCALING_SEED);
+    let src_text = src.text();
+    let src_steps = src.tweak_stream(SESSION_EDITS);
+    let src_program = SourceProgram::new(&src_text).expect("generated source compiles");
+    eprintln!(
+        "source workload: {} bytes, {} functions, {} instructions",
+        src_text.len(),
+        src_program.num_units(),
+        src_program.module().num_insts()
+    );
+    let src_scratch = median_time(|| source_scratch_replay(&src_steps));
+    let src_session_base = build_session(src_program.module());
+    let mut src_replicas: Vec<_> = (0..=SAMPLES)
+        .map(|_| (src_program.clone(), src_session_base.clone()))
+        .collect();
+    let src_session = median_time(move || {
+        let (mut p, mut s) = src_replicas.pop().expect("one replica per sample");
+        source_session_replay(&mut p, &mut s, &src_steps)
+    });
+    let source_ratio = src_scratch.as_secs_f64() / src_session.as_secs_f64();
+    eprintln!(
+        "source_edit ({SESSION_EDITS} tweaks): recompile+scratch {src_scratch:?}, \
+         diff+session {src_session:?} ({source_ratio:.2}x)"
+    );
+
     let json = format!(
         "{{\n  \"schema\": \"sra-bench-trajectory/v1\",\n  \"workload\": {{\n    \
          \"insts\": {SCALING_INSTS},\n    \"seed\": {SCALING_SEED},\n    \
@@ -407,7 +455,9 @@ fn main() {
          \"service/mixed_{SERVICE_READERS}r{SERVICE_WRITERS}w\": \
          {{ \"median_ns\": {} }},\n    \
          \"demand/matrix_build_t4\": {{ \"median_ns\": {} }},\n    \
-         \"demand/single_query\": {{ \"median_ns\": {} }}\n  }},\n  \
+         \"demand/single_query\": {{ \"median_ns\": {} }},\n    \
+         \"source_edit/scratch_per_edit\": {{ \"median_ns\": {} }},\n    \
+         \"source_edit/session_per_edit\": {{ \"median_ns\": {} }}\n  }},\n  \
          \"arena\": {{\n    \"exprs\": {},\n    \"ranges\": {},\n    \
          \"hits\": {},\n    \"misses\": {},\n    \"bytes\": {}\n  }},\n  \
          \"matrix\": {{\n    \"giant_ptrs\": {GIANT_PTRS},\n    \
@@ -432,17 +482,20 @@ fn main() {
          \"session_vs_scratch\": {session_ratio:.3},\n    \
          \"interning\": {interning_ratio:.3},\n    \
          \"service_vs_single_thread\": {service_ratio:.3},\n    \
-         \"demand_vs_matrix_build\": {demand_ratio:.1}\n  }},\n  \"floors\": {{\n    \
+         \"demand_vs_matrix_build\": {demand_ratio:.1},\n    \
+         \"source_edit_vs_scratch\": {source_ratio:.3}\n  }},\n  \"floors\": {{\n    \
          \"batched_vs_per_query\": {BATCHED_FLOOR},\n    \
          \"session_vs_scratch\": {SESSION_FLOOR},\n    \
          \"interning\": {INTERNING_FLOOR},\n    \
          \"service_vs_single_thread\": {SERVICE_FLOOR},\n    \
-         \"demand_vs_matrix_build\": {DEMAND_FLOOR}\n  }},\n  \"gates\": {{\n    \
+         \"demand_vs_matrix_build\": {DEMAND_FLOOR},\n    \
+         \"source_edit_vs_scratch\": {SOURCE_FLOOR}\n  }},\n  \"gates\": {{\n    \
          \"batched_vs_per_query\": {BATCHED_FLOOR},\n    \
          \"session_vs_scratch\": {SESSION_GATE},\n    \
          \"interning\": {INTERNING_GATE},\n    \
          \"service_vs_single_thread\": {SERVICE_GATE},\n    \
-         \"demand_vs_matrix_build\": {DEMAND_GATE}\n  }}\n}}\n",
+         \"demand_vs_matrix_build\": {DEMAND_GATE},\n    \
+         \"source_edit_vs_scratch\": {SOURCE_GATE}\n  }}\n}}\n",
         per_query.as_nanos(),
         batched.as_nanos(),
         scratch.as_nanos(),
@@ -453,6 +506,8 @@ fn main() {
         mixed.wall.as_nanos(),
         matrix_build.as_nanos(),
         single_query.as_nanos(),
+        src_scratch.as_nanos(),
+        src_session.as_nanos(),
         arena.exprs,
         arena.ranges,
         arena.hits,
@@ -579,6 +634,19 @@ fn main() {
         );
         failed = true;
     }
+    if source_ratio < SOURCE_GATE {
+        eprintln!(
+            "FAIL: source-edit diff+session vs recompile+scratch speedup {source_ratio:.2}x \
+             is below the {SOURCE_GATE}x regression gate"
+        );
+        failed = true;
+    } else if source_ratio < SOURCE_FLOOR {
+        eprintln!(
+            "WARN: source-edit diff+session vs recompile+scratch speedup {source_ratio:.2}x \
+             is below the {SOURCE_FLOOR}x acceptance floor (within runner-noise margin of \
+             the {SOURCE_GATE}x gate)"
+        );
+    }
     if failed {
         std::process::exit(1);
     }
@@ -589,7 +657,9 @@ fn main() {
          service {:.0} q/s mixed at {SERVICE_READERS}r/{SERVICE_WRITERS}w \
          ({service_ratio:.2}x vs single thread, floor {SERVICE_FLOOR}x, \
          gate {SERVICE_GATE}x; p99 {} ns), \
-         demand {demand_ratio:.0}x vs full matrix build (floor {DEMAND_FLOOR}x)",
+         demand {demand_ratio:.0}x vs full matrix build (floor {DEMAND_FLOOR}x), \
+         source_edit {source_ratio:.2}x vs recompile+scratch (floor {SOURCE_FLOOR}x, \
+         gate {SOURCE_GATE}x)",
         mixed.queries_per_sec, mixed.p99_ns
     );
 }

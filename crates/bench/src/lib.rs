@@ -25,8 +25,10 @@ use sra_core::{
     RbaaAnalysis,
 };
 use sra_ir::{FuncId, Module};
+use sra_lang::SourceProgram;
 use sra_symbolic::{Bound, SymExpr, SymRange, Symbol};
 use sra_workloads::edits::{self, Edit};
+use sra_workloads::source_edits::SourceEditStep;
 
 /// A range whose endpoints are `depth`-deep opaque min/max chains over
 /// pairwise-incomparable symbols — the worst case for boxed deep
@@ -101,6 +103,49 @@ pub fn session_replay(session: &mut AnalysisSession, stream: &[Edit]) -> usize {
     let mut total = 0usize;
     for edit in stream {
         edits::apply_to_session(session, edit).expect("stream edits are valid");
+        total += session
+            .module()
+            .func_ids()
+            .map(|f| session.stats_of(f).queries)
+            .sum::<usize>();
+    }
+    total
+}
+
+/// The scratch side of the *textual* edit-stream workload: recompile
+/// the whole program text and re-run the full batch analysis after
+/// every edit (what a server without the incremental frontend would
+/// do). Returns the summed query count as a keep-alive value.
+pub fn source_scratch_replay(steps: &[SourceEditStep]) -> usize {
+    let mut total = 0usize;
+    for step in steps {
+        let module = sra_lang::compile(&step.text).expect("stream text compiles");
+        let batch = BatchAnalysis::analyze_with(&module, DriverConfig::default());
+        total += batch.total_stats().queries;
+    }
+    total
+}
+
+/// The incremental side of the textual workload: diff each new text at
+/// function granularity, re-lower only changed units, and map the diff
+/// onto a pre-built session (clone the program and session per replay
+/// — the server's load cost stays outside the timed region). The cost
+/// measured here is honest about the incremental pipeline's overheads:
+/// it includes tokenizing the whole text to diff it and re-lowering
+/// the changed functions, not just the session update.
+pub fn source_session_replay(
+    program: &mut SourceProgram,
+    session: &mut AnalysisSession,
+    steps: &[SourceEditStep],
+) -> usize {
+    let mut total = 0usize;
+    for step in steps {
+        let diff = program
+            .apply_edit(&step.text)
+            .expect("stream text compiles");
+        session
+            .apply_source_edit(diff)
+            .expect("session accepts registry diffs");
         total += session
             .module()
             .func_ids()

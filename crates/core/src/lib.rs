@@ -65,5 +65,5 @@ pub use query::{
     DemandCache, DemandStats, MatrixBytes, QueryMode, QueryStats, RbaaAnalysis, WhichTest,
 };
 pub use service::{AliasService, EpochSnapshot, ServiceError, TenantWriter};
-pub use session::{AnalysisSession, FrozenAnalysis, SessionError, SessionStats};
+pub use session::{AnalysisSession, FrozenAnalysis, SessionEdit, SessionError, SessionStats};
 pub use state::{PtrState, PtrStateRef};

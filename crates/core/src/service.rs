@@ -57,10 +57,11 @@ use std::fmt;
 use std::sync::{Arc, Mutex, RwLock};
 
 use sra_ir::{FuncId, Function, Module, ValueId};
+use sra_lang::{CompileError, SourceProgram};
 
 use crate::driver::DriverConfig;
 use crate::query::{AliasResult, QueryMode, WhichTest};
-use crate::session::{AnalysisSession, FrozenAnalysis, SessionError, SessionStats};
+use crate::session::{AnalysisSession, FrozenAnalysis, SessionEdit, SessionError, SessionStats};
 
 /// Why a service call failed. Edit rejections wrap the session's
 /// structured error and leave the tenant (and its published snapshot)
@@ -74,6 +75,13 @@ pub enum ServiceError {
     /// The tenant's session rejected the edit (or the initial module
     /// failed verification).
     Session(SessionError),
+    /// The edited source failed to compile (lex, parse or lowering);
+    /// the tenant keeps serving its previous text unchanged.
+    Compile(CompileError),
+    /// A source edit targeted a tenant that was registered from a
+    /// pre-built module ([`AliasService::add_tenant`]) rather than from
+    /// text ([`AliasService::add_tenant_source`]).
+    NotSourceBacked(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -82,6 +90,10 @@ impl fmt::Display for ServiceError {
             ServiceError::NoSuchTenant(n) => write!(f, "no tenant named {n:?}"),
             ServiceError::TenantExists(n) => write!(f, "tenant {n:?} already exists"),
             ServiceError::Session(e) => write!(f, "{e}"),
+            ServiceError::Compile(e) => write!(f, "{e}"),
+            ServiceError::NotSourceBacked(n) => {
+                write!(f, "tenant {n:?} is not source-backed")
+            }
         }
     }
 }
@@ -91,6 +103,12 @@ impl std::error::Error for ServiceError {}
 impl From<SessionError> for ServiceError {
     fn from(e: SessionError) -> Self {
         ServiceError::Session(e)
+    }
+}
+
+impl From<CompileError> for ServiceError {
+    fn from(e: CompileError) -> Self {
+        ServiceError::Compile(e)
     }
 }
 
@@ -138,6 +156,7 @@ impl EpochSnapshot {
 /// mutex that serializes edits, and the published snapshot behind a
 /// lock held only for O(1) clone/swap operations.
 struct Tenant {
+    name: String,
     writer: Mutex<WriterSide>,
     published: RwLock<Arc<EpochSnapshot>>,
 }
@@ -145,6 +164,11 @@ struct Tenant {
 struct WriterSide {
     session: AnalysisSession,
     epoch: u64,
+    /// The current source text + diff state of a source-backed tenant
+    /// ([`AliasService::add_tenant_source`]); `None` for tenants
+    /// registered from a pre-built module. Kept in lockstep with the
+    /// session: an edit commits to both or to neither.
+    source: Option<SourceProgram>,
 }
 
 impl Tenant {
@@ -212,6 +236,55 @@ impl TenantWriter<'_> {
         Ok((removed, self.publish_next()))
     }
 
+    /// Applies a batch of edits atomically
+    /// ([`AnalysisSession::apply_edits`]), publishing **one** epoch for
+    /// the whole batch — readers never observe a partially applied
+    /// group. Returns the added functions' ids and the published epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the session's rejection; nothing is published and
+    /// the epoch does not advance.
+    pub fn apply_edits(
+        &mut self,
+        edits: Vec<SessionEdit>,
+    ) -> Result<(Vec<FuncId>, u64), SessionError> {
+        let added = self.side.session.apply_edits(edits)?;
+        Ok((added, self.publish_next()))
+    }
+
+    /// The tenant's current source text; `None` for tenants registered
+    /// from a pre-built module.
+    pub fn source_text(&self) -> Option<&str> {
+        self.side.source.as_ref().map(SourceProgram::text)
+    }
+
+    /// Replaces the tenant's entire source text: the frontend diffs it
+    /// against the current text at function granularity, re-lowers only
+    /// changed units, and the session applies the diff incrementally
+    /// — one published epoch per edit, however many functions it
+    /// touched. The edit is atomic across text and analysis: on any
+    /// error the tenant keeps serving its previous text and snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NotSourceBacked`] when the tenant was registered
+    /// from a pre-built module; [`ServiceError::Compile`] when the new
+    /// text does not compile; [`ServiceError::Session`] when the
+    /// session rejects the diff.
+    pub fn edit_source(&mut self, new_text: &str) -> Result<u64, ServiceError> {
+        let Some(program) = self.side.source.as_ref() else {
+            return Err(ServiceError::NotSourceBacked(self.tenant.name.clone()));
+        };
+        // Diff on a scratch clone: a rejected edit (either stage) must
+        // leave the registry's unit table untouched too.
+        let mut next = program.clone();
+        let diff = next.apply_edit(new_text)?;
+        self.side.session.apply_source_edit(diff)?;
+        self.side.source = Some(next);
+        Ok(self.publish_next())
+    }
+
     fn publish_next(&mut self) -> u64 {
         self.side.epoch += 1;
         let snap = Arc::new(EpochSnapshot {
@@ -271,6 +344,33 @@ impl AliasService {
     /// [`ServiceError::TenantExists`] when the name is taken;
     /// [`ServiceError::Session`] when the module fails verification.
     pub fn add_tenant(&self, name: &str, module: Module) -> Result<(), ServiceError> {
+        self.register(name, module, None)
+    }
+
+    /// Registers a **source-backed** tenant: compiles `text` with the
+    /// full mini-C pipeline, analyzes it and publishes epoch 0. The
+    /// tenant then accepts whole-text updates through
+    /// [`AliasService::edit_tenant_source`] /
+    /// [`TenantWriter::edit_source`], which re-analyze incrementally at
+    /// function granularity.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::TenantExists`] when the name is taken;
+    /// [`ServiceError::Compile`] when the text does not compile;
+    /// [`ServiceError::Session`] when the module fails verification.
+    pub fn add_tenant_source(&self, name: &str, text: &str) -> Result<(), ServiceError> {
+        let program = SourceProgram::new(text)?;
+        let module = program.module().clone();
+        self.register(name, module, Some(program))
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        module: Module,
+        source: Option<SourceProgram>,
+    ) -> Result<(), ServiceError> {
         // Build outside the map lock: adding a large tenant must not
         // stall lookups (or other adds) for the duration of a full
         // analysis. The name is re-checked under the lock.
@@ -283,7 +383,12 @@ impl AliasService {
             frozen: session.freeze(),
         });
         let tenant = Arc::new(Tenant {
-            writer: Mutex::new(WriterSide { session, epoch: 0 }),
+            name: name.to_owned(),
+            writer: Mutex::new(WriterSide {
+                session,
+                epoch: 0,
+                source,
+            }),
             published: RwLock::new(snap),
         });
         let mut map = self.tenants.write().expect("tenant map");
@@ -435,6 +540,33 @@ impl AliasService {
         self.with_writer(name, |w| w.remove_function(f))?
             .map_err(Into::into)
     }
+
+    /// Atomic batch convenience over [`TenantWriter::apply_edits`]:
+    /// one published epoch for the whole group.
+    ///
+    /// # Errors
+    ///
+    /// Tenant lookup and session rejections, as [`ServiceError`].
+    #[allow(clippy::type_complexity)]
+    pub fn apply_edits(
+        &self,
+        name: &str,
+        edits: Vec<SessionEdit>,
+    ) -> Result<(Vec<FuncId>, u64), ServiceError> {
+        self.with_writer(name, |w| w.apply_edits(edits))?
+            .map_err(Into::into)
+    }
+
+    /// Whole-text source update convenience over
+    /// [`TenantWriter::edit_source`], returning the published epoch.
+    ///
+    /// # Errors
+    ///
+    /// Tenant lookup, compile and session rejections, as
+    /// [`ServiceError`].
+    pub fn edit_tenant_source(&self, name: &str, new_text: &str) -> Result<u64, ServiceError> {
+        self.with_writer(name, |w| w.edit_source(new_text))?
+    }
 }
 
 impl fmt::Debug for AliasService {
@@ -567,6 +699,104 @@ mod tests {
             .expect_err("no such function");
         assert!(matches!(err, ServiceError::Session(_)), "{err}");
         assert_eq!(service.snapshot("a").expect("registered").epoch(), 0);
+    }
+
+    /// Source-backed tenants: whole-text edits re-analyze
+    /// incrementally, failed edits (compile errors) publish nothing,
+    /// and module-backed tenants reject source edits.
+    #[test]
+    fn source_backed_tenants_edit_by_text() {
+        let base = "int helper(ptr p, int n) { int i; i = 0; while (i < n) { p[i] = 7; i = i + 1; } return i; }\n\
+             export int main() { ptr a; a = malloc(16); int k; k = helper(a, 16); return k; }\n";
+        let service = AliasService::new();
+        service.add_tenant_source("app", base).expect("compiles");
+        assert_eq!(
+            service.add_tenant_source("app", base),
+            Err(ServiceError::TenantExists("app".into()))
+        );
+        let snap = service.snapshot("app").expect("registered");
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.module().num_functions(), 2);
+
+        // A body tweak: one epoch, one function re-analyzed.
+        let tweaked = base.replace("p[i] = 7;", "p[i] = 9;");
+        let epoch = service
+            .edit_tenant_source("app", &tweaked)
+            .expect("compiles");
+        assert_eq!(epoch, 1);
+        service
+            .with_writer("app", |w| {
+                assert_eq!(w.source_text(), Some(tweaked.as_str()));
+                assert_eq!(w.stats().parts_reanalyzed, 1, "{:?}", w.stats());
+            })
+            .expect("registered");
+
+        // A comment-only edit is a published no-op epoch.
+        let commented = format!("// v2\n{tweaked}");
+        let epoch = service
+            .edit_tenant_source("app", &commented)
+            .expect("compiles");
+        assert_eq!(epoch, 2);
+        service
+            .with_writer("app", |w| {
+                assert_eq!(w.stats().noop_edits, 1, "{:?}", w.stats());
+            })
+            .expect("registered");
+
+        // A broken edit publishes nothing and keeps text + snapshot.
+        let broken = commented.replace("return k;", "return q;");
+        let err = service.edit_tenant_source("app", &broken).unwrap_err();
+        assert!(matches!(err, ServiceError::Compile(_)), "{err}");
+        assert_eq!(service.snapshot("app").expect("registered").epoch(), 2);
+        service
+            .with_writer("app", |w| {
+                assert_eq!(w.source_text(), Some(commented.as_str()));
+            })
+            .expect("registered");
+
+        // Module-backed tenants have no text to edit.
+        let (m, _, _, _) = two_mallocs();
+        service.add_tenant("bin", m).expect("fresh name");
+        assert_eq!(
+            service.edit_tenant_source("bin", base),
+            Err(ServiceError::NotSourceBacked("bin".into()))
+        );
+        assert_eq!(
+            service.edit_tenant_source("ghost", base),
+            Err(ServiceError::NoSuchTenant("ghost".into()))
+        );
+    }
+
+    /// Writer-side batches publish exactly one epoch per group.
+    #[test]
+    fn batched_edits_publish_one_epoch() {
+        let (m, fid, _, _) = two_mallocs();
+        let service = AliasService::new();
+        service.add_tenant("a", m.clone()).expect("fresh name");
+        let mut b = FunctionBuilder::new("g", &[], None);
+        b.ret(None);
+        let leaf = b.finish();
+        let body = m.function(fid).clone();
+        let (added, epoch) = service
+            .apply_edits(
+                "a",
+                vec![
+                    crate::SessionEdit::Replace { func: fid, body },
+                    crate::SessionEdit::Add { body: leaf },
+                ],
+            )
+            .expect("valid batch");
+        assert_eq!(epoch, 1);
+        assert_eq!(added, vec![FuncId::new(1)]);
+        assert_eq!(service.snapshot("a").expect("registered").epoch(), 1);
+        assert_eq!(
+            service
+                .snapshot("a")
+                .expect("registered")
+                .module()
+                .num_functions(),
+            2
+        );
     }
 
     #[test]

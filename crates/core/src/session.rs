@@ -108,6 +108,9 @@ pub enum SessionError {
     Verify(VerifyError),
     /// The named function does not exist.
     NoSuchFunction(FuncId),
+    /// A batch ([`AnalysisSession::apply_edits`]) targeted the same
+    /// function with more than one replace/remove.
+    DuplicateTarget(FuncId),
 }
 
 impl fmt::Display for SessionError {
@@ -115,6 +118,12 @@ impl fmt::Display for SessionError {
         match self {
             SessionError::Verify(e) => write!(f, "rejected update: {e}"),
             SessionError::NoSuchFunction(id) => write!(f, "no function {id} in the session module"),
+            SessionError::DuplicateTarget(id) => {
+                write!(
+                    f,
+                    "function {id} is targeted by more than one edit in the batch"
+                )
+            }
         }
     }
 }
@@ -125,6 +134,30 @@ impl From<VerifyError> for SessionError {
     fn from(e: VerifyError) -> Self {
         SessionError::Verify(e)
     }
+}
+
+/// One edit of an atomic batch ([`AnalysisSession::apply_edits`]).
+/// Every id is interpreted in the session's pre-batch id space.
+#[derive(Debug, Clone)]
+pub enum SessionEdit {
+    /// Replace the body of `func`.
+    Replace {
+        /// The function to replace (pre-batch id).
+        func: FuncId,
+        /// Its new body.
+        body: Function,
+    },
+    /// Append a new function. Within the batch it is addressable at
+    /// `pre_batch_count + k` for the `k`-th add.
+    Add {
+        /// The new body.
+        body: Function,
+    },
+    /// Remove `func`; later ids compact down.
+    Remove {
+        /// The function to remove (pre-batch id).
+        func: FuncId,
+    },
 }
 
 /// Reuse/recompute counters, accumulated across every update since the
@@ -398,7 +431,7 @@ impl AnalysisSession {
             stats: SessionStats::default(),
         };
         let all: Vec<usize> = (0..nf).collect();
-        session.rebuild(&all, None);
+        session.rebuild(&all, &[]);
         session.stats = SessionStats::default();
         Ok(session)
     }
@@ -540,7 +573,7 @@ impl AnalysisSession {
         self.callgraph
             .replace_function_edges(f, self.module.function(f));
         self.cfgs[f.index()] = Cfg::new(self.module.function(f));
-        self.rebuild(&[f.index()], None);
+        self.rebuild(&[f.index()], &[]);
         self.stats.edits += 1;
         Ok(())
     }
@@ -559,7 +592,7 @@ impl AnalysisSession {
         }
         self.callgraph.push_function(self.module.function(f));
         self.cfgs.push(Cfg::new(self.module.function(f)));
-        self.rebuild(&[f.index()], None);
+        self.rebuild(&[f.index()], &[]);
         self.stats.edits += 1;
         Ok(f)
     }
@@ -612,36 +645,234 @@ impl AnalysisSession {
             }
             true
         });
-        self.rebuild(&[], Some(gone));
+        self.rebuild(&[], &[gone]);
         self.stats.edits += 1;
         Ok(removed)
     }
 
+    /// Applies a batch of edits **atomically**: either every edit lands
+    /// and the analysis is rebuilt once, or the session is left exactly
+    /// as it was. All ids in the batch — replace and remove targets
+    /// alike — are interpreted in the session's *pre-batch* id space;
+    /// added bodies may call each other (and replaced survivors) at
+    /// `pre_batch_count + k` for the `k`-th add. Removals compact ids
+    /// exactly like [`Module::remove_functions`]. Returns the
+    /// *post-batch* ids of the added functions, in batch order.
+    ///
+    /// A batch that changes nothing (empty, or replaces whose bodies
+    /// equal the current ones) is one no-op edit: nothing is dirtied
+    /// and every cache is carried over, observable via
+    /// [`SessionStats::noop_edits`].
+    ///
+    /// Grouped edits can be *individually* invalid but jointly valid —
+    /// e.g. a signature change plus the caller rewrites it forces, or a
+    /// removal plus edits that drop the last calls to the removed
+    /// function — which is exactly why verification runs once against
+    /// the would-be final module rather than per edit.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoSuchFunction`] /
+    /// [`SessionError::DuplicateTarget`] for malformed batches, and
+    /// [`SessionError::Verify`] when the final module fails
+    /// verification. The session is unchanged on every error.
+    pub fn apply_edits(&mut self, edits: Vec<SessionEdit>) -> Result<Vec<FuncId>, SessionError> {
+        let nf = self.module.num_functions();
+        let mut targeted = vec![false; nf];
+        for e in &edits {
+            if let SessionEdit::Replace { func, .. } | SessionEdit::Remove { func } = e {
+                if func.index() >= nf {
+                    return Err(SessionError::NoSuchFunction(*func));
+                }
+                if targeted[func.index()] {
+                    return Err(SessionError::DuplicateTarget(*func));
+                }
+                targeted[func.index()] = true;
+            }
+        }
+        let mut replaces: Vec<(FuncId, Function)> = Vec::new();
+        let mut adds: Vec<Function> = Vec::new();
+        let mut removes: Vec<usize> = Vec::new();
+        for e in edits {
+            match e {
+                SessionEdit::Replace { func, body } => {
+                    // Identical bodies change nothing; dropping them
+                    // here keeps their parts/matrices on the reuse path.
+                    if *self.module.function(func) != body {
+                        replaces.push((func, body));
+                    }
+                }
+                SessionEdit::Add { body } => adds.push(body),
+                SessionEdit::Remove { func } => removes.push(func.index()),
+            }
+        }
+        removes.sort_unstable();
+        if replaces.is_empty() && adds.is_empty() && removes.is_empty() {
+            self.stats.edits += 1;
+            self.stats.noop_edits += 1;
+            self.stats.parts_reused += nf;
+            self.stats.matrices_reused += nf;
+            self.stats.gr_components_reused += self.components.len();
+            return Ok(Vec::new());
+        }
+        // Verify the would-be final module on a scratch clone before
+        // touching any cache: replaces, then adds, then the batch
+        // removal (which reports calls into removed functions as
+        // dangling-callee errors).
+        let removed_ids: Vec<FuncId> = removes.iter().map(|&i| FuncId::new(i)).collect();
+        {
+            let mut probe = self.module.clone();
+            for (f, body) in &replaces {
+                probe.replace_function(*f, body.clone());
+            }
+            for body in &adds {
+                probe.add_function(body.clone());
+            }
+            probe.remove_functions(&removed_ids);
+            verify_module(&probe)?;
+        }
+        // Commit. Mirrors the single-edit paths; cannot fail past here.
+        let mut edited: Vec<usize> = Vec::new();
+        let mut touched: Vec<FuncId> = Vec::new();
+        for (f, body) in replaces {
+            self.module.replace_function(f, body);
+            self.cfgs[f.index()] = Cfg::new(self.module.function(f));
+            touched.push(f);
+            // Post-batch id: removals below shift later ids down.
+            edited.push(f.index() - removes.partition_point(|&r| r < f.index()));
+        }
+        let num_adds = adds.len();
+        for body in adds {
+            let f = self.module.add_function(body);
+            self.callgraph.push_function(self.module.function(f));
+            self.cfgs.push(Cfg::new(self.module.function(f)));
+            touched.push(f);
+        }
+        // Re-derive the out-edges of every touched row only now, when
+        // the node count includes all of the batch's additions: a
+        // replaced (or earlier-added) body may call a function added
+        // later in the same batch, whose id was out of range — and
+        // would be silently filtered — at its own commit point.
+        for f in touched {
+            self.callgraph
+                .replace_function_edges(f, self.module.function(f));
+        }
+        for &gone in removes.iter().rev() {
+            let f = FuncId::new(gone);
+            self.module.remove_function(f);
+            self.callgraph.remove_function(f);
+            self.cfgs.remove(gone);
+            self.range_parts.remove(gone);
+            self.lr_parts.remove(gone);
+            if self.mode == QueryMode::Matrix {
+                self.matrices.remove(gone);
+            }
+            self.components.retain_mut(|c| {
+                if c.members.iter().any(|m| m.index() == gone) {
+                    return false;
+                }
+                for m in &mut c.members {
+                    if m.index() > gone {
+                        *m = FuncId::new(m.index() - 1);
+                    }
+                }
+                true
+            });
+        }
+        // Adds landed at nf..nf+num_adds pre-removal; every removal is
+        // below nf, so post-batch they sit at the tail, in order.
+        let new_nf = self.module.num_functions();
+        let added_ids: Vec<FuncId> = (new_nf - num_adds..new_nf).map(FuncId::new).collect();
+        edited.extend(added_ids.iter().map(|f| f.index()));
+        edited.sort_unstable();
+        self.rebuild(&edited, &removes);
+        self.stats.edits += 1;
+        Ok(added_ids)
+    }
+
+    /// Applies a [`sra_lang::SourceDiff`] — the output of
+    /// [`sra_lang::SourceProgram::apply_edit`] — to the session. The
+    /// diff's id-space contract matches [`AnalysisSession::apply_edits`]
+    /// exactly: replaced/removed ids are pre-edit ids and re-lowered
+    /// bodies call additions at `pre_edit_count + k`, so an
+    /// [`sra_lang::SourceDiff::Incremental`] maps 1:1 onto a batch. A
+    /// [`sra_lang::SourceDiff::Noop`] (whitespace, comments,
+    /// reordering, …) takes the no-op fast path — zero re-analysis,
+    /// every cache carried over. A
+    /// [`sra_lang::SourceDiff::FullRebuild`] (the globals changed)
+    /// replaces the whole session state from scratch, counted honestly
+    /// as one edit that re-analyzed everything.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Verify`] when the diffed module does not verify
+    /// against this session's module (e.g. the diff came from a
+    /// [`sra_lang::SourceProgram`] that never matched the session);
+    /// the session is unchanged on error.
+    pub fn apply_source_edit(&mut self, diff: sra_lang::SourceDiff) -> Result<(), SessionError> {
+        match diff {
+            sra_lang::SourceDiff::Noop => self.apply_edits(Vec::new()).map(|_| ()),
+            sra_lang::SourceDiff::Incremental {
+                replaced,
+                added,
+                removed,
+                ..
+            } => {
+                let mut edits: Vec<SessionEdit> =
+                    Vec::with_capacity(replaced.len() + added.len() + removed.len());
+                edits.extend(
+                    replaced
+                        .into_iter()
+                        .map(|(func, body)| SessionEdit::Replace { func, body }),
+                );
+                edits.extend(added.into_iter().map(|body| SessionEdit::Add { body }));
+                edits.extend(removed.into_iter().map(|func| SessionEdit::Remove { func }));
+                self.apply_edits(edits).map(|_| ())
+            }
+            sra_lang::SourceDiff::FullRebuild { module } => {
+                let mut fresh = Self::with_mode(module, self.config, self.mode)?;
+                let new_nf = fresh.module.num_functions();
+                fresh.stats = self.stats;
+                fresh.stats.edits += 1;
+                fresh.stats.parts_reanalyzed += new_nf;
+                fresh.stats.gr_components_solved += fresh.components.len();
+                if fresh.mode == QueryMode::Matrix {
+                    fresh.stats.matrices_rebuilt += new_nf;
+                }
+                *self = fresh;
+                Ok(())
+            }
+        }
+    }
+
     /// Recomputes the analysis after a structural update. `edited`
     /// holds the current-id indices of replaced/added functions;
-    /// `removed` the old index a removal vacated (for the id-shift
-    /// remaps of cached state).
-    fn rebuild(&mut self, edited: &[usize], removed: Option<usize>) {
+    /// `removed` the (sorted, pre-batch) old indices removals vacated
+    /// (for the id-shift remaps of cached state).
+    fn rebuild(&mut self, edited: &[usize], removed: &[usize]) {
+        debug_assert!(removed.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
         let nf = self.module.num_functions();
         let is_edited = |i: usize| edited.contains(&i);
         // Old-space metadata needed for the rebase/remap maps, captured
-        // before any cache is touched. `old_fid_of` translates a
-        // current id back into the pre-update id space.
-        let old_fid_of = |i: usize| match removed {
-            Some(gone) if i >= gone => i + 1,
-            _ => i,
-        };
-        // The spans are indexed by OLD function ids: a removal already
-        // compacted `range_parts`, so re-open a zero-budget gap at the
-        // vacated slot (its exact old budget is gone with the part, but
-        // a zero-budget span at the block's old start makes every
-        // symbol it minted correctly unmappable).
+        // before any cache is touched. `old_of[i]` translates a current
+        // id back into the pre-update id space: the surviving old ids,
+        // in order, skipping every removed slot.
+        let old_of: Vec<usize> = (0..nf + removed.len())
+            .filter(|o| removed.binary_search(o).is_err())
+            .collect();
+        let old_fid_of = |i: usize| old_of[i];
+        // The spans are indexed by OLD function ids: the removals
+        // already compacted `range_parts`, so re-open a zero-budget gap
+        // at each vacated slot (its exact old budget is gone with the
+        // part, but a zero-budget span at the block's old start makes
+        // every symbol it minted correctly unmappable). Ascending
+        // insertion order keeps earlier gaps' positions stable.
         let mut old_range_spans: Vec<(u32, u32)> = self
             .range_parts
             .iter()
             .map(|p| (p.first_symbol, p.symbol_names.len() as u32))
             .collect();
-        if let Some(gone) = removed {
+        for &gone in removed {
             let gap_first = if gone == 0 {
                 0
             } else {
@@ -720,12 +951,11 @@ impl AnalysisSession {
             let (first, budget) = old_range_spans[i];
             (s.index() < first + budget).then_some(i)
         };
-        // A current id for an old function id (None: the removed one).
+        // A current id for an old function id (None: a removed one).
         let new_fid_of = |old: usize| -> Option<usize> {
-            match removed {
-                Some(gone) if old == gone => None,
-                Some(gone) if old > gone => Some(old - 1),
-                _ => Some(old),
+            match removed.binary_search(&old) {
+                Ok(_) => None,
+                Err(k) => Some(old - k),
             }
         };
         let map_symbol = |s: Symbol| -> Option<Symbol> {
@@ -1412,5 +1642,200 @@ mod tests {
             .replace_function(FuncId::new(1), chain_body("f1", 1, 2, true, 1))
             .expect("valid edit");
         assert_matches_scratch(&session);
+    }
+
+    /// A batch whose edits are individually invalid (removing functions
+    /// that are still called) but jointly valid lands atomically as one
+    /// edit — including a multi-removal id compaction — and stays
+    /// byte-identical to scratch.
+    #[test]
+    fn batched_edits_apply_atomically_and_match_scratch() {
+        let m = chain_module(5, false); // f0..f4 + main
+        let mut session = AnalysisSession::new(m).expect("verifies");
+        let err = session.remove_function(FuncId::new(3)).unwrap_err();
+        assert!(matches!(err, SessionError::Verify(_)), "{err}");
+        let mut b = FunctionBuilder::new("leaf", &[], Some(Ty::Int));
+        let z = b.const_int(0);
+        b.ret(Some(z));
+        let added = session
+            .apply_edits(vec![
+                SessionEdit::Replace {
+                    func: FuncId::new(2),
+                    body: chain_body("f2", 2, 3, false, 1),
+                },
+                SessionEdit::Add { body: b.finish() },
+                SessionEdit::Remove {
+                    func: FuncId::new(3),
+                },
+                SessionEdit::Remove {
+                    func: FuncId::new(4),
+                },
+            ])
+            .expect("jointly valid");
+        // 6 pre-batch functions − 2 removed + 1 added = 5, add at the
+        // tail, survivors compacted in order.
+        assert_eq!(session.module().num_functions(), 5);
+        assert_eq!(added, vec![FuncId::new(4)]);
+        assert_eq!(
+            session.module().function_by_name("leaf"),
+            Some(FuncId::new(4))
+        );
+        assert_eq!(
+            session.module().function_by_name("main"),
+            Some(FuncId::new(3))
+        );
+        assert_eq!(session.stats().edits, 1);
+        assert_matches_scratch(&session);
+    }
+
+    #[test]
+    fn batched_signature_change_rewrites_callers_atomically() {
+        let m = chain_module(3, false);
+        let mut session = AnalysisSession::new(m).expect("verifies");
+        let f1_wide = || {
+            let mut b = FunctionBuilder::new("f1", &[Ty::Ptr, Ty::Int], Some(Ty::Ptr));
+            let p = b.param(0);
+            let n = b.param(1);
+            let q = b.ptr_add(p, n);
+            let r = b.call(Callee::Internal(FuncId::new(2)), &[q], Some(Ty::Ptr));
+            b.ret(Some(r));
+            b.finish()
+        };
+        // Alone, the signature change breaks f0's call site.
+        let err = session
+            .replace_function(FuncId::new(1), f1_wide())
+            .unwrap_err();
+        assert!(matches!(err, SessionError::Verify(_)), "{err}");
+        // Paired with f0's rewrite it lands atomically.
+        let mut b = FunctionBuilder::new("f0", &[Ty::Ptr], Some(Ty::Ptr));
+        let p = b.param(0);
+        let two = b.const_int(2);
+        let q = b.ptr_add(p, two);
+        let r = b.call(Callee::Internal(FuncId::new(1)), &[q, two], Some(Ty::Ptr));
+        b.ret(Some(r));
+        session
+            .apply_edits(vec![
+                SessionEdit::Replace {
+                    func: FuncId::new(1),
+                    body: f1_wide(),
+                },
+                SessionEdit::Replace {
+                    func: FuncId::new(0),
+                    body: b.finish(),
+                },
+            ])
+            .expect("jointly valid");
+        assert_eq!(session.stats().edits, 1);
+        assert_eq!(session.stats().parts_reanalyzed, 2);
+        assert_matches_scratch(&session);
+    }
+
+    #[test]
+    fn empty_and_identical_batches_take_the_noop_path() {
+        let m = chain_module(3, false);
+        let mut session = AnalysisSession::new(m).expect("verifies");
+        session.apply_edits(Vec::new()).expect("empty batch");
+        let body = session.module().function(FuncId::new(1)).clone();
+        session
+            .apply_edits(vec![SessionEdit::Replace {
+                func: FuncId::new(1),
+                body,
+            }])
+            .expect("identical body");
+        let stats = *session.stats();
+        assert_eq!(stats.edits, 2);
+        assert_eq!(stats.noop_edits, 2);
+        assert_eq!(stats.parts_reanalyzed, 0);
+        assert_eq!(stats.matrices_rebuilt, 0);
+        assert_eq!(stats.gr_components_solved, 0);
+        assert_matches_scratch(&session);
+    }
+
+    #[test]
+    fn invalid_batches_are_rejected_whole() {
+        let m = chain_module(3, false);
+        let mut session = AnalysisSession::new(m).expect("verifies");
+        let before = session.module().clone();
+        let body = chain_body("f1", 1, 3, false, 2);
+        // Same function targeted twice.
+        let err = session
+            .apply_edits(vec![
+                SessionEdit::Replace {
+                    func: FuncId::new(1),
+                    body: body.clone(),
+                },
+                SessionEdit::Remove {
+                    func: FuncId::new(1),
+                },
+            ])
+            .unwrap_err();
+        assert_eq!(err, SessionError::DuplicateTarget(FuncId::new(1)));
+        // Out-of-range target.
+        let err = session
+            .apply_edits(vec![SessionEdit::Remove {
+                func: FuncId::new(9),
+            }])
+            .unwrap_err();
+        assert_eq!(err, SessionError::NoSuchFunction(FuncId::new(9)));
+        // A verify failure anywhere voids the whole batch — including
+        // the valid replace submitted alongside it.
+        let err = session
+            .apply_edits(vec![
+                SessionEdit::Replace {
+                    func: FuncId::new(0),
+                    body: chain_body("f0", 0, 3, false, 7),
+                },
+                SessionEdit::Remove {
+                    func: FuncId::new(2), // still called by f1
+                },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, SessionError::Verify(_)), "{err}");
+        assert_eq!(session.module(), &before);
+        assert_eq!(session.stats().edits, 0);
+        assert_matches_scratch(&session);
+    }
+
+    /// The full frontend→session path: textual edits diffed by
+    /// [`sra_lang::SourceProgram`] flow through
+    /// [`AnalysisSession::apply_source_edit`], keeping the session's
+    /// module in lockstep with the program's and its analysis
+    /// byte-identical to scratch.
+    #[test]
+    fn apply_source_edit_keeps_session_in_lockstep_with_the_program() {
+        let base = "int tab[4];\n\
+             int helper(ptr p, int n) { int i; i = 0; while (i < n) { p[i] = i; i = i + 1; } return i; }\n\
+             export int main() { ptr a; a = malloc(8); int k; k = helper(a, 8); return k; }\n";
+        let mut program = sra_lang::SourceProgram::new(base).expect("compiles");
+        let mut session = AnalysisSession::new(program.module().clone()).expect("verifies");
+
+        // A body tweak flows through as one incremental replace.
+        let edited = base.replace("p[i] = i;", "p[i] = i + 1;");
+        let diff = program.apply_edit(&edited).expect("compiles");
+        session.apply_source_edit(diff).expect("applies");
+        assert_eq!(session.module(), program.module());
+        assert_matches_scratch(&session);
+        assert_eq!(session.stats().edits, 1);
+        assert_eq!(session.stats().parts_reanalyzed, 1);
+
+        // A comment-only edit is a no-op: zero re-analysis.
+        let commented = format!("// tweak\n{edited}");
+        let diff = program.apply_edit(&commented).expect("compiles");
+        session.apply_source_edit(diff).expect("applies");
+        assert_eq!(session.stats().noop_edits, 1);
+        assert_eq!(session.stats().parts_reanalyzed, 1);
+
+        // Changing a global forces a (counted) full rebuild.
+        let regrown = commented.replace("int tab[4];", "int tab[9];");
+        let diff = program.apply_edit(&regrown).expect("compiles");
+        assert!(matches!(diff, sra_lang::SourceDiff::FullRebuild { .. }));
+        session.apply_source_edit(diff).expect("applies");
+        assert_eq!(session.module(), program.module());
+        assert_matches_scratch(&session);
+        assert_eq!(session.stats().edits, 3);
+        assert_eq!(
+            session.stats().parts_reanalyzed,
+            1 + session.module().num_functions()
+        );
     }
 }

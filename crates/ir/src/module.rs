@@ -104,6 +104,62 @@ impl Module {
         removed
     }
 
+    /// Removes a batch of functions in one pass. `fs` must be sorted
+    /// ascending and duplicate-free. Surviving functions keep their
+    /// relative order — this is the id-stability contract the
+    /// source-level incremental frontend builds on: a name that
+    /// survives an edit keeps its (compacted) id, and additions
+    /// append. Every `Callee::Internal` reference in the survivors is
+    /// remapped once; calls that targeted a removed function are
+    /// parked on the same invalid sentinel id as
+    /// [`Module::remove_function`], so
+    /// [`crate::verify::verify_module`] reports them as structured
+    /// errors instead of anything panicking. Returns the removed
+    /// functions in `fs` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any id in `fs` is not a function of this module.
+    pub fn remove_functions(&mut self, fs: &[FuncId]) -> Vec<Function> {
+        debug_assert!(
+            fs.windows(2).all(|w| w[0].index() < w[1].index()),
+            "remove_functions wants sorted, duplicate-free ids"
+        );
+        if fs.is_empty() {
+            return Vec::new();
+        }
+        // New id for each old id; `None` marks a removed slot.
+        let mut new_ids: Vec<Option<FuncId>> = Vec::with_capacity(self.funcs.len());
+        let mut next = 0usize;
+        let mut k = 0usize;
+        for old in 0..self.funcs.len() {
+            if k < fs.len() && fs[k].index() == old {
+                new_ids.push(None);
+                k += 1;
+            } else {
+                new_ids.push(Some(FuncId::new(next)));
+                next += 1;
+            }
+        }
+        let mut removed = Vec::with_capacity(fs.len());
+        for &f in fs.iter().rev() {
+            removed.push(self.funcs.remove(f.index()));
+        }
+        removed.reverse();
+        for func in &mut self.funcs {
+            func.remap_internal_calls(|t| {
+                // Out-of-range targets (an earlier removal's sentinel)
+                // stay dangling.
+                new_ids
+                    .get(t.index())
+                    .copied()
+                    .flatten()
+                    .unwrap_or_else(|| FuncId::new(u32::MAX as usize))
+            });
+        }
+        removed
+    }
+
     /// Adds a global of `size` cells, returning its id.
     pub fn add_global(&mut self, name: &str, size: i64) -> GlobalId {
         let id = GlobalId::new(self.globals.len());
@@ -234,6 +290,50 @@ mod tests {
             })
             .collect();
         assert_eq!(targets, vec![FuncId::new(0)]);
+    }
+
+    #[test]
+    fn batch_removal_remaps_survivors_once() {
+        use crate::instr::{Callee, Inst};
+        use crate::{Ty, ValueKind};
+        let mut m = Module::new();
+        for i in 0..5 {
+            let mut b = FunctionBuilder::new(&format!("f{i}"), &[Ty::Int], None);
+            b.ret(None);
+            m.add_function(b.finish());
+        }
+        // f4 calls f2 (which survives) — its target must compact.
+        let mut b = FunctionBuilder::new("f4", &[Ty::Int], None);
+        let arg = b.param(0);
+        b.call(Callee::Internal(FuncId::new(2)), &[arg], None);
+        b.ret(None);
+        m.replace_function(FuncId::new(4), b.finish());
+
+        let removed = m.remove_functions(&[FuncId::new(0), FuncId::new(3)]);
+        assert_eq!(
+            removed.iter().map(|f| f.name()).collect::<Vec<_>>(),
+            vec!["f0", "f3"]
+        );
+        assert_eq!(m.num_functions(), 3);
+        crate::verify::verify_module(&m).expect("survivors stay well-formed");
+        let caller = m.function(FuncId::new(2));
+        assert_eq!(caller.name(), "f4");
+        let targets: Vec<FuncId> = caller
+            .value_ids()
+            .filter_map(|v| match caller.value(v).kind() {
+                ValueKind::Inst(Inst::Call {
+                    callee: Callee::Internal(t),
+                    ..
+                }) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets, vec![FuncId::new(1)], "f2 compacted to id 1");
+
+        // Removing a still-called function dangles, reported by verify.
+        let mut probe = m.clone();
+        probe.remove_functions(&[FuncId::new(1)]);
+        assert!(crate::verify::verify_module(&probe).is_err());
     }
 
     #[test]

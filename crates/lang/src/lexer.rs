@@ -2,8 +2,9 @@
 
 use std::fmt;
 
-/// A lexical token.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A lexical token. `Hash` lets function-granularity diffing
+/// fingerprint a token span cheaply (see `source::SourceProgram`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Token {
     /// Identifier or keyword.
     Ident(String),
@@ -80,6 +81,21 @@ impl fmt::Display for Token {
     }
 }
 
+/// A 1-based source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number (in bytes), starting at 1.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
 /// A tokenization failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LexError {
@@ -87,15 +103,13 @@ pub struct LexError {
     pub offset: usize,
     /// The character.
     pub ch: char,
+    /// Line/column of the offending character.
+    pub span: Span,
 }
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "unexpected character {:?} at byte {}",
-            self.ch, self.offset
-        )
+        write!(f, "unexpected character {:?} at {}", self.ch, self.span)
     }
 }
 
@@ -108,13 +122,43 @@ impl std::error::Error for LexError {}
 ///
 /// Returns a [`LexError`] at the first unrecognized character.
 pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    lex_spanned(source).map(|(tokens, _)| tokens)
+}
+
+/// Like [`lex`], but also returns the 1-based line/column of each
+/// token (same length as the token vector) so later stages can report
+/// positions in the original text.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] at the first unrecognized character.
+#[allow(clippy::too_many_lines)]
+pub fn lex_spanned(source: &str) -> Result<(Vec<Token>, Vec<Span>), LexError> {
     let bytes = source.as_bytes();
     let mut out = Vec::new();
+    let mut spans = Vec::new();
     let mut i = 0;
+    // Current line number and the byte offset where it starts; every
+    // consumed `\n` (including inside comments) advances them.
+    let mut line = 1u32;
+    let mut line_start = 0usize;
+    macro_rules! span_at {
+        ($off:expr) => {
+            Span {
+                line,
+                col: ($off - line_start + 1) as u32,
+            }
+        };
+    }
     while i < bytes.len() {
         let c = bytes[i] as char;
         match c {
-            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '\n' => {
+                i += 1;
+                line += 1;
+                line_start = i;
+            }
+            ' ' | '\t' | '\r' => i += 1,
             '/' if bytes.get(i + 1) == Some(&b'/') => {
                 while i < bytes.len() && bytes[i] != b'\n' {
                     i += 1;
@@ -123,6 +167,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
             '/' if bytes.get(i + 1) == Some(&b'*') => {
                 i += 2;
                 while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        line_start = i + 1;
+                    }
                     i += 1;
                 }
                 i = (i + 2).min(bytes.len());
@@ -133,6 +181,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 let text = &source[start..i];
+                spans.push(span_at!(start));
                 out.push(Token::Int(text.parse().unwrap_or(i64::MAX)));
             }
             'a'..='z' | 'A'..='Z' | '_' => {
@@ -140,61 +189,30 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                 while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
+                spans.push(span_at!(start));
                 out.push(Token::Ident(source[start..i].to_owned()));
             }
-            '(' => {
-                out.push(Token::LParen);
-                i += 1;
-            }
-            ')' => {
-                out.push(Token::RParen);
-                i += 1;
-            }
-            '{' => {
-                out.push(Token::LBrace);
-                i += 1;
-            }
-            '}' => {
-                out.push(Token::RBrace);
-                i += 1;
-            }
-            '[' => {
-                out.push(Token::LBracket);
-                i += 1;
-            }
-            ']' => {
-                out.push(Token::RBracket);
-                i += 1;
-            }
-            ';' => {
-                out.push(Token::Semi);
-                i += 1;
-            }
-            ',' => {
-                out.push(Token::Comma);
-                i += 1;
-            }
-            '+' => {
-                out.push(Token::Plus);
-                i += 1;
-            }
-            '-' => {
-                out.push(Token::Minus);
-                i += 1;
-            }
-            '*' => {
-                out.push(Token::Star);
-                i += 1;
-            }
-            '/' => {
-                out.push(Token::Slash);
-                i += 1;
-            }
-            '%' => {
-                out.push(Token::Percent);
+            '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' | '+' | '-' | '*' | '/' | '%' => {
+                spans.push(span_at!(i));
+                out.push(match c {
+                    '(' => Token::LParen,
+                    ')' => Token::RParen,
+                    '{' => Token::LBrace,
+                    '}' => Token::RBrace,
+                    '[' => Token::LBracket,
+                    ']' => Token::RBracket,
+                    ';' => Token::Semi,
+                    ',' => Token::Comma,
+                    '+' => Token::Plus,
+                    '-' => Token::Minus,
+                    '*' => Token::Star,
+                    '/' => Token::Slash,
+                    _ => Token::Percent,
+                });
                 i += 1;
             }
             '<' => {
+                spans.push(span_at!(i));
                 if bytes.get(i + 1) == Some(&b'=') {
                     out.push(Token::Le);
                     i += 2;
@@ -204,6 +222,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             '>' => {
+                spans.push(span_at!(i));
                 if bytes.get(i + 1) == Some(&b'=') {
                     out.push(Token::Ge);
                     i += 2;
@@ -213,6 +232,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             '=' => {
+                spans.push(span_at!(i));
                 if bytes.get(i + 1) == Some(&b'=') {
                     out.push(Token::EqEq);
                     i += 2;
@@ -223,21 +243,27 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
+                    spans.push(span_at!(i));
                     out.push(Token::Ne);
                     i += 2;
                 } else {
-                    return Err(LexError { offset: i, ch: c });
+                    return Err(LexError {
+                        offset: i,
+                        ch: c,
+                        span: span_at!(i),
+                    });
                 }
             }
             other => {
                 return Err(LexError {
                     offset: i,
                     ch: other,
+                    span: span_at!(i),
                 })
             }
         }
     }
-    Ok(out)
+    Ok((out, spans))
 }
 
 #[cfg(test)]
@@ -294,5 +320,19 @@ mod tests {
         assert_eq!(err.ch, '$');
         assert_eq!(err.offset, 2);
         assert!(lex("!x").is_err());
+    }
+
+    #[test]
+    fn spans_are_line_and_column() {
+        let (tokens, spans) = lex_spanned("int x;\n  x = 1; /* multi\nline */ x").unwrap();
+        assert_eq!(tokens.len(), spans.len());
+        assert_eq!(spans[0], Span { line: 1, col: 1 }); // int
+        assert_eq!(spans[1], Span { line: 1, col: 5 }); // x
+        assert_eq!(spans[3], Span { line: 2, col: 3 }); // x after newline
+                                                        // Block comments advance line counting.
+        assert_eq!(spans.last().unwrap().line, 3);
+        let err = lex_spanned("int a;\n @").unwrap_err();
+        assert_eq!(err.span, Span { line: 2, col: 2 });
+        assert!(err.to_string().contains("at 2:2"));
     }
 }

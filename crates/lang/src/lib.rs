@@ -58,11 +58,13 @@ mod ast;
 mod lexer;
 mod lower;
 mod parser;
+mod source;
 
 pub use ast::{BinKind, Expr, FuncDecl, Program, Stmt};
-pub use lexer::{LexError, Token};
+pub use lexer::{lex, lex_spanned, LexError, Span, Token};
 pub use lower::LowerError;
-pub use parser::ParseError;
+pub use parser::{parse, parse_spanned, ParseError};
+pub use source::{SourceDiff, SourceProgram};
 
 use sra_ir::Module;
 
@@ -75,6 +77,9 @@ pub enum CompileError {
     Parse(ParseError),
     /// Semantic failure (unknown names, type errors).
     Lower(LowerError),
+    /// Lowering produced IR that fails verification — an internal
+    /// invariant violation, never a user error.
+    Internal(sra_ir::verify::VerifyError),
 }
 
 impl std::fmt::Display for CompileError {
@@ -83,6 +88,9 @@ impl std::fmt::Display for CompileError {
             CompileError::Lex(e) => write!(f, "lex error: {}", e),
             CompileError::Parse(e) => write!(f, "parse error: {}", e),
             CompileError::Lower(e) => write!(f, "lowering error: {}", e),
+            CompileError::Internal(e) => {
+                write!(f, "internal error: lowering produced invalid IR: {}", e)
+            }
         }
     }
 }
@@ -121,14 +129,10 @@ pub fn compile(source: &str) -> Result<Module, CompileError> {
 /// # Errors
 ///
 /// Returns a [`CompileError`] describing the first problem found.
-///
-/// # Panics
-///
-/// Panics if lowering produces IR that fails verification — an internal
-/// invariant, not a user error.
+/// Verification failures surface as [`CompileError::Internal`].
 pub fn compile_with(source: &str, opts: CompileOptions) -> Result<Module, CompileError> {
-    let tokens = lexer::lex(source).map_err(CompileError::Lex)?;
-    let program = parser::parse(&tokens).map_err(CompileError::Parse)?;
+    let (tokens, spans) = lexer::lex_spanned(source).map_err(CompileError::Lex)?;
+    let (program, _) = parser::parse_spanned(&tokens, &spans).map_err(CompileError::Parse)?;
     let mut module = lower::lower(&program).map_err(CompileError::Lower)?;
     if opts.essa {
         for f in module.func_ids().collect::<Vec<_>>() {
@@ -136,8 +140,7 @@ pub fn compile_with(source: &str, opts: CompileOptions) -> Result<Module, Compil
         }
     }
     if opts.verify {
-        sra_ir::verify::verify_module(&module)
-            .unwrap_or_else(|e| panic!("internal error: lowering produced invalid IR: {e}"));
+        sra_ir::verify::verify_module(&module).map_err(CompileError::Internal)?;
     }
     Ok(module)
 }

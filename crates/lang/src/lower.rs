@@ -18,13 +18,28 @@ use crate::ast::{BinKind, Expr, FuncDecl, Program, Stmt};
 /// A semantic error found during lowering.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LowerError {
-    /// What went wrong, mentioning the function and names involved.
+    /// What went wrong, mentioning the names involved.
     pub message: String,
+    /// The function being lowered, when known.
+    pub func: Option<String>,
+}
+
+impl LowerError {
+    fn in_func(mut self, name: &str) -> Self {
+        if self.func.is_none() {
+            self.func = Some(name.to_owned());
+        }
+        self
+    }
 }
 
 impl fmt::Display for LowerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.message)
+        write!(f, "{}", self.message)?;
+        if let Some(func) = &self.func {
+            write!(f, " in function `{func}`")?;
+        }
+        Ok(())
     }
 }
 
@@ -51,30 +66,52 @@ pub fn lower(p: &Program) -> Result<Module, LowerError> {
         globals.insert(name.clone(), module.add_global(name, *size));
     }
     // Pre-declare signatures so calls can be resolved in any order.
-    let mut sigs: HashMap<String, (usize, Vec<Ty>, Option<Ty>)> = HashMap::new();
+    let mut sigs: SigMap = HashMap::new();
     for (i, f) in p.funcs.iter().enumerate() {
         if sigs.contains_key(&f.name) {
-            return Err(err(format!("duplicate function `{}`", f.name)));
+            return Err(err(format!("duplicate function `{}`", f.name)).in_func(&f.name));
         }
         let tys = f.params.iter().map(|(_, t)| *t).collect();
         sigs.insert(f.name.clone(), (i, tys, f.ret));
     }
     for f in &p.funcs {
-        let func = FnLower::new(f, &sigs, &globals).run()?;
+        let func = lower_function(f, &sigs, &globals)?;
         module.add_function(func);
     }
     Ok(module)
 }
 
+/// Name → (function id index, parameter types, return type) binding
+/// used to resolve calls while lowering. [`lower`] numbers functions
+/// in program order; the incremental frontend
+/// (`source::SourceProgram`) supplies registry ids instead so a
+/// re-lowered function lands on its existing [`sra_ir::FuncId`].
+pub(crate) type SigMap = HashMap<String, (usize, Vec<Ty>, Option<Ty>)>;
+
+/// Lowers a single function against an explicit signature binding.
+/// σ-nodes are **not** inserted; run [`sra_ir::essa::run`] afterwards.
+pub(crate) fn lower_function(
+    decl: &FuncDecl,
+    sigs: &SigMap,
+    globals: &HashMap<String, GlobalId>,
+) -> Result<sra_ir::Function, LowerError> {
+    FnLower::new(decl, sigs, globals)
+        .run()
+        .map_err(|e| e.in_func(&decl.name))
+}
+
 fn err(message: String) -> LowerError {
-    LowerError { message }
+    LowerError {
+        message,
+        func: None,
+    }
 }
 
 type VarId = usize;
 
 struct FnLower<'a> {
     decl: &'a FuncDecl,
-    sigs: &'a HashMap<String, (usize, Vec<Ty>, Option<Ty>)>,
+    sigs: &'a SigMap,
     globals: &'a HashMap<String, GlobalId>,
     b: FunctionBuilder,
     vars: HashMap<String, (VarId, Ty)>,
@@ -89,11 +126,7 @@ struct FnLower<'a> {
 }
 
 impl<'a> FnLower<'a> {
-    fn new(
-        decl: &'a FuncDecl,
-        sigs: &'a HashMap<String, (usize, Vec<Ty>, Option<Ty>)>,
-        globals: &'a HashMap<String, GlobalId>,
-    ) -> Self {
+    fn new(decl: &'a FuncDecl, sigs: &'a SigMap, globals: &'a HashMap<String, GlobalId>) -> Self {
         let param_tys: Vec<Ty> = decl.params.iter().map(|(_, t)| *t).collect();
         let b = FunctionBuilder::new(&decl.name, &param_tys, decl.ret);
         FnLower {
@@ -132,10 +165,9 @@ impl<'a> FnLower<'a> {
                     self.b.ret(Some(z));
                 }
                 Some(Ty::Ptr) => {
-                    return Err(err(format!(
-                        "function `{}` may fall off the end without returning a pointer",
-                        self.decl.name
-                    )))
+                    return Err(err(
+                        "may fall off the end without returning a pointer".into()
+                    ))
                 }
             }
         }
@@ -151,10 +183,7 @@ impl<'a> FnLower<'a> {
 
     fn declare(&mut self, name: &str, ty: Ty) -> Result<VarId, LowerError> {
         if self.vars.contains_key(name) {
-            return Err(err(format!(
-                "duplicate variable `{name}` in `{}`",
-                self.decl.name
-            )));
+            return Err(err(format!("duplicate variable `{name}`")));
         }
         if self.globals.contains_key(name) {
             return Err(err(format!("variable `{name}` shadows a global")));
@@ -194,10 +223,7 @@ impl<'a> FnLower<'a> {
                     match ty {
                         Ty::Int => self.b.const_int(0),
                         Ty::Ptr => {
-                            return Err(err(format!(
-                                "pointer variable read before initialization in `{}`",
-                                self.decl.name
-                            )))
+                            return Err(err("pointer variable read before initialization".into()))
                         }
                     }
                 }
@@ -332,10 +358,7 @@ impl<'a> FnLower<'a> {
                 };
                 let (v, ty) = self.expr(e)?;
                 if ty != vty {
-                    return Err(err(format!(
-                        "type mismatch assigning to `{name}` in `{}`",
-                        self.decl.name
-                    )));
+                    return Err(err(format!("type mismatch assigning to `{name}`")));
                 }
                 let block = self.b.current_block();
                 self.write_var(var, block, v);
@@ -376,19 +399,11 @@ impl<'a> FnLower<'a> {
                     (Some(e), Some(want)) => {
                         let (v, ty) = self.expr(e)?;
                         if ty != want {
-                            return Err(err(format!(
-                                "return type mismatch in `{}`",
-                                self.decl.name
-                            )));
+                            return Err(err("return type mismatch".into()));
                         }
                         self.b.ret(Some(v));
                     }
-                    _ => {
-                        return Err(err(format!(
-                            "return arity mismatch in `{}`",
-                            self.decl.name
-                        )))
-                    }
+                    _ => return Err(err("return arity mismatch".into())),
                 }
                 self.terminated = true;
                 Ok(())
@@ -514,10 +529,7 @@ impl<'a> FnLower<'a> {
                 if let Some(&g) = self.globals.get(name) {
                     return Ok((self.b.global_addr(g, Ty::Ptr), Ty::Ptr));
                 }
-                Err(err(format!(
-                    "unknown variable `{name}` in `{}`",
-                    self.decl.name
-                )))
+                Err(err(format!("unknown variable `{name}`")))
             }
             Expr::Bin(kind, l, r) => {
                 let (lv, lt) = self.expr(l)?;
@@ -540,10 +552,7 @@ impl<'a> FnLower<'a> {
                         let neg = self.b.binop(BinOp::Sub, zero, rv);
                         Ok((self.b.ptr_add(lv, neg), Ty::Ptr))
                     }
-                    _ => Err(err(format!(
-                        "invalid operand types for arithmetic in `{}`",
-                        self.decl.name
-                    ))),
+                    _ => Err(err("invalid operand types for arithmetic".into())),
                 }
             }
             Expr::Cmp(op, l, r) => {
@@ -707,6 +716,17 @@ mod tests {
         )
         .unwrap();
         assert_eq!(m.num_functions(), 2);
+    }
+
+    #[test]
+    fn errors_name_the_function() {
+        use crate::CompileError;
+        let Err(CompileError::Lower(e)) = compile("void f() { } void g(ptr p) { int x; x = p; }")
+        else {
+            panic!("expected a lowering error")
+        };
+        assert_eq!(e.func.as_deref(), Some("g"));
+        assert!(e.to_string().contains("in function `g`"), "{e}");
     }
 
     #[test]

@@ -5,7 +5,14 @@ use std::fmt;
 use sra_ir::{CmpOp, Ty};
 
 use crate::ast::{BinKind, Expr, FuncDecl, Program, Stmt};
-use crate::lexer::Token;
+use crate::lexer::{Span, Token};
+
+/// Maximum nesting depth (expressions + blocks) before the parser
+/// bails out with a structured error instead of risking stack
+/// exhaustion on adversarial input. Debug-build parser frames are
+/// large, so this stays comfortably inside a 2 MiB test-thread stack
+/// (recursive lowering of the resulting AST is bounded by it too).
+const MAX_DEPTH: usize = 64;
 
 /// A grammar failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,11 +21,23 @@ pub struct ParseError {
     pub at: usize,
     /// What went wrong.
     pub message: String,
+    /// Line/column of the offending token when the parser was given
+    /// spans (see [`parse_spanned`]); `None` otherwise.
+    pub span: Option<Span>,
+    /// The function being parsed when the error occurred, if known.
+    pub func: Option<String>,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} (at token {})", self.message, self.at)
+        match self.span {
+            Some(span) => write!(f, "{} at {}", self.message, span)?,
+            None => write!(f, "{} (at token {})", self.message, self.at)?,
+        }
+        if let Some(func) = &self.func {
+            write!(f, " in function `{func}`")?;
+        }
+        Ok(())
     }
 }
 
@@ -30,21 +49,65 @@ impl std::error::Error for ParseError {}
 ///
 /// Returns a [`ParseError`] at the first violation of the grammar.
 pub fn parse(tokens: &[Token]) -> Result<Program, ParseError> {
-    let mut p = Parser { tokens, pos: 0 };
-    p.program()
+    parse_spanned(tokens, &[]).map(|(prog, _)| prog)
+}
+
+/// Like [`parse`], but takes the token spans from
+/// [`crate::lexer::lex_spanned`] so errors carry line:col positions,
+/// and additionally returns for each parsed function its half-open
+/// token range `[start, end)` in the input stream (including a
+/// leading `export`). The ranges drive function-granularity diffing.
+///
+/// `spans` may be empty (positions are then omitted from errors); if
+/// non-empty it must be the same length as `tokens`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] at the first violation of the grammar.
+pub fn parse_spanned(
+    tokens: &[Token],
+    spans: &[Span],
+) -> Result<(Program, Vec<(usize, usize)>), ParseError> {
+    let mut p = Parser {
+        tokens,
+        spans,
+        pos: 0,
+        depth: 0,
+        current_func: None,
+        ranges: Vec::new(),
+    };
+    let prog = p.program()?;
+    Ok((prog, p.ranges))
 }
 
 struct Parser<'a> {
     tokens: &'a [Token],
+    spans: &'a [Span],
     pos: usize,
+    depth: usize,
+    current_func: Option<String>,
+    ranges: Vec<(usize, usize)>,
 }
 
 impl Parser<'_> {
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        // Clamp so "unexpected end of input" errors still point at
+        // the last real token's position.
+        let at = self.pos.min(self.spans.len().saturating_sub(1));
         Err(ParseError {
             at: self.pos,
             message: message.into(),
+            span: self.spans.get(at).copied(),
+            func: self.current_func.clone(),
         })
+    }
+
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return self.err("too deeply nested");
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -98,6 +161,7 @@ impl Parser<'_> {
     fn program(&mut self) -> Result<Program, ParseError> {
         let mut prog = Program::default();
         while self.peek().is_some() {
+            let start = self.pos;
             let exported = if self.is_kw("export") {
                 self.pos += 1;
                 true
@@ -122,6 +186,7 @@ impl Parser<'_> {
                 continue;
             }
             prog.funcs.push(self.function(exported)?);
+            self.ranges.push((start, self.pos));
         }
         Ok(prog)
     }
@@ -134,6 +199,7 @@ impl Parser<'_> {
             Some(self.ty()?)
         };
         let name = self.eat_ident()?;
+        self.current_func = Some(name.clone());
         self.eat(&Token::LParen)?;
         let mut params = Vec::new();
         if self.peek() != Some(&Token::RParen) {
@@ -150,6 +216,7 @@ impl Parser<'_> {
         }
         self.eat(&Token::RParen)?;
         let body = self.block()?;
+        self.current_func = None;
         let exported = exported || name == "main";
         Ok(FuncDecl {
             name,
@@ -161,6 +228,13 @@ impl Parser<'_> {
     }
 
     fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.descend()?;
+        let r = self.block_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn block_inner(&mut self) -> Result<Vec<Stmt>, ParseError> {
         self.eat(&Token::LBrace)?;
         let mut stmts = Vec::new();
         while self.peek() != Some(&Token::RBrace) {
@@ -294,7 +368,10 @@ impl Parser<'_> {
     }
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
-        self.comparison()
+        self.descend()?;
+        let r = self.comparison();
+        self.depth -= 1;
+        r
     }
 
     fn comparison(&mut self) -> Result<Expr, ParseError> {
@@ -343,6 +420,13 @@ impl Parser<'_> {
     }
 
     fn unary(&mut self) -> Result<Expr, ParseError> {
+        self.descend()?;
+        let r = self.unary_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn unary_inner(&mut self) -> Result<Expr, ParseError> {
         match self.peek() {
             Some(Token::Star) => {
                 self.pos += 1;
@@ -520,5 +604,55 @@ mod tests {
     fn errors_report_position() {
         let err = parse(&lex("void f( {").unwrap()).unwrap_err();
         assert!(err.message.contains("expected"));
+    }
+
+    #[test]
+    fn errors_carry_line_col_and_function() {
+        let (tokens, spans) = crate::lexer::lex_spanned("void f() {\n  int x\n}").unwrap();
+        let err = parse_spanned(&tokens, &spans).unwrap_err();
+        // Missing `;` — reported at the `}` on line 3, inside `f`.
+        assert_eq!(err.func.as_deref(), Some("f"));
+        let span = err.span.expect("spans were provided");
+        assert_eq!((span.line, span.col), (3, 1));
+        assert!(err.to_string().contains("at 3:1"));
+        assert!(err.to_string().contains("in function `f`"));
+    }
+
+    #[test]
+    fn function_token_ranges_cover_each_unit() {
+        let (tokens, spans) =
+            crate::lexer::lex_spanned("int g[4]; void a() { } export int b() { return 0; }")
+                .unwrap();
+        let (prog, ranges) = parse_spanned(&tokens, &spans).unwrap();
+        assert_eq!(prog.funcs.len(), 2);
+        assert_eq!(ranges.len(), 2);
+        // `a`'s unit starts after the global, `b`'s includes `export`.
+        assert_eq!(tokens[ranges[0].0], Token::Ident("void".into()));
+        assert_eq!(tokens[ranges[1].0], Token::Ident("export".into()));
+        assert_eq!(ranges[1].1, tokens.len());
+        assert_eq!(ranges[0].1, ranges[1].0);
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        let src = format!(
+            "int f() {{ return {}1{}; }}",
+            "(".repeat(5000),
+            ")".repeat(5000)
+        );
+        let err = parse(&lex(&src).unwrap()).unwrap_err();
+        assert!(err.message.contains("too deeply nested"), "{err}");
+        // Unary self-recursion (`****…p`) is depth-limited too.
+        let src = format!("int f(ptr p) {{ return {}p; }}", "*".repeat(5000));
+        let err = parse(&lex(&src).unwrap()).unwrap_err();
+        assert!(err.message.contains("too deeply nested"), "{err}");
+        // Block nesting likewise.
+        let src = format!(
+            "void f() {{ {} {} }}",
+            "if (1) {".repeat(5000),
+            "}".repeat(5000)
+        );
+        let err = parse(&lex(&src).unwrap()).unwrap_err();
+        assert!(err.message.contains("too deeply nested"), "{err}");
     }
 }

@@ -1,0 +1,565 @@
+//! Source-level incremental frontend: function-granularity diffing.
+//!
+//! A [`SourceProgram`] holds the current text of a module and a
+//! *registry* binding each function name to a stable [`FuncId`]. On
+//! [`SourceProgram::apply_edit`] the new text is lexed and parsed
+//! whole (cheap), then diffed against the previous version at
+//! function granularity by hashing each function's token span:
+//!
+//! * **unchanged** — identical tokens and an identical *environment*
+//!   (see below): the existing lowered body is kept verbatim;
+//! * **changed** — tokens differ: the unit is re-lowered through the
+//!   Braun-style on-the-fly SSA construction in [`crate::lower`];
+//! * **added** — a new name: lowered and appended to the registry;
+//! * **removed** — a vanished name: dropped, surviving ids compact.
+//!
+//! A unit's lowering also depends on the *signatures* of the names it
+//! references: adding, removing, or re-typing a function `g` changes
+//! how a token-identical caller of `g` lowers (internal ↔ external
+//! call flips, argument checking). Token-unchanged units are therefore
+//! re-lowered whenever any referenced identifier's signature entry
+//! changed — an over-approximation that is cheap to detect and keeps
+//! the incremental result byte-identical to a full relower.
+//!
+//! **Id-stability contract**: names that survive an edit keep their
+//! id (compacted over removals, exactly like
+//! [`Module::remove_functions`]); additions append in text order.
+//! Re-lowered bodies in a [`SourceDiff::Incremental`] are expressed in
+//! the *pre-edit* id space so applying replacements → additions →
+//! removals lands every internal call edge on the post-edit registry.
+//! [`SourceProgram::full_relower`] lowers the current text from
+//! scratch in registry order and must produce a module equal to the
+//! incrementally maintained one — the shadow validator the
+//! equivalence rails pin.
+//!
+//! Changes to the global table re-bind ids wholesale
+//! ([`SourceDiff::FullRebuild`]): global ids are positional and every
+//! unit may reference them.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+use sra_ir::{FuncId, Function, GlobalId, Module, Ty};
+
+use crate::ast::Program;
+use crate::lexer::{lex_spanned, Token};
+use crate::lower::{lower_function, SigMap};
+use crate::parser::parse_spanned;
+use crate::{CompileError, LowerError};
+
+/// One function unit of the registry: the token span it was built
+/// from plus what its lowering depended on.
+#[derive(Debug, Clone)]
+struct Unit {
+    name: String,
+    /// Hash of `tokens` — fast-path for the diff.
+    hash: u64,
+    tokens: Vec<Token>,
+    /// Identifiers referenced anywhere in the unit (sorted, deduped);
+    /// superset of the callee names whose signatures the lowering
+    /// consulted.
+    refs: Vec<String>,
+    params: Vec<Ty>,
+    ret: Option<Ty>,
+}
+
+/// What a textual edit changed, at function granularity.
+#[derive(Debug, Clone)]
+pub enum SourceDiff {
+    /// Token-identical (whitespace/comment-only edits, or pure
+    /// reordering of functions in the text): the module is unchanged
+    /// and consumers must not re-analyze anything.
+    Noop,
+    /// Function-granularity delta expressed in the **pre-edit** id
+    /// space: apply `replaced` first, then append `added`, then drop
+    /// `removed` (sorted ascending, compacting survivor ids).
+    Incremental {
+        /// Re-lowered bodies for surviving ids whose lowering changed.
+        replaced: Vec<(FuncId, Function)>,
+        /// New functions, appended in text order.
+        added: Vec<Function>,
+        /// Pre-edit ids to remove, ascending.
+        removed: Vec<FuncId>,
+        /// Units left completely untouched.
+        unchanged: usize,
+        /// Units actually re-lowered (changed + env-dirty + added).
+        relowered: usize,
+    },
+    /// The global table changed, so every unit was re-lowered and the
+    /// registry re-bound in text order. `module` is the new world.
+    FullRebuild {
+        /// The fully re-lowered module.
+        module: Module,
+    },
+}
+
+/// A text-backed module with a stable name ↔ [`FuncId`] registry and
+/// function-granularity incremental re-lowering.
+///
+/// # Examples
+///
+/// ```
+/// use sra_lang::{SourceDiff, SourceProgram};
+/// let mut p = SourceProgram::new(
+///     "int f(int n) { return n + 1; } export int main() { return f(41); }",
+/// )
+/// .unwrap();
+/// let diff = p
+///     .apply_edit("int f(int n) { return n + 2; } export int main() { return f(41); }")
+///     .unwrap();
+/// let SourceDiff::Incremental { replaced, relowered, .. } = diff else {
+///     panic!("body tweak is incremental")
+/// };
+/// assert_eq!((replaced.len(), relowered), (1, 1));
+/// assert_eq!(p.module(), &p.full_relower().unwrap());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SourceProgram {
+    text: String,
+    globals: Vec<(String, i64)>,
+    /// Registry order — index `i` is the unit bound to `FuncId(i)`.
+    units: Vec<Unit>,
+    module: Module,
+}
+
+impl SourceProgram {
+    /// Compiles the initial text; the registry binds names in text
+    /// order (same numbering as [`crate::compile`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] describing the first problem found.
+    pub fn new(text: &str) -> Result<Self, CompileError> {
+        let (prog, units) = parse_units(text)?;
+        let order: HashMap<String, usize> = units
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (u.name.clone(), i))
+            .collect();
+        let module = lower_ordered(&prog, &order)?;
+        Ok(SourceProgram {
+            text: text.to_owned(),
+            globals: prog.globals,
+            units,
+            module,
+        })
+    }
+
+    /// The current text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The incrementally maintained module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The registry id bound to `name`, if present.
+    pub fn function_id(&self, name: &str) -> Option<FuncId> {
+        self.units
+            .iter()
+            .position(|u| u.name == name)
+            .map(FuncId::new)
+    }
+
+    /// Number of function units in the registry.
+    pub fn num_units(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Replaces the whole text, re-lowering only what the diff
+    /// requires, and returns what changed. On error (`new_text` does
+    /// not compile) the program is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] describing the first problem found.
+    #[allow(clippy::too_many_lines)]
+    pub fn apply_edit(&mut self, new_text: &str) -> Result<SourceDiff, CompileError> {
+        let (prog, new_units) = parse_units(new_text)?;
+        if prog.globals != self.globals {
+            // Global ids are positional and any unit may use them:
+            // re-bind the registry in text order.
+            let next = Self::new(new_text)?;
+            let module = next.module.clone();
+            *self = next;
+            return Ok(SourceDiff::FullRebuild { module });
+        }
+
+        let old_idx: HashMap<&str, usize> = self
+            .units
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (u.name.as_str(), i))
+            .collect();
+        let new_by_name: HashMap<&str, usize> = new_units
+            .iter()
+            .enumerate()
+            .map(|(t, u)| (u.name.as_str(), t))
+            .collect();
+        let removed: Vec<usize> = (0..self.units.len())
+            .filter(|&i| !new_by_name.contains_key(self.units[i].name.as_str()))
+            .collect();
+        let old_nf = self.units.len();
+
+        // Pre-edit id for every new unit: survivors keep their
+        // registry id, additions append past the old end.
+        let mut pre_ids: HashMap<&str, usize> = HashMap::with_capacity(new_units.len());
+        let mut num_added = 0usize;
+        for u in &new_units {
+            let id = match old_idx.get(u.name.as_str()) {
+                Some(&i) => i,
+                None => {
+                    let id = old_nf + num_added;
+                    num_added += 1;
+                    id
+                }
+            };
+            pre_ids.insert(u.name.as_str(), id);
+        }
+
+        // Environment = name → signature; a token-identical unit must
+        // re-lower when any identifier it mentions changed entry.
+        let old_env: HashMap<&str, (&[Ty], Option<Ty>)> = self
+            .units
+            .iter()
+            .map(|u| (u.name.as_str(), (u.params.as_slice(), u.ret)))
+            .collect();
+        let new_env: HashMap<&str, (&[Ty], Option<Ty>)> = new_units
+            .iter()
+            .map(|u| (u.name.as_str(), (u.params.as_slice(), u.ret)))
+            .collect();
+
+        // Text-order indices of units that need (re-)lowering.
+        let mut to_lower: Vec<usize> = Vec::new();
+        for (t, u) in new_units.iter().enumerate() {
+            let Some(&old_i) = old_idx.get(u.name.as_str()) else {
+                to_lower.push(t);
+                continue;
+            };
+            let old_u = &self.units[old_i];
+            let token_same = old_u.hash == u.hash && old_u.tokens == u.tokens;
+            let env_dirty = || {
+                u.refs
+                    .iter()
+                    .any(|r| old_env.get(r.as_str()) != new_env.get(r.as_str()))
+            };
+            if !token_same || env_dirty() {
+                to_lower.push(t);
+            }
+        }
+
+        let sigs: SigMap = new_units
+            .iter()
+            .map(|u| {
+                (
+                    u.name.clone(),
+                    (pre_ids[u.name.as_str()], u.params.clone(), u.ret),
+                )
+            })
+            .collect();
+        let gmap: HashMap<String, GlobalId> = self
+            .globals
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _))| (name.clone(), GlobalId::new(i)))
+            .collect();
+
+        let mut replaced: Vec<(FuncId, Function)> = Vec::new();
+        let mut added: Vec<Function> = Vec::new();
+        for &t in &to_lower {
+            let decl = &prog.funcs[t];
+            let mut func = lower_function(decl, &sigs, &gmap).map_err(CompileError::Lower)?;
+            sra_ir::essa::run(&mut func);
+            let pre = pre_ids[decl.name.as_str()];
+            if pre < old_nf {
+                // A re-lowered survivor can come out identical (e.g. a
+                // local rename): drop it so downstream reuse kicks in.
+                if *self.module.function(FuncId::new(pre)) != func {
+                    replaced.push((FuncId::new(pre), func));
+                }
+            } else {
+                added.push(func);
+            }
+        }
+
+        // Commit on a scratch copy so a verification failure (which
+        // would be an internal bug) cannot corrupt `self`.
+        let mut next_module = self.module.clone();
+        for (f, func) in &replaced {
+            next_module.replace_function(*f, func.clone());
+        }
+        for func in &added {
+            next_module.add_function(func.clone());
+        }
+        let removed_ids: Vec<FuncId> = removed.iter().copied().map(FuncId::new).collect();
+        next_module.remove_functions(&removed_ids);
+        sra_ir::verify::verify_module(&next_module).map_err(CompileError::Internal)?;
+
+        // Registry update: survivors in old order (with their new
+        // token spans), then additions in text order.
+        let mut next_units: Vec<Unit> = Vec::with_capacity(new_units.len());
+        for (i, u) in self.units.iter().enumerate() {
+            if removed.binary_search(&i).is_err() {
+                next_units.push(new_units[new_by_name[u.name.as_str()]].clone());
+            }
+        }
+        for u in &new_units {
+            if !old_idx.contains_key(u.name.as_str()) {
+                next_units.push(u.clone());
+            }
+        }
+
+        let unchanged = new_units.len() - to_lower.len();
+        let relowered = to_lower.len();
+        self.module = next_module;
+        self.units = next_units;
+        self.globals = prog.globals;
+        self.text = new_text.to_owned();
+
+        if replaced.is_empty() && added.is_empty() && removed_ids.is_empty() {
+            Ok(SourceDiff::Noop)
+        } else {
+            Ok(SourceDiff::Incremental {
+                replaced,
+                added,
+                removed: removed_ids,
+                unchanged,
+                relowered,
+            })
+        }
+    }
+
+    /// Shadow validator: lowers the current text from scratch, binding
+    /// names in **registry** order. Must equal [`Self::module`] — the
+    /// id-stability contract the equivalence rails pin.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] if the stored text no longer
+    /// compiles (impossible unless the program was built by hand).
+    pub fn full_relower(&self) -> Result<Module, CompileError> {
+        let (prog, _) = parse_units(&self.text)?;
+        let order: HashMap<String, usize> = self
+            .units
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (u.name.clone(), i))
+            .collect();
+        lower_ordered(&prog, &order)
+    }
+}
+
+/// Lexes + parses `text` and splits it into per-function units.
+fn parse_units(text: &str) -> Result<(Program, Vec<Unit>), CompileError> {
+    let (tokens, spans) = lex_spanned(text).map_err(CompileError::Lex)?;
+    let (prog, ranges) = parse_spanned(&tokens, &spans).map_err(CompileError::Parse)?;
+    debug_assert_eq!(prog.funcs.len(), ranges.len());
+    let mut seen_globals = HashSet::new();
+    for (name, _) in &prog.globals {
+        if !seen_globals.insert(name.as_str()) {
+            return Err(CompileError::Lower(LowerError {
+                message: format!("duplicate global `{name}`"),
+                func: None,
+            }));
+        }
+    }
+    let mut units = Vec::with_capacity(ranges.len());
+    let mut seen = HashSet::new();
+    for (f, &(start, end)) in prog.funcs.iter().zip(&ranges) {
+        if !seen.insert(f.name.as_str()) {
+            return Err(CompileError::Lower(LowerError {
+                message: format!("duplicate function `{}`", f.name),
+                func: Some(f.name.clone()),
+            }));
+        }
+        let toks = tokens[start..end].to_vec();
+        let mut hasher = DefaultHasher::new();
+        toks.hash(&mut hasher);
+        let mut refs: Vec<String> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        refs.sort_unstable();
+        refs.dedup();
+        units.push(Unit {
+            name: f.name.clone(),
+            hash: hasher.finish(),
+            tokens: toks,
+            refs,
+            params: f.params.iter().map(|(_, t)| *t).collect(),
+            ret: f.ret,
+        });
+    }
+    Ok((prog, units))
+}
+
+/// Lowers every function of `prog`, placing each at the id `order`
+/// assigns to its name, then runs e-SSA and verifies.
+fn lower_ordered(prog: &Program, order: &HashMap<String, usize>) -> Result<Module, CompileError> {
+    let mut module = Module::new();
+    let mut gmap: HashMap<String, GlobalId> = HashMap::new();
+    for (name, size) in &prog.globals {
+        gmap.insert(name.clone(), module.add_global(name, *size));
+    }
+    let sigs: SigMap = prog
+        .funcs
+        .iter()
+        .map(|f| {
+            let tys = f.params.iter().map(|(_, t)| *t).collect();
+            (f.name.clone(), (order[&f.name], tys, f.ret))
+        })
+        .collect();
+    let mut slots: Vec<Option<Function>> = (0..prog.funcs.len()).map(|_| None).collect();
+    for f in &prog.funcs {
+        let mut func = lower_function(f, &sigs, &gmap).map_err(CompileError::Lower)?;
+        sra_ir::essa::run(&mut func);
+        slots[order[&f.name]] = Some(func);
+    }
+    for s in slots {
+        module.add_function(s.expect("order covers every function exactly once"));
+    }
+    sra_ir::verify::verify_module(&module).map_err(CompileError::Internal)?;
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = "\
+        int helper(ptr p, int n) { int i; i = 0; while (i < n) { p[i] = i; i = i + 1; } return i; }\n\
+        export int main() { ptr a; a = malloc(8); int r; r = helper(a, 8); return r; }\n";
+
+    fn incremental(diff: &SourceDiff) -> (usize, usize, usize, usize) {
+        match diff {
+            SourceDiff::Incremental {
+                replaced,
+                added,
+                removed,
+                relowered,
+                ..
+            } => (replaced.len(), added.len(), removed.len(), *relowered),
+            other => panic!("expected incremental diff, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matches_batch_compile_initially() {
+        let p = SourceProgram::new(BASE).unwrap();
+        assert_eq!(p.module(), &crate::compile(BASE).unwrap());
+        assert_eq!(p.module(), &p.full_relower().unwrap());
+    }
+
+    #[test]
+    fn body_tweak_replaces_one_unit() {
+        let mut p = SourceProgram::new(BASE).unwrap();
+        let edited = BASE.replace("malloc(8)", "malloc(16)");
+        let diff = p.apply_edit(&edited).unwrap();
+        assert_eq!(incremental(&diff), (1, 0, 0, 1));
+        let SourceDiff::Incremental { replaced, .. } = &diff else {
+            unreachable!()
+        };
+        assert_eq!(replaced[0].0, p.function_id("main").unwrap());
+        assert_eq!(p.module(), &p.full_relower().unwrap());
+        assert_eq!(p.module(), &crate::compile(&edited).unwrap());
+    }
+
+    #[test]
+    fn whitespace_comment_and_reorder_edits_are_noops() {
+        let mut p = SourceProgram::new(BASE).unwrap();
+        let before = p.module().clone();
+        let spaced = BASE.replace(" { ", " {\n    /* noop */  ");
+        assert!(matches!(p.apply_edit(&spaced).unwrap(), SourceDiff::Noop));
+        // Pure reordering of functions in the text keeps registry ids.
+        let mut lines: Vec<&str> = BASE.lines().collect();
+        lines.reverse();
+        let reordered = lines.join("\n");
+        assert!(matches!(
+            p.apply_edit(&reordered).unwrap(),
+            SourceDiff::Noop
+        ));
+        assert_eq!(p.module(), &before);
+        assert_eq!(p.module(), &p.full_relower().unwrap());
+    }
+
+    #[test]
+    fn removal_flips_callers_to_external() {
+        let mut p = SourceProgram::new(BASE).unwrap();
+        let main_only =
+            "export int main() { ptr a; a = malloc(8); int r; r = helper(a, 8); return r; }\n";
+        let diff = p.apply_edit(main_only).unwrap();
+        // helper removed; main re-lowered because `helper` flipped
+        // internal → external.
+        assert_eq!(incremental(&diff), (1, 0, 1, 1));
+        assert_eq!(p.num_units(), 1);
+        assert_eq!(p.function_id("main"), Some(FuncId::new(0)));
+        let text = sra_ir::print_module(p.module());
+        assert!(text.contains("call @helper!"), "external call:\n{text}");
+        assert_eq!(p.module(), &p.full_relower().unwrap());
+
+        // Re-adding helper flips main back to an internal call, with
+        // helper appended after main in the registry.
+        let diff = p.apply_edit(BASE).unwrap();
+        assert_eq!(incremental(&diff), (1, 1, 0, 2));
+        assert_eq!(p.function_id("main"), Some(FuncId::new(0)));
+        assert_eq!(p.function_id("helper"), Some(FuncId::new(1)));
+        assert_eq!(p.module(), &p.full_relower().unwrap());
+    }
+
+    #[test]
+    fn signature_change_rewrites_callers_atomically() {
+        let mut p = SourceProgram::new(BASE).unwrap();
+        let edited = BASE
+            .replace(
+                "int helper(ptr p, int n)",
+                "int helper(ptr p, int n, int step)",
+            )
+            .replace("helper(a, 8)", "helper(a, 8, 1)");
+        let diff = p.apply_edit(&edited).unwrap();
+        // Both units re-lowered in one diff: helper's tokens changed,
+        // main is env-dirty.
+        assert_eq!(incremental(&diff), (2, 0, 0, 2));
+        assert_eq!(p.module(), &p.full_relower().unwrap());
+        assert_eq!(p.module(), &crate::compile(&edited).unwrap());
+    }
+
+    #[test]
+    fn global_change_is_full_rebuild() {
+        let text = format!("int tab[4];\n{BASE}");
+        let mut p = SourceProgram::new(&text).unwrap();
+        let grown = format!("int tab[8];\n{BASE}");
+        let diff = p.apply_edit(&grown).unwrap();
+        assert!(matches!(diff, SourceDiff::FullRebuild { .. }));
+        assert_eq!(p.module(), &crate::compile(&grown).unwrap());
+    }
+
+    #[test]
+    fn failed_edit_leaves_program_untouched() {
+        let mut p = SourceProgram::new(BASE).unwrap();
+        let before = p.module().clone();
+        let text_before = p.text().to_owned();
+        assert!(p.apply_edit("export int main() { return x; }").is_err());
+        assert!(p.apply_edit("int f( {").is_err());
+        assert!(p.apply_edit("int f() $ {}").is_err());
+        assert_eq!(p.module(), &before);
+        assert_eq!(p.text(), text_before);
+    }
+
+    #[test]
+    fn duplicate_names_are_structured_errors() {
+        assert!(matches!(
+            SourceProgram::new("int f() { return 0; } int f() { return 1; }"),
+            Err(CompileError::Lower(_))
+        ));
+        assert!(matches!(
+            SourceProgram::new("int t[1]; int t[2]; int f() { return 0; }"),
+            Err(CompileError::Lower(_))
+        ));
+    }
+}

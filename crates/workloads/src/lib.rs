@@ -41,6 +41,7 @@
 pub mod edits;
 pub mod harness;
 pub mod scaling;
+pub mod source_edits;
 pub mod suite;
 pub mod templates;
 pub mod traffic;

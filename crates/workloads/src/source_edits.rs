@@ -1,0 +1,432 @@
+//! Randomized **textual** edit streams: whole-source update sequences
+//! for exercising the incremental frontend
+//! ([`sra_lang::SourceProgram`]) end to end.
+//!
+//! Where [`crate::edits`] mutates IR function bodies directly, this
+//! module edits *mini-C source text* the way a developer would: tweak a
+//! constant in one body, rewrite a function against the same signature,
+//! add or delete a function, reshuffle the file, sprinkle comments. The
+//! generated program is **island-structured** — `islands` disjoint call
+//! chains with exported roots and no `main` — so the call graph has
+//! many small weakly connected components and a one-function edit
+//! dirties only its own island; that is the regime where incremental
+//! re-analysis pays off and where the session-vs-scratch floor is
+//! measured.
+//!
+//! Every chain function calls its successor **by name**; the successor
+//! of the last defined function of an island does not exist, so the
+//! call lowers to an external library call (returning `int`). Adding
+//! that function later flips the edge to an internal call; removing a
+//! mid-chain function flips its callers' edges to external — both
+//! directions exercise the frontend's environment-sensitive re-lowering
+//! without ever producing text that fails to compile. All chain
+//! functions return `int` for exactly this reason: an `int`-returning
+//! callee can vanish (its callers re-lower against the external
+//! signature), whereas a `ptr`-returning one could not.
+//!
+//! # Examples
+//!
+//! ```
+//! use sra_workloads::source_edits;
+//!
+//! let mut w = source_edits::generate_workload(3, 4, 7);
+//! let program = sra_lang::SourceProgram::new(&w.text()).expect("compiles");
+//! assert_eq!(program.module().num_functions(), 12);
+//! for step in w.edit_stream(6) {
+//!     // Every step's full text compiles on its own.
+//!     sra_lang::compile(&step.text).expect("stream text stays valid");
+//! }
+//! ```
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What kind of textual change a [`SourceEditStep`] applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceEditKind {
+    /// A constant changed inside one body (template preserved).
+    Tweak,
+    /// One body was rewritten against the same signature (different
+    /// template).
+    Rewrite,
+    /// A function definition was added (extending an island's chain or
+    /// restoring a removed link).
+    AddFunc,
+    /// A non-root function definition was deleted; its callers' call
+    /// sites flip to external.
+    RemoveFunc,
+    /// Comment/whitespace churn only.
+    Whitespace,
+    /// Whole function definitions moved around the file.
+    Reorder,
+}
+
+impl SourceEditKind {
+    /// Whether the edit is semantically invisible: the incremental
+    /// frontend must classify it as a no-op and re-analyze nothing.
+    pub fn is_noop(self) -> bool {
+        matches!(self, SourceEditKind::Whitespace | SourceEditKind::Reorder)
+    }
+}
+
+/// One step of a textual edit stream: the complete source after the
+/// edit, plus what kind of edit produced it.
+#[derive(Debug, Clone)]
+pub struct SourceEditStep {
+    /// What changed.
+    pub kind: SourceEditKind,
+    /// The full program text after the edit.
+    pub text: String,
+}
+
+/// One mini-C function of the workload, tracked as *generation state*
+/// (name, chain position, body seasoning) rather than text — rendering
+/// is deterministic from this state.
+#[derive(Debug, Clone)]
+struct TextFunc {
+    island: usize,
+    idx: usize,
+    /// Body seasoning: `variant % 3` picks the template, the rest
+    /// feeds the constants. Tweaks add 3 (same template), rewrites
+    /// add 1 (next template).
+    variant: u64,
+    /// Deleted from the text (callers flip to external) but remembered
+    /// so a later [`SourceEditKind::AddFunc`] can restore the link.
+    removed: bool,
+}
+
+impl TextFunc {
+    fn name(&self) -> String {
+        format!("f{}_{}", self.island, self.idx)
+    }
+}
+
+/// A deterministic island-structured mini-C program plus the mutable
+/// state an edit stream evolves. See the module docs for the shape.
+#[derive(Debug, Clone)]
+pub struct SourceWorkload {
+    /// Render order (reorder edits permute it).
+    funcs: Vec<TextFunc>,
+    islands: usize,
+    /// Comment churn counter (whitespace edits bump it).
+    salt: u64,
+    rng: StdRng,
+}
+
+/// Generates an `islands × funcs_per_island` workload,
+/// deterministically from `seed`.
+///
+/// # Panics
+///
+/// Both dimensions must be at least 1.
+pub fn generate_workload(islands: usize, funcs_per_island: usize, seed: u64) -> SourceWorkload {
+    assert!(islands >= 1 && funcs_per_island >= 1, "degenerate workload");
+    let mut funcs = Vec::with_capacity(islands * funcs_per_island);
+    for island in 0..islands {
+        for idx in 0..funcs_per_island {
+            funcs.push(TextFunc {
+                island,
+                idx,
+                variant: (island as u64 * 31 + idx as u64 * 7) % 9,
+                removed: false,
+            });
+        }
+    }
+    SourceWorkload {
+        funcs,
+        islands,
+        salt: 0,
+        rng: StdRng::seed_from_u64(seed ^ 0x50c0_ed17),
+    }
+}
+
+/// Generates a workload whose compiled module has at least
+/// `target_insts` instructions, by growing the island count at a fixed
+/// chain length — the source-edit analogue of the scaling generator's
+/// instruction budget. Deterministic in `(target_insts, seed)`.
+pub fn generate_sized_workload(target_insts: usize, seed: u64) -> SourceWorkload {
+    const CHAIN: usize = 4;
+    let mut islands = 4;
+    loop {
+        let w = generate_workload(islands, CHAIN, seed);
+        let m = sra_lang::compile(&w.text()).expect("generated text compiles");
+        let insts = m.num_insts();
+        if insts >= target_insts {
+            return w;
+        }
+        // Proportional growth with a floor so the loop always ends.
+        let need = target_insts * islands / insts.max(1);
+        islands = need.max(islands + 1);
+    }
+}
+
+impl SourceWorkload {
+    /// The current full program text.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "// rev {}", self.salt);
+        for f in &self.funcs {
+            if f.removed {
+                continue;
+            }
+            out.push_str(&render(f));
+        }
+        out
+    }
+
+    /// How many functions are currently defined.
+    pub fn num_defined(&self) -> usize {
+        self.funcs.iter().filter(|f| !f.removed).count()
+    }
+
+    /// A mixed stream of `count` whole-text edits: body tweaks and
+    /// rewrites, chain extensions and deletions, and semantically
+    /// invisible comment/reorder churn (roughly a quarter no-ops).
+    /// Every step's text compiles; the caller replays it through
+    /// [`sra_lang::SourceProgram::apply_edit`].
+    pub fn edit_stream(&mut self, count: usize) -> Vec<SourceEditStep> {
+        let mut steps = Vec::with_capacity(count);
+        for _ in 0..count {
+            let kind = match self.rng.gen_range(0..100) {
+                0..=29 => self.tweak(),
+                30..=49 => self.rewrite(),
+                50..=64 => self.add_func(),
+                65..=74 => self.remove_func(),
+                75..=87 => self.whitespace(),
+                _ => self.reorder(),
+            };
+            steps.push(SourceEditStep {
+                kind,
+                text: self.text(),
+            });
+        }
+        steps
+    }
+
+    /// A stream of `count` single-function body tweaks — the
+    /// steady-state editing workload the session-vs-scratch floor is
+    /// gated on: each edit re-lowers and re-analyzes exactly one
+    /// function of one island.
+    pub fn tweak_stream(&mut self, count: usize) -> Vec<SourceEditStep> {
+        let mut steps = Vec::with_capacity(count);
+        for _ in 0..count {
+            let kind = self.tweak();
+            steps.push(SourceEditStep {
+                kind,
+                text: self.text(),
+            });
+        }
+        steps
+    }
+
+    fn pick_defined(&mut self, min_idx: usize) -> Option<usize> {
+        let candidates: Vec<usize> = self
+            .funcs
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.removed && f.idx >= min_idx)
+            .map(|(k, _)| k)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        Some(candidates[self.rng.gen_range(0..candidates.len())])
+    }
+
+    fn tweak(&mut self) -> SourceEditKind {
+        let k = self.pick_defined(0).expect("roots are never removed");
+        self.funcs[k].variant += 3;
+        SourceEditKind::Tweak
+    }
+
+    fn rewrite(&mut self) -> SourceEditKind {
+        let k = self.pick_defined(0).expect("roots are never removed");
+        self.funcs[k].variant += 1;
+        SourceEditKind::Rewrite
+    }
+
+    fn add_func(&mut self) -> SourceEditKind {
+        // Restore a removed link if one exists; otherwise extend a
+        // random island's chain by one.
+        if let Some(k) = {
+            let removed: Vec<usize> = self
+                .funcs
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.removed)
+                .map(|(k, _)| k)
+                .collect();
+            if removed.is_empty() {
+                None
+            } else {
+                Some(removed[self.rng.gen_range(0..removed.len())])
+            }
+        } {
+            self.funcs[k].removed = false;
+            return SourceEditKind::AddFunc;
+        }
+        let island = self.rng.gen_range(0..self.islands);
+        let idx = self
+            .funcs
+            .iter()
+            .filter(|f| f.island == island)
+            .map(|f| f.idx + 1)
+            .max()
+            .unwrap_or(0);
+        let variant = self.rng.gen_range(0..9);
+        self.funcs.push(TextFunc {
+            island,
+            idx,
+            variant,
+            removed: false,
+        });
+        SourceEditKind::AddFunc
+    }
+
+    fn remove_func(&mut self) -> SourceEditKind {
+        // Roots (idx 0) stay: they are the exported entry points that
+        // keep each island alive.
+        match self.pick_defined(1) {
+            Some(k) => {
+                self.funcs[k].removed = true;
+                SourceEditKind::RemoveFunc
+            }
+            None => self.tweak(),
+        }
+    }
+
+    fn whitespace(&mut self) -> SourceEditKind {
+        self.salt += 1;
+        SourceEditKind::Whitespace
+    }
+
+    fn reorder(&mut self) -> SourceEditKind {
+        if self.funcs.len() >= 2 {
+            let a = self.rng.gen_range(0..self.funcs.len());
+            let b = self.rng.gen_range(0..self.funcs.len());
+            self.funcs.swap(a, b);
+        }
+        SourceEditKind::Reorder
+    }
+}
+
+/// Renders one function. The successor call is emitted unconditionally
+/// — whether it resolves internally or externally is decided by which
+/// definitions the rest of the text happens to contain.
+fn render(f: &TextFunc) -> String {
+    let name = f.name();
+    let next = format!("f{}_{}", f.island, f.idx + 1);
+    let export = if f.idx == 0 { "export " } else { "" };
+    let c = 1 + (f.variant / 3) * 7 % 23;
+    match f.variant % 3 {
+        // Counted store loop, then recurse down the chain.
+        0 => format!(
+            "{export}int {name}(ptr p, int n) {{\n\
+             \u{20} int i; i = 0;\n\
+             \u{20} while (i < n) {{ p[i] = i + {c}; i = i + 1; }}\n\
+             \u{20} int r; r = {next}(p, n - 1);\n\
+             \u{20} return r + i;\n\
+             }}\n"
+        ),
+        // Fresh allocation with constant-field writes.
+        1 => format!(
+            "{export}int {name}(ptr p, int n) {{\n\
+             \u{20} ptr q; q = malloc(n + {c});\n\
+             \u{20} q[0] = n; q[1] = n + {c};\n\
+             \u{20} p[0] = {c};\n\
+             \u{20} int r; r = {next}(q, n);\n\
+             \u{20} return r + q[0];\n\
+             }}\n"
+        ),
+        // Pointer-walk loop with a derived-offset handoff.
+        _ => format!(
+            "{export}int {name}(ptr p, int n) {{\n\
+             \u{20} ptr i; i = p; ptr e; e = p + n;\n\
+             \u{20} int s; s = 0;\n\
+             \u{20} while (i < e) {{ *i = {c}; i = i + 2; s = s + 1; }}\n\
+             \u{20} ptr t; t = p + {c};\n\
+             \u{20} int r; r = {next}(t, s);\n\
+             \u{20} return r + s;\n\
+             }}\n"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sra_lang::{SourceDiff, SourceProgram};
+
+    #[test]
+    fn workloads_are_deterministic_and_compile() {
+        let a = generate_workload(4, 3, 11).text();
+        let b = generate_workload(4, 3, 11).text();
+        assert_eq!(a, b);
+        let m = sra_lang::compile(&a).expect("compiles");
+        assert_eq!(m.num_functions(), 12);
+        // Islands are disjoint weak components: a 12-function module
+        // with 4 islands has exactly 4 components.
+        let graph = sra_ir::callgraph::CallGraph::build(&m);
+        assert_eq!(graph.weak_components().len(), 4);
+    }
+
+    #[test]
+    fn streams_cover_every_kind_and_stay_compilable() {
+        let mut w = generate_workload(3, 3, 5);
+        let mut program = SourceProgram::new(&w.text()).expect("compiles");
+        let steps = w.edit_stream(60);
+        let mut seen = [false; 6];
+        for step in &steps {
+            let diff = program
+                .apply_edit(&step.text)
+                .expect("stream text compiles");
+            match step.kind {
+                SourceEditKind::Tweak => seen[0] = true,
+                SourceEditKind::Rewrite => seen[1] = true,
+                SourceEditKind::AddFunc => seen[2] = true,
+                SourceEditKind::RemoveFunc => seen[3] = true,
+                SourceEditKind::Whitespace => seen[4] = true,
+                SourceEditKind::Reorder => seen[5] = true,
+            }
+            if step.kind.is_noop() {
+                assert!(
+                    matches!(diff, SourceDiff::Noop),
+                    "{:?} must diff to a no-op",
+                    step.kind
+                );
+            }
+        }
+        assert_eq!(seen, [true; 6], "60 steps must cover all six kinds");
+    }
+
+    #[test]
+    fn sized_workloads_hit_their_instruction_budget() {
+        let w = generate_sized_workload(2_000, 3);
+        let m = sra_lang::compile(&w.text()).expect("compiles");
+        assert!(m.num_insts() >= 2_000, "{} insts", m.num_insts());
+    }
+
+    #[test]
+    fn tweak_streams_touch_one_function_per_step() {
+        let mut w = generate_workload(3, 3, 9);
+        let mut program = SourceProgram::new(&w.text()).expect("compiles");
+        for step in w.tweak_stream(8) {
+            match program.apply_edit(&step.text).expect("compiles") {
+                SourceDiff::Incremental {
+                    replaced,
+                    added,
+                    removed,
+                    relowered,
+                    ..
+                } => {
+                    assert_eq!(replaced.len(), 1);
+                    assert!(added.is_empty() && removed.is_empty());
+                    assert_eq!(relowered, 1);
+                }
+                other => panic!("tweak produced {other:?}"),
+            }
+        }
+    }
+}

@@ -96,3 +96,12 @@ fn compare_analyses_reports_symbolic_ratio() {
         "unexpected output:\n{out}"
     );
 }
+
+#[test]
+fn source_session_edits_text_incrementally() {
+    let out = run_example("source_session");
+    assert!(
+        out.contains("incremental source edits:") && out.contains("now at epoch"),
+        "unexpected output:\n{out}"
+    );
+}

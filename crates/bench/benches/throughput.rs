@@ -14,7 +14,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sra_bench::{batched_sweep, build_session, per_query_sweep, scratch_replay, session_replay};
-use sra_core::{analyze_parallel, AliasService, DriverConfig, GrConfig, GrSchedule, RbaaAnalysis};
+use sra_core::{
+    analyze_parallel, AliasService, AnalysisConfig, GrConfig, GrSchedule, RbaaAnalysis,
+};
 use sra_ir::Module;
 use sra_range::RangeAnalysis;
 use sra_workloads::{edits, scaling, traffic};
@@ -52,7 +54,10 @@ fn analysis_serial_vs_parallel(c: &mut Criterion) {
             &m,
             |b, m| {
                 b.iter(|| {
-                    analyze_parallel(std::hint::black_box(m), DriverConfig::with_threads(threads))
+                    analyze_parallel(
+                        std::hint::black_box(m),
+                        AnalysisConfig::builder().threads(threads).build(),
+                    )
                 });
             },
         );
@@ -119,13 +124,7 @@ fn callgraph_end_to_end(c: &mut Criterion) {
     ] {
         group.bench_with_input(BenchmarkId::new(name, insts), &m, |b, m| {
             b.iter(|| {
-                let config = DriverConfig {
-                    gr: GrConfig {
-                        schedule,
-                        ..GrConfig::default()
-                    },
-                    ..DriverConfig::default()
-                };
+                let config = AnalysisConfig::builder().gr_schedule(schedule).build();
                 analyze_parallel(std::hint::black_box(m), config)
             });
         });

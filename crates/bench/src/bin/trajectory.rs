@@ -1,11 +1,12 @@
 //! The CI perf-trajectory harness: times the throughput-critical paths
-//! in quick mode, writes a machine-readable `BENCH_8.json`, compares
+//! in quick mode, writes a machine-readable `BENCH_9.json`, compares
 //! against the previous `BENCH_N.json` at the repo root (printing a
 //! per-group delta table — warn, don't gate, on regressions; groups
 //! that appear or disappear across trajectories are listed as `new` /
-//! `gone` instead of being skipped), and fails (non-zero exit) when a
-//! speedup drops below its acceptance gate — so CI both *publishes*
-//! the perf trajectory as an artifact and *gates* on it.
+//! `gone`, and a group whose recorded workload size changed is listed
+//! as `resized` instead of a spurious ±%), and fails (non-zero exit)
+//! when a speedup drops below its acceptance gate — so CI both
+//! *publishes* the perf trajectory as an artifact and *gates* on it.
 //!
 //! ```text
 //! cargo run --release -p sra-bench --bin trajectory [out.json]
@@ -46,9 +47,21 @@
 //!   long-lived session. The incremental cost honestly includes
 //!   tokenizing the full text to diff it and re-lowering the changed
 //!   functions, not just the session update.
+//! * `persist/scratch_build` vs `persist/save` + `persist/load_first_query`
+//!   — the warm-start contract (PR 9's ≥10× floor) on a
+//!   million-instruction, >10⁴-function module: building the session
+//!   from scratch vs serializing it and reviving it from bytes through
+//!   [`sra_core::AnalysisSession::save`] / `load`, first query
+//!   included. One load is verified against a scratch re-analysis
+//!   (outside the timed region) to prove the revived state
+//!   byte-identical; the timed loads skip the verify, as a restart
+//!   would. The snapshot size, arena bytes and total packed-matrix
+//!   bytes ride along in the JSON's `persist` block.
 //!
 //! The run also surfaces the analysis' arena statistics (interned
-//! nodes, memo hit rate) for the scaling workload.
+//! nodes, memo hit rate) for the scaling workload. Every group records
+//! its workload size under `work`, so the cross-trajectory delta table
+//! can tell a generator resize from a genuine regression.
 
 use std::time::{Duration, Instant};
 
@@ -56,7 +69,10 @@ use sra_bench::{
     batched_sweep, build_session, deep_chain_range, per_query_sweep, scratch_replay,
     session_replay, source_scratch_replay, source_session_replay,
 };
-use sra_core::{pointer_values, AliasMatrix, AliasResult, AliasService, RbaaAnalysis};
+use sra_core::{
+    pointer_values, AliasMatrix, AliasResult, AliasService, AnalysisConfig, AnalysisSession,
+    RbaaAnalysis,
+};
 use sra_lang::SourceProgram;
 use sra_symbolic::{ExprArena, RangeId, SymRange};
 use sra_workloads::{edits, scaling, source_edits, traffic};
@@ -107,6 +123,14 @@ const DEMAND_GATE: f64 = 10.0;
 /// the gate fails.
 const SOURCE_FLOOR: f64 = 3.0;
 const SOURCE_GATE: f64 = 2.0;
+/// The warm-start contract: reviving a saved million-instruction
+/// session (save + load + first query) must beat building it from
+/// scratch by ≥10×. The gap is structural — a load deserializes and
+/// re-indexes already-computed state while the scratch build re-runs
+/// the whole fixpoint pipeline and every all-pairs matrix — so, like
+/// the demand group, floor and gate coincide.
+const PERSIST_FLOOR: f64 = 10.0;
+const PERSIST_GATE: f64 = 10.0;
 /// Previous-trajectory deltas louder than this warn (never gate — the
 /// comparison crosses machines and runner generations).
 const DELTA_WARN: f64 = 0.20;
@@ -172,10 +196,34 @@ fn interned_lattice_sweep(ranges: &[SymRange]) -> usize {
     count
 }
 
-/// Extracts `"groups": { "<name>": { "median_ns": <n> }, … }` from a
-/// prior trajectory JSON (hand-rolled: the workspace is dependency-
-/// free, and the schema is our own).
-fn parse_groups(json: &str) -> Vec<(String, u128)> {
+/// One prior group entry: name, median, and the recorded workload
+/// size (`None` for trajectories predating the `work` field).
+struct GroupEntry {
+    name: String,
+    median_ns: u128,
+    work: Option<u128>,
+}
+
+/// The first integer after `key` inside `section`, if any.
+fn number_after(section: &str, from: usize, key: &str) -> Option<(u128, usize)> {
+    let bytes = section.as_bytes();
+    let m = section[from..].find(key)? + from;
+    let mut j = m + key.len();
+    while j < bytes.len() && !bytes[j].is_ascii_digit() {
+        j += 1;
+    }
+    let mut k = j;
+    while k < bytes.len() && bytes[k].is_ascii_digit() {
+        k += 1;
+    }
+    section[j..k].parse::<u128>().ok().map(|v| (v, k))
+}
+
+/// Extracts `"groups": { "<name>": { "median_ns": <n>, "work": <w> },
+/// … }` from a prior trajectory JSON (hand-rolled: the workspace is
+/// dependency-free, and the schema is our own). `work` is optional —
+/// older trajectories never recorded it.
+fn parse_groups(json: &str) -> Vec<GroupEntry> {
     let mut out = Vec::new();
     let Some(start) = json.find("\"groups\"") else {
         return out;
@@ -184,34 +232,30 @@ fn parse_groups(json: &str) -> Vec<(String, u128)> {
     let end = rest.find("},\n  \"").map(|e| e + 1).unwrap_or(rest.len());
     let section = &rest[..end];
     let mut i = 0;
-    let bytes = section.as_bytes();
     while let Some(q) = section[i..].find('"').map(|k| i + k) {
         let Some(q2) = section[q + 1..].find('"').map(|k| q + 1 + k) else {
             break;
         };
         let name = &section[q + 1..q2];
         i = q2 + 1;
-        if name == "groups" || name != "median_ns" && !name.contains('/') {
+        if !name.contains('/') {
             continue;
         }
-        if name.contains('/') {
-            // Find the median_ns number that follows.
-            let Some(m) = section[i..].find("\"median_ns\"").map(|k| i + k) else {
-                break;
-            };
-            let mut j = m + "\"median_ns\"".len();
-            while j < bytes.len() && !bytes[j].is_ascii_digit() {
-                j += 1;
-            }
-            let mut k = j;
-            while k < bytes.len() && bytes[k].is_ascii_digit() {
-                k += 1;
-            }
-            if let Ok(v) = section[j..k].parse::<u128>() {
-                out.push((name.to_owned(), v));
-            }
-            i = k;
-        }
+        // The group object runs to its closing brace; `median_ns` is
+        // required, `work` optional.
+        let obj_end = section[i..].find('}').map_or(section.len(), |k| i + k);
+        let Some((median_ns, after)) = number_after(section, i, "\"median_ns\"") else {
+            break;
+        };
+        let work = (after < obj_end)
+            .then(|| number_after(&section[..obj_end], i, "\"work\"").map(|(v, _)| v))
+            .flatten();
+        out.push(GroupEntry {
+            name: name.to_owned(),
+            median_ns,
+            work,
+        });
+        i = obj_end;
     }
     out
 }
@@ -257,10 +301,19 @@ const SERVICE_WRITERS: usize = 2;
 const SERVICE_EDITS: usize = 4;
 const SERVICE_QUERIES_PER_READER: usize = 2_000;
 
+/// The warm-start workload: a million instructions across >10⁴
+/// functions — the scale where re-analysis is minutes and a snapshot
+/// load is seconds.
+const PERSIST_INSTS: usize = 1_000_000;
+/// Save/load samples. The loads are ~8 s each and deterministic, so
+/// three samples bound the harness wall clock without losing the
+/// median's noise rejection.
+const PERSIST_SAMPLES: usize = 3;
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_8.json".to_owned());
+        .unwrap_or_else(|| "BENCH_9.json".to_owned());
 
     let m = scaling::generate_module(SCALING_INSTS, SCALING_SEED);
     eprintln!(
@@ -441,23 +494,110 @@ fn main() {
          diff+session {src_session:?} ({source_ratio:.2}x)"
     );
 
+    // Group 7: warm-start persistence at the million-instruction
+    // scale. The scratch build is a single run — at minutes of wall
+    // clock it dominates the harness, and run-to-run noise is
+    // irrelevant next to the 10× gate.
+    let big = scaling::generate_module(PERSIST_INSTS, SCALING_SEED);
+    let persist_config = AnalysisConfig::builder().threads(4).build();
+    eprintln!(
+        "persist workload: {} functions, {} instructions",
+        big.num_functions(),
+        big.num_insts()
+    );
+    let t = Instant::now();
+    let big_session = AnalysisSession::with_config(big.clone(), persist_config)
+        .expect("generated modules verify");
+    let scratch_build = t.elapsed();
+    let snapshot = {
+        let mut bytes = Vec::new();
+        big_session.save(&mut bytes).expect("in-memory save");
+        bytes
+    };
+    let save = {
+        let mut times: Vec<Duration> = (0..PERSIST_SAMPLES)
+            .map(|_| {
+                let mut bytes = Vec::with_capacity(snapshot.len());
+                let t = Instant::now();
+                big_session.save(&mut bytes).expect("in-memory save");
+                let elapsed = t.elapsed();
+                assert_eq!(bytes, snapshot, "saves are byte-deterministic");
+                elapsed
+            })
+            .collect();
+        times.sort();
+        times[times.len() / 2]
+    };
+    // One load, verified against a scratch re-analysis outside any
+    // timed region, proves the revived state byte-identical; the timed
+    // loads below skip the verify, exactly as a restart would.
+    AnalysisSession::load(&mut snapshot.as_slice())
+        .expect("snapshot loads")
+        .verify_against_scratch()
+        .expect("loaded state matches scratch re-analysis");
+    let (big_f, big_p, big_q) = big
+        .func_ids()
+        .find_map(|f| {
+            let ptrs = pointer_values(&big, f);
+            (ptrs.len() >= 2).then(|| (f, ptrs[0], ptrs[1]))
+        })
+        .expect("the workload has pointer-heavy functions");
+    let load_first_query = {
+        let mut times: Vec<Duration> = (0..PERSIST_SAMPLES)
+            .map(|_| {
+                let t = Instant::now();
+                let revived =
+                    AnalysisSession::load(&mut snapshot.as_slice()).expect("snapshot loads");
+                std::hint::black_box(revived.alias_with_test(big_f, big_p, big_q));
+                t.elapsed()
+            })
+            .collect();
+        times.sort();
+        times[times.len() / 2]
+    };
+    let persist_ratio =
+        scratch_build.as_secs_f64() / (save.as_secs_f64() + load_first_query.as_secs_f64());
+    let big_arena = big_session.analysis().arena_stats();
+    let (mut big_pairs, mut big_packed, mut big_unpacked) = (0usize, 0usize, 0usize);
+    for f in big.func_ids() {
+        let mb = big_session.matrix(f).bytes();
+        big_pairs += mb.pairs;
+        big_packed += mb.packed_bytes;
+        big_unpacked += mb.unpacked_bytes;
+    }
+    eprintln!(
+        "persist ({} insts, {} funcs): scratch build {scratch_build:?}, save {save:?}, \
+         load+first-query {load_first_query:?} ({persist_ratio:.1}x); snapshot {} MiB, \
+         arena {} MiB, matrices {} MiB packed ({} MiB unpacked)",
+        big.num_insts(),
+        big.num_functions(),
+        snapshot.len() >> 20,
+        big_arena.bytes >> 20,
+        big_packed >> 20,
+        big_unpacked >> 20
+    );
+    drop(big_session);
+
     let json = format!(
         "{{\n  \"schema\": \"sra-bench-trajectory/v1\",\n  \"workload\": {{\n    \
          \"insts\": {SCALING_INSTS},\n    \"seed\": {SCALING_SEED},\n    \
          \"session_edits\": {SESSION_EDITS}\n  }},\n  \"groups\": {{\n    \
-         \"all_pairs/per_query\": {{ \"median_ns\": {} }},\n    \
-         \"all_pairs/batched_t4\": {{ \"median_ns\": {} }},\n    \
-         \"session/scratch_per_edit\": {{ \"median_ns\": {} }},\n    \
-         \"session/session_per_edit\": {{ \"median_ns\": {} }},\n    \
-         \"interning/boxed\": {{ \"median_ns\": {} }},\n    \
-         \"interning/interned\": {{ \"median_ns\": {} }},\n    \
-         \"service/single_thread\": {{ \"median_ns\": {} }},\n    \
+         \"all_pairs/per_query\": {{ \"median_ns\": {}, \"work\": {SCALING_INSTS} }},\n    \
+         \"all_pairs/batched_t4\": {{ \"median_ns\": {}, \"work\": {SCALING_INSTS} }},\n    \
+         \"session/scratch_per_edit\": {{ \"median_ns\": {}, \"work\": {SCALING_INSTS} }},\n    \
+         \"session/session_per_edit\": {{ \"median_ns\": {}, \"work\": {SCALING_INSTS} }},\n    \
+         \"interning/boxed\": {{ \"median_ns\": {}, \"work\": {INTERNING_RANGES} }},\n    \
+         \"interning/interned\": {{ \"median_ns\": {}, \"work\": {INTERNING_RANGES} }},\n    \
+         \"service/single_thread\": {{ \"median_ns\": {}, \"work\": {SERVICE_INSTS} }},\n    \
          \"service/mixed_{SERVICE_READERS}r{SERVICE_WRITERS}w\": \
-         {{ \"median_ns\": {} }},\n    \
-         \"demand/matrix_build_t4\": {{ \"median_ns\": {} }},\n    \
-         \"demand/single_query\": {{ \"median_ns\": {} }},\n    \
-         \"source_edit/scratch_per_edit\": {{ \"median_ns\": {} }},\n    \
-         \"source_edit/session_per_edit\": {{ \"median_ns\": {} }}\n  }},\n  \
+         {{ \"median_ns\": {}, \"work\": {SERVICE_INSTS} }},\n    \
+         \"demand/matrix_build_t4\": {{ \"median_ns\": {}, \"work\": {GIANT_PTRS} }},\n    \
+         \"demand/single_query\": {{ \"median_ns\": {}, \"work\": {GIANT_PTRS} }},\n    \
+         \"source_edit/scratch_per_edit\": {{ \"median_ns\": {}, \"work\": {SCALING_INSTS} }},\n    \
+         \"source_edit/session_per_edit\": {{ \"median_ns\": {}, \"work\": {SCALING_INSTS} }},\n    \
+         \"persist/scratch_build\": {{ \"median_ns\": {}, \"work\": {PERSIST_INSTS} }},\n    \
+         \"persist/save\": {{ \"median_ns\": {}, \"work\": {PERSIST_INSTS} }},\n    \
+         \"persist/load_first_query\": {{ \"median_ns\": {}, \"work\": {PERSIST_INSTS} }}\n  }},\n  \
          \"arena\": {{\n    \"exprs\": {},\n    \"ranges\": {},\n    \
          \"hits\": {},\n    \"misses\": {},\n    \"bytes\": {}\n  }},\n  \
          \"matrix\": {{\n    \"giant_ptrs\": {GIANT_PTRS},\n    \
@@ -478,24 +618,33 @@ fn main() {
          \"mixed_p99_ns\": {},\n    \
          \"mixed_queries\": {},\n    \
          \"mixed_edits\": {}\n  }},\n  \
+         \"persist\": {{\n    \"insts\": {},\n    \"funcs\": {},\n    \
+         \"snapshot_bytes\": {},\n    \"arena_bytes\": {},\n    \
+         \"matrix_pairs\": {big_pairs},\n    \
+         \"matrix_packed_bytes\": {big_packed},\n    \
+         \"matrix_unpacked_bytes\": {big_unpacked},\n    \
+         \"load_verified\": true\n  }},\n  \
          \"ratios\": {{\n    \"batched_vs_per_query\": {batched_ratio:.3},\n    \
          \"session_vs_scratch\": {session_ratio:.3},\n    \
          \"interning\": {interning_ratio:.3},\n    \
          \"service_vs_single_thread\": {service_ratio:.3},\n    \
          \"demand_vs_matrix_build\": {demand_ratio:.1},\n    \
-         \"source_edit_vs_scratch\": {source_ratio:.3}\n  }},\n  \"floors\": {{\n    \
+         \"source_edit_vs_scratch\": {source_ratio:.3},\n    \
+         \"persist_warm_vs_scratch\": {persist_ratio:.1}\n  }},\n  \"floors\": {{\n    \
          \"batched_vs_per_query\": {BATCHED_FLOOR},\n    \
          \"session_vs_scratch\": {SESSION_FLOOR},\n    \
          \"interning\": {INTERNING_FLOOR},\n    \
          \"service_vs_single_thread\": {SERVICE_FLOOR},\n    \
          \"demand_vs_matrix_build\": {DEMAND_FLOOR},\n    \
-         \"source_edit_vs_scratch\": {SOURCE_FLOOR}\n  }},\n  \"gates\": {{\n    \
+         \"source_edit_vs_scratch\": {SOURCE_FLOOR},\n    \
+         \"persist_warm_vs_scratch\": {PERSIST_FLOOR}\n  }},\n  \"gates\": {{\n    \
          \"batched_vs_per_query\": {BATCHED_FLOOR},\n    \
          \"session_vs_scratch\": {SESSION_GATE},\n    \
          \"interning\": {INTERNING_GATE},\n    \
          \"service_vs_single_thread\": {SERVICE_GATE},\n    \
          \"demand_vs_matrix_build\": {DEMAND_GATE},\n    \
-         \"source_edit_vs_scratch\": {SOURCE_GATE}\n  }}\n}}\n",
+         \"source_edit_vs_scratch\": {SOURCE_GATE},\n    \
+         \"persist_warm_vs_scratch\": {PERSIST_GATE}\n  }}\n}}\n",
         per_query.as_nanos(),
         batched.as_nanos(),
         scratch.as_nanos(),
@@ -508,6 +657,9 @@ fn main() {
         single_query.as_nanos(),
         src_scratch.as_nanos(),
         src_session.as_nanos(),
+        scratch_build.as_nanos(),
+        save.as_nanos(),
+        load_first_query.as_nanos(),
         arena.exprs,
         arena.ranges,
         arena.hits,
@@ -523,6 +675,10 @@ fn main() {
         mixed.p99_ns,
         mixed.queries,
         mixed.edits,
+        big.num_insts(),
+        big.num_functions(),
+        snapshot.len(),
+        big_arena.bytes,
     );
 
     // The trajectory, not just the floor: diff against the previous
@@ -540,21 +696,35 @@ fn main() {
                 "{:<28} {:>12} {:>12} {:>8}",
                 "group", "prev ns", "now ns", "delta"
             );
-            for (name, now) in &cur {
-                match prev.iter().find(|(n, _)| n == name) {
-                    Some((_, before)) => {
-                        let delta = *now as f64 / *before as f64 - 1.0;
+            for g in &cur {
+                match prev.iter().find(|p| p.name == g.name) {
+                    // A generator resize makes the medians
+                    // incomparable: say so instead of printing a
+                    // spurious ±%.
+                    Some(p) if p.work.is_some() && g.work.is_some() && p.work != g.work => {
+                        eprintln!(
+                            "{:<28} {:>12} {:>12}  resized (work {} -> {})",
+                            g.name,
+                            p.median_ns,
+                            g.median_ns,
+                            p.work.unwrap_or(0),
+                            g.work.unwrap_or(0)
+                        );
+                    }
+                    Some(p) => {
+                        let delta = g.median_ns as f64 / p.median_ns as f64 - 1.0;
                         eprintln!(
                             "{:<28} {:>12} {:>12} {:>+7.1}%",
-                            name,
-                            before,
-                            now,
+                            g.name,
+                            p.median_ns,
+                            g.median_ns,
                             delta * 100.0
                         );
                         if delta > DELTA_WARN {
                             eprintln!(
-                                "WARN: {name} regressed {:.1}% vs {prev_name} (> {:.0}% \
+                                "WARN: {} regressed {:.1}% vs {prev_name} (> {:.0}% \
                                  threshold); not gating — medians are machine-dependent",
+                                g.name,
                                 delta * 100.0,
                                 DELTA_WARN * 100.0
                             );
@@ -563,14 +733,14 @@ fn main() {
                     // A group the previous trajectory never measured:
                     // list it as `new` rather than skipping it, so a
                     // PR adding a group shows up in the table.
-                    None => eprintln!("{:<28} {:>12} {:>12}      new", name, "-", now),
+                    None => eprintln!("{:<28} {:>12} {:>12}      new", g.name, "-", g.median_ns),
                 }
             }
             // And the reverse: groups the previous trajectory had that
             // this run no longer measures.
-            for (name, before) in &prev {
-                if !cur.iter().any(|(n, _)| n == name) {
-                    eprintln!("{:<28} {:>12} {:>12}     gone", name, before, "-");
+            for p in &prev {
+                if !cur.iter().any(|g| g.name == p.name) {
+                    eprintln!("{:<28} {:>12} {:>12}     gone", p.name, p.median_ns, "-");
                 }
             }
             eprintln!();
@@ -647,6 +817,14 @@ fn main() {
              the {SOURCE_GATE}x gate)"
         );
     }
+    if persist_ratio < PERSIST_GATE {
+        eprintln!(
+            "FAIL: persist save+load+first-query vs scratch-build speedup \
+             {persist_ratio:.1}x is below the {PERSIST_GATE}x gate — loading a snapshot \
+             is doing re-analysis work"
+        );
+        failed = true;
+    }
     if failed {
         std::process::exit(1);
     }
@@ -659,7 +837,8 @@ fn main() {
          gate {SERVICE_GATE}x; p99 {} ns), \
          demand {demand_ratio:.0}x vs full matrix build (floor {DEMAND_FLOOR}x), \
          source_edit {source_ratio:.2}x vs recompile+scratch (floor {SOURCE_FLOOR}x, \
-         gate {SOURCE_GATE}x)",
+         gate {SOURCE_GATE}x), \
+         persist {persist_ratio:.1}x warm start vs scratch build (floor {PERSIST_FLOOR}x)",
         mixed.queries_per_sec, mixed.p99_ns
     );
 }

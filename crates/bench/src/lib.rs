@@ -21,7 +21,7 @@
 use std::fmt::Write as _;
 
 use sra_core::{
-    pointer_values, pool, AliasMatrix, AnalysisSession, BatchAnalysis, DriverConfig, QueryStats,
+    pointer_values, pool, AliasMatrix, AnalysisConfig, AnalysisSession, BatchAnalysis, QueryStats,
     RbaaAnalysis,
 };
 use sra_ir::{FuncId, Module};
@@ -80,7 +80,7 @@ pub fn scratch_replay(m: &Module, stream: &[Edit]) -> usize {
     let mut total = 0usize;
     for edit in stream {
         edits::apply_to_module(&mut shadow, edit).expect("stream edits are valid");
-        let batch = BatchAnalysis::analyze_with(&shadow, DriverConfig::default());
+        let batch = BatchAnalysis::analyze_with(&shadow, AnalysisConfig::default());
         total += batch.total_stats().queries;
     }
     total
@@ -91,7 +91,7 @@ pub fn scratch_replay(m: &Module, stream: &[Edit]) -> usize {
 /// same convention the all-pairs measurements use by pre-building
 /// `rbaa` once and timing only the sweeps).
 pub fn build_session(m: &Module) -> AnalysisSession {
-    AnalysisSession::new(m.clone()).expect("module verifies")
+    AnalysisSession::with_config(m.clone(), AnalysisConfig::default()).expect("module verifies")
 }
 
 /// The session side of the edit-stream workload: incremental updates
@@ -120,7 +120,7 @@ pub fn source_scratch_replay(steps: &[SourceEditStep]) -> usize {
     let mut total = 0usize;
     for step in steps {
         let module = sra_lang::compile(&step.text).expect("stream text compiles");
-        let batch = BatchAnalysis::analyze_with(&module, DriverConfig::default());
+        let batch = BatchAnalysis::analyze_with(&module, AnalysisConfig::default());
         total += batch.total_stats().queries;
     }
     total

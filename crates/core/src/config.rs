@@ -1,0 +1,197 @@
+//! The unified analysis configuration: one [`AnalysisConfig`] value
+//! carries every knob of the pipeline — worker threads, the bootstrap
+//! integer-range pass, the interprocedural GR solver and its schedule,
+//! the query-answering mode, and snapshot-loading behaviour — so
+//! sessions, services and the batch driver are all configured the same
+//! way, and a saved snapshot can round-trip the exact configuration it
+//! was analyzed under.
+//!
+//! Construct configs with the builder:
+//!
+//! ```
+//! use sra_core::{AnalysisConfig, GrSchedule, QueryMode};
+//!
+//! let config = AnalysisConfig::builder()
+//!     .threads(8)
+//!     .query_mode(QueryMode::Demand)
+//!     .gr_schedule(GrSchedule::Waves)
+//!     .build();
+//! assert_eq!(config.threads, 8);
+//! assert_eq!(config.gr.threads, 8); // one knob governs every phase
+//! ```
+//!
+//! The legacy [`DriverConfig`](crate::DriverConfig) converts losslessly
+//! ([`From`]), so older call sites keep compiling: every entry point
+//! that takes a configuration accepts `impl Into<AnalysisConfig>`.
+
+use sra_range::RangeConfig;
+
+use crate::driver::DriverConfig;
+use crate::gr::{GrConfig, GrSchedule};
+use crate::pool;
+use crate::query::QueryMode;
+
+/// Every tuning knob of the analysis pipeline in one value. The
+/// fields are public for inspection and
+/// struct-update syntax, but the [`AnalysisConfig::builder`] is the
+/// intended construction path (it keeps coupled knobs — the two thread
+/// counts — consistent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    /// Worker threads for every parallel phase. `1` runs everything
+    /// inline (the deterministic reference schedule — results are
+    /// identical either way).
+    pub threads: usize,
+    /// Bootstrap integer-range configuration.
+    pub range: RangeConfig,
+    /// Global-analysis configuration. Its `threads` knob is overridden
+    /// with [`AnalysisConfig::threads`] wherever the pipeline runs, so
+    /// one setting governs every phase.
+    pub gr: GrConfig,
+    /// How sessions and snapshots answer alias queries: eager
+    /// per-function matrices or a lazily grown demand cache.
+    pub query_mode: QueryMode,
+    /// When `true`, [`AnalysisSession::load`](crate::AnalysisSession::load)
+    /// re-analyzes the restored module from scratch and verifies the
+    /// loaded state byte-identical (states, symbols, sweeps) before
+    /// returning — the warm start costs a cold analysis but proves the
+    /// snapshot. Off by default.
+    pub load_verify: bool,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            threads: pool::default_threads(),
+            range: RangeConfig::default(),
+            gr: GrConfig::default(),
+            query_mode: QueryMode::default(),
+            load_verify: false,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// Starts a builder from the default configuration.
+    pub fn builder() -> AnalysisConfigBuilder {
+        AnalysisConfigBuilder {
+            config: AnalysisConfig::default(),
+        }
+    }
+
+    /// The batch-driver view of this config (threads + analysis knobs;
+    /// the query mode and persistence options do not apply there).
+    pub(crate) fn driver(&self) -> DriverConfig {
+        DriverConfig {
+            threads: self.threads,
+            range: self.range,
+            gr: self.gr,
+        }
+    }
+}
+
+/// Builder for [`AnalysisConfig`].
+#[derive(Debug, Clone)]
+pub struct AnalysisConfigBuilder {
+    config: AnalysisConfig,
+}
+
+impl AnalysisConfigBuilder {
+    /// Worker threads for every parallel phase (also updates the GR
+    /// solver's own thread knob, keeping the two in lockstep).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self.config.gr.threads = threads;
+        self
+    }
+
+    /// The query-answering mode.
+    pub fn query_mode(mut self, mode: QueryMode) -> Self {
+        self.config.query_mode = mode;
+        self
+    }
+
+    /// The GR solver's schedule (serial reference order or the
+    /// wave-parallel condensation schedule — byte-identical results).
+    pub fn gr_schedule(mut self, schedule: GrSchedule) -> Self {
+        self.config.gr.schedule = schedule;
+        self
+    }
+
+    /// The bootstrap integer-range configuration.
+    pub fn range(mut self, range: RangeConfig) -> Self {
+        self.config.range = range;
+        self
+    }
+
+    /// The full GR configuration (its `threads` knob is subsequently
+    /// kept in lockstep by [`AnalysisConfigBuilder::threads`]).
+    pub fn gr(mut self, gr: GrConfig) -> Self {
+        self.config.gr = gr;
+        self
+    }
+
+    /// Whether snapshot loads verify against a scratch re-analysis.
+    pub fn load_verify(mut self, verify: bool) -> Self {
+        self.config.load_verify = verify;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> AnalysisConfig {
+        self.config
+    }
+}
+
+impl From<DriverConfig> for AnalysisConfig {
+    fn from(d: DriverConfig) -> Self {
+        AnalysisConfig {
+            threads: d.threads,
+            range: d.range,
+            gr: d.gr,
+            ..AnalysisConfig::default()
+        }
+    }
+}
+
+impl From<AnalysisConfig> for DriverConfig {
+    fn from(c: AnalysisConfig) -> Self {
+        c.driver()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_keeps_thread_knobs_in_lockstep() {
+        let c = AnalysisConfig::builder()
+            .gr(GrConfig {
+                widening: false,
+                ..GrConfig::default()
+            })
+            .threads(3)
+            .query_mode(QueryMode::Demand)
+            .gr_schedule(GrSchedule::Serial)
+            .load_verify(true)
+            .build();
+        assert_eq!(c.threads, 3);
+        assert_eq!(c.gr.threads, 3);
+        assert!(!c.gr.widening);
+        assert_eq!(c.query_mode, QueryMode::Demand);
+        assert_eq!(c.gr.schedule, GrSchedule::Serial);
+        assert!(c.load_verify);
+    }
+
+    #[test]
+    fn driver_config_converts_losslessly() {
+        let d = DriverConfig::with_threads(5);
+        let a: AnalysisConfig = d.into();
+        assert_eq!(a.threads, 5);
+        assert_eq!(a.query_mode, QueryMode::Matrix);
+        assert!(!a.load_verify);
+        let back: DriverConfig = a.into();
+        assert_eq!(back, d);
+    }
+}

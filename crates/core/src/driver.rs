@@ -95,8 +95,11 @@ impl DriverConfig {
 
 /// Runs the paper's full analysis pipeline (bootstrap ranges + GR +
 /// LR) with the per-function phases on `config.threads` workers. The
-/// result is byte-identical to [`RbaaAnalysis::analyze`].
-pub fn analyze_parallel(m: &Module, config: DriverConfig) -> RbaaAnalysis {
+/// result is byte-identical to [`RbaaAnalysis::analyze`]. Accepts
+/// either the unified [`crate::AnalysisConfig`] or the legacy
+/// [`DriverConfig`].
+pub fn analyze_parallel(m: &Module, config: impl Into<crate::AnalysisConfig>) -> RbaaAnalysis {
+    let config = config.into().driver();
     let nf = m.num_functions();
 
     // Pre-assign symbol-id blocks so workers mint non-conflicting,
@@ -160,11 +163,13 @@ impl BatchAnalysis {
     /// Analyzes `m` and evaluates every function's all-pairs matrix,
     /// with default configuration (all available workers).
     pub fn analyze(m: &Module) -> Self {
-        Self::analyze_with(m, DriverConfig::default())
+        Self::analyze_with(m, crate::AnalysisConfig::default())
     }
 
-    /// Analyzes `m` with an explicit configuration.
-    pub fn analyze_with(m: &Module, config: DriverConfig) -> Self {
+    /// Analyzes `m` with an explicit configuration (unified
+    /// [`crate::AnalysisConfig`] or legacy [`DriverConfig`]).
+    pub fn analyze_with(m: &Module, config: impl Into<crate::AnalysisConfig>) -> Self {
+        let config = config.into();
         let rbaa = analyze_parallel(m, config);
         Self::from_rbaa(rbaa, m, config.threads)
     }

@@ -46,20 +46,24 @@
 //! assert_eq!(rbaa.alias(fid, first, last), AliasResult::MayAlias);
 //! ```
 
+mod config;
 mod driver;
 mod gr;
 mod locs;
 pub mod lr;
+pub mod persist;
 pub mod pool;
 mod query;
 pub mod service;
 pub mod session;
 mod state;
 
+pub use config::{AnalysisConfig, AnalysisConfigBuilder};
 pub use driver::{analyze_parallel, BatchAnalysis, DriverConfig};
 pub use gr::{GrAnalysis, GrConfig, GrSchedule};
 pub use locs::{AllocSite, LocId, LocKind, LocTable};
 pub use lr::{LocalBase, LrAnalysis, LrPart, LrState, LrStateRef};
+pub use persist::PersistError;
 pub use query::{
     global_no_alias, global_no_alias_kind, pointer_values, AliasAnalysis, AliasMatrix, AliasResult,
     DemandCache, DemandStats, MatrixBytes, QueryMode, QueryStats, RbaaAnalysis, WhichTest,

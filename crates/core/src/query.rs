@@ -887,6 +887,284 @@ impl DemandCache {
         id
     }
 }
+// ---------------------------------------------------------------------
+// Persistence codecs (see [`crate::persist`]). They live here because
+// `AliasMatrix` and `DemandCache` keep their internals private; every
+// hash map is emitted in sorted order so saves are byte-deterministic,
+// and every decoded id is validated before it is trusted.
+// ---------------------------------------------------------------------
+
+use crate::persist::{corrupt, Dec, Enc, PersistError};
+
+impl AliasMatrix {
+    pub(crate) fn encode(&self, enc: &mut Enc) {
+        enc.usize(self.ptrs.len());
+        for &p in &self.ptrs {
+            enc.u32(p.index() as u32);
+        }
+        enc.bytes(&self.cells);
+        enc.usize(self.stats.queries);
+        enc.usize(self.stats.no_alias);
+        enc.usize(self.stats.by_distinct_locs);
+        enc.usize(self.stats.by_global);
+        enc.usize(self.stats.by_local);
+    }
+
+    /// Decodes a matrix whose pointer universe must equal
+    /// `expected_ptrs` (the loader passes `pointer_values(m, f)`, which
+    /// is what sessions build matrices over).
+    pub(crate) fn decode(
+        dec: &mut Dec<'_>,
+        expected_ptrs: &[ValueId],
+    ) -> Result<Self, PersistError> {
+        let n = dec.len(4)?;
+        if n != expected_ptrs.len() {
+            return Err(corrupt("matrix pointer universe does not match the module"));
+        }
+        let mut ptrs = Vec::with_capacity(n);
+        for &want in expected_ptrs {
+            let got = ValueId::new(dec.u32()? as usize);
+            if got != want {
+                return Err(corrupt("matrix pointer universe does not match the module"));
+            }
+            ptrs.push(got);
+        }
+        let cells = dec.bytes()?.to_vec();
+        let npairs = n * n.saturating_sub(1) / 2;
+        if cells.len() != npairs.div_ceil(4) {
+            return Err(corrupt("matrix cell store has the wrong length"));
+        }
+        if npairs % 4 != 0 {
+            if let Some(&last) = cells.last() {
+                if last >> ((npairs % 4) * 2) != 0 {
+                    return Err(corrupt("matrix cell store has nonzero padding bits"));
+                }
+            }
+        }
+        let pos = ptrs.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let stats = QueryStats {
+            queries: dec.usize()?,
+            no_alias: dec.usize()?,
+            by_distinct_locs: dec.usize()?,
+            by_global: dec.usize()?,
+            by_local: dec.usize()?,
+        };
+        Ok(AliasMatrix {
+            ptrs,
+            pos,
+            cells,
+            stats,
+        })
+    }
+}
+
+impl DemandCache {
+    pub(crate) fn encode(&self, enc: &mut Enc) {
+        // σ-sets by dense id (invert the interning map).
+        let mut sigma_sets: Vec<&[ValueId]> = vec![&[]; self.sigma_ids.len()];
+        for (set, &id) in &self.sigma_ids {
+            sigma_sets[id as usize] = set;
+        }
+        enc.usize(sigma_sets.len());
+        for set in &sigma_sets {
+            enc.usize(set.len());
+            for &v in *set {
+                enc.u32(v.index() as u32);
+            }
+        }
+        enc.usize(self.sigs.len());
+        for (igr, ilr) in &self.sigs {
+            match igr {
+                IGr::Bottom => enc.u8(0),
+                IGr::Top => enc.u8(1),
+                IGr::Support(support) => {
+                    enc.u8(2);
+                    enc.usize(support.len());
+                    for &(loc, r) in support {
+                        enc.u32(loc.index() as u32);
+                        enc.u32(r.index() as u32);
+                    }
+                }
+            }
+            match ilr {
+                None => enc.u8(0),
+                Some(ilr) => {
+                    enc.u8(1);
+                    match ilr.base {
+                        LocalBase::Fresh(s) => {
+                            enc.u8(0);
+                            enc.u32(s);
+                        }
+                        LocalBase::Global(g) => {
+                            enc.u8(1);
+                            enc.u32(g.index() as u32);
+                        }
+                    }
+                    enc.opt_u32(ilr.block.map(|b| b.index() as u32));
+                    enc.u32(ilr.sigmas);
+                    enc.u32(ilr.range.index() as u32);
+                }
+            }
+        }
+        let mut ptr_sig: Vec<(u32, u32, u32)> = self
+            .ptr_sig
+            .iter()
+            .map(|(&(f, v), &id)| (f.index() as u32, v.index() as u32, id))
+            .collect();
+        ptr_sig.sort_unstable();
+        enc.usize(ptr_sig.len());
+        for (f, v, id) in ptr_sig {
+            enc.u32(f);
+            enc.u32(v);
+            enc.u32(id);
+        }
+        let mut pairs: Vec<(u32, u32, u8)> = self
+            .pair_memo
+            .iter()
+            .map(|(&(a, b), &cell)| (a, b, cell))
+            .collect();
+        pairs.sort_unstable();
+        enc.usize(pairs.len());
+        for (a, b, cell) in pairs {
+            enc.u32(a);
+            enc.u32(b);
+            enc.u8(cell);
+        }
+        enc.usize(self.stats.queries);
+        enc.usize(self.stats.sig_misses);
+        enc.usize(self.stats.pair_misses);
+    }
+
+    /// Decodes a cache over `rbaa` (which must be the loaded analysis —
+    /// every `RangeId`/`LocId` is validated against its arenas). The
+    /// overlay arenas restart empty: they are pure comparison memos, so
+    /// verdicts are unaffected.
+    pub(crate) fn decode(
+        dec: &mut Dec<'_>,
+        rbaa: &RbaaAnalysis,
+        m: &Module,
+    ) -> Result<Self, PersistError> {
+        let mut cache = DemandCache::new(rbaa);
+        let gr_base = rbaa.gr().arena_arc();
+        let lr_base = rbaa.lr().arena_arc();
+        let n_sigma = dec.len(8)?;
+        for id in 0..n_sigma {
+            let len = dec.len(4)?;
+            let mut set = Vec::with_capacity(len);
+            for _ in 0..len {
+                set.push(ValueId::new(dec.u32()? as usize));
+            }
+            if cache.sigma_ids.insert(set, id as u32).is_some() {
+                return Err(corrupt("duplicate σ-set in demand cache"));
+            }
+        }
+        let n_sigs = dec.len(2)?;
+        for id in 0..n_sigs {
+            let igr = match dec.u8()? {
+                0 => IGr::Bottom,
+                1 => IGr::Top,
+                2 => {
+                    let len = dec.len(8)?;
+                    let mut support = Vec::with_capacity(len);
+                    let mut prev: Option<LocId> = None;
+                    for _ in 0..len {
+                        let loc = LocId::new(dec.u32()? as usize);
+                        if loc.index() >= cache.kinds.len() {
+                            return Err(corrupt("signature references unknown location"));
+                        }
+                        if prev.is_some_and(|p| p.index() >= loc.index()) {
+                            return Err(corrupt("signature support is not sorted"));
+                        }
+                        prev = Some(loc);
+                        let r = gr_base
+                            .range_id(dec.u32()? as usize)
+                            .ok_or_else(|| corrupt("signature references unknown GR range"))?;
+                        support.push((loc, r));
+                    }
+                    IGr::Support(support)
+                }
+                b => return Err(corrupt(format!("invalid GR-signature tag {b}"))),
+            };
+            let ilr = match dec.u8()? {
+                0 => None,
+                1 => {
+                    let base = match dec.u8()? {
+                        0 => LocalBase::Fresh(dec.u32()?),
+                        1 => {
+                            let g = sra_ir::GlobalId::new(dec.u32()? as usize);
+                            if g.index() >= m.num_globals() {
+                                return Err(corrupt("signature references unknown global"));
+                            }
+                            LocalBase::Global(g)
+                        }
+                        b => return Err(corrupt(format!("invalid local-base tag {b}"))),
+                    };
+                    let block = dec.opt_u32()?.map(|b| BlockId::new(b as usize));
+                    let sigmas = dec.u32()?;
+                    if sigmas as usize >= n_sigma {
+                        return Err(corrupt("signature references unknown σ-set"));
+                    }
+                    let range = lr_base
+                        .range_id(dec.u32()? as usize)
+                        .ok_or_else(|| corrupt("signature references unknown LR range"))?;
+                    Some(ILr {
+                        base,
+                        block,
+                        sigmas,
+                        range,
+                    })
+                }
+                b => return Err(corrupt(format!("invalid LR-signature tag {b}"))),
+            };
+            let key = (igr, ilr);
+            if cache.sig_ids.insert(key.clone(), id as u32).is_some() {
+                return Err(corrupt("duplicate signature in demand cache"));
+            }
+            cache.sigs.push(key);
+        }
+        let n_ptr = dec.len(12)?;
+        let mut prev: Option<(u32, u32)> = None;
+        for _ in 0..n_ptr {
+            let f = dec.u32()?;
+            let v = dec.u32()?;
+            let id = dec.u32()?;
+            if prev.is_some_and(|p| p >= (f, v)) {
+                return Err(corrupt("pointer-signature memo is not sorted"));
+            }
+            prev = Some((f, v));
+            let func = FuncId::new(f as usize);
+            if func.index() >= m.num_functions()
+                || v as usize >= m.function(func).num_values()
+                || id as usize >= n_sigs
+            {
+                return Err(corrupt("pointer-signature memo references unknown ids"));
+            }
+            cache.ptr_sig.insert((func, ValueId::new(v as usize)), id);
+        }
+        let n_pairs = dec.len(9)?;
+        let mut prev: Option<(u32, u32)> = None;
+        for _ in 0..n_pairs {
+            let a = dec.u32()?;
+            let b = dec.u32()?;
+            let cell = dec.u8()?;
+            if prev.is_some_and(|p| p >= (a, b)) {
+                return Err(corrupt("pair memo is not sorted"));
+            }
+            prev = Some((a, b));
+            if a > b || b as usize >= n_sigs || cell > 3 {
+                return Err(corrupt("pair memo references unknown ids"));
+            }
+            cache.pair_memo.insert((a, b), cell);
+        }
+        cache.stats = DemandStats {
+            queries: dec.usize()?,
+            sig_misses: dec.usize()?,
+            pair_misses: dec.usize()?,
+        };
+        Ok(cache)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

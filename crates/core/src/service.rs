@@ -59,7 +59,9 @@ use std::sync::{Arc, Mutex, RwLock};
 use sra_ir::{FuncId, Function, Module, ValueId};
 use sra_lang::{CompileError, SourceProgram};
 
+use crate::config::AnalysisConfig;
 use crate::driver::DriverConfig;
+use crate::persist::{self, corrupt, PersistError};
 use crate::query::{AliasResult, QueryMode, WhichTest};
 use crate::session::{AnalysisSession, FrozenAnalysis, SessionEdit, SessionError, SessionStats};
 
@@ -303,38 +305,48 @@ impl TenantWriter<'_> {
 #[derive(Default)]
 pub struct AliasService {
     tenants: RwLock<HashMap<String, Arc<Tenant>>>,
-    config: DriverConfig,
-    mode: QueryMode,
+    config: AnalysisConfig,
 }
 
 impl AliasService {
-    /// An empty service analyzing with the default driver
-    /// configuration.
+    /// An empty service analyzing with the default configuration.
     pub fn new() -> Self {
-        Self::with_config(DriverConfig::default())
+        Self::with_config(AnalysisConfig::default())
     }
 
-    /// An empty service; every tenant's session analyzes with
-    /// `config`.
-    pub fn with_config(config: DriverConfig) -> Self {
-        Self::with_mode(config, QueryMode::Matrix)
-    }
-
-    /// An empty service whose tenants answer queries per `mode`:
-    /// [`QueryMode::Matrix`] snapshots are matrix-backed (lock-free
-    /// `O(1)` lookups); [`QueryMode::Demand`] snapshots skip every
-    /// matrix build and memoise single queries on demand.
-    pub fn with_mode(config: DriverConfig, mode: QueryMode) -> Self {
+    /// An empty service; every tenant's session analyzes (and answers
+    /// queries) per `config` — the unified [`AnalysisConfig`] or a
+    /// legacy [`DriverConfig`]. [`QueryMode::Matrix`] snapshots are
+    /// matrix-backed (lock-free `O(1)` lookups); [`QueryMode::Demand`]
+    /// snapshots skip every matrix build and memoise single queries on
+    /// demand.
+    pub fn with_config(config: impl Into<AnalysisConfig>) -> Self {
         AliasService {
             tenants: RwLock::new(HashMap::new()),
-            config,
-            mode,
+            config: config.into(),
         }
+    }
+
+    /// An empty service with an explicit driver configuration and
+    /// query mode.
+    #[deprecated(
+        note = "use `AliasService::with_config` with `AnalysisConfig::builder().query_mode(…)`"
+    )]
+    pub fn with_mode(config: DriverConfig, mode: QueryMode) -> Self {
+        Self::with_config(AnalysisConfig {
+            query_mode: mode,
+            ..config.into()
+        })
+    }
+
+    /// The configuration every tenant analyzes with.
+    pub fn config(&self) -> AnalysisConfig {
+        self.config
     }
 
     /// The query mode every tenant answers with.
     pub fn query_mode(&self) -> QueryMode {
-        self.mode
+        self.config.query_mode
     }
 
     /// Registers a tenant, analyzes its module and publishes epoch 0.
@@ -377,7 +389,7 @@ impl AliasService {
         if self.tenants.read().expect("tenant map").contains_key(name) {
             return Err(ServiceError::TenantExists(name.to_owned()));
         }
-        let session = AnalysisSession::with_mode(module, self.config, self.mode)?;
+        let session = AnalysisSession::with_config(module, self.config)?;
         let snap = Arc::new(EpochSnapshot {
             epoch: 0,
             frozen: session.freeze(),
@@ -567,6 +579,151 @@ impl AliasService {
     pub fn edit_tenant_source(&self, name: &str, new_text: &str) -> Result<u64, ServiceError> {
         self.with_writer(name, |w| w.edit_source(new_text))?
     }
+
+    /// Serializes the whole service — its [`AnalysisConfig`] plus, for
+    /// every tenant (sorted by name), the tenant's epoch, its source
+    /// text and registry order when source-backed, and the full warm
+    /// [`AnalysisSession`] snapshot. [`AliasService::restore`]
+    /// republishes every tenant's current epoch from such a stream
+    /// without re-analyzing anything.
+    ///
+    /// Each tenant's writer lock is held only while that tenant is
+    /// written, so the stream is a consistent per-tenant (not global)
+    /// cut: a concurrent edit to a not-yet-saved tenant lands in the
+    /// snapshot, one to an already-saved tenant does not.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] when the writer fails.
+    pub fn save<W: std::io::Write>(&self, w: &mut W) -> Result<(), PersistError> {
+        persist::write_header(w, &persist::SERVICE_MAGIC)?;
+        let mut enc = persist::Enc::new();
+        persist::encode_config(&mut enc, &self.config);
+        enc.finish_section(w, persist::tag::CONFIG)?;
+        // Clone the tenant list out of the map lock: holding the map
+        // lock across a (possibly busy) writer lock would stall every
+        // lookup for the duration of an in-flight edit.
+        let mut tenants: Vec<Arc<Tenant>> = self
+            .tenants
+            .read()
+            .expect("tenant map")
+            .values()
+            .cloned()
+            .collect();
+        tenants.sort_by(|a, b| a.name.cmp(&b.name));
+        for tenant in tenants {
+            let side = tenant.writer.lock().expect("writer lock");
+            let mut enc = persist::Enc::new();
+            enc.str(&tenant.name);
+            enc.u64(side.epoch);
+            match &side.source {
+                None => enc.bool(false),
+                Some(program) => {
+                    enc.bool(true);
+                    enc.str(program.text());
+                    let names = program.unit_names();
+                    enc.usize(names.len());
+                    for n in &names {
+                        enc.str(n);
+                    }
+                }
+            }
+            enc.finish_section(w, persist::tag::TENANT)?;
+            side.session.save(w)?;
+        }
+        persist::write_end(w)
+    }
+
+    /// Reconstructs a service from a stream written by
+    /// [`AliasService::save`]: every tenant comes back at its saved
+    /// epoch with its warm session (loaded and validated by
+    /// [`AnalysisSession::load`], including the scratch-reanalysis
+    /// cross-check when the saved config has
+    /// [`AnalysisConfig::load_verify`] set) and its snapshot
+    /// republished — a restarted service serves queries without
+    /// re-analyzing any module.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PersistError`]: damaged framing, a tenant session failing
+    /// its own validation, a source-backed tenant whose recompiled
+    /// text does not reproduce the saved module, or a tenant whose
+    /// embedded config disagrees with the service's.
+    pub fn restore<R: std::io::Read>(r: &mut R) -> Result<Self, PersistError> {
+        persist::read_header(r, &persist::SERVICE_MAGIC)?;
+        let payload = persist::expect_section(r, persist::tag::CONFIG)?;
+        let mut dec = persist::Dec::new(&payload);
+        let config = persist::decode_config(&mut dec)?;
+        dec.finish()?;
+        let mut map = HashMap::new();
+        loop {
+            let (tag, payload) = persist::read_section(r)?;
+            if tag == persist::tag::END {
+                persist::Dec::new(&payload).finish()?;
+                break;
+            }
+            if tag != persist::tag::TENANT {
+                return Err(corrupt(format!(
+                    "unexpected section {tag:#x} in service stream"
+                )));
+            }
+            let mut dec = persist::Dec::new(&payload);
+            let name = dec.str()?;
+            let epoch = dec.u64()?;
+            let saved_source = if dec.bool()? {
+                let text = dec.str()?;
+                let n = dec.len(1)?;
+                let mut names = Vec::with_capacity(n);
+                for _ in 0..n {
+                    names.push(dec.str()?);
+                }
+                Some((text, names))
+            } else {
+                None
+            };
+            dec.finish()?;
+            if map.contains_key(&name) {
+                return Err(corrupt(format!("duplicate tenant {name:?}")));
+            }
+            let session = AnalysisSession::load(r)?;
+            if session.config() != config {
+                return Err(corrupt(format!(
+                    "tenant {name:?} was saved under a different configuration"
+                )));
+            }
+            let source = match saved_source {
+                None => None,
+                Some((text, names)) => {
+                    let program = SourceProgram::with_unit_order(&text, &names)
+                        .map_err(|e| corrupt(format!("tenant {name:?} source: {e}")))?;
+                    if program.module() != session.module() {
+                        return Err(corrupt(format!(
+                            "tenant {name:?}: recompiled source does not reproduce the saved module"
+                        )));
+                    }
+                    Some(program)
+                }
+            };
+            let snap = Arc::new(EpochSnapshot {
+                epoch,
+                frozen: session.freeze(),
+            });
+            let tenant = Arc::new(Tenant {
+                name: name.clone(),
+                writer: Mutex::new(WriterSide {
+                    session,
+                    epoch,
+                    source,
+                }),
+                published: RwLock::new(snap),
+            });
+            map.insert(name, tenant);
+        }
+        Ok(AliasService {
+            tenants: RwLock::new(map),
+            config,
+        })
+    }
 }
 
 impl fmt::Debug for AliasService {
@@ -642,7 +799,11 @@ mod tests {
     fn demand_mode_service_matches_matrix_mode() {
         let (m, fid, p, q) = two_mallocs();
         let matrix = AliasService::new();
-        let demand = AliasService::with_mode(DriverConfig::default(), QueryMode::Demand);
+        let demand = AliasService::with_config(
+            AnalysisConfig::builder()
+                .query_mode(QueryMode::Demand)
+                .build(),
+        );
         assert_eq!(demand.query_mode(), QueryMode::Demand);
         matrix.add_tenant("a", m.clone()).expect("fresh name");
         demand.add_tenant("a", m.clone()).expect("fresh name");
@@ -817,5 +978,84 @@ mod tests {
             .expect("registered");
         assert_eq!(last, 2);
         assert_eq!(service.snapshot("a").expect("registered").epoch(), 2);
+    }
+
+    /// A saved service restores every tenant at its epoch with a warm
+    /// session — module-backed and source-backed (whose registry order
+    /// has drifted from text order through edits) — answers
+    /// identically, stays editable, and re-saves byte-identically.
+    #[test]
+    fn service_save_restore_roundtrip() {
+        let config = AnalysisConfig::builder()
+            .threads(1)
+            .load_verify(true)
+            .build();
+        let service = AliasService::with_config(config);
+
+        // Module-backed tenant, edited once (epoch 1).
+        let (m, fid, p, q) = two_mallocs();
+        service.add_tenant("bin", m).expect("fresh name");
+        let mut b = FunctionBuilder::new("g", &[Ty::Ptr], None);
+        b.ret(None);
+        service.add_function("bin", b.finish()).expect("valid add");
+
+        // Source-backed tenant: inserting `extra` *before* `main` in
+        // the text appends it at the highest id, so registry order no
+        // longer matches text order — the part restore must preserve.
+        let base = "int helper(ptr p, int n) { p[0] = n; return n; }\n\
+             export int main() { ptr a; a = malloc(16); int k; k = helper(a, 16); return k; }\n";
+        service.add_tenant_source("app", base).expect("compiles");
+        let extended = base.replace(
+            "export int main",
+            "int extra(int x) { return x + 1; }\nexport int main",
+        );
+        let epoch = service
+            .edit_tenant_source("app", &extended)
+            .expect("compiles");
+        assert_eq!(epoch, 1);
+
+        let mut bytes = Vec::new();
+        service.save(&mut bytes).expect("save");
+        let restored = AliasService::restore(&mut bytes.as_slice()).expect("restore");
+
+        assert_eq!(restored.config(), config);
+        assert_eq!(restored.tenant_names(), ["app", "bin"]);
+        assert_eq!(restored.snapshot("bin").expect("restored").epoch(), 1);
+        assert_eq!(restored.snapshot("app").expect("restored").epoch(), 1);
+        assert_eq!(
+            restored.query("bin", fid, p, q).expect("restored"),
+            service.query("bin", fid, p, q).expect("registered"),
+        );
+        restored
+            .with_writer("app", |w| {
+                assert_eq!(w.source_text(), Some(extended.as_str()));
+                // `extra` kept its appended (non-text-order) id.
+                assert_eq!(
+                    w.session().module().function(FuncId::new(2)).name(),
+                    "extra"
+                );
+            })
+            .expect("restored");
+
+        let mut again = Vec::new();
+        restored.save(&mut again).expect("save");
+        assert_eq!(again, bytes, "restored service re-saves byte-identically");
+
+        // The restored source tenant still accepts incremental edits.
+        let tweaked = extended.replace("p[0] = n;", "p[0] = n + 1;");
+        let epoch = restored
+            .edit_tenant_source("app", &tweaked)
+            .expect("still source-backed");
+        assert_eq!(epoch, 2);
+
+        // Damage is rejected, never mis-restored: truncation at every
+        // framing-sensitive prefix and a flipped tenant byte.
+        for cut in [0, 4, bytes.len() / 2, bytes.len() - 1] {
+            assert!(AliasService::restore(&mut &bytes[..cut]).is_err());
+        }
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        assert!(AliasService::restore(&mut bad.as_slice()).is_err());
     }
 }

@@ -55,7 +55,7 @@
 //! # Examples
 //!
 //! ```
-//! use sra_core::{AliasResult, AnalysisSession};
+//! use sra_core::{AliasResult, AnalysisConfig, AnalysisSession};
 //! use sra_ir::{FunctionBuilder, Module};
 //!
 //! let mut b = FunctionBuilder::new("f", &[], None);
@@ -66,7 +66,7 @@
 //! let mut m = Module::new();
 //! let fid = m.add_function(b.finish());
 //!
-//! let mut session = AnalysisSession::new(m).unwrap();
+//! let mut session = AnalysisSession::with_config(m, AnalysisConfig::default()).unwrap();
 //! assert_eq!(session.alias_with_test(fid, p, q).0, AliasResult::NoAlias);
 //!
 //! // A no-op replace dirties nothing: every cache is carried over.
@@ -86,10 +86,12 @@ use sra_ir::{FuncId, Function, Module, ValueId};
 use sra_range::{RangeAnalysis, RangePart};
 use sra_symbolic::{ExprArena, ImportMap, Symbol, TryImportMap};
 
+use crate::config::AnalysisConfig;
 use crate::driver::DriverConfig;
 use crate::gr::{self, GrAnalysis, GrConfig, GrSolver};
 use crate::locs::{LocId, LocTable};
 use crate::lr::{self, LrAnalysis, LrPart};
+use crate::persist::{self, PersistError};
 use crate::pool;
 use crate::query::{
     AliasAnalysis, AliasMatrix, AliasResult, DemandCache, DemandStats, QueryMode, QueryStats,
@@ -214,8 +216,7 @@ struct CompCache {
 /// edit stream.
 pub struct AnalysisSession {
     module: Module,
-    config: DriverConfig,
-    mode: QueryMode,
+    config: AnalysisConfig,
     /// Per-function caches, aligned with the module's function ids.
     range_parts: Vec<RangePart>,
     lr_parts: Vec<LrPart>,
@@ -242,7 +243,6 @@ impl Clone for AnalysisSession {
         AnalysisSession {
             module: self.module.clone(),
             config: self.config,
-            mode: self.mode,
             range_parts: self.range_parts.clone(),
             lr_parts: self.lr_parts.clone(),
             cfgs: self.cfgs.clone(),
@@ -369,37 +369,27 @@ impl AliasAnalysis for FrozenAnalysis {
 
 impl AnalysisSession {
     /// Builds a session over `module` with default configuration.
-    ///
-    /// # Errors
-    ///
-    /// Returns the verifier's error when the module is not well-formed
-    /// (sessions only manage modules whose edits can be re-verified).
+    #[deprecated(note = "use `AnalysisSession::with_config` with `AnalysisConfig::default()`")]
     pub fn new(module: Module) -> Result<Self, SessionError> {
-        Self::with_config(module, DriverConfig::default())
+        Self::with_config(module, AnalysisConfig::default())
     }
 
-    /// Builds a session with an explicit driver configuration.
-    ///
-    /// # Errors
-    ///
-    /// Returns the verifier's error when the module is not well-formed.
-    pub fn with_config(module: Module, config: DriverConfig) -> Result<Self, SessionError> {
-        Self::with_mode(module, config, QueryMode::Matrix)
-    }
-
-    /// Builds a session with an explicit configuration and query mode.
+    /// Builds a session with an explicit configuration — the canonical
+    /// constructor. Accepts anything convertible into
+    /// [`AnalysisConfig`] (a legacy [`DriverConfig`] included).
     /// [`QueryMode::Demand`] skips all matrix builds — initial and
     /// after every edit — and answers queries from a lazily grown
     /// [`DemandCache`].
     ///
     /// # Errors
     ///
-    /// Returns the verifier's error when the module is not well-formed.
-    pub fn with_mode(
+    /// Returns the verifier's error when the module is not well-formed
+    /// (sessions only manage modules whose edits can be re-verified).
+    pub fn with_config(
         module: Module,
-        config: DriverConfig,
-        mode: QueryMode,
+        config: impl Into<AnalysisConfig>,
     ) -> Result<Self, SessionError> {
+        let config = config.into();
         verify_module(&module)?;
         let nf = module.num_functions();
         let callgraph = CallGraph::build(&module);
@@ -419,7 +409,6 @@ impl AnalysisSession {
         let mut session = AnalysisSession {
             module,
             config,
-            mode,
             range_parts: Vec::new(),
             lr_parts: Vec::new(),
             cfgs,
@@ -436,19 +425,35 @@ impl AnalysisSession {
         Ok(session)
     }
 
+    /// Builds a session with a driver configuration and a query mode.
+    #[deprecated(
+        note = "use `AnalysisSession::with_config` with `AnalysisConfig::builder().query_mode(…)`"
+    )]
+    pub fn with_mode(
+        module: Module,
+        config: DriverConfig,
+        mode: QueryMode,
+    ) -> Result<Self, SessionError> {
+        let config = AnalysisConfig {
+            query_mode: mode,
+            ..config.into()
+        };
+        Self::with_config(module, config)
+    }
+
     /// The module under analysis (reflecting every applied update).
     pub fn module(&self) -> &Module {
         &self.module
     }
 
-    /// The driver configuration the session analyzes with.
-    pub fn config(&self) -> DriverConfig {
+    /// The configuration the session analyzes with.
+    pub fn config(&self) -> AnalysisConfig {
         self.config
     }
 
     /// The query mode the session answers with.
     pub fn query_mode(&self) -> QueryMode {
-        self.mode
+        self.config.query_mode
     }
 
     /// The demand cache's activity counters; `None` until the first
@@ -502,7 +507,7 @@ impl AnalysisSession {
             module: std::sync::Arc::new(self.module.clone()),
             rbaa: self.rbaa.clone(),
             matrices: self.matrices.clone().into(),
-            mode: self.mode,
+            mode: self.config.query_mode,
             demand: Mutex::new(None),
         }
     }
@@ -517,7 +522,7 @@ impl AnalysisSession {
         p: ValueId,
         q: ValueId,
     ) -> (AliasResult, Option<WhichTest>) {
-        if self.mode == QueryMode::Demand {
+        if self.config.query_mode == QueryMode::Demand {
             let mut guard = self.demand.lock().expect("demand cache lock");
             let cache = guard.get_or_insert_with(|| self.rbaa.demand_cache());
             return cache.query(&self.rbaa, f, p, q);
@@ -528,9 +533,12 @@ impl AnalysisSession {
         }
     }
 
-    /// Replaces the body of `f`. A body equal to the current one is a
-    /// no-op: nothing is dirtied and every cache is carried over
-    /// (countable via [`SessionStats::noop_edits`]).
+    /// Replaces the body of `f` — sugar for a one-element
+    /// [`SessionEdit::Replace`] batch: every mutation funnels through
+    /// [`AnalysisSession::apply_edits`], the session's single edit
+    /// currency. A body equal to the current one is a no-op: nothing
+    /// is dirtied and every cache is carried over (countable via
+    /// [`SessionStats::noop_edits`]).
     ///
     /// # Errors
     ///
@@ -538,6 +546,46 @@ impl AnalysisSession {
     /// by a signature change) fails verification; the session is left
     /// unchanged.
     pub fn replace_function(&mut self, f: FuncId, body: Function) -> Result<(), SessionError> {
+        self.apply_edits(vec![SessionEdit::Replace { func: f, body }])
+            .map(|_| ())
+    }
+
+    /// Adds a function — sugar for a one-element [`SessionEdit::Add`]
+    /// batch — returning its id.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Verify`] when the body fails verification; the
+    /// session is left unchanged.
+    pub fn add_function(&mut self, body: Function) -> Result<FuncId, SessionError> {
+        let added = self.apply_edits(vec![SessionEdit::Add { body }])?;
+        Ok(added[0])
+    }
+
+    /// Removes function `f` — sugar for a one-element
+    /// [`SessionEdit::Remove`] batch, additionally handing back the
+    /// removed body. Later functions shift down one id, with every
+    /// internal call target remapped (exactly like
+    /// [`Module::remove_function`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Verify`] — carrying the verifier's structured
+    /// dangling-call report — when another function still calls `f`;
+    /// the session is left unchanged.
+    pub fn remove_function(&mut self, f: FuncId) -> Result<Function, SessionError> {
+        if f.index() >= self.module.num_functions() {
+            return Err(SessionError::NoSuchFunction(f));
+        }
+        let removed = self.module.function(f).clone();
+        self.apply_edits(vec![SessionEdit::Remove { func: f }])?;
+        Ok(removed)
+    }
+
+    /// The [`SessionEdit::Replace`] fast path: targeted verification
+    /// (the new body, plus callers only when the signature changed)
+    /// instead of the batch path's whole-module probe clone.
+    fn commit_single_replace(&mut self, f: FuncId, body: Function) -> Result<(), SessionError> {
         if f.index() >= self.module.num_functions() {
             return Err(SessionError::NoSuchFunction(f));
         }
@@ -578,13 +626,8 @@ impl AnalysisSession {
         Ok(())
     }
 
-    /// Adds a function, returning its id.
-    ///
-    /// # Errors
-    ///
-    /// [`SessionError::Verify`] when the body fails verification; the
-    /// session is left unchanged.
-    pub fn add_function(&mut self, body: Function) -> Result<FuncId, SessionError> {
+    /// The [`SessionEdit::Add`] fast path: verifies just the new body.
+    fn commit_single_add(&mut self, body: Function) -> Result<FuncId, SessionError> {
         let f = self.module.add_function(body);
         if let Err(e) = verify_function(self.module.function(f), Some(&self.module)) {
             self.module.remove_function(f);
@@ -597,16 +640,10 @@ impl AnalysisSession {
         Ok(f)
     }
 
-    /// Removes function `f`. Later functions shift down one id, with
-    /// every internal call target remapped (exactly like
-    /// [`Module::remove_function`]).
-    ///
-    /// # Errors
-    ///
-    /// [`SessionError::Verify`] — carrying the verifier's structured
-    /// dangling-call report — when another function still calls `f`;
-    /// the session is left unchanged.
-    pub fn remove_function(&mut self, f: FuncId) -> Result<Function, SessionError> {
+    /// The [`SessionEdit::Remove`] fast path: the whole-module probe
+    /// clone is taken only to surface the structured dangling-call
+    /// error, never on success.
+    fn commit_single_remove(&mut self, f: FuncId) -> Result<(), SessionError> {
         if f.index() >= self.module.num_functions() {
             return Err(SessionError::NoSuchFunction(f));
         }
@@ -623,12 +660,12 @@ impl AnalysisSession {
             return Err(err.into());
         }
         let gone = f.index();
-        let removed = self.module.remove_function(f);
+        self.module.remove_function(f);
         self.callgraph.remove_function(f);
         self.cfgs.remove(gone);
         self.range_parts.remove(gone);
         self.lr_parts.remove(gone);
-        if self.mode == QueryMode::Matrix {
+        if self.config.query_mode == QueryMode::Matrix {
             self.matrices.remove(gone);
         }
         // Shift cached component members into the new id space; the
@@ -647,17 +684,23 @@ impl AnalysisSession {
         });
         self.rebuild(&[], &[gone]);
         self.stats.edits += 1;
-        Ok(removed)
+        Ok(())
     }
 
     /// Applies a batch of edits **atomically**: either every edit lands
     /// and the analysis is rebuilt once, or the session is left exactly
-    /// as it was. All ids in the batch — replace and remove targets
-    /// alike — are interpreted in the session's *pre-batch* id space;
-    /// added bodies may call each other (and replaced survivors) at
-    /// `pre_batch_count + k` for the `k`-th add. Removals compact ids
-    /// exactly like [`Module::remove_functions`]. Returns the
-    /// *post-batch* ids of the added functions, in batch order.
+    /// as it was. This is the session's *only* mutation entry point —
+    /// [`AnalysisSession::replace_function`],
+    /// [`AnalysisSession::add_function`] and
+    /// [`AnalysisSession::remove_function`] are one-element-batch sugar
+    /// over it, and a one-element batch takes a targeted-verification
+    /// fast path (no whole-module probe clone). All ids in the batch —
+    /// replace and remove targets alike — are interpreted in the
+    /// session's *pre-batch* id space; added bodies may call each other
+    /// (and replaced survivors) at `pre_batch_count + k` for the `k`-th
+    /// add. Removals compact ids exactly like
+    /// [`Module::remove_functions`]. Returns the *post-batch* ids of
+    /// the added functions, in batch order.
     ///
     /// A batch that changes nothing (empty, or replaces whose bodies
     /// equal the current ones) is one no-op edit: nothing is dirtied
@@ -676,7 +719,25 @@ impl AnalysisSession {
     /// [`SessionError::DuplicateTarget`] for malformed batches, and
     /// [`SessionError::Verify`] when the final module fails
     /// verification. The session is unchanged on every error.
-    pub fn apply_edits(&mut self, edits: Vec<SessionEdit>) -> Result<Vec<FuncId>, SessionError> {
+    pub fn apply_edits(
+        &mut self,
+        mut edits: Vec<SessionEdit>,
+    ) -> Result<Vec<FuncId>, SessionError> {
+        if edits.len() == 1 {
+            // A one-element batch can verify exactly what the edit
+            // touches; the general path below pays a whole-module probe
+            // clone, which at million-instruction scale dominates the
+            // edit itself.
+            return match edits.pop().expect("length checked") {
+                SessionEdit::Replace { func, body } => {
+                    self.commit_single_replace(func, body).map(|()| Vec::new())
+                }
+                SessionEdit::Add { body } => self.commit_single_add(body).map(|f| vec![f]),
+                SessionEdit::Remove { func } => {
+                    self.commit_single_remove(func).map(|()| Vec::new())
+                }
+            };
+        }
         let nf = self.module.num_functions();
         let mut targeted = vec![false; nf];
         for e in &edits {
@@ -764,7 +825,7 @@ impl AnalysisSession {
             self.cfgs.remove(gone);
             self.range_parts.remove(gone);
             self.lr_parts.remove(gone);
-            if self.mode == QueryMode::Matrix {
+            if self.config.query_mode == QueryMode::Matrix {
                 self.matrices.remove(gone);
             }
             self.components.retain_mut(|c| {
@@ -830,13 +891,13 @@ impl AnalysisSession {
                 self.apply_edits(edits).map(|_| ())
             }
             sra_lang::SourceDiff::FullRebuild { module } => {
-                let mut fresh = Self::with_mode(module, self.config, self.mode)?;
+                let mut fresh = Self::with_config(module, self.config)?;
                 let new_nf = fresh.module.num_functions();
                 fresh.stats = self.stats;
                 fresh.stats.edits += 1;
                 fresh.stats.parts_reanalyzed += new_nf;
                 fresh.stats.gr_components_solved += fresh.components.len();
-                if fresh.mode == QueryMode::Matrix {
+                if fresh.config.query_mode == QueryMode::Matrix {
                     fresh.stats.matrices_rebuilt += new_nf;
                 }
                 *self = fresh;
@@ -1163,7 +1224,7 @@ impl AnalysisSession {
         // nothing to invalidate — the demand cache is dropped wholesale
         // below.
         let mut rebuild: Vec<usize> = Vec::new();
-        if self.mode == QueryMode::Matrix {
+        if self.config.query_mode == QueryMode::Matrix {
             let sentinel_symbol = Symbol::new(u32::MAX);
             let cmp_symbol = |s: Symbol| map_symbol(s).unwrap_or(sentinel_symbol);
             let state_eq = |old: &PtrState, new: &PtrState| -> bool {
@@ -1215,7 +1276,7 @@ impl AnalysisSession {
         self.rbaa = RbaaAnalysis::from_pieces(ranges, gr, lr);
         // Any grown demand cache indexes the superseded analysis.
         *self.demand.lock().expect("demand cache lock") = None;
-        if self.mode == QueryMode::Demand {
+        if self.config.query_mode == QueryMode::Demand {
             // No matrices in demand mode — queries regrow the cache.
             return;
         }
@@ -1246,6 +1307,384 @@ impl AnalysisSession {
             .into_iter()
             .map(|s| s.expect("every function has a matrix"))
             .collect();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Warm-start persistence (see [`crate::persist`] for the format).
+// ---------------------------------------------------------------------
+
+impl AnalysisSession {
+    /// Serializes the complete session — module, per-function parts,
+    /// GR fixpoint, component caches, matrices or demand cache, and
+    /// counters — as a versioned, checksummed snapshot stream.
+    ///
+    /// Saves are byte-deterministic: saving the same session twice
+    /// produces identical bytes (hash maps are emitted in sorted
+    /// order), so snapshots can be content-addressed.
+    pub fn save<W: std::io::Write>(&self, w: &mut W) -> Result<(), PersistError> {
+        persist::write_header(w, &persist::MAGIC)?;
+
+        let mut enc = persist::Enc::new();
+        persist::encode_config(&mut enc, &self.config);
+        enc.finish_section(w, persist::tag::CONFIG)?;
+
+        let mut enc = persist::Enc::new();
+        persist::encode_module(&mut enc, &self.module, &self.callgraph);
+        enc.finish_section(w, persist::tag::MODULE)?;
+
+        let mut enc = persist::Enc::new();
+        enc.usize(self.range_parts.len());
+        for p in &self.range_parts {
+            persist::encode_range_part(&mut enc, p);
+        }
+        enc.finish_section(w, persist::tag::RANGE_PARTS)?;
+
+        let mut enc = persist::Enc::new();
+        enc.usize(self.lr_parts.len());
+        for p in &self.lr_parts {
+            persist::encode_lr_part(&mut enc, p);
+        }
+        enc.finish_section(w, persist::tag::LR_PARTS)?;
+
+        let mut enc = persist::Enc::new();
+        let gr = self.rbaa.gr();
+        persist::encode_arena(&mut enc, gr.arena());
+        enc.u32(gr.ascending_sweeps());
+        enc.usize(self.module.num_functions());
+        for f in self.module.func_ids() {
+            let states = gr.function_states(f);
+            enc.usize(states.len());
+            for st in states.iter() {
+                persist::encode_ptr_state(&mut enc, st);
+            }
+        }
+        enc.finish_section(w, persist::tag::GR)?;
+
+        let mut enc = persist::Enc::new();
+        enc.usize(self.components.len());
+        for c in &self.components {
+            enc.usize(c.members.len());
+            for &f in &c.members {
+                enc.u32(f.index() as u32);
+            }
+            enc.u32(c.sweeps);
+            enc.bool(c.tripped);
+            enc.bool(c.final_trip);
+        }
+        enc.finish_section(w, persist::tag::COMPONENTS)?;
+
+        let mut enc = persist::Enc::new();
+        enc.usize(self.matrices.len());
+        for mx in &self.matrices {
+            mx.encode(&mut enc);
+        }
+        enc.finish_section(w, persist::tag::MATRICES)?;
+
+        let mut enc = persist::Enc::new();
+        match &*self.demand.lock().expect("demand cache lock") {
+            None => enc.bool(false),
+            Some(cache) => {
+                enc.bool(true);
+                cache.encode(&mut enc);
+            }
+        }
+        enc.finish_section(w, persist::tag::DEMAND)?;
+
+        let mut enc = persist::Enc::new();
+        let s = &self.stats;
+        for v in [
+            s.edits,
+            s.noop_edits,
+            s.parts_reanalyzed,
+            s.parts_reused,
+            s.parts_rebased,
+            s.gr_components_solved,
+            s.gr_components_reused,
+            s.gr_components_refinished,
+            s.matrices_rebuilt,
+            s.matrices_reused,
+        ] {
+            enc.usize(v);
+        }
+        enc.finish_section(w, persist::tag::STATS)?;
+
+        persist::write_end(w)
+    }
+
+    /// Reconstructs a session from a snapshot stream written by
+    /// [`AnalysisSession::save`].
+    ///
+    /// Every decoded id is validated before it is trusted, the module
+    /// is re-verified, the embedded call graph is cross-checked against
+    /// a rebuild, and a corrupted, truncated or version-skewed stream
+    /// returns a structured [`PersistError`] — never a panic and never
+    /// a wrong verdict. Purely memoised state (CFGs, the location
+    /// table, demand-cache overlay arenas) is rebuilt rather than
+    /// deserialized. If the saved [`AnalysisConfig::load_verify`] knob
+    /// is set, the loaded analysis is additionally compared state-by-
+    /// state against a scratch re-analysis of the module
+    /// ([`PersistError::VerifyFailed`] on any mismatch).
+    pub fn load<R: std::io::Read>(r: &mut R) -> Result<Self, PersistError> {
+        persist::read_header(r, &persist::MAGIC)?;
+
+        let buf = persist::expect_section(r, persist::tag::CONFIG)?;
+        let mut dec = persist::Dec::new(&buf);
+        let config = persist::decode_config(&mut dec)?;
+        dec.finish()?;
+
+        let buf = persist::expect_section(r, persist::tag::MODULE)?;
+        let mut dec = persist::Dec::new(&buf);
+        let (module, callgraph) = persist::decode_module(&mut dec)?;
+        dec.finish()?;
+        let nf = module.num_functions();
+
+        let buf = persist::expect_section(r, persist::tag::RANGE_PARTS)?;
+        let mut dec = persist::Dec::new(&buf);
+        if dec.len(1)? != nf {
+            return Err(persist::corrupt(
+                "range-part table does not match the module",
+            ));
+        }
+        let mut range_parts = Vec::with_capacity(nf);
+        let mut base = 0u32;
+        for i in 0..nf {
+            let p = persist::decode_range_part(&mut dec)?;
+            if p.ranges.len() != module.function(FuncId::new(i)).num_values()
+                || p.first_symbol != base
+            {
+                return Err(persist::corrupt("range part does not match its function"));
+            }
+            base += p.symbol_names.len() as u32;
+            range_parts.push(p);
+        }
+        dec.finish()?;
+
+        let buf = persist::expect_section(r, persist::tag::LR_PARTS)?;
+        let mut dec = persist::Dec::new(&buf);
+        if dec.len(1)? != nf {
+            return Err(persist::corrupt("LR-part table does not match the module"));
+        }
+        let mut lr_parts = Vec::with_capacity(nf);
+        let mut base = 0u32;
+        for i in 0..nf {
+            let func = module.function(FuncId::new(i));
+            let p = persist::decode_lr_part(
+                &mut dec,
+                func.num_values(),
+                func.num_blocks(),
+                module.num_globals(),
+            )?;
+            if p.first_symbol != base {
+                return Err(persist::corrupt("LR part does not match its function"));
+            }
+            base += p.symbol_names.len() as u32;
+            lr_parts.push(p);
+        }
+        dec.finish()?;
+
+        let buf = persist::expect_section(r, persist::tag::GR)?;
+        let mut dec = persist::Dec::new(&buf);
+        let gr_arena = persist::decode_arena(&mut dec)?;
+        let ascending_sweeps = dec.u32()?;
+        let locs = LocTable::build(&module);
+        if dec.len(8)? != nf {
+            return Err(persist::corrupt("GR state table does not match the module"));
+        }
+        let mut gr_states = Vec::with_capacity(nf);
+        for i in 0..nf {
+            let nv = module.function(FuncId::new(i)).num_values();
+            if dec.len(1)? != nv {
+                return Err(persist::corrupt("GR states do not match their function"));
+            }
+            let mut states = Vec::with_capacity(nv);
+            for _ in 0..nv {
+                states.push(persist::decode_ptr_state(&mut dec, locs.len(), &gr_arena)?);
+            }
+            gr_states.push(std::sync::Arc::new(states));
+        }
+        dec.finish()?;
+        let gr = GrAnalysis::from_raw(
+            locs,
+            gr_states,
+            std::sync::Arc::new(gr_arena),
+            ascending_sweeps,
+        );
+
+        let buf = persist::expect_section(r, persist::tag::COMPONENTS)?;
+        let mut dec = persist::Dec::new(&buf);
+        let n_comps = dec.len(10)?;
+        let mut components = Vec::with_capacity(n_comps);
+        for _ in 0..n_comps {
+            let n_members = dec.len(4)?;
+            let mut members = Vec::with_capacity(n_members);
+            let mut prev: Option<usize> = None;
+            for _ in 0..n_members {
+                let f = dec.u32()? as usize;
+                if f >= nf || prev.is_some_and(|p| p >= f) {
+                    return Err(persist::corrupt("component members are invalid"));
+                }
+                prev = Some(f);
+                members.push(FuncId::new(f));
+            }
+            components.push(CompCache {
+                members,
+                sweeps: dec.u32()?,
+                tripped: dec.bool()?,
+                final_trip: dec.bool()?,
+            });
+        }
+        dec.finish()?;
+
+        let buf = persist::expect_section(r, persist::tag::MATRICES)?;
+        let mut dec = persist::Dec::new(&buf);
+        let n_matrices = dec.len(8)?;
+        let expected = if config.query_mode == QueryMode::Matrix {
+            nf
+        } else {
+            0
+        };
+        if n_matrices != expected {
+            return Err(persist::corrupt(
+                "matrix table does not match the query mode",
+            ));
+        }
+        let mut matrices = Vec::with_capacity(n_matrices);
+        for i in 0..n_matrices {
+            let ptrs = crate::query::pointer_values(&module, FuncId::new(i));
+            matrices.push(std::sync::Arc::new(AliasMatrix::decode(&mut dec, &ptrs)?));
+        }
+        dec.finish()?;
+
+        let ranges = RangeAnalysis::from_parts(range_parts.clone());
+        let lr = LrAnalysis::from_parts(lr_parts.clone());
+        let rbaa = RbaaAnalysis::from_pieces(ranges, gr, lr);
+
+        let buf = persist::expect_section(r, persist::tag::DEMAND)?;
+        let mut dec = persist::Dec::new(&buf);
+        let demand = if dec.bool()? {
+            if config.query_mode != QueryMode::Demand {
+                return Err(persist::corrupt(
+                    "demand cache saved by a matrix-mode session",
+                ));
+            }
+            Some(DemandCache::decode(&mut dec, &rbaa, &module)?)
+        } else {
+            None
+        };
+        dec.finish()?;
+
+        let buf = persist::expect_section(r, persist::tag::STATS)?;
+        let mut dec = persist::Dec::new(&buf);
+        let stats = SessionStats {
+            edits: dec.usize()?,
+            noop_edits: dec.usize()?,
+            parts_reanalyzed: dec.usize()?,
+            parts_reused: dec.usize()?,
+            parts_rebased: dec.usize()?,
+            gr_components_solved: dec.usize()?,
+            gr_components_reused: dec.usize()?,
+            gr_components_refinished: dec.usize()?,
+            matrices_rebuilt: dec.usize()?,
+            matrices_reused: dec.usize()?,
+        };
+        dec.finish()?;
+
+        let buf = persist::expect_section(r, persist::tag::END)?;
+        persist::Dec::new(&buf).finish()?;
+
+        let cfgs = gr::build_cfgs(&module);
+        let session = AnalysisSession {
+            module,
+            config,
+            range_parts,
+            lr_parts,
+            cfgs,
+            callgraph,
+            components,
+            rbaa,
+            matrices,
+            demand: Mutex::new(demand),
+            stats,
+        };
+        if config.load_verify {
+            session.verify_against_scratch()?;
+        }
+        Ok(session)
+    }
+
+    /// Compares the loaded analysis against a scratch
+    /// [`analyze_parallel`](crate::analyze_parallel) of the same module
+    /// — the cross-arena `eq_mapped` lockstep the incremental rails
+    /// use, under the identity symbol renaming (loaded and scratch
+    /// analyses assign the same symbol-id blocks by construction).
+    ///
+    /// [`AnalysisSession::load`] runs this automatically when the
+    /// snapshot's [`AnalysisConfig::load_verify`] flag is set; calling
+    /// it directly lets a harness time unverified loads and still
+    /// prove one of them identical to a scratch re-analysis.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::VerifyFailed`] naming the first `(function,
+    /// value)` whose bootstrap range, GR state or LR state diverges.
+    pub fn verify_against_scratch(&self) -> Result<(), PersistError> {
+        let scratch = crate::analyze_parallel(&self.module, self.config);
+        let ident = |s: Symbol| s;
+        let fail = |f: FuncId, v: ValueId, what: &str| {
+            Err(PersistError::VerifyFailed(format!(
+                "{what} of {f}:{v} differs from scratch re-analysis"
+            )))
+        };
+        for f in self.module.func_ids() {
+            for v in self.module.function(f).value_ids() {
+                let (a, b) = (self.rbaa.ranges(), scratch.ranges());
+                if !a
+                    .arena()
+                    .range_eq_mapped(a.range(f, v), b.arena(), b.range(f, v), &ident)
+                {
+                    return fail(f, v, "bootstrap range");
+                }
+                let same_gr = match (self.rbaa.gr().raw_state(f, v), scratch.gr().raw_state(f, v)) {
+                    (PtrState::Top, PtrState::Top) => true,
+                    (PtrState::Map(a), PtrState::Map(b)) => {
+                        a.len() == b.len()
+                            && a.iter().zip(b).all(|((la, ra), (lb, rb))| {
+                                la == lb
+                                    && self.rbaa.gr().arena().range_eq_mapped(
+                                        *ra,
+                                        scratch.gr().arena(),
+                                        *rb,
+                                        &ident,
+                                    )
+                            })
+                    }
+                    _ => false,
+                };
+                if !same_gr {
+                    return fail(f, v, "GR state");
+                }
+                let same_lr = match (self.rbaa.lr().raw_state(f, v), scratch.lr().raw_state(f, v)) {
+                    (None, None) => true,
+                    (Some(a), Some(b)) => {
+                        a.base == b.base
+                            && a.block == b.block
+                            && a.sigmas == b.sigmas
+                            && self.rbaa.lr().arena().range_eq_mapped(
+                                a.range,
+                                scratch.lr().arena(),
+                                b.range,
+                                &ident,
+                            )
+                    }
+                    _ => false,
+                };
+                if !same_lr {
+                    return fail(f, v, "LR state");
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -1389,10 +1828,48 @@ mod tests {
         );
     }
 
+    /// The pre-`AnalysisConfig` constructors stay alive (deprecated
+    /// shims) and route to the exact same state as the builder path.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_builder_path() {
+        let m = chain_module(3, false);
+        let via_new = AnalysisSession::new(m.clone()).expect("verifies");
+        assert_eq!(via_new.config(), AnalysisConfig::default());
+
+        let driver = DriverConfig::with_threads(2);
+        let via_mode =
+            AnalysisSession::with_mode(m.clone(), driver, QueryMode::Demand).expect("verifies");
+        let config = AnalysisConfig::builder()
+            .threads(2)
+            .query_mode(QueryMode::Demand)
+            .build();
+        // `gr.threads` is derived: the driver overrides it with its own
+        // thread count at analysis time, so the shim may carry the
+        // default while the builder keeps the knobs in lockstep.
+        let mut shim_config = via_mode.config();
+        shim_config.gr.threads = config.gr.threads;
+        assert_eq!(shim_config, config);
+        let via_builder = AnalysisSession::with_config(m.clone(), config).expect("verifies");
+        for f in m.func_ids() {
+            let ptrs = pointer_values(&m, f);
+            for &p in &ptrs {
+                for &q in &ptrs {
+                    assert_eq!(
+                        via_mode.alias_with_test(f, p, q),
+                        via_builder.alias_with_test(f, p, q),
+                        "shim and builder sessions diverged at {f}: {p} vs {q}"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn noop_replace_dirties_nothing() {
         let m = chain_module(3, false);
-        let mut session = AnalysisSession::new(m).expect("verifies");
+        let mut session =
+            AnalysisSession::with_config(m, AnalysisConfig::default()).expect("verifies");
         let body = session.module().function(FuncId::new(1)).clone();
         session
             .replace_function(FuncId::new(1), body)
@@ -1416,7 +1893,8 @@ mod tests {
         let m = chain_module(3, true);
         let cond = Condensation::of_module(&m);
         assert!(cond.is_recursive(cond.scc_of(FuncId::new(0))));
-        let mut session = AnalysisSession::new(m).expect("verifies");
+        let mut session =
+            AnalysisSession::with_config(m, AnalysisConfig::default()).expect("verifies");
         assert_matches_scratch(&session);
 
         // Split: f2 stops calling f0 — the 3-cycle SCC falls apart.
@@ -1441,7 +1919,8 @@ mod tests {
     #[test]
     fn add_and_remove_functions_match_scratch() {
         let m = chain_module(3, false);
-        let mut session = AnalysisSession::new(m).expect("verifies");
+        let mut session =
+            AnalysisSession::with_config(m, AnalysisConfig::default()).expect("verifies");
         // Add an independent leaf.
         let mut b = FunctionBuilder::new("leaf", &[Ty::Int], Some(Ty::Int));
         let n = b.param(0);
@@ -1472,7 +1951,8 @@ mod tests {
     #[test]
     fn invalid_replacement_is_rejected_and_session_unchanged() {
         let m = chain_module(3, false);
-        let mut session = AnalysisSession::new(m).expect("verifies");
+        let mut session =
+            AnalysisSession::with_config(m, AnalysisConfig::default()).expect("verifies");
         let before = session.module().clone();
         // A body calling f1 with the wrong arity fails verification.
         let mut b = FunctionBuilder::new("f0", &[Ty::Ptr], Some(Ty::Ptr));
@@ -1500,9 +1980,12 @@ mod tests {
     #[test]
     fn demand_mode_matches_matrix_mode_through_edits() {
         let m = chain_module(4, false);
-        let config = DriverConfig::with_threads(2);
-        let mut demand =
-            AnalysisSession::with_mode(m.clone(), config, QueryMode::Demand).expect("verifies");
+        let config = AnalysisConfig::builder().threads(2).build();
+        let demand_config = AnalysisConfig {
+            query_mode: QueryMode::Demand,
+            ..config
+        };
+        let mut demand = AnalysisSession::with_config(m.clone(), demand_config).expect("verifies");
         let mut matrix = AnalysisSession::with_config(m, config).expect("verifies");
         assert_eq!(demand.query_mode(), QueryMode::Demand);
         assert_eq!(matrix.query_mode(), QueryMode::Matrix);
@@ -1651,7 +2134,8 @@ mod tests {
     #[test]
     fn batched_edits_apply_atomically_and_match_scratch() {
         let m = chain_module(5, false); // f0..f4 + main
-        let mut session = AnalysisSession::new(m).expect("verifies");
+        let mut session =
+            AnalysisSession::with_config(m, AnalysisConfig::default()).expect("verifies");
         let err = session.remove_function(FuncId::new(3)).unwrap_err();
         assert!(matches!(err, SessionError::Verify(_)), "{err}");
         let mut b = FunctionBuilder::new("leaf", &[], Some(Ty::Int));
@@ -1691,7 +2175,8 @@ mod tests {
     #[test]
     fn batched_signature_change_rewrites_callers_atomically() {
         let m = chain_module(3, false);
-        let mut session = AnalysisSession::new(m).expect("verifies");
+        let mut session =
+            AnalysisSession::with_config(m, AnalysisConfig::default()).expect("verifies");
         let f1_wide = || {
             let mut b = FunctionBuilder::new("f1", &[Ty::Ptr, Ty::Int], Some(Ty::Ptr));
             let p = b.param(0);
@@ -1733,7 +2218,8 @@ mod tests {
     #[test]
     fn empty_and_identical_batches_take_the_noop_path() {
         let m = chain_module(3, false);
-        let mut session = AnalysisSession::new(m).expect("verifies");
+        let mut session =
+            AnalysisSession::with_config(m, AnalysisConfig::default()).expect("verifies");
         session.apply_edits(Vec::new()).expect("empty batch");
         let body = session.module().function(FuncId::new(1)).clone();
         session
@@ -1754,7 +2240,8 @@ mod tests {
     #[test]
     fn invalid_batches_are_rejected_whole() {
         let m = chain_module(3, false);
-        let mut session = AnalysisSession::new(m).expect("verifies");
+        let mut session =
+            AnalysisSession::with_config(m, AnalysisConfig::default()).expect("verifies");
         let before = session.module().clone();
         let body = chain_body("f1", 1, 3, false, 2);
         // Same function targeted twice.
@@ -1807,7 +2294,9 @@ mod tests {
              int helper(ptr p, int n) { int i; i = 0; while (i < n) { p[i] = i; i = i + 1; } return i; }\n\
              export int main() { ptr a; a = malloc(8); int k; k = helper(a, 8); return k; }\n";
         let mut program = sra_lang::SourceProgram::new(base).expect("compiles");
-        let mut session = AnalysisSession::new(program.module().clone()).expect("verifies");
+        let mut session =
+            AnalysisSession::with_config(program.module().clone(), AnalysisConfig::default())
+                .expect("verifies");
 
         // A body tweak flows through as one incremental replace.
         let edited = base.replace("p[i] = i;", "p[i] = i + 1;");
@@ -1837,5 +2326,131 @@ mod tests {
             session.stats().parts_reanalyzed,
             1 + session.module().num_functions()
         );
+    }
+
+    /// Snapshot roundtrip in matrix mode: save → load reproduces the
+    /// module, config, verdicts, counters — and re-saving the loaded
+    /// session reproduces the exact bytes (saves are deterministic).
+    /// `load_verify` is on, so the load also proves state-identity
+    /// against a scratch re-analysis.
+    #[test]
+    fn persist_roundtrip_matrix_mode() {
+        let config = AnalysisConfig::builder()
+            .threads(1)
+            .load_verify(true)
+            .build();
+        let mut session =
+            AnalysisSession::with_config(chain_module(4, false), config).expect("verifies");
+        // Exercise the incremental path so caches are warm and stats
+        // are non-trivial.
+        session
+            .replace_function(FuncId::new(1), chain_body("f1", 1, 4, false, 3))
+            .expect("applies");
+
+        let mut bytes = Vec::new();
+        session.save(&mut bytes).expect("saves");
+        let loaded = AnalysisSession::load(&mut bytes.as_slice()).expect("loads");
+
+        assert_eq!(loaded.module(), session.module());
+        assert_eq!(loaded.config(), session.config());
+        assert_eq!(loaded.stats(), session.stats());
+        assert_matches_scratch(&loaded);
+        let m = session.module();
+        for f in m.func_ids() {
+            let ptrs = pointer_values(m, f);
+            for &p in &ptrs {
+                for &q in &ptrs {
+                    assert_eq!(
+                        loaded.alias_with_test(f, p, q),
+                        session.alias_with_test(f, p, q),
+                        "verdict diverged at {f}: {p} vs {q}"
+                    );
+                }
+            }
+        }
+
+        let mut again = Vec::new();
+        loaded.save(&mut again).expect("saves");
+        assert_eq!(again, bytes, "save is not byte-deterministic");
+    }
+
+    /// Snapshot roundtrip in demand mode with a grown demand cache:
+    /// the memoised signatures and pair verdicts survive the trip.
+    #[test]
+    fn persist_roundtrip_demand_mode() {
+        let config = AnalysisConfig::builder()
+            .threads(1)
+            .query_mode(QueryMode::Demand)
+            .load_verify(true)
+            .build();
+        let session =
+            AnalysisSession::with_config(chain_module(3, true), config).expect("verifies");
+        let m = session.module().clone();
+        // Grow the demand cache with a query stream.
+        for f in m.func_ids() {
+            let ptrs = pointer_values(&m, f);
+            for &p in &ptrs {
+                for &q in &ptrs {
+                    session.alias_with_test(f, p, q);
+                }
+            }
+        }
+        let before = session.demand_stats().expect("cache grown");
+
+        let mut bytes = Vec::new();
+        session.save(&mut bytes).expect("saves");
+        let loaded = AnalysisSession::load(&mut bytes.as_slice()).expect("loads");
+
+        assert_eq!(loaded.demand_stats(), Some(before), "demand counters lost");
+        // Re-save before issuing queries — queries grow the demand
+        // counters, which are part of the snapshot.
+        let mut again = Vec::new();
+        loaded.save(&mut again).expect("saves");
+        assert_eq!(again, bytes, "save is not byte-deterministic");
+
+        for f in m.func_ids() {
+            let ptrs = pointer_values(&m, f);
+            for &p in &ptrs {
+                for &q in &ptrs {
+                    assert_eq!(
+                        loaded.alias_with_test(f, p, q),
+                        session.alias_with_test(f, p, q),
+                        "verdict diverged at {f}: {p} vs {q}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Damaged streams fail structurally, never panic: every
+    /// single-byte corruption and every truncation of a real snapshot
+    /// is rejected with a [`PersistError`].
+    #[test]
+    fn persist_rejects_damage() {
+        let config = AnalysisConfig::builder().threads(1).build();
+        let session =
+            AnalysisSession::with_config(chain_module(2, false), config).expect("verifies");
+        let mut bytes = Vec::new();
+        session.save(&mut bytes).expect("saves");
+
+        for cut in 0..bytes.len() {
+            assert!(
+                AnalysisSession::load(&mut &bytes[..cut]).is_err(),
+                "truncation at {cut} slipped through"
+            );
+        }
+        // Flip one bit in a sample of positions (the full sweep runs in
+        // the dedicated roundtrip rail).
+        for pos in (0..bytes.len()).step_by(7) {
+            let mut dmg = bytes.clone();
+            dmg[pos] ^= 0x10;
+            if dmg == bytes {
+                continue;
+            }
+            assert!(
+                AnalysisSession::load(&mut dmg.as_slice()).is_err(),
+                "bit flip at {pos} slipped through"
+            );
+        }
     }
 }

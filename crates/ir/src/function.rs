@@ -58,6 +58,24 @@ impl ValueData {
             _ => None,
         }
     }
+
+    /// Assembles a value record from its parts. Intended for codecs
+    /// that rebuild a verified function (snapshot loaders); the result
+    /// carries no guarantees until the surrounding function passes
+    /// [`verify_function`](crate::verify::verify_function).
+    pub fn from_raw_parts(
+        ty: Option<Ty>,
+        kind: ValueKind,
+        block: Option<BlockId>,
+        name: Option<String>,
+    ) -> ValueData {
+        ValueData {
+            ty,
+            kind,
+            block,
+            name,
+        }
+    }
 }
 
 /// One basic block: an ordered list of instruction values plus a
@@ -89,6 +107,12 @@ impl BlockData {
     /// built.
     pub fn terminator_opt(&self) -> Option<&Terminator> {
         self.term.as_ref()
+    }
+
+    /// Assembles a block record from its parts (snapshot loaders); see
+    /// [`ValueData::from_raw_parts`].
+    pub fn from_raw_parts(insts: Vec<ValueId>, term: Option<Terminator>) -> BlockData {
+        BlockData { insts, term }
     }
 }
 
@@ -203,6 +227,31 @@ impl Function {
         match self.value(v).kind {
             ValueKind::Const(c) => Some(c),
             _ => None,
+        }
+    }
+
+    /// Assembles a function from its parts. Intended for snapshot
+    /// loaders that rebuild a previously verified function; callers
+    /// must re-run [`verify_function`](crate::verify::verify_function) (or
+    /// module-level verification) before analyzing the result.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        name: String,
+        param_tys: Vec<Ty>,
+        ret_ty: Option<Ty>,
+        params: Vec<ValueId>,
+        values: Vec<ValueData>,
+        blocks: Vec<BlockData>,
+        exported: bool,
+    ) -> Function {
+        Function {
+            name,
+            param_tys,
+            ret_ty,
+            params,
+            values,
+            blocks,
+            exported,
         }
     }
 

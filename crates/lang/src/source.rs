@@ -350,6 +350,59 @@ impl SourceProgram {
             .collect();
         lower_ordered(&prog, &order)
     }
+
+    /// Unit names in registry order: index `i` is the unit bound to
+    /// `FuncId(i)`.
+    pub fn unit_names(&self) -> Vec<String> {
+        self.units.iter().map(|u| u.name.clone()).collect()
+    }
+
+    /// Compiles `text` binding names in the given registry `order`
+    /// rather than text order. Incremental edits keep surviving units
+    /// at their old ids and append new ones, so the registry order of
+    /// an edited program drifts from text order; this constructor
+    /// restores such a program (e.g. from a persisted snapshot) with
+    /// its exact id assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] if the text does not compile or
+    /// `order` is not a permutation of the text's function names.
+    pub fn with_unit_order(text: &str, order: &[String]) -> Result<Self, CompileError> {
+        let (prog, mut units) = parse_units(text)?;
+        let pos: HashMap<&str, usize> = order
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i))
+            .collect();
+        if pos.len() != order.len() || units.len() != order.len() {
+            return Err(CompileError::Lower(LowerError {
+                message: "unit order is not a permutation of the program's functions".to_owned(),
+                func: None,
+            }));
+        }
+        for u in &units {
+            if !pos.contains_key(u.name.as_str()) {
+                return Err(CompileError::Lower(LowerError {
+                    message: format!("unit order is missing function `{}`", u.name),
+                    func: Some(u.name.clone()),
+                }));
+            }
+        }
+        units.sort_by_key(|u| pos[u.name.as_str()]);
+        let order_map: HashMap<String, usize> = order
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        let module = lower_ordered(&prog, &order_map)?;
+        Ok(SourceProgram {
+            text: text.to_owned(),
+            globals: prog.globals,
+            units,
+            module,
+        })
+    }
 }
 
 /// Lexes + parses `text` and splits it into per-function units.

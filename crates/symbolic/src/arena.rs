@@ -299,6 +299,82 @@ pub struct TryImportMap {
     ranges: FxHashMap<RangeId, Option<RangeId>>,
 }
 
+/// One atom of a dumped expression node (see
+/// [`ExprArena::export_raw`]): like the internal atom storage, but with
+/// raw `u32` indices instead of typed ids so a snapshot codec can write
+/// it without reaching into arena internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RawAtom {
+    /// A kernel symbol, by index.
+    Sym(u32),
+    /// `min(e, e)` over two earlier dump positions.
+    Min(u32, u32),
+    /// `max(e, e)` over two earlier dump positions.
+    Max(u32, u32),
+    /// Opaque division over two earlier dump positions.
+    Div(u32, u32),
+    /// Opaque remainder over two earlier dump positions.
+    Mod(u32, u32),
+}
+
+/// One dumped expression node in canonical affine form: `constant +
+/// Σ coeffᵢ·termᵢ`, in the arena's stored order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawExprNode {
+    /// The constant part of the affine form.
+    pub constant: i128,
+    /// The terms: each a sorted atom product with its coefficient.
+    pub terms: Vec<(Vec<RawAtom>, i128)>,
+}
+
+/// One dumped interval endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RawBound {
+    /// `−∞`.
+    NegInf,
+    /// A finite expression, by dump position.
+    Fin(u32),
+    /// `+∞`.
+    PosInf,
+}
+
+/// One dumped range node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RawRangeNode {
+    /// The empty range `∅`.
+    Empty,
+    /// An interval with interned endpoints.
+    Interval(RawBound, RawBound),
+}
+
+/// Validation failure rebuilding an arena from a dump
+/// ([`ExprArena::from_raw`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RawArenaError {
+    /// A node referenced a child at or beyond its own dump position
+    /// (the dump must be topological, children first).
+    ForwardReference,
+    /// Re-interning a dumped node produced a different id than its
+    /// stored position — the dump held duplicate or non-canonical
+    /// nodes and cannot come from [`ExprArena::export_raw`].
+    NonCanonical,
+    /// The pre-interned `∅`/`⊤` range slots were missing or wrong.
+    BadPrelude,
+}
+
+impl std::fmt::Display for RawArenaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RawArenaError::ForwardReference => "arena dump references a later node",
+            RawArenaError::NonCanonical => "arena dump holds duplicate or non-canonical nodes",
+            RawArenaError::BadPrelude => "arena dump is missing the pre-interned range slots",
+        };
+        write!(f, "{}", s)
+    }
+}
+
+impl std::error::Error for RawArenaError {}
+
 /// The detachable local half of an overlay arena (see
 /// [`ExprArena::with_base`]): the nodes and ranges the overlay added on
 /// top of its base, in topological (children-first) intern order.
@@ -749,6 +825,138 @@ impl ExprArena {
     }
 
     // ------------------------------------------------------------------
+    // Raw snapshot export / import (persistence).
+    // ------------------------------------------------------------------
+
+    /// Dumps the node tables in stored (topological, children-first)
+    /// order for snapshot serialization. Child references are raw
+    /// indices into the same dump; [`ExprArena::from_raw`] re-interns
+    /// the dump in order and reproduces every id verbatim, so analysis
+    /// state that captured [`ExprId`]/[`RangeId`] handles stays valid
+    /// across a save/load round trip. Memo tables are not exported —
+    /// they are pure caches and restart empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an overlay arena — only root arenas are persisted.
+    pub fn export_raw(&self) -> (Vec<RawExprNode>, Vec<RawRangeNode>) {
+        assert!(self.base.is_none(), "export_raw requires a root arena");
+        let raw_bound = |b: BoundId| match b {
+            BoundId::NegInf => RawBound::NegInf,
+            BoundId::PosInf => RawBound::PosInf,
+            BoundId::Fin(e) => RawBound::Fin(e.0),
+        };
+        let exprs = self
+            .nodes
+            .iter()
+            .map(|node| RawExprNode {
+                constant: node.constant,
+                terms: node
+                    .terms
+                    .iter()
+                    .map(|(atoms, c)| {
+                        let atoms = atoms
+                            .iter()
+                            .map(|a| match *a {
+                                NodeAtom::Sym(s) => RawAtom::Sym(s.index()),
+                                NodeAtom::Min(x, y) => RawAtom::Min(x.0, y.0),
+                                NodeAtom::Max(x, y) => RawAtom::Max(x.0, y.0),
+                                NodeAtom::Div(x, y) => RawAtom::Div(x.0, y.0),
+                                NodeAtom::Mod(x, y) => RawAtom::Mod(x.0, y.0),
+                            })
+                            .collect();
+                        (atoms, *c)
+                    })
+                    .collect(),
+            })
+            .collect();
+        let ranges = self
+            .range_nodes
+            .iter()
+            .map(|rn| match *rn {
+                RangeNode::Empty => RawRangeNode::Empty,
+                RangeNode::Interval(lo, hi) => RawRangeNode::Interval(raw_bound(lo), raw_bound(hi)),
+            })
+            .collect();
+        (exprs, ranges)
+    }
+
+    /// Rebuilds a root arena from a dump produced by
+    /// [`ExprArena::export_raw`], re-interning every node in stored
+    /// order so every id matches the original arena verbatim.
+    ///
+    /// The dump is validated, never trusted: children must precede
+    /// parents, finite bounds must reference dumped expressions, the
+    /// pre-interned `∅`/`⊤` range slots must be intact, and
+    /// re-interning must reproduce each stored position (duplicates or
+    /// non-canonical nodes cannot). A corrupted dump yields a
+    /// [`RawArenaError`], never a panic or a silently different arena.
+    pub fn from_raw(
+        exprs: &[RawExprNode],
+        ranges: &[RawRangeNode],
+    ) -> Result<ExprArena, RawArenaError> {
+        let mut a = ExprArena::new();
+        for (i, raw) in exprs.iter().enumerate() {
+            let child = |c: u32| {
+                if (c as usize) < i {
+                    Ok(ExprId(c))
+                } else {
+                    Err(RawArenaError::ForwardReference)
+                }
+            };
+            let mut terms = Vec::with_capacity(raw.terms.len());
+            for (atoms, coeff) in &raw.terms {
+                let mut node_atoms = Vec::with_capacity(atoms.len());
+                for atom in atoms {
+                    node_atoms.push(match *atom {
+                        RawAtom::Sym(s) => NodeAtom::Sym(Symbol::new(s)),
+                        RawAtom::Min(x, y) => NodeAtom::Min(child(x)?, child(y)?),
+                        RawAtom::Max(x, y) => NodeAtom::Max(child(x)?, child(y)?),
+                        RawAtom::Div(x, y) => NodeAtom::Div(child(x)?, child(y)?),
+                        RawAtom::Mod(x, y) => NodeAtom::Mod(child(x)?, child(y)?),
+                    });
+                }
+                terms.push((node_atoms.into_boxed_slice(), *coeff));
+            }
+            let id = a.intern_node(ExprNode {
+                constant: raw.constant,
+                terms: terms.into_boxed_slice(),
+            });
+            if id.index() != i {
+                return Err(RawArenaError::NonCanonical);
+            }
+        }
+        if ranges.len() < 2
+            || ranges[0] != RawRangeNode::Empty
+            || ranges[1] != RawRangeNode::Interval(RawBound::NegInf, RawBound::PosInf)
+        {
+            return Err(RawArenaError::BadPrelude);
+        }
+        for (i, raw) in ranges.iter().enumerate().skip(2) {
+            let bound = |b: RawBound| match b {
+                RawBound::NegInf => Ok(BoundId::NegInf),
+                RawBound::PosInf => Ok(BoundId::PosInf),
+                RawBound::Fin(e) => {
+                    if (e as usize) < exprs.len() {
+                        Ok(BoundId::Fin(ExprId(e)))
+                    } else {
+                        Err(RawArenaError::ForwardReference)
+                    }
+                }
+            };
+            let node = match *raw {
+                RawRangeNode::Empty => RangeNode::Empty,
+                RawRangeNode::Interval(lo, hi) => RangeNode::Interval(bound(lo)?, bound(hi)?),
+            };
+            let id = a.intern_range_node(node);
+            if id.index() != i {
+                return Err(RawArenaError::NonCanonical);
+            }
+        }
+        Ok(a)
+    }
+
+    // ------------------------------------------------------------------
     // Cheap node queries.
     // ------------------------------------------------------------------
 
@@ -765,6 +973,19 @@ impl ExprArena {
     /// Number of distinct ranges interned (including any base).
     pub fn num_ranges(&self) -> usize {
         self.base_ranges as usize + self.range_nodes.len()
+    }
+
+    /// The interned expression at `index`, or `None` when out of range
+    /// — the checked inverse of [`ExprId::index`], for codecs
+    /// rebuilding ids from untrusted input.
+    pub fn expr_id(&self, index: usize) -> Option<ExprId> {
+        (index < self.len()).then_some(ExprId(index as u32))
+    }
+
+    /// The interned range at `index`, or `None` when out of range —
+    /// the checked inverse of [`RangeId::index`].
+    pub fn range_id(&self, index: usize) -> Option<RangeId> {
+        (index < self.num_ranges()).then_some(RangeId(index as u32))
     }
 
     /// Returns `Some(c)` when the expression is the constant `c`.

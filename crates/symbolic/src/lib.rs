@@ -49,7 +49,8 @@ mod symbol;
 
 pub use arena::{
     ArenaStats, BoundId, BoundRef, ExprArena, ExprId, FxBuildHasher, FxHashMap, FxHasher,
-    ImportMap, OpStats, OverlayPart, OverlayXlate, RangeId, TryImportMap,
+    ImportMap, OpStats, OverlayPart, OverlayXlate, RangeId, RawArenaError, RawAtom, RawBound,
+    RawExprNode, RawRangeNode, TryImportMap,
 };
 pub use bound::Bound;
 pub use eval::Valuation;

@@ -419,7 +419,9 @@ mod tests {
     fn session_replays_a_stream() {
         let m = scaling::generate_module(300, 21);
         let stream = generate_edit_stream(&m, 6, 2);
-        let mut session = sra_core::AnalysisSession::new(m).expect("verifies");
+        let mut session =
+            sra_core::AnalysisSession::with_config(m, sra_core::AnalysisConfig::default())
+                .expect("verifies");
         for edit in &stream {
             apply_to_session(&mut session, edit).expect("session accepts stream edits");
         }

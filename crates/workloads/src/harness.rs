@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use sra_baselines::{BasicAlias, ScevAlias};
 use sra_core::{
-    analyze_parallel, pool, AliasAnalysis, AliasResult, BatchAnalysis, DriverConfig, MatrixBytes,
+    analyze_parallel, pool, AliasAnalysis, AliasResult, AnalysisConfig, BatchAnalysis, MatrixBytes,
     RbaaAnalysis, WhichTest,
 };
 use sra_ir::{FuncId, Module};
@@ -127,7 +127,7 @@ pub fn evaluate_with(m: &Module, threads: usize) -> Metrics {
     // Figure 15 times only the paper's pipeline (bootstrap + GR + LR),
     // not query evaluation — matrices are built outside the clock.
     let started = Instant::now();
-    let rbaa = analyze_parallel(m, DriverConfig::with_threads(threads));
+    let rbaa = analyze_parallel(m, AnalysisConfig::builder().threads(threads).build());
     let analysis_time = started.elapsed();
     let batch = BatchAnalysis::from_rbaa(rbaa, m, threads);
     let basic = BasicAlias::analyze(m);
@@ -222,7 +222,7 @@ pub fn time_analysis(m: &Module) -> Duration {
 /// [`time_analysis`] through the batch driver with `threads` workers.
 pub fn time_analysis_parallel(m: &Module, threads: usize) -> Duration {
     let started = Instant::now();
-    let rbaa = analyze_parallel(m, DriverConfig::with_threads(threads));
+    let rbaa = analyze_parallel(m, AnalysisConfig::builder().threads(threads).build());
     std::hint::black_box(&rbaa);
     started.elapsed()
 }

@@ -6,7 +6,7 @@
 //! cargo run --release --example batch_driver [benchmark] [threads]
 //! ```
 
-use sra::core::{AliasResult, BatchAnalysis, DriverConfig, WhichTest};
+use sra::core::{AliasResult, AnalysisConfig, BatchAnalysis, WhichTest};
 use sra::workloads::suite;
 
 fn main() {
@@ -29,7 +29,7 @@ fn main() {
     );
 
     let t = std::time::Instant::now();
-    let batch = BatchAnalysis::analyze_with(&m, DriverConfig::with_threads(threads));
+    let batch = BatchAnalysis::analyze_with(&m, AnalysisConfig::builder().threads(threads).build());
     let built = t.elapsed();
 
     let total = batch.total_stats();

@@ -6,7 +6,7 @@
 //! cargo run --release --example incremental_session [insts] [edits]
 //! ```
 
-use sra::core::{analyze_parallel, AnalysisSession, DriverConfig};
+use sra::core::{analyze_parallel, AnalysisConfig, AnalysisSession};
 use sra::workloads::{edits, scaling};
 
 fn main() {
@@ -27,7 +27,7 @@ fn main() {
     );
     let stream = edits::generate_edit_stream(&module, num_edits, 7);
 
-    let config = DriverConfig::default();
+    let config = AnalysisConfig::default();
     let mut session = AnalysisSession::with_config(module, config).expect("module verifies");
 
     let mut session_time = std::time::Duration::ZERO;

@@ -9,7 +9,7 @@
 //! cargo run --release --example source_session [insts] [edits]
 //! ```
 
-use sra::core::{analyze_parallel, AliasService, AnalysisSession, DriverConfig};
+use sra::core::{analyze_parallel, AliasService, AnalysisConfig, AnalysisSession};
 use sra::lang::SourceProgram;
 use sra::workloads::source_edits;
 
@@ -33,7 +33,7 @@ fn main() {
         program.module().num_insts()
     );
 
-    let config = DriverConfig::default();
+    let config = AnalysisConfig::default();
     let mut session =
         AnalysisSession::with_config(program.module().clone(), config).expect("module verifies");
 

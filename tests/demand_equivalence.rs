@@ -10,7 +10,7 @@
 
 use proptest::prelude::*;
 use sra::core::{
-    analyze_parallel, pointer_values, AliasMatrix, AnalysisSession, DriverConfig, QueryMode,
+    analyze_parallel, pointer_values, AliasMatrix, AnalysisConfig, AnalysisSession, QueryMode,
 };
 use sra::ir::Module;
 use sra::workloads::edits;
@@ -20,7 +20,7 @@ use sra::workloads::scaling;
 /// uncached reference, the serial matrix, the tiled parallel matrix,
 /// and a demand cache grown query by query.
 fn assert_three_way_agreement(m: &Module, threads: usize) -> Result<(), TestCaseError> {
-    let rbaa = analyze_parallel(m, DriverConfig::with_threads(threads));
+    let rbaa = analyze_parallel(m, AnalysisConfig::builder().threads(threads).build());
     let mut demand = rbaa.demand_cache();
     for f in m.func_ids() {
         let serial = AliasMatrix::build(&rbaa, m, f);
@@ -85,14 +85,13 @@ fn run_edit_stream(
     threads: usize,
 ) -> Result<(), TestCaseError> {
     let stream = edits::generate_edit_stream(&m, num_edits, edit_seed);
-    let mut demand = AnalysisSession::with_mode(
-        m.clone(),
-        DriverConfig::with_threads(threads),
-        QueryMode::Demand,
-    )
-    .expect("generated modules verify");
-    let mut matrix = AnalysisSession::with_config(m, DriverConfig::with_threads(threads))
-        .expect("generated modules verify");
+    let config = AnalysisConfig::builder().threads(threads);
+    let mut demand =
+        AnalysisSession::with_config(m.clone(), config.query_mode(QueryMode::Demand).build())
+            .expect("generated modules verify");
+    let mut matrix =
+        AnalysisSession::with_config(m, AnalysisConfig::builder().threads(threads).build())
+            .expect("generated modules verify");
 
     let check = |demand: &AnalysisSession, matrix: &AnalysisSession| -> Result<(), TestCaseError> {
         let m = matrix.module();

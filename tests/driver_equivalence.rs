@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 use sra::core::{
-    pointer_values, AliasAnalysis, BatchAnalysis, DriverConfig, GrSchedule, QueryStats,
+    pointer_values, AliasAnalysis, AnalysisConfig, BatchAnalysis, GrSchedule, QueryStats,
     RbaaAnalysis,
 };
 use sra::ir::Module;
@@ -20,8 +20,10 @@ use sra::ir::Module;
 fn assert_equivalent(m: &Module, threads: usize) -> Result<(), TestCaseError> {
     let serial = RbaaAnalysis::analyze(m);
     for schedule in [GrSchedule::Waves, GrSchedule::Serial] {
-        let mut config = DriverConfig::with_threads(threads);
-        config.gr.schedule = schedule;
+        let config = AnalysisConfig::builder()
+            .threads(threads)
+            .gr_schedule(schedule)
+            .build();
         let batch = BatchAnalysis::analyze_with(m, config);
         assert_batch_matches(m, &serial, &batch, threads)?;
     }

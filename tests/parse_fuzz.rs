@@ -9,7 +9,7 @@
 //! too.
 
 use proptest::prelude::*;
-use sra::core::{BatchAnalysis, DriverConfig};
+use sra::core::{AnalysisConfig, BatchAnalysis};
 use sra::ir::{parse_module, print_module};
 
 /// Applies one textual mutation, selected and parameterised by `which`
@@ -90,7 +90,8 @@ fn check_no_panic(target: usize, seed: u64, mutations: &[(u8, usize, usize)]) {
         // verifier to run without panicking…
         if sra::ir::verify::verify_module(&parsed).is_ok() {
             // …and a verifier-clean module must analyze cleanly.
-            let _ = BatchAnalysis::analyze_with(&parsed, DriverConfig::with_threads(2));
+            let _ =
+                BatchAnalysis::analyze_with(&parsed, AnalysisConfig::builder().threads(2).build());
         }
     }
 }
@@ -119,7 +120,8 @@ fn printed_modules_reparse_verify_and_analyze() {
         let text = print_module(&m);
         let reparsed = parse_module(&text).expect("valid print reparses");
         sra::ir::verify::verify_module(&reparsed).expect("reparsed verifies");
-        let _ = BatchAnalysis::analyze_with(&reparsed, DriverConfig::with_threads(2));
+        let _ =
+            BatchAnalysis::analyze_with(&reparsed, AnalysisConfig::builder().threads(2).build());
     }
 }
 

@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use proptest::prelude::*;
 use sra::core::{
-    analyze_parallel, pointer_values, AliasService, BatchAnalysis, DriverConfig, ServiceError,
+    analyze_parallel, pointer_values, AliasService, AnalysisConfig, BatchAnalysis, ServiceError,
 };
 use sra::ir::Module;
 use sra::workloads::edits::{self, Edit};
@@ -28,7 +28,7 @@ use sra::workloads::traffic;
 fn assert_snapshot_matches_scratch(
     snap: &sra::core::EpochSnapshot,
     module: &Module,
-    config: DriverConfig,
+    config: AnalysisConfig,
 ) -> Result<(), TestCaseError> {
     prop_assert_eq!(
         snap.module(),
@@ -74,7 +74,7 @@ fn run_case(
     edits_per_tenant: usize,
     threads: usize,
 ) -> Result<(), TestCaseError> {
-    let config = DriverConfig::with_threads(threads);
+    let config = AnalysisConfig::builder().threads(threads).build();
     let cfg = traffic::TrafficConfig {
         tenants,
         insts_per_tenant: target,

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use sra::core::{
-    analyze_parallel, pointer_values, AliasService, BatchAnalysis, DriverConfig, ServiceError,
+    analyze_parallel, pointer_values, AliasService, AnalysisConfig, BatchAnalysis, ServiceError,
 };
 use sra::workloads::edits;
 use sra::workloads::traffic::{self, TrafficConfig};
@@ -64,7 +64,7 @@ fn run_and_check_no_lost_updates(cfg: &TrafficConfig) {
             &replay,
             "tenant {i}: final module diverged from sequential replay"
         );
-        let scratch = analyze_parallel(&replay, DriverConfig::default());
+        let scratch = analyze_parallel(&replay, AnalysisConfig::default());
         let batch = BatchAnalysis::from_rbaa(scratch, &replay, 1);
         for f in replay.func_ids() {
             let ptrs = pointer_values(&replay, f);
@@ -352,7 +352,7 @@ fn snapshots_survive_service_shutdown() {
     // The snapshot still answers every query it could before.
     assert_eq!(snap.epoch(), epoch);
     let m = snap.module();
-    let scratch = analyze_parallel(m, DriverConfig::default());
+    let scratch = analyze_parallel(m, AnalysisConfig::default());
     let batch = BatchAnalysis::from_rbaa(scratch, m, 1);
     for f in m.func_ids() {
         let ptrs = pointer_values(m, f);

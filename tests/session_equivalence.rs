@@ -9,7 +9,7 @@
 
 use proptest::prelude::*;
 use sra::core::{
-    analyze_parallel, pointer_values, AnalysisSession, BatchAnalysis, DriverConfig, QueryStats,
+    analyze_parallel, pointer_values, AnalysisConfig, AnalysisSession, BatchAnalysis, QueryStats,
 };
 use sra::workloads::edits::{self, Edit};
 use sra::workloads::scaling;
@@ -94,8 +94,9 @@ fn run_stream(
     threads: usize,
 ) -> Result<(), TestCaseError> {
     let stream = edits::generate_edit_stream(&m, num_edits, edit_seed);
-    let mut session = AnalysisSession::with_config(m, DriverConfig::with_threads(threads))
-        .expect("generated modules verify");
+    let mut session =
+        AnalysisSession::with_config(m, AnalysisConfig::builder().threads(threads).build())
+            .expect("generated modules verify");
     assert_matches_scratch(&session)?;
     for edit in &stream {
         let nf = session.module().num_functions();

@@ -11,7 +11,7 @@
 //! re-analyze *nothing*.
 
 use proptest::prelude::*;
-use sra::core::{analyze_parallel, pointer_values, AnalysisSession, BatchAnalysis, DriverConfig};
+use sra::core::{analyze_parallel, pointer_values, AnalysisConfig, AnalysisSession, BatchAnalysis};
 use sra::lang::{SourceDiff, SourceProgram};
 use sra::workloads::source_edits;
 
@@ -101,7 +101,7 @@ fn run_stream(
     let mut program = SourceProgram::new(&w.text()).expect("generated text compiles");
     let mut session = AnalysisSession::with_config(
         program.module().clone(),
-        DriverConfig::with_threads(threads),
+        AnalysisConfig::builder().threads(threads).build(),
     )
     .expect("lowered modules verify");
     assert_matches_scratch(&session)?;

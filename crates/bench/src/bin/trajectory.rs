@@ -1,5 +1,5 @@
 //! The CI perf-trajectory harness: times the throughput-critical paths
-//! in quick mode, writes a machine-readable `BENCH_9.json`, compares
+//! in quick mode, writes a machine-readable `BENCH_10.json`, compares
 //! against the previous `BENCH_N.json` at the repo root (printing a
 //! per-group delta table — warn, don't gate, on regressions; groups
 //! that appear or disappear across trajectories are listed as `new` /
@@ -47,16 +47,34 @@
 //!   long-lived session. The incremental cost honestly includes
 //!   tokenizing the full text to diff it and re-lowering the changed
 //!   functions, not just the session update.
-//! * `persist/scratch_build` vs `persist/save` + `persist/load_first_query`
-//!   — the warm-start contract (PR 9's ≥10× floor) on a
-//!   million-instruction, >10⁴-function module: building the session
-//!   from scratch vs serializing it and reviving it from bytes through
-//!   [`sra_core::AnalysisSession::save`] / `load`, first query
-//!   included. One load is verified against a scratch re-analysis
-//!   (outside the timed region) to prove the revived state
-//!   byte-identical; the timed loads skip the verify, as a restart
-//!   would. The snapshot size, arena bytes and total packed-matrix
-//!   bytes ride along in the JSON's `persist` block.
+//! * `persist/scratch_build` vs `persist/save` + `persist/load` +
+//!   `persist/first_query` — the warm-start contract (PR 9's ≥10×
+//!   floor) on a million-instruction, >10⁴-function module: building
+//!   the session from scratch vs serializing it and reviving it from
+//!   bytes through [`sra_core::AnalysisSession::save`] / `load`, first
+//!   query included. The load and the first query are timed separately
+//!   (PR 10 split the legacy `persist/load_first_query` group) so the
+//!   parallel snapshot decode's trajectory is visible on its own. One
+//!   load is verified against a scratch re-analysis (outside the timed
+//!   region) to prove the revived state byte-identical; the timed
+//!   loads skip the verify, as a restart would. The snapshot size,
+//!   arena bytes and total packed-matrix bytes ride along in the
+//!   JSON's `persist` block.
+//! * `pipeline/legacy_scratch_t4` vs `pipeline/fused_scratch_t4` — the
+//!   fused scratch pipeline (PR 10's ≥1.25× floor, 1.15× gate) on the
+//!   same million-instruction module, both arms in-run at the same
+//!   thread count: the legacy arm replays the BENCH_9-era schedule
+//!   (one-shot pool per phase, serial canonical-arena assembly,
+//!   forced-width GR waves), the fused arm is
+//!   [`sra_core::BatchAnalysis::analyze_with`] on one persistent,
+//!   hardware-capped [`sra_core::WorkerPool`]. The arms run as two
+//!   interleaved rounds (legacy, fused, legacy, fused) and the gated
+//!   ratio uses the per-arm minima, so minute-scale drift in the
+//!   host's effective memory bandwidth hits both arms alike instead
+//!   of whichever arm ran last. The fused arm's
+//!   per-phase wall-clock breakdown ([`sra_core::PhaseStats`]) rides
+//!   along in the JSON's `pipeline` block, so a regression names the
+//!   phase that slowed down.
 //!
 //! The run also surfaces the analysis' arena statistics (interned
 //! nodes, memo hit rate) for the scaling workload. Every group records
@@ -66,12 +84,12 @@
 use std::time::{Duration, Instant};
 
 use sra_bench::{
-    batched_sweep, build_session, deep_chain_range, per_query_sweep, scratch_replay,
-    session_replay, source_scratch_replay, source_session_replay,
+    batched_sweep, build_session, deep_chain_range, legacy_scratch_pipeline, per_query_sweep,
+    scratch_replay, session_replay, source_scratch_replay, source_session_replay,
 };
 use sra_core::{
     pointer_values, AliasMatrix, AliasResult, AliasService, AnalysisConfig, AnalysisSession,
-    RbaaAnalysis,
+    BatchAnalysis, PhaseStats, RbaaAnalysis,
 };
 use sra_lang::SourceProgram;
 use sra_symbolic::{ExprArena, RangeId, SymRange};
@@ -131,6 +149,16 @@ const SOURCE_GATE: f64 = 2.0;
 /// the demand group, floor and gate coincide.
 const PERSIST_FLOOR: f64 = 10.0;
 const PERSIST_GATE: f64 = 10.0;
+/// The fused-pipeline contract: one persistent, hardware-capped pool
+/// carrying every phase of a scratch build must beat the legacy
+/// schedule (one-shot pool per phase, serial assembly, forced-width GR
+/// waves) by ≥1.25× at the same requested thread count — both arms
+/// timed in-run on the same machine. The exit-code gate sits below the
+/// floor to absorb runner variance on a leg that runs once (at ~40 s a
+/// side, medians are a luxury).
+const PIPELINE_FLOOR: f64 = 1.25;
+const PIPELINE_GATE: f64 = 1.15;
+const PIPELINE_THREADS: usize = 4;
 /// Previous-trajectory deltas louder than this warn (never gate — the
 /// comparison crosses machines and runner generations).
 const DELTA_WARN: f64 = 0.20;
@@ -313,7 +341,7 @@ const PERSIST_SAMPLES: usize = 3;
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_9.json".to_owned());
+        .unwrap_or_else(|| "BENCH_10.json".to_owned());
 
     let m = scaling::generate_module(SCALING_INSTS, SCALING_SEED);
     eprintln!(
@@ -499,12 +527,60 @@ fn main() {
     // clock it dominates the harness, and run-to-run noise is
     // irrelevant next to the 10× gate.
     let big = scaling::generate_module(PERSIST_INSTS, SCALING_SEED);
-    let persist_config = AnalysisConfig::builder().threads(4).build();
+    let persist_config = AnalysisConfig::builder().threads(PIPELINE_THREADS).build();
     eprintln!(
         "persist workload: {} functions, {} instructions",
         big.num_functions(),
         big.num_insts()
     );
+
+    // Group 8: the fused scratch pipeline vs the legacy schedule, both
+    // in-run at the same requested thread count. Each arm is tens of
+    // seconds of memory-bound work and the host's effective bandwidth
+    // drifts on that timescale, so a single back-to-back shot can skew
+    // either way. Interleave two rounds (legacy, fused, legacy, fused)
+    // and gate on the per-arm minima: the minimum of each arm is the
+    // cleanest sample that arm got, and interleaving ensures both arms
+    // saw the same host conditions.
+    let mut legacy_build = Duration::MAX;
+    let mut fused_build = Duration::MAX;
+    let mut fused_phases = PhaseStats::default();
+    for round in 0..2 {
+        let t = Instant::now();
+        let legacy_queries = std::hint::black_box(legacy_scratch_pipeline(&big, PIPELINE_THREADS));
+        let legacy = t.elapsed();
+        let t = Instant::now();
+        let fused_batch = BatchAnalysis::analyze_with(&big, persist_config);
+        let fused = t.elapsed();
+        assert_eq!(
+            fused_batch.total_stats().queries,
+            legacy_queries,
+            "the fused and legacy pipelines must answer identical sweeps"
+        );
+        if fused < fused_build {
+            fused_phases = *fused_batch.phases();
+        }
+        drop(fused_batch);
+        legacy_build = legacy_build.min(legacy);
+        fused_build = fused_build.min(fused);
+        eprintln!(
+            "pipeline round {round}: legacy {legacy:?}, fused {fused:?} ({:.2}x)",
+            legacy.as_secs_f64() / fused.as_secs_f64()
+        );
+    }
+    let pipeline_ratio = legacy_build.as_secs_f64() / fused_build.as_secs_f64();
+    eprintln!(
+        "pipeline ({} insts, t{PIPELINE_THREADS}, min of 2 interleaved rounds): legacy \
+         {legacy_build:?}, fused {fused_build:?} ({pipeline_ratio:.2}x); fused phases: \
+         budget {:?}, parts {:?}, assemble {:?}, gr {:?}, matrices {:?}",
+        big.num_insts(),
+        Duration::from_nanos(fused_phases.budget_ns),
+        Duration::from_nanos(fused_phases.parts_ns),
+        Duration::from_nanos(fused_phases.assemble_ns),
+        Duration::from_nanos(fused_phases.gr_ns),
+        Duration::from_nanos(fused_phases.matrices_ns),
+    );
+
     let t = Instant::now();
     let big_session = AnalysisSession::with_config(big.clone(), persist_config)
         .expect("generated modules verify");
@@ -542,19 +618,22 @@ fn main() {
             (ptrs.len() >= 2).then(|| (f, ptrs[0], ptrs[1]))
         })
         .expect("the workload has pointer-heavy functions");
-    let load_first_query = {
-        let mut times: Vec<Duration> = (0..PERSIST_SAMPLES)
-            .map(|_| {
-                let t = Instant::now();
-                let revived =
-                    AnalysisSession::load(&mut snapshot.as_slice()).expect("snapshot loads");
-                std::hint::black_box(revived.alias_with_test(big_f, big_p, big_q));
-                t.elapsed()
-            })
-            .collect();
-        times.sort();
-        times[times.len() / 2]
+    let (load, first_query) = {
+        let mut loads: Vec<Duration> = Vec::with_capacity(PERSIST_SAMPLES);
+        let mut queries: Vec<Duration> = Vec::with_capacity(PERSIST_SAMPLES);
+        for _ in 0..PERSIST_SAMPLES {
+            let t = Instant::now();
+            let revived = AnalysisSession::load(&mut snapshot.as_slice()).expect("snapshot loads");
+            loads.push(t.elapsed());
+            let t = Instant::now();
+            std::hint::black_box(revived.alias_with_test(big_f, big_p, big_q));
+            queries.push(t.elapsed());
+        }
+        loads.sort();
+        queries.sort();
+        (loads[loads.len() / 2], queries[queries.len() / 2])
     };
+    let load_first_query = load + first_query;
     let persist_ratio =
         scratch_build.as_secs_f64() / (save.as_secs_f64() + load_first_query.as_secs_f64());
     let big_arena = big_session.analysis().arena_stats();
@@ -567,7 +646,7 @@ fn main() {
     }
     eprintln!(
         "persist ({} insts, {} funcs): scratch build {scratch_build:?}, save {save:?}, \
-         load+first-query {load_first_query:?} ({persist_ratio:.1}x); snapshot {} MiB, \
+         load {load:?} + first query {first_query:?} ({persist_ratio:.1}x); snapshot {} MiB, \
          arena {} MiB, matrices {} MiB packed ({} MiB unpacked)",
         big.num_insts(),
         big.num_functions(),
@@ -597,7 +676,12 @@ fn main() {
          \"source_edit/session_per_edit\": {{ \"median_ns\": {}, \"work\": {SCALING_INSTS} }},\n    \
          \"persist/scratch_build\": {{ \"median_ns\": {}, \"work\": {PERSIST_INSTS} }},\n    \
          \"persist/save\": {{ \"median_ns\": {}, \"work\": {PERSIST_INSTS} }},\n    \
-         \"persist/load_first_query\": {{ \"median_ns\": {}, \"work\": {PERSIST_INSTS} }}\n  }},\n  \
+         \"persist/load\": {{ \"median_ns\": {}, \"work\": {PERSIST_INSTS} }},\n    \
+         \"persist/first_query\": {{ \"median_ns\": {}, \"work\": {PERSIST_INSTS} }},\n    \
+         \"pipeline/legacy_scratch_t{PIPELINE_THREADS}\": \
+         {{ \"median_ns\": {}, \"work\": {PERSIST_INSTS} }},\n    \
+         \"pipeline/fused_scratch_t{PIPELINE_THREADS}\": \
+         {{ \"median_ns\": {}, \"work\": {PERSIST_INSTS} }}\n  }},\n  \
          \"arena\": {{\n    \"exprs\": {},\n    \"ranges\": {},\n    \
          \"hits\": {},\n    \"misses\": {},\n    \"bytes\": {}\n  }},\n  \
          \"matrix\": {{\n    \"giant_ptrs\": {GIANT_PTRS},\n    \
@@ -624,27 +708,34 @@ fn main() {
          \"matrix_packed_bytes\": {big_packed},\n    \
          \"matrix_unpacked_bytes\": {big_unpacked},\n    \
          \"load_verified\": true\n  }},\n  \
+         \"pipeline\": {{\n    \"threads\": {PIPELINE_THREADS},\n    \
+         \"fused_phases_ns\": {{\n      \"budget\": {},\n      \
+         \"parts\": {},\n      \"assemble\": {},\n      \"gr\": {},\n      \
+         \"matrices\": {}\n    }}\n  }},\n  \
          \"ratios\": {{\n    \"batched_vs_per_query\": {batched_ratio:.3},\n    \
          \"session_vs_scratch\": {session_ratio:.3},\n    \
          \"interning\": {interning_ratio:.3},\n    \
          \"service_vs_single_thread\": {service_ratio:.3},\n    \
          \"demand_vs_matrix_build\": {demand_ratio:.1},\n    \
          \"source_edit_vs_scratch\": {source_ratio:.3},\n    \
-         \"persist_warm_vs_scratch\": {persist_ratio:.1}\n  }},\n  \"floors\": {{\n    \
+         \"persist_warm_vs_scratch\": {persist_ratio:.1},\n    \
+         \"pipeline_fused_vs_legacy\": {pipeline_ratio:.3}\n  }},\n  \"floors\": {{\n    \
          \"batched_vs_per_query\": {BATCHED_FLOOR},\n    \
          \"session_vs_scratch\": {SESSION_FLOOR},\n    \
          \"interning\": {INTERNING_FLOOR},\n    \
          \"service_vs_single_thread\": {SERVICE_FLOOR},\n    \
          \"demand_vs_matrix_build\": {DEMAND_FLOOR},\n    \
          \"source_edit_vs_scratch\": {SOURCE_FLOOR},\n    \
-         \"persist_warm_vs_scratch\": {PERSIST_FLOOR}\n  }},\n  \"gates\": {{\n    \
+         \"persist_warm_vs_scratch\": {PERSIST_FLOOR},\n    \
+         \"pipeline_fused_vs_legacy\": {PIPELINE_FLOOR}\n  }},\n  \"gates\": {{\n    \
          \"batched_vs_per_query\": {BATCHED_FLOOR},\n    \
          \"session_vs_scratch\": {SESSION_GATE},\n    \
          \"interning\": {INTERNING_GATE},\n    \
          \"service_vs_single_thread\": {SERVICE_GATE},\n    \
          \"demand_vs_matrix_build\": {DEMAND_GATE},\n    \
          \"source_edit_vs_scratch\": {SOURCE_GATE},\n    \
-         \"persist_warm_vs_scratch\": {PERSIST_GATE}\n  }}\n}}\n",
+         \"persist_warm_vs_scratch\": {PERSIST_GATE},\n    \
+         \"pipeline_fused_vs_legacy\": {PIPELINE_GATE}\n  }}\n}}\n",
         per_query.as_nanos(),
         batched.as_nanos(),
         scratch.as_nanos(),
@@ -659,7 +750,10 @@ fn main() {
         src_session.as_nanos(),
         scratch_build.as_nanos(),
         save.as_nanos(),
-        load_first_query.as_nanos(),
+        load.as_nanos(),
+        first_query.as_nanos(),
+        legacy_build.as_nanos(),
+        fused_build.as_nanos(),
         arena.exprs,
         arena.ranges,
         arena.hits,
@@ -679,6 +773,11 @@ fn main() {
         big.num_functions(),
         snapshot.len(),
         big_arena.bytes,
+        fused_phases.budget_ns,
+        fused_phases.parts_ns,
+        fused_phases.assemble_ns,
+        fused_phases.gr_ns,
+        fused_phases.matrices_ns,
     );
 
     // The trajectory, not just the floor: diff against the previous
@@ -825,6 +924,19 @@ fn main() {
         );
         failed = true;
     }
+    if pipeline_ratio < PIPELINE_GATE {
+        eprintln!(
+            "FAIL: fused vs legacy scratch-pipeline speedup {pipeline_ratio:.2}x is below \
+             the {PIPELINE_GATE}x regression gate"
+        );
+        failed = true;
+    } else if pipeline_ratio < PIPELINE_FLOOR {
+        eprintln!(
+            "WARN: fused vs legacy scratch-pipeline speedup {pipeline_ratio:.2}x is below \
+             the {PIPELINE_FLOOR}x acceptance floor (within runner-noise margin of the \
+             {PIPELINE_GATE}x gate)"
+        );
+    }
     if failed {
         std::process::exit(1);
     }
@@ -838,7 +950,9 @@ fn main() {
          demand {demand_ratio:.0}x vs full matrix build (floor {DEMAND_FLOOR}x), \
          source_edit {source_ratio:.2}x vs recompile+scratch (floor {SOURCE_FLOOR}x, \
          gate {SOURCE_GATE}x), \
-         persist {persist_ratio:.1}x warm start vs scratch build (floor {PERSIST_FLOOR}x)",
+         persist {persist_ratio:.1}x warm start vs scratch build (floor {PERSIST_FLOOR}x), \
+         pipeline {pipeline_ratio:.2}x fused vs legacy at t{PIPELINE_THREADS} \
+         (floor {PIPELINE_FLOOR}x, gate {PIPELINE_GATE}x)",
         mixed.queries_per_sec, mixed.p99_ns
     );
 }

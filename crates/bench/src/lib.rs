@@ -21,11 +21,12 @@
 use std::fmt::Write as _;
 
 use sra_core::{
-    pointer_values, pool, AliasMatrix, AnalysisConfig, AnalysisSession, BatchAnalysis, QueryStats,
-    RbaaAnalysis,
+    lr, pointer_values, pool, AliasMatrix, AnalysisConfig, AnalysisSession, BatchAnalysis,
+    GrAnalysis, GrConfig, LrAnalysis, LrPart, QueryStats, RbaaAnalysis,
 };
 use sra_ir::{FuncId, Module};
 use sra_lang::SourceProgram;
+use sra_range::{RangeAnalysis, RangePart};
 use sra_symbolic::{Bound, SymExpr, SymRange, Symbol};
 use sra_workloads::edits::{self, Edit};
 use sra_workloads::source_edits::SourceEditStep;
@@ -153,6 +154,60 @@ pub fn source_session_replay(
             .sum::<usize>();
     }
     total
+}
+
+/// The pre-fusion scratch pipeline, replicated from public building
+/// blocks: a one-shot thread pool per phase (budget scan, part
+/// analyses, matrix builds), fully serial canonical-arena assembly,
+/// and a forced-width pool per GR solve — the exact schedule the
+/// BENCH_9-era driver ran. The `trajectory` harness keeps it as the
+/// `pipeline` group's legacy arm so the fused persistent-pool driver's
+/// speedup is measured in-run on the same machine, not against a stale
+/// JSON. Returns the summed query count as a keep-alive value.
+pub fn legacy_scratch_pipeline(m: &Module, threads: usize) -> usize {
+    let config = AnalysisConfig::builder().threads(threads).build();
+    let nf = m.num_functions();
+    let budgets: Vec<(usize, usize)> = pool::run_indexed(nf, threads, |i| {
+        let fid = FuncId::new(i);
+        (
+            sra_range::symbol_budget(m.function(fid), config.range),
+            lr::symbol_budget(m, fid),
+        )
+    });
+    let mut range_bases = Vec::with_capacity(nf);
+    let mut lr_bases = Vec::with_capacity(nf);
+    let (mut rb, mut lb) = (0u32, 0u32);
+    for &(r, l) in &budgets {
+        range_bases.push(rb);
+        lr_bases.push(lb);
+        rb += r as u32;
+        lb += l as u32;
+    }
+    let parts: Vec<(RangePart, LrPart)> = pool::run_indexed(nf, threads, |i| {
+        let fid = FuncId::new(i);
+        (
+            sra_range::analyze_function_part(m.function(fid), config.range, range_bases[i]),
+            lr::analyze_function_part(m, fid, lr_bases[i]),
+        )
+    });
+    let mut range_parts = Vec::with_capacity(nf);
+    let mut lr_parts = Vec::with_capacity(nf);
+    for (r, l) in parts {
+        range_parts.push(r);
+        lr_parts.push(l);
+    }
+    let ranges = RangeAnalysis::from_parts(range_parts);
+    let lrs = LrAnalysis::from_parts(lr_parts);
+    let gr_config = GrConfig {
+        threads: config.threads,
+        ..config.gr
+    };
+    let gr = GrAnalysis::analyze_with(m, &ranges, gr_config);
+    let rbaa = RbaaAnalysis::from_pieces(ranges, gr, lrs);
+    let matrices = pool::run_indexed(nf, threads, |i| {
+        AliasMatrix::build_with(&rbaa, m, FuncId::new(i), 1)
+    });
+    matrices.iter().map(|mx| mx.stats().queries).sum()
 }
 
 /// Renders a plain-text table: a header row plus aligned data rows.

@@ -93,19 +93,82 @@ impl DriverConfig {
     }
 }
 
+/// Wall-clock attribution of one pipeline run, phase by phase — how
+/// the driver (and the bench trajectory) proves where a scratch build
+/// spends its time. Loads fill [`PhaseStats::load_ns`] instead of the
+/// analysis phases.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Symbol-budget pre-scan (fixes schedule-independent symbol ids).
+    pub budget_ns: u64,
+    /// Per-function bootstrap-range and LR part analyses.
+    pub parts_ns: u64,
+    /// Canonical-arena assembly of the parts (range + LR imports).
+    pub assemble_ns: u64,
+    /// Interprocedural GR solve plus its canonical re-interning.
+    pub gr_ns: u64,
+    /// Per-function alias-matrix builds.
+    pub matrices_ns: u64,
+    /// Snapshot deserialization (section decode + reassembly).
+    pub load_ns: u64,
+}
+
+impl PhaseStats {
+    /// Sum of every recorded phase.
+    pub fn total_ns(&self) -> u64 {
+        self.budget_ns
+            + self.parts_ns
+            + self.assemble_ns
+            + self.gr_ns
+            + self.matrices_ns
+            + self.load_ns
+    }
+
+    /// Field-wise accumulation.
+    pub fn merge(&mut self, other: &PhaseStats) {
+        self.budget_ns += other.budget_ns;
+        self.parts_ns += other.parts_ns;
+        self.assemble_ns += other.assemble_ns;
+        self.gr_ns += other.gr_ns;
+        self.matrices_ns += other.matrices_ns;
+        self.load_ns += other.load_ns;
+    }
+}
+
+/// Nanoseconds since `t`, saturated into a `u64`.
+pub(crate) fn ns_since(t: std::time::Instant) -> u64 {
+    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// Runs the paper's full analysis pipeline (bootstrap ranges + GR +
 /// LR) with the per-function phases on `config.threads` workers. The
 /// result is byte-identical to [`RbaaAnalysis::analyze`]. Accepts
 /// either the unified [`crate::AnalysisConfig`] or the legacy
 /// [`DriverConfig`].
 pub fn analyze_parallel(m: &Module, config: impl Into<crate::AnalysisConfig>) -> RbaaAnalysis {
+    let config = config.into();
+    let pool = pool::WorkerPool::new(config.threads);
+    analyze_parallel_on(m, config, &pool).0
+}
+
+/// [`analyze_parallel`] on a caller-provided [`pool::WorkerPool`] —
+/// every phase (budget scan, part analyses, canonical assembly, GR
+/// waves) dispatches onto the same long-lived workers instead of
+/// spawning its own — with the per-phase wall-clock breakdown.
+pub fn analyze_parallel_on(
+    m: &Module,
+    config: impl Into<crate::AnalysisConfig>,
+    pool: &pool::WorkerPool,
+) -> (RbaaAnalysis, PhaseStats) {
     let config = config.into().driver();
     let nf = m.num_functions();
+    let mut phases = PhaseStats::default();
 
     // Pre-assign symbol-id blocks so workers mint non-conflicting,
     // schedule-independent symbols. The budget scans are cheap but
     // parallel anyway (LR's needs a dominance tree).
-    let budgets: Vec<(usize, usize)> = pool::run_indexed(nf, config.threads, |i| {
+    let t = std::time::Instant::now();
+    let budgets: Vec<(usize, usize)> = pool.run_indexed(nf, |i| {
         let fid = FuncId::new(i);
         (
             sra_range::symbol_budget(m.function(fid), config.range),
@@ -121,9 +184,11 @@ pub fn analyze_parallel(m: &Module, config: impl Into<crate::AnalysisConfig>) ->
         rb += r as u32;
         lb += l as u32;
     }
+    phases.budget_ns = ns_since(t);
 
     // Per-function analyses on the pool.
-    let parts: Vec<(RangePart, LrPart)> = pool::run_indexed(nf, config.threads, |i| {
+    let t = std::time::Instant::now();
+    let parts: Vec<(RangePart, LrPart)> = pool.run_indexed(nf, |i| {
         let fid = FuncId::new(i);
         (
             sra_range::analyze_function_part(m.function(fid), config.range, range_bases[i]),
@@ -136,19 +201,25 @@ pub fn analyze_parallel(m: &Module, config: impl Into<crate::AnalysisConfig>) ->
         range_parts.push(r);
         lr_parts.push(l);
     }
-    let ranges = RangeAnalysis::from_parts(range_parts);
-    let lr = LrAnalysis::from_parts(lr_parts);
+    phases.parts_ns = ns_since(t);
+
+    let t = std::time::Instant::now();
+    let ranges = RangeAnalysis::from_parts_on(range_parts, pool);
+    let lr = LrAnalysis::from_parts_on(lr_parts, pool);
+    phases.assemble_ns = ns_since(t);
 
     // Interprocedural global analysis: wave-scheduled over the call
     // graph's SCC condensation (see module docs), sharing the driver's
-    // worker count.
+    // pool.
+    let t = std::time::Instant::now();
     let gr_config = GrConfig {
         threads: config.threads,
         ..config.gr
     };
-    let gr = GrAnalysis::analyze_with(m, &ranges, gr_config);
+    let gr = GrAnalysis::analyze_on(m, &ranges, gr_config, pool);
+    phases.gr_ns = ns_since(t);
 
-    RbaaAnalysis::from_pieces(ranges, gr, lr)
+    (RbaaAnalysis::from_pieces(ranges, gr, lr), phases)
 }
 
 /// The batch driver's result: the full [`RbaaAnalysis`] plus one cached
@@ -157,6 +228,7 @@ pub fn analyze_parallel(m: &Module, config: impl Into<crate::AnalysisConfig>) ->
 pub struct BatchAnalysis {
     rbaa: RbaaAnalysis,
     matrices: Vec<AliasMatrix>,
+    phases: PhaseStats,
 }
 
 impl BatchAnalysis {
@@ -167,25 +239,52 @@ impl BatchAnalysis {
     }
 
     /// Analyzes `m` with an explicit configuration (unified
-    /// [`crate::AnalysisConfig`] or legacy [`DriverConfig`]).
+    /// [`crate::AnalysisConfig`] or legacy [`DriverConfig`]). One pool
+    /// is spawned for the whole build; every phase reuses its workers.
     pub fn analyze_with(m: &Module, config: impl Into<crate::AnalysisConfig>) -> Self {
         let config = config.into();
-        let rbaa = analyze_parallel(m, config);
-        Self::from_rbaa(rbaa, m, config.threads)
+        let pool = pool::WorkerPool::new(config.threads);
+        let (rbaa, phases) = analyze_parallel_on(m, config, &pool);
+        let mut batch = Self::from_rbaa_on(rbaa, m, &pool);
+        batch.phases.merge(&phases);
+        batch
+    }
+
+    /// Builds the per-function matrices over an existing analysis, on a
+    /// one-shot pool of `threads` width.
+    pub fn from_rbaa(rbaa: RbaaAnalysis, m: &Module, threads: usize) -> Self {
+        Self::from_rbaa_on(rbaa, m, &pool::WorkerPool::new(threads))
     }
 
     /// Builds the per-function matrices over an existing analysis.
-    /// A single-function module hands the whole worker budget to that
-    /// function's signature triangle ([`AliasMatrix::build_with`]);
-    /// several functions share the budget function-wise instead, so
-    /// the pool is never oversubscribed. Byte-identical either way.
-    pub fn from_rbaa(rbaa: RbaaAnalysis, m: &Module, threads: usize) -> Self {
+    /// A single-function module hands the whole pool to that function's
+    /// signature triangle ([`AliasMatrix::build_with_on`] — `run_indexed`
+    /// of one job runs inline, leaving the workers free for the tiles);
+    /// several functions share the pool function-wise instead, so it is
+    /// never oversubscribed. Byte-identical either way.
+    pub fn from_rbaa_on(rbaa: RbaaAnalysis, m: &Module, pool: &pool::WorkerPool) -> Self {
+        let t = std::time::Instant::now();
         let nf = m.num_functions();
-        let inner = if nf == 1 { threads } else { 1 };
-        let matrices = pool::run_indexed(nf, threads, |i| {
-            AliasMatrix::build_with(&rbaa, m, FuncId::new(i), inner)
-        });
-        BatchAnalysis { rbaa, matrices }
+        let matrices = if nf == 1 {
+            // A lone function gets the whole pool for its signature
+            // triangle instead of one chunk of a one-function sweep.
+            vec![AliasMatrix::build_with_on(&rbaa, m, FuncId::new(0), pool)]
+        } else {
+            AliasMatrix::build_all_on(&rbaa, m, pool)
+        };
+        BatchAnalysis {
+            rbaa,
+            matrices,
+            phases: PhaseStats {
+                matrices_ns: ns_since(t),
+                ..PhaseStats::default()
+            },
+        }
+    }
+
+    /// The per-phase wall-clock breakdown of this build.
+    pub fn phases(&self) -> &PhaseStats {
+        &self.phases
     }
 
     /// Per-module totals of the matrices' packed-cell byte accounting.

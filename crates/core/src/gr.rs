@@ -67,7 +67,7 @@ use sra_ir::callgraph::{CallGraph, Condensation};
 use sra_ir::cfg::Cfg;
 use sra_ir::{Callee, CmpOp, FuncId, Inst, Module, Terminator, Ty, ValueId, ValueKind};
 use sra_range::RangeAnalysis;
-use sra_symbolic::{BoundId, ExprArena, ImportMap, OverlayXlate, Symbol};
+use sra_symbolic::{BoundId, ExprArena, ImportMap, OverlayPart, OverlayXlate, Symbol};
 
 use crate::locs::LocTable;
 use crate::pool;
@@ -142,8 +142,22 @@ impl GrAnalysis {
         Self::analyze_with(m, ranges, GrConfig::default())
     }
 
-    /// Runs the analysis.
+    /// Runs the analysis on a one-shot pool of exactly
+    /// [`GrConfig::threads`] width (so explicit thread counts exercise
+    /// the wave schedule even on smaller machines). Long-lived callers
+    /// should hold a [`pool::WorkerPool`] and use [`GrAnalysis::analyze_on`].
     pub fn analyze_with(m: &Module, ranges: &RangeAnalysis, config: GrConfig) -> Self {
+        Self::analyze_on(m, ranges, config, &pool::WorkerPool::forced(config.threads))
+    }
+
+    /// Runs the analysis with every parallel phase — the wave levels
+    /// and the final canonical re-interning — dispatched on `pool`.
+    pub fn analyze_on(
+        m: &Module,
+        ranges: &RangeAnalysis,
+        config: GrConfig,
+        pool: &pool::WorkerPool,
+    ) -> Self {
         let locs = LocTable::build(m);
         let graph = CallGraph::build(m);
         let components = graph.weak_components();
@@ -158,11 +172,12 @@ impl GrAnalysis {
                 &callers,
                 &cfgs,
                 Condensation::build(&graph),
+                pool,
             );
             solver.run(&components);
             (solver.states, solver.arena, solver.sweeps)
         };
-        let (states, arena) = canonicalize_states(states, &solver_arena);
+        let (states, arena) = canonicalize_states_on(states, &solver_arena, pool);
         GrAnalysis {
             locs,
             states,
@@ -272,6 +287,53 @@ fn canonicalize_states(
                     .map(|s| import_ptr_state(&mut arena, solver_arena, s, &|s| s, &mut map))
                     .collect::<Vec<_>>(),
             )
+        })
+        .collect();
+    arena.absorb_op_stats(solver_arena);
+    (out, Arc::new(arena))
+}
+
+/// [`canonicalize_states`] with the per-function imports fanned out on
+/// `pool`: each function's states re-intern into a private overlay over
+/// a shared frozen empty arena, and the overlays merge into the
+/// canonical arena in function order.
+///
+/// Byte-identical to the serial walk — the same fixed-order
+/// overlay-adopt argument as
+/// [`sra_range::RangeAnalysis::from_parts_on`]: each overlay records
+/// its function's structures in the serial import's first-encounter
+/// order, and the in-order adopt dedups nodes already contributed by
+/// earlier functions while appending new ones in overlay order. A
+/// width-1 pool takes the serial path directly (the fan-out re-imports
+/// shared structures once per function, which only pays off with real
+/// parallelism).
+fn canonicalize_states_on(
+    states: Vec<Vec<PtrState>>,
+    solver_arena: &ExprArena,
+    pool: &pool::WorkerPool,
+) -> (Vec<Arc<Vec<PtrState>>>, Arc<ExprArena>) {
+    if pool.threads() == 1 || states.len() <= 1 {
+        return canonicalize_states(states, solver_arena);
+    }
+    let empty = Arc::new(ExprArena::new());
+    let imported: Vec<(Vec<PtrState>, OverlayPart)> = pool.run_map(states, |func| {
+        let mut overlay = ExprArena::with_base(Arc::clone(&empty));
+        let mut map = ImportMap::default();
+        let func = func
+            .iter()
+            .map(|s| import_ptr_state(&mut overlay, solver_arena, s, &|s| s, &mut map))
+            .collect();
+        (func, overlay.into_overlay_part())
+    });
+    let mut arena = ExprArena::new();
+    let out = imported
+        .into_iter()
+        .map(|(mut func, overlay)| {
+            let xl = arena.adopt(overlay);
+            for s in &mut func {
+                remap_state(s, &xl);
+            }
+            Arc::new(func)
         })
         .collect();
     arena.absorb_op_stats(solver_arena);
@@ -650,9 +712,16 @@ pub(crate) struct GrSolver<'a> {
     pub(crate) ret_states: Vec<PtrState>,
     /// Ascending sweeps the fixpoint took (max over components).
     pub(crate) sweeps: u32,
+    /// The pool wave levels dispatch onto (a width-1 pool runs every
+    /// sweep inline, the serial reference schedule).
+    pub(crate) pool: &'a pool::WorkerPool,
 }
 
 impl<'a> GrSolver<'a> {
+    // The solver borrows each pre-built piece individually on purpose:
+    // callers assemble them at different times (driver vs session) and
+    // a params struct would just move the argument list one hop away.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         m: &'a Module,
         ranges: &'a RangeAnalysis,
@@ -661,6 +730,7 @@ impl<'a> GrSolver<'a> {
         callers: &'a [Vec<CallSite>],
         cfgs: &'a [Cfg],
         cond: Condensation,
+        pool: &'a pool::WorkerPool,
     ) -> Self {
         let nf = m.num_functions();
         let states = m
@@ -687,6 +757,7 @@ impl<'a> GrSolver<'a> {
             states,
             ret_states: vec![PtrState::bottom(); nf],
             sweeps: 0,
+            pool,
         }
     }
 
@@ -850,12 +921,14 @@ impl<'a> GrSolver<'a> {
             arena,
             states,
             ret_states,
+            pool,
             ..
         } = self;
         let ctx: &SweepCtx = ctx;
         let cond: &Condensation = cond;
         let config: GrConfig = *config;
-        let waves = matches!(config.schedule, GrSchedule::Waves) && config.threads > 1;
+        let pool: &pool::WorkerPool = pool;
+        let waves = matches!(config.schedule, GrSchedule::Waves) && pool.threads() > 1;
         let mut changed = false;
         let mut order: Vec<&Vec<u32>> = levels.iter().collect();
         if !up {
@@ -900,7 +973,7 @@ impl<'a> GrSolver<'a> {
                 let global_states: &[Vec<PtrState>] = states.as_slice();
                 let global_rets: &[PtrState] = ret_states.as_slice();
                 let frozen = &frozen;
-                pool::run_map(items, config.threads, |(scc, local_states, local_rets)| {
+                pool.run_map(items, |(scc, local_states, local_rets)| {
                     let mut task_arena = ExprArena::with_base(Arc::clone(frozen));
                     let mut store = SccStore {
                         members: cond.members(scc),

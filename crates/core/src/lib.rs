@@ -59,11 +59,12 @@ pub mod session;
 mod state;
 
 pub use config::{AnalysisConfig, AnalysisConfigBuilder};
-pub use driver::{analyze_parallel, BatchAnalysis, DriverConfig};
+pub use driver::{analyze_parallel, analyze_parallel_on, BatchAnalysis, DriverConfig, PhaseStats};
 pub use gr::{GrAnalysis, GrConfig, GrSchedule};
 pub use locs::{AllocSite, LocId, LocKind, LocTable};
 pub use lr::{LocalBase, LrAnalysis, LrPart, LrState, LrStateRef};
 pub use persist::PersistError;
+pub use pool::WorkerPool;
 pub use query::{
     global_no_alias, global_no_alias_kind, pointer_values, AliasAnalysis, AliasMatrix, AliasResult,
     DemandCache, DemandStats, MatrixBytes, QueryMode, QueryStats, RbaaAnalysis, WhichTest,

@@ -32,7 +32,10 @@
 use sra_ir::cfg::Cfg;
 use sra_ir::dom::DomTree;
 use sra_ir::{BinOp, FuncId, GlobalId, Inst, Module, Ty, ValueId, ValueKind};
-use sra_symbolic::{ExprArena, ExprId, ImportMap, RangeId, Symbol, SymbolNames, SymbolTable};
+use sra_symbolic::pool::WorkerPool;
+use sra_symbolic::{
+    ExprArena, ExprId, ImportMap, OverlayPart, RangeId, Symbol, SymbolNames, SymbolTable,
+};
 
 use std::fmt;
 use std::sync::Arc;
@@ -337,6 +340,63 @@ impl LrAnalysis {
                 })
                 .collect();
             arena.absorb_op_stats(&part.arena);
+            states.push(func_states);
+        }
+        LrAnalysis {
+            states,
+            symbols,
+            arena: Arc::new(arena),
+        }
+    }
+
+    /// [`LrAnalysis::from_parts`] with the per-part imports fanned out
+    /// on `pool` — same fixed-order overlay merge as
+    /// [`sra_range::RangeAnalysis::from_parts_on`], and byte-identical
+    /// to the serial walk for the same reason. A width-1 pool takes the
+    /// serial path directly.
+    pub fn from_parts_on(parts: Vec<LrPart>, pool: &WorkerPool) -> Self {
+        if pool.threads() == 1 || parts.len() <= 1 {
+            return Self::from_parts(parts);
+        }
+        let mut symbols = SymbolTable::new();
+        for part in &parts {
+            assert_eq!(
+                part.first_symbol as usize,
+                symbols.len(),
+                "LR parts assembled out of order or with wrong bases"
+            );
+            for name in &part.symbol_names {
+                symbols.fresh(name);
+            }
+        }
+        let empty = Arc::new(ExprArena::new());
+        let imported: Vec<(Vec<Option<LrState>>, OverlayPart)> =
+            pool.run_indexed(parts.len(), |i| {
+                let part = &parts[i];
+                let mut overlay = ExprArena::with_base(Arc::clone(&empty));
+                let mut map = ImportMap::default();
+                let func_states = part
+                    .states
+                    .iter()
+                    .map(|slot| {
+                        slot.as_ref().map(|s| LrState {
+                            base: s.base,
+                            range: overlay.import_range(&part.arena, s.range, &|s| s, &mut map),
+                            sigmas: s.sigmas.clone(),
+                            block: s.block,
+                        })
+                    })
+                    .collect();
+                (func_states, overlay.into_overlay_part())
+            });
+        let mut arena = ExprArena::new();
+        let mut states = Vec::with_capacity(parts.len());
+        for ((mut func_states, overlay), part) in imported.into_iter().zip(&parts) {
+            let xl = arena.adopt(overlay);
+            arena.absorb_op_stats(&part.arena);
+            for slot in func_states.iter_mut().flatten() {
+                slot.range = xl.range(slot.range);
+            }
             states.push(func_states);
         }
         LrAnalysis {

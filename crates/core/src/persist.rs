@@ -34,6 +34,12 @@
 //! index are pure caches: they are rebuilt (or regrown lazily) after a
 //! load and never serialized, keeping snapshots small and verdicts
 //! unchanged.
+//!
+//! Format version 2 length-frames every per-function item inside the
+//! part, GR-state and matrix sections (`Enc::nested`), so a loader
+//! can split a section into independent byte slices up front and
+//! decode the items on its worker pool — the framing is what makes the
+//! parallel warm-start load possible. Saves stay byte-deterministic.
 
 use std::fmt;
 use std::hash::Hasher;
@@ -48,7 +54,9 @@ pub const MAGIC: [u8; 8] = *b"SRA1SNAP";
 pub const SERVICE_MAGIC: [u8; 8] = *b"SRA1SERV";
 /// Bumped on any incompatible change to the layout. Loaders reject
 /// other versions with [`PersistError::UnsupportedVersion`].
-pub const FORMAT_VERSION: u32 = 1;
+/// Version 2 added per-item length framing to the part, GR-state and
+/// matrix sections so loads can decode them in parallel.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Section tags, in stream order.
 pub(crate) mod tag {
@@ -198,6 +206,15 @@ impl Enc {
 
     pub fn str(&mut self, v: &str) {
         self.bytes(v.as_bytes());
+    }
+
+    /// Encodes a sub-payload with a leading byte length
+    /// (readable back with [`Dec::bytes`]) — the framing that lets a
+    /// loader split a section into independently decodable slices.
+    pub fn nested(&mut self, f: impl FnOnce(&mut Enc)) {
+        let mut sub = Enc::new();
+        f(&mut sub);
+        self.bytes(&sub.buf);
     }
 
     pub fn opt_u32(&mut self, v: Option<u32>) {

@@ -1,207 +1,6 @@
-//! A hand-rolled scoped thread pool for the batch driver.
-//!
-//! The workspace is dependency-free (no rayon), so fan-out is built on
-//! `std::thread::scope`: jobs are indices `0..n`, workers claim them
-//! from a shared atomic counter, and results are reassembled in index
-//! order — the output is a plain `Vec<T>` whose contents are
-//! independent of thread scheduling.
+//! The pipeline's thread pool — re-exported from
+//! [`sra_symbolic::pool`], where it lives so the range crate's
+//! parallel arena assembly can share it. See that module for the
+//! [`WorkerPool`] dispatch protocol and the one-shot shims.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// A reasonable worker count for this machine: the available
-/// parallelism, capped so tiny machines and CI runners stay responsive.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .clamp(1, 16)
-}
-
-/// Runs `f(0), f(1), …, f(n-1)` across `threads` workers and returns
-/// the results in index order.
-///
-/// Work is claimed dynamically (an atomic next-index counter), so
-/// uneven job sizes balance automatically. With `threads <= 1` (or a
-/// single job) everything runs inline on the caller thread — the
-/// deterministic reference path the equivalence tests compare against.
-pub fn run_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = threads.clamp(1, n);
-    if threads == 1 {
-        return (0..n).map(f).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let mut collected: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, f(i)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("pool worker panicked"))
-            .collect()
-    });
-
-    // Reassemble in index order.
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    for batch in collected.drain(..) {
-        for (i, v) in batch {
-            debug_assert!(slots[i].is_none(), "job {i} ran twice");
-            slots[i] = Some(v);
-        }
-    }
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, v)| v.unwrap_or_else(|| panic!("job {i} never ran")))
-        .collect()
-}
-
-/// Like [`run_indexed`], but each job consumes an owned input item:
-/// `f(items[0]), f(items[1]), …`, results in item order.
-///
-/// Owned inputs let jobs *move* heavyweight state (the GR wave
-/// scheduler hands each SCC its state vectors without cloning). Items
-/// are parked in per-slot mutexes so workers can take them across the
-/// scope boundary; the lock is uncontended — every slot is taken
-/// exactly once.
-pub fn run_map<I, T, F>(items: Vec<I>, threads: usize, f: F) -> Vec<T>
-where
-    I: Send,
-    T: Send,
-    F: Fn(I) -> T + Sync,
-{
-    if threads <= 1 || items.len() <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
-    run_indexed(slots.len(), threads, |i| {
-        let item = slots[i]
-            .lock()
-            .expect("pool item lock")
-            .take()
-            .expect("pool item taken once");
-        f(item)
-    })
-}
-
-/// Splits `0..total` into at most `pieces` contiguous, non-empty
-/// `(start, end)` ranges of near-equal length, in order.
-///
-/// The matrix build tiles its signature triangle with this: the tile
-/// list is deterministic (it depends only on `total` and `pieces`), so
-/// concatenating per-tile results reproduces the serial sweep exactly.
-pub fn chunk_bounds(total: usize, pieces: usize) -> Vec<(usize, usize)> {
-    if total == 0 {
-        return Vec::new();
-    }
-    let pieces = pieces.clamp(1, total);
-    let base = total / pieces;
-    let extra = total % pieces;
-    let mut out = Vec::with_capacity(pieces);
-    let mut start = 0;
-    for k in 0..pieces {
-        let len = base + usize::from(k < extra);
-        out.push((start, start + len));
-        start += len;
-    }
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn results_in_index_order() {
-        for threads in [1, 2, 4, 7] {
-            let out = run_indexed(23, threads, |i| i * i);
-            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
-        }
-    }
-
-    #[test]
-    fn empty_and_single() {
-        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
-        assert_eq!(run_indexed(1, 4, |i| i + 1), vec![1]);
-    }
-
-    #[test]
-    fn uneven_jobs_balance() {
-        // Jobs of very different sizes still all complete and land in
-        // order.
-        let out = run_indexed(16, 4, |i| {
-            let mut acc = 0u64;
-            for k in 0..(i as u64 * 10_000) {
-                acc = acc.wrapping_add(k);
-            }
-            (i, acc)
-        });
-        for (i, (j, _)) in out.iter().enumerate() {
-            assert_eq!(i, *j);
-        }
-    }
-
-    #[test]
-    fn run_map_moves_items_in_order() {
-        for threads in [1, 2, 4] {
-            let items: Vec<String> = (0..17).map(|i| format!("job{i}")).collect();
-            let out = run_map(items, threads, |s| s + "!");
-            assert_eq!(out.len(), 17);
-            for (i, s) in out.iter().enumerate() {
-                assert_eq!(s, &format!("job{i}!"));
-            }
-        }
-        assert_eq!(run_map(Vec::<u8>::new(), 4, |x| x), Vec::<u8>::new());
-    }
-
-    #[test]
-    fn default_threads_sane() {
-        let t = default_threads();
-        assert!((1..=16).contains(&t));
-    }
-
-    #[test]
-    fn chunk_bounds_cover_exactly_once() {
-        for total in [0usize, 1, 2, 7, 16, 100, 101] {
-            for pieces in [1usize, 2, 3, 8, 200] {
-                let bounds = chunk_bounds(total, pieces);
-                if total == 0 {
-                    assert!(bounds.is_empty());
-                    continue;
-                }
-                assert!(bounds.len() <= pieces.max(1));
-                let mut at = 0;
-                for &(lo, hi) in &bounds {
-                    assert_eq!(lo, at, "contiguous");
-                    assert!(hi > lo, "non-empty");
-                    at = hi;
-                }
-                assert_eq!(at, total, "covers 0..total");
-                // Near-equal: lengths differ by at most one.
-                let lens: Vec<usize> = bounds.iter().map(|&(lo, hi)| hi - lo).collect();
-                let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
-                assert!(max - min <= 1, "balanced: {lens:?}");
-            }
-        }
-    }
-}
+pub use sra_symbolic::pool::{chunk_bounds, default_threads, run_indexed, run_map, WorkerPool};

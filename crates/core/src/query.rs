@@ -110,8 +110,9 @@ impl RbaaAnalysis {
     }
 
     /// Assembles a result from already-computed pieces (the batch
-    /// driver runs the per-function pieces on worker threads).
-    pub(crate) fn from_pieces(ranges: RangeAnalysis, gr: GrAnalysis, lr: LrAnalysis) -> Self {
+    /// driver runs the per-function pieces on worker threads; external
+    /// harnesses use it to time alternative pipeline schedules).
+    pub fn from_pieces(ranges: RangeAnalysis, gr: GrAnalysis, lr: LrAnalysis) -> Self {
         RbaaAnalysis { ranges, gr, lr }
     }
 
@@ -348,6 +349,13 @@ const CELL_DISTINCT: u8 = 1;
 const CELL_GLOBAL: u8 = 2;
 const CELL_LOCAL: u8 = 3;
 
+/// Functions per scratch-overlay window in
+/// [`AliasMatrix::build_all_on`]: the memo tables are rebuilt from
+/// empty after this many functions so they stay cache-sized on
+/// module-scale sweeps while still amortising disjointness proofs
+/// across the (heavily state-sharing) functions inside one window.
+const SCRATCH_WINDOW: usize = 1024;
+
 fn decode_cell(cell: u8) -> (AliasResult, Option<WhichTest>) {
     match cell {
         CELL_DISTINCT => (AliasResult::NoAlias, Some(WhichTest::DistinctLocs)),
@@ -454,6 +462,19 @@ impl AliasMatrix {
         Self::build_for_with(rbaa, f, pointer_values(m, f), threads)
     }
 
+    /// Like [`AliasMatrix::build_with`], but the tiles ride an existing
+    /// [`pool::WorkerPool`] instead of a one-shot pool — the form the
+    /// session/driver pipelines use so matrix tiling reuses the same
+    /// long-lived workers as every other phase.
+    pub fn build_with_on(
+        rbaa: &RbaaAnalysis,
+        m: &Module,
+        f: FuncId,
+        pool: &pool::WorkerPool,
+    ) -> Self {
+        Self::build_for_on(rbaa, f, pointer_values(m, f), pool)
+    }
+
     /// Builds the matrix over an explicit pointer universe (must be
     /// duplicate-free), serially.
     ///
@@ -470,24 +491,94 @@ impl AliasMatrix {
     }
 
     /// [`AliasMatrix::build_for`] with a worker budget for the
-    /// signature triangle.
+    /// signature triangle (a one-shot pool of exactly `threads`
+    /// workers, matching the historical semantics).
     pub fn build_for_with(
         rbaa: &RbaaAnalysis,
         f: FuncId,
         ptrs: Vec<ValueId>,
         threads: usize,
     ) -> Self {
-        let locs = rbaa.gr().locs();
-        let kinds: Vec<LocKind> = (0..locs.len())
-            .map(|i| locs.site(LocId::new(i)).kind)
-            .collect();
+        Self::build_for_on(rbaa, f, ptrs, &pool::WorkerPool::forced(threads))
+    }
 
-        // Collapse equal states to one signature class (the states'
-        // ranges are already interned ids — signatures are id tuples).
+    /// Builds every function's matrix on `pool`, functions chunked
+    /// across the workers, with each chunk reusing **one** pair of
+    /// scratch overlay arenas (and one per-module location-kind table)
+    /// across all of its functions. Every state lives in the same
+    /// canonical module arenas, so disjointness proofs memoised while
+    /// building one function's matrix are hits for every later
+    /// function of the chunk — on module-scale builds most of the
+    /// comparison work disappears, where the per-function entry points
+    /// re-prove it from a cold overlay each time. Verdicts depend only
+    /// on the interned states, never on which overlay memoised them,
+    /// so the result is cell-for-cell identical to per-function builds
+    /// (pinned by `build_all_matches_per_function_builds` and the
+    /// equivalence rails).
+    pub fn build_all_on(rbaa: &RbaaAnalysis, m: &Module, pool: &pool::WorkerPool) -> Vec<Self> {
+        let nf = m.num_functions();
+        let kinds = Self::loc_kinds(rbaa);
+        let width = pool.threads();
+        let chunks = pool::chunk_bounds(nf, if width <= 1 { 1 } else { width * 4 });
+        let parts: Vec<Vec<AliasMatrix>> = pool.run_map(chunks, |(lo, hi)| {
+            let mut gr_arena = ExprArena::with_base(rbaa.gr().arena_arc());
+            let mut lr_arena = ExprArena::with_base(rbaa.lr().arena_arc());
+            let mut since_flush = 0usize;
+            (lo..hi)
+                .map(|i| {
+                    // Unbounded memo accumulation over a 10⁴-function
+                    // sweep grows the overlay tables past every cache
+                    // level and the lookups start paying DRAM misses;
+                    // a fixed per-chunk window keeps them hot while
+                    // still amortising proofs across nearby functions
+                    // (which share most of their states). The flush
+                    // points are deterministic, and memoisation can't
+                    // change verdicts either way.
+                    if since_flush == SCRATCH_WINDOW {
+                        gr_arena = ExprArena::with_base(rbaa.gr().arena_arc());
+                        lr_arena = ExprArena::with_base(rbaa.lr().arena_arc());
+                        since_flush = 0;
+                    }
+                    since_flush += 1;
+                    let f = FuncId::new(i);
+                    Self::build_for_scratch(
+                        rbaa,
+                        f,
+                        pointer_values(m, f),
+                        &kinds,
+                        &mut gr_arena,
+                        &mut lr_arena,
+                    )
+                })
+                .collect()
+        });
+        parts.into_iter().flatten().collect()
+    }
+
+    /// The per-module location-kind table the global test indexes —
+    /// derived from the `LocTable` once per build (or once per
+    /// [`AliasMatrix::build_all_on`] chunk, not once per function).
+    fn loc_kinds(rbaa: &RbaaAnalysis) -> Vec<LocKind> {
+        let locs = rbaa.gr().locs();
+        (0..locs.len())
+            .map(|i| locs.site(LocId::new(i)).kind)
+            .collect()
+    }
+
+    /// Collapses the pointers' interned states into dense signature
+    /// classes: the class id of each pointer, plus the class table in
+    /// id order (a function with `P` pointers typically has far fewer
+    /// distinct `(GR, LR)` states, and for `p ≠ q` the verdict depends
+    /// only on the states).
+    fn signatures(
+        rbaa: &RbaaAnalysis,
+        f: FuncId,
+        ptrs: &[ValueId],
+    ) -> (Vec<usize>, Vec<(IGr, Option<ILr>)>) {
         let mut sigma_ids: FxHashMap<&[ValueId], u32> = FxHashMap::default();
         let mut sig_ids: FxHashMap<(IGr, Option<ILr>), u32> = FxHashMap::default();
         let mut sigs: Vec<usize> = Vec::with_capacity(ptrs.len());
-        for &p in &ptrs {
+        for &p in ptrs {
             let st = rbaa.gr().raw_state(f, p);
             let igr = if st.is_bottom() {
                 IGr::Bottom
@@ -509,25 +600,69 @@ impl AliasMatrix {
             let next = sig_ids.len() as u32;
             sigs.push(*sig_ids.entry((igr, ilr)).or_insert(next) as usize);
         }
-        let mut by_id: Vec<Option<(&IGr, &Option<ILr>)>> = vec![None; sig_ids.len()];
-        for (k, &id) in &sig_ids {
-            by_id[id as usize] = Some((&k.0, &k.1));
+        let mut by_id: Vec<Option<(IGr, Option<ILr>)>> = vec![None; sig_ids.len()];
+        for (k, id) in sig_ids {
+            by_id[id as usize] = Some(k);
         }
+        let by_id = by_id
+            .into_iter()
+            .map(|k| k.expect("dense signature ids"))
+            .collect();
+        (sigs, by_id)
+    }
+
+    /// Serial build against caller-owned scratch overlays — the
+    /// [`AliasMatrix::build_all_on`] worker body. `gr_arena`/`lr_arena`
+    /// must be overlays over this analysis' GR/LR module arenas.
+    fn build_for_scratch(
+        rbaa: &RbaaAnalysis,
+        f: FuncId,
+        ptrs: Vec<ValueId>,
+        kinds: &[LocKind],
+        gr_arena: &mut ExprArena,
+        lr_arena: &mut ExprArena,
+    ) -> Self {
+        let (sigs, by_id) = Self::signatures(rbaa, f, &ptrs);
+        let s = by_id.len();
+        let mut sig_cells = Vec::with_capacity(s * (s + 1) / 2);
+        for a in 0..s {
+            for b in a..s {
+                let (ga, la) = &by_id[a];
+                let (gb, lb) = &by_id[b];
+                sig_cells.push(Self::verdict(gr_arena, lr_arena, kinds, ga, gb, la, lb));
+            }
+        }
+        Self::pack(ptrs, &sigs, &sig_cells, s)
+    }
+
+    /// [`AliasMatrix::build_for`] with the signature triangle tiled
+    /// onto `pool`.
+    pub fn build_for_on(
+        rbaa: &RbaaAnalysis,
+        f: FuncId,
+        ptrs: Vec<ValueId>,
+        pool: &pool::WorkerPool,
+    ) -> Self {
+        let kinds = Self::loc_kinds(rbaa);
+
+        // Collapse equal states to one signature class (the states'
+        // ranges are already interned ids — signatures are id tuples).
+        let (sigs, by_id) = Self::signatures(rbaa, f, &ptrs);
 
         // One verdict per unordered signature pair (including the
         // "same signature, different pointer" diagonal).
         // Row `a` of the upper triangle (b ≥ a) starts after the
         // `a*s - a*(a-1)/2` entries of the rows above it.
-        let s = sig_ids.len();
+        let s = by_id.len();
         let row_start = |a: usize| a * s - a * a.saturating_sub(1) / 2;
-        let tri = |a: usize, b: usize| row_start(a) + b - a;
         // Tile the flat triangle index space onto the pool: tiles are a
         // deterministic split, each worker proves its tile against its
         // own overlay arena, and concatenation restores serial order —
         // so the parallel build is byte-identical to `threads == 1`.
         let total = s * (s + 1) / 2;
-        let tiles = pool::chunk_bounds(total, if threads <= 1 { 1 } else { threads * 4 });
-        let parts: Vec<Vec<u8>> = pool::run_map(tiles, threads, |(lo, hi)| {
+        let width = pool.threads();
+        let tiles = pool::chunk_bounds(total, if width <= 1 { 1 } else { width * 4 });
+        let parts: Vec<Vec<u8>> = pool.run_map(tiles, |(lo, hi)| {
             let mut gr_arena = ExprArena::with_base(rbaa.gr().arena_arc());
             let mut lr_arena = ExprArena::with_base(rbaa.lr().arena_arc());
             // Recover the (row, column) of the tile's first flat index:
@@ -547,8 +682,8 @@ impl AliasMatrix {
             let mut b = a + (lo - row_start(a));
             let mut out = Vec::with_capacity(hi - lo);
             for _ in lo..hi {
-                let (ga, la) = by_id[a].expect("dense signature ids");
-                let (gb, lb) = by_id[b].expect("dense signature ids");
+                let (ga, la) = &by_id[a];
+                let (gb, lb) = &by_id[b];
                 out.push(Self::verdict(
                     &mut gr_arena,
                     &mut lr_arena,
@@ -570,13 +705,18 @@ impl AliasMatrix {
         for part in parts {
             sig_cells.extend(part);
         }
+        Self::pack(ptrs, &sigs, &sig_cells, s)
+    }
+
+    /// Fills the pointer-pair triangle (2-bit cells, four pairs per
+    /// byte) and the per-function statistics from the signature-pair
+    /// verdict table, then assembles the matrix.
+    fn pack(ptrs: Vec<ValueId>, sigs: &[usize], sig_cells: &[u8], s: usize) -> Self {
+        let row_start = |a: usize| a * s - a * a.saturating_sub(1) / 2;
         let sig_cell = |a: usize, b: usize| {
             let (a, b) = if a <= b { (a, b) } else { (b, a) };
-            sig_cells[tri(a, b)]
+            sig_cells[row_start(a) + b - a]
         };
-
-        // Fill the pointer-pair triangle from the signature table:
-        // 2-bit cells, four pairs per byte.
         let n = ptrs.len();
         let npairs = n * n.saturating_sub(1) / 2;
         let mut cells = vec![0u8; npairs.div_ceil(4)];
@@ -1581,6 +1721,45 @@ mod tests {
                 for &q in &ptrs {
                     assert_eq!(serial.lookup(p, q), tiled.lookup(p, q));
                 }
+            }
+        }
+    }
+
+    /// The module-sweep build (shared scratch overlays reused across
+    /// every function of a chunk) must be cell-for-cell identical to
+    /// per-function builds — memoisation carried across functions can
+    /// never change a verdict, at any pool width.
+    #[test]
+    fn build_all_matches_per_function_builds() {
+        let mut m = Module::new();
+        let mut fids = Vec::new();
+        for i in 0..5 {
+            let mut b = FunctionBuilder::new(&format!("f{i}"), &[Ty::Int], None);
+            let n = b.param(0);
+            let p = b.malloc(n);
+            let q = b.malloc(n);
+            for off in 0..4 {
+                let c = b.const_int(off + i);
+                let base = if off % 2 == 0 { p } else { q };
+                let _ = b.ptr_add(base, c);
+            }
+            b.ret(None);
+            fids.push(m.add_function(b.finish()));
+        }
+        sra_ir::verify::verify_module(&m).expect("verifies");
+        let rbaa = RbaaAnalysis::analyze(&m);
+        let reference: Vec<AliasMatrix> = fids
+            .iter()
+            .map(|&f| AliasMatrix::build(&rbaa, &m, f))
+            .collect();
+        for threads in [1, 2, 4] {
+            let pool = pool::WorkerPool::forced(threads);
+            let swept = AliasMatrix::build_all_on(&rbaa, &m, &pool);
+            assert_eq!(swept.len(), reference.len(), "t{threads}");
+            for (serial, sweep) in reference.iter().zip(&swept) {
+                assert_eq!(serial.stats(), sweep.stats(), "t{threads}");
+                assert_eq!(serial.cells, sweep.cells, "t{threads}");
+                assert_eq!(serial.ptrs, sweep.ptrs, "t{threads}");
             }
         }
     }

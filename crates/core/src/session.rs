@@ -87,7 +87,7 @@ use sra_range::{RangeAnalysis, RangePart};
 use sra_symbolic::{ExprArena, ImportMap, Symbol, TryImportMap};
 
 use crate::config::AnalysisConfig;
-use crate::driver::DriverConfig;
+use crate::driver::{ns_since, DriverConfig, PhaseStats};
 use crate::gr::{self, GrAnalysis, GrConfig, GrSolver};
 use crate::locs::{LocId, LocTable};
 use crate::lr::{self, LrAnalysis, LrPart};
@@ -235,6 +235,12 @@ pub struct AnalysisSession {
     /// The lazily started demand cache ([`QueryMode::Demand`] only);
     /// dropped on every rebuild — it indexes the superseded analysis.
     demand: Mutex<Option<DemandCache>>,
+    /// The session's persistent worker pool — spawned once at
+    /// construction (or load) and reused by every rebuild for part
+    /// recomputation, arena assembly, GR wave levels and matrix tiles.
+    pool: pool::WorkerPool,
+    /// Wall-clock attribution of the most recent rebuild (or load).
+    phases: PhaseStats,
     stats: SessionStats,
 }
 
@@ -253,6 +259,10 @@ impl Clone for AnalysisSession {
             // The demand cache is pure memoisation — the fork regrows
             // its own on first query.
             demand: Mutex::new(None),
+            // Worker pools are not shareable state — the fork spawns
+            // its own so both sessions can rebuild concurrently.
+            pool: pool::WorkerPool::new(self.config.threads),
+            phases: self.phases,
             stats: self.stats,
         }
     }
@@ -417,6 +427,8 @@ impl AnalysisSession {
             rbaa,
             matrices: Vec::new(),
             demand: Mutex::new(None),
+            pool: pool::WorkerPool::new(config.threads),
+            phases: PhaseStats::default(),
             stats: SessionStats::default(),
         };
         let all: Vec<usize> = (0..nf).collect();
@@ -494,6 +506,13 @@ impl AnalysisSession {
     /// Reuse/recompute counters accumulated over all updates.
     pub fn stats(&self) -> &SessionStats {
         &self.stats
+    }
+
+    /// Wall-clock attribution of the most recent rebuild (or, right
+    /// after [`AnalysisSession::load`], of the snapshot decode — its
+    /// `load_ns` field). Overwritten by every update.
+    pub fn phases(&self) -> &PhaseStats {
+        &self.phases
     }
 
     /// Freezes the current state into an immutable, thread-shareable
@@ -945,11 +964,12 @@ impl AnalysisSession {
         let old_locs = self.rbaa.gr().locs();
 
         // -- 1. Function parts: recompute edited, rebase the rest. ----
+        let t_parts = std::time::Instant::now();
         let m = &self.module;
         let config = self.config;
         let recomputed: Vec<(usize, RangePart, LrPart)> = {
             let todo: Vec<usize> = (0..nf).filter(|&i| is_edited(i)).collect();
-            let parts = pool::run_indexed(todo.len(), config.threads, |k| {
+            let parts = self.pool.run_indexed(todo.len(), |k| {
                 let i = todo[k];
                 let fid = FuncId::new(i);
                 (
@@ -993,10 +1013,14 @@ impl AnalysisSession {
                 }
             }
         }
-        let ranges = RangeAnalysis::from_parts(self.range_parts.clone());
-        let lr = LrAnalysis::from_parts(self.lr_parts.clone());
+        let parts_ns = ns_since(t_parts);
+        let t_assemble = std::time::Instant::now();
+        let ranges = RangeAnalysis::from_parts_on(self.range_parts.clone(), &self.pool);
+        let lr = LrAnalysis::from_parts_on(self.lr_parts.clone(), &self.pool);
+        let assemble_ns = ns_since(t_assemble);
 
         // -- 2. The old→new renaming maps for cached GR states. -------
+        let t_gr = std::time::Instant::now();
         let locs = LocTable::build(m);
         let new_range_spans: Vec<(u32, u32)> = self
             .range_parts
@@ -1063,7 +1087,9 @@ impl AnalysisSession {
             threads: config.threads,
             ..config.gr
         };
-        let mut solver = GrSolver::new(m, &ranges, &locs, gr_config, &callers, &self.cfgs, cond);
+        let mut solver = GrSolver::new(
+            m, &ranges, &locs, gr_config, &callers, &self.cfgs, cond, &self.pool,
+        );
 
         // Pair each new component with a clean cache when membership
         // matches exactly and no member was edited.
@@ -1213,6 +1239,9 @@ impl AnalysisSession {
             }
         }
 
+        let gr_ns = ns_since(t_gr);
+        let t_matrices = std::time::Instant::now();
+
         // -- 4. Matrix invalidation: a clean-component function keeps --
         // its matrix outright (verdicts are invariant under the
         // monotone renamings); a dirty-component one keeps it iff its
@@ -1276,6 +1305,12 @@ impl AnalysisSession {
         self.rbaa = RbaaAnalysis::from_pieces(ranges, gr, lr);
         // Any grown demand cache indexes the superseded analysis.
         *self.demand.lock().expect("demand cache lock") = None;
+        self.phases = PhaseStats {
+            parts_ns,
+            assemble_ns,
+            gr_ns,
+            ..PhaseStats::default()
+        };
         if self.config.query_mode == QueryMode::Demand {
             // No matrices in demand mode — queries regrow the cache.
             return;
@@ -1283,16 +1318,28 @@ impl AnalysisSession {
         let rbaa = &self.rbaa;
         let m = &self.module;
         // One invalidated matrix gets the whole worker budget for its
-        // signature triangle; several share it function-wise (tiling
-        // inside each would oversubscribe the pool).
-        let inner = if rebuild.len() == 1 {
-            config.threads
+        // signature triangle (`run_indexed` of one job runs inline, so
+        // the pool is free for the tiles); several share the pool
+        // function-wise (tiling inside each would oversubscribe it).
+        // A full rebuild — construction, or a whole-module edit — runs
+        // the module sweep, whose chunks reuse scratch overlays (and
+        // their accumulated comparison memos) across functions.
+        let single = rebuild.len() == 1;
+        let pool = &self.pool;
+        let sweep =
+            rebuild.len() == m.num_functions() && rebuild.iter().enumerate().all(|(k, &i)| k == i);
+        let fresh = if sweep {
+            AliasMatrix::build_all_on(rbaa, m, pool)
         } else {
-            1
+            pool.run_indexed(rebuild.len(), |k| {
+                let fid = FuncId::new(rebuild[k]);
+                if single {
+                    AliasMatrix::build_with_on(rbaa, m, fid, pool)
+                } else {
+                    AliasMatrix::build(rbaa, m, fid)
+                }
+            })
         };
-        let fresh = pool::run_indexed(rebuild.len(), config.threads, |k| {
-            AliasMatrix::build_with(rbaa, m, FuncId::new(rebuild[k]), inner)
-        });
         self.stats.matrices_rebuilt += rebuild.len();
         let mut slots: Vec<Option<std::sync::Arc<AliasMatrix>>> =
             std::mem::take(&mut self.matrices)
@@ -1307,6 +1354,7 @@ impl AnalysisSession {
             .into_iter()
             .map(|s| s.expect("every function has a matrix"))
             .collect();
+        self.phases.matrices_ns = ns_since(t_matrices);
     }
 }
 
@@ -1333,17 +1381,20 @@ impl AnalysisSession {
         persist::encode_module(&mut enc, &self.module, &self.callgraph);
         enc.finish_section(w, persist::tag::MODULE)?;
 
+        // Per-function items are length-framed (format v2) so the
+        // loader can split each section into independent slices and
+        // decode them on its worker pool.
         let mut enc = persist::Enc::new();
         enc.usize(self.range_parts.len());
         for p in &self.range_parts {
-            persist::encode_range_part(&mut enc, p);
+            enc.nested(|e| persist::encode_range_part(e, p));
         }
         enc.finish_section(w, persist::tag::RANGE_PARTS)?;
 
         let mut enc = persist::Enc::new();
         enc.usize(self.lr_parts.len());
         for p in &self.lr_parts {
-            persist::encode_lr_part(&mut enc, p);
+            enc.nested(|e| persist::encode_lr_part(e, p));
         }
         enc.finish_section(w, persist::tag::LR_PARTS)?;
 
@@ -1354,10 +1405,12 @@ impl AnalysisSession {
         enc.usize(self.module.num_functions());
         for f in self.module.func_ids() {
             let states = gr.function_states(f);
-            enc.usize(states.len());
-            for st in states.iter() {
-                persist::encode_ptr_state(&mut enc, st);
-            }
+            enc.nested(|e| {
+                e.usize(states.len());
+                for st in states.iter() {
+                    persist::encode_ptr_state(e, st);
+                }
+            });
         }
         enc.finish_section(w, persist::tag::GR)?;
 
@@ -1377,7 +1430,7 @@ impl AnalysisSession {
         let mut enc = persist::Enc::new();
         enc.usize(self.matrices.len());
         for mx in &self.matrices {
-            mx.encode(&mut enc);
+            enc.nested(|e| mx.encode(e));
         }
         enc.finish_section(w, persist::tag::MATRICES)?;
 
@@ -1426,18 +1479,37 @@ impl AnalysisSession {
     /// state against a scratch re-analysis of the module
     /// ([`PersistError::VerifyFailed`] on any mismatch).
     pub fn load<R: std::io::Read>(r: &mut R) -> Result<Self, PersistError> {
+        let t_load = std::time::Instant::now();
         persist::read_header(r, &persist::MAGIC)?;
 
         let buf = persist::expect_section(r, persist::tag::CONFIG)?;
         let mut dec = persist::Dec::new(&buf);
         let config = persist::decode_config(&mut dec)?;
         dec.finish()?;
+        // The session's long-lived pool, spawned as soon as the width
+        // is known: the per-function part, GR-state and matrix slices
+        // below decode on it, and it is moved into the session at the
+        // end.
+        let pool = pool::WorkerPool::new(config.threads);
 
         let buf = persist::expect_section(r, persist::tag::MODULE)?;
         let mut dec = persist::Dec::new(&buf);
         let (module, callgraph) = persist::decode_module(&mut dec)?;
         dec.finish()?;
         let nf = module.num_functions();
+
+        // Splits a section into its per-item slices (format v2 frames
+        // every item), so item decodes are independent pool jobs.
+        // Validation that chains across items (symbol-base accumulation)
+        // stays serial below; errors surface in index order.
+        fn slices<'a>(mut dec: persist::Dec<'a>, n: usize) -> Result<Vec<&'a [u8]>, PersistError> {
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(dec.bytes()?);
+            }
+            dec.finish()?;
+            Ok(out)
+        }
 
         let buf = persist::expect_section(r, persist::tag::RANGE_PARTS)?;
         let mut dec = persist::Dec::new(&buf);
@@ -1446,10 +1518,17 @@ impl AnalysisSession {
                 "range-part table does not match the module",
             ));
         }
+        let chunks = slices(dec, nf)?;
+        let decoded = pool.run_indexed(nf, |i| {
+            let mut d = persist::Dec::new(chunks[i]);
+            let p = persist::decode_range_part(&mut d)?;
+            d.finish()?;
+            Ok::<_, PersistError>(p)
+        });
         let mut range_parts = Vec::with_capacity(nf);
         let mut base = 0u32;
-        for i in 0..nf {
-            let p = persist::decode_range_part(&mut dec)?;
+        for (i, p) in decoded.into_iter().enumerate() {
+            let p = p?;
             if p.ranges.len() != module.function(FuncId::new(i)).num_values()
                 || p.first_symbol != base
             {
@@ -1458,30 +1537,35 @@ impl AnalysisSession {
             base += p.symbol_names.len() as u32;
             range_parts.push(p);
         }
-        dec.finish()?;
 
         let buf = persist::expect_section(r, persist::tag::LR_PARTS)?;
         let mut dec = persist::Dec::new(&buf);
         if dec.len(1)? != nf {
             return Err(persist::corrupt("LR-part table does not match the module"));
         }
-        let mut lr_parts = Vec::with_capacity(nf);
-        let mut base = 0u32;
-        for i in 0..nf {
+        let chunks = slices(dec, nf)?;
+        let decoded = pool.run_indexed(nf, |i| {
             let func = module.function(FuncId::new(i));
+            let mut d = persist::Dec::new(chunks[i]);
             let p = persist::decode_lr_part(
-                &mut dec,
+                &mut d,
                 func.num_values(),
                 func.num_blocks(),
                 module.num_globals(),
             )?;
+            d.finish()?;
+            Ok::<_, PersistError>(p)
+        });
+        let mut lr_parts = Vec::with_capacity(nf);
+        let mut base = 0u32;
+        for p in decoded {
+            let p = p?;
             if p.first_symbol != base {
                 return Err(persist::corrupt("LR part does not match its function"));
             }
             base += p.symbol_names.len() as u32;
             lr_parts.push(p);
         }
-        dec.finish()?;
 
         let buf = persist::expect_section(r, persist::tag::GR)?;
         let mut dec = persist::Dec::new(&buf);
@@ -1491,19 +1575,24 @@ impl AnalysisSession {
         if dec.len(8)? != nf {
             return Err(persist::corrupt("GR state table does not match the module"));
         }
-        let mut gr_states = Vec::with_capacity(nf);
-        for i in 0..nf {
+        let chunks = slices(dec, nf)?;
+        let decoded = pool.run_indexed(nf, |i| {
             let nv = module.function(FuncId::new(i)).num_values();
-            if dec.len(1)? != nv {
+            let mut d = persist::Dec::new(chunks[i]);
+            if d.len(1)? != nv {
                 return Err(persist::corrupt("GR states do not match their function"));
             }
             let mut states = Vec::with_capacity(nv);
             for _ in 0..nv {
-                states.push(persist::decode_ptr_state(&mut dec, locs.len(), &gr_arena)?);
+                states.push(persist::decode_ptr_state(&mut d, locs.len(), &gr_arena)?);
             }
-            gr_states.push(std::sync::Arc::new(states));
+            d.finish()?;
+            Ok(std::sync::Arc::new(states))
+        });
+        let mut gr_states = Vec::with_capacity(nf);
+        for states in decoded {
+            gr_states.push(states?);
         }
-        dec.finish()?;
         let gr = GrAnalysis::from_raw(
             locs,
             gr_states,
@@ -1549,15 +1638,21 @@ impl AnalysisSession {
                 "matrix table does not match the query mode",
             ));
         }
-        let mut matrices = Vec::with_capacity(n_matrices);
-        for i in 0..n_matrices {
+        let chunks = slices(dec, n_matrices)?;
+        let decoded = pool.run_indexed(n_matrices, |i| {
             let ptrs = crate::query::pointer_values(&module, FuncId::new(i));
-            matrices.push(std::sync::Arc::new(AliasMatrix::decode(&mut dec, &ptrs)?));
+            let mut d = persist::Dec::new(chunks[i]);
+            let mx = AliasMatrix::decode(&mut d, &ptrs)?;
+            d.finish()?;
+            Ok::<_, PersistError>(std::sync::Arc::new(mx))
+        });
+        let mut matrices = Vec::with_capacity(n_matrices);
+        for mx in decoded {
+            matrices.push(mx?);
         }
-        dec.finish()?;
 
-        let ranges = RangeAnalysis::from_parts(range_parts.clone());
-        let lr = LrAnalysis::from_parts(lr_parts.clone());
+        let ranges = RangeAnalysis::from_parts_on(range_parts.clone(), &pool);
+        let lr = LrAnalysis::from_parts_on(lr_parts.clone(), &pool);
         let rbaa = RbaaAnalysis::from_pieces(ranges, gr, lr);
 
         let buf = persist::expect_section(r, persist::tag::DEMAND)?;
@@ -1605,6 +1700,11 @@ impl AnalysisSession {
             rbaa,
             matrices,
             demand: Mutex::new(demand),
+            pool,
+            phases: PhaseStats {
+                load_ns: ns_since(t_load),
+                ..PhaseStats::default()
+            },
             stats,
         };
         if config.load_verify {

@@ -1,7 +1,7 @@
 //! The fixpoint solver for integer symbolic ranges.
 //!
 //! The solver operates entirely on interned handles
-//! ([`RangeId`]/[`ExprId`]) in a per-part [`ExprArena`]: cloning a
+//! ([`RangeId`]/[`sra_symbolic::ExprId`]) in a per-part [`ExprArena`]: cloning a
 //! state is a `Copy`, equality (the fixpoint's change detection) is an
 //! integer compare, and every join/widen/meet/arithmetic step is
 //! memoised. [`RangeAnalysis::from_parts`] then *imports* each part's
@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use sra_ir::cfg::Cfg;
 use sra_ir::{BinOp, Callee, CmpOp, FuncId, Function, Inst, Module, Ty, ValueId, ValueKind};
+use sra_symbolic::pool::WorkerPool;
 use sra_symbolic::{BoundId, ExprArena, ImportMap, RangeId, Symbol, SymbolTable};
 
 /// Tuning knobs for [`RangeAnalysis`].
@@ -184,6 +185,63 @@ impl RangeAnalysis {
                 .collect();
             arena.absorb_op_stats(&part.arena);
             per_func.push(FunctionRanges { ranges });
+        }
+        RangeAnalysis {
+            per_func,
+            symbols,
+            arena: Arc::new(arena),
+        }
+    }
+
+    /// [`RangeAnalysis::from_parts`] with the per-part imports fanned
+    /// out on `pool`: each part is imported into a private overlay over
+    /// a shared frozen empty arena, and the overlays are merged into
+    /// the module arena in function order.
+    ///
+    /// Byte-identical to the serial walk: an overlay records part `k`'s
+    /// structures in the same first-encounter order the serial import
+    /// attempts its interns, and [`ExprArena::adopt`] dedups nodes
+    /// already contributed by parts `0..k` while appending the genuinely
+    /// new ones in overlay order — so every assembled
+    /// [`RangeId`]/[`sra_symbolic::ExprId`] comes out the same. A width-1 pool takes
+    /// the serial path directly (the fan-out imports each part twice, so
+    /// it only pays off with real parallelism).
+    pub fn from_parts_on(parts: Vec<RangePart>, pool: &WorkerPool) -> Self {
+        if pool.threads() == 1 || parts.len() <= 1 {
+            return Self::from_parts(parts);
+        }
+        let mut symbols = SymbolTable::new();
+        for part in &parts {
+            assert_eq!(
+                part.first_symbol as usize,
+                symbols.len(),
+                "range parts assembled out of order or with wrong bases"
+            );
+            for name in &part.symbol_names {
+                symbols.fresh(name);
+            }
+        }
+        let empty = Arc::new(ExprArena::new());
+        let imported: Vec<(Vec<RangeId>, sra_symbolic::OverlayPart)> =
+            pool.run_indexed(parts.len(), |i| {
+                let part = &parts[i];
+                let mut overlay = ExprArena::with_base(Arc::clone(&empty));
+                let mut map = ImportMap::default();
+                let ranges = part
+                    .ranges
+                    .iter()
+                    .map(|&r| overlay.import_range(&part.arena, r, &|s| s, &mut map))
+                    .collect();
+                (ranges, overlay.into_overlay_part())
+            });
+        let mut arena = ExprArena::new();
+        let mut per_func = Vec::with_capacity(parts.len());
+        for ((ranges, overlay), part) in imported.into_iter().zip(&parts) {
+            let xl = arena.adopt(overlay);
+            arena.absorb_op_stats(&part.arena);
+            per_func.push(FunctionRanges {
+                ranges: ranges.into_iter().map(|r| xl.range(r)).collect(),
+            });
         }
         RangeAnalysis {
             per_func,

@@ -44,6 +44,7 @@ mod arena;
 mod bound;
 mod eval;
 mod expr;
+pub mod pool;
 mod range;
 mod symbol;
 

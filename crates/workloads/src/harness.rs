@@ -14,8 +14,8 @@ use std::time::{Duration, Instant};
 
 use sra_baselines::{BasicAlias, ScevAlias};
 use sra_core::{
-    analyze_parallel, pool, AliasAnalysis, AliasResult, AnalysisConfig, BatchAnalysis, MatrixBytes,
-    RbaaAnalysis, WhichTest,
+    analyze_parallel, analyze_parallel_on, pool, AliasAnalysis, AliasResult, AnalysisConfig,
+    BatchAnalysis, MatrixBytes, PhaseStats, RbaaAnalysis, WhichTest, WorkerPool,
 };
 use sra_ir::{FuncId, Module};
 use sra_symbolic::ArenaStats;
@@ -59,6 +59,10 @@ pub struct Metrics {
     /// Footprint of the cached alias matrices: pair count plus packed
     /// (2-bit cells) vs byte-per-cell sizes.
     pub matrix_bytes: MatrixBytes,
+    /// Per-phase wall-clock attribution of the pipeline run (budget
+    /// scan, part analysis, arena assembly, GR, matrices) — what the
+    /// trajectory benchmark reports alongside the end-to-end times.
+    pub phases: PhaseStats,
 }
 
 impl Metrics {
@@ -104,6 +108,7 @@ impl Metrics {
         self.analysis_time += other.analysis_time;
         self.arena_stats.merge(&other.arena_stats);
         self.matrix_bytes.merge(&other.matrix_bytes);
+        self.phases.merge(&other.phases);
     }
 }
 
@@ -124,16 +129,21 @@ pub fn evaluate(m: &Module) -> Metrics {
 
 /// [`evaluate`] with an explicit worker count (`1` = fully serial).
 pub fn evaluate_with(m: &Module, threads: usize) -> Metrics {
-    // Figure 15 times only the paper's pipeline (bootstrap + GR + LR),
-    // not query evaluation — matrices are built outside the clock.
+    // One persistent pool serves the pipeline, the matrix builds and
+    // the metric rows. Figure 15 times only the paper's pipeline
+    // (bootstrap + GR + LR), not query evaluation — matrices are built
+    // outside the clock.
+    let wp = WorkerPool::new(threads);
     let started = Instant::now();
-    let rbaa = analyze_parallel(m, AnalysisConfig::builder().threads(threads).build());
+    let (rbaa, mut phases) =
+        analyze_parallel_on(m, AnalysisConfig::builder().threads(threads).build(), &wp);
     let analysis_time = started.elapsed();
-    let batch = BatchAnalysis::from_rbaa(rbaa, m, threads);
+    let batch = BatchAnalysis::from_rbaa_on(rbaa, m, &wp);
+    phases.merge(batch.phases());
     let basic = BasicAlias::analyze(m);
     let scev = ScevAlias::analyze(m);
 
-    let partials = pool::run_indexed(m.num_functions(), threads, |i| {
+    let partials = wp.run_indexed(m.num_functions(), |i| {
         evaluate_function(FuncId::new(i), &batch, &basic, &scev)
     });
 
@@ -141,6 +151,7 @@ pub fn evaluate_with(m: &Module, threads: usize) -> Metrics {
         insts: m.num_insts(),
         analysis_time,
         arena_stats: batch.rbaa().arena_stats(),
+        phases,
         ..Metrics::default()
     };
     for row in &partials {
